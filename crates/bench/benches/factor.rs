@@ -1,0 +1,50 @@
+//! Criterion microbenchmarks: ILU(0) numeric factorization across
+//! engines (the kernel behind Figs. 9–11), plus the ILU(k) symbolic
+//! phase. Kept small so `cargo bench` completes quickly; the full
+//! paper-scale tables come from the `table*`/`fig*` binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use javelin_bench::harness::preorder_dm_nd;
+use javelin_core::symbolic::{iluk_pattern_parallel, iluk_pattern_serial};
+use javelin_core::{IluFactorization, IluOptions, LowerMethod};
+use javelin_synth::suite::{suite_matrix, Scale};
+
+fn bench_factor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ilu0_factor");
+    group.sample_size(10);
+    for name in ["ecology2-like", "transient-like", "tsopf-like"] {
+        let a = preorder_dm_nd(&suite_matrix(name).expect("suite member").build_at(Scale::Tiny));
+        group.bench_with_input(BenchmarkId::new("serial", name), &a, |b, a| {
+            b.iter(|| IluFactorization::compute(a, &IluOptions::default()).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("ls_only", name), &a, |b, a| {
+            b.iter(|| {
+                IluFactorization::compute(a, &IluOptions::level_scheduling_only(1)).unwrap()
+            });
+        });
+        let mut er = IluOptions::ilu0(1);
+        er.lower_method = LowerMethod::EvenRows;
+        group.bench_with_input(BenchmarkId::new("two_stage_er", name), &a, |b, a| {
+            b.iter(|| IluFactorization::compute(a, &er).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_symbolic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("iluk_symbolic");
+    group.sample_size(10);
+    let a = preorder_dm_nd(&suite_matrix("apache2-like").expect("member").build_at(Scale::Tiny));
+    for k in [1usize, 2] {
+        group.bench_with_input(BenchmarkId::new("serial", k), &k, |b, &k| {
+            b.iter(|| iluk_pattern_serial(&a, k).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("parallel_hp", k), &k, |b, &k| {
+            b.iter(|| iluk_pattern_parallel(&a, k, 2).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_factor, bench_symbolic);
+criterion_main!(benches);

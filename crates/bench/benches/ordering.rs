@@ -1,0 +1,33 @@
+//! Criterion microbenchmarks: preordering kernels (the preprocessing
+//! ahead of Table I / §IV's pipeline).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use javelin_order::{
+    coloring_order, maximum_transversal, min_degree_order, nested_dissection_order, rcm_order,
+};
+use javelin_synth::grid::laplace_2d;
+
+fn bench_orderings(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ordering");
+    group.sample_size(10);
+    let a = laplace_2d(40, 40);
+    group.bench_with_input(BenchmarkId::new("rcm", "grid40"), &a, |b, a| {
+        b.iter(|| rcm_order(a));
+    });
+    group.bench_with_input(BenchmarkId::new("min_degree", "grid40"), &a, |b, a| {
+        b.iter(|| min_degree_order(a));
+    });
+    group.bench_with_input(BenchmarkId::new("nested_dissection", "grid40"), &a, |b, a| {
+        b.iter(|| nested_dissection_order(a, 64));
+    });
+    group.bench_with_input(BenchmarkId::new("coloring", "grid40"), &a, |b, a| {
+        b.iter(|| coloring_order(a));
+    });
+    group.bench_with_input(BenchmarkId::new("max_transversal", "grid40"), &a, |b, a| {
+        b.iter(|| maximum_transversal(a).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_orderings);
+criterion_main!(benches);

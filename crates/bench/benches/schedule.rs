@@ -1,0 +1,53 @@
+//! Criterion microbenchmarks: level-set analysis, the two-stage split,
+//! and point-to-point schedule construction with dependency pruning —
+//! Javelin's preprocessing overheads (kept "minimal" per the paper's
+//! contribution list).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use javelin_level::{split_levels, LevelSets, P2PSchedule, SplitOptions};
+use javelin_sparse::pattern::lower_symmetrized_pattern;
+use javelin_synth::grid::laplace_3d;
+
+fn bench_schedule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule");
+    group.sample_size(20);
+    let a = laplace_3d(12, 12, 12);
+    let pat = lower_symmetrized_pattern(&a);
+    group.bench_function("level_sets", |b| {
+        b.iter(|| LevelSets::compute_lower(&pat));
+    });
+    let levels = LevelSets::compute_lower(&pat);
+    let row_nnz: Vec<usize> = (0..a.nrows()).map(|r| a.row_nnz(r)).collect();
+    group.bench_function("two_stage_split", |b| {
+        b.iter(|| split_levels(&levels, &row_nnz, &SplitOptions::default()));
+    });
+    let plan = split_levels(&levels, &row_nnz, &SplitOptions::default());
+    let permuted = a.permute_sym(&plan.perm).unwrap();
+    for nthreads in [4usize, 16, 68] {
+        group.bench_with_input(
+            BenchmarkId::new("p2p_build_prune", nthreads),
+            &nthreads,
+            |b, &nthreads| {
+                b.iter(|| {
+                    P2PSchedule::build(
+                        plan.n_upper,
+                        nthreads,
+                        &plan.upper_level_ptr,
+                        |r, out| {
+                            for &c in permuted.row_cols(r) {
+                                if c >= r {
+                                    break;
+                                }
+                                out.push(c);
+                            }
+                        },
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedule);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion microbenchmarks: spmv kernels (serial, row-parallel,
+//! CSR5-lite tiled) — the co-design target of the SR layout.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use javelin_core::spmv::{spmv_csr5lite, spmv_parallel, spmv_serial};
+use javelin_synth::suite::{suite_matrix, Scale};
+
+fn bench_spmv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmv");
+    group.sample_size(30);
+    for name in ["ecology2-like", "tsopf-like"] {
+        let a = suite_matrix(name).expect("suite member").build_at(Scale::Tiny);
+        let x: Vec<f64> = (0..a.ncols()).map(|i| (i % 13) as f64 * 0.1).collect();
+        let mut y = vec![0.0; a.nrows()];
+        group.bench_with_input(BenchmarkId::new("serial", name), &a, |b, a| {
+            b.iter(|| {
+                spmv_serial(a, &x, &mut y);
+                y[0]
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("parallel2", name), &a, |b, a| {
+            b.iter(|| {
+                spmv_parallel(a, &x, &mut y, 2);
+                y[0]
+            });
+        });
+        for tile in [64usize, 512] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("csr5lite_t{tile}"), name),
+                &a,
+                |b, a| {
+                    b.iter(|| {
+                        spmv_csr5lite(a, &x, &mut y, 1, tile);
+                        y[0]
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spmv);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion microbenchmarks: triangular-solve engines (the kernel
+//! behind Fig. 12) on one representative matrix.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use javelin_bench::harness::preorder_dm_nd;
+use javelin_core::options::SolveEngine;
+use javelin_core::{IluFactorization, IluOptions};
+use javelin_synth::suite::{suite_matrix, Scale};
+
+fn bench_trisolve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trisolve");
+    group.sample_size(20);
+    let a = preorder_dm_nd(&suite_matrix("ecology2-like").expect("member").build_at(Scale::Tiny));
+    let f = IluFactorization::compute(&a, &IluOptions::default()).unwrap();
+    let n = a.nrows();
+    let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64).collect();
+    for engine in [
+        SolveEngine::Serial,
+        SolveEngine::BarrierLevel,
+        SolveEngine::PointToPoint,
+        SolveEngine::PointToPointLower,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("engine", format!("{engine}")),
+            &engine,
+            |bench, &engine| {
+                let mut x = vec![0.0; n];
+                bench.iter(|| {
+                    f.solve_with(engine, &b, &mut x).unwrap();
+                    x[0]
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trisolve);
+criterion_main!(benches);

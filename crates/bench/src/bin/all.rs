@@ -1,0 +1,30 @@
+//! Regenerates every table and figure of the paper's evaluation and
+//! writes the reports to `results/`.
+use javelin_bench::experiments as exp;
+use javelin_synth::suite::Scale;
+
+fn main() {
+    let scale = javelin_bench::harness::scale_from_env();
+    let runs: Vec<(&str, fn(Scale) -> String)> = vec![
+        ("table1", exp::table1::run),
+        ("table2", exp::table2::run),
+        ("table3", exp::table3::run),
+        ("table4", exp::table4::run),
+        ("fig9", exp::fig9::run),
+        ("fig10", exp::fig10::run),
+        ("fig11", exp::fig11::run),
+        ("fig12", exp::fig12::run),
+        ("fig13", exp::fig13::run),
+        ("ablation", exp::ablation::run),
+    ];
+    for (name, f) in runs {
+        eprintln!("== running {name} ==");
+        let t0 = std::time::Instant::now();
+        let report = f(scale);
+        println!("{report}");
+        eprintln!("   ({name} took {:.1?})", t0.elapsed());
+        if let Err(e) = javelin_bench::write_report(name, &report) {
+            eprintln!("warning: could not write results/{name}.txt: {e}");
+        }
+    }
+}

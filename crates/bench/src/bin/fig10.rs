@@ -1,0 +1,9 @@
+//! Regenerates the paper's fig10 (see DESIGN.md §5).
+fn main() {
+    let scale = javelin_bench::harness::scale_from_env();
+    let report = javelin_bench::experiments::fig10::run(scale);
+    print!("{report}");
+    if let Err(e) = javelin_bench::write_report("fig10", &report) {
+        eprintln!("warning: could not write results/fig10.txt: {e}");
+    }
+}

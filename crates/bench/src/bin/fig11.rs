@@ -1,0 +1,9 @@
+//! Regenerates the paper's fig11 (see DESIGN.md §5).
+fn main() {
+    let scale = javelin_bench::harness::scale_from_env();
+    let report = javelin_bench::experiments::fig11::run(scale);
+    print!("{report}");
+    if let Err(e) = javelin_bench::write_report("fig11", &report) {
+        eprintln!("warning: could not write results/fig11.txt: {e}");
+    }
+}

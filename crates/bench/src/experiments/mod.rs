@@ -1,0 +1,13 @@
+//! One module per reproduced table/figure. Each exposes
+//! `run(scale) -> String` producing the full text report.
+
+pub mod ablation;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig9;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;

@@ -1,0 +1,198 @@
+//! Shared infrastructure: suite preparation (the paper's DM + ND
+//! preordering pipeline), timing, text tables, and report output.
+
+use javelin_order::{dm::dm_row_permutation, nested_dissection_order};
+use javelin_sparse::{CsrMatrix, Perm};
+use javelin_synth::suite::{Scale, SuiteMatrix};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// A suite matrix taken through the paper's preprocessing pipeline:
+/// maximum transversal (zero-free diagonal) followed by nested
+/// dissection.
+pub struct PreparedMatrix {
+    /// Suite metadata (names, group, paper statistics).
+    pub meta: SuiteMatrix,
+    /// The preordered matrix handed to the factorization.
+    pub matrix: CsrMatrix<f64>,
+}
+
+/// Reads the benchmark scale from `JAVELIN_SCALE` (`tiny` or
+/// `standard`, default standard).
+pub fn scale_from_env() -> Scale {
+    match std::env::var("JAVELIN_SCALE").as_deref() {
+        Ok("tiny") => Scale::Tiny,
+        _ => Scale::Standard,
+    }
+}
+
+/// Builds and preorders one suite matrix (paper §IV "Preordering":
+/// Dulmage–Mendelsohn to the diagonal, then nested dissection).
+pub fn prepare(meta: SuiteMatrix, scale: Scale) -> PreparedMatrix {
+    let a = meta.build_at(scale);
+    let matrix = preorder_dm_nd(&a);
+    PreparedMatrix { meta, matrix }
+}
+
+/// Applies the DM + ND pipeline to an arbitrary matrix.
+pub fn preorder_dm_nd(a: &CsrMatrix<f64>) -> CsrMatrix<f64> {
+    // Zero-free diagonal (no-op for matrices that already have one).
+    let rowp = dm_row_permutation(a).expect("square suite matrices");
+    let a = a
+        .permute(&rowp, &Perm::identity(a.ncols()))
+        .expect("row permutation fits");
+    // Fill-reducing ND (the paper uses METIS; see DESIGN.md §4.5).
+    let nd = nested_dissection_order(&a, 64);
+    a.permute_sym(&nd).expect("nd permutation fits")
+}
+
+/// The three factorization configurations the figures compare: pure
+/// level scheduling (`LS`), and the two-stage split with each lower
+/// method (`ER`, `SR`). Numeric phases run serially (results are
+/// bit-identical anyway); the plans and schedules are what the
+/// simulator consumes.
+pub struct FactorSet {
+    /// Pure level scheduling (split disabled).
+    pub ls: javelin_core::IluFactors<f64>,
+    /// Two-stage split with Even-Rows.
+    pub er: javelin_core::IluFactors<f64>,
+    /// Two-stage split with Segmented-Rows.
+    pub sr: javelin_core::IluFactors<f64>,
+}
+
+/// Builds the three standard configurations for one matrix.
+pub fn factor_variants(a: &CsrMatrix<f64>) -> FactorSet {
+    use javelin_core::{IluFactorization, IluOptions, LowerMethod};
+    let ls = IluFactorization::compute(a, &IluOptions::level_scheduling_only(1))
+        .expect("LS factorization");
+    let mut er_opts = IluOptions::ilu0(1);
+    er_opts.lower_method = LowerMethod::EvenRows;
+    let er = IluFactorization::compute(a, &er_opts).expect("ER factorization");
+    let mut sr_opts = IluOptions::ilu0(1);
+    sr_opts.lower_method = LowerMethod::SegmentedRows;
+    let sr = IluFactorization::compute(a, &sr_opts).expect("SR factorization");
+    FactorSet { ls, er, sr }
+}
+
+/// Best-of-`k` wall-clock timing.
+pub fn time_best_of<R>(k: usize, mut f: impl FnMut() -> R) -> (Duration, R) {
+    let mut best = Duration::MAX;
+    let mut out = None;
+    for _ in 0..k.max(1) {
+        let t0 = Instant::now();
+        let r = f();
+        let dt = t0.elapsed();
+        if dt < best {
+            best = dt;
+        }
+        out = Some(r);
+    }
+    (best, out.expect("k >= 1"))
+}
+
+/// Geometric mean of positive values (the paper reports geometric-mean
+/// speedups).
+pub fn geo_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let s: f64 = values.iter().map(|v| v.max(1e-300).ln()).sum();
+    (s / values.len() as f64).exp()
+}
+
+/// A simple fixed-width text table builder.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (cells already formatted).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "table row arity");
+        self.rows.push(cells);
+    }
+
+    /// Renders with padded columns.
+    pub fn render(&self) -> String {
+        let ncol = self.headers.len();
+        let mut width = vec![0usize; ncol];
+        for (c, h) in self.headers.iter().enumerate() {
+            width[c] = h.len();
+        }
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                width[c] = width[c].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String]| {
+            for (c, cell) in cells.iter().enumerate() {
+                let _ = write!(out, "{:<w$}  ", cell, w = width[c]);
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.headers);
+        let total: usize = width.iter().sum::<usize>() + 2 * ncol;
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Writes a report to `results/<name>.txt` (best-effort) and returns it.
+pub fn write_report(name: &str, body: &str) -> std::io::Result<()> {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join(format!("{name}.txt")), body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use javelin_synth::suite::paper_suite;
+
+    #[test]
+    fn geo_mean_basic() {
+        assert!((geo_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geo_mean(&[5.0]) - 5.0).abs() < 1e-12);
+        assert_eq!(geo_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer".into(), "2.5".into()]);
+        let s = t.render();
+        assert!(s.contains("name"));
+        assert!(s.lines().count() == 4);
+    }
+
+    #[test]
+    fn prepare_keeps_diagonal_and_shape() {
+        let meta = paper_suite().remove(0); // wang3-like
+        let p = prepare(meta, Scale::Tiny);
+        assert!(p.matrix.diag_positions().is_ok());
+        assert_eq!(p.matrix.nrows(), p.matrix.ncols());
+    }
+
+    #[test]
+    fn time_best_of_runs_k_times() {
+        let mut count = 0;
+        let (_, r) = time_best_of(3, || {
+            count += 1;
+            42
+        });
+        assert_eq!(count, 3);
+        assert_eq!(r, 42);
+    }
+}

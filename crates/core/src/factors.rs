@@ -1,0 +1,1068 @@
+//! The factorization pipeline and the resulting preconditioner object.
+
+use crate::numeric::kernel::LuVals;
+use crate::numeric::{lower, parallel, NumericCtx};
+use crate::options::{IluOptions, LowerMethod, SolveEngine};
+use crate::stats::FactorStats;
+use crate::symbolic;
+use crate::trisolve::{engines, serial};
+use javelin_level::{split_levels, LevelSets, P2PSchedule};
+use javelin_sparse::pattern::{
+    level_pattern_of, lower_of_pattern, upper_of_pattern, LevelPattern, SparsityPattern,
+};
+use javelin_sparse::{CsrMatrix, Perm, Scalar, SparseError};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Everything the triangular-solve engines need, precomputed once at
+/// factorization time — the co-design the paper stresses: the factor
+/// layout *is* the solve layout.
+#[derive(Debug)]
+pub struct SolvePlan {
+    /// Rows in the upper (point-to-point) stage.
+    pub n_upper: usize,
+    /// Level boundaries of the upper stage (new row indices).
+    pub upper_level_ptr: Vec<usize>,
+    /// Forward p2p schedule (execution index = row index).
+    pub fwd: P2PSchedule,
+    /// Backward p2p schedule over upper-stage rows (execution indices
+    /// mapped through [`SolvePlan::bwd_row_of_task`]).
+    pub bwd: P2PSchedule,
+    /// Row solved by each backward execution index.
+    pub bwd_row_of_task: Vec<usize>,
+    /// Level boundaries of the backward upper-stage schedule (execution
+    /// indices) — kept so simulators can rebuild the schedule for any
+    /// thread count.
+    pub bwd_level_ptr: Vec<usize>,
+    /// Full-matrix lower-pattern levels (the CSR-LS baseline).
+    pub fwd_levels: LevelSets,
+    /// Full-matrix upper-pattern levels (the CSR-LS baseline).
+    pub bwd_levels: LevelSets,
+    /// Per trailing row: entry range `(k_lo, k_hi)` of its sub-corner
+    /// prefix (columns `< n_upper`) inside the LU arrays.
+    pub block_rows: Vec<(usize, usize)>,
+    /// Cumulative sub-corner entry counts (`n_lower + 1` entries) — the
+    /// segment pointer of the tiled trailing-block gather.
+    pub block_seg_ptr: Vec<usize>,
+}
+
+/// An incomplete LU factorization `P·A·Pᵀ ≈ L·U` packaged for fast
+/// repeated triangular solves.
+pub struct IluFactors<T> {
+    lu: CsrMatrix<T>,
+    diag_pos: Vec<usize>,
+    perm: Perm,
+    plan: SolvePlan,
+    nthreads: usize,
+    tile_size: usize,
+    stats: FactorStats,
+}
+
+/// Runs the full pipeline (see crate docs).
+pub fn compute<T: Scalar>(
+    a: &CsrMatrix<T>,
+    opts: &IluOptions,
+) -> Result<IluFactors<T>, SparseError> {
+    if !a.is_square() {
+        return Err(SparseError::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
+    }
+    let n = a.nrows();
+    let nthreads = opts.nthreads.max(1);
+    let mut stats = FactorStats {
+        n,
+        nnz_a: a.nnz(),
+        ..Default::default()
+    };
+
+    // ---- Symbolic: the ILU(k) pattern (paper: "predetermining the
+    // sparsity pattern"). -------------------------------------------
+    let t0 = Instant::now();
+    let s: SparsityPattern = if opts.parallel_symbolic {
+        symbolic::iluk_pattern_parallel(a, opts.fill_level, nthreads)?
+    } else {
+        symbolic::iluk_pattern_serial(a, opts.fill_level)?
+    };
+    stats.t_symbolic = t0.elapsed();
+    stats.nnz_lu = s.nnz();
+
+    // ---- Analysis: levels, two-stage split, permutation, schedules. --
+    let t1 = Instant::now();
+    let lvl_pattern = level_pattern_of(&s, opts.level_pattern);
+    let levels0 = LevelSets::compute_lower(&lvl_pattern);
+    stats.n_levels = levels0.n_levels();
+    let row_nnz: Vec<usize> =
+        (0..n).map(|r| s.rowptr()[r + 1] - s.rowptr()[r]).collect();
+    let plan0 = split_levels(&levels0, &row_nnz, &opts.split);
+    stats.n_upper_levels = plan0.n_upper_levels();
+    stats.n_lower_rows = plan0.n_lower();
+    let perm = plan0.perm.clone();
+    let n_upper = plan0.n_upper;
+
+    // Permute the pattern and pull in A's values (fill positions start
+    // at zero) — the paper's "copy-fill-in phase", done row-wise so a
+    // NUMA-aware allocator would first-touch correctly.
+    let old_to_new = perm.old_to_new();
+    let new_to_old = perm.new_to_old();
+    let mut rowptr = vec![0usize; n + 1];
+    let mut colidx: Vec<usize> = Vec::with_capacity(s.nnz());
+    let mut vals: Vec<T> = Vec::with_capacity(s.nnz());
+    {
+        let mut scratch: Vec<(usize, T)> = Vec::new();
+        for new_r in 0..n {
+            let old_r = new_to_old[new_r];
+            scratch.clear();
+            // Merge: S row ⊇ A row, both sorted by old column.
+            let a_cols = a.row_cols(old_r);
+            let a_vals = a.row_vals(old_r);
+            let mut ai = 0usize;
+            for &old_c in s.row_cols(old_r) {
+                let v = if ai < a_cols.len() && a_cols[ai] == old_c {
+                    let v = a_vals[ai];
+                    ai += 1;
+                    v
+                } else {
+                    T::ZERO
+                };
+                scratch.push((old_to_new[old_c], v));
+            }
+            debug_assert_eq!(ai, a_cols.len(), "A row not contained in pattern row");
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            for &(c, v) in scratch.iter() {
+                colidx.push(c);
+                vals.push(v);
+            }
+            rowptr[new_r + 1] = colidx.len();
+        }
+    }
+    let diag_pos: Vec<usize> = (0..n)
+        .map(|r| {
+            rowptr[r]
+                + colidx[rowptr[r]..rowptr[r + 1]]
+                    .binary_search(&r)
+                    .expect("diagonal survives symmetric permutation")
+        })
+        .collect();
+
+    // τ drop thresholds, relative to the original row norms (Saad's
+    // ILUT convention).
+    let drop_thresh: Vec<T> = if opts.drop_tol > 0.0 {
+        (0..n)
+            .map(|new_r| {
+                let old_r = new_to_old[new_r];
+                let norm = a.row_vals(old_r).iter().map(|&v| v * v).sum::<T>().sqrt();
+                T::from_f64(opts.drop_tol) * norm
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    // Forward schedule over the upper stage. Dependencies are the
+    // strictly-lower columns of the *permuted* pattern — always sound,
+    // even when `lower(A)` levels let same-level dependencies appear
+    // (the point-to-point runtime only needs execution-index order).
+    let mut raw_deps = 0usize;
+    let fwd = P2PSchedule::build(n_upper, nthreads, &plan0.upper_level_ptr, |r, out| {
+        for k in rowptr[r]..rowptr[r + 1] {
+            let c = colidx[k];
+            if c >= r {
+                break;
+            }
+            debug_assert!(c < n_upper, "upper-stage row depends on trailing row");
+            out.push(c);
+        }
+        raw_deps += out.len();
+    });
+    stats.n_raw_deps = raw_deps;
+    stats.n_waits = fwd.n_waits();
+
+    // Backward schedule over the upper stage (upper-pattern deps
+    // restricted to columns < n_upper; corner columns are solved before
+    // the parallel region starts).
+    let bwd_levels_upper = {
+        let mut bp = vec![0usize; n_upper + 1];
+        let mut bc = Vec::new();
+        for r in 0..n_upper {
+            for k in (diag_pos[r] + 1)..rowptr[r + 1] {
+                let c = colidx[k];
+                if c < n_upper {
+                    bc.push(c);
+                }
+            }
+            bp[r + 1] = bc.len();
+        }
+        LevelSets::compute_upper(&SparsityPattern::from_raw(n_upper, n_upper, bp, bc))
+    };
+    let bwd_row_of_task: Vec<usize> = bwd_levels_upper.rows_in_level_order().to_vec();
+    let mut bwd_task_of_row = vec![0usize; n_upper];
+    for (t, &r) in bwd_row_of_task.iter().enumerate() {
+        bwd_task_of_row[r] = t;
+    }
+    let bwd = P2PSchedule::build(
+        n_upper,
+        nthreads,
+        bwd_levels_upper.level_ptr(),
+        |task, out| {
+            let r = bwd_row_of_task[task];
+            for k in (diag_pos[r] + 1)..rowptr[r + 1] {
+                let c = colidx[k];
+                if c < n_upper {
+                    out.push(bwd_task_of_row[c]);
+                }
+            }
+        },
+    );
+
+    // Full-matrix levels for the CSR-LS baseline engine.
+    let permuted_pattern = SparsityPattern::from_raw(n, n, rowptr.clone(), colidx.clone());
+    let fwd_levels = LevelSets::compute_lower(&lower_of_pattern(&permuted_pattern));
+    let bwd_levels = LevelSets::compute_upper(&upper_of_pattern(&permuted_pattern));
+
+    // Trailing-block segment structure for the tiled solve.
+    let n_lower = n - n_upper;
+    let mut block_rows = Vec::with_capacity(n_lower);
+    let mut block_seg_ptr = Vec::with_capacity(n_lower + 1);
+    block_seg_ptr.push(0usize);
+    for r in n_upper..n {
+        let lo = rowptr[r];
+        let hi = lo + colidx[lo..rowptr[r + 1]].partition_point(|&c| c < n_upper);
+        block_rows.push((lo, hi));
+        block_seg_ptr.push(block_seg_ptr.last().expect("nonempty") + (hi - lo));
+    }
+    stats.t_analysis = t1.elapsed();
+
+    // ---- Numeric factorization. --------------------------------------
+    let t2 = Instant::now();
+    let lu_vals = LuVals::from_values(&vals);
+    let replaced = AtomicUsize::new(0);
+    let dropped = AtomicUsize::new(0);
+    let failed = AtomicUsize::new(usize::MAX);
+    let ctx = NumericCtx {
+        rowptr: &rowptr,
+        colidx: &colidx,
+        diag_pos: &diag_pos,
+        vals: &lu_vals,
+        drop_thresh: &drop_thresh,
+        milu_omega: T::from_f64(opts.milu_omega),
+        pivot_threshold: T::from_f64(opts.pivot_threshold),
+        zero_pivot: opts.zero_pivot,
+        replaced: &replaced,
+        dropped: &dropped,
+        failed_row: &failed,
+    };
+    let method = resolve_lower_method(opts, n_lower, nthreads);
+    stats.lower_method = method;
+    if nthreads == 1 {
+        parallel::factor_serial(&ctx);
+    } else {
+        parallel::factor_upper_p2p(&ctx, &fwd);
+        if n_lower > 0 {
+            match method {
+                LowerMethod::SegmentedRows => lower::factor_lower_sr(
+                    &ctx,
+                    n_upper,
+                    &plan0.upper_level_ptr,
+                    nthreads,
+                    opts.tile_size,
+                    opts.parallel_corner,
+                ),
+                LowerMethod::EvenRows => {
+                    lower::factor_lower_er(&ctx, n_upper, nthreads, opts.parallel_corner)
+                }
+                LowerMethod::Auto => unreachable!("resolved above"),
+            }
+        }
+    }
+    stats.replaced_pivots = replaced.load(Ordering::Relaxed);
+    stats.dropped_entries = dropped.load(Ordering::Relaxed);
+    stats.t_numeric = t2.elapsed();
+    let failed_row = failed.load(Ordering::Relaxed);
+    if failed_row != usize::MAX {
+        return Err(SparseError::ZeroPivot { row: failed_row - 1 });
+    }
+
+    let lu = CsrMatrix::from_raw_unchecked(n, n, rowptr, colidx, lu_vals.into_values());
+    Ok(IluFactors {
+        lu,
+        diag_pos,
+        perm,
+        plan: SolvePlan {
+            n_upper,
+            upper_level_ptr: plan0.upper_level_ptr,
+            fwd,
+            bwd,
+            bwd_row_of_task,
+            bwd_level_ptr: bwd_levels_upper.level_ptr().to_vec(),
+            fwd_levels,
+            bwd_levels,
+            block_rows,
+            block_seg_ptr,
+        },
+        nthreads,
+        tile_size: opts.tile_size,
+        stats,
+    })
+}
+
+/// Resolves `LowerMethod::Auto` per the paper's guidance: SR when the
+/// demoted rows are too few for row-level parallelism (and the
+/// symmetrized level pattern makes SR's block independence valid),
+/// otherwise ER.
+fn resolve_lower_method(opts: &IluOptions, n_lower: usize, nthreads: usize) -> LowerMethod {
+    let sr_ok = opts.level_pattern == LevelPattern::LowerSymmetrized;
+    match opts.lower_method {
+        LowerMethod::SegmentedRows if sr_ok => LowerMethod::SegmentedRows,
+        LowerMethod::SegmentedRows => LowerMethod::EvenRows, // lower(A): SR invalid
+        LowerMethod::EvenRows => LowerMethod::EvenRows,
+        LowerMethod::Auto => {
+            if sr_ok && n_lower < opts.sr_thread_mult * nthreads {
+                LowerMethod::SegmentedRows
+            } else {
+                LowerMethod::EvenRows
+            }
+        }
+    }
+}
+
+impl<T: Scalar> IluFactors<T> {
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.lu.nrows()
+    }
+
+    /// The combined LU factor (unit L diagonal implicit) in the
+    /// permuted ordering.
+    pub fn lu(&self) -> &CsrMatrix<T> {
+        &self.lu
+    }
+
+    /// Diagonal entry positions within the LU arrays.
+    pub fn diag_positions(&self) -> &[usize] {
+        &self.diag_pos
+    }
+
+    /// The two-stage level permutation `P` (`LU ≈ P·A·Pᵀ`).
+    pub fn perm(&self) -> &Perm {
+        &self.perm
+    }
+
+    /// Factorization statistics.
+    pub fn stats(&self) -> &FactorStats {
+        &self.stats
+    }
+
+    /// The solve plan (schedules, levels, trailing-block layout).
+    pub fn plan(&self) -> &SolvePlan {
+        &self.plan
+    }
+
+    /// Threads the factors were built for.
+    pub fn nthreads(&self) -> usize {
+        self.nthreads
+    }
+
+    /// Tile size used by Segmented-Rows and the tiled solve kernels.
+    pub fn tile_size(&self) -> usize {
+        self.tile_size
+    }
+
+    /// Splits the combined factor into `(L, U)` with L's unit diagonal
+    /// stored explicitly.
+    pub fn split_lu(&self) -> (CsrMatrix<T>, CsrMatrix<T>) {
+        let n = self.n();
+        let mut l = self.lu.lower_triangular(false);
+        // Add the unit diagonal to L.
+        let (nr, nc, rp, ci, vs) = l.into_parts();
+        let mut rowptr = vec![0usize; n + 1];
+        let mut colidx = Vec::with_capacity(ci.len() + n);
+        let mut vals = Vec::with_capacity(vs.len() + n);
+        for r in 0..n {
+            for k in rp[r]..rp[r + 1] {
+                colidx.push(ci[k]);
+                vals.push(vs[k]);
+            }
+            colidx.push(r);
+            vals.push(T::ONE);
+            rowptr[r + 1] = colidx.len();
+        }
+        l = CsrMatrix::from_raw_unchecked(nr, nc, rowptr, colidx, vals);
+        let u = self.lu.upper_triangular(true);
+        (l, u)
+    }
+
+    /// Solves `A·x ≈ b` through the factors with the default engine
+    /// (LS+Lower when threaded, serial otherwise).
+    ///
+    /// # Errors
+    /// [`SparseError::DimensionMismatch`] on length mismatches.
+    pub fn solve_into(&self, b: &[T], x: &mut [T]) -> Result<(), SparseError> {
+        let engine = if self.nthreads == 1 {
+            SolveEngine::Serial
+        } else {
+            SolveEngine::PointToPointLower
+        };
+        self.solve_with(engine, b, x)
+    }
+
+    /// Solves `A·x ≈ b` with an explicit engine.
+    ///
+    /// # Errors
+    /// [`SparseError::DimensionMismatch`] on length mismatches.
+    pub fn solve_with(
+        &self,
+        engine: SolveEngine,
+        b: &[T],
+        x: &mut [T],
+    ) -> Result<(), SparseError> {
+        let n = self.n();
+        if b.len() != n || x.len() != n {
+            return Err(SparseError::DimensionMismatch(format!(
+                "solve: rhs/solution lengths ({}, {}) != {}",
+                b.len(),
+                x.len(),
+                n
+            )));
+        }
+        // Permuted RHS.
+        let mut z = self.perm.apply_vec(b);
+        self.solve_permuted_inplace(engine, &mut z);
+        // Un-permute into x.
+        for (i, &o) in self.perm.new_to_old().iter().enumerate() {
+            x[o] = z[i];
+        }
+        Ok(())
+    }
+
+    /// Runs forward + backward substitution on an already-permuted
+    /// buffer (in place). Exposed for benchmarking `stri` without
+    /// permutation overhead, mirroring the paper's Fig. 12 measurement.
+    pub fn solve_permuted_inplace(&self, engine: SolveEngine, z: &mut [T]) {
+        let nthreads = self.nthreads;
+        match engine {
+            SolveEngine::Serial => {
+                serial::forward_inplace(&self.lu, &self.diag_pos, z);
+                serial::backward_inplace(&self.lu, &self.diag_pos, z);
+            }
+            SolveEngine::BarrierLevel => {
+                let xb = LuVals::from_values(z);
+                engines::forward_barrier(&self.lu, &self.diag_pos, &self.plan.fwd_levels, nthreads, &xb);
+                engines::backward_barrier(&self.lu, &self.diag_pos, &self.plan.bwd_levels, nthreads, &xb);
+                z.copy_from_slice(&xb.into_values());
+            }
+            SolveEngine::PointToPoint | SolveEngine::PointToPointLower => {
+                let tiles = if engine == SolveEngine::PointToPointLower {
+                    engines::LowerTiles::On
+                } else {
+                    engines::LowerTiles::Off
+                };
+                let xb = LuVals::from_values(z);
+                engines::forward_p2p(
+                    &self.lu,
+                    &self.diag_pos,
+                    &self.plan,
+                    nthreads,
+                    self.tile_size,
+                    tiles,
+                    &xb,
+                );
+                engines::backward_p2p(&self.lu, &self.diag_pos, &self.plan, nthreads, &xb);
+                z.copy_from_slice(&xb.into_values());
+            }
+        }
+    }
+
+    /// Extracts the incomplete-Cholesky factor `L_c = L·D^{1/2}` for
+    /// symmetric positive definite inputs, so `L_c·L_cᵀ ≈ P·A·Pᵀ` on the
+    /// pattern — the `M = L·Lᵀ` form that IC-preconditioned CG uses
+    /// (the paper's §II motivating case: "preconditioned CG using
+    /// incomplete Cholesky ... spends up to 70% of its execution time in
+    /// forward and backward stri").
+    ///
+    /// For a symmetric matrix, ILU(0) produces `U = D·Lᵀ` exactly, so no
+    /// separate IC factorization is needed.
+    ///
+    /// # Errors
+    /// [`SparseError::ZeroPivot`] when a pivot is not strictly positive
+    /// (input not SPD, or dropping destroyed definiteness).
+    pub fn to_incomplete_cholesky(&self) -> Result<CsrMatrix<T>, SparseError> {
+        let n = self.n();
+        // sqrt of pivots, validated.
+        let mut sqrt_d = Vec::with_capacity(n);
+        for (r, &dp) in self.diag_pos.iter().enumerate() {
+            let d = self.lu.vals()[dp];
+            if !(d > T::ZERO) {
+                return Err(SparseError::ZeroPivot { row: r });
+            }
+            sqrt_d.push(d.sqrt());
+        }
+        let mut rowptr = vec![0usize; n + 1];
+        let mut colidx = Vec::new();
+        let mut vals = Vec::new();
+        for r in 0..n {
+            for k in self.lu.rowptr()[r]..self.diag_pos[r] {
+                let c = self.lu.colidx()[k];
+                colidx.push(c);
+                vals.push(self.lu.vals()[k] * sqrt_d[c]);
+            }
+            colidx.push(r);
+            vals.push(sqrt_d[r]);
+            rowptr[r + 1] = colidx.len();
+        }
+        Ok(CsrMatrix::from_raw_unchecked(n, n, rowptr, colidx, vals))
+    }
+
+    /// Pivot extrema `(min |uᵢᵢ|, max |uᵢᵢ|)` — the cheap local health
+    /// indicator the paper alludes to ("up-looking LU allows for local
+    /// estimates of resilience from soft-errors and the convergence
+    /// rate"): a collapsing minimum signals an unstable preconditioner
+    /// before any Krylov iteration is spent on it.
+    pub fn pivot_extrema(&self) -> (T, T) {
+        let mut lo = T::from_f64(f64::INFINITY);
+        let mut hi = T::ZERO;
+        for &dp in &self.diag_pos {
+            let d = self.lu.vals()[dp].abs();
+            lo = lo.min(d);
+            hi = hi.max(d);
+        }
+        (lo, hi)
+    }
+
+    /// Ratio `max |uᵢᵢ| / min |uᵢᵢ|` — a one-number conditioning proxy
+    /// for the factors (∞ when a pivot was replaced by ~0).
+    pub fn pivot_spread(&self) -> f64 {
+        let (lo, hi) = self.pivot_extrema();
+        if lo == T::ZERO {
+            f64::INFINITY
+        } else {
+            (hi / lo).to_f64()
+        }
+    }
+
+    /// Maximum absolute deviation of `(L·U)ᵢⱼ` from `(P·A·Pᵀ)ᵢⱼ` over the
+    /// factor pattern — the defining identity of ILU (zero up to
+    /// roundoff for ILU(k) without dropping). Test/diagnostic helper,
+    /// O(Σ nnz(L row) · nnz(U row)).
+    pub fn product_error_on_pattern(&self, a: &CsrMatrix<T>) -> T {
+        let n = self.n();
+        let pa = a.permute_sym(&self.perm).expect("factor perm fits A");
+        let mut acc: Vec<T> = vec![T::ZERO; n];
+        let mut touched: Vec<usize> = Vec::new();
+        let mut worst = T::ZERO;
+        for i in 0..n {
+            // (LU)(i, :) = Σ_{c < i} L[i,c]·U(c,:) + U(i,:)
+            for k in self.lu.rowptr()[i]..self.diag_pos[i] {
+                let c = self.lu.colidx()[k];
+                let lic = self.lu.vals()[k];
+                for kk in self.diag_pos[c]..self.lu.rowptr()[c + 1] {
+                    let j = self.lu.colidx()[kk];
+                    if acc[j] == T::ZERO {
+                        touched.push(j);
+                    }
+                    acc[j] += lic * self.lu.vals()[kk];
+                }
+            }
+            for kk in self.diag_pos[i]..self.lu.rowptr()[i + 1] {
+                let j = self.lu.colidx()[kk];
+                if acc[j] == T::ZERO {
+                    touched.push(j);
+                }
+                acc[j] += self.lu.vals()[kk];
+            }
+            // Compare on the pattern of row i only.
+            for k in self.lu.rowptr()[i]..self.lu.rowptr()[i + 1] {
+                let j = self.lu.colidx()[k];
+                let aij = pa.get(i, j).unwrap_or(T::ZERO);
+                worst = worst.max((acc[j] - aij).abs());
+            }
+            for &j in &touched {
+                acc[j] = T::ZERO;
+            }
+            touched.clear();
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::ZeroPivotPolicy;
+    use javelin_sparse::CooMatrix;
+
+    fn laplace_2d(nx: usize, ny: usize) -> CsrMatrix<f64> {
+        let n = nx * ny;
+        let idx = |i: usize, j: usize| i * ny + j;
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..nx {
+            for j in 0..ny {
+                let r = idx(i, j);
+                coo.push(r, r, 4.0).unwrap();
+                if i + 1 < nx {
+                    coo.push(r, idx(i + 1, j), -1.0).unwrap();
+                    coo.push(idx(i + 1, j), r, -1.0).unwrap();
+                }
+                if j + 1 < ny {
+                    coo.push(r, idx(i, j + 1), -1.0).unwrap();
+                    coo.push(idx(i, j + 1), r, -1.0).unwrap();
+                }
+            }
+        }
+        coo.to_csr()
+    }
+
+    /// Irregular nonsymmetric-pattern matrix with a structural diagonal.
+    fn irregular(n: usize) -> CsrMatrix<f64> {
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 8.0 + i as f64 * 0.01).unwrap();
+            if i >= 1 {
+                coo.push(i, i - 1, -1.0).unwrap();
+            }
+            if i >= 7 {
+                coo.push(i, i - 7, -0.5).unwrap();
+            }
+            if i + 3 < n {
+                coo.push(i, i + 3, -0.25).unwrap();
+            }
+            if i % 5 == 0 && i + 11 < n {
+                coo.push(i, i + 11, -0.125).unwrap();
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn ilu0_product_identity_on_pattern() {
+        let a = laplace_2d(8, 8);
+        let f = IluFactorization_compute(&a, &IluOptions::default());
+        assert!(f.product_error_on_pattern(&a) < 1e-12);
+    }
+
+    fn IluFactorization_compute(a: &CsrMatrix<f64>, o: &IluOptions) -> IluFactors<f64> {
+        compute(a, o).expect("factorization succeeds")
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise_all_engines() {
+        for a in [laplace_2d(9, 7), irregular(120)] {
+            let serial = IluFactorization_compute(&a, &IluOptions::default());
+            for nthreads in [2, 4] {
+                for method in [LowerMethod::Auto, LowerMethod::EvenRows, LowerMethod::SegmentedRows]
+                {
+                    let mut opts = IluOptions::ilu0(nthreads);
+                    opts.lower_method = method;
+                    // Aggressive split so the lower stage actually runs.
+                    opts.split.min_rows_per_level = 8;
+                    opts.split.location_frac = 0.0;
+                    opts.split.max_lower_frac = 0.4;
+                    let f = IluFactorization_compute(&a, &opts);
+                    // Same permutation => directly comparable values.
+                    assert_eq!(serial_perm(&serial), serial_perm(&f));
+                    let sb: Vec<u64> =
+                        serial.lu().vals().iter().map(|v| v.to_bits()).collect();
+                    let fb: Vec<u64> = f.lu().vals().iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(sb, fb, "nthreads={nthreads} method={method}");
+                }
+            }
+        }
+    }
+
+    fn serial_perm(f: &IluFactors<f64>) -> Vec<usize> {
+        f.perm().new_to_old().to_vec()
+    }
+
+    #[test]
+    fn solve_engines_agree_with_serial() {
+        let a = irregular(150);
+        let mut opts = IluOptions::ilu0(3);
+        opts.split.min_rows_per_level = 8;
+        opts.split.location_frac = 0.0;
+        let f = IluFactorization_compute(&a, &opts);
+        let b: Vec<f64> = (0..150).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut x_ref = vec![0.0; 150];
+        f.solve_with(SolveEngine::Serial, &b, &mut x_ref).unwrap();
+        for engine in [
+            SolveEngine::BarrierLevel,
+            SolveEngine::PointToPoint,
+            SolveEngine::PointToPointLower,
+        ] {
+            let mut x = vec![0.0; 150];
+            f.solve_with(engine, &b, &mut x).unwrap();
+            for (g, w) in x.iter().zip(x_ref.iter()) {
+                assert!(
+                    (g - w).abs() <= 1e-12 * w.abs().max(1.0),
+                    "{engine}: {g} vs {w}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn solve_actually_preconditions() {
+        // For ILU(0) of a diagonally dominant matrix, ||x - A^{-1}b||
+        // through the factors is a decent approximation: check the
+        // preconditioned residual is much smaller than the raw rhs.
+        let a = laplace_2d(10, 10);
+        let f = IluFactorization_compute(&a, &IluOptions::default());
+        let n = a.nrows();
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        f.solve_into(&b, &mut x).unwrap();
+        // r = b - A x should be noticeably smaller than b for a useful
+        // preconditioner.
+        let ax = a.spmv(&x);
+        let r_norm: f64 = b
+            .iter()
+            .zip(ax.iter())
+            .map(|(bi, axi)| (bi - axi) * (bi - axi))
+            .sum::<f64>()
+            .sqrt();
+        let b_norm = (n as f64).sqrt();
+        assert!(r_norm < 0.8 * b_norm, "residual {r_norm} vs rhs {b_norm}");
+    }
+
+    #[test]
+    fn split_lu_multiplies_back() {
+        let a = laplace_2d(6, 6);
+        let f = IluFactorization_compute(&a, &IluOptions::default());
+        let (l, u) = f.split_lu();
+        // L has unit diagonal.
+        for r in 0..l.nrows() {
+            assert_eq!(l.get(r, r), Some(1.0));
+        }
+        // L strictly lower + diag; U upper incl diag.
+        for (r, c, _) in l.iter() {
+            assert!(c <= r);
+        }
+        for (r, c, _) in u.iter() {
+            assert!(c >= r);
+        }
+        // nnz(L) + nnz(U) = nnz(LU) + n (unit diagonal added).
+        assert_eq!(l.nnz() + u.nnz(), f.lu().nnz() + a.nrows());
+    }
+
+    #[test]
+    fn iluk_reduces_product_error_off_pattern() {
+        // With k = n the factorization becomes exact: product error on
+        // the (full) pattern stays ~0 and the solve is a direct solve.
+        let a = irregular(40);
+        let mut exact_opts = IluOptions::default();
+        exact_opts.fill_level = 40;
+        let f = IluFactorization_compute(&a, &exact_opts);
+        let n = a.nrows();
+        let x_true: Vec<f64> = (0..n).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
+        let b = a.spmv(&x_true);
+        let mut x = vec![0.0; n];
+        f.solve_into(&b, &mut x).unwrap();
+        for (g, w) in x.iter().zip(x_true.iter()) {
+            assert!((g - w).abs() < 1e-8, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn drop_tolerance_drops_and_milu_compensates() {
+        let a = irregular(100);
+        let base = IluFactorization_compute(&a, &IluOptions::default());
+        let tau = IluFactorization_compute(
+            &a,
+            &IluOptions::default().with_fill(1).with_drop_tol(0.02),
+        );
+        assert!(tau.stats().dropped_entries > 0, "τ should drop entries");
+        assert_eq!(base.stats().dropped_entries, 0);
+        let milu = IluFactorization_compute(
+            &a,
+            &IluOptions::default().with_fill(1).with_drop_tol(0.02).with_milu(1.0),
+        );
+        // MILU shifts diagonals; factors must differ from plain τ.
+        assert!(milu.stats().dropped_entries > 0);
+    }
+
+    #[test]
+    fn zero_pivot_error_policy_reports_row() {
+        // Second row becomes exactly zero after elimination:
+        // A = [[1, 1], [1, 1]].
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(0, 1, 1.0).unwrap();
+        coo.push(1, 0, 1.0).unwrap();
+        coo.push(1, 1, 1.0).unwrap();
+        let a = coo.to_csr();
+        let mut opts = IluOptions::default();
+        opts.zero_pivot = ZeroPivotPolicy::Error;
+        match compute(&a, &opts) {
+            Err(SparseError::ZeroPivot { row }) => assert_eq!(row, 1),
+            Err(other) => panic!("expected zero pivot, got {other:?}"),
+            Ok(_) => panic!("expected zero pivot, got a factorization"),
+        }
+        // Replace policy succeeds and counts the replacement.
+        let mut opts2 = IluOptions::default();
+        opts2.zero_pivot = ZeroPivotPolicy::Replace { replacement: 1e-8 };
+        let f = compute(&a, &opts2).unwrap();
+        assert_eq!(f.stats().replaced_pivots, 1);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        // Rectangular.
+        let mut coo = CooMatrix::new(2, 3);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(1, 1, 1.0).unwrap();
+        assert!(compute(&coo.to_csr(), &IluOptions::default()).is_err());
+        // Missing diagonal.
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(1, 0, 1.0).unwrap();
+        assert!(matches!(
+            compute(&coo.to_csr(), &IluOptions::default()),
+            Err(SparseError::MissingDiagonal { row: 1 })
+        ));
+    }
+
+    #[test]
+    fn solve_rejects_bad_lengths() {
+        let a = laplace_2d(4, 4);
+        let f = IluFactorization_compute(&a, &IluOptions::default());
+        let b = vec![1.0; 16];
+        let mut x = vec![0.0; 15];
+        assert!(f.solve_into(&b, &mut x).is_err());
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let a = laplace_2d(12, 12);
+        let mut opts = IluOptions::ilu0(2);
+        opts.split.min_rows_per_level = 6;
+        opts.split.location_frac = 0.0;
+        let f = IluFactorization_compute(&a, &opts);
+        let s = f.stats();
+        assert_eq!(s.n, 144);
+        assert_eq!(s.nnz_a, a.nnz());
+        assert_eq!(s.nnz_lu, a.nnz()); // ILU(0): same pattern
+        assert!(s.n_levels > 1);
+        assert!(s.n_upper_levels <= s.n_levels);
+        assert!(s.n_waits <= s.n_raw_deps);
+        assert_eq!(s.fill_ratio(), 1.0);
+    }
+
+    #[test]
+    fn level_scheduling_only_has_no_lower_rows() {
+        let a = laplace_2d(10, 10);
+        let f = IluFactorization_compute(&a, &IluOptions::level_scheduling_only(2));
+        assert_eq!(f.stats().n_lower_rows, 0);
+        assert_eq!(f.plan().n_upper, 100);
+    }
+
+    #[test]
+    fn lower_a_pattern_falls_back_to_er() {
+        let a = irregular(140);
+        let mut opts = IluOptions::ilu0(2);
+        opts.level_pattern = LevelPattern::LowerA;
+        opts.lower_method = LowerMethod::SegmentedRows;
+        opts.split.min_rows_per_level = 8;
+        opts.split.location_frac = 0.0;
+        let f = IluFactorization_compute(&a, &opts);
+        assert_eq!(f.stats().lower_method, LowerMethod::EvenRows);
+        // Still bit-identical to serial.
+        let s = IluFactorization_compute(
+            &a,
+            &IluOptions {
+                level_pattern: LevelPattern::LowerA,
+                split: opts.split,
+                ..IluOptions::default()
+            },
+        );
+        let sb: Vec<u64> = s.lu().vals().iter().map(|v| v.to_bits()).collect();
+        let fb: Vec<u64> = f.lu().vals().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(sb, fb);
+    }
+
+    #[test]
+    fn incomplete_cholesky_reconstructs_spd_matrix() {
+        let a = laplace_2d(7, 7);
+        let f = IluFactorization_compute(&a, &IluOptions::default());
+        let lc = f.to_incomplete_cholesky().expect("SPD input");
+        // L_c is lower triangular with positive diagonal.
+        for (r, c, _) in lc.iter() {
+            assert!(c <= r);
+        }
+        for r in 0..lc.nrows() {
+            assert!(lc.get(r, r).unwrap() > 0.0);
+        }
+        // L_c·L_cᵀ == P·A·Pᵀ on the pattern (ILU(0) identity in IC form).
+        let pa = a.permute_sym(f.perm()).unwrap();
+        for (r, c, want) in pa.iter() {
+            // (L_c L_cᵀ)[r][c] = Σ_k L_c[r][k]·L_c[c][k]: sparse dot of
+            // two rows of L_c.
+            let (ra, rb) = (lc.row_cols(r), lc.row_cols(c));
+            let (va, vb) = (lc.row_vals(r), lc.row_vals(c));
+            let mut i = 0;
+            let mut j = 0;
+            let mut got = 0.0;
+            while i < ra.len() && j < rb.len() {
+                use std::cmp::Ordering::*;
+                match ra[i].cmp(&rb[j]) {
+                    Less => i += 1,
+                    Greater => j += 1,
+                    Equal => {
+                        got += va[i] * vb[j];
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            assert!((got - want).abs() < 1e-10, "({r},{c}): {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn incomplete_cholesky_rejects_indefinite() {
+        // A symmetric indefinite matrix: negative pivot appears.
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(0, 1, 2.0).unwrap();
+        coo.push(1, 0, 2.0).unwrap();
+        coo.push(1, 1, 1.0).unwrap();
+        let a = coo.to_csr();
+        let f = IluFactorization_compute(&a, &IluOptions::default());
+        assert!(matches!(
+            f.to_incomplete_cholesky(),
+            Err(SparseError::ZeroPivot { .. })
+        ));
+    }
+
+    #[test]
+    fn pivot_diagnostics() {
+        let a = laplace_2d(8, 8);
+        let f = IluFactorization_compute(&a, &IluOptions::default());
+        let (lo, hi) = f.pivot_extrema();
+        assert!(lo > 0.0 && hi >= lo);
+        assert!(hi <= 4.0 + 1e-12, "pivots bounded by the diagonal of A");
+        let spread = f.pivot_spread();
+        assert!((1.0..100.0).contains(&spread), "spread = {spread}");
+    }
+
+    #[test]
+    fn parallel_corner_matches_serial_corner() {
+        let a = irregular(160);
+        let mut base = IluOptions::ilu0(3);
+        base.split.min_rows_per_level = 10;
+        base.split.location_frac = 0.1;
+        let mut pc = base.clone();
+        pc.parallel_corner = true;
+        let f1 = IluFactorization_compute(&a, &base);
+        let f2 = IluFactorization_compute(&a, &pc);
+        let b1: Vec<u64> = f1.lu().vals().iter().map(|v| v.to_bits()).collect();
+        let b2: Vec<u64> = f2.lu().vals().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(b1, b2);
+    }
+
+    #[test]
+    fn f32_factorization_works() {
+        let n = 30;
+        let mut coo = CooMatrix::<f32>::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 3.0).unwrap();
+            if i + 1 < n {
+                coo.push(i, i + 1, -1.0).unwrap();
+                coo.push(i + 1, i, -1.0).unwrap();
+            }
+        }
+        let a = coo.to_csr();
+        let f = compute(&a, &IluOptions::ilu0(2)).unwrap();
+        let b = vec![1.0f32; n];
+        let mut x = vec![0.0f32; n];
+        f.solve_into(&b, &mut x).unwrap();
+        assert!(x.iter().all(|v| v.is_finite()));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::options::LowerMethod;
+    use javelin_sparse::CooMatrix;
+    use proptest::prelude::*;
+
+    /// Random diagonally dominant square matrix with full diagonal.
+    fn arb_matrix(n_max: usize) -> impl Strategy<Value = CsrMatrix<f64>> {
+        (4..n_max).prop_flat_map(|n| {
+            proptest::collection::vec((0..n, 0..n, 0.05..1.0f64), n..n * 4).prop_map(
+                move |trips| {
+                    let mut coo = CooMatrix::new(n, n);
+                    let mut rowsum = vec![0.0f64; n];
+                    for (r, c, v) in &trips {
+                        if r != c {
+                            coo.push(*r, *c, -*v).unwrap();
+                            rowsum[*r] += v;
+                        }
+                    }
+                    for (r, item) in rowsum.iter().enumerate() {
+                        coo.push(r, r, item + 1.0).unwrap();
+                    }
+                    coo.to_csr()
+                },
+            )
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// The defining ILU(0) identity on random matrices.
+        #[test]
+        fn ilu0_identity_on_random_matrices(a in arb_matrix(28)) {
+            let f = compute(&a, &IluOptions::default()).unwrap();
+            prop_assert!(f.product_error_on_pattern(&a) < 1e-9);
+        }
+
+        /// Parallel == serial, bitwise, on random matrices and random
+        /// engine/thread choices.
+        #[test]
+        fn engines_bitwise_equal_on_random_matrices(
+            a in arb_matrix(28),
+            nthreads in 2usize..5,
+            use_sr in proptest::bool::ANY,
+        ) {
+            let mut opts = IluOptions::ilu0(nthreads);
+            opts.lower_method = if use_sr {
+                LowerMethod::SegmentedRows
+            } else {
+                LowerMethod::EvenRows
+            };
+            opts.split.min_rows_per_level = 4;
+            opts.split.location_frac = 0.0;
+            let mut serial = opts.clone();
+            serial.nthreads = 1;
+            let fp = compute(&a, &opts).unwrap();
+            let fs = compute(&a, &serial).unwrap();
+            let bp: Vec<u64> = fp.lu().vals().iter().map(|v| v.to_bits()).collect();
+            let bs: Vec<u64> = fs.lu().vals().iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(bp, bs);
+        }
+
+        /// Forward+backward substitution through any engine equals the
+        /// serial reference.
+        #[test]
+        fn solves_agree_on_random_matrices(a in arb_matrix(24), nthreads in 2usize..4) {
+            let n = a.nrows();
+            let opts = IluOptions::ilu0(nthreads);
+            let f = compute(&a, &opts).unwrap();
+            let b: Vec<f64> = (0..n).map(|i| ((i * 31 % 17) as f64) - 8.0).collect();
+            let mut x_ref = vec![0.0; n];
+            f.solve_with(SolveEngine::Serial, &b, &mut x_ref).unwrap();
+            for engine in [
+                SolveEngine::BarrierLevel,
+                SolveEngine::PointToPoint,
+                SolveEngine::PointToPointLower,
+            ] {
+                let mut x = vec![0.0; n];
+                f.solve_with(engine, &b, &mut x).unwrap();
+                for (g, w) in x.iter().zip(x_ref.iter()) {
+                    prop_assert!((g - w).abs() <= 1e-10 * w.abs().max(1.0));
+                }
+            }
+        }
+    }
+
+}
+

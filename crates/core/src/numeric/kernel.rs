@@ -1,0 +1,378 @@
+//! The up-looking row kernel and its workspaces.
+//!
+//! `LuVals` stores factor values bit-packed in `AtomicU64` cells so
+//! different threads can write disjoint rows and read finalized rows
+//! without `unsafe`. All accesses are `Relaxed`: the necessary
+//! happens-before edges come from the progress counters / barriers /
+//! task graph that order row completion (a release-bump after the last
+//! write of a row, an acquire-wait before the first read). On x86 these
+//! relaxed atomics compile to plain moves — the paper's "no overhead"
+//! claim carries over.
+
+use crate::numeric::NumericCtx;
+use crate::options::ZeroPivotPolicy;
+use javelin_sparse::Scalar;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bit-packed, concurrently accessible factor values.
+pub struct LuVals<T> {
+    bits: Vec<AtomicU64>,
+    _ty: PhantomData<T>,
+}
+
+impl<T: Scalar> LuVals<T> {
+    /// Packs a value slice.
+    pub fn from_values(vals: &[T]) -> Self {
+        LuVals {
+            bits: vals.iter().map(|v| AtomicU64::new(v.to_bits64())).collect(),
+            _ty: PhantomData,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Reads entry `i`.
+    #[inline(always)]
+    pub fn get(&self, i: usize) -> T {
+        T::from_bits64(self.bits[i].load(Ordering::Relaxed))
+    }
+
+    /// Writes entry `i`.
+    #[inline(always)]
+    pub fn set(&self, i: usize, v: T) {
+        self.bits[i].store(v.to_bits64(), Ordering::Relaxed);
+    }
+
+    /// Unpacks into a plain vector.
+    pub fn into_values(self) -> Vec<T> {
+        self.bits
+            .into_iter()
+            .map(|b| T::from_bits64(b.into_inner()))
+            .collect()
+    }
+}
+
+/// Per-thread sparse-accumulator workspace: an epoch-stamped map from
+/// column to entry index of the currently loaded row. Loading is O(row
+/// length); clearing is free (epoch bump).
+pub struct RowWorkspace {
+    pos: Vec<usize>,
+    epoch: Vec<u64>,
+    cur: u64,
+}
+
+impl RowWorkspace {
+    /// Workspace for matrices of dimension `n`.
+    pub fn new(n: usize) -> Self {
+        RowWorkspace { pos: vec![0; n], epoch: vec![0; n], cur: 0 }
+    }
+
+    /// Loads the column→entry map of row `r`.
+    #[inline]
+    pub fn load_row(&mut self, rowptr: &[usize], colidx: &[usize], r: usize) {
+        self.cur += 1;
+        for k in rowptr[r]..rowptr[r + 1] {
+            let c = colidx[k];
+            self.pos[c] = k;
+            self.epoch[c] = self.cur;
+        }
+    }
+
+    /// Entry index of column `c` in the loaded row, if present.
+    #[inline(always)]
+    pub fn entry_of(&self, c: usize) -> Option<usize> {
+        (self.epoch[c] == self.cur).then(|| self.pos[c])
+    }
+}
+
+/// Processes the L-columns of row `r` with `col_lo <= c < min(col_hi, r)`
+/// — the up-looking elimination steps of the paper's Fig. 1, restricted
+/// to a column window so the two-stage engines can split a row's work.
+///
+/// Requires `ws` to hold row `r` (see [`RowWorkspace::load_row`]) and
+/// every row `c` in the window to be finalized.
+#[inline]
+pub fn eliminate_columns<T: Scalar>(
+    ctx: &NumericCtx<'_, T>,
+    ws: &RowWorkspace,
+    r: usize,
+    col_lo: usize,
+    col_hi: usize,
+) {
+    let hi = col_hi.min(r);
+    let dropping = !ctx.drop_thresh.is_empty();
+    for k in ctx.row_range(r) {
+        let c = ctx.colidx[k];
+        if c >= hi {
+            break;
+        }
+        if c < col_lo {
+            continue;
+        }
+        let piv = ctx.vals.get(ctx.diag_pos[c]);
+        let l = ctx.vals.get(k) / piv;
+        if dropping && l.abs() < ctx.drop_thresh[r] {
+            // Treat as zero immediately: skip the update sweep. The
+            // position stays in the pattern so schedules remain valid.
+            ctx.vals.set(k, T::ZERO);
+            ctx.dropped.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        ctx.vals.set(k, l);
+        // a[r, j] -= l * u[c, j] for every j > c stored in both rows.
+        for kk in (ctx.diag_pos[c] + 1)..ctx.rowptr[c + 1] {
+            let j = ctx.colidx[kk];
+            if let Some(p) = ws.entry_of(j) {
+                ctx.vals.set(p, ctx.vals.get(p) - l * ctx.vals.get(kk));
+            }
+        }
+    }
+}
+
+/// Finalizes row `r`: applies the τ drop rule to the strict U part,
+/// MILU compensation, and the pivot breakdown policy. Must be called
+/// exactly once per row, after its last elimination step and before any
+/// dependent row reads it.
+#[inline]
+pub fn finalize_row<T: Scalar>(ctx: &NumericCtx<'_, T>, r: usize) {
+    let dp = ctx.diag_pos[r];
+    let mut dropped_sum = T::ZERO;
+    if !ctx.drop_thresh.is_empty() {
+        let thresh = ctx.drop_thresh[r];
+        for k in (dp + 1)..ctx.rowptr[r + 1] {
+            let v = ctx.vals.get(k);
+            if v != T::ZERO && v.abs() < thresh {
+                ctx.vals.set(k, T::ZERO);
+                dropped_sum += v;
+                ctx.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    let mut d = ctx.vals.get(dp);
+    if ctx.milu_omega != T::ZERO {
+        d += ctx.milu_omega * dropped_sum;
+    }
+    if d.abs() < ctx.pivot_threshold {
+        match ctx.zero_pivot {
+            ZeroPivotPolicy::Error => ctx.record_failure(r),
+            ZeroPivotPolicy::Replace { replacement } => {
+                let rep = T::from_f64(replacement);
+                d = if d < T::ZERO { -rep } else { rep };
+                ctx.replaced.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    ctx.vals.set(dp, d);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn luvals_roundtrip_f64() {
+        let v = LuVals::<f64>::from_values(&[1.5, -2.25, 0.0]);
+        assert_eq!(v.len(), 3);
+        assert!(!v.is_empty());
+        assert_eq!(v.get(1), -2.25);
+        v.set(1, 7.0);
+        assert_eq!(v.into_values(), vec![1.5, 7.0, 0.0]);
+    }
+
+    #[test]
+    fn luvals_roundtrip_f32() {
+        let v = LuVals::<f32>::from_values(&[0.5, 3.5]);
+        v.set(0, -1.25);
+        assert_eq!(v.into_values(), vec![-1.25f32, 3.5]);
+    }
+
+    #[test]
+    fn workspace_maps_current_row_only() {
+        let rowptr = vec![0, 2, 4];
+        let colidx = vec![0, 1, 0, 1];
+        let mut ws = RowWorkspace::new(2);
+        ws.load_row(&rowptr, &colidx, 0);
+        assert_eq!(ws.entry_of(0), Some(0));
+        assert_eq!(ws.entry_of(1), Some(1));
+        ws.load_row(&rowptr, &colidx, 1);
+        assert_eq!(ws.entry_of(0), Some(2));
+        assert_eq!(ws.entry_of(1), Some(3));
+    }
+
+    /// 2x2 dense: A = [[4, 2], [1, 3]]; LU: l21 = 1/4, u22 = 3 - 2/4.
+    #[test]
+    fn eliminates_a_2x2_row() {
+        let rowptr = vec![0, 2, 4];
+        let colidx = vec![0, 1, 0, 1];
+        let diag_pos = vec![0, 3];
+        let vals = LuVals::from_values(&[4.0, 2.0, 1.0, 3.0]);
+        let replaced = AtomicUsize::new(0);
+        let dropped = AtomicUsize::new(0);
+        let failed = AtomicUsize::new(usize::MAX);
+        let ctx = NumericCtx {
+            rowptr: &rowptr,
+            colidx: &colidx,
+            diag_pos: &diag_pos,
+            vals: &vals,
+            drop_thresh: &[],
+            milu_omega: 0.0,
+            pivot_threshold: 1e-14,
+            zero_pivot: ZeroPivotPolicy::Error,
+            replaced: &replaced,
+            dropped: &dropped,
+            failed_row: &failed,
+        };
+        let mut ws = RowWorkspace::new(2);
+        finalize_row(&ctx, 0);
+        ws.load_row(&rowptr, &colidx, 1);
+        eliminate_columns(&ctx, &ws, 1, 0, 2);
+        finalize_row(&ctx, 1);
+        let out = vals.into_values();
+        assert_eq!(out, vec![4.0, 2.0, 0.25, 2.5]);
+        assert_eq!(failed.load(Ordering::Relaxed), usize::MAX);
+    }
+
+    #[test]
+    fn window_split_equals_full_sweep() {
+        // Row 2 of a dense 3x3 processed as [0,1) then [1,2) must equal
+        // one [0,2) sweep.
+        let a = [[4.0, 1.0, 2.0], [1.0, 5.0, 1.0], [2.0, 1.0, 6.0]];
+        let build = || {
+            let rowptr = vec![0, 3, 6, 9];
+            let colidx = vec![0, 1, 2, 0, 1, 2, 0, 1, 2];
+            let diag_pos = vec![0, 4, 8];
+            let flat: Vec<f64> = a.iter().flatten().copied().collect();
+            (rowptr, colidx, diag_pos, LuVals::from_values(&flat))
+        };
+        let run = |windows: &[(usize, usize)]| -> Vec<f64> {
+            let (rowptr, colidx, diag_pos, vals) = build();
+            let replaced = AtomicUsize::new(0);
+            let dropped = AtomicUsize::new(0);
+            let failed = AtomicUsize::new(usize::MAX);
+            let ctx = NumericCtx {
+                rowptr: &rowptr,
+                colidx: &colidx,
+                diag_pos: &diag_pos,
+                vals: &vals,
+                drop_thresh: &[],
+                milu_omega: 0.0,
+                pivot_threshold: 1e-14,
+                zero_pivot: ZeroPivotPolicy::Error,
+                replaced: &replaced,
+                dropped: &dropped,
+                failed_row: &failed,
+            };
+            let mut ws = RowWorkspace::new(3);
+            for r in 0..3 {
+                ws.load_row(&rowptr, &colidx, r);
+                if r < 2 {
+                    eliminate_columns(&ctx, &ws, r, 0, 3);
+                } else {
+                    for &(lo, hi) in windows {
+                        eliminate_columns(&ctx, &ws, r, lo, hi);
+                    }
+                }
+                finalize_row(&ctx, r);
+            }
+            vals.into_values()
+        };
+        let full = run(&[(0, 3)]);
+        let split = run(&[(0, 1), (1, 3)]);
+        assert_eq!(full, split);
+    }
+
+    #[test]
+    fn pivot_replacement_policy() {
+        // Diagonal becomes exactly zero: 1x1 matrix with value 0.
+        let rowptr = vec![0, 1];
+        let colidx = vec![0];
+        let diag_pos = vec![0];
+        let vals = LuVals::from_values(&[0.0]);
+        let replaced = AtomicUsize::new(0);
+        let dropped = AtomicUsize::new(0);
+        let failed = AtomicUsize::new(usize::MAX);
+        let ctx = NumericCtx {
+            rowptr: &rowptr,
+            colidx: &colidx,
+            diag_pos: &diag_pos,
+            vals: &vals,
+            drop_thresh: &[],
+            milu_omega: 0.0,
+            pivot_threshold: 1e-14,
+            zero_pivot: ZeroPivotPolicy::Replace { replacement: 1e-6 },
+            replaced: &replaced,
+            dropped: &dropped,
+            failed_row: &failed,
+        };
+        finalize_row(&ctx, 0);
+        assert_eq!(replaced.load(Ordering::Relaxed), 1);
+        assert_eq!(vals.get(0), 1e-6);
+    }
+
+    #[test]
+    fn pivot_error_policy_records_row() {
+        let rowptr = vec![0, 1];
+        let colidx = vec![0];
+        let diag_pos = vec![0];
+        let vals = LuVals::from_values(&[0.0f64]);
+        let replaced = AtomicUsize::new(0);
+        let dropped = AtomicUsize::new(0);
+        let failed = AtomicUsize::new(usize::MAX);
+        let ctx = NumericCtx {
+            rowptr: &rowptr,
+            colidx: &colidx,
+            diag_pos: &diag_pos,
+            vals: &vals,
+            drop_thresh: &[],
+            milu_omega: 0.0,
+            pivot_threshold: 1e-14,
+            zero_pivot: ZeroPivotPolicy::Error,
+            replaced: &replaced,
+            dropped: &dropped,
+            failed_row: &failed,
+        };
+        finalize_row(&ctx, 0);
+        assert_eq!(failed.load(Ordering::Relaxed), 1); // row 0 + 1
+    }
+
+    #[test]
+    fn dropping_zeroes_small_u_entries_and_milu_compensates() {
+        // Row 0: diag 2.0 with tiny U neighbour 1e-9.
+        let rowptr = vec![0, 2, 3];
+        let colidx = vec![0, 1, 1];
+        let diag_pos = vec![0, 2];
+        let vals = LuVals::from_values(&[2.0, 1e-9, 1.0]);
+        let replaced = AtomicUsize::new(0);
+        let dropped = AtomicUsize::new(0);
+        let failed = AtomicUsize::new(usize::MAX);
+        let thresh = vec![1e-6, 1e-6];
+        let ctx = NumericCtx {
+            rowptr: &rowptr,
+            colidx: &colidx,
+            diag_pos: &diag_pos,
+            vals: &vals,
+            drop_thresh: &thresh,
+            milu_omega: 1.0,
+            pivot_threshold: 1e-14,
+            zero_pivot: ZeroPivotPolicy::Error,
+            replaced: &replaced,
+            dropped: &dropped,
+            failed_row: &failed,
+        };
+        finalize_row(&ctx, 0);
+        assert_eq!(dropped.load(Ordering::Relaxed), 1);
+        assert_eq!(vals.get(1), 0.0);
+        // MILU: diag absorbed the dropped value.
+        assert_eq!(vals.get(0), 2.0 + 1e-9);
+    }
+}

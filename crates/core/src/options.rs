@@ -1,0 +1,219 @@
+//! Configuration of the factorization and solve pipeline.
+
+use javelin_level::SplitOptions;
+use javelin_sparse::pattern::LevelPattern;
+
+/// Which method factors the lower-stage (trailing) rows — paper §III-B.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LowerMethod {
+    /// Choose automatically from the matrix structure (the paper's
+    /// default): Segmented-Rows when the excluded rows are fewer than
+    /// `sr_thread_mult ×` the thread count (too few rows for row-level
+    /// parallelism), Even-Rows otherwise. SR additionally requires the
+    /// symmetrized level pattern; with `LevelPattern::LowerA` the choice
+    /// falls back to ER.
+    #[default]
+    Auto,
+    /// Segmented-Rows: per-(row, level-block) tasks with tiled updates,
+    /// executed on the lightweight task graph.
+    SegmentedRows,
+    /// Even-Rows: contiguous chunks of whole rows per thread.
+    EvenRows,
+}
+
+impl std::fmt::Display for LowerMethod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LowerMethod::Auto => write!(f, "Auto"),
+            LowerMethod::SegmentedRows => write!(f, "SR"),
+            LowerMethod::EvenRows => write!(f, "ER"),
+        }
+    }
+}
+
+/// What to do when a pivot magnitude falls below the breakdown
+/// threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ZeroPivotPolicy {
+    /// Abort with [`javelin_sparse::SparseError::ZeroPivot`].
+    Error,
+    /// Replace the pivot with `sign(pivot) · replacement` and continue
+    /// (recorded in [`crate::FactorStats::replaced_pivots`]). The common
+    /// choice for black-box preconditioning, since ILU does not pivot.
+    Replace {
+        /// Magnitude substituted for collapsed pivots.
+        replacement: f64,
+    },
+}
+
+impl Default for ZeroPivotPolicy {
+    fn default() -> Self {
+        ZeroPivotPolicy::Replace { replacement: 1e-8 }
+    }
+}
+
+/// Which engine executes the triangular solves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolveEngine {
+    /// Plain serial substitution.
+    Serial,
+    /// Level sets with a barrier between levels — the paper's CSR-LS
+    /// baseline (Fig. 12).
+    BarrierLevel,
+    /// Point-to-point level scheduling (the paper's "LS").
+    PointToPoint,
+    /// Point-to-point plus the tiled lower-stage block (the paper's
+    /// "LS + Lower") — requires factors built with a two-stage split.
+    #[default]
+    PointToPointLower,
+}
+
+impl std::fmt::Display for SolveEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveEngine::Serial => write!(f, "serial"),
+            SolveEngine::BarrierLevel => write!(f, "CSR-LS"),
+            SolveEngine::PointToPoint => write!(f, "LS"),
+            SolveEngine::PointToPointLower => write!(f, "LS+Lower"),
+        }
+    }
+}
+
+/// Options for [`crate::IluFactorization::compute`].
+#[derive(Debug, Clone)]
+pub struct IluOptions {
+    /// Fill level `k` of ILU(k). `0` keeps the pattern of `A` (the
+    /// paper's evaluation setting).
+    pub fill_level: usize,
+    /// Drop tolerance `τ` of ILU(k, τ): computed entries with magnitude
+    /// below `τ · ‖row‖₂ / √(row length)` are dropped (set to zero
+    /// within the fixed pattern, so schedules stay valid). `0.0`
+    /// disables dropping.
+    pub drop_tol: f64,
+    /// Modified-ILU compensation factor `ω ∈ [0, 1]`: the sum of values
+    /// dropped from a row's U part is scaled by `ω` and added to its
+    /// diagonal (MacLachlan–Osei-Kuffuor–Saad-style compensation).
+    pub milu_omega: f64,
+    /// Which triangular pattern drives level scheduling.
+    pub level_pattern: LevelPattern,
+    /// Two-stage split heuristics.
+    pub split: SplitOptions,
+    /// Lower-stage factorization method.
+    pub lower_method: LowerMethod,
+    /// SR auto-selection bound: SR is chosen when
+    /// `n_lower < sr_thread_mult × nthreads`.
+    pub sr_thread_mult: usize,
+    /// Tile size (entries) for Segmented-Rows update tiling and the
+    /// tiled lower-stage solve kernels.
+    pub tile_size: usize,
+    /// Worker threads (`1` = fully serial pipeline).
+    pub nthreads: usize,
+    /// Pivot breakdown handling.
+    pub zero_pivot: ZeroPivotPolicy,
+    /// Breakdown detection threshold: a pivot counts as collapsed when
+    /// its magnitude is below this value.
+    pub pivot_threshold: f64,
+    /// Use the parallel (Hysom–Pothen) symbolic phase instead of the
+    /// serial row-merge when `fill_level > 0`.
+    pub parallel_symbolic: bool,
+    /// Factor the lower-stage corner with point-to-point level
+    /// scheduling instead of serially ("for most matrices, serial seems
+    /// to be good enough" — paper §III-B — so this defaults off).
+    pub parallel_corner: bool,
+}
+
+impl Default for IluOptions {
+    fn default() -> Self {
+        IluOptions {
+            fill_level: 0,
+            drop_tol: 0.0,
+            milu_omega: 0.0,
+            level_pattern: LevelPattern::LowerSymmetrized,
+            split: SplitOptions::default(),
+            lower_method: LowerMethod::Auto,
+            sr_thread_mult: 4,
+            tile_size: 64,
+            nthreads: 1,
+            zero_pivot: ZeroPivotPolicy::default(),
+            pivot_threshold: 1e-14,
+            parallel_symbolic: false,
+            parallel_corner: false,
+        }
+    }
+}
+
+impl IluOptions {
+    /// ILU(0) with `nthreads` workers and default two-stage split — the
+    /// paper's benchmark configuration.
+    pub fn ilu0(nthreads: usize) -> Self {
+        IluOptions { nthreads, ..Default::default() }
+    }
+
+    /// Pure level scheduling (the paper's "LS" bars): no lower stage.
+    pub fn level_scheduling_only(nthreads: usize) -> Self {
+        IluOptions {
+            nthreads,
+            split: SplitOptions::level_scheduling_only(),
+            ..Default::default()
+        }
+    }
+
+    /// ILU(k) with fill level `k`.
+    pub fn with_fill(mut self, k: usize) -> Self {
+        self.fill_level = k;
+        self
+    }
+
+    /// ILU(k, τ) dropping.
+    pub fn with_drop_tol(mut self, tau: f64) -> Self {
+        self.drop_tol = tau;
+        self
+    }
+
+    /// MILU diagonal compensation.
+    pub fn with_milu(mut self, omega: f64) -> Self {
+        self.milu_omega = omega;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_configuration() {
+        let o = IluOptions::default();
+        assert_eq!(o.fill_level, 0);
+        assert_eq!(o.drop_tol, 0.0);
+        assert_eq!(o.level_pattern, LevelPattern::LowerSymmetrized);
+        assert_eq!(o.lower_method, LowerMethod::Auto);
+        assert!(o.split.enabled);
+        assert_eq!(o.nthreads, 1);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let o = IluOptions::ilu0(4).with_fill(2).with_drop_tol(1e-3).with_milu(1.0);
+        assert_eq!(o.nthreads, 4);
+        assert_eq!(o.fill_level, 2);
+        assert_eq!(o.drop_tol, 1e-3);
+        assert_eq!(o.milu_omega, 1.0);
+    }
+
+    #[test]
+    fn ls_only_disables_split() {
+        let o = IluOptions::level_scheduling_only(8);
+        assert!(!o.split.enabled);
+        assert_eq!(o.nthreads, 8);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(SolveEngine::BarrierLevel.to_string(), "CSR-LS");
+        assert_eq!(SolveEngine::PointToPoint.to_string(), "LS");
+        assert_eq!(SolveEngine::PointToPointLower.to_string(), "LS+Lower");
+        assert_eq!(LowerMethod::SegmentedRows.to_string(), "SR");
+        assert_eq!(LowerMethod::EvenRows.to_string(), "ER");
+    }
+}

@@ -1,0 +1,179 @@
+//! Sparse matrix–vector products.
+//!
+//! Three kernels, mirroring the landscape the paper builds on:
+//!
+//! * [`spmv_serial`] — the plain CSR loop (re-exported from
+//!   `javelin-sparse`);
+//! * [`spmv_parallel`] — contiguous row chunks per thread;
+//! * [`spmv_csr5lite`] — a CSR5-inspired tiled segmented-sum kernel:
+//!   fixed-size tiles over the *entry* stream (so wildly unbalanced
+//!   rows cannot skew one thread), per-tile partial sums, deterministic
+//!   tile-order combination. This is the kernel shape the SR layout is
+//!   co-designed with (paper §II, §III-B).
+
+use javelin_sparse::{CsrMatrix, Scalar};
+use javelin_sync::pool;
+use parking_lot::Mutex;
+
+/// Serial CSR spmv: `y = A·x`.
+pub fn spmv_serial<T: Scalar>(a: &CsrMatrix<T>, x: &[T], y: &mut [T]) {
+    a.spmv_into(x, y);
+}
+
+/// Row-chunked parallel spmv: `y = A·x` with contiguous row blocks.
+pub fn spmv_parallel<T: Scalar>(a: &CsrMatrix<T>, x: &[T], y: &mut [T], nthreads: usize) {
+    assert_eq!(x.len(), a.ncols(), "spmv: x length mismatch");
+    assert_eq!(y.len(), a.nrows(), "spmv: y length mismatch");
+    let vals = a.vals();
+    let colidx = a.colidx();
+    let rowptr = a.rowptr();
+    pool::parallel_slices(nthreads, y, |_tid, offset, slice| {
+        for (i, out) in slice.iter_mut().enumerate() {
+            let r = offset + i;
+            let mut acc = T::ZERO;
+            for k in rowptr[r]..rowptr[r + 1] {
+                acc += vals[k] * x[colidx[k]];
+            }
+            *out = acc;
+        }
+    });
+}
+
+/// CSR5-inspired tiled spmv: `y = A·x` via entry-stream tiles and
+/// segmented partial sums. `tile_size` is in entries.
+pub fn spmv_csr5lite<T: Scalar>(
+    a: &CsrMatrix<T>,
+    x: &[T],
+    y: &mut [T],
+    nthreads: usize,
+    tile_size: usize,
+) {
+    assert_eq!(x.len(), a.ncols(), "spmv: x length mismatch");
+    assert_eq!(y.len(), a.nrows(), "spmv: y length mismatch");
+    let n = a.nrows();
+    let nnz = a.nnz();
+    if nnz == 0 {
+        y.fill(T::ZERO);
+        return;
+    }
+    let tile = tile_size.max(1);
+    let n_tiles = nnz.div_ceil(tile);
+    let rowptr = a.rowptr();
+    let vals = a.vals();
+    let colidx = a.colidx();
+    // Per-tile partials: (first_row, sums...) — one slot per tile, each
+    // written by exactly one worker.
+    let partials: Vec<Mutex<(usize, Vec<T>)>> =
+        (0..n_tiles).map(|_| Mutex::new((0, Vec::new()))).collect();
+    pool::parallel_chunks(nthreads, n_tiles, |_tid, tiles| {
+        for t in tiles {
+            let lo = t * tile;
+            let hi = ((t + 1) * tile).min(nnz);
+            // Row containing entry `lo` (skipping empty rows).
+            let first_row = rowptr.partition_point(|&p| p <= lo).saturating_sub(1);
+            let mut sums: Vec<T> = Vec::new();
+            let mut row = first_row;
+            let mut acc = T::ZERO;
+            let mut cursor = lo;
+            while cursor < hi {
+                while rowptr[row + 1] <= cursor {
+                    sums.push(acc);
+                    acc = T::ZERO;
+                    row += 1;
+                }
+                let stop = rowptr[row + 1].min(hi);
+                for k in cursor..stop {
+                    acc += vals[k] * x[colidx[k]];
+                }
+                cursor = stop;
+            }
+            sums.push(acc);
+            *partials[t].lock() = (first_row, sums);
+        }
+    });
+    // Deterministic combination in tile order.
+    y.fill(T::ZERO);
+    for p in &partials {
+        let guard = p.lock();
+        let (first_row, sums) = (&guard.0, &guard.1);
+        for (k, &v) in sums.iter().enumerate() {
+            let r = first_row + k;
+            if r < n {
+                y[r] += v;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use javelin_sparse::CooMatrix;
+
+    fn skewed(n: usize) -> CsrMatrix<f64> {
+        // One dense row amid sparse ones — the case row-chunking
+        // balances poorly and tiling balances well.
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 2.0).unwrap();
+        }
+        for c in 0..n {
+            if c != n / 2 {
+                coo.push(n / 2, c, 0.5 + c as f64 * 0.01).unwrap();
+            }
+        }
+        for i in 1..n {
+            coo.push(i, i - 1, -1.0).unwrap();
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let a = skewed(57);
+        let x: Vec<f64> = (0..57).map(|i| (i as f64 * 0.1).cos()).collect();
+        let mut y_ref = vec![0.0; 57];
+        spmv_serial(&a, &x, &mut y_ref);
+        for nthreads in [1, 2, 4] {
+            let mut y = vec![0.0; 57];
+            spmv_parallel(&a, &x, &mut y, nthreads);
+            assert_eq!(y, y_ref, "nthreads={nthreads}");
+        }
+    }
+
+    #[test]
+    fn csr5lite_matches_serial_for_many_tilings() {
+        let a = skewed(64);
+        let x: Vec<f64> = (0..64).map(|i| 1.0 + (i % 7) as f64).collect();
+        let mut y_ref = vec![0.0; 64];
+        spmv_serial(&a, &x, &mut y_ref);
+        for nthreads in [1, 3] {
+            for tile in [1, 3, 8, 64, 1024] {
+                let mut y = vec![0.0; 64];
+                spmv_csr5lite(&a, &x, &mut y, nthreads, tile);
+                for (g, w) in y.iter().zip(y_ref.iter()) {
+                    assert!(
+                        (g - w).abs() < 1e-12,
+                        "tile={tile} nthreads={nthreads}: {g} vs {w}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn csr5lite_handles_empty_rows_and_matrix() {
+        let mut coo = CooMatrix::new(5, 5);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(4, 4, 2.0).unwrap();
+        let a = coo.to_csr();
+        let x = vec![1.0; 5];
+        let mut y = vec![9.0; 5];
+        spmv_csr5lite(&a, &x, &mut y, 2, 1);
+        assert_eq!(y, vec![1.0, 0.0, 0.0, 0.0, 2.0]);
+        let empty = CooMatrix::<f64>::new(3, 3).to_csr();
+        let mut y0 = vec![5.0; 3];
+        spmv_csr5lite(&empty, &[1.0, 1.0, 1.0], &mut y0, 2, 4);
+        assert_eq!(y0, vec![0.0; 3]);
+    }
+}

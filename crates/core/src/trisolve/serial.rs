@@ -1,0 +1,96 @@
+//! Serial forward/backward substitution on the combined LU factor.
+
+use javelin_sparse::{CsrMatrix, Scalar};
+
+/// In-place forward substitution `L·x = y` with implicit unit diagonal:
+/// on entry `x` holds `y`, on exit the solution.
+pub fn forward_inplace<T: Scalar>(lu: &CsrMatrix<T>, diag_pos: &[usize], x: &mut [T]) {
+    let vals = lu.vals();
+    let colidx = lu.colidx();
+    for r in 0..lu.nrows() {
+        let mut sum = T::ZERO;
+        for k in lu.rowptr()[r]..diag_pos[r] {
+            sum += vals[k] * x[colidx[k]];
+        }
+        x[r] -= sum;
+    }
+}
+
+/// In-place backward substitution `U·x = y`: on entry `x` holds `y`,
+/// on exit the solution.
+pub fn backward_inplace<T: Scalar>(lu: &CsrMatrix<T>, diag_pos: &[usize], x: &mut [T]) {
+    let vals = lu.vals();
+    let colidx = lu.colidx();
+    for r in (0..lu.nrows()).rev() {
+        let mut sum = T::ZERO;
+        for k in (diag_pos[r] + 1)..lu.rowptr()[r + 1] {
+            sum += vals[k] * x[colidx[k]];
+        }
+        x[r] = (x[r] - sum) / vals[diag_pos[r]];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use javelin_sparse::CooMatrix;
+
+    /// Combined LU with known triangular factors:
+    /// L = [[1,0],[0.5,1]], U = [[2,1],[0,3]] stored as one matrix.
+    fn lu2() -> (CsrMatrix<f64>, Vec<usize>) {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 2.0).unwrap();
+        coo.push(0, 1, 1.0).unwrap();
+        coo.push(1, 0, 0.5).unwrap();
+        coo.push(1, 1, 3.0).unwrap();
+        let lu = coo.to_csr();
+        let dp = lu.diag_positions().unwrap();
+        (lu, dp)
+    }
+
+    #[test]
+    fn forward_unit_lower() {
+        let (lu, dp) = lu2();
+        let mut x = vec![2.0, 3.0];
+        forward_inplace(&lu, &dp, &mut x);
+        // x0 = 2; x1 = 3 - 0.5*2 = 2.
+        assert_eq!(x, vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn backward_upper() {
+        let (lu, dp) = lu2();
+        let mut x = vec![4.0, 6.0];
+        backward_inplace(&lu, &dp, &mut x);
+        // x1 = 6/3 = 2; x0 = (4 - 1*2)/2 = 1.
+        assert_eq!(x, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn forward_then_backward_solves_lu_product() {
+        let (lu, dp) = lu2();
+        // Full matrix A = L*U = [[2,1],[1,3.5]].
+        let a = vec![vec![2.0, 1.0], vec![1.0, 3.5]];
+        let x_true = [1.5, -2.0];
+        let b: Vec<f64> = (0..2)
+            .map(|i| a[i][0] * x_true[0] + a[i][1] * x_true[1])
+            .collect();
+        let mut x = b;
+        forward_inplace(&lu, &dp, &mut x);
+        backward_inplace(&lu, &dp, &mut x);
+        assert!((x[0] - x_true[0]).abs() < 1e-12);
+        assert!((x[1] - x_true[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let lu = CsrMatrix::<f64>::identity(5);
+        let dp = lu.diag_positions().unwrap();
+        let mut x = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let expect = x.clone();
+        forward_inplace(&lu, &dp, &mut x);
+        assert_eq!(x, expect);
+        backward_inplace(&lu, &dp, &mut x);
+        assert_eq!(x, expect);
+    }
+}

@@ -1,0 +1,271 @@
+//! Flexible GMRES (FGMRES, Saad 1993).
+//!
+//! GMRES with a preconditioner that may *change between iterations* —
+//! the standard pairing for preconditioners that are themselves
+//! iterative or nondeterministic. Javelin's factors are deterministic,
+//! but FGMRES matters for the framework's intended uses: τ/MILU factors
+//! refreshed mid-solve, or polynomial/SSOR preconditioning with varying
+//! sweep counts. The cost over GMRES is storing the preconditioned
+//! basis `Z` alongside `V`.
+
+use crate::{SolverOptions, SolverResult};
+use javelin_core::precond::Preconditioner;
+use javelin_sparse::vecops;
+use javelin_sparse::{CsrMatrix, Scalar};
+
+/// Flexible restarted GMRES: like [`crate::gmres`], but applies the
+/// (possibly varying) preconditioner through the stored `Z` basis, so
+/// each iteration may use a different `M⁻¹`.
+///
+/// # Panics
+/// On dimension mismatches.
+pub fn fgmres<T: Scalar, P: Preconditioner<T>>(
+    a: &CsrMatrix<T>,
+    b: &[T],
+    x: &mut [T],
+    m: &P,
+    opts: &SolverOptions,
+) -> SolverResult {
+    let n = a.nrows();
+    assert_eq!(b.len(), n, "fgmres: rhs length");
+    assert_eq!(x.len(), n, "fgmres: solution length");
+    let restart = opts.restart.max(1).min(n.max(1));
+    let b_norm = vecops::norm2(b).to_f64();
+    if b_norm == 0.0 {
+        x.fill(T::ZERO);
+        return SolverResult {
+            converged: true,
+            iterations: 0,
+            relative_residual: 0.0,
+            history: Vec::new(),
+        };
+    }
+    let mut history = Vec::new();
+    let mut total_iters = 0usize;
+    #[allow(unused_assignments)]
+    let mut relres = f64::INFINITY;
+
+    let mut v: Vec<Vec<T>> = Vec::with_capacity(restart + 1);
+    let mut zbasis: Vec<Vec<T>> = Vec::with_capacity(restart);
+    let mut h = vec![T::ZERO; (restart + 1) * restart];
+    let mut cs = vec![T::ZERO; restart];
+    let mut sn = vec![T::ZERO; restart];
+    let mut g = vec![T::ZERO; restart + 1];
+
+    loop {
+        let r = {
+            let ax = a.spmv(x);
+            vecops::sub(b, &ax)
+        };
+        let beta = vecops::norm2(&r);
+        relres = beta.to_f64() / b_norm;
+        if opts.record_history && history.is_empty() {
+            history.push(relres);
+        }
+        if relres < opts.tol || total_iters >= opts.max_iters {
+            break;
+        }
+        v.clear();
+        zbasis.clear();
+        v.push({
+            let mut v0 = r;
+            let inv = T::ONE / beta;
+            vecops::scale(inv, &mut v0);
+            v0
+        });
+        g.iter_mut().for_each(|gi| *gi = T::ZERO);
+        g[0] = beta;
+        let mut j_used = 0usize;
+        for j in 0..restart {
+            if total_iters >= opts.max_iters {
+                break;
+            }
+            total_iters += 1;
+            // z_j = M_j^{-1} v_j (stored); w = A z_j.
+            let mut zj = vec![T::ZERO; n];
+            m.apply(&v[j], &mut zj);
+            let mut w = a.spmv(&zj);
+            zbasis.push(zj);
+            for i in 0..=j {
+                let hij = vecops::dot(&w, &v[i]);
+                h[i * restart + j] = hij;
+                vecops::axpy(-hij, &v[i], &mut w);
+            }
+            let hjp = vecops::norm2(&w);
+            h[(j + 1) * restart + j] = hjp;
+            for i in 0..j {
+                let hi = h[i * restart + j];
+                let hi1 = h[(i + 1) * restart + j];
+                h[i * restart + j] = cs[i] * hi + sn[i] * hi1;
+                h[(i + 1) * restart + j] = -sn[i] * hi + cs[i] * hi1;
+            }
+            let hjj = h[j * restart + j];
+            let denom = (hjj * hjj + hjp * hjp).sqrt();
+            let (c, s) = if denom == T::ZERO {
+                (T::ONE, T::ZERO)
+            } else {
+                (hjj / denom, hjp / denom)
+            };
+            cs[j] = c;
+            sn[j] = s;
+            h[j * restart + j] = c * hjj + s * hjp;
+            h[(j + 1) * restart + j] = T::ZERO;
+            g[j + 1] = -s * g[j];
+            g[j] = c * g[j];
+            j_used = j + 1;
+            relres = g[j + 1].abs().to_f64() / b_norm;
+            if opts.record_history {
+                history.push(relres);
+            }
+            if relres < opts.tol || hjp == T::ZERO {
+                break;
+            }
+            let mut vj = w;
+            let inv = T::ONE / hjp;
+            vecops::scale(inv, &mut vj);
+            v.push(vj);
+        }
+        if j_used == 0 {
+            break;
+        }
+        let mut y = vec![T::ZERO; j_used];
+        for i in (0..j_used).rev() {
+            let mut s = g[i];
+            for k in (i + 1)..j_used {
+                s -= h[i * restart + k] * y[k];
+            }
+            y[i] = s / h[i * restart + i];
+        }
+        // x += Z y — no trailing M^{-1}: Z already holds the
+        // preconditioned directions (the "flexible" difference).
+        for (k, yk) in y.iter().enumerate() {
+            vecops::axpy(*yk, &zbasis[k], x);
+        }
+        if relres < opts.tol || total_iters >= opts.max_iters {
+            break;
+        }
+    }
+    SolverResult {
+        converged: relres < opts.tol,
+        iterations: total_iters,
+        relative_residual: relres,
+        history,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gmres;
+    use javelin_core::precond::{IdentityPrecond, SsorPrecond};
+    use javelin_core::{IluFactorization, IluOptions};
+    use javelin_sparse::CooMatrix;
+    use parking_lot::Mutex;
+
+    fn convection(nx: usize, ny: usize) -> CsrMatrix<f64> {
+        let n = nx * ny;
+        let idx = |i: usize, j: usize| i * ny + j;
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..nx {
+            for j in 0..ny {
+                let r = idx(i, j);
+                coo.push(r, r, 4.6).unwrap();
+                if i > 0 {
+                    coo.push(r, idx(i - 1, j), -1.4).unwrap();
+                }
+                if i + 1 < nx {
+                    coo.push(r, idx(i + 1, j), -1.0).unwrap();
+                }
+                if j > 0 {
+                    coo.push(r, idx(i, j - 1), -1.2).unwrap();
+                }
+                if j + 1 < ny {
+                    coo.push(r, idx(i, j + 1), -1.0).unwrap();
+                }
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn fgmres_matches_gmres_with_fixed_preconditioner() {
+        let a = convection(10, 10);
+        let n = a.nrows();
+        let f = IluFactorization::compute(&a, &IluOptions::default()).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| (i % 9) as f64 - 4.0).collect();
+        let opts = SolverOptions { tol: 1e-10, ..Default::default() };
+        let mut xg = vec![0.0; n];
+        let rg = gmres(&a, &b, &mut xg, &f, &opts);
+        let mut xf = vec![0.0; n];
+        let rf = fgmres(&a, &b, &mut xf, &f, &opts);
+        assert!(rg.converged && rf.converged);
+        // With a fixed preconditioner FGMRES spans the same space.
+        assert_eq!(rg.iterations, rf.iterations);
+        for (g, w) in xf.iter().zip(xg.iter()) {
+            assert!((g - w).abs() < 1e-8, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn fgmres_tolerates_a_varying_preconditioner() {
+        // A preconditioner that alternates between SSOR(1.0) and
+        // SSOR(1.5) per application — invalid for plain GMRES's final
+        // M^{-1}(V y) step, fine for FGMRES.
+        struct Alternating {
+            a: SsorPrecond<f64>,
+            b: SsorPrecond<f64>,
+            flip: Mutex<bool>,
+        }
+        impl Preconditioner<f64> for Alternating {
+            fn apply(&self, r: &[f64], z: &mut [f64]) {
+                let mut flip = self.flip.lock();
+                if *flip {
+                    self.a.apply(r, z);
+                } else {
+                    self.b.apply(r, z);
+                }
+                *flip = !*flip;
+            }
+        }
+        let a = convection(12, 12);
+        let n = a.nrows();
+        let pre = Alternating {
+            a: SsorPrecond::new(&a, 1.0).unwrap(),
+            b: SsorPrecond::new(&a, 1.5).unwrap(),
+            flip: Mutex::new(false),
+        };
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
+        let mut x = vec![0.0; n];
+        let res = fgmres(&a, &b, &mut x, &pre, &SolverOptions::default());
+        assert!(res.converged, "relres {}", res.relative_residual);
+        // True residual.
+        let ax = a.spmv(&x);
+        let err: f64 =
+            b.iter().zip(&ax).map(|(p, q)| (p - q) * (p - q)).sum::<f64>().sqrt();
+        let bn: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!(err / bn < 1e-5, "true relres {}", err / bn);
+    }
+
+    #[test]
+    fn fgmres_unpreconditioned_equals_gmres() {
+        let a = convection(8, 8);
+        let b = vec![1.0; 64];
+        let opts = SolverOptions::default();
+        let mut xg = vec![0.0; 64];
+        let rg = gmres(&a, &b, &mut xg, &IdentityPrecond, &opts);
+        let mut xf = vec![0.0; 64];
+        let rf = fgmres(&a, &b, &mut xf, &IdentityPrecond, &opts);
+        assert_eq!(rg.iterations, rf.iterations);
+        assert!(rg.converged && rf.converged);
+    }
+
+    #[test]
+    fn zero_rhs_trivial() {
+        let a = convection(4, 4);
+        let b = vec![0.0; 16];
+        let mut x = vec![2.0; 16];
+        let res = fgmres(&a, &b, &mut x, &IdentityPrecond, &SolverOptions::default());
+        assert!(res.converged);
+        assert_eq!(res.iterations, 0);
+    }
+}

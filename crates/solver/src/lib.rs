@@ -1,0 +1,73 @@
+//! # javelin-solver
+//!
+//! Krylov iterative solvers — the consumers of Javelin's preconditioner
+//! and the measurement instrument of the paper's Table II (iterations
+//! to a 1e-6 relative residual under different orderings).
+//!
+//! * [`cg`] — (preconditioned) conjugate gradients for SPD systems;
+//! * [`gmres`] — restarted GMRES with right preconditioning and Givens
+//!   least-squares;
+//! * [`fgmres`] — flexible GMRES for iteration-varying preconditioners;
+//! * [`bicgstab`] — BiCGSTAB for nonsymmetric systems.
+//!
+//! All solvers share [`SolverOptions`] / [`SolverResult`] and take any
+//! [`javelin_core::Preconditioner`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bicgstab;
+pub mod cg;
+pub mod fgmres;
+pub mod gmres;
+
+pub use bicgstab::bicgstab;
+pub use cg::{cg, pcg};
+pub use fgmres::fgmres;
+pub use gmres::gmres;
+
+/// Iteration controls shared by all solvers.
+#[derive(Debug, Clone, Copy)]
+pub struct SolverOptions {
+    /// Relative residual target `‖b − A·x‖₂ / ‖b‖₂` (the paper's 1e-6).
+    pub tol: f64,
+    /// Hard iteration cap (matrix–vector products for CG/BiCGSTAB,
+    /// inner iterations for GMRES).
+    pub max_iters: usize,
+    /// GMRES restart length `m`.
+    pub restart: usize,
+    /// Record the residual history (costs one allocation per iteration).
+    pub record_history: bool,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        SolverOptions { tol: 1e-6, max_iters: 5000, restart: 50, record_history: false }
+    }
+}
+
+/// Outcome of a solve.
+#[derive(Debug, Clone)]
+pub struct SolverResult {
+    /// Whether the tolerance was met within the iteration cap.
+    pub converged: bool,
+    /// Iterations performed (the paper's Table-II statistic).
+    pub iterations: usize,
+    /// Final relative residual.
+    pub relative_residual: f64,
+    /// Per-iteration relative residuals (empty unless requested).
+    pub history: Vec<f64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_tolerance() {
+        let o = SolverOptions::default();
+        assert_eq!(o.tol, 1e-6);
+        assert!(o.max_iters >= 1000);
+        assert_eq!(o.restart, 50);
+    }
+}

@@ -1,0 +1,175 @@
+//! Compressed Sparse Column companion format.
+//!
+//! Javelin's algorithms are row-oriented (up-looking), but a handful of
+//! substrate operations — column counts for orderings, left-looking
+//! reference implementations, transposed access in the heavy baseline —
+//! want column-major storage. `CscMatrix` is deliberately thin: it shares
+//! the validation logic with CSR by construction through
+//! [`crate::CsrMatrix::to_csc`] or validated raw parts.
+
+use crate::csr::CsrMatrix;
+use crate::error::SparseError;
+use crate::scalar::Scalar;
+
+/// An immutable sparse matrix in CSC format.
+///
+/// `colptr` has `ncols + 1` entries; within each column row indices are
+/// strictly increasing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix<T> {
+    nrows: usize,
+    ncols: usize,
+    colptr: Vec<usize>,
+    rowidx: Vec<usize>,
+    vals: Vec<T>,
+}
+
+impl<T: Scalar> CscMatrix<T> {
+    /// Builds a CSC matrix after validating all structural invariants.
+    ///
+    /// # Errors
+    /// [`SparseError::InvalidStructure`] when any invariant fails.
+    pub fn try_from_parts(
+        nrows: usize,
+        ncols: usize,
+        colptr: Vec<usize>,
+        rowidx: Vec<usize>,
+        vals: Vec<T>,
+    ) -> Result<Self, SparseError> {
+        // Validate by viewing the arrays as a CSR of the transpose.
+        CsrMatrix::try_from_parts(ncols, nrows, colptr, rowidx, vals).map(|m| {
+            let (nc, _nr, colptr, rowidx, vals) = m.into_parts();
+            CscMatrix { nrows, ncols: nc, colptr, rowidx, vals }
+        })
+    }
+
+    /// Builds a CSC matrix without validation (debug builds assert).
+    pub fn from_raw_unchecked(
+        nrows: usize,
+        ncols: usize,
+        colptr: Vec<usize>,
+        rowidx: Vec<usize>,
+        vals: Vec<T>,
+    ) -> Self {
+        #[cfg(debug_assertions)]
+        {
+            return Self::try_from_parts(nrows, ncols, colptr, rowidx, vals)
+                .expect("from_raw_unchecked: invalid CSC structure");
+        }
+        #[cfg(not(debug_assertions))]
+        CscMatrix { nrows, ncols, colptr, rowidx, vals }
+    }
+
+    /// Number of rows.
+    #[inline(always)]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline(always)]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    #[inline(always)]
+    pub fn nnz(&self) -> usize {
+        self.rowidx.len()
+    }
+
+    /// Column pointer array (`ncols + 1` entries).
+    #[inline(always)]
+    pub fn colptr(&self) -> &[usize] {
+        &self.colptr
+    }
+
+    /// Row index array.
+    #[inline(always)]
+    pub fn rowidx(&self) -> &[usize] {
+        &self.rowidx
+    }
+
+    /// Value array.
+    #[inline(always)]
+    pub fn vals(&self) -> &[T] {
+        &self.vals
+    }
+
+    /// Half-open range of entry indices belonging to `col`.
+    #[inline(always)]
+    pub fn col_range(&self, col: usize) -> std::ops::Range<usize> {
+        self.colptr[col]..self.colptr[col + 1]
+    }
+
+    /// Row indices of `col`.
+    #[inline(always)]
+    pub fn col_rows(&self, col: usize) -> &[usize] {
+        &self.rowidx[self.col_range(col)]
+    }
+
+    /// Values of `col`.
+    #[inline(always)]
+    pub fn col_vals(&self, col: usize) -> &[T] {
+        &self.vals[self.col_range(col)]
+    }
+
+    /// Row-major copy of the same matrix.
+    pub fn to_csr(&self) -> CsrMatrix<T> {
+        // CSC of A is CSR of Aᵀ; transposing that yields CSR of A.
+        CsrMatrix::from_raw_unchecked(
+            self.ncols,
+            self.nrows,
+            self.colptr.clone(),
+            self.rowidx.clone(),
+            self.vals.clone(),
+        )
+        .transpose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+
+    fn sample() -> CsrMatrix<f64> {
+        let mut coo = CooMatrix::new(3, 2);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(1, 1, 2.0).unwrap();
+        coo.push(2, 0, 3.0).unwrap();
+        coo.push(2, 1, 4.0).unwrap();
+        coo.to_csr()
+    }
+
+    #[test]
+    fn csr_csc_roundtrip() {
+        let a = sample();
+        let c = a.to_csc();
+        assert_eq!(c.nrows(), 3);
+        assert_eq!(c.ncols(), 2);
+        assert_eq!(c.nnz(), 4);
+        assert_eq!(c.col_rows(0), &[0, 2]);
+        assert_eq!(c.col_vals(0), &[1.0, 3.0]);
+        assert_eq!(c.col_rows(1), &[1, 2]);
+        let back = c.to_csr();
+        assert_eq!(a, back);
+    }
+
+    #[test]
+    fn validation_rejects_garbage() {
+        assert!(CscMatrix::<f64>::try_from_parts(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
+        assert!(
+            CscMatrix::<f64>::try_from_parts(2, 1, vec![0, 2], vec![1, 0], vec![1.0, 2.0])
+                .is_err()
+        );
+        assert!(CscMatrix::<f64>::try_from_parts(2, 1, vec![0, 1], vec![5], vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn empty_csc() {
+        let c = CscMatrix::<f64>::try_from_parts(0, 0, vec![0], vec![], vec![]).unwrap();
+        assert_eq!(c.nnz(), 0);
+        assert_eq!(c.to_csr().nrows(), 0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Error type shared by the sparse substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing, converting or reading sparse
+/// matrices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseError {
+    /// An index was outside the matrix dimensions.
+    IndexOutOfBounds {
+        /// Row index of the offending entry.
+        row: usize,
+        /// Column index of the offending entry.
+        col: usize,
+        /// Number of rows in the matrix.
+        nrows: usize,
+        /// Number of columns in the matrix.
+        ncols: usize,
+    },
+    /// A CSR/CSC structural invariant was violated (unsorted or duplicate
+    /// column indices, row-pointer not monotone, length mismatch, …).
+    InvalidStructure(String),
+    /// A permutation vector was not a bijection on `0..n`.
+    InvalidPermutation(String),
+    /// The operation requires a square matrix.
+    NotSquare {
+        /// Number of rows.
+        nrows: usize,
+        /// Number of columns.
+        ncols: usize,
+    },
+    /// A zero (or numerically unusable) pivot was encountered.
+    ZeroPivot {
+        /// Row at which factorization broke down.
+        row: usize,
+    },
+    /// The matrix is missing a structural diagonal entry required by the
+    /// algorithm (ILU requires a full diagonal).
+    MissingDiagonal {
+        /// First row with no diagonal entry.
+        row: usize,
+    },
+    /// An I/O or parse failure while reading/writing an external format.
+    Io(String),
+    /// Two operands had incompatible shapes.
+    DimensionMismatch(String),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::IndexOutOfBounds { row, col, nrows, ncols } => write!(
+                f,
+                "entry ({row},{col}) out of bounds for {nrows}x{ncols} matrix"
+            ),
+            SparseError::InvalidStructure(msg) => write!(f, "invalid sparse structure: {msg}"),
+            SparseError::InvalidPermutation(msg) => write!(f, "invalid permutation: {msg}"),
+            SparseError::NotSquare { nrows, ncols } => {
+                write!(f, "operation requires a square matrix, got {nrows}x{ncols}")
+            }
+            SparseError::ZeroPivot { row } => write!(f, "zero pivot at row {row}"),
+            SparseError::MissingDiagonal { row } => {
+                write!(f, "missing structural diagonal entry at row {row}")
+            }
+            SparseError::Io(msg) => write!(f, "i/o error: {msg}"),
+            SparseError::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+impl From<std::io::Error> for SparseError {
+    fn from(e: std::io::Error) -> Self {
+        SparseError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SparseError::IndexOutOfBounds { row: 5, col: 7, nrows: 3, ncols: 3 };
+        assert!(e.to_string().contains("(5,7)"));
+        assert!(e.to_string().contains("3x3"));
+        let e = SparseError::ZeroPivot { row: 42 };
+        assert!(e.to_string().contains("42"));
+        let e = SparseError::MissingDiagonal { row: 3 };
+        assert!(e.to_string().contains("row 3"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: SparseError = io.into();
+        assert!(matches!(e, SparseError::Io(_)));
+    }
+}

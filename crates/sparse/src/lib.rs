@@ -1,0 +1,49 @@
+//! # javelin-sparse
+//!
+//! Sparse-matrix substrate for the Javelin incomplete-LU framework.
+//!
+//! Javelin (Booth & Bolet, IPDPS 2019) deliberately stays in the
+//! *conventional Compressed Sparse Row* format: the factorization, the
+//! triangular solves and the matrix–vector products all operate on plain
+//! CSR with at most a handful of auxiliary index arrays. This crate
+//! provides that substrate:
+//!
+//! * [`CsrMatrix`] — the central format, with construction, validation,
+//!   transposition, permutation (`P·A·Qᵀ`), triangular extraction and
+//!   pattern algebra;
+//! * [`CooMatrix`] — a triplet builder used by the generators and by
+//!   Matrix Market I/O;
+//! * [`CscMatrix`] — a thin column-major companion;
+//! * [`Perm`] — permutations with composition and inversion;
+//! * [`Scalar`] — the "templated" numeric abstraction (the paper's C++
+//!   implementation is templated over the value type; we mirror that with
+//!   a trait implemented for `f32` and `f64`);
+//! * [`io`] — Matrix Market reading/writing so that the real SuiteSparse
+//!   inputs used by the paper can be substituted for the bundled synthetic
+//!   suite;
+//! * [`pattern`] — pattern-only helpers (`lower(A)`, `lower(A+Aᵀ)`, …)
+//!   that feed the level scheduler.
+//!
+//! Everything here is deterministic and allocation-conscious: hot paths
+//! never allocate, and construction routines take `Vec`s by value so the
+//! caller controls reuse.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coo;
+pub mod csc;
+pub mod csr;
+pub mod error;
+pub mod io;
+pub mod pattern;
+pub mod perm;
+pub mod scalar;
+pub mod vecops;
+
+pub use coo::CooMatrix;
+pub use csc::CscMatrix;
+pub use csr::CsrMatrix;
+pub use error::SparseError;
+pub use perm::Perm;
+pub use scalar::Scalar;

@@ -1,0 +1,128 @@
+//! Atomic floating-point accumulators.
+//!
+//! Safe CAS-loop wrappers over `AtomicU64`/`AtomicU32`. Javelin's
+//! default Segmented-Rows pipeline is race-free by construction (update
+//! tasks own whole rows), but ablation variants and user extensions that
+//! tile updates across a row need atomic accumulation; these provide it
+//! without any `unsafe`.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// An `f64` supporting atomic load/store/add.
+#[derive(Debug, Default)]
+pub struct AtomicF64(AtomicU64);
+
+impl AtomicF64 {
+    /// New accumulator with initial value `v`.
+    pub fn new(v: f64) -> Self {
+        AtomicF64(AtomicU64::new(v.to_bits()))
+    }
+
+    /// Atomic load.
+    #[inline]
+    pub fn load(&self, order: Ordering) -> f64 {
+        f64::from_bits(self.0.load(order))
+    }
+
+    /// Atomic store.
+    #[inline]
+    pub fn store(&self, v: f64, order: Ordering) {
+        self.0.store(v.to_bits(), order);
+    }
+
+    /// Atomic `+= delta` via compare-exchange loop; returns the previous
+    /// value.
+    #[inline]
+    pub fn fetch_add(&self, delta: f64, order: Ordering) -> f64 {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(cur) + delta).to_bits();
+            match self.0.compare_exchange_weak(cur, new, order, Ordering::Relaxed) {
+                Ok(prev) => return f64::from_bits(prev),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+/// An `f32` supporting atomic load/store/add.
+#[derive(Debug, Default)]
+pub struct AtomicF32(AtomicU32);
+
+impl AtomicF32 {
+    /// New accumulator with initial value `v`.
+    pub fn new(v: f32) -> Self {
+        AtomicF32(AtomicU32::new(v.to_bits()))
+    }
+
+    /// Atomic load.
+    #[inline]
+    pub fn load(&self, order: Ordering) -> f32 {
+        f32::from_bits(self.0.load(order))
+    }
+
+    /// Atomic store.
+    #[inline]
+    pub fn store(&self, v: f32, order: Ordering) {
+        self.0.store(v.to_bits(), order);
+    }
+
+    /// Atomic `+= delta` via compare-exchange loop; returns the previous
+    /// value.
+    #[inline]
+    pub fn fetch_add(&self, delta: f32, order: Ordering) -> f32 {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let new = (f32::from_bits(cur) + delta).to_bits();
+            match self.0.compare_exchange_weak(cur, new, order, Ordering::Relaxed) {
+                Ok(prev) => return f32::from_bits(prev),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_basic_ops() {
+        let a = AtomicF64::new(1.5);
+        assert_eq!(a.load(Ordering::Relaxed), 1.5);
+        a.store(-2.25, Ordering::Relaxed);
+        assert_eq!(a.load(Ordering::Relaxed), -2.25);
+        let prev = a.fetch_add(1.0, Ordering::Relaxed);
+        assert_eq!(prev, -2.25);
+        assert_eq!(a.load(Ordering::Relaxed), -1.25);
+    }
+
+    #[test]
+    fn f32_basic_ops() {
+        let a = AtomicF32::new(0.5);
+        a.fetch_add(0.25, Ordering::Relaxed);
+        assert_eq!(a.load(Ordering::Relaxed), 0.75);
+    }
+
+    #[test]
+    fn concurrent_adds_sum_exactly() {
+        // Powers of two add exactly in any order: the total is exact.
+        let a = AtomicF64::new(0.0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        a.fetch_add(0.25, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(a.load(Ordering::Relaxed), 1000.0);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(AtomicF64::default().load(Ordering::Relaxed), 0.0);
+        assert_eq!(AtomicF32::default().load(Ordering::Relaxed), 0.0);
+    }
+}

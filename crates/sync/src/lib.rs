@@ -1,0 +1,44 @@
+//! # javelin-sync
+//!
+//! The concurrency substrate behind Javelin's "lightweight
+//! synchronization" philosophy: the paper deliberately avoids heavy task
+//! runtimes and barriers in favour of point-to-point spin
+//! synchronization, static thread assignments, and (for the lower
+//! stage) small tasking — and names "a specialized light weight tasking
+//! library" as an in-progress improvement. This crate supplies those
+//! pieces:
+//!
+//! * [`pool`] — scoped fork-join execution with stable thread ids
+//!   (replaces the OpenMP parallel region);
+//! * [`progress`] — cache-padded monotone progress counters with
+//!   acquire/release semantics: the runtime half of the sparsified
+//!   point-to-point schedule;
+//! * [`barrier`] — a sense-reversing spin barrier (used by the CSR-LS
+//!   baseline the paper compares against);
+//! * [`backoff`] — bounded spinning that escalates to `yield_now`, so
+//!   oversubscribed runs (more threads than cores) always make progress;
+//! * [`taskgraph`] — the lightweight dependency-counting task executor
+//!   (the paper's future-work tasking library);
+//! * [`segscan`] — segmented sums/scans used by the CSR5-style tiled
+//!   kernels;
+//! * [`atomicf`] — atomic floating-point accumulators.
+//!
+//! Everything is safe Rust: even the spin primitives are built on
+//! `std::sync::atomic` without any `unsafe`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod atomicf;
+pub mod backoff;
+pub mod barrier;
+pub mod pool;
+pub mod progress;
+pub mod segscan;
+pub mod taskgraph;
+
+pub use backoff::Backoff;
+pub use barrier::SpinBarrier;
+pub use pool::run_on_threads;
+pub use progress::ProgressCounters;
+pub use taskgraph::TaskGraph;

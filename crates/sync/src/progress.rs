@@ -1,0 +1,154 @@
+//! Monotone per-thread progress counters — the runtime half of the
+//! sparsified point-to-point schedule.
+//!
+//! Each worker owns one cache-padded counter and bumps it (release)
+//! after finishing each task in its static sequence. A consumer that
+//! must observe "thread `t` has completed ≥ `k` tasks" spins (acquire)
+//! on `t`'s counter. The release/acquire pair makes every memory write
+//! performed by the first `k` tasks of `t` visible to the waiter —
+//! exactly the happens-before edge the factorization and triangular
+//! solves need; no locks, no barriers.
+
+use crate::backoff::Backoff;
+use crossbeam::utils::CachePadded;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A set of per-thread monotone progress counters.
+#[derive(Debug)]
+pub struct ProgressCounters {
+    counters: Vec<CachePadded<AtomicUsize>>,
+}
+
+impl ProgressCounters {
+    /// Creates `n` counters initialized to zero.
+    pub fn new(n: usize) -> Self {
+        ProgressCounters {
+            counters: (0..n).map(|_| CachePadded::new(AtomicUsize::new(0))).collect(),
+        }
+    }
+
+    /// Number of counters.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// `true` when no counters exist.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// Resets every counter to zero. Caller must guarantee quiescence
+    /// (no concurrent waiters/bumpers) — typically between solves.
+    pub fn reset(&self) {
+        for c in &self.counters {
+            c.store(0, Ordering::Relaxed);
+        }
+        // Publish the zeroes before the next parallel phase begins.
+        std::sync::atomic::fence(Ordering::Release);
+    }
+
+    /// Records that thread `t` completed one more task (release).
+    #[inline]
+    pub fn bump(&self, t: usize) {
+        self.counters[t].fetch_add(1, Ordering::Release);
+    }
+
+    /// Current progress of thread `t` (acquire).
+    #[inline]
+    pub fn load(&self, t: usize) -> usize {
+        self.counters[t].load(Ordering::Acquire)
+    }
+
+    /// Spin-waits (with yield escalation) until thread `t` has completed
+    /// at least `required` tasks.
+    #[inline]
+    pub fn wait_for(&self, t: usize, required: usize) {
+        if self.counters[t].load(Ordering::Acquire) >= required {
+            return;
+        }
+        let mut backoff = Backoff::new();
+        while self.counters[t].load(Ordering::Acquire) < required {
+            backoff.snooze();
+        }
+    }
+
+    /// Waits for a pruned wait list: `(thread, required)` pairs, as
+    /// produced by `javelin_level::P2PSchedule::waits`.
+    #[inline]
+    pub fn wait_all(&self, waits: &[(usize, usize)]) {
+        for &(t, req) in waits {
+            self.wait_for(t, req);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn bump_and_load() {
+        let p = ProgressCounters::new(3);
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+        p.bump(1);
+        p.bump(1);
+        assert_eq!(p.load(0), 0);
+        assert_eq!(p.load(1), 2);
+        p.reset();
+        assert_eq!(p.load(1), 0);
+    }
+
+    #[test]
+    fn wait_for_satisfied_immediately() {
+        let p = ProgressCounters::new(1);
+        p.bump(0);
+        p.wait_for(0, 1); // must not hang
+        p.wait_all(&[(0, 1)]);
+    }
+
+    #[test]
+    fn cross_thread_happens_before() {
+        // Thread A writes data then bumps; thread B waits then reads.
+        // Repeated to give a race a chance to show up.
+        for _ in 0..50 {
+            let p = ProgressCounters::new(2);
+            let data = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    data.store(42, Ordering::Relaxed);
+                    p.bump(0);
+                });
+                s.spawn(|| {
+                    p.wait_for(0, 1);
+                    assert_eq!(data.load(Ordering::Relaxed), 42);
+                });
+            });
+        }
+    }
+
+    #[test]
+    fn chain_of_waiters() {
+        // t0 -> t1 -> t2 relay, oversubscribed on any core count.
+        let p = ProgressCounters::new(3);
+        let out = parking_lot::Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                p.wait_for(1, 1);
+                out.lock().push(2);
+                p.bump(2);
+            });
+            s.spawn(|| {
+                p.wait_for(0, 1);
+                out.lock().push(1);
+                p.bump(1);
+            });
+            s.spawn(|| {
+                out.lock().push(0);
+                p.bump(0);
+            });
+        });
+        assert_eq!(*out.lock(), vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,207 @@
+//! Segmented sums and scans.
+//!
+//! CSR5 (Liu & Vinter) — one of the two foundations the paper builds on
+//! — evaluates spmv as a *segmented sum* over fixed-size tiles: each
+//! tile reduces its slice of the value stream independently, emitting
+//! partial sums for the segments (rows) that straddle its boundaries,
+//! which a cheap pass then combines. The same primitive powers Javelin's
+//! tiled trailing-block kernels. This module implements the segmented
+//! sum both serially and tiled, over an explicit segment-pointer array
+//! (CSR `rowptr` works directly).
+
+/// Serial segmented sum: `out[s] = Σ vals[seg_ptr[s]..seg_ptr[s+1]]`.
+///
+/// # Panics
+/// When `seg_ptr` is not a valid monotone pointer array over `vals`.
+pub fn segmented_sum_serial(seg_ptr: &[usize], vals: &[f64]) -> Vec<f64> {
+    assert!(!seg_ptr.is_empty(), "seg_ptr must have at least one entry");
+    assert_eq!(*seg_ptr.last().expect("nonempty"), vals.len(), "seg_ptr must cover vals");
+    let nseg = seg_ptr.len() - 1;
+    let mut out = vec![0.0; nseg];
+    for s in 0..nseg {
+        debug_assert!(seg_ptr[s] <= seg_ptr[s + 1]);
+        out[s] = vals[seg_ptr[s]..seg_ptr[s + 1]].iter().sum();
+    }
+    out
+}
+
+/// A tile's contribution to a segmented sum: partial sums for the first
+/// and last (possibly straddling) segments, complete sums in between.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TilePartial {
+    /// Index of the first segment this tile touches.
+    pub first_seg: usize,
+    /// Per-segment sums for segments `first_seg..first_seg + sums.len()`;
+    /// the first and last entries may be partial.
+    pub sums: Vec<f64>,
+}
+
+/// Computes one tile's partial segmented sum over entry range
+/// `lo..hi`. `seg_of_lo` must be the segment containing entry `lo`
+/// (i.e. `seg_ptr[seg_of_lo] <= lo < seg_ptr[seg_of_lo + 1]`, treating
+/// empty segments as skipped).
+pub fn tile_partial(seg_ptr: &[usize], vals: &[f64], lo: usize, hi: usize, seg_of_lo: usize) -> TilePartial {
+    debug_assert!(lo <= hi && hi <= vals.len());
+    let nseg = seg_ptr.len() - 1;
+    let mut sums = Vec::new();
+    let mut seg = seg_of_lo;
+    let mut acc = 0.0;
+    let mut cursor = lo;
+    while cursor < hi {
+        // Advance past empty/finished segments.
+        while seg + 1 <= nseg && seg_ptr[seg + 1] <= cursor {
+            sums.push(acc);
+            acc = 0.0;
+            seg += 1;
+        }
+        let seg_end = seg_ptr[seg + 1].min(hi);
+        for v in &vals[cursor..seg_end] {
+            acc += v;
+        }
+        cursor = seg_end;
+    }
+    sums.push(acc);
+    TilePartial { first_seg: seg_of_lo, sums }
+}
+
+/// Combines tile partials (in tile order) into the full segmented sum.
+/// Deterministic: contributions are added in tile order, matching the
+/// serial left-to-right reduction.
+pub fn combine_partials(nseg: usize, partials: &[TilePartial]) -> Vec<f64> {
+    let mut out = vec![0.0; nseg];
+    for p in partials {
+        for (k, &v) in p.sums.iter().enumerate() {
+            out[p.first_seg + k] += v;
+        }
+    }
+    out
+}
+
+/// Tiled segmented sum: splits `vals` into `n_tiles` equal entry ranges
+/// (the CSR5 tile decomposition), computes partials, and combines them.
+/// The decomposition is exposed (rather than an internal thread pool) so
+/// callers can run [`tile_partial`] on their own workers; this function
+/// is the serial reference of that pipeline.
+pub fn segmented_sum_tiled(seg_ptr: &[usize], vals: &[f64], n_tiles: usize) -> Vec<f64> {
+    assert!(!seg_ptr.is_empty());
+    assert_eq!(*seg_ptr.last().expect("nonempty"), vals.len());
+    let nseg = seg_ptr.len() - 1;
+    let n = vals.len();
+    if n == 0 {
+        return vec![0.0; nseg];
+    }
+    let tiles = tile_ranges(seg_ptr, n, n_tiles);
+    let partials: Vec<TilePartial> = tiles
+        .iter()
+        .map(|&(lo, hi, seg)| tile_partial(seg_ptr, vals, lo, hi, seg))
+        .collect();
+    combine_partials(nseg, &partials)
+}
+
+/// Computes the `(lo, hi, first_segment)` decomposition of `0..n` into
+/// at most `n_tiles` equal ranges, with each tile's starting segment
+/// located by binary search (the "tile descriptor" of CSR5).
+pub fn tile_ranges(seg_ptr: &[usize], n: usize, n_tiles: usize) -> Vec<(usize, usize, usize)> {
+    let n_tiles = n_tiles.max(1);
+    let tile = n.div_ceil(n_tiles).max(1);
+    let mut out = Vec::new();
+    let mut lo = 0usize;
+    while lo < n {
+        let hi = (lo + tile).min(n);
+        let seg = seg_containing(seg_ptr, lo);
+        out.push((lo, hi, seg));
+        lo = hi;
+    }
+    out
+}
+
+/// Largest segment `s` with `seg_ptr[s] <= idx` and `seg_ptr[s+1] > idx`
+/// (skipping empty segments).
+pub fn seg_containing(seg_ptr: &[usize], idx: usize) -> usize {
+    // partition_point: first s+1 with seg_ptr[s+1] > idx.
+    let nseg = seg_ptr.len() - 1;
+    let s = seg_ptr[1..=nseg].partition_point(|&end| end <= idx);
+    s.min(nseg.saturating_sub(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_matches_manual() {
+        let seg_ptr = vec![0, 2, 2, 5];
+        let vals = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(segmented_sum_serial(&seg_ptr, &vals), vec![3.0, 0.0, 12.0]);
+    }
+
+    #[test]
+    fn tiled_matches_serial_for_all_tile_counts() {
+        let seg_ptr = vec![0, 3, 3, 4, 9, 12];
+        let vals: Vec<f64> = (1..=12).map(|v| v as f64).collect();
+        let expect = segmented_sum_serial(&seg_ptr, &vals);
+        for n_tiles in 1..=14 {
+            let got = segmented_sum_tiled(&seg_ptr, &vals, n_tiles);
+            assert_eq!(got, expect, "n_tiles = {n_tiles}");
+        }
+    }
+
+    #[test]
+    fn seg_containing_skips_empty_segments() {
+        let seg_ptr = vec![0, 0, 0, 3, 3, 5];
+        assert_eq!(seg_containing(&seg_ptr, 0), 2);
+        assert_eq!(seg_containing(&seg_ptr, 2), 2);
+        assert_eq!(seg_containing(&seg_ptr, 3), 4);
+        assert_eq!(seg_containing(&seg_ptr, 4), 4);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(segmented_sum_serial(&[0], &[]), Vec::<f64>::new());
+        assert_eq!(segmented_sum_tiled(&[0, 0], &[], 4), vec![0.0]);
+    }
+
+    #[test]
+    fn single_tile_partial_covers_everything() {
+        let seg_ptr = vec![0, 2, 4];
+        let vals = vec![1.0, 2.0, 3.0, 4.0];
+        let p = tile_partial(&seg_ptr, &vals, 0, 4, 0);
+        assert_eq!(p.first_seg, 0);
+        assert_eq!(p.sums, vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn straddling_tiles_combine() {
+        let seg_ptr = vec![0, 4];
+        let vals = vec![1.0, 2.0, 3.0, 4.0];
+        let p1 = tile_partial(&seg_ptr, &vals, 0, 2, 0);
+        let p2 = tile_partial(&seg_ptr, &vals, 2, 4, 0);
+        let combined = combine_partials(1, &[p1, p2]);
+        assert_eq!(combined, vec![10.0]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn tiled_equals_serial(
+            sizes in proptest::collection::vec(0usize..6, 1..20),
+            n_tiles in 1usize..9,
+        ) {
+            let mut seg_ptr = vec![0usize];
+            for s in &sizes {
+                seg_ptr.push(seg_ptr.last().unwrap() + s);
+            }
+            let n = *seg_ptr.last().unwrap();
+            // Integer-valued floats: exact addition in any grouping.
+            let vals: Vec<f64> = (0..n).map(|i| (i % 13) as f64).collect();
+            let serial = segmented_sum_serial(&seg_ptr, &vals);
+            let tiled = segmented_sum_tiled(&seg_ptr, &vals, n_tiles);
+            prop_assert_eq!(serial, tiled);
+        }
+    }
+}

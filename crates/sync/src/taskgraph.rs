@@ -1,0 +1,250 @@
+//! A lightweight dependency-counting task executor.
+//!
+//! The paper's lower stage uses OpenMP tasks and measures their overhead
+//! as the limiting factor on KNL ("a specialized light weight tasking
+//! library is currently being constructed in Javelin for this reason").
+//! This module is that library: a task DAG with atomic indegree
+//! counters, a shared ready stack, and spin/yield workers — no futures,
+//! no allocations on the execution path beyond the ready stack.
+
+use crate::backoff::Backoff;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// An immutable task DAG. Tasks are `0..n`; edges point from a task to
+/// the tasks that depend on it.
+#[derive(Debug, Clone)]
+pub struct TaskGraph {
+    n: usize,
+    succ_ptr: Vec<usize>,
+    succ: Vec<usize>,
+    indegree: Vec<usize>,
+}
+
+impl TaskGraph {
+    /// Builds a DAG from dependency pairs `(before, after)`.
+    ///
+    /// # Panics
+    /// When an index is out of range or a self-dependency is given.
+    /// Cycles are not detected here; [`TaskGraph::execute`] will panic on
+    /// a cycle (tasks remain but none are ready).
+    pub fn new(n: usize, deps: &[(usize, usize)]) -> Self {
+        let mut succ_ptr = vec![0usize; n + 1];
+        let mut indegree = vec![0usize; n];
+        for &(before, after) in deps {
+            assert!(before < n && after < n, "dependency out of range");
+            assert_ne!(before, after, "self-dependency");
+            succ_ptr[before + 1] += 1;
+            indegree[after] += 1;
+        }
+        for i in 0..n {
+            succ_ptr[i + 1] += succ_ptr[i];
+        }
+        let mut succ = vec![0usize; deps.len()];
+        let mut next = succ_ptr.clone();
+        for &(before, after) in deps {
+            succ[next[before]] = after;
+            next[before] += 1;
+        }
+        TaskGraph { n, succ_ptr, succ, indegree }
+    }
+
+    /// Number of tasks.
+    pub fn n_tasks(&self) -> usize {
+        self.n
+    }
+
+    /// Number of dependency edges.
+    pub fn n_edges(&self) -> usize {
+        self.succ.len()
+    }
+
+    /// Successors of a task.
+    pub fn successors(&self, t: usize) -> &[usize] {
+        &self.succ[self.succ_ptr[t]..self.succ_ptr[t + 1]]
+    }
+
+    /// Executes the DAG on `nthreads` workers, calling `run(task)` for
+    /// every task exactly once, respecting all dependencies.
+    ///
+    /// # Panics
+    /// When the graph contains a cycle (no runnable task while tasks
+    /// remain).
+    pub fn execute<F>(&self, nthreads: usize, run: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        self.execute_with_tid(nthreads, |_tid, task| run(task));
+    }
+
+    /// Like [`TaskGraph::execute`], but also hands workers their thread
+    /// id — needed when tasks use per-thread workspaces.
+    ///
+    /// # Panics
+    /// When the graph contains a cycle.
+    pub fn execute_with_tid<F>(&self, nthreads: usize, run: F)
+    where
+        F: Fn(usize, usize) + Sync,
+    {
+        let remaining_deps: Vec<AtomicUsize> =
+            self.indegree.iter().map(|&d| AtomicUsize::new(d)).collect();
+        let ready: Mutex<Vec<usize>> =
+            Mutex::new((0..self.n).filter(|&t| self.indegree[t] == 0).collect());
+        let remaining = AtomicUsize::new(self.n);
+        let in_flight = AtomicUsize::new(0);
+        if self.n > 0 {
+            assert!(
+                !ready.lock().is_empty(),
+                "task graph has no source task: cycle detected"
+            );
+        }
+        crate::pool::run_on_threads(nthreads, |tid| {
+            let mut backoff = Backoff::new();
+            loop {
+                if remaining.load(Ordering::Acquire) == 0 {
+                    break;
+                }
+                let task = {
+                    let mut q = ready.lock();
+                    let t = q.pop();
+                    if t.is_some() {
+                        // Claim inside the lock so "empty queue +
+                        // nothing in flight" reliably means deadlock.
+                        in_flight.fetch_add(1, Ordering::AcqRel);
+                    }
+                    t
+                };
+                match task {
+                    Some(t) => {
+                        backoff.reset();
+                        run(tid, t);
+                        for &s in self.successors(t) {
+                            if remaining_deps[s].fetch_sub(1, Ordering::AcqRel) == 1 {
+                                ready.lock().push(s);
+                            }
+                        }
+                        in_flight.fetch_sub(1, Ordering::AcqRel);
+                        let left = remaining.fetch_sub(1, Ordering::AcqRel) - 1;
+                        if left == 0 {
+                            break;
+                        }
+                    }
+                    None => {
+                        assert!(
+                            in_flight.load(Ordering::Acquire) > 0
+                                || remaining.load(Ordering::Acquire) == 0
+                                || !ready.lock().is_empty(),
+                            "task graph deadlocked: cycle detected"
+                        );
+                        backoff.snooze();
+                    }
+                }
+            }
+        });
+        assert_eq!(
+            remaining.load(Ordering::Acquire),
+            0,
+            "task graph deadlocked: cycle detected"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex as PMutex;
+
+    fn run_and_record(g: &TaskGraph, nthreads: usize) -> Vec<usize> {
+        let order = PMutex::new(Vec::new());
+        g.execute(nthreads, |t| order.lock().push(t));
+        order.into_inner()
+    }
+
+    fn assert_topological(g: &TaskGraph, order: &[usize], deps: &[(usize, usize)]) {
+        assert_eq!(order.len(), g.n_tasks());
+        let mut pos = vec![usize::MAX; g.n_tasks()];
+        for (i, &t) in order.iter().enumerate() {
+            assert_eq!(pos[t], usize::MAX, "task {t} ran twice");
+            pos[t] = i;
+        }
+        for &(b, a) in deps {
+            assert!(pos[b] < pos[a], "dep ({b} -> {a}) violated: {order:?}");
+        }
+    }
+
+    #[test]
+    fn diamond_runs_in_order() {
+        let deps = [(0, 1), (0, 2), (1, 3), (2, 3)];
+        let g = TaskGraph::new(4, &deps);
+        for nthreads in 1..=4 {
+            let order = run_and_record(&g, nthreads);
+            assert_topological(&g, &order, &deps);
+        }
+    }
+
+    #[test]
+    fn chain_is_serialized() {
+        let deps: Vec<(usize, usize)> = (0..9).map(|i| (i, i + 1)).collect();
+        let g = TaskGraph::new(10, &deps);
+        let order = run_and_record(&g, 4);
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn independent_tasks_all_run() {
+        let g = TaskGraph::new(20, &[]);
+        let order = run_and_record(&g, 3);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = TaskGraph::new(0, &[]);
+        g.execute(2, |_| panic!("no tasks to run"));
+    }
+
+    #[test]
+    fn more_threads_than_tasks() {
+        let g = TaskGraph::new(2, &[(0, 1)]);
+        let order = run_and_record(&g, 8);
+        assert_eq!(order, vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn cycle_panics() {
+        let g = TaskGraph::new(2, &[(0, 1), (1, 0)]);
+        g.execute(2, |_| {});
+    }
+
+    #[test]
+    fn layered_random_dag_stress() {
+        // 6 layers × 8 tasks; each task depends on 2 tasks of the
+        // previous layer.
+        let layers = 6usize;
+        let width = 8usize;
+        let mut deps = Vec::new();
+        for l in 1..layers {
+            for k in 0..width {
+                let t = l * width + k;
+                deps.push(((l - 1) * width + k, t));
+                deps.push(((l - 1) * width + (k + 3) % width, t));
+            }
+        }
+        let g = TaskGraph::new(layers * width, &deps);
+        for nthreads in [1, 2, 4] {
+            let order = run_and_record(&g, nthreads);
+            assert_topological(&g, &order, &deps);
+        }
+    }
+
+    #[test]
+    fn successors_accessor() {
+        let g = TaskGraph::new(3, &[(0, 1), (0, 2)]);
+        assert_eq!(g.successors(0), &[1, 2]);
+        assert_eq!(g.successors(1), &[] as &[usize]);
+        assert_eq!(g.n_edges(), 2);
+    }
+}

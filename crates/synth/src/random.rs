@@ -1,0 +1,100 @@
+//! Random patterns with controlled row density — used by the property
+//! tests and as stress inputs for the factorization kernels.
+
+use crate::util;
+use javelin_sparse::{CooMatrix, CsrMatrix};
+use rand::Rng;
+
+/// Uniformly random sparse matrix with ~`rd` off-diagonal entries per
+/// row, a full diagonal, and diagonally dominant values.
+pub fn random_sparse(n: usize, rd: f64, seed: u64) -> CsrMatrix<f64> {
+    let mut rng = util::rng(seed);
+    let per_row = rd.max(0.0);
+    let mut coo = CooMatrix::with_capacity(n, n, (n as f64 * (per_row + 1.0)) as usize);
+    for r in 0..n {
+        coo.push_unchecked(r, r, 1.0);
+        let k = per_row.floor() as usize
+            + usize::from(rng.gen::<f64>() < per_row.fract());
+        for _ in 0..k {
+            let c = rng.gen_range(0..n);
+            if c != r {
+                coo.push_unchecked(r, c, 1.0);
+            }
+        }
+    }
+    util::make_diagonally_dominant(&coo.to_csr(), 1.0, seed ^ 0xabcd)
+}
+
+/// Random banded matrix: entries fall within `|i - j| <= bandwidth`,
+/// each off-diagonal position kept with probability `fill`.
+pub fn random_banded(n: usize, bandwidth: usize, fill: f64, seed: u64) -> CsrMatrix<f64> {
+    let mut rng = util::rng(seed);
+    let mut coo = CooMatrix::with_capacity(n, n, n * (2 * bandwidth + 1));
+    for r in 0..n {
+        coo.push_unchecked(r, r, 1.0);
+        let lo = r.saturating_sub(bandwidth);
+        let hi = (r + bandwidth).min(n - 1);
+        for c in lo..=hi {
+            if c != r && rng.gen::<f64>() < fill {
+                coo.push_unchecked(r, c, 1.0);
+            }
+        }
+    }
+    util::make_diagonally_dominant(&coo.to_csr(), 1.0, seed ^ 0x1234)
+}
+
+/// Random *symmetric-pattern* sparse matrix (each generated edge is
+/// stored both ways), SPD-style values via diagonal dominance.
+pub fn random_symmetric(n: usize, rd: f64, seed: u64) -> CsrMatrix<f64> {
+    let mut rng = util::rng(seed);
+    let edges_per_row = (rd / 2.0).max(0.0);
+    let mut coo = CooMatrix::with_capacity(n, n, (n as f64 * (rd + 1.0)) as usize);
+    for r in 0..n {
+        coo.push_unchecked(r, r, 1.0);
+        let k = edges_per_row.floor() as usize
+            + usize::from(rng.gen::<f64>() < edges_per_row.fract());
+        for _ in 0..k {
+            let c = rng.gen_range(0..n);
+            if c != r {
+                coo.push_unchecked(r, c, 1.0);
+                coo.push_unchecked(c, r, 1.0);
+            }
+        }
+    }
+    util::make_diagonally_dominant(&coo.to_csr(), 1.0, seed ^ 0x777)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_sparse_density_close() {
+        let a = random_sparse(2000, 6.0, 1);
+        // diag + ~6 requested (minus collisions/duplicates)
+        assert!(a.row_density() > 5.0 && a.row_density() < 8.0, "rd = {}", a.row_density());
+        assert!(a.diag_positions().is_ok());
+    }
+
+    #[test]
+    fn random_banded_respects_band() {
+        let a = random_banded(300, 5, 0.5, 2);
+        for (r, c, _) in a.iter() {
+            assert!(r.abs_diff(c) <= 5);
+        }
+        assert!(a.diag_positions().is_ok());
+    }
+
+    #[test]
+    fn random_symmetric_is_symmetric_pattern() {
+        let a = random_symmetric(500, 6.0, 3);
+        assert!(a.is_pattern_symmetric());
+        assert!(a.diag_positions().is_ok());
+    }
+
+    #[test]
+    fn deterministic() {
+        assert!(random_sparse(100, 4.0, 9).approx_eq(&random_sparse(100, 4.0, 9), 0.0));
+        assert!(random_banded(100, 4, 0.5, 9).approx_eq(&random_banded(100, 4, 0.5, 9), 0.0));
+    }
+}

@@ -1,0 +1,329 @@
+//! The paper's Table-I test suite as synthetic analogues.
+//!
+//! Each entry pairs the paper's published statistics (dimension, nnz,
+//! row density RD, pattern symmetry SP, level count) with a generator of
+//! the same structural class scaled to workstation size. Group A is the
+//! convergence-study subset (paper §VII, Table II); group B is the wider
+//! scalability set.
+//!
+//! The analogues intentionally preserve the properties the paper's
+//! algorithms are sensitive to: pattern symmetry (decides whether
+//! `lower(A)` differs from `lower(A+Aᵀ)`), row density (drives the
+//! two-stage split), and level-structure shape (wide-level PDE matrices
+//! vs narrow-level strips like `fem_filter`/`af_shell3`).
+
+use crate::{circuit, fem, grid};
+use javelin_sparse::CsrMatrix;
+
+/// Paper test-suite grouping (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuiteGroup {
+    /// Convergence-study matrices (SPD; Table II / Fig. 13).
+    A,
+    /// General scalability matrices.
+    B,
+}
+
+impl std::fmt::Display for SuiteGroup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SuiteGroup::A => write!(f, "A"),
+            SuiteGroup::B => write!(f, "B"),
+        }
+    }
+}
+
+/// Statistics the paper reports for the original matrix (Table I).
+#[derive(Debug, Clone, Copy)]
+pub struct PaperStats {
+    /// Matrix dimension.
+    pub n: usize,
+    /// Number of nonzeros.
+    pub nnz: usize,
+    /// Row density (nnz / n).
+    pub rd: f64,
+    /// Whether the pattern is structurally symmetric in natural order.
+    pub sp: bool,
+    /// Number of levels found by the paper's level scheduling.
+    pub lvl: usize,
+}
+
+/// Build size for suite matrices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// Quick-test size (a few hundred to a few thousand rows).
+    Tiny,
+    /// Standard benchmark size (thousands to ~12k rows).
+    #[default]
+    Standard,
+}
+
+/// One matrix of the reproduced test suite.
+pub struct SuiteMatrix {
+    /// Analogue name, e.g. `"wang3-like"`.
+    pub name: &'static str,
+    /// Original SuiteSparse name from the paper.
+    pub paper_name: &'static str,
+    /// Table-I group.
+    pub group: SuiteGroup,
+    /// The paper's published statistics for the original.
+    pub paper: PaperStats,
+    generator: fn(Scale) -> CsrMatrix<f64>,
+}
+
+impl SuiteMatrix {
+    /// Generates the analogue at standard benchmark size.
+    pub fn build(&self) -> CsrMatrix<f64> {
+        (self.generator)(Scale::Standard)
+    }
+
+    /// Generates a miniature version for fast tests.
+    pub fn build_tiny(&self) -> CsrMatrix<f64> {
+        (self.generator)(Scale::Tiny)
+    }
+
+    /// Generates at an explicit scale.
+    pub fn build_at(&self, scale: Scale) -> CsrMatrix<f64> {
+        (self.generator)(scale)
+    }
+}
+
+macro_rules! entry {
+    ($name:literal, $paper:literal, $group:ident,
+     ($n:expr, $nnz:expr, $rd:expr, $sp:expr, $lvl:expr), $gen:expr) => {
+        SuiteMatrix {
+            name: $name,
+            paper_name: $paper,
+            group: SuiteGroup::$group,
+            paper: PaperStats { n: $n, nnz: $nnz, rd: $rd, sp: $sp, lvl: $lvl },
+            generator: $gen,
+        }
+    };
+}
+
+/// The full 18-matrix suite in the paper's Table-I order.
+pub fn paper_suite() -> Vec<SuiteMatrix> {
+    vec![
+        entry!("wang3-like", "wang3", B, (26064, 177168, 6.8, true, 10), |s| {
+            let d = if s == Scale::Tiny { 8 } else { 14 };
+            grid::convection_diffusion_3d(d, d, d, (30.0, 20.0, 10.0))
+        }),
+        entry!(
+            "tsopf-like",
+            "TSOPF_RS_b300_c2",
+            B,
+            (28338, 2943887, 103.88, false, 180),
+            |s| {
+                let (n, b) = if s == Scale::Tiny { (360, 30) } else { (1800, 70) };
+                circuit::power_grid(n, b, 2, 0x7509)
+            }
+        ),
+        entry!(
+            "tetra3d-like",
+            "3D_28984_Tetra",
+            B,
+            (28984, 285092, 9.84, false, 34),
+            |s| {
+                let d = if s == Scale::Tiny { 7 } else { 13 };
+                fem::tet_mesh_3d(d, d, d, 0.12, 0x3d43)
+            }
+        ),
+        entry!(
+            "ibm-like",
+            "ibm_matrix_2",
+            B,
+            (51448, 537038, 10.44, false, 29),
+            |s| {
+                let n = if s == Scale::Tiny { 800 } else { 4000 };
+                circuit::preferential_attachment(n, 5, false, 0.4, 0x1b32)
+            }
+        ),
+        entry!(
+            "femfilter-like",
+            "fem_filter",
+            B,
+            (74062, 1731206, 23.38, true, 554),
+            |s| {
+                let nx = if s == Scale::Tiny { 60 } else { 400 };
+                fem::shell_strip(nx, 2, 4, 0xfe17)
+            }
+        ),
+        entry!("trans4-like", "trans4", B, (116835, 749800, 6.42, false, 20), |s| {
+            let n = if s == Scale::Tiny { 900 } else { 5000 };
+            circuit::transient_circuit(n, 60, false, 0x7245)
+        }),
+        entry!("scircuit-like", "scircuit", B, (170998, 958936, 5.61, true, 34), |s| {
+            let n = if s == Scale::Tiny { 1200 } else { 7000 };
+            circuit::asic_like(n, 4, 2, 0.05, 0x5c1c)
+        }),
+        entry!(
+            "transient-like",
+            "transient",
+            B,
+            (178866, 961368, 5.37, true, 16),
+            |s| {
+                let n = if s == Scale::Tiny { 1100 } else { 7000 };
+                circuit::transient_circuit(n, 50, true, 0x42a5)
+            }
+        ),
+        entry!("offshore-like", "offshore", A, (259789, 4242673, 16.33, true, 74), |s| {
+            let d = if s == Scale::Tiny { 7 } else { 12 };
+            fem::tet_mesh_3d(d, d, d, 0.0, 0x0f54)
+        }),
+        entry!(
+            "asic320-like",
+            "ASIC_320ks",
+            B,
+            (321671, 1316085, 4.09, true, 16),
+            |s| {
+                let n = if s == Scale::Tiny { 1500 } else { 9000 };
+                circuit::asic_like(n, 3, 4, 0.10, 0xa320)
+            }
+        ),
+        entry!(
+            "afshell-like",
+            "af_shell3",
+            A,
+            (504855, 17560000, 34.79, true, 630),
+            |s| {
+                let nx = if s == Scale::Tiny { 70 } else { 500 };
+                fem::shell_strip(nx, 3, 4, 0xaf53)
+            }
+        ),
+        entry!(
+            "parabolic-like",
+            "parabolic_fem",
+            A,
+            (525825, 3674625, 6.99, true, 28),
+            |s| {
+                let d = if s == Scale::Tiny { 30 } else { 90 };
+                fem::triangle_mesh_2d(d, d, 1.0)
+            }
+        ),
+        entry!(
+            "asic680-like",
+            "ASIC_680ks",
+            B,
+            (682712, 1693767, 2.48, true, 21),
+            |s| {
+                let n = if s == Scale::Tiny { 1600 } else { 10000 };
+                circuit::asic_like(n, 2, 3, 0.05, 0xa680)
+            }
+        ),
+        entry!("apache2-like", "apache2", A, (715176, 4817870, 6.74, true, 13), |s| {
+            let d = if s == Scale::Tiny { 10 } else { 20 };
+            grid::laplace_3d(d, d, d)
+        }),
+        entry!("tmtsym-like", "tmt_sym", B, (726713, 5080961, 6.99, true, 28), |s| {
+            let d = if s == Scale::Tiny { 28 } else { 85 };
+            fem::triangle_mesh_2d(d, d, 1.0)
+        }),
+        entry!("ecology2-like", "ecology2", A, (999999, 4995991, 5.0, true, 13), |s| {
+            let d = if s == Scale::Tiny { 32 } else { 100 };
+            grid::laplace_2d(d, d)
+        }),
+        entry!("thermal2-like", "thermal2", A, (1200000, 8580313, 6.99, true, 27), |s| {
+            let d = if s == Scale::Tiny { 34 } else { 105 };
+            fem::triangle_mesh_2d(d, d, 0.8)
+        }),
+        entry!(
+            "g3circuit-like",
+            "G3_circuit",
+            B,
+            (1500000, 7660826, 4.83, true, 13),
+            |s| {
+                let d = if s == Scale::Tiny { 36 } else { 110 };
+                circuit::thinned_grid_circuit(d, d, 0.12, 0x63c1)
+            }
+        ),
+    ]
+}
+
+/// Looks up a suite entry by analogue or paper name.
+pub fn suite_matrix(name: &str) -> Option<SuiteMatrix> {
+    paper_suite()
+        .into_iter()
+        .find(|m| m.name == name || m.paper_name == name)
+}
+
+/// The group-A (convergence study) subset, in Table-II order.
+pub fn group_a() -> Vec<SuiteMatrix> {
+    // Table II order: offshore, parabolic_fem, af_shell3, thermal2,
+    // ecology2, apache2.
+    ["offshore", "parabolic_fem", "af_shell3", "thermal2", "ecology2", "apache2"]
+        .iter()
+        .map(|n| suite_matrix(n).expect("group A member present"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_18_matrices_in_table_order() {
+        let s = paper_suite();
+        assert_eq!(s.len(), 18);
+        assert_eq!(s[0].paper_name, "wang3");
+        assert_eq!(s[17].paper_name, "G3_circuit");
+    }
+
+    #[test]
+    fn group_a_has_six() {
+        let a = group_a();
+        assert_eq!(a.len(), 6);
+        assert!(a.iter().all(|m| m.group == SuiteGroup::A));
+    }
+
+    #[test]
+    fn lookup_by_either_name() {
+        assert!(suite_matrix("wang3").is_some());
+        assert!(suite_matrix("wang3-like").is_some());
+        assert!(suite_matrix("nope").is_none());
+    }
+
+    #[test]
+    fn tiny_builds_match_symmetry_flag() {
+        for m in paper_suite() {
+            let a = m.build_tiny();
+            assert!(a.nrows() > 0, "{} empty", m.name);
+            assert!(
+                a.diag_positions().is_ok(),
+                "{} missing structural diagonal",
+                m.name
+            );
+            assert_eq!(
+                a.is_pattern_symmetric(),
+                m.paper.sp,
+                "{}: pattern symmetry should be {}",
+                m.name,
+                m.paper.sp
+            );
+        }
+    }
+
+    #[test]
+    fn standard_row_densities_are_in_class() {
+        // RD of the analogue should land within a factor ~2 of the paper's
+        // value — close enough to exercise the same code paths (split
+        // heuristics key off relative density).
+        for m in paper_suite() {
+            let a = m.build();
+            let rd = a.row_density();
+            let ratio = rd / m.paper.rd;
+            assert!(
+                ratio > 0.4 && ratio < 2.5,
+                "{}: analogue rd {rd:.2} vs paper {:.2}",
+                m.name,
+                m.paper.rd
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_is_smaller_than_standard() {
+        for m in paper_suite() {
+            assert!(m.build_tiny().nrows() < m.build().nrows(), "{}", m.name);
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Circuit-simulation scenario — the motivating workload from the
+//! paper's introduction: "there is a growing need for iterative methods
+//! in other areas that have very irregular matrices, such as certain
+//! stages of circuit simulation".
+//!
+//! A transient-analysis-style system (irregular pattern, a dense
+//! strongly-coupled core, nonsymmetric values) is preordered with the
+//! paper's DM + ND pipeline, factored with ILU(0), and driven through a
+//! sequence of right-hand sides the way a time stepper would — one
+//! factorization, many triangular solves, which is exactly the balance
+//! Javelin co-optimizes for.
+//!
+//! ```text
+//! cargo run --release --example circuit_transient
+//! ```
+
+use javelin::core::precond::IdentityPrecond;
+use javelin::core::{IluFactorization, IluOptions};
+use javelin::order::{dm::dm_row_permutation, nested_dissection_order};
+use javelin::solver::{gmres, SolverOptions};
+use javelin::sparse::Perm;
+use javelin::synth::circuit::transient_circuit;
+
+fn main() {
+    // An 8000-node transient-analysis system with a 60-node
+    // strongly-coupled core.
+    let raw = transient_circuit(8000, 60, true, 0x5eed);
+    println!(
+        "circuit matrix: n = {}, nnz = {}, rd = {:.2}, symmetric pattern = {}",
+        raw.nrows(),
+        raw.nnz(),
+        raw.row_density(),
+        raw.is_pattern_symmetric()
+    );
+
+    // Paper preordering pipeline: zero-free diagonal, then ND.
+    let rowp = dm_row_permutation(&raw).expect("square");
+    let a = raw.permute(&rowp, &Perm::identity(raw.ncols())).expect("row perm");
+    let nd = nested_dissection_order(&a, 64);
+    let a = a.permute_sym(&nd).expect("nd perm");
+
+    // Factor once.
+    let t0 = std::time::Instant::now();
+    let factors = IluFactorization::compute(&a, &IluOptions::default()).expect("ILU(0)");
+    println!(
+        "ILU(0) in {:.2?} ({} levels, {} lower-stage rows, method {})",
+        t0.elapsed(),
+        factors.stats().n_levels,
+        factors.stats().n_lower_rows,
+        factors.stats().lower_method
+    );
+
+    // "Time stepping": a sequence of right-hand sides; each step reuses
+    // the factors for thousands-of-solves amortization.
+    let n = a.nrows();
+    let opts = SolverOptions { tol: 1e-8, ..Default::default() };
+    let mut total_pre = 0usize;
+    let mut total_plain = 0usize;
+    for step in 0..5 {
+        let b: Vec<f64> =
+            (0..n).map(|i| ((i + step * 37) % 23) as f64 * 0.1 - 1.0).collect();
+        let mut x = vec![0.0; n];
+        let pre = gmres(&a, &b, &mut x, &factors, &opts);
+        let mut x2 = vec![0.0; n];
+        let plain = gmres(&a, &b, &mut x2, &IdentityPrecond, &opts);
+        assert!(pre.converged, "step {step} failed to converge");
+        total_pre += pre.iterations;
+        total_plain += plain.iterations;
+        println!(
+            "step {step}: GMRES {} iters with ILU(0) vs {} without",
+            pre.iterations, plain.iterations
+        );
+    }
+    println!(
+        "total Krylov iterations over 5 steps: {total_pre} (ILU) vs {total_plain} (none)"
+    );
+    assert!(total_pre < total_plain);
+}

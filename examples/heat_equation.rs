@@ -1,0 +1,75 @@
+//! Implicit 3D heat equation — the classic PDE workload behind the
+//! paper's group-A matrices.
+//!
+//! Backward-Euler steps `(I + dt·L) u_{k+1} = u_k` on a 3D grid are
+//! solved with ILU(0)-preconditioned CG. The example also reproduces the
+//! paper's ordering trade-off in miniature: RCM needs fewer iterations,
+//! ND exposes wider level sets for the factorization (§VII).
+//!
+//! ```text
+//! cargo run --release --example heat_equation
+//! ```
+
+use javelin::core::{IluFactorization, IluOptions};
+use javelin::level::LevelSets;
+use javelin::order::{compute_order, Ordering};
+use javelin::solver::{pcg, SolverOptions};
+use javelin::sparse::pattern::lower_symmetrized_pattern;
+use javelin::sparse::CooMatrix;
+use javelin::synth::grid::laplace_3d;
+
+fn main() {
+    let (nx, ny, nz) = (16, 16, 16);
+    let lap = laplace_3d(nx, ny, nz);
+    let n = lap.nrows();
+    let dt = 0.1;
+    // A = I + dt * L
+    let a = {
+        let mut coo = CooMatrix::new(n, n);
+        for (r, c, v) in lap.iter() {
+            let v = dt * v + if r == c { 1.0 } else { 0.0 };
+            coo.push(r, c, v).expect("in range");
+        }
+        coo.to_csr()
+    };
+    println!("heat system: n = {n}, nnz = {}", a.nnz());
+
+    // Ordering study in miniature (paper §VII).
+    for ord in [Ordering::Rcm, Ordering::Nd, Ordering::Natural] {
+        let p = compute_order(&a, ord);
+        let ax = a.permute_sym(&p).expect("perm");
+        let levels = LevelSets::compute_lower(&lower_symmetrized_pattern(&ax));
+        let stats = levels.stats();
+        let f = IluFactorization::compute(&ax, &IluOptions::default()).expect("ILU");
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let res = pcg(&ax, &b, &mut x, &f, &SolverOptions::default());
+        println!(
+            "{ord:>4}: {:>3} iters | {:>3} levels (median width {:>4}) | {} waits",
+            res.iterations,
+            stats.n_levels,
+            stats.median,
+            f.stats().n_waits,
+        );
+    }
+
+    // Time stepping with the natural order.
+    let f = IluFactorization::compute(&a, &IluOptions::default()).expect("ILU");
+    let mut u = vec![0.0; n];
+    // A hot spot in the middle of the cube.
+    u[(nx / 2 * ny + ny / 2) * nz + nz / 2] = 100.0;
+    let opts = SolverOptions { tol: 1e-8, ..Default::default() };
+    let mut total_iters = 0;
+    for _step in 0..10 {
+        let b = u.clone();
+        let res = pcg(&a, &b, &mut u, &f, &opts);
+        assert!(res.converged);
+        total_iters += res.iterations;
+    }
+    let heat_total: f64 = u.iter().sum();
+    println!(
+        "10 implicit steps in {total_iters} total CG iterations; \
+         final total heat {heat_total:.3} (diffused from 100.0)"
+    );
+    assert!(heat_total > 0.0 && heat_total <= 100.0 + 1e-6);
+}

@@ -1,0 +1,52 @@
+//! # Javelin
+//!
+//! A scalable sparse incomplete-LU factorization framework — a Rust
+//! reproduction of *"Javelin: A Scalable Implementation for Sparse
+//! Incomplete LU Factorization"* (Booth & Bolet, IPDPS 2019).
+//!
+//! This facade crate re-exports the workspace so applications can depend
+//! on a single crate:
+//!
+//! ```
+//! use javelin::prelude::*;
+//!
+//! // 2D Poisson problem, ILU(0) preconditioner, solve with PCG.
+//! let a = javelin::synth::grid::laplace_2d(16, 16);
+//! let opts = IluOptions::default();
+//! let fact = IluFactorization::compute(&a, &opts).unwrap();
+//! let b = vec![1.0; a.nrows()];
+//! let mut x = vec![0.0; a.nrows()];
+//! fact.solve_into(&b, &mut x).unwrap();
+//! assert!(x.iter().all(|v| v.is_finite()));
+//! ```
+//!
+//! The subsystem crates are re-exported under their short names:
+//!
+//! * [`sparse`] — CSR/CSC/COO formats, permutations, Matrix Market I/O
+//! * [`synth`] — synthetic matrix generators (incl. the paper test suite)
+//! * [`order`] — RCM, minimum-degree, nested dissection, DM/BTF, coloring
+//! * [`level`] — level-set scheduling, two-stage split, p2p schedules
+//! * [`sync`] — thread pool, progress counters, task graph, segmented scan
+//! * [`core`] — the ILU framework itself (factorization, stri, spmv)
+//! * [`baseline`] — serial ILUT and the heavyweight comparator
+//! * [`solver`] — CG / GMRES / BiCGSTAB Krylov solvers
+//! * [`machine`] — machine models and the schedule simulator
+
+pub use javelin_baseline as baseline;
+pub use javelin_core as core;
+pub use javelin_level as level;
+pub use javelin_machine as machine;
+pub use javelin_order as order;
+pub use javelin_solver as solver;
+pub use javelin_sparse as sparse;
+pub use javelin_sync as sync;
+pub use javelin_synth as synth;
+
+/// Commonly used items, for `use javelin::prelude::*`.
+pub mod prelude {
+    pub use javelin_core::factors::IluFactors;
+    pub use javelin_core::options::{IluOptions, LowerMethod};
+    pub use javelin_core::IluFactorization;
+    pub use javelin_solver::{cg, gmres};
+    pub use javelin_sparse::{CooMatrix, CsrMatrix, Perm, Scalar};
+}

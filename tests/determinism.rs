@@ -1,0 +1,82 @@
+//! Determinism guarantees: every engine and thread count produces
+//! bit-identical factors — the property that makes Javelin's parallel
+//! ILU as debuggable as the serial one (contrast with the
+//! nondeterministic fine-grained ILU the paper cites as related work).
+
+use javelin::core::{IluFactorization, IluOptions, LowerMethod};
+use javelin::synth::suite::paper_suite;
+use javelin_bench::harness::preorder_dm_nd;
+
+fn factor_bits(a: &javelin::sparse::CsrMatrix<f64>, opts: &IluOptions) -> Vec<u64> {
+    let f = IluFactorization::compute(a, opts).expect("factors");
+    f.lu().vals().iter().map(|v| v.to_bits()).collect()
+}
+
+#[test]
+fn all_engines_bitwise_equal_across_suite() {
+    for meta in paper_suite() {
+        let a = preorder_dm_nd(&meta.build_tiny());
+        let serial = factor_bits(&a, &IluOptions::default());
+        for nthreads in [2usize, 3] {
+            for method in [LowerMethod::EvenRows, LowerMethod::SegmentedRows] {
+                let mut opts = IluOptions::ilu0(nthreads);
+                opts.lower_method = method;
+                opts.split.min_rows_per_level = 12;
+                opts.split.location_frac = 0.1;
+                // The split changes the permutation, so compare against
+                // a serial run under the same split options.
+                let mut serial_opts = opts.clone();
+                serial_opts.nthreads = 1;
+                let want = factor_bits(&a, &serial_opts);
+                let got = factor_bits(&a, &opts);
+                assert_eq!(
+                    got, want,
+                    "{}: nthreads={nthreads} method={method}",
+                    meta.name
+                );
+            }
+        }
+        // And the default-split parallel run equals the default serial.
+        let got = factor_bits(&a, &IluOptions::ilu0(4));
+        assert_eq!(got, serial, "{}: default options", meta.name);
+    }
+}
+
+#[test]
+fn repeated_runs_are_identical() {
+    let meta = &paper_suite()[6]; // scircuit-like: irregular
+    let a = preorder_dm_nd(&meta.build_tiny());
+    let opts = IluOptions::ilu0(4);
+    let first = factor_bits(&a, &opts);
+    for _ in 0..3 {
+        assert_eq!(factor_bits(&a, &opts), first);
+    }
+}
+
+#[test]
+fn parallel_corner_is_bitwise_identical() {
+    for meta in paper_suite().into_iter().take(8) {
+        let a = preorder_dm_nd(&meta.build_tiny());
+        let mut serial_corner = IluOptions::ilu0(3);
+        serial_corner.split.min_rows_per_level = 12;
+        serial_corner.split.location_frac = 0.1;
+        let mut parallel_corner = serial_corner.clone();
+        parallel_corner.parallel_corner = true;
+        let want = factor_bits(&a, &serial_corner);
+        let got = factor_bits(&a, &parallel_corner);
+        assert_eq!(got, want, "{}", meta.name);
+    }
+}
+
+#[test]
+fn drop_tolerance_is_deterministic_in_parallel() {
+    let meta = &paper_suite()[1]; // tsopf-like: dense rows
+    let a = preorder_dm_nd(&meta.build_tiny());
+    let mut serial = IluOptions::default().with_fill(1).with_drop_tol(1e-2).with_milu(0.5);
+    serial.split.min_rows_per_level = 12;
+    let want = factor_bits(&a, &serial);
+    let mut par = serial.clone();
+    par.nthreads = 3;
+    let got = factor_bits(&a, &par);
+    assert_eq!(got, want, "τ/MILU dropping must not depend on threads");
+}

@@ -1,0 +1,166 @@
+//! Cross-crate edge cases: degenerate shapes the pipeline must handle
+//! gracefully — 1×1 systems, diagonal matrices, single long chains,
+//! matrices where everything lands in one level, and pathological
+//! option combinations.
+
+use javelin::core::options::SolveEngine;
+use javelin::core::{IluFactorization, IluOptions, LowerMethod};
+use javelin::sparse::pattern::LevelPattern;
+use javelin::sparse::{CooMatrix, CsrMatrix};
+
+fn solve_roundtrip(a: &CsrMatrix<f64>, opts: &IluOptions) {
+    let f = IluFactorization::compute(a, opts).expect("factorization");
+    let n = a.nrows();
+    let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 3) as f64).collect();
+    for engine in [
+        SolveEngine::Serial,
+        SolveEngine::BarrierLevel,
+        SolveEngine::PointToPoint,
+        SolveEngine::PointToPointLower,
+    ] {
+        let mut x = vec![0.0; n];
+        f.solve_with(engine, &b, &mut x).expect("solve");
+        assert!(x.iter().all(|v| v.is_finite()), "{engine}");
+    }
+}
+
+#[test]
+fn one_by_one_system() {
+    let mut coo = CooMatrix::new(1, 1);
+    coo.push(0, 0, 5.0).unwrap();
+    let a = coo.to_csr();
+    for nthreads in [1usize, 4] {
+        let f = IluFactorization::compute(&a, &IluOptions::ilu0(nthreads)).unwrap();
+        let mut x = vec![0.0];
+        f.solve_into(&[10.0], &mut x).unwrap();
+        assert_eq!(x, vec![2.0]);
+    }
+}
+
+#[test]
+fn pure_diagonal_matrix_single_level() {
+    let n = 50;
+    let mut coo = CooMatrix::new(n, n);
+    for i in 0..n {
+        coo.push(i, i, (i + 1) as f64).unwrap();
+    }
+    let a = coo.to_csr();
+    let f = IluFactorization::compute(&a, &IluOptions::ilu0(4)).unwrap();
+    assert_eq!(f.stats().n_levels, 1);
+    assert_eq!(f.stats().n_waits, 0, "diagonal has no dependencies");
+    solve_roundtrip(&a, &IluOptions::ilu0(4));
+}
+
+#[test]
+fn pure_chain_every_row_its_own_level() {
+    let n = 60;
+    let mut coo = CooMatrix::new(n, n);
+    for i in 0..n {
+        coo.push(i, i, 2.0).unwrap();
+        if i > 0 {
+            coo.push(i, i - 1, -1.0).unwrap();
+        }
+    }
+    let a = coo.to_csr();
+    // lower(A) pattern: n levels of one row each.
+    let mut opts = IluOptions::ilu0(3);
+    opts.level_pattern = LevelPattern::LowerA;
+    let f = IluFactorization::compute(&a, &opts).unwrap();
+    assert!(f.stats().n_levels >= n - f.stats().n_lower_rows);
+    solve_roundtrip(&a, &opts);
+}
+
+#[test]
+fn everything_demoted_to_lower_stage_is_prevented() {
+    // Even with absurd split settings, level 0 must stay in the upper
+    // stage (the split never demotes everything).
+    let n = 40;
+    let mut coo = CooMatrix::new(n, n);
+    for i in 0..n {
+        coo.push(i, i, 2.0).unwrap();
+        if i > 0 {
+            coo.push(i, i - 1, -1.0).unwrap();
+        }
+    }
+    let a = coo.to_csr();
+    let mut opts = IluOptions::ilu0(2);
+    opts.split.min_rows_per_level = usize::MAX;
+    opts.split.location_frac = 0.0;
+    opts.split.max_lower_frac = 1.0;
+    let f = IluFactorization::compute(&a, &opts).unwrap();
+    assert!(f.plan().n_upper >= 1, "level 0 must survive");
+    solve_roundtrip(&a, &opts);
+}
+
+#[test]
+fn more_threads_than_rows() {
+    let mut coo = CooMatrix::new(3, 3);
+    for i in 0..3 {
+        coo.push(i, i, 1.0 + i as f64).unwrap();
+    }
+    coo.push(2, 0, -0.5).unwrap();
+    let a = coo.to_csr();
+    solve_roundtrip(&a, &IluOptions::ilu0(16));
+}
+
+#[test]
+fn forced_sr_on_matrix_without_lower_stage() {
+    // SR requested but the split demotes nothing: must degrade cleanly.
+    let n = 30;
+    let mut coo = CooMatrix::new(n, n);
+    for i in 0..n {
+        coo.push(i, i, 3.0).unwrap();
+    }
+    let a = coo.to_csr();
+    let mut opts = IluOptions::ilu0(2);
+    opts.lower_method = LowerMethod::SegmentedRows;
+    let f = IluFactorization::compute(&a, &opts).unwrap();
+    assert_eq!(f.stats().n_lower_rows, 0);
+    solve_roundtrip(&a, &opts);
+}
+
+#[test]
+fn dense_small_matrix_all_engines() {
+    let n = 12;
+    let mut coo = CooMatrix::new(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            let v = if i == j { 20.0 } else { -0.5 - ((i * n + j) % 7) as f64 * 0.1 };
+            coo.push(i, j, v).unwrap();
+        }
+    }
+    let a = coo.to_csr();
+    for nthreads in [1usize, 2, 5] {
+        solve_roundtrip(&a, &IluOptions::ilu0(nthreads));
+    }
+}
+
+#[test]
+fn tiny_tile_size_still_correct() {
+    let n = 80;
+    let mut coo = CooMatrix::<f64>::new(n, n);
+    for i in 0..n {
+        coo.push(i, i, 9.0).unwrap();
+        if i > 4 {
+            for d in 1..=4 {
+                coo.push(i, i - d, -0.5).unwrap();
+            }
+        }
+    }
+    let a = coo.to_csr();
+    let serial = IluFactorization::compute(&a, &IluOptions::default()).unwrap();
+    let want: Vec<u64> = serial.lu().vals().iter().map(|v| v.to_bits()).collect();
+    let mut opts = IluOptions::ilu0(3);
+    opts.lower_method = LowerMethod::SegmentedRows;
+    opts.tile_size = 1; // clamped to the minimum internally
+    opts.split.min_rows_per_level = 8;
+    opts.split.location_frac = 0.0;
+    let mut serial_same_split = opts.clone();
+    serial_same_split.nthreads = 1;
+    let f_ser = IluFactorization::compute(&a, &serial_same_split).unwrap();
+    let f_par = IluFactorization::compute(&a, &opts).unwrap();
+    let bs: Vec<u64> = f_ser.lu().vals().iter().map(|v| v.to_bits()).collect();
+    let bp: Vec<u64> = f_par.lu().vals().iter().map(|v| v.to_bits()).collect();
+    assert_eq!(bs, bp);
+    let _ = want;
+}
