@@ -43,7 +43,12 @@ pub struct HeavyOptions {
 
 impl Default for HeavyOptions {
     fn default() -> Self {
-        HeavyOptions { panel_size: 32, drop_tol: 0.0, pivot_threshold: 1e-10, nthreads: 1 }
+        HeavyOptions {
+            panel_size: 32,
+            drop_tol: 0.0,
+            pivot_threshold: 1e-10,
+            nthreads: 1,
+        }
     }
 }
 
@@ -69,7 +74,10 @@ impl<T: Scalar> HeavyIlu<T> {
     /// [`SparseError::ZeroPivot`] under the strict breakdown rule.
     pub fn factor(a: &CsrMatrix<T>, opts: &HeavyOptions) -> Result<Self, SparseError> {
         if !a.is_square() {
-            return Err(SparseError::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
+            return Err(SparseError::NotSquare {
+                nrows: a.nrows(),
+                ncols: a.ncols(),
+            });
         }
         let diag_pos = a.diag_positions()?;
         let n = a.nrows();
@@ -256,8 +264,14 @@ mod tests {
     #[test]
     fn movement_dominates_flops() {
         let a = test_matrix(200);
-        let heavy = HeavyIlu::factor(&a, &HeavyOptions { panel_size: 16, ..Default::default() })
-            .unwrap();
+        let heavy = HeavyIlu::factor(
+            &a,
+            &HeavyOptions {
+                panel_size: 16,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         // Sparse ILU(0) on a ~7-entry-per-row matrix: gather+scatter
         // traffic comfortably exceeds useful flops.
         assert!(
@@ -288,11 +302,26 @@ mod tests {
     #[test]
     fn panel_size_does_not_change_values() {
         let a = test_matrix(90);
-        let f1 = HeavyIlu::factor(&a, &HeavyOptions { panel_size: 1, ..Default::default() })
-            .unwrap();
-        let f2 = HeavyIlu::factor(&a, &HeavyOptions { panel_size: 64, ..Default::default() })
-            .unwrap();
-        assert!(f1.lu.approx_eq(&f2.lu, 0.0), "panel size must not affect arithmetic");
+        let f1 = HeavyIlu::factor(
+            &a,
+            &HeavyOptions {
+                panel_size: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let f2 = HeavyIlu::factor(
+            &a,
+            &HeavyOptions {
+                panel_size: 64,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            f1.lu.approx_eq(&f2.lu, 0.0),
+            "panel size must not affect arithmetic"
+        );
     }
 
     #[test]
@@ -300,7 +329,10 @@ mod tests {
         let a = test_matrix(100);
         let f = HeavyIlu::factor(
             &a,
-            &HeavyOptions { drop_tol: 0.05, ..Default::default() },
+            &HeavyOptions {
+                drop_tol: 0.05,
+                ..Default::default()
+            },
         )
         .unwrap();
         let zeros = f.lu.vals().iter().filter(|v| **v == 0.0).count();

@@ -24,7 +24,11 @@ pub struct IlutOptions {
 
 impl Default for IlutOptions {
     fn default() -> Self {
-        IlutOptions { drop_tol: 1e-3, max_fill: 10, pivot_threshold: 1e-14 }
+        IlutOptions {
+            drop_tol: 1e-3,
+            max_fill: 10,
+            pivot_threshold: 1e-14,
+        }
     }
 }
 
@@ -81,7 +85,10 @@ pub fn ilut_factor<T: Scalar>(
     opts: &IlutOptions,
 ) -> Result<IlutFactors<T>, SparseError> {
     if !a.is_square() {
-        return Err(SparseError::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
+        return Err(SparseError::NotSquare {
+            nrows: a.nrows(),
+            ncols: a.ncols(),
+        });
     }
     a.diag_positions()?;
     let n = a.nrows();
@@ -217,7 +224,9 @@ pub fn ilut_factor<T: Scalar>(
 fn keep_largest<T: Scalar>(entries: &mut Vec<(usize, T)>, keep: usize) {
     if entries.len() > keep {
         entries.sort_unstable_by(|a, b| {
-            b.1.abs().partial_cmp(&a.1.abs()).unwrap_or(std::cmp::Ordering::Equal)
+            b.1.abs()
+                .partial_cmp(&a.1.abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
         entries.truncate(keep);
     }
@@ -246,8 +255,15 @@ mod tests {
         // factorization.
         let n = 20;
         let a = laplace_1d(n);
-        let f = ilut_factor(&a, &IlutOptions { drop_tol: 0.0, max_fill: n, ..Default::default() })
-            .unwrap();
+        let f = ilut_factor(
+            &a,
+            &IlutOptions {
+                drop_tol: 0.0,
+                max_fill: n,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
         let b = a.spmv(&x_true);
         let x = f.solve(&b);
@@ -271,10 +287,24 @@ mod tests {
             }
         }
         let a = coo.to_csr();
-        let loose = ilut_factor(&a, &IlutOptions { drop_tol: 0.0, max_fill: n, ..Default::default() })
-            .unwrap();
-        let tight = ilut_factor(&a, &IlutOptions { drop_tol: 0.05, max_fill: 2, ..Default::default() })
-            .unwrap();
+        let loose = ilut_factor(
+            &a,
+            &IlutOptions {
+                drop_tol: 0.0,
+                max_fill: n,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let tight = ilut_factor(
+            &a,
+            &IlutOptions {
+                drop_tol: 0.05,
+                max_fill: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let loose_nnz = loose.l.nnz() + loose.u.nnz();
         let tight_nnz = tight.l.nnz() + tight.u.nnz();
         assert!(
@@ -286,7 +316,12 @@ mod tests {
         for f in [&loose, &tight] {
             let x = f.solve(&b);
             let ax = a.spmv(&x);
-            let r: f64 = b.iter().zip(ax.iter()).map(|(p, q)| (p - q) * (p - q)).sum::<f64>().sqrt();
+            let r: f64 = b
+                .iter()
+                .zip(ax.iter())
+                .map(|(p, q)| (p - q) * (p - q))
+                .sum::<f64>()
+                .sqrt();
             assert!(r < 0.9 * (n as f64).sqrt(), "residual {r}");
         }
     }
@@ -309,8 +344,15 @@ mod tests {
         }
         let a = coo.to_csr();
         let p = 3usize;
-        let f = ilut_factor(&a, &IlutOptions { drop_tol: 0.0, max_fill: p, ..Default::default() })
-            .unwrap();
+        let f = ilut_factor(
+            &a,
+            &IlutOptions {
+                drop_tol: 0.0,
+                max_fill: p,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         for r in 0..n {
             let orig_l = a.row_cols(r).iter().filter(|&&c| c < r).count();
             let orig_u = a.row_cols(r).iter().filter(|&&c| c > r).count();
@@ -329,7 +371,14 @@ mod tests {
         coo.push(1, 1, 1.0).unwrap();
         let a = coo.to_csr();
         assert!(matches!(
-            ilut_factor(&a, &IlutOptions { drop_tol: 0.0, max_fill: 4, ..Default::default() }),
+            ilut_factor(
+                &a,
+                &IlutOptions {
+                    drop_tol: 0.0,
+                    max_fill: 4,
+                    ..Default::default()
+                }
+            ),
             Err(SparseError::ZeroPivot { row: 1 })
         ));
     }

@@ -1,0 +1,100 @@
+//! Per-iteration apply latency: preconditioner apply + spmv, the two
+//! kernels a Krylov iteration pays on every step.
+//!
+//! This is the number the plan/execute split moves. Two configurations
+//! at each (size × thread count):
+//!
+//! * `planned` — the steady-state path: factors with a persistent
+//!   worker team and reusable solve scratch, applied through
+//!   `apply_with` (caller-owned permutation buffer), plus a reused
+//!   [`SpmvPlan`]. Zero allocations, zero thread spawns per iteration.
+//! * `oneshot` — the amortization-free path: spawn-per-region factors,
+//!   the allocating `apply`, and the one-shot `spmv_csr5lite` wrapper
+//!   that replans (and spawns) every call.
+//!
+//! Small/medium sizes are deliberate: this is the regime where setup
+//! overhead dominates the O(nnz) useful work, so the gap between the
+//! two paths is the per-iteration overhead the tentpole removes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use javelin_core::spmv::{spmv_csr5lite, SpmvPlan};
+use javelin_core::{ApplyScratch, IluFactorization, IluOptions, Preconditioner};
+use javelin_sync::{pool, WorkerTeam};
+use javelin_synth::grid::laplace_2d;
+
+/// The pure per-region setup cost the persistent team removes: an empty
+/// SPMD region through spawn-per-region vs. a parked worker team. This
+/// is the floor under every parallel solve/spmv call in the hot loop —
+/// the seed paid the `spawn` row up to three times per Krylov
+/// iteration; the planned path pays the `team` row once.
+fn bench_region(c: &mut Criterion) {
+    let mut group = c.benchmark_group("region");
+    group.sample_size(15);
+    for nthreads in [2usize, 4] {
+        group.bench_function(BenchmarkId::new("spawn", nthreads), |b| {
+            b.iter(|| {
+                pool::run_on_threads(nthreads, |tid| {
+                    std::hint::black_box(tid);
+                });
+            });
+        });
+        let team = WorkerTeam::new(nthreads);
+        group.bench_function(BenchmarkId::new("team", nthreads), |b| {
+            b.iter(|| {
+                team.run(|tid| {
+                    std::hint::black_box(tid);
+                });
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_apply(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apply");
+    group.sample_size(15);
+    for (label, dim) in [("n1k", 32usize), ("n10k", 100)] {
+        let a = laplace_2d(dim, dim);
+        let n = a.nrows();
+        let r: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64 * 0.25).collect();
+        let tile = 512usize;
+        for nthreads in [1usize, 2, 4] {
+            // Steady-state path: plan once, execute per iteration.
+            let f =
+                IluFactorization::compute(&a, &IluOptions::ilu0(nthreads)).expect("factorization");
+            let plan = SpmvPlan::new(&a, nthreads, tile);
+            let mut scratch = ApplyScratch::new();
+            let mut z = vec![0.0; n];
+            let mut y = vec![0.0; n];
+            group.bench_function(
+                BenchmarkId::new(format!("planned/{label}"), nthreads),
+                |b| {
+                    b.iter(|| {
+                        f.apply_with(&mut scratch, &r, &mut z);
+                        plan.execute(&a, &z, &mut y);
+                        y[0]
+                    });
+                },
+            );
+            // Amortization-free path: per-call allocation, per-call
+            // planning, per-call thread spawns.
+            let mut opts = IluOptions::ilu0(nthreads);
+            opts.persistent_team = false;
+            let f0 = IluFactorization::compute(&a, &opts).expect("factorization");
+            group.bench_function(
+                BenchmarkId::new(format!("oneshot/{label}"), nthreads),
+                |b| {
+                    b.iter(|| {
+                        f0.apply(&r, &mut z);
+                        spmv_csr5lite(&a, &z, &mut y, nthreads, tile);
+                        y[0]
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_region, bench_apply);
+criterion_main!(benches);

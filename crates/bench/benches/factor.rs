@@ -13,14 +13,16 @@ fn bench_factor(c: &mut Criterion) {
     let mut group = c.benchmark_group("ilu0_factor");
     group.sample_size(10);
     for name in ["ecology2-like", "transient-like", "tsopf-like"] {
-        let a = preorder_dm_nd(&suite_matrix(name).expect("suite member").build_at(Scale::Tiny));
+        let a = preorder_dm_nd(
+            &suite_matrix(name)
+                .expect("suite member")
+                .build_at(Scale::Tiny),
+        );
         group.bench_with_input(BenchmarkId::new("serial", name), &a, |b, a| {
             b.iter(|| IluFactorization::compute(a, &IluOptions::default()).unwrap());
         });
         group.bench_with_input(BenchmarkId::new("ls_only", name), &a, |b, a| {
-            b.iter(|| {
-                IluFactorization::compute(a, &IluOptions::level_scheduling_only(1)).unwrap()
-            });
+            b.iter(|| IluFactorization::compute(a, &IluOptions::level_scheduling_only(1)).unwrap());
         });
         let mut er = IluOptions::ilu0(1);
         er.lower_method = LowerMethod::EvenRows;
@@ -34,7 +36,11 @@ fn bench_factor(c: &mut Criterion) {
 fn bench_symbolic(c: &mut Criterion) {
     let mut group = c.benchmark_group("iluk_symbolic");
     group.sample_size(10);
-    let a = preorder_dm_nd(&suite_matrix("apache2-like").expect("member").build_at(Scale::Tiny));
+    let a = preorder_dm_nd(
+        &suite_matrix("apache2-like")
+            .expect("member")
+            .build_at(Scale::Tiny),
+    );
     for k in [1usize, 2] {
         group.bench_with_input(BenchmarkId::new("serial", k), &k, |b, &k| {
             b.iter(|| iluk_pattern_serial(&a, k).unwrap());

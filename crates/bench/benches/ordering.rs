@@ -17,9 +17,13 @@ fn bench_orderings(c: &mut Criterion) {
     group.bench_with_input(BenchmarkId::new("min_degree", "grid40"), &a, |b, a| {
         b.iter(|| min_degree_order(a));
     });
-    group.bench_with_input(BenchmarkId::new("nested_dissection", "grid40"), &a, |b, a| {
-        b.iter(|| nested_dissection_order(a, 64));
-    });
+    group.bench_with_input(
+        BenchmarkId::new("nested_dissection", "grid40"),
+        &a,
+        |b, a| {
+            b.iter(|| nested_dissection_order(a, 64));
+        },
+    );
     group.bench_with_input(BenchmarkId::new("coloring", "grid40"), &a, |b, a| {
         b.iter(|| coloring_order(a));
     });

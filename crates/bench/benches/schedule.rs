@@ -29,19 +29,14 @@ fn bench_schedule(c: &mut Criterion) {
             &nthreads,
             |b, &nthreads| {
                 b.iter(|| {
-                    P2PSchedule::build(
-                        plan.n_upper,
-                        nthreads,
-                        &plan.upper_level_ptr,
-                        |r, out| {
-                            for &c in permuted.row_cols(r) {
-                                if c >= r {
-                                    break;
-                                }
-                                out.push(c);
+                    P2PSchedule::build(plan.n_upper, nthreads, &plan.upper_level_ptr, |r, out| {
+                        for &c in permuted.row_cols(r) {
+                            if c >= r {
+                                break;
                             }
-                        },
-                    )
+                            out.push(c);
+                        }
+                    })
                 });
             },
         );

@@ -9,7 +9,9 @@ fn bench_spmv(c: &mut Criterion) {
     let mut group = c.benchmark_group("spmv");
     group.sample_size(30);
     for name in ["ecology2-like", "tsopf-like"] {
-        let a = suite_matrix(name).expect("suite member").build_at(Scale::Tiny);
+        let a = suite_matrix(name)
+            .expect("suite member")
+            .build_at(Scale::Tiny);
         let x: Vec<f64> = (0..a.ncols()).map(|i| (i % 13) as f64 * 0.1).collect();
         let mut y = vec![0.0; a.nrows()];
         group.bench_with_input(BenchmarkId::new("serial", name), &a, |b, a| {

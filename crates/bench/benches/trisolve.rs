@@ -10,7 +10,11 @@ use javelin_synth::suite::{suite_matrix, Scale};
 fn bench_trisolve(c: &mut Criterion) {
     let mut group = c.benchmark_group("trisolve");
     group.sample_size(20);
-    let a = preorder_dm_nd(&suite_matrix("ecology2-like").expect("member").build_at(Scale::Tiny));
+    let a = preorder_dm_nd(
+        &suite_matrix("ecology2-like")
+            .expect("member")
+            .build_at(Scale::Tiny),
+    );
     let f = IluFactorization::compute(&a, &IluOptions::default()).unwrap();
     let n = a.nrows();
     let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64).collect();

@@ -52,9 +52,16 @@ pub fn run(scale: Scale) -> String {
 
     // 1. Level pattern.
     let mut t = Table::new(&[
-        "Matrix", "lvls sym", "lvls lower(A)", "spd sym@14", "spd lowA@14",
+        "Matrix",
+        "lvls sym",
+        "lvls lower(A)",
+        "spd sym@14",
+        "spd lowA@14",
     ]);
-    for meta in paper_suite().into_iter().filter(|m| CASES.contains(&m.name)) {
+    for meta in paper_suite()
+        .into_iter()
+        .filter(|m| CASES.contains(&m.name))
+    {
         let prep = prepare(meta, scale);
         let mut cells = vec![prep.meta.name.to_string()];
         let mut lvls = Vec::new();
@@ -65,7 +72,10 @@ pub fn run(scale: Scale) -> String {
             let f = IluFactorization::compute(&prep.matrix, &opts).expect("factors");
             lvls.push(f.stats().n_levels.to_string());
             let base = sim_factor_time(&f, &h14, 1).total_s;
-            spd.push(format!("{:.2}", base / sim_factor_time(&f, &h14, 14).total_s));
+            spd.push(format!(
+                "{:.2}",
+                base / sim_factor_time(&f, &h14, 14).total_s
+            ));
         }
         cells.extend(lvls);
         cells.extend(spd);
@@ -76,7 +86,10 @@ pub fn run(scale: Scale) -> String {
 
     // 2. Row mapping: wait counts + simulated time.
     let mut t = Table::new(&["Matrix", "waits cyc", "waits blk", "note"]);
-    for meta in paper_suite().into_iter().filter(|m| CASES.contains(&m.name)) {
+    for meta in paper_suite()
+        .into_iter()
+        .filter(|m| CASES.contains(&m.name))
+    {
         let prep = prepare(meta, scale);
         let f = IluFactorization::compute(&prep.matrix, &IluOptions::level_scheduling_only(1))
             .expect("factors");
@@ -110,12 +123,17 @@ pub fn run(scale: Scale) -> String {
             note.to_string(),
         ]);
     }
-    out.push_str("\nAblation 2 — cyclic vs blocked row->thread mapping (wait edges @14 threads)\n\n");
+    out.push_str(
+        "\nAblation 2 — cyclic vs blocked row->thread mapping (wait edges @14 threads)\n\n",
+    );
     out.push_str(&t.render());
 
     // 3. SR tile size.
     let mut t = Table::new(&["Matrix", "max seg", "tile 16", "tile 64", "tile 256"]);
-    for meta in paper_suite().into_iter().filter(|m| CASES.contains(&m.name)) {
+    for meta in paper_suite()
+        .into_iter()
+        .filter(|m| CASES.contains(&m.name))
+    {
         let prep = prepare(meta, scale);
         let mut cells = vec![prep.meta.name.to_string()];
         for (i, tile) in [16usize, 64, 256].into_iter().enumerate() {
@@ -141,7 +159,10 @@ pub fn run(scale: Scale) -> String {
 
     // 4. Split sensitivity.
     let mut t = Table::new(&["Matrix", "A=16", "A=24", "A=32", "no split"]);
-    for meta in paper_suite().into_iter().filter(|m| CASES.contains(&m.name)) {
+    for meta in paper_suite()
+        .into_iter()
+        .filter(|m| CASES.contains(&m.name))
+    {
         let prep = prepare(meta, scale);
         let mut cells = vec![prep.meta.name.to_string()];
         for a_param in [Some(16usize), Some(24), Some(32), None] {

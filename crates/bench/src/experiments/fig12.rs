@@ -31,7 +31,13 @@ pub fn run(scale: Scale) -> String {
     let h_sweep = [1usize, 2, 4, 8, 14];
     let k_sweep = [1usize, 2, 4, 8, 16, 32, 68];
     let mut t = Table::new(&[
-        "Matrix", "CSRLS@hsw", "LS@hsw", "LS+Low@hsw", "CSRLS@knl", "LS@knl", "LS+Low@knl",
+        "Matrix",
+        "CSRLS@hsw",
+        "LS@hsw",
+        "LS+Low@hsw",
+        "CSRLS@knl",
+        "LS@knl",
+        "LS+Low@knl",
     ]);
     for meta in paper_suite() {
         let prep = prepare(meta, scale);
@@ -46,8 +52,9 @@ pub fn run(scale: Scale) -> String {
                 sim_trisolve_time(&f.ls, mm, p, SolveEngine::PointToPoint)
             });
             let lower = max_speedup(base, m, sweep, |mm, p| {
-                sim_trisolve_time(&f.er, mm, p, SolveEngine::PointToPointLower)
-                    .min(sim_trisolve_time(&f.sr, mm, p, SolveEngine::PointToPointLower))
+                sim_trisolve_time(&f.er, mm, p, SolveEngine::PointToPointLower).min(
+                    sim_trisolve_time(&f.sr, mm, p, SolveEngine::PointToPointLower),
+                )
             });
             cells.push(format!("{csrls:.2}"));
             cells.push(format!("{ls:.2}"));

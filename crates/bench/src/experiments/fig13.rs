@@ -35,8 +35,18 @@ pub fn run(scale: Scale) -> String {
         let base_stri = sim_trisolve_time(&nd.ls, &h14, 1, SolveEngine::Serial);
         let stri14 = base_stri
             / sim_trisolve_time(&rcm.ls, &h14, 14, SolveEngine::PointToPoint)
-                .min(sim_trisolve_time(&rcm.er, &h14, 14, SolveEngine::PointToPointLower))
-                .min(sim_trisolve_time(&rcm.sr, &h14, 14, SolveEngine::PointToPointLower));
+                .min(sim_trisolve_time(
+                    &rcm.er,
+                    &h14,
+                    14,
+                    SolveEngine::PointToPointLower,
+                ))
+                .min(sim_trisolve_time(
+                    &rcm.sr,
+                    &h14,
+                    14,
+                    SolveEngine::PointToPointLower,
+                ));
         t.row(vec![
             meta.name.to_string(),
             format!("{ilu14:.2}"),

@@ -44,8 +44,7 @@ pub fn run(scale: Scale) -> String {
                     })
                     .min()
                     .expect("three runs");
-                let measured =
-                    t_heavy.as_secs_f64() / t_jav.as_secs_f64().max(1e-9);
+                let measured = t_heavy.as_secs_f64() / t_jav.as_secs_f64().max(1e-9);
                 cells.push(format!("{measured:.1}"));
                 let n_panels = a.nrows().div_ceil(heavy_opts.panel_size);
                 for machine in [&h14, &knl] {

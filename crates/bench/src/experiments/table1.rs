@@ -15,7 +15,18 @@ use javelin_synth::suite::{paper_suite, Scale};
 /// Regenerates Table I.
 pub fn run(scale: Scale) -> String {
     let mut t = Table::new(&[
-        "Matrix", "Grp", "N", "Nnz", "RD", "SP", "Lvl", "| paper N", "Nnz", "RD", "SP", "Lvl",
+        "Matrix",
+        "Grp",
+        "N",
+        "Nnz",
+        "RD",
+        "SP",
+        "Lvl",
+        "| paper N",
+        "Nnz",
+        "RD",
+        "SP",
+        "Lvl",
     ]);
     for meta in paper_suite() {
         // SP is a property of the natural-order matrix.

@@ -5,12 +5,15 @@ use crate::numeric::{lower, parallel, NumericCtx};
 use crate::options::{IluOptions, LowerMethod, SolveEngine};
 use crate::stats::FactorStats;
 use crate::symbolic;
+use crate::trisolve::engines::SolveScratch;
 use crate::trisolve::{engines, serial};
 use javelin_level::{split_levels, LevelSets, P2PSchedule};
 use javelin_sparse::pattern::{
     level_pattern_of, lower_of_pattern, upper_of_pattern, LevelPattern, SparsityPattern,
 };
 use javelin_sparse::{CsrMatrix, Perm, Scalar, SparseError};
+use javelin_sync::Exec;
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
@@ -48,6 +51,15 @@ pub struct SolvePlan {
 
 /// An incomplete LU factorization `P·A·Pᵀ ≈ L·U` packaged for fast
 /// repeated triangular solves.
+///
+/// Beyond the factor values, this carries the full execution state of
+/// the solve hot loop: the [`SolvePlan`] (schedules, levels, the
+/// trailing-block layout), a reusable [`SolveScratch`] (counters,
+/// barrier, tiled-gather partials, the in-place solve buffer) and an
+/// [`Exec`] — by default a persistent worker team — so that after
+/// `compute` returns, every solve runs with zero heap allocations and
+/// zero thread spawns. The scratch is mutex-guarded: concurrent applies
+/// from different threads serialize instead of racing.
 pub struct IluFactors<T> {
     lu: CsrMatrix<T>,
     diag_pos: Vec<usize>,
@@ -56,6 +68,8 @@ pub struct IluFactors<T> {
     nthreads: usize,
     tile_size: usize,
     stats: FactorStats,
+    exec: Exec,
+    scratch: Mutex<SolveScratch<T>>,
 }
 
 /// Runs the full pipeline (see crate docs).
@@ -64,7 +78,10 @@ pub fn compute<T: Scalar>(
     opts: &IluOptions,
 ) -> Result<IluFactors<T>, SparseError> {
     if !a.is_square() {
-        return Err(SparseError::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
+        return Err(SparseError::NotSquare {
+            nrows: a.nrows(),
+            ncols: a.ncols(),
+        });
     }
     let n = a.nrows();
     let nthreads = opts.nthreads.max(1);
@@ -90,8 +107,7 @@ pub fn compute<T: Scalar>(
     let lvl_pattern = level_pattern_of(&s, opts.level_pattern);
     let levels0 = LevelSets::compute_lower(&lvl_pattern);
     stats.n_levels = levels0.n_levels();
-    let row_nnz: Vec<usize> =
-        (0..n).map(|r| s.rowptr()[r + 1] - s.rowptr()[r]).collect();
+    let row_nnz: Vec<usize> = (0..n).map(|r| s.rowptr()[r + 1] - s.rowptr()[r]).collect();
     let plan0 = split_levels(&levels0, &row_nnz, &opts.split);
     stats.n_upper_levels = plan0.n_upper_levels();
     stats.n_lower_rows = plan0.n_lower();
@@ -278,29 +294,42 @@ pub fn compute<T: Scalar>(
     stats.t_numeric = t2.elapsed();
     let failed_row = failed.load(Ordering::Relaxed);
     if failed_row != usize::MAX {
-        return Err(SparseError::ZeroPivot { row: failed_row - 1 });
+        return Err(SparseError::ZeroPivot {
+            row: failed_row - 1,
+        });
     }
 
     let lu = CsrMatrix::from_raw_unchecked(n, n, rowptr, colidx, lu_vals.into_values());
+    let plan = SolvePlan {
+        n_upper,
+        upper_level_ptr: plan0.upper_level_ptr,
+        fwd,
+        bwd,
+        bwd_row_of_task,
+        bwd_level_ptr: bwd_levels_upper.level_ptr().to_vec(),
+        fwd_levels,
+        bwd_levels,
+        block_rows,
+        block_seg_ptr,
+    };
+    // Solve execution state, built once: persistent team (or the scoped
+    // spawn fallback) plus the allocation-free engine scratch.
+    let exec = if nthreads == 1 || !opts.persistent_team {
+        Exec::spawn(nthreads)
+    } else {
+        Exec::team(nthreads)
+    };
+    let scratch = Mutex::new(SolveScratch::new(&plan, n, nthreads, opts.tile_size));
     Ok(IluFactors {
         lu,
         diag_pos,
         perm,
-        plan: SolvePlan {
-            n_upper,
-            upper_level_ptr: plan0.upper_level_ptr,
-            fwd,
-            bwd,
-            bwd_row_of_task,
-            bwd_level_ptr: bwd_levels_upper.level_ptr().to_vec(),
-            fwd_levels,
-            bwd_levels,
-            block_rows,
-            block_seg_ptr,
-        },
+        plan,
         nthreads,
         tile_size: opts.tile_size,
         stats,
+        exec,
+        scratch,
     })
 }
 
@@ -390,30 +419,30 @@ impl<T: Scalar> IluFactors<T> {
         (l, u)
     }
 
+    /// The engine used when none is named: LS+Lower when threaded,
+    /// serial otherwise.
+    pub fn default_engine(&self) -> SolveEngine {
+        if self.nthreads == 1 {
+            SolveEngine::Serial
+        } else {
+            SolveEngine::PointToPointLower
+        }
+    }
+
     /// Solves `A·x ≈ b` through the factors with the default engine
-    /// (LS+Lower when threaded, serial otherwise).
+    /// (see [`IluFactors::default_engine`]).
     ///
     /// # Errors
     /// [`SparseError::DimensionMismatch`] on length mismatches.
     pub fn solve_into(&self, b: &[T], x: &mut [T]) -> Result<(), SparseError> {
-        let engine = if self.nthreads == 1 {
-            SolveEngine::Serial
-        } else {
-            SolveEngine::PointToPointLower
-        };
-        self.solve_with(engine, b, x)
+        self.solve_with(self.default_engine(), b, x)
     }
 
     /// Solves `A·x ≈ b` with an explicit engine.
     ///
     /// # Errors
     /// [`SparseError::DimensionMismatch`] on length mismatches.
-    pub fn solve_with(
-        &self,
-        engine: SolveEngine,
-        b: &[T],
-        x: &mut [T],
-    ) -> Result<(), SparseError> {
+    pub fn solve_with(&self, engine: SolveEngine, b: &[T], x: &mut [T]) -> Result<(), SparseError> {
         let n = self.n();
         if b.len() != n || x.len() != n {
             return Err(SparseError::DimensionMismatch(format!(
@@ -433,21 +462,74 @@ impl<T: Scalar> IluFactors<T> {
         Ok(())
     }
 
+    /// Like [`IluFactors::solve_with`], but the permutation buffer is
+    /// caller-provided (resized on first use, reused after): together
+    /// with the internal scratch this makes the whole solve
+    /// allocation-free in the steady state — the path
+    /// [`crate::Preconditioner::apply_with`] takes inside Krylov loops.
+    ///
+    /// # Errors
+    /// [`SparseError::DimensionMismatch`] on length mismatches.
+    pub fn solve_with_buffer(
+        &self,
+        engine: SolveEngine,
+        perm_buf: &mut Vec<T>,
+        b: &[T],
+        x: &mut [T],
+    ) -> Result<(), SparseError> {
+        let n = self.n();
+        if b.len() != n || x.len() != n {
+            return Err(SparseError::DimensionMismatch(format!(
+                "solve: rhs/solution lengths ({}, {}) != {}",
+                b.len(),
+                x.len(),
+                n
+            )));
+        }
+        perm_buf.resize(n, T::ZERO);
+        let old_to_new = self.perm.old_to_new();
+        for (o, &bo) in b.iter().enumerate() {
+            perm_buf[old_to_new[o]] = bo;
+        }
+        self.solve_permuted_inplace(engine, perm_buf);
+        for (i, &o) in self.perm.new_to_old().iter().enumerate() {
+            x[o] = perm_buf[i];
+        }
+        Ok(())
+    }
+
+    /// The execution context solves run on (persistent team by default).
+    pub fn exec(&self) -> &Exec {
+        &self.exec
+    }
+
     /// Runs forward + backward substitution on an already-permuted
     /// buffer (in place). Exposed for benchmarking `stri` without
     /// permutation overhead, mirroring the paper's Fig. 12 measurement.
+    ///
+    /// Allocation-free: the parallel engines run through the reusable
+    /// [`SolveScratch`] on the factorization's [`Exec`] (a persistent
+    /// team by default). Concurrent callers serialize on the scratch
+    /// mutex.
     pub fn solve_permuted_inplace(&self, engine: SolveEngine, z: &mut [T]) {
-        let nthreads = self.nthreads;
         match engine {
             SolveEngine::Serial => {
                 serial::forward_inplace(&self.lu, &self.diag_pos, z);
                 serial::backward_inplace(&self.lu, &self.diag_pos, z);
             }
             SolveEngine::BarrierLevel => {
-                let xb = LuVals::from_values(z);
-                engines::forward_barrier(&self.lu, &self.diag_pos, &self.plan.fwd_levels, nthreads, &xb);
-                engines::backward_barrier(&self.lu, &self.diag_pos, &self.plan.bwd_levels, nthreads, &xb);
-                z.copy_from_slice(&xb.into_values());
+                let scratch = self.scratch.lock();
+                scratch.xbuf.load_from(z);
+                engines::solve_barrier_fused(
+                    &self.lu,
+                    &self.diag_pos,
+                    &self.plan.fwd_levels,
+                    &self.plan.bwd_levels,
+                    &scratch,
+                    &self.exec,
+                    &scratch.xbuf,
+                );
+                scratch.xbuf.store_to(z);
             }
             SolveEngine::PointToPoint | SolveEngine::PointToPointLower => {
                 let tiles = if engine == SolveEngine::PointToPointLower {
@@ -455,18 +537,18 @@ impl<T: Scalar> IluFactors<T> {
                 } else {
                     engines::LowerTiles::Off
                 };
-                let xb = LuVals::from_values(z);
-                engines::forward_p2p(
+                let scratch = self.scratch.lock();
+                scratch.xbuf.load_from(z);
+                engines::solve_p2p_fused(
                     &self.lu,
                     &self.diag_pos,
                     &self.plan,
-                    nthreads,
-                    self.tile_size,
+                    &scratch,
+                    &self.exec,
                     tiles,
-                    &xb,
+                    &scratch.xbuf,
                 );
-                engines::backward_p2p(&self.lu, &self.diag_pos, &self.plan, nthreads, &xb);
-                z.copy_from_slice(&xb.into_values());
+                scratch.xbuf.store_to(z);
             }
         }
     }
@@ -634,32 +716,34 @@ mod tests {
     #[test]
     fn ilu0_product_identity_on_pattern() {
         let a = laplace_2d(8, 8);
-        let f = IluFactorization_compute(&a, &IluOptions::default());
+        let f = compute_factors(&a, &IluOptions::default());
         assert!(f.product_error_on_pattern(&a) < 1e-12);
     }
 
-    fn IluFactorization_compute(a: &CsrMatrix<f64>, o: &IluOptions) -> IluFactors<f64> {
+    fn compute_factors(a: &CsrMatrix<f64>, o: &IluOptions) -> IluFactors<f64> {
         compute(a, o).expect("factorization succeeds")
     }
 
     #[test]
     fn parallel_matches_serial_bitwise_all_engines() {
         for a in [laplace_2d(9, 7), irregular(120)] {
-            let serial = IluFactorization_compute(&a, &IluOptions::default());
+            let serial = compute_factors(&a, &IluOptions::default());
             for nthreads in [2, 4] {
-                for method in [LowerMethod::Auto, LowerMethod::EvenRows, LowerMethod::SegmentedRows]
-                {
+                for method in [
+                    LowerMethod::Auto,
+                    LowerMethod::EvenRows,
+                    LowerMethod::SegmentedRows,
+                ] {
                     let mut opts = IluOptions::ilu0(nthreads);
                     opts.lower_method = method;
                     // Aggressive split so the lower stage actually runs.
                     opts.split.min_rows_per_level = 8;
                     opts.split.location_frac = 0.0;
                     opts.split.max_lower_frac = 0.4;
-                    let f = IluFactorization_compute(&a, &opts);
+                    let f = compute_factors(&a, &opts);
                     // Same permutation => directly comparable values.
                     assert_eq!(serial_perm(&serial), serial_perm(&f));
-                    let sb: Vec<u64> =
-                        serial.lu().vals().iter().map(|v| v.to_bits()).collect();
+                    let sb: Vec<u64> = serial.lu().vals().iter().map(|v| v.to_bits()).collect();
                     let fb: Vec<u64> = f.lu().vals().iter().map(|v| v.to_bits()).collect();
                     assert_eq!(sb, fb, "nthreads={nthreads} method={method}");
                 }
@@ -677,7 +761,7 @@ mod tests {
         let mut opts = IluOptions::ilu0(3);
         opts.split.min_rows_per_level = 8;
         opts.split.location_frac = 0.0;
-        let f = IluFactorization_compute(&a, &opts);
+        let f = compute_factors(&a, &opts);
         let b: Vec<f64> = (0..150).map(|i| (i as f64 * 0.37).sin()).collect();
         let mut x_ref = vec![0.0; 150];
         f.solve_with(SolveEngine::Serial, &b, &mut x_ref).unwrap();
@@ -698,12 +782,74 @@ mod tests {
     }
 
     #[test]
+    fn workspace_reuse_is_bitwise_identical_to_fresh_path() {
+        // Repeated solves through one factorization reuse its scratch
+        // (progress counters, barrier, gather partials, xbuf); a second
+        // factorization's first solve is the fresh-allocation path.
+        // Both must produce identical bits, for every engine and with
+        // the persistent team on or off.
+        let a = irregular(150);
+        let b: Vec<f64> = (0..150).map(|i| (i as f64 * 0.31).cos()).collect();
+        for persistent in [true, false] {
+            let mut opts = IluOptions::ilu0(3);
+            opts.split.min_rows_per_level = 8;
+            opts.split.location_frac = 0.0;
+            opts.persistent_team = persistent;
+            let reused = compute_factors(&a, &opts);
+            let fresh = compute_factors(&a, &opts);
+            for engine in [
+                SolveEngine::BarrierLevel,
+                SolveEngine::PointToPoint,
+                SolveEngine::PointToPointLower,
+            ] {
+                let fresh_bits = {
+                    let mut x = vec![0.0; 150];
+                    fresh.solve_with(engine, &b, &mut x).unwrap();
+                    x.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+                };
+                for rep in 0..4 {
+                    let mut x = vec![0.0; 150];
+                    reused.solve_with(engine, &b, &mut x).unwrap();
+                    let bits: Vec<u64> = x.iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(
+                        bits, fresh_bits,
+                        "engine={engine} rep={rep} persistent={persistent}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn team_and_spawn_execution_agree_bitwise() {
+        let a = laplace_2d(12, 11);
+        let n = a.nrows();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 7 % 23) as f64) - 11.0).collect();
+        let mut team_opts = IluOptions::ilu0(4);
+        team_opts.split.min_rows_per_level = 8;
+        team_opts.split.location_frac = 0.0;
+        let mut spawn_opts = team_opts.clone();
+        spawn_opts.persistent_team = false;
+        let ft = compute_factors(&a, &team_opts);
+        let fs = compute_factors(&a, &spawn_opts);
+        for engine in [SolveEngine::PointToPoint, SolveEngine::PointToPointLower] {
+            let mut xt = vec![0.0; n];
+            let mut xs = vec![0.0; n];
+            ft.solve_with(engine, &b, &mut xt).unwrap();
+            fs.solve_with(engine, &b, &mut xs).unwrap();
+            let bt: Vec<u64> = xt.iter().map(|v| v.to_bits()).collect();
+            let bs: Vec<u64> = xs.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(bt, bs, "engine={engine}");
+        }
+    }
+
+    #[test]
     fn solve_actually_preconditions() {
         // For ILU(0) of a diagonally dominant matrix, ||x - A^{-1}b||
         // through the factors is a decent approximation: check the
         // preconditioned residual is much smaller than the raw rhs.
         let a = laplace_2d(10, 10);
-        let f = IluFactorization_compute(&a, &IluOptions::default());
+        let f = compute_factors(&a, &IluOptions::default());
         let n = a.nrows();
         let b = vec![1.0; n];
         let mut x = vec![0.0; n];
@@ -724,7 +870,7 @@ mod tests {
     #[test]
     fn split_lu_multiplies_back() {
         let a = laplace_2d(6, 6);
-        let f = IluFactorization_compute(&a, &IluOptions::default());
+        let f = compute_factors(&a, &IluOptions::default());
         let (l, u) = f.split_lu();
         // L has unit diagonal.
         for r in 0..l.nrows() {
@@ -748,7 +894,7 @@ mod tests {
         let a = irregular(40);
         let mut exact_opts = IluOptions::default();
         exact_opts.fill_level = 40;
-        let f = IluFactorization_compute(&a, &exact_opts);
+        let f = compute_factors(&a, &exact_opts);
         let n = a.nrows();
         let x_true: Vec<f64> = (0..n).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
         let b = a.spmv(&x_true);
@@ -762,16 +908,16 @@ mod tests {
     #[test]
     fn drop_tolerance_drops_and_milu_compensates() {
         let a = irregular(100);
-        let base = IluFactorization_compute(&a, &IluOptions::default());
-        let tau = IluFactorization_compute(
-            &a,
-            &IluOptions::default().with_fill(1).with_drop_tol(0.02),
-        );
+        let base = compute_factors(&a, &IluOptions::default());
+        let tau = compute_factors(&a, &IluOptions::default().with_fill(1).with_drop_tol(0.02));
         assert!(tau.stats().dropped_entries > 0, "τ should drop entries");
         assert_eq!(base.stats().dropped_entries, 0);
-        let milu = IluFactorization_compute(
+        let milu = compute_factors(
             &a,
-            &IluOptions::default().with_fill(1).with_drop_tol(0.02).with_milu(1.0),
+            &IluOptions::default()
+                .with_fill(1)
+                .with_drop_tol(0.02)
+                .with_milu(1.0),
         );
         // MILU shifts diagonals; factors must differ from plain τ.
         assert!(milu.stats().dropped_entries > 0);
@@ -821,7 +967,7 @@ mod tests {
     #[test]
     fn solve_rejects_bad_lengths() {
         let a = laplace_2d(4, 4);
-        let f = IluFactorization_compute(&a, &IluOptions::default());
+        let f = compute_factors(&a, &IluOptions::default());
         let b = vec![1.0; 16];
         let mut x = vec![0.0; 15];
         assert!(f.solve_into(&b, &mut x).is_err());
@@ -833,7 +979,7 @@ mod tests {
         let mut opts = IluOptions::ilu0(2);
         opts.split.min_rows_per_level = 6;
         opts.split.location_frac = 0.0;
-        let f = IluFactorization_compute(&a, &opts);
+        let f = compute_factors(&a, &opts);
         let s = f.stats();
         assert_eq!(s.n, 144);
         assert_eq!(s.nnz_a, a.nnz());
@@ -847,7 +993,7 @@ mod tests {
     #[test]
     fn level_scheduling_only_has_no_lower_rows() {
         let a = laplace_2d(10, 10);
-        let f = IluFactorization_compute(&a, &IluOptions::level_scheduling_only(2));
+        let f = compute_factors(&a, &IluOptions::level_scheduling_only(2));
         assert_eq!(f.stats().n_lower_rows, 0);
         assert_eq!(f.plan().n_upper, 100);
     }
@@ -860,10 +1006,10 @@ mod tests {
         opts.lower_method = LowerMethod::SegmentedRows;
         opts.split.min_rows_per_level = 8;
         opts.split.location_frac = 0.0;
-        let f = IluFactorization_compute(&a, &opts);
+        let f = compute_factors(&a, &opts);
         assert_eq!(f.stats().lower_method, LowerMethod::EvenRows);
         // Still bit-identical to serial.
-        let s = IluFactorization_compute(
+        let s = compute_factors(
             &a,
             &IluOptions {
                 level_pattern: LevelPattern::LowerA,
@@ -879,7 +1025,7 @@ mod tests {
     #[test]
     fn incomplete_cholesky_reconstructs_spd_matrix() {
         let a = laplace_2d(7, 7);
-        let f = IluFactorization_compute(&a, &IluOptions::default());
+        let f = compute_factors(&a, &IluOptions::default());
         let lc = f.to_incomplete_cholesky().expect("SPD input");
         // L_c is lower triangular with positive diagonal.
         for (r, c, _) in lc.iter() {
@@ -923,7 +1069,7 @@ mod tests {
         coo.push(1, 0, 2.0).unwrap();
         coo.push(1, 1, 1.0).unwrap();
         let a = coo.to_csr();
-        let f = IluFactorization_compute(&a, &IluOptions::default());
+        let f = compute_factors(&a, &IluOptions::default());
         assert!(matches!(
             f.to_incomplete_cholesky(),
             Err(SparseError::ZeroPivot { .. })
@@ -933,7 +1079,7 @@ mod tests {
     #[test]
     fn pivot_diagnostics() {
         let a = laplace_2d(8, 8);
-        let f = IluFactorization_compute(&a, &IluOptions::default());
+        let f = compute_factors(&a, &IluOptions::default());
         let (lo, hi) = f.pivot_extrema();
         assert!(lo > 0.0 && hi >= lo);
         assert!(hi <= 4.0 + 1e-12, "pivots bounded by the diagonal of A");
@@ -949,8 +1095,8 @@ mod tests {
         base.split.location_frac = 0.1;
         let mut pc = base.clone();
         pc.parallel_corner = true;
-        let f1 = IluFactorization_compute(&a, &base);
-        let f2 = IluFactorization_compute(&a, &pc);
+        let f1 = compute_factors(&a, &base);
+        let f2 = compute_factors(&a, &pc);
         let b1: Vec<u64> = f1.lu().vals().iter().map(|v| v.to_bits()).collect();
         let b2: Vec<u64> = f2.lu().vals().iter().map(|v| v.to_bits()).collect();
         assert_eq!(b1, b2);
@@ -986,22 +1132,20 @@ mod proptests {
     /// Random diagonally dominant square matrix with full diagonal.
     fn arb_matrix(n_max: usize) -> impl Strategy<Value = CsrMatrix<f64>> {
         (4..n_max).prop_flat_map(|n| {
-            proptest::collection::vec((0..n, 0..n, 0.05..1.0f64), n..n * 4).prop_map(
-                move |trips| {
-                    let mut coo = CooMatrix::new(n, n);
-                    let mut rowsum = vec![0.0f64; n];
-                    for (r, c, v) in &trips {
-                        if r != c {
-                            coo.push(*r, *c, -*v).unwrap();
-                            rowsum[*r] += v;
-                        }
+            proptest::collection::vec((0..n, 0..n, 0.05..1.0f64), n..n * 4).prop_map(move |trips| {
+                let mut coo = CooMatrix::new(n, n);
+                let mut rowsum = vec![0.0f64; n];
+                for (r, c, v) in &trips {
+                    if r != c {
+                        coo.push(*r, *c, -*v).unwrap();
+                        rowsum[*r] += v;
                     }
-                    for (r, item) in rowsum.iter().enumerate() {
-                        coo.push(r, r, item + 1.0).unwrap();
-                    }
-                    coo.to_csr()
-                },
-            )
+                }
+                for (r, item) in rowsum.iter().enumerate() {
+                    coo.push(r, r, item + 1.0).unwrap();
+                }
+                coo.to_csr()
+            })
         })
     }
 
@@ -1063,6 +1207,4 @@ mod proptests {
             }
         }
     }
-
 }
-

@@ -25,6 +25,37 @@
 //! 5. **spmv** ([`spmv`]): serial, row-parallel, and CSR5-inspired
 //!    tiled segmented-sum kernels.
 //!
+//! ## Plan/execute lifecycle
+//!
+//! Everything on the Krylov hot path follows a strict **plan once,
+//! execute allocation-free** split, mirroring how the paper amortizes
+//! its symbolic phase across numeric re-factorizations:
+//!
+//! * **Plan (once per matrix).** [`IluFactorization::compute`] builds
+//!   the factor values *and* the solve execution state: the
+//!   [`factors::SolvePlan`] (schedules, level sets, trailing-block
+//!   segment layout), a [`SolveScratch`] (progress counters, barrier,
+//!   flat tiled-gather partials, the bit-packed in-place solve buffer)
+//!   and a `javelin_sync::Exec` — by default a persistent worker team
+//!   whose threads park between calls. Likewise [`SpmvPlan::new`]
+//!   derives per-tile descriptors (first row, disjoint partial-slot
+//!   ranges) from the sparsity pattern once.
+//! * **Execute (every iteration).** [`IluFactors::solve_with`] /
+//!   [`Preconditioner::apply_with`] and [`SpmvPlan::execute`] run fused
+//!   parallel regions on the planned team: no heap allocation, no
+//!   thread spawn, no `partition_point` searches — just loads, FMAs,
+//!   and point-to-point waits. Engine results stay bit-identical to
+//!   their serial references at every thread count.
+//! * **Workspaces.** Callers that need scratch (the permutation buffer
+//!   of an ILU apply, a Krylov solver's vectors) own it explicitly:
+//!   [`ApplyScratch`] for preconditioner applies, `SolverWorkspace` in
+//!   `javelin-solver` for whole solves. Buffers grow on first use and
+//!   are reused verbatim afterwards.
+//!
+//! Numeric refactorization on a fixed pattern reuses every plan: only
+//! the factor values change, so a transient/time-stepping workload pays
+//! the analysis exactly once.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -63,8 +94,10 @@ pub mod trisolve;
 
 pub use factors::IluFactors;
 pub use options::{IluOptions, LowerMethod, SolveEngine, ZeroPivotPolicy};
-pub use precond::Preconditioner;
+pub use precond::{ApplyScratch, Preconditioner};
+pub use spmv::SpmvPlan;
 pub use stats::FactorStats;
+pub use trisolve::engines::SolveScratch;
 
 use javelin_sparse::{CsrMatrix, Scalar, SparseError};
 

@@ -16,6 +16,7 @@ use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Bit-packed, concurrently accessible factor values.
+#[derive(Debug)]
 pub struct LuVals<T> {
     bits: Vec<AtomicU64>,
     _ty: PhantomData<T>,
@@ -27,6 +28,36 @@ impl<T: Scalar> LuVals<T> {
         LuVals {
             bits: vals.iter().map(|v| AtomicU64::new(v.to_bits64())).collect(),
             _ty: PhantomData,
+        }
+    }
+
+    /// `n` zero-valued entries — the shape used by reusable plan/
+    /// workspace buffers, which are loaded per call instead of built
+    /// from a value slice.
+    pub fn zeroed(n: usize) -> Self {
+        LuVals {
+            bits: (0..n)
+                .map(|_| AtomicU64::new(T::ZERO.to_bits64()))
+                .collect(),
+            _ty: PhantomData,
+        }
+    }
+
+    /// Overwrites every entry from `vals` (lengths must match). Caller
+    /// must guarantee quiescence; used to load a reused workspace
+    /// buffer without reallocating.
+    pub fn load_from(&self, vals: &[T]) {
+        assert_eq!(vals.len(), self.bits.len(), "LuVals::load_from length");
+        for (cell, v) in self.bits.iter().zip(vals.iter()) {
+            cell.store(v.to_bits64(), Ordering::Relaxed);
+        }
+    }
+
+    /// Copies every entry into `out` (lengths must match).
+    pub fn store_to(&self, out: &mut [T]) {
+        assert_eq!(out.len(), self.bits.len(), "LuVals::store_to length");
+        for (o, cell) in out.iter_mut().zip(self.bits.iter()) {
+            *o = T::from_bits64(cell.load(Ordering::Relaxed));
         }
     }
 
@@ -73,7 +104,11 @@ pub struct RowWorkspace {
 impl RowWorkspace {
     /// Workspace for matrices of dimension `n`.
     pub fn new(n: usize) -> Self {
-        RowWorkspace { pos: vec![0; n], epoch: vec![0; n], cur: 0 }
+        RowWorkspace {
+            pos: vec![0; n],
+            epoch: vec![0; n],
+            cur: 0,
+        }
     }
 
     /// Loads the column→entry map of row `r`.

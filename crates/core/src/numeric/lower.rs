@@ -66,10 +66,19 @@ pub fn factor_lower_er<T: Scalar>(
 enum SrNode {
     /// Small segment: divide + update directly (entry range `k_lo..k_hi`
     /// of `row`, all columns inside one level block).
-    Seg { row: usize, k_lo: usize, k_hi: usize },
+    Seg {
+        row: usize,
+        k_lo: usize,
+        k_hi: usize,
+    },
     /// Tile of a large segment: divide its entries and collect update
     /// deltas into `buf`.
-    Tile { row: usize, k_lo: usize, k_hi: usize, buf: usize },
+    Tile {
+        row: usize,
+        k_lo: usize,
+        k_hi: usize,
+        buf: usize,
+    },
     /// Applies the delta buffers `bufs` (in order) to `row`.
     Apply { bufs: std::ops::Range<usize> },
 }
@@ -113,14 +122,17 @@ pub fn factor_lower_sr<T: Scalar>(
                 lvl += 1;
             }
             let block_col_end = upper_level_ptr[lvl + 1];
-            let seg_end =
-                rs + ctx.colidx[rs..re].partition_point(|&c| c < block_col_end);
+            let seg_end = rs + ctx.colidx[rs..re].partition_point(|&c| c < block_col_end);
             debug_assert!(seg_end > k);
             let seg_len = seg_end - k;
             let first_node = nodes.len();
             let last_node;
             if seg_len <= tile_size {
-                nodes.push(SrNode::Seg { row: r, k_lo: k, k_hi: seg_end });
+                nodes.push(SrNode::Seg {
+                    row: r,
+                    k_lo: k,
+                    k_hi: seg_end,
+                });
                 last_node = first_node;
             } else {
                 // DIVIDE_COLUMNS over tiles, then one UPDATE apply.
@@ -128,12 +140,19 @@ pub fn factor_lower_sr<T: Scalar>(
                 let mut t = k;
                 while t < seg_end {
                     let t_hi = (t + tile_size).min(seg_end);
-                    nodes.push(SrNode::Tile { row: r, k_lo: t, k_hi: t_hi, buf: n_bufs });
+                    nodes.push(SrNode::Tile {
+                        row: r,
+                        k_lo: t,
+                        k_hi: t_hi,
+                        buf: n_bufs,
+                    });
                     n_bufs += 1;
                     t = t_hi;
                 }
                 let apply = nodes.len();
-                nodes.push(SrNode::Apply { bufs: buf_lo..n_bufs });
+                nodes.push(SrNode::Apply {
+                    bufs: buf_lo..n_bufs,
+                });
                 for tile_node in first_node..apply {
                     deps.push((tile_node, apply));
                 }
@@ -156,8 +175,9 @@ pub fn factor_lower_sr<T: Scalar>(
 
     let bufs: Vec<Mutex<Vec<(usize, T)>>> = (0..n_bufs).map(|_| Mutex::new(Vec::new())).collect();
     let graph = TaskGraph::new(nodes.len(), &deps);
-    let workspaces: Vec<Mutex<RowWorkspace>> =
-        (0..nthreads).map(|_| Mutex::new(RowWorkspace::new(n))).collect();
+    let workspaces: Vec<Mutex<RowWorkspace>> = (0..nthreads)
+        .map(|_| Mutex::new(RowWorkspace::new(n)))
+        .collect();
     let dropping = !ctx.drop_thresh.is_empty();
     graph.execute_with_tid(nthreads, |tid, node| {
         match &nodes[node] {
@@ -168,7 +188,12 @@ pub fn factor_lower_sr<T: Scalar>(
                 let col_hi = ctx.colidx[*k_hi - 1] + 1;
                 eliminate_columns(ctx, &ws, *row, col_lo, col_hi);
             }
-            SrNode::Tile { row, k_lo, k_hi, buf } => {
+            SrNode::Tile {
+                row,
+                k_lo,
+                k_hi,
+                buf,
+            } => {
                 // DIVIDE_COLUMNS + delta collection (race-free: each
                 // tile writes only its own entries and its own buffer).
                 let mut ws = workspaces[tid].lock();
@@ -224,11 +249,7 @@ pub fn factor_corner<T: Scalar>(ctx: &NumericCtx<'_, T>, n_upper: usize) {
 /// serial or parallel"; §III-B). Levels are computed on the corner's
 /// own dependency sub-pattern, then the standard pruned-wait machinery
 /// runs. Bit-identical to [`factor_corner`].
-pub fn factor_corner_parallel<T: Scalar>(
-    ctx: &NumericCtx<'_, T>,
-    n_upper: usize,
-    nthreads: usize,
-) {
+pub fn factor_corner_parallel<T: Scalar>(ctx: &NumericCtx<'_, T>, n_upper: usize, nthreads: usize) {
     use javelin_level::P2PSchedule;
     use javelin_sync::ProgressCounters;
 
@@ -382,7 +403,11 @@ mod tests {
     fn er_matches_serial_bitwise() {
         let reference = run_engine("serial", 1, 4);
         for nthreads in [1, 2, 4] {
-            assert_eq!(run_engine("er", nthreads, 4), reference, "nthreads={nthreads}");
+            assert_eq!(
+                run_engine("er", nthreads, 4),
+                reference,
+                "nthreads={nthreads}"
+            );
         }
     }
 

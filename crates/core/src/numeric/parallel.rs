@@ -84,7 +84,11 @@ mod tests {
     }
 
     fn ctx_parts() -> (AtomicUsize, AtomicUsize, AtomicUsize) {
-        (AtomicUsize::new(0), AtomicUsize::new(0), AtomicUsize::new(usize::MAX))
+        (
+            AtomicUsize::new(0),
+            AtomicUsize::new(0),
+            AtomicUsize::new(usize::MAX),
+        )
     }
 
     #[test]

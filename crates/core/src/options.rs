@@ -120,6 +120,12 @@ pub struct IluOptions {
     /// scheduling instead of serially ("for most matrices, serial seems
     /// to be good enough" — paper §III-B — so this defaults off).
     pub parallel_corner: bool,
+    /// Run triangular solves on a persistent worker team owned by the
+    /// factorization (parked threads, woken per region) instead of
+    /// spawning threads per solve. Defaults on — the Krylov hot loop is
+    /// what the factors exist for; disable for one-shot solves or when
+    /// resident threads are unwanted.
+    pub persistent_team: bool,
 }
 
 impl Default for IluOptions {
@@ -138,6 +144,7 @@ impl Default for IluOptions {
             pivot_threshold: 1e-14,
             parallel_symbolic: false,
             parallel_corner: false,
+            persistent_team: true,
         }
     }
 }
@@ -146,7 +153,10 @@ impl IluOptions {
     /// ILU(0) with `nthreads` workers and default two-stage split — the
     /// paper's benchmark configuration.
     pub fn ilu0(nthreads: usize) -> Self {
-        IluOptions { nthreads, ..Default::default() }
+        IluOptions {
+            nthreads,
+            ..Default::default()
+        }
     }
 
     /// Pure level scheduling (the paper's "LS" bars): no lower stage.
@@ -194,7 +204,10 @@ mod tests {
 
     #[test]
     fn builders_compose() {
-        let o = IluOptions::ilu0(4).with_fill(2).with_drop_tol(1e-3).with_milu(1.0);
+        let o = IluOptions::ilu0(4)
+            .with_fill(2)
+            .with_drop_tol(1e-3)
+            .with_milu(1.0);
         assert_eq!(o.nthreads, 4);
         assert_eq!(o.fill_level, 2);
         assert_eq!(o.drop_tol, 1e-3);

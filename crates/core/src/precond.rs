@@ -3,6 +3,30 @@
 use crate::factors::IluFactors;
 use javelin_sparse::{CsrMatrix, Scalar};
 
+/// Caller-owned scratch for [`Preconditioner::apply_with`]: buffers an
+/// application may use instead of allocating. Grown on first use, then
+/// reused — a Krylov solver keeps one of these (inside its
+/// `SolverWorkspace`) for the whole solve.
+#[derive(Debug, Clone, Default)]
+pub struct ApplyScratch<T> {
+    buf: Vec<T>,
+}
+
+impl<T: Scalar> ApplyScratch<T> {
+    /// Fresh, empty scratch.
+    pub fn new() -> Self {
+        ApplyScratch { buf: Vec::new() }
+    }
+
+    /// A buffer of at least `n` entries (contents unspecified).
+    pub fn buffer(&mut self, n: usize) -> &mut Vec<T> {
+        if self.buf.len() < n {
+            self.buf.resize(n, T::ZERO);
+        }
+        &mut self.buf
+    }
+}
+
 /// Application of `z = M⁻¹·r` inside a Krylov iteration.
 ///
 /// # Panics
@@ -11,6 +35,16 @@ use javelin_sparse::{CsrMatrix, Scalar};
 pub trait Preconditioner<T: Scalar>: Sync {
     /// Applies the preconditioner: `z ← M⁻¹ r`.
     fn apply(&self, r: &[T], z: &mut [T]);
+
+    /// Applies the preconditioner with caller-owned scratch, so
+    /// implementations that need working memory (e.g. the ILU factors'
+    /// permutation buffer) can run allocation-free in the steady state.
+    /// The default falls back to [`Preconditioner::apply`]; stateless
+    /// implementations need not override it.
+    fn apply_with(&self, scratch: &mut ApplyScratch<T>, r: &[T], z: &mut [T]) {
+        let _ = scratch;
+        self.apply(r, z);
+    }
 }
 
 /// The identity preconditioner (`M = I`) — turns PCG into CG.
@@ -52,7 +86,13 @@ impl<T: Scalar> Preconditioner<T> for JacobiPrecond<T> {
 
 impl<T: Scalar> Preconditioner<T> for IluFactors<T> {
     fn apply(&self, r: &[T], z: &mut [T]) {
-        self.solve_into(r, z).expect("preconditioner buffers sized by the solver");
+        self.solve_into(r, z)
+            .expect("preconditioner buffers sized by the solver");
+    }
+
+    fn apply_with(&self, scratch: &mut ApplyScratch<T>, r: &[T], z: &mut [T]) {
+        self.solve_with_buffer(self.default_engine(), scratch.buffer(self.n()), r, z)
+            .expect("preconditioner buffers sized by the solver");
     }
 }
 
@@ -80,7 +120,11 @@ impl<T: Scalar> SsorPrecond<T> {
     pub fn new(a: &CsrMatrix<T>, omega: f64) -> Result<Self, javelin_sparse::SparseError> {
         assert!(omega > 0.0 && omega < 2.0, "SSOR needs omega in (0, 2)");
         let diag_pos = a.diag_positions()?;
-        Ok(SsorPrecond { a: a.clone(), diag_pos, omega: T::from_f64(omega) })
+        Ok(SsorPrecond {
+            a: a.clone(),
+            diag_pos,
+            omega: T::from_f64(omega),
+        })
     }
 
     /// The relaxation factor.

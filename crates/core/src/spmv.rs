@@ -5,15 +5,22 @@
 //! * [`spmv_serial`] — the plain CSR loop (re-exported from
 //!   `javelin-sparse`);
 //! * [`spmv_parallel`] — contiguous row chunks per thread;
-//! * [`spmv_csr5lite`] — a CSR5-inspired tiled segmented-sum kernel:
-//!   fixed-size tiles over the *entry* stream (so wildly unbalanced
-//!   rows cannot skew one thread), per-tile partial sums, deterministic
-//!   tile-order combination. This is the kernel shape the SR layout is
-//!   co-designed with (paper §II, §III-B).
+//! * [`SpmvPlan`] / [`spmv_csr5lite`] — a CSR5-inspired tiled
+//!   segmented-sum kernel: fixed-size tiles over the *entry* stream (so
+//!   wildly unbalanced rows cannot skew one thread), per-tile partial
+//!   sums, deterministic tile-order combination. This is the kernel
+//!   shape the SR layout is co-designed with (paper §II, §III-B).
+//!
+//! The tiled kernel follows the crate's plan/execute split:
+//! [`SpmvPlan::new`] derives every tile descriptor (first row, partial
+//! slot range, thread ownership) from the sparsity pattern once, and
+//! [`SpmvPlan::execute`] then runs without heap allocation or searches
+//! — the per-iteration shape the Krylov loop needs. [`spmv_csr5lite`]
+//! wraps plan + execute for one-shot callers.
 
+use crate::numeric::LuVals;
 use javelin_sparse::{CsrMatrix, Scalar};
-use javelin_sync::pool;
-use parking_lot::Mutex;
+use javelin_sync::{pool, Exec};
 
 /// Serial CSR spmv: `y = A·x`.
 pub fn spmv_serial<T: Scalar>(a: &CsrMatrix<T>, x: &[T], y: &mut [T]) {
@@ -39,8 +46,169 @@ pub fn spmv_parallel<T: Scalar>(a: &CsrMatrix<T>, x: &[T], y: &mut [T], nthreads
     });
 }
 
+/// A precomputed execution plan for the CSR5-inspired tiled spmv.
+///
+/// Built once per sparsity pattern, executed arbitrarily many times:
+/// construction derives, per entry-stream tile, the first row it
+/// touches and a disjoint range inside one flat partial-sum buffer;
+/// execution writes tile partials into those ranges (each slot owned by
+/// exactly one thread — no locks) and combines them in deterministic
+/// tile order. After construction, [`execute`](SpmvPlan::execute)
+/// performs **zero heap allocations** and, when built on a persistent
+/// team, **zero thread spawns**.
+///
+/// The plan is tied to the *pattern* of the matrix it was built from
+/// (`nrows`/`nnz` are checked; entry values are read fresh on every
+/// execute, so numeric refactorizations reuse the plan unchanged).
+#[derive(Debug)]
+pub struct SpmvPlan<T> {
+    nrows: usize,
+    ncols: usize,
+    nnz: usize,
+    tile: usize,
+    n_tiles: usize,
+    /// Row containing the first entry of each tile.
+    first_row: Vec<usize>,
+    /// Partial-slot range of tile `t`: `slot_ptr[t]..slot_ptr[t + 1]`.
+    slot_ptr: Vec<usize>,
+    /// Flat per-tile partial sums, disjointly indexed via `slot_ptr`.
+    partials: LuVals<T>,
+    exec: Exec,
+}
+
+impl<T: Scalar> SpmvPlan<T> {
+    /// Plans the tiled spmv for `a` on a persistent worker team of
+    /// `nthreads` (spawned here, parked between executes). `tile_size`
+    /// is in entries.
+    pub fn new(a: &CsrMatrix<T>, nthreads: usize, tile_size: usize) -> Self {
+        let exec = if nthreads.max(1) == 1 {
+            Exec::spawn(1)
+        } else {
+            Exec::team(nthreads)
+        };
+        Self::with_exec(a, exec, tile_size)
+    }
+
+    /// Plans the tiled spmv with an explicit execution context (e.g.
+    /// [`Exec::spawn`] for one-shot use, or a shared team).
+    pub fn with_exec(a: &CsrMatrix<T>, exec: Exec, tile_size: usize) -> Self {
+        let nnz = a.nnz();
+        let tile = tile_size.max(1);
+        let n_tiles = nnz.div_ceil(tile);
+        let rowptr = a.rowptr();
+        let mut first_row = Vec::with_capacity(n_tiles);
+        let mut slot_ptr = Vec::with_capacity(n_tiles + 1);
+        slot_ptr.push(0usize);
+        for t in 0..n_tiles {
+            let lo = t * tile;
+            let hi = ((t + 1) * tile).min(nnz);
+            // Rows containing the tile's first and last entry (empty
+            // rows before a boundary are skipped, matching the walk in
+            // `execute`).
+            let fr = rowptr.partition_point(|&p| p <= lo).saturating_sub(1);
+            let lr = rowptr.partition_point(|&p| p < hi).saturating_sub(1);
+            first_row.push(fr);
+            slot_ptr.push(slot_ptr[t] + (lr - fr + 1));
+        }
+        let partials = LuVals::zeroed(*slot_ptr.last().expect("nonempty"));
+        SpmvPlan {
+            nrows: a.nrows(),
+            ncols: a.ncols(),
+            nnz,
+            tile,
+            n_tiles,
+            first_row,
+            slot_ptr,
+            partials,
+            exec,
+        }
+    }
+
+    /// Threads used per execute.
+    pub fn nthreads(&self) -> usize {
+        self.exec.nthreads()
+    }
+
+    /// Tile size in entries.
+    pub fn tile_size(&self) -> usize {
+        self.tile
+    }
+
+    /// Number of entry-stream tiles.
+    pub fn n_tiles(&self) -> usize {
+        self.n_tiles
+    }
+
+    /// Executes `y = A·x` through the plan: allocation-free, results
+    /// bit-identical for every thread count (fixed tile-order
+    /// combination).
+    ///
+    /// # Panics
+    /// When `a`'s shape/nnz do not match the planned matrix, or on
+    /// vector length mismatches.
+    pub fn execute(&self, a: &CsrMatrix<T>, x: &[T], y: &mut [T]) {
+        assert_eq!(a.nrows(), self.nrows, "spmv plan: row count changed");
+        assert_eq!(a.ncols(), self.ncols, "spmv plan: col count changed");
+        assert_eq!(a.nnz(), self.nnz, "spmv plan: nnz changed");
+        assert_eq!(x.len(), self.ncols, "spmv: x length mismatch");
+        assert_eq!(y.len(), self.nrows, "spmv: y length mismatch");
+        if self.nnz == 0 {
+            y.fill(T::ZERO);
+            return;
+        }
+        let rowptr = a.rowptr();
+        let vals = a.vals();
+        let colidx = a.colidx();
+        let nthreads = self.exec.nthreads();
+        let tiles_per_thread = self.n_tiles.div_ceil(nthreads).max(1);
+        self.exec.run(|tid| {
+            let t_lo = (tid * tiles_per_thread).min(self.n_tiles);
+            let t_hi = ((tid + 1) * tiles_per_thread).min(self.n_tiles);
+            for t in t_lo..t_hi {
+                let lo = t * self.tile;
+                let hi = ((t + 1) * self.tile).min(self.nnz);
+                let base = self.slot_ptr[t];
+                let mut row = self.first_row[t];
+                let mut slot = 0usize;
+                let mut acc = T::ZERO;
+                let mut cursor = lo;
+                while cursor < hi {
+                    while rowptr[row + 1] <= cursor {
+                        self.partials.set(base + slot, acc);
+                        slot += 1;
+                        acc = T::ZERO;
+                        row += 1;
+                    }
+                    let stop = rowptr[row + 1].min(hi);
+                    for k in cursor..stop {
+                        acc += vals[k] * x[colidx[k]];
+                    }
+                    cursor = stop;
+                }
+                self.partials.set(base + slot, acc);
+                debug_assert_eq!(base + slot + 1, self.slot_ptr[t + 1]);
+            }
+        });
+        // Deterministic combination in tile order.
+        y.fill(T::ZERO);
+        for t in 0..self.n_tiles {
+            let first_row = self.first_row[t];
+            for (k, s) in (self.slot_ptr[t]..self.slot_ptr[t + 1]).enumerate() {
+                let r = first_row + k;
+                if r < self.nrows {
+                    y[r] += self.partials.get(s);
+                }
+            }
+        }
+    }
+}
+
 /// CSR5-inspired tiled spmv: `y = A·x` via entry-stream tiles and
 /// segmented partial sums. `tile_size` is in entries.
+///
+/// One-shot convenience wrapper: plans on every call and executes with
+/// spawn-per-region threads. Repeated callers (Krylov loops) should
+/// build a [`SpmvPlan`] once and call [`SpmvPlan::execute`] instead.
 pub fn spmv_csr5lite<T: Scalar>(
     a: &CsrMatrix<T>,
     x: &[T],
@@ -48,61 +216,8 @@ pub fn spmv_csr5lite<T: Scalar>(
     nthreads: usize,
     tile_size: usize,
 ) {
-    assert_eq!(x.len(), a.ncols(), "spmv: x length mismatch");
-    assert_eq!(y.len(), a.nrows(), "spmv: y length mismatch");
-    let n = a.nrows();
-    let nnz = a.nnz();
-    if nnz == 0 {
-        y.fill(T::ZERO);
-        return;
-    }
-    let tile = tile_size.max(1);
-    let n_tiles = nnz.div_ceil(tile);
-    let rowptr = a.rowptr();
-    let vals = a.vals();
-    let colidx = a.colidx();
-    // Per-tile partials: (first_row, sums...) — one slot per tile, each
-    // written by exactly one worker.
-    let partials: Vec<Mutex<(usize, Vec<T>)>> =
-        (0..n_tiles).map(|_| Mutex::new((0, Vec::new()))).collect();
-    pool::parallel_chunks(nthreads, n_tiles, |_tid, tiles| {
-        for t in tiles {
-            let lo = t * tile;
-            let hi = ((t + 1) * tile).min(nnz);
-            // Row containing entry `lo` (skipping empty rows).
-            let first_row = rowptr.partition_point(|&p| p <= lo).saturating_sub(1);
-            let mut sums: Vec<T> = Vec::new();
-            let mut row = first_row;
-            let mut acc = T::ZERO;
-            let mut cursor = lo;
-            while cursor < hi {
-                while rowptr[row + 1] <= cursor {
-                    sums.push(acc);
-                    acc = T::ZERO;
-                    row += 1;
-                }
-                let stop = rowptr[row + 1].min(hi);
-                for k in cursor..stop {
-                    acc += vals[k] * x[colidx[k]];
-                }
-                cursor = stop;
-            }
-            sums.push(acc);
-            *partials[t].lock() = (first_row, sums);
-        }
-    });
-    // Deterministic combination in tile order.
-    y.fill(T::ZERO);
-    for p in &partials {
-        let guard = p.lock();
-        let (first_row, sums) = (&guard.0, &guard.1);
-        for (k, &v) in sums.iter().enumerate() {
-            let r = first_row + k;
-            if r < n {
-                y[r] += v;
-            }
-        }
-    }
+    let plan = SpmvPlan::with_exec(a, Exec::spawn(nthreads.max(1)), tile_size);
+    plan.execute(a, x, y);
 }
 
 #[cfg(test)]
@@ -175,5 +290,98 @@ mod tests {
         let mut y0 = vec![5.0; 3];
         spmv_csr5lite(&empty, &[1.0, 1.0, 1.0], &mut y0, 2, 4);
         assert_eq!(y0, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn plan_reuse_is_bitwise_stable_and_matches_one_shot() {
+        let a = skewed(80);
+        let x: Vec<f64> = (0..80).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut y_once = vec![0.0; 80];
+        spmv_csr5lite(&a, &x, &mut y_once, 3, 16);
+        let plan = SpmvPlan::new(&a, 3, 16);
+        let mut y1 = vec![0.0; 80];
+        plan.execute(&a, &x, &mut y1);
+        let bits1: Vec<u64> = y1.iter().map(|v| v.to_bits()).collect();
+        // Repeated executes through the same plan: identical bits.
+        for _ in 0..5 {
+            let mut y2 = vec![7.0; 80];
+            plan.execute(&a, &x, &mut y2);
+            let bits2: Vec<u64> = y2.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(bits1, bits2);
+        }
+        // And identical to the one-shot wrapper (same tile order).
+        let bits0: Vec<u64> = y_once.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits0, bits1);
+    }
+
+    #[test]
+    fn plan_thread_count_does_not_change_bits() {
+        let a = skewed(91);
+        let x: Vec<f64> = (0..91).map(|i| ((i * 13 % 7) as f64) - 3.0).collect();
+        let reference = {
+            let plan = SpmvPlan::new(&a, 1, 8);
+            let mut y = vec![0.0; 91];
+            plan.execute(&a, &x, &mut y);
+            y.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        };
+        for nthreads in [2, 3, 8] {
+            let plan = SpmvPlan::new(&a, nthreads, 8);
+            let mut y = vec![0.0; 91];
+            plan.execute(&a, &x, &mut y);
+            let bits: Vec<u64> = y.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(bits, reference, "nthreads={nthreads}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use javelin_sparse::CooMatrix;
+    use proptest::prelude::*;
+
+    /// Random rectangular-ish square matrix allowing empty rows,
+    /// empty leading/trailing blocks, and duplicate-free structure.
+    fn arb_matrix(n_max: usize) -> impl Strategy<Value = CsrMatrix<f64>> {
+        (1..n_max).prop_flat_map(|n| {
+            proptest::collection::vec((0..n, 0..n, -3.0..3.0f64), 0..n * 3).prop_map(move |trips| {
+                let mut coo = CooMatrix::new(n, n);
+                let mut seen = std::collections::HashSet::new();
+                for (r, c, v) in trips {
+                    if seen.insert((r, c)) {
+                        coo.push(r, c, v).unwrap();
+                    }
+                }
+                coo.to_csr()
+            })
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Planned execution equals the serial kernel for every
+        /// (threads × tile) combination the issue calls out, including
+        /// matrices with empty rows and fully empty matrices.
+        #[test]
+        fn planned_spmv_matches_serial(a in arb_matrix(40)) {
+            let n = a.nrows();
+            let x: Vec<f64> = (0..n).map(|i| 0.25 + (i % 5) as f64).collect();
+            let mut y_ref = vec![0.0; n];
+            spmv_serial(&a, &x, &mut y_ref);
+            for nthreads in [1usize, 2, 3, 8] {
+                for tile in [1usize, 3, 8, 64, 1024] {
+                    let plan = SpmvPlan::new(&a, nthreads, tile);
+                    let mut y = vec![f64::NAN; n];
+                    plan.execute(&a, &x, &mut y);
+                    for (g, w) in y.iter().zip(y_ref.iter()) {
+                        prop_assert!(
+                            (g - w).abs() < 1e-10 * w.abs().max(1.0),
+                            "nthreads={} tile={}: {} vs {}", nthreads, tile, g, w
+                        );
+                    }
+                }
+            }
+        }
     }
 }

@@ -63,7 +63,13 @@ mod tests {
 
     #[test]
     fn ratios() {
-        let s = FactorStats { nnz_a: 100, nnz_lu: 150, n_raw_deps: 50, n_waits: 10, ..Default::default() };
+        let s = FactorStats {
+            nnz_a: 100,
+            nnz_lu: 150,
+            n_raw_deps: 50,
+            n_waits: 10,
+            ..Default::default()
+        };
         assert!((s.fill_ratio() - 1.5).abs() < 1e-12);
         assert!((s.wait_sparsification() - 0.8).abs() < 1e-12);
     }

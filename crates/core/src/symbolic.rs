@@ -265,7 +265,10 @@ impl RowSearch {
 
 fn validate<T: Scalar>(a: &CsrMatrix<T>) -> Result<(), SparseError> {
     if !a.is_square() {
-        return Err(SparseError::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
+        return Err(SparseError::NotSquare {
+            nrows: a.nrows(),
+            ncols: a.ncols(),
+        });
     }
     a.diag_positions().map(|_| ())
 }
@@ -341,8 +344,14 @@ mod tests {
             // Expected fill: (n-1, j) and (j, n-1) for 1 <= j <= k.
             assert_eq!(p.nnz(), a.nnz() + 2 * k, "k={k}");
             for j in 1..=k {
-                assert!(p.row_cols(n - 1).binary_search(&j).is_ok(), "(n-1,{j}) k={k}");
-                assert!(p.row_cols(j).binary_search(&(n - 1)).is_ok(), "({j},n-1) k={k}");
+                assert!(
+                    p.row_cols(n - 1).binary_search(&j).is_ok(),
+                    "(n-1,{j}) k={k}"
+                );
+                assert!(
+                    p.row_cols(j).binary_search(&(n - 1)).is_ok(),
+                    "({j},n-1) k={k}"
+                );
             }
         }
     }

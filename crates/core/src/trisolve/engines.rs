@@ -13,13 +13,27 @@
 //! Solution storage is the bit-packed [`LuVals`] so threads can write
 //! disjoint rows without `unsafe`; ordering comes from the progress
 //! counters / barriers.
+//!
+//! All engines are **allocation-free per call**: every buffer they
+//! touch (progress counters, barrier, tiled-gather partials, the
+//! combination buffer) lives in a [`SolveScratch`] built once per
+//! factorization, and the parallel region runs on whatever
+//! [`Exec`] the plan was built with — a persistent team in the
+//! steady state. The scratch is reset at engine entry, so one scratch
+//! serves any number of solves (caller guarantees solves on one scratch
+//! are not concurrent; `IluFactors` does so with a mutex).
+//!
+//! The hot path is the *fused* pair [`solve_p2p_fused`] /
+//! [`solve_barrier_fused`]: forward and backward substitution in one
+//! parallel region, so a full preconditioner apply costs a single team
+//! wake-up instead of two. The separate forward/backward entry points
+//! remain for callers that interleave other work between the sweeps.
 
 use crate::factors::SolvePlan;
 use crate::numeric::LuVals;
 use javelin_level::LevelSets;
 use javelin_sparse::{CsrMatrix, Scalar};
-use javelin_sync::{pool, ProgressCounters, SpinBarrier};
-use parking_lot::Mutex;
+use javelin_sync::{Exec, ProgressCounters, SpinBarrier};
 
 /// Whether the point-to-point engines use the tiled lower-stage path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,13 +45,99 @@ pub enum LowerTiles {
     On,
 }
 
+/// Reusable per-factorization scratch for the parallel solve engines:
+/// everything `forward_p2p`/`backward_p2p`/`*_barrier` previously
+/// allocated per call, built once from the [`SolvePlan`].
+///
+/// * forward/backward progress counters and the barrier, reset per
+///   engine entry;
+/// * the tiled trailing-block gather layout: per-tile first segment and
+///   a disjoint slot range in one flat partial buffer (replacing both
+///   the per-call `Vec<Mutex<Vec<…>>>` and the per-tile
+///   `partition_point` searches);
+/// * the trailing-block combination buffer `z`;
+/// * `xbuf`, the bit-packed in-place solution vector the engines
+///   operate on, loaded/stored by the caller.
+#[derive(Debug)]
+pub struct SolveScratch<T> {
+    nthreads: usize,
+    tile: usize,
+    progress: ProgressCounters,
+    /// Separate counters for the backward schedule so the fused
+    /// forward+backward region never resets counters mid-flight.
+    bwd_progress: ProgressCounters,
+    barrier: SpinBarrier,
+    /// Number of trailing-block gather tiles (0 when no lower stage).
+    n_tiles: usize,
+    /// Per tile: first trailing-block segment it overlaps.
+    tile_first_seg: Vec<usize>,
+    /// Per tile: slot range `slot_ptr[t]..slot_ptr[t + 1]` in `partials`.
+    slot_ptr: Vec<usize>,
+    /// Flat tiled-gather partials, disjointly owned via `slot_ptr`.
+    partials: LuVals<T>,
+    /// Per-trailing-row combination buffer (length `n - n_upper`).
+    z: LuVals<T>,
+    /// The in-place solve buffer (length `n`).
+    pub(crate) xbuf: LuVals<T>,
+}
+
+impl<T: Scalar> SolveScratch<T> {
+    /// Builds scratch for solving factors of dimension `n` under `plan`
+    /// with `nthreads` workers and `tile_size`-entry gather tiles.
+    pub fn new(plan: &SolvePlan, n: usize, nthreads: usize, tile_size: usize) -> Self {
+        let tile = tile_size.max(1);
+        let n_block_entries = *plan.block_seg_ptr.last().unwrap_or(&0);
+        let n_tiles = if n_block_entries > 0 {
+            n_block_entries.div_ceil(tile)
+        } else {
+            0
+        };
+        let mut tile_first_seg = Vec::with_capacity(n_tiles);
+        let mut slot_ptr = Vec::with_capacity(n_tiles + 1);
+        slot_ptr.push(0usize);
+        for t in 0..n_tiles {
+            let lo = t * tile;
+            let hi = ((t + 1) * tile).min(n_block_entries);
+            let first = plan
+                .block_seg_ptr
+                .partition_point(|&p| p <= lo)
+                .saturating_sub(1);
+            let last = plan
+                .block_seg_ptr
+                .partition_point(|&p| p < hi)
+                .saturating_sub(1);
+            tile_first_seg.push(first);
+            slot_ptr.push(slot_ptr[t] + (last - first + 1));
+        }
+        let n_slots = *slot_ptr.last().expect("nonempty");
+        SolveScratch {
+            nthreads,
+            tile,
+            progress: ProgressCounters::new(nthreads),
+            bwd_progress: ProgressCounters::new(nthreads),
+            barrier: SpinBarrier::new(nthreads),
+            n_tiles,
+            tile_first_seg,
+            slot_ptr,
+            partials: LuVals::zeroed(n_slots),
+            z: LuVals::zeroed(n - plan.n_upper),
+            xbuf: LuVals::zeroed(n),
+        }
+    }
+
+    /// Threads the scratch was sized for.
+    pub fn nthreads(&self) -> usize {
+        self.nthreads
+    }
+
+    /// Gather tile size in entries.
+    pub fn tile_size(&self) -> usize {
+        self.tile
+    }
+}
+
 #[inline]
-fn row_sum_lower<T: Scalar>(
-    lu: &CsrMatrix<T>,
-    diag_pos: &[usize],
-    x: &LuVals<T>,
-    r: usize,
-) -> T {
+fn row_sum_lower<T: Scalar>(lu: &CsrMatrix<T>, diag_pos: &[usize], x: &LuVals<T>, r: usize) -> T {
     let vals = lu.vals();
     let colidx = lu.colidx();
     let mut sum = T::ZERO;
@@ -48,12 +148,7 @@ fn row_sum_lower<T: Scalar>(
 }
 
 #[inline]
-fn row_sum_upper<T: Scalar>(
-    lu: &CsrMatrix<T>,
-    diag_pos: &[usize],
-    x: &LuVals<T>,
-    r: usize,
-) -> T {
+fn row_sum_upper<T: Scalar>(lu: &CsrMatrix<T>, diag_pos: &[usize], x: &LuVals<T>, r: usize) -> T {
     let vals = lu.vals();
     let colidx = lu.colidx();
     let mut sum = T::ZERO;
@@ -63,26 +158,67 @@ fn row_sum_upper<T: Scalar>(
     sum
 }
 
+/// One thread's share of the barriered forward level sweep.
+#[inline]
+fn forward_barrier_phase<T: Scalar>(
+    lu: &CsrMatrix<T>,
+    diag_pos: &[usize],
+    levels: &LevelSets,
+    scratch: &SolveScratch<T>,
+    nthreads: usize,
+    tid: usize,
+    x: &LuVals<T>,
+) {
+    for l in 0..levels.n_levels() {
+        let rows = levels.level(l);
+        let mut i = tid;
+        while i < rows.len() {
+            let r = rows[i];
+            x.set(r, x.get(r) - row_sum_lower(lu, diag_pos, x, r));
+            i += nthreads;
+        }
+        scratch.barrier.wait();
+    }
+}
+
+/// One thread's share of the barriered backward level sweep.
+#[inline]
+fn backward_barrier_phase<T: Scalar>(
+    lu: &CsrMatrix<T>,
+    diag_pos: &[usize],
+    levels: &LevelSets,
+    scratch: &SolveScratch<T>,
+    nthreads: usize,
+    tid: usize,
+    x: &LuVals<T>,
+) {
+    for l in 0..levels.n_levels() {
+        let rows = levels.level(l);
+        let mut i = tid;
+        while i < rows.len() {
+            let r = rows[i];
+            let d = lu.vals()[diag_pos[r]];
+            x.set(r, (x.get(r) - row_sum_upper(lu, diag_pos, x, r)) / d);
+            i += nthreads;
+        }
+        scratch.barrier.wait();
+    }
+}
+
 /// Barriered level-set forward solve (CSR-LS baseline), in place.
 pub fn forward_barrier<T: Scalar>(
     lu: &CsrMatrix<T>,
     diag_pos: &[usize],
     levels: &LevelSets,
-    nthreads: usize,
+    scratch: &SolveScratch<T>,
+    exec: &Exec,
     x: &LuVals<T>,
 ) {
-    let barrier = SpinBarrier::new(nthreads);
-    pool::run_on_threads(nthreads, |tid| {
-        for l in 0..levels.n_levels() {
-            let rows = levels.level(l);
-            let mut i = tid;
-            while i < rows.len() {
-                let r = rows[i];
-                x.set(r, x.get(r) - row_sum_lower(lu, diag_pos, x, r));
-                i += nthreads;
-            }
-            barrier.wait();
-        }
+    let nthreads = exec.nthreads();
+    debug_assert_eq!(nthreads, scratch.nthreads);
+    scratch.barrier.reset();
+    exec.run(|tid| {
+        forward_barrier_phase(lu, diag_pos, levels, scratch, nthreads, tid, x);
     });
 }
 
@@ -91,23 +227,177 @@ pub fn backward_barrier<T: Scalar>(
     lu: &CsrMatrix<T>,
     diag_pos: &[usize],
     levels: &LevelSets,
-    nthreads: usize,
+    scratch: &SolveScratch<T>,
+    exec: &Exec,
     x: &LuVals<T>,
 ) {
-    let barrier = SpinBarrier::new(nthreads);
-    pool::run_on_threads(nthreads, |tid| {
-        for l in 0..levels.n_levels() {
-            let rows = levels.level(l);
-            let mut i = tid;
-            while i < rows.len() {
-                let r = rows[i];
-                let d = lu.vals()[diag_pos[r]];
-                x.set(r, (x.get(r) - row_sum_upper(lu, diag_pos, x, r)) / d);
-                i += nthreads;
-            }
-            barrier.wait();
-        }
+    let nthreads = exec.nthreads();
+    debug_assert_eq!(nthreads, scratch.nthreads);
+    scratch.barrier.reset();
+    exec.run(|tid| {
+        backward_barrier_phase(lu, diag_pos, levels, scratch, nthreads, tid, x);
     });
+}
+
+/// Fused CSR-LS solve: forward then backward level sweeps in a single
+/// parallel region (the per-level barriers already order the
+/// transition), halving the region count of the barriered baseline.
+pub fn solve_barrier_fused<T: Scalar>(
+    lu: &CsrMatrix<T>,
+    diag_pos: &[usize],
+    fwd_levels: &LevelSets,
+    bwd_levels: &LevelSets,
+    scratch: &SolveScratch<T>,
+    exec: &Exec,
+    x: &LuVals<T>,
+) {
+    let nthreads = exec.nthreads();
+    debug_assert_eq!(nthreads, scratch.nthreads);
+    scratch.barrier.reset();
+    exec.run(|tid| {
+        forward_barrier_phase(lu, diag_pos, fwd_levels, scratch, nthreads, tid, x);
+        // The barrier after the last forward level orders every forward
+        // write before the first backward read.
+        backward_barrier_phase(lu, diag_pos, bwd_levels, scratch, nthreads, tid, x);
+    });
+}
+
+/// One thread's share of the point-to-point forward solve: upper stage
+/// through the pruned-wait schedule, then (under `use_tiles`) the tiled
+/// trailing-block gather, then tid 0's combination + trailing rows.
+/// Ends with every thread past the trailing stage; the caller decides
+/// what synchronization follows.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn forward_p2p_phase<T: Scalar>(
+    lu: &CsrMatrix<T>,
+    diag_pos: &[usize],
+    plan: &SolvePlan,
+    scratch: &SolveScratch<T>,
+    nthreads: usize,
+    use_tiles: bool,
+    tid: usize,
+    x: &LuVals<T>,
+) {
+    let n = lu.nrows();
+    let n_upper = plan.n_upper;
+    // Upper stage: point-to-point.
+    for &row in plan.fwd.thread_tasks(tid) {
+        scratch.progress.wait_all(plan.fwd.waits(row));
+        x.set(row, x.get(row) - row_sum_lower(lu, diag_pos, x, row));
+        scratch.progress.bump(tid);
+    }
+    if n_upper == n {
+        return;
+    }
+    let n_block_entries = *plan.block_seg_ptr.last().unwrap_or(&0);
+    let n_tiles = scratch.n_tiles;
+    let tile = scratch.tile;
+    scratch.barrier.wait();
+    if use_tiles {
+        // Tiled segmented gather over the trailing block: each tile
+        // writes per-segment partial sums into its disjoint slot range
+        // (tile boundaries and first segments precomputed in the
+        // scratch — no searches, no allocation).
+        let mut t = tid;
+        while t < n_tiles {
+            let lo = t * tile;
+            let hi = ((t + 1) * tile).min(n_block_entries);
+            let base = scratch.slot_ptr[t];
+            let first_seg = scratch.tile_first_seg[t];
+            // Zero the tile's slots first: segments inside the span
+            // that this walk skips (empty segments) must not leak
+            // values from a previous solve.
+            for s in base..scratch.slot_ptr[t + 1] {
+                scratch.partials.set(s, T::ZERO);
+            }
+            let mut seg = first_seg;
+            let mut cursor = lo;
+            while cursor < hi {
+                while plan.block_seg_ptr[seg + 1] <= cursor {
+                    seg += 1;
+                }
+                let seg_hi = plan.block_seg_ptr[seg + 1].min(hi);
+                let (k_lo, _) = plan.block_rows[seg];
+                let seg_base = plan.block_seg_ptr[seg];
+                let mut acc = T::ZERO;
+                for v in cursor..seg_hi {
+                    let k = k_lo + (v - seg_base);
+                    acc += lu.vals()[k] * x.get(lu.colidx()[k]);
+                }
+                scratch.partials.set(base + (seg - first_seg), acc);
+                cursor = seg_hi;
+            }
+            t += nthreads;
+        }
+        scratch.barrier.wait();
+    }
+    if tid == 0 {
+        if use_tiles {
+            // Combine tile partials in tile order (deterministic), then
+            // finish each trailing row with its corner part.
+            let n_lower = n - n_upper;
+            for off in 0..n_lower {
+                scratch.z.set(off, T::ZERO);
+            }
+            for t in 0..n_tiles {
+                let first_seg = scratch.tile_first_seg[t];
+                for (k, s) in (scratch.slot_ptr[t]..scratch.slot_ptr[t + 1]).enumerate() {
+                    let seg = first_seg + k;
+                    scratch
+                        .z
+                        .set(seg, scratch.z.get(seg) + scratch.partials.get(s));
+                }
+            }
+            for off in 0..n_lower {
+                let r = n_upper + off;
+                let (_, k_hi) = plan.block_rows[off];
+                let mut sum = scratch.z.get(off);
+                for k in k_hi..diag_pos[r] {
+                    sum += lu.vals()[k] * x.get(lu.colidx()[k]);
+                }
+                x.set(r, x.get(r) - sum);
+            }
+        } else {
+            for r in n_upper..n {
+                x.set(r, x.get(r) - row_sum_lower(lu, diag_pos, x, r));
+            }
+        }
+    }
+}
+
+/// Serial backward solve of the trailing corner (self-contained:
+/// trailing rows only reference corner columns in their U parts).
+#[inline]
+fn corner_backward<T: Scalar>(
+    lu: &CsrMatrix<T>,
+    diag_pos: &[usize],
+    n_upper: usize,
+    x: &LuVals<T>,
+) {
+    for r in (n_upper..lu.nrows()).rev() {
+        let d = lu.vals()[diag_pos[r]];
+        x.set(r, (x.get(r) - row_sum_upper(lu, diag_pos, x, r)) / d);
+    }
+}
+
+/// One thread's share of the backward point-to-point upper stage.
+#[inline]
+fn backward_p2p_phase<T: Scalar>(
+    lu: &CsrMatrix<T>,
+    diag_pos: &[usize],
+    plan: &SolvePlan,
+    scratch: &SolveScratch<T>,
+    tid: usize,
+    x: &LuVals<T>,
+) {
+    for &task in plan.bwd.thread_tasks(tid) {
+        scratch.bwd_progress.wait_all(plan.bwd.waits(task));
+        let r = plan.bwd_row_of_task[task];
+        let d = lu.vals()[diag_pos[r]];
+        x.set(r, (x.get(r) - row_sum_upper(lu, diag_pos, x, r)) / d);
+        scratch.bwd_progress.bump(tid);
+    }
 }
 
 /// Point-to-point forward solve, in place: upper-stage rows through the
@@ -117,97 +407,19 @@ pub fn forward_p2p<T: Scalar>(
     lu: &CsrMatrix<T>,
     diag_pos: &[usize],
     plan: &SolvePlan,
-    nthreads: usize,
-    tile_size: usize,
+    scratch: &SolveScratch<T>,
+    exec: &Exec,
     tiles: LowerTiles,
     x: &LuVals<T>,
 ) {
-    let n = lu.nrows();
-    let n_upper = plan.n_upper;
-    let progress = ProgressCounters::new(nthreads);
-    let barrier = SpinBarrier::new(nthreads);
-    let n_block_entries = *plan.block_seg_ptr.last().unwrap_or(&0);
-    let use_tiles = tiles == LowerTiles::On && n_block_entries > 0;
-    // Per-tile partial sums for the trailing-block gather.
-    let n_tiles = if use_tiles {
-        n_block_entries.div_ceil(tile_size.max(1)).max(1)
-    } else {
-        0
-    };
-    let partials: Vec<Mutex<Vec<(usize, T)>>> =
-        (0..n_tiles).map(|_| Mutex::new(Vec::new())).collect();
-
-    pool::run_on_threads(nthreads, |tid| {
-        // Upper stage: point-to-point.
-        for &row in plan.fwd.thread_tasks(tid) {
-            progress.wait_all(plan.fwd.waits(row));
-            x.set(row, x.get(row) - row_sum_lower(lu, diag_pos, x, row));
-            progress.bump(tid);
-        }
-        if n_upper == n {
-            return;
-        }
-        barrier.wait();
-        if use_tiles {
-            // Tiled segmented gather over the trailing block: each tile
-            // accumulates (trailing-row, partial-sum) pairs.
-            let tile = tile_size.max(1);
-            let mut t = tid;
-            while t < n_tiles {
-                let lo = t * tile;
-                let hi = ((t + 1) * tile).min(n_block_entries);
-                let mut out: Vec<(usize, T)> = Vec::new();
-                // Locate the trailing row containing virtual entry `lo`.
-                let mut seg =
-                    plan.block_seg_ptr.partition_point(|&p| p <= lo).saturating_sub(1);
-                let mut cursor = lo;
-                while cursor < hi {
-                    while plan.block_seg_ptr[seg + 1] <= cursor {
-                        seg += 1;
-                    }
-                    let seg_hi = plan.block_seg_ptr[seg + 1].min(hi);
-                    let (k_lo, _) = plan.block_rows[seg];
-                    let base = plan.block_seg_ptr[seg];
-                    let mut acc = T::ZERO;
-                    for v in cursor..seg_hi {
-                        let k = k_lo + (v - base);
-                        acc += lu.vals()[k] * x.get(lu.colidx()[k]);
-                    }
-                    out.push((seg, acc));
-                    cursor = seg_hi;
-                }
-                *partials[t].lock() = out;
-                t += nthreads;
-            }
-            barrier.wait();
-        }
-        if tid == 0 {
-            if use_tiles {
-                // Combine tile partials in tile order (deterministic),
-                // then finish each trailing row with its corner part.
-                let n_lower = n - n_upper;
-                let mut z = vec![T::ZERO; n_lower];
-                for p in &partials {
-                    for &(seg, v) in p.lock().iter() {
-                        z[seg] += v;
-                    }
-                }
-                for (off, zr) in z.iter().enumerate() {
-                    let r = n_upper + off;
-                    let (_, k_hi) = plan.block_rows[off];
-                    let mut sum = *zr;
-                    for k in k_hi..diag_pos[r] {
-                        sum += lu.vals()[k] * x.get(lu.colidx()[k]);
-                    }
-                    x.set(r, x.get(r) - sum);
-                }
-            } else {
-                for r in n_upper..n {
-                    x.set(r, x.get(r) - row_sum_lower(lu, diag_pos, x, r));
-                }
-            }
-        }
-        barrier.wait();
+    let nthreads = exec.nthreads();
+    debug_assert_eq!(nthreads, scratch.nthreads);
+    scratch.progress.reset();
+    scratch.barrier.reset();
+    let use_tiles = tiles == LowerTiles::On && scratch.n_tiles > 0;
+    exec.run(|tid| {
+        forward_p2p_phase(lu, diag_pos, plan, scratch, nthreads, use_tiles, tid, x);
+        // Region join publishes tid 0's trailing writes to the caller.
     });
 }
 
@@ -217,26 +429,59 @@ pub fn backward_p2p<T: Scalar>(
     lu: &CsrMatrix<T>,
     diag_pos: &[usize],
     plan: &SolvePlan,
-    nthreads: usize,
+    scratch: &SolveScratch<T>,
+    exec: &Exec,
+    x: &LuVals<T>,
+) {
+    let n_upper = plan.n_upper;
+    debug_assert_eq!(exec.nthreads(), scratch.nthreads);
+    corner_backward(lu, diag_pos, n_upper, x);
+    scratch.bwd_progress.reset();
+    exec.run(|tid| {
+        backward_p2p_phase(lu, diag_pos, plan, scratch, tid, x);
+    });
+}
+
+/// Fused point-to-point solve: forward substitution, corner, and
+/// backward substitution in **one** parallel region — the Krylov
+/// hot-loop entry point. One team wake-up per preconditioner apply,
+/// zero allocations, no `partition_point` searches.
+pub fn solve_p2p_fused<T: Scalar>(
+    lu: &CsrMatrix<T>,
+    diag_pos: &[usize],
+    plan: &SolvePlan,
+    scratch: &SolveScratch<T>,
+    exec: &Exec,
+    tiles: LowerTiles,
     x: &LuVals<T>,
 ) {
     let n = lu.nrows();
     let n_upper = plan.n_upper;
-    // Corner backward solve: trailing rows only reference corner
-    // columns in their U parts, so this is self-contained.
-    for r in (n_upper..n).rev() {
-        let d = lu.vals()[diag_pos[r]];
-        x.set(r, (x.get(r) - row_sum_upper(lu, diag_pos, x, r)) / d);
-    }
-    let progress = ProgressCounters::new(nthreads);
-    pool::run_on_threads(nthreads, |tid| {
-        for &task in plan.bwd.thread_tasks(tid) {
-            progress.wait_all(plan.bwd.waits(task));
-            let r = plan.bwd_row_of_task[task];
-            let d = lu.vals()[diag_pos[r]];
-            x.set(r, (x.get(r) - row_sum_upper(lu, diag_pos, x, r)) / d);
-            progress.bump(tid);
+    let nthreads = exec.nthreads();
+    debug_assert_eq!(nthreads, scratch.nthreads);
+    scratch.progress.reset();
+    scratch.bwd_progress.reset();
+    scratch.barrier.reset();
+    let use_tiles = tiles == LowerTiles::On && scratch.n_tiles > 0;
+    exec.run(|tid| {
+        forward_p2p_phase(lu, diag_pos, plan, scratch, nthreads, use_tiles, tid, x);
+        if n_upper < n {
+            // tid 0 finishes the trailing forward rows above, then owns
+            // the corner backward solve; the barrier pair publishes the
+            // forward solution to everyone and the corner to the
+            // backward stage.
+            scratch.barrier.wait();
+            if tid == 0 {
+                corner_backward(lu, diag_pos, n_upper, x);
+            }
+            scratch.barrier.wait();
+        } else {
+            // Order every forward write before any backward read: the
+            // forward and backward schedules may place the same row on
+            // different threads.
+            scratch.barrier.wait();
         }
+        backward_p2p_phase(lu, diag_pos, plan, scratch, tid, x);
     });
 }
 

@@ -70,7 +70,7 @@ mod tests {
     fn forward_then_backward_solves_lu_product() {
         let (lu, dp) = lu2();
         // Full matrix A = L*U = [[2,1],[1,3.5]].
-        let a = vec![vec![2.0, 1.0], vec![1.0, 3.5]];
+        let a = [vec![2.0, 1.0], vec![1.0, 3.5]];
         let x_true = [1.5, -2.0];
         let b: Vec<f64> = (0..2)
             .map(|i| a[i][0] * x_true[0] + a[i][1] * x_true[1])

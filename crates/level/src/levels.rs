@@ -85,7 +85,11 @@ impl LevelSets {
             rows[next[l]] = i;
             next[l] += 1;
         }
-        LevelSets { level_ptr, rows, level_of }
+        LevelSets {
+            level_ptr,
+            rows,
+            level_of,
+        }
     }
 
     /// Number of levels — the paper's `Lvl` statistic.
@@ -127,16 +131,19 @@ impl LevelSets {
     /// Applying it with `permute_sym` produces the structure of the
     /// paper's Fig. 2.
     pub fn permutation(&self) -> Perm {
-        Perm::from_new_to_old(self.rows.clone())
-            .expect("level sets partition the rows")
+        Perm::from_new_to_old(self.rows.clone()).expect("level sets partition the rows")
     }
 
     /// Summary statistics (Table III / IV columns).
     pub fn stats(&self) -> LevelStats {
-        let mut sizes: Vec<usize> =
-            (0..self.n_levels()).map(|l| self.level_size(l)).collect();
+        let mut sizes: Vec<usize> = (0..self.n_levels()).map(|l| self.level_size(l)).collect();
         if sizes.is_empty() {
-            return LevelStats { n_levels: 0, min: 0, max: 0, median: 0 };
+            return LevelStats {
+                n_levels: 0,
+                min: 0,
+                max: 0,
+                median: 0,
+            };
         }
         sizes.sort_unstable();
         LevelStats {

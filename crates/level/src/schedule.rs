@@ -149,7 +149,15 @@ impl P2PSchedule {
             thread_ptr[t + 1] = thread_ptr[t] + thread_tasks[t].len();
         }
         let tasks = thread_tasks.concat();
-        P2PSchedule { nthreads, thread_ptr, tasks, owner, pos, wait_ptr, waits }
+        P2PSchedule {
+            nthreads,
+            thread_ptr,
+            tasks,
+            owner,
+            pos,
+            wait_ptr,
+            waits,
+        }
     }
 
     /// Thread count the schedule was built for.
@@ -371,13 +379,7 @@ mod tests {
     #[test]
     fn blocked_mapping_assigns_contiguous_chunks() {
         let level_ptr = vec![0usize, 8];
-        let s = P2PSchedule::build_with_mapping(
-            8,
-            2,
-            &level_ptr,
-            RowMapping::Blocked,
-            |_, _| {},
-        );
+        let s = P2PSchedule::build_with_mapping(8, 2, &level_ptr, RowMapping::Blocked, |_, _| {});
         assert_eq!(s.thread_tasks(0), &[0, 1, 2, 3]);
         assert_eq!(s.thread_tasks(1), &[4, 5, 6, 7]);
     }
@@ -400,13 +402,7 @@ mod tests {
     #[test]
     fn blocked_with_more_threads_than_width() {
         let level_ptr = vec![0usize, 3];
-        let s = P2PSchedule::build_with_mapping(
-            3,
-            8,
-            &level_ptr,
-            RowMapping::Blocked,
-            |_, _| {},
-        );
+        let s = P2PSchedule::build_with_mapping(3, 8, &level_ptr, RowMapping::Blocked, |_, _| {});
         // chunk = ceil(3/8) = 1: one row per thread.
         for t in 0..3 {
             assert_eq!(s.thread_tasks(t).len(), 1);

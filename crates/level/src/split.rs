@@ -54,13 +54,19 @@ impl Default for SplitOptions {
 impl SplitOptions {
     /// The paper's pure level-scheduling configuration (no lower stage).
     pub fn level_scheduling_only() -> Self {
-        SplitOptions { enabled: false, ..Default::default() }
+        SplitOptions {
+            enabled: false,
+            ..Default::default()
+        }
     }
 
     /// Convenience: split with sensitivity parameter `a` (the Table-III
     /// `R-16` / `R-24` / `R-32` study).
     pub fn with_min_rows(a: usize) -> Self {
-        SplitOptions { min_rows_per_level: a, ..Default::default() }
+        SplitOptions {
+            min_rows_per_level: a,
+            ..Default::default()
+        }
     }
 }
 
@@ -133,12 +139,8 @@ pub fn split_levels(levels: &LevelSets, row_nnz: &[usize], opts: &SplitOptions) 
                 break;
             }
             let size = levels.level_size(l);
-            let mean_rd = levels
-                .level(l)
-                .iter()
-                .map(|&r| row_nnz[r])
-                .sum::<usize>() as f64
-                / size as f64;
+            let mean_rd =
+                levels.level(l).iter().map(|&r| row_nnz[r]).sum::<usize>() as f64 / size as f64;
             let narrow = size < opts.min_rows_per_level;
             let dense = avg_rd > 0.0 && mean_rd > opts.density_mult * avg_rd;
             if !(narrow || dense) {

@@ -103,8 +103,8 @@ fn trailing_split<T: Scalar>(f: &IluFactors<T>, r: usize) -> (f64, f64) {
             corner += scan;
         }
     }
-    let pre_nnz = (lu.colidx()[lu.rowptr()[r]..lu.rowptr()[r + 1]]
-        .partition_point(|&c| c < n_upper)) as f64;
+    let pre_nnz =
+        (lu.colidx()[lu.rowptr()[r]..lu.rowptr()[r + 1]].partition_point(|&c| c < n_upper)) as f64;
     (pre + pre_nnz, corner + (row_nnz - pre_nnz))
 }
 
@@ -127,16 +127,12 @@ pub fn sim_factor_time<T: Scalar>(
     let (upper_s, blocked) = if nthreads == 1 {
         ((0..n_upper).map(&cost).sum::<f64>() * NS, 0)
     } else {
-        let schedule = P2PSchedule::build(
-            n_upper,
-            nthreads,
-            &f.plan().upper_level_ptr,
-            |r, out| {
+        let schedule =
+            P2PSchedule::build(n_upper, nthreads, &f.plan().upper_level_ptr, |r, out| {
                 for k in lu.rowptr()[r]..f.diag_positions()[r] {
                     out.push(lu.colidx()[k]);
                 }
-            },
-        );
+            });
         sim_p2p_schedule(&schedule, machine, nthreads, cost)
     };
 
@@ -153,7 +149,11 @@ pub fn sim_factor_time<T: Scalar>(
             .iter()
             .map(|&(p, _)| machine.row_factor_base_ns + machine.row_factor_per_nnz_ns * p)
             .collect();
-        let method = if nthreads == 1 { LowerMethod::EvenRows } else { f.stats().lower_method };
+        let method = if nthreads == 1 {
+            LowerMethod::EvenRows
+        } else {
+            f.stats().lower_method
+        };
         lower_s = match method {
             LowerMethod::EvenRows | LowerMethod::Auto => {
                 if nthreads == 1 {
@@ -229,7 +229,7 @@ fn sim_sr_taskgraph<T: Scalar>(
                 machine.task_overhead_ns * (n_tiles / lanes).ceil()
                     + machine.row_factor_base_ns
                     + 0.7 * work_ns / lanes   // tiled divide+collect
-                    + 0.3 * work_ns           // serial apply
+                    + 0.3 * work_ns // serial apply
             } else {
                 machine.task_overhead_ns + machine.row_factor_base_ns + work_ns
             };
@@ -250,7 +250,7 @@ fn sim_sr_taskgraph<T: Scalar>(
         for (ci, chain) in chains.iter().enumerate() {
             if next_seg[ci] < chain.len() {
                 let ready = chain_clock[ci];
-                if best.map_or(true, |(_, t)| ready < t) {
+                if best.is_none_or(|(_, t)| ready < t) {
                     best = Some((ci, ready));
                 }
             }
@@ -285,10 +285,8 @@ pub fn sim_trisolve_time<T: Scalar>(
     let n = lu.nrows();
     let n_upper = f.plan().n_upper;
     let speed = machine.thread_speed(nthreads);
-    let fwd_cost =
-        |r: usize| machine.row_solve_cost(dp[r] - lu.rowptr()[r]);
-    let bwd_cost =
-        |r: usize| machine.row_solve_cost(lu.rowptr()[r + 1] - dp[r]);
+    let fwd_cost = |r: usize| machine.row_solve_cost(dp[r] - lu.rowptr()[r]);
+    let bwd_cost = |r: usize| machine.row_solve_cost(lu.rowptr()[r + 1] - dp[r]);
 
     match engine {
         SolveEngine::Serial => {
@@ -319,14 +317,15 @@ pub fn sim_trisolve_time<T: Scalar>(
                 return sim_trisolve_time(f, machine, 1, SolveEngine::Serial);
             }
             // Forward: p2p over the upper stage.
-            let fwd_sched = P2PSchedule::build(n_upper, nthreads, &f.plan().upper_level_ptr, |r, out| {
-                for k in lu.rowptr()[r]..dp[r] {
-                    let c = lu.colidx()[k];
-                    if c < n_upper {
-                        out.push(c);
+            let fwd_sched =
+                P2PSchedule::build(n_upper, nthreads, &f.plan().upper_level_ptr, |r, out| {
+                    for k in lu.rowptr()[r]..dp[r] {
+                        let c = lu.colidx()[k];
+                        if c < n_upper {
+                            out.push(c);
+                        }
                     }
-                }
-            });
+                });
             let (mut fwd_s, _) = sim_p2p_schedule(&fwd_sched, machine, nthreads, fwd_cost);
             // Trailing forward part.
             if n_upper < n {
@@ -354,11 +353,8 @@ pub fn sim_trisolve_time<T: Scalar>(
             }
             // Backward: corner first (serial), then p2p.
             let corner_bwd: f64 = (n_upper..n).map(bwd_cost).sum::<f64>() * NS;
-            let bwd_sched = P2PSchedule::build(
-                n_upper,
-                nthreads,
-                &f.plan().bwd_level_ptr,
-                |task, out| {
+            let bwd_sched =
+                P2PSchedule::build(n_upper, nthreads, &f.plan().bwd_level_ptr, |task, out| {
                     let r = f.plan().bwd_row_of_task[task];
                     for k in (dp[r] + 1)..lu.rowptr()[r + 1] {
                         let c = lu.colidx()[k];
@@ -373,8 +369,7 @@ pub fn sim_trisolve_time<T: Scalar>(
                             out.push(dep_task);
                         }
                     }
-                },
-            );
+                });
             let (bwd_s, _) = sim_p2p_schedule(&bwd_sched, machine, nthreads, |task| {
                 bwd_cost(f.plan().bwd_row_of_task[task])
             });
@@ -409,9 +404,7 @@ pub fn sim_heavy_factor_time(
     let move_ns = 8.0 * machine.row_factor_per_nnz_ns;
     let serial = 0.25; // non-parallelizable fraction (symbolic, assembly)
     let work = javelin_serial_s
-        + (n_rows as f64 * 2.0 * machine.row_factor_base_ns
-            + moved_entries as f64 * move_ns)
-            * NS;
+        + (n_rows as f64 * 2.0 * machine.row_factor_base_ns + moved_entries as f64 * move_ns) * NS;
     let effective_p = nthreads.min(8.0);
     let sync = n_panels as f64 * machine.barrier_ns * (nthreads - 1.0).max(0.0).sqrt() * NS;
     work * serial + work * (1.0 - serial) / effective_p + sync
@@ -467,7 +460,10 @@ mod tests {
         assert!(t4 < t1, "4 threads should beat 1: {t4} vs {t1}");
         assert!(t14 < t4, "14 threads should beat 4");
         let s14 = t1 / t14;
-        assert!(s14 > 3.0 && s14 < 14.0, "speedup {s14} out of plausible range");
+        assert!(
+            s14 > 3.0 && s14 < 14.0,
+            "speedup {s14} out of plausible range"
+        );
     }
 
     #[test]
@@ -552,8 +548,14 @@ mod tests {
             lower < ls,
             "LS+Lower {lower} should beat LS {ls} on a big trailing block"
         );
-        assert!(lower < serial, "LS+Lower {lower} should beat serial {serial}");
-        assert!(barrier > ls, "per-level barriers {barrier} should lose to LS {ls}");
+        assert!(
+            lower < serial,
+            "LS+Lower {lower} should beat serial {serial}"
+        );
+        assert!(
+            barrier > ls,
+            "per-level barriers {barrier} should lose to LS {ls}"
+        );
     }
 
     #[test]
@@ -570,7 +572,10 @@ mod tests {
         let m = MachineModel::knl68();
         let ls = sim_trisolve_time(&f, &m, 68, SolveEngine::PointToPoint);
         let lower = sim_trisolve_time(&f, &m, 68, SolveEngine::PointToPointLower);
-        assert!(lower <= ls + 2.0 * m.barrier_ns * 1e-9, "lower {lower} vs ls {ls}");
+        assert!(
+            lower <= ls + 2.0 * m.barrier_ns * 1e-9,
+            "lower {lower} vs ls {ls}"
+        );
     }
 
     #[test]
@@ -580,7 +585,10 @@ mod tests {
         let m = MachineModel::knl68();
         let serial = sim_trisolve_time(&f, &m, 1, SolveEngine::Serial);
         let ls = sim_trisolve_time(&f, &m, 68, SolveEngine::PointToPoint);
-        assert!(ls < serial, "LS {ls} must beat serial {serial} on a wide grid");
+        assert!(
+            ls < serial,
+            "LS {ls} must beat serial {serial} on a wide grid"
+        );
     }
 
     #[test]

@@ -25,7 +25,9 @@ pub fn greedy_coloring(g: &Graph) -> (Vec<usize>, usize) {
                 forbidden[color[w]] = v;
             }
         }
-        let c = (0..n_colors).find(|&c| forbidden[c] != v).unwrap_or(n_colors);
+        let c = (0..n_colors)
+            .find(|&c| forbidden[c] != v)
+            .unwrap_or(n_colors);
         if c == n_colors {
             n_colors += 1;
         }

@@ -23,7 +23,10 @@ use javelin_sparse::{CsrMatrix, Perm, Scalar, SparseError};
 /// [`SparseError::NotSquare`] for rectangular inputs.
 pub fn maximum_transversal<T: Scalar>(a: &CsrMatrix<T>) -> Result<Perm, SparseError> {
     if !a.is_square() {
-        return Err(SparseError::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
+        return Err(SparseError::NotSquare {
+            nrows: a.nrows(),
+            ncols: a.ncols(),
+        });
     }
     let n = a.nrows();
     // match_col[c] = row matched to column c; match_row[r] = column.

@@ -56,7 +56,11 @@ impl Graph {
             out_adj.extend_from_slice(&scratch);
             out_xadj[v + 1] = out_adj.len();
         }
-        Graph { n, xadj: out_xadj, adjncy: out_adj }
+        Graph {
+            n,
+            xadj: out_xadj,
+            adjncy: out_adj,
+        }
     }
 
     /// Number of vertices.

@@ -2,13 +2,16 @@
 //! GMRES for nonsymmetric systems (circuit-style matrices in the
 //! paper's group B often pair with BiCGSTAB in practice).
 
-use crate::{SolverOptions, SolverResult};
+use crate::{SolverOptions, SolverResult, SolverWorkspace};
 use javelin_core::precond::Preconditioner;
 use javelin_sparse::vecops;
 use javelin_sparse::{CsrMatrix, Scalar};
 
 /// Right-preconditioned BiCGSTAB. Iterations count full BiCGSTAB steps
 /// (two matvecs and two preconditioner applications each).
+///
+/// Allocates a fresh [`SolverWorkspace`]; repeated callers should hold
+/// one and use [`bicgstab_with`].
 ///
 /// # Panics
 /// On dimension mismatches.
@@ -18,6 +21,22 @@ pub fn bicgstab<T: Scalar, P: Preconditioner<T>>(
     x: &mut [T],
     m: &P,
     opts: &SolverOptions,
+) -> SolverResult {
+    bicgstab_with(a, b, x, m, opts, &mut SolverWorkspace::new())
+}
+
+/// [`bicgstab`] with caller-owned working memory: allocation-free once
+/// the workspace has seen this size.
+///
+/// # Panics
+/// On dimension mismatches.
+pub fn bicgstab_with<T: Scalar, P: Preconditioner<T>>(
+    a: &CsrMatrix<T>,
+    b: &[T],
+    x: &mut [T],
+    m: &P,
+    opts: &SolverOptions,
+    ws: &mut SolverWorkspace<T>,
 ) -> SolverResult {
     let n = a.nrows();
     assert_eq!(b.len(), n, "bicgstab: rhs length");
@@ -32,68 +51,106 @@ pub fn bicgstab<T: Scalar, P: Preconditioner<T>>(
             history: Vec::new(),
         };
     }
-    let mut r = {
-        let ax = a.spmv(x);
-        vecops::sub(b, &ax)
-    };
-    let r_hat = r.clone();
+    ws.ensure_short(n);
+    let SolverWorkspace {
+        precond,
+        r,
+        rhat,
+        z,
+        p,
+        q,
+        y,
+        t,
+        ..
+    } = ws;
+    // r = b - A x (matvec into q, subtract into r); r_hat = r.
+    a.spmv_into(x, q);
+    for i in 0..n {
+        r[i] = b[i] - q[i];
+    }
+    rhat.copy_from_slice(r);
     let mut rho = T::ONE;
     let mut alpha = T::ONE;
     let mut omega = T::ONE;
-    let mut v = vec![T::ZERO; n];
-    let mut p = vec![T::ZERO; n];
-    let mut y = vec![T::ZERO; n];
-    let mut zbuf = vec![T::ZERO; n];
+    // q plays the role of `v = A·y`; z of the second preconditioned
+    // direction; t of `A·z`.
+    q.iter_mut().for_each(|qi| *qi = T::ZERO);
+    p.iter_mut().for_each(|pi| *pi = T::ZERO);
     let mut history = Vec::new();
-    let mut relres = vecops::norm2(&r).to_f64() / b_norm;
+    let mut relres = vecops::norm2(r).to_f64() / b_norm;
     if opts.record_history {
         history.push(relres);
     }
     for it in 1..=opts.max_iters {
-        let rho_new = vecops::dot(&r_hat, &r);
+        let rho_new = vecops::dot(rhat, r);
         if rho_new == T::ZERO || !rho_new.is_finite() {
-            return SolverResult { converged: false, iterations: it - 1, relative_residual: relres, history };
+            return SolverResult {
+                converged: false,
+                iterations: it - 1,
+                relative_residual: relres,
+                history,
+            };
         }
         let beta = (rho_new / rho) * (alpha / omega);
         rho = rho_new;
         // p = r + beta (p - omega v)
         for i in 0..n {
-            p[i] = r[i] + beta * (p[i] - omega * v[i]);
+            p[i] = r[i] + beta * (p[i] - omega * q[i]);
         }
-        m.apply(&p, &mut y);
-        a.spmv_into(&y, &mut v);
-        alpha = rho / vecops::dot(&r_hat, &v);
+        m.apply_with(precond, p, y);
+        a.spmv_into(y, q);
+        alpha = rho / vecops::dot(rhat, q);
         // s = r - alpha v  (reuse r)
-        vecops::axpy(-alpha, &v, &mut r);
-        let s_norm = vecops::norm2(&r).to_f64() / b_norm;
+        vecops::axpy(-alpha, q, r);
+        let s_norm = vecops::norm2(r).to_f64() / b_norm;
         if s_norm < opts.tol {
-            vecops::axpy(alpha, &y, x);
+            vecops::axpy(alpha, y, x);
             if opts.record_history {
                 history.push(s_norm);
             }
-            return SolverResult { converged: true, iterations: it, relative_residual: s_norm, history };
+            return SolverResult {
+                converged: true,
+                iterations: it,
+                relative_residual: s_norm,
+                history,
+            };
         }
-        m.apply(&r, &mut zbuf);
-        let t = a.spmv(&zbuf);
-        let tt = vecops::dot(&t, &t);
+        m.apply_with(precond, r, z);
+        a.spmv_into(z, t);
+        let tt = vecops::dot(t, t);
         if tt == T::ZERO {
-            return SolverResult { converged: false, iterations: it, relative_residual: s_norm, history };
+            return SolverResult {
+                converged: false,
+                iterations: it,
+                relative_residual: s_norm,
+                history,
+            };
         }
-        omega = vecops::dot(&t, &r) / tt;
+        omega = vecops::dot(t, r) / tt;
         // x += alpha y + omega z
-        vecops::axpy(alpha, &y, x);
-        vecops::axpy(omega, &zbuf, x);
+        vecops::axpy(alpha, y, x);
+        vecops::axpy(omega, z, x);
         // r = s - omega t
-        vecops::axpy(-omega, &t, &mut r);
-        relres = vecops::norm2(&r).to_f64() / b_norm;
+        vecops::axpy(-omega, t, r);
+        relres = vecops::norm2(r).to_f64() / b_norm;
         if opts.record_history {
             history.push(relres);
         }
         if relres < opts.tol {
-            return SolverResult { converged: true, iterations: it, relative_residual: relres, history };
+            return SolverResult {
+                converged: true,
+                iterations: it,
+                relative_residual: relres,
+                history,
+            };
         }
         if omega == T::ZERO {
-            return SolverResult { converged: false, iterations: it, relative_residual: relres, history };
+            return SolverResult {
+                converged: false,
+                iterations: it,
+                relative_residual: relres,
+                history,
+            };
         }
     }
     SolverResult {
@@ -136,7 +193,12 @@ mod tests {
         let res = bicgstab(&a, &b, &mut x, &IdentityPrecond, &SolverOptions::default());
         assert!(res.converged, "relres = {}", res.relative_residual);
         let ax = a.spmv(&x);
-        let err: f64 = b.iter().zip(ax.iter()).map(|(p, q)| (p - q) * (p - q)).sum::<f64>().sqrt();
+        let err: f64 = b
+            .iter()
+            .zip(ax.iter())
+            .map(|(p, q)| (p - q) * (p - q))
+            .sum::<f64>()
+            .sqrt();
         let bn: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
         assert!(err / bn < 1e-5);
     }
@@ -173,7 +235,11 @@ mod tests {
         let a = nonsym(200);
         let b = vec![1.0; 200];
         let mut x = vec![0.0; 200];
-        let opts = SolverOptions { max_iters: 2, tol: 1e-15, ..Default::default() };
+        let opts = SolverOptions {
+            max_iters: 2,
+            tol: 1e-15,
+            ..Default::default()
+        };
         let res = bicgstab(&a, &b, &mut x, &IdentityPrecond, &opts);
         assert!(!res.converged);
         assert!(res.iterations <= 2);

@@ -1,17 +1,12 @@
 //! (Preconditioned) conjugate gradients.
 
-use crate::{SolverOptions, SolverResult};
+use crate::{SolverOptions, SolverResult, SolverWorkspace};
 use javelin_core::precond::{IdentityPrecond, Preconditioner};
 use javelin_sparse::vecops;
 use javelin_sparse::{CsrMatrix, Scalar};
 
 /// Unpreconditioned CG for SPD systems.
-pub fn cg<T: Scalar>(
-    a: &CsrMatrix<T>,
-    b: &[T],
-    x: &mut [T],
-    opts: &SolverOptions,
-) -> SolverResult {
+pub fn cg<T: Scalar>(a: &CsrMatrix<T>, b: &[T], x: &mut [T], opts: &SolverOptions) -> SolverResult {
     pcg(a, b, x, &IdentityPrecond, opts)
 }
 
@@ -21,6 +16,9 @@ pub fn cg<T: Scalar>(
 /// With `M = L·U` from ILU(0) of an SPD matrix this is the classic
 /// IC-preconditioned CG workhorse the paper's iteration study drives.
 ///
+/// Allocates a fresh [`SolverWorkspace`]; repeated callers should hold
+/// one and use [`pcg_with`].
+///
 /// # Panics
 /// On dimension mismatches.
 pub fn pcg<T: Scalar, P: Preconditioner<T>>(
@@ -29,6 +27,24 @@ pub fn pcg<T: Scalar, P: Preconditioner<T>>(
     x: &mut [T],
     m: &P,
     opts: &SolverOptions,
+) -> SolverResult {
+    pcg_with(a, b, x, m, opts, &mut SolverWorkspace::new())
+}
+
+/// [`pcg`] with caller-owned working memory: after the workspace's
+/// first use at this size, the whole solve — matvecs, preconditioner
+/// applies, vector updates — performs no heap allocation (residual
+/// history, off by default, excepted).
+///
+/// # Panics
+/// On dimension mismatches.
+pub fn pcg_with<T: Scalar, P: Preconditioner<T>>(
+    a: &CsrMatrix<T>,
+    b: &[T],
+    x: &mut [T],
+    m: &P,
+    opts: &SolverOptions,
+    ws: &mut SolverWorkspace<T>,
 ) -> SolverResult {
     let n = a.nrows();
     assert_eq!(b.len(), n, "cg: rhs length");
@@ -43,42 +59,59 @@ pub fn pcg<T: Scalar, P: Preconditioner<T>>(
             history: Vec::new(),
         };
     }
-    // r = b - A x
-    let mut r = {
-        let ax = a.spmv(x);
-        vecops::sub(b, &ax)
-    };
-    let mut z = vec![T::ZERO; n];
-    m.apply(&r, &mut z);
-    let mut p = z.clone();
-    let mut rz = vecops::dot(&r, &z);
+    ws.ensure_short(n);
+    let SolverWorkspace {
+        precond,
+        r,
+        z,
+        p,
+        q,
+        ..
+    } = ws;
+    // r = b - A x (matvec into q, subtract into r).
+    a.spmv_into(x, q);
+    for i in 0..n {
+        r[i] = b[i] - q[i];
+    }
+    m.apply_with(precond, r, z);
+    p.copy_from_slice(z);
+    let mut rz = vecops::dot(r, z);
     let mut history = Vec::new();
-    let mut relres = vecops::norm2(&r).to_f64() / b_norm;
+    let mut relres = vecops::norm2(r).to_f64() / b_norm;
     if opts.record_history {
         history.push(relres);
     }
-    let mut q = vec![T::ZERO; n];
     for it in 1..=opts.max_iters {
-        a.spmv_into(&p, &mut q);
-        let pq = vecops::dot(&p, &q);
+        a.spmv_into(p, q);
+        let pq = vecops::dot(p, q);
         if pq == T::ZERO || !pq.is_finite() {
-            return SolverResult { converged: false, iterations: it - 1, relative_residual: relres, history };
+            return SolverResult {
+                converged: false,
+                iterations: it - 1,
+                relative_residual: relres,
+                history,
+            };
         }
         let alpha = rz / pq;
-        vecops::axpy(alpha, &p, x);
-        vecops::axpy(-alpha, &q, &mut r);
-        relres = vecops::norm2(&r).to_f64() / b_norm;
+        vecops::axpy(alpha, p, x);
+        vecops::axpy(-alpha, q, r);
+        relres = vecops::norm2(r).to_f64() / b_norm;
         if opts.record_history {
             history.push(relres);
         }
         if relres < opts.tol {
-            return SolverResult { converged: true, iterations: it, relative_residual: relres, history };
+            return SolverResult {
+                converged: true,
+                iterations: it,
+                relative_residual: relres,
+                history,
+            };
         }
-        m.apply(&r, &mut z);
-        let rz_new = vecops::dot(&r, &z);
+        m.apply_with(precond, r, z);
+        let rz_new = vecops::dot(r, z);
         let beta = rz_new / rz;
         rz = rz_new;
-        vecops::xpby(&z, beta, &mut p);
+        vecops::xpby(z, beta, p);
     }
     SolverResult {
         converged: false,
@@ -126,7 +159,12 @@ mod tests {
         assert!(res.converged, "relres = {}", res.relative_residual);
         // True residual check, not just the recurrence.
         let ax = a.spmv(&x);
-        let err: f64 = b.iter().zip(ax.iter()).map(|(p, q)| (p - q) * (p - q)).sum::<f64>().sqrt();
+        let err: f64 = b
+            .iter()
+            .zip(ax.iter())
+            .map(|(p, q)| (p - q) * (p - q))
+            .sum::<f64>()
+            .sqrt();
         assert!(err / b.iter().map(|v| v * v).sum::<f64>().sqrt() < 1e-5);
     }
 
@@ -154,6 +192,39 @@ mod tests {
     }
 
     #[test]
+    fn workspace_reuse_matches_fresh_solves() {
+        // One workspace across repeated solves (and across a size
+        // change) must give bit-identical results to fresh workspaces.
+        let a = laplace_2d(14, 14);
+        let n = a.nrows();
+        let f = IluFactorization::compute(&a, &IluOptions::ilu0(2)).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.17).sin()).collect();
+        let opts = SolverOptions::default();
+        let mut x_ref = vec![0.0; n];
+        let r_ref = pcg(&a, &b, &mut x_ref, &f, &opts);
+        let bits_ref: Vec<u64> = x_ref.iter().map(|v| v.to_bits()).collect();
+        let mut ws = SolverWorkspace::new();
+        // Warm the workspace on a different (smaller) system first.
+        let a_small = laplace_2d(5, 5);
+        let mut xs = vec![0.0; 25];
+        pcg_with(
+            &a_small,
+            &[1.0; 25],
+            &mut xs,
+            &IdentityPrecond,
+            &opts,
+            &mut ws,
+        );
+        for rep in 0..3 {
+            let mut x = vec![0.0; n];
+            let r = pcg_with(&a, &b, &mut x, &f, &opts, &mut ws);
+            assert_eq!(r.iterations, r_ref.iterations, "rep {rep}");
+            let bits: Vec<u64> = x.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(bits, bits_ref, "rep {rep}");
+        }
+    }
+
+    #[test]
     fn zero_rhs_is_trivial() {
         let a = laplace_2d(4, 4);
         let b = vec![0.0; 16];
@@ -169,7 +240,10 @@ mod tests {
         let a = laplace_2d(6, 6);
         let b = vec![1.0; 36];
         let mut x = vec![0.0; 36];
-        let opts = SolverOptions { record_history: true, ..Default::default() };
+        let opts = SolverOptions {
+            record_history: true,
+            ..Default::default()
+        };
         let res = cg(&a, &b, &mut x, &opts);
         assert!(res.converged);
         assert_eq!(res.history.len(), res.iterations + 1); // initial + per-iter
@@ -181,7 +255,10 @@ mod tests {
         let a = laplace_2d(20, 20);
         let b = vec![1.0; 400];
         let mut x = vec![0.0; 400];
-        let opts = SolverOptions { max_iters: 3, ..Default::default() };
+        let opts = SolverOptions {
+            max_iters: 3,
+            ..Default::default()
+        };
         let res = cg(&a, &b, &mut x, &opts);
         assert!(!res.converged);
         assert_eq!(res.iterations, 3);

@@ -8,7 +8,7 @@
 //! sweep counts. The cost over GMRES is storing the preconditioned
 //! basis `Z` alongside `V`.
 
-use crate::{SolverOptions, SolverResult};
+use crate::{SolverOptions, SolverResult, SolverWorkspace};
 use javelin_core::precond::Preconditioner;
 use javelin_sparse::vecops;
 use javelin_sparse::{CsrMatrix, Scalar};
@@ -16,6 +16,9 @@ use javelin_sparse::{CsrMatrix, Scalar};
 /// Flexible restarted GMRES: like [`crate::gmres`], but applies the
 /// (possibly varying) preconditioner through the stored `Z` basis, so
 /// each iteration may use a different `M⁻¹`.
+///
+/// Allocates a fresh [`SolverWorkspace`]; repeated callers should hold
+/// one and use [`fgmres_with`].
 ///
 /// # Panics
 /// On dimension mismatches.
@@ -25,6 +28,23 @@ pub fn fgmres<T: Scalar, P: Preconditioner<T>>(
     x: &mut [T],
     m: &P,
     opts: &SolverOptions,
+) -> SolverResult {
+    fgmres_with(a, b, x, m, opts, &mut SolverWorkspace::new())
+}
+
+/// [`fgmres`] with caller-owned working memory (both Arnoldi bases,
+/// Hessenberg/Givens state, preconditioner scratch): allocation-free
+/// once the workspace has seen this `(n, restart)` size.
+///
+/// # Panics
+/// On dimension mismatches.
+pub fn fgmres_with<T: Scalar, P: Preconditioner<T>>(
+    a: &CsrMatrix<T>,
+    b: &[T],
+    x: &mut [T],
+    m: &P,
+    opts: &SolverOptions,
+    ws: &mut SolverWorkspace<T>,
 ) -> SolverResult {
     let n = a.nrows();
     assert_eq!(b.len(), n, "fgmres: rhs length");
@@ -45,19 +65,28 @@ pub fn fgmres<T: Scalar, P: Preconditioner<T>>(
     #[allow(unused_assignments)]
     let mut relres = f64::INFINITY;
 
-    let mut v: Vec<Vec<T>> = Vec::with_capacity(restart + 1);
-    let mut zbasis: Vec<Vec<T>> = Vec::with_capacity(restart);
-    let mut h = vec![T::ZERO; (restart + 1) * restart];
-    let mut cs = vec![T::ZERO; restart];
-    let mut sn = vec![T::ZERO; restart];
-    let mut g = vec![T::ZERO; restart + 1];
+    ws.ensure_krylov(n, restart, true);
+    let SolverWorkspace {
+        precond,
+        u,
+        w,
+        v_basis,
+        z_basis,
+        h,
+        cs,
+        sn,
+        g,
+        yk,
+        ..
+    } = ws;
 
     loop {
-        let r = {
-            let ax = a.spmv(x);
-            vecops::sub(b, &ax)
-        };
-        let beta = vecops::norm2(&r);
+        // r = b - A x (into u).
+        a.spmv_into(x, u);
+        for i in 0..n {
+            u[i] = b[i] - u[i];
+        }
+        let beta = vecops::norm2(u);
         relres = beta.to_f64() / b_norm;
         if opts.record_history && history.is_empty() {
             history.push(relres);
@@ -65,14 +94,8 @@ pub fn fgmres<T: Scalar, P: Preconditioner<T>>(
         if relres < opts.tol || total_iters >= opts.max_iters {
             break;
         }
-        v.clear();
-        zbasis.clear();
-        v.push({
-            let mut v0 = r;
-            let inv = T::ONE / beta;
-            vecops::scale(inv, &mut v0);
-            v0
-        });
+        v_basis[0].copy_from_slice(u);
+        vecops::scale(T::ONE / beta, &mut v_basis[0]);
         g.iter_mut().for_each(|gi| *gi = T::ZERO);
         g[0] = beta;
         let mut j_used = 0usize;
@@ -82,16 +105,14 @@ pub fn fgmres<T: Scalar, P: Preconditioner<T>>(
             }
             total_iters += 1;
             // z_j = M_j^{-1} v_j (stored); w = A z_j.
-            let mut zj = vec![T::ZERO; n];
-            m.apply(&v[j], &mut zj);
-            let mut w = a.spmv(&zj);
-            zbasis.push(zj);
+            m.apply_with(precond, &v_basis[j], &mut z_basis[j]);
+            a.spmv_into(&z_basis[j], w);
             for i in 0..=j {
-                let hij = vecops::dot(&w, &v[i]);
+                let hij = vecops::dot(w, &v_basis[i]);
                 h[i * restart + j] = hij;
-                vecops::axpy(-hij, &v[i], &mut w);
+                vecops::axpy(-hij, &v_basis[i], w);
             }
-            let hjp = vecops::norm2(&w);
+            let hjp = vecops::norm2(w);
             h[(j + 1) * restart + j] = hjp;
             for i in 0..j {
                 let hi = h[i * restart + j];
@@ -120,26 +141,23 @@ pub fn fgmres<T: Scalar, P: Preconditioner<T>>(
             if relres < opts.tol || hjp == T::ZERO {
                 break;
             }
-            let mut vj = w;
-            let inv = T::ONE / hjp;
-            vecops::scale(inv, &mut vj);
-            v.push(vj);
+            v_basis[j + 1].copy_from_slice(w);
+            vecops::scale(T::ONE / hjp, &mut v_basis[j + 1]);
         }
         if j_used == 0 {
             break;
         }
-        let mut y = vec![T::ZERO; j_used];
         for i in (0..j_used).rev() {
             let mut s = g[i];
             for k in (i + 1)..j_used {
-                s -= h[i * restart + k] * y[k];
+                s -= h[i * restart + k] * yk[k];
             }
-            y[i] = s / h[i * restart + i];
+            yk[i] = s / h[i * restart + i];
         }
         // x += Z y — no trailing M^{-1}: Z already holds the
         // preconditioned directions (the "flexible" difference).
-        for (k, yk) in y.iter().enumerate() {
-            vecops::axpy(*yk, &zbasis[k], x);
+        for (k, y) in yk[..j_used].iter().enumerate() {
+            vecops::axpy(*y, &z_basis[k], x);
         }
         if relres < opts.tol || total_iters >= opts.max_iters {
             break;
@@ -193,7 +211,10 @@ mod tests {
         let n = a.nrows();
         let f = IluFactorization::compute(&a, &IluOptions::default()).unwrap();
         let b: Vec<f64> = (0..n).map(|i| (i % 9) as f64 - 4.0).collect();
-        let opts = SolverOptions { tol: 1e-10, ..Default::default() };
+        let opts = SolverOptions {
+            tol: 1e-10,
+            ..Default::default()
+        };
         let mut xg = vec![0.0; n];
         let rg = gmres(&a, &b, &mut xg, &f, &opts);
         let mut xf = vec![0.0; n];
@@ -240,8 +261,12 @@ mod tests {
         assert!(res.converged, "relres {}", res.relative_residual);
         // True residual.
         let ax = a.spmv(&x);
-        let err: f64 =
-            b.iter().zip(&ax).map(|(p, q)| (p - q) * (p - q)).sum::<f64>().sqrt();
+        let err: f64 = b
+            .iter()
+            .zip(&ax)
+            .map(|(p, q)| (p - q) * (p - q))
+            .sum::<f64>()
+            .sqrt();
         let bn: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
         assert!(err / bn < 1e-5, "true relres {}", err / bn);
     }

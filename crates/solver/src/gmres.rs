@@ -6,7 +6,7 @@
 //! the *true* residual observable: we solve `A·M⁻¹·u = b`, `x = M⁻¹·u`,
 //! so the least-squares residual equals the unpreconditioned one.
 
-use crate::{SolverOptions, SolverResult};
+use crate::{SolverOptions, SolverResult, SolverWorkspace};
 use javelin_core::precond::Preconditioner;
 use javelin_sparse::vecops;
 use javelin_sparse::{CsrMatrix, Scalar};
@@ -17,6 +17,9 @@ use javelin_sparse::{CsrMatrix, Scalar};
 /// Arnoldi steps (one matvec + one preconditioner application each),
 /// matching how iteration counts are reported in the paper's Table II.
 ///
+/// Allocates a fresh [`SolverWorkspace`]; repeated callers should hold
+/// one and use [`gmres_with`].
+///
 /// # Panics
 /// On dimension mismatches.
 pub fn gmres<T: Scalar, P: Preconditioner<T>>(
@@ -25,6 +28,23 @@ pub fn gmres<T: Scalar, P: Preconditioner<T>>(
     x: &mut [T],
     m: &P,
     opts: &SolverOptions,
+) -> SolverResult {
+    gmres_with(a, b, x, m, opts, &mut SolverWorkspace::new())
+}
+
+/// [`gmres`] with caller-owned working memory (Arnoldi basis,
+/// Hessenberg/Givens state, preconditioner scratch): allocation-free
+/// once the workspace has seen this `(n, restart)` size.
+///
+/// # Panics
+/// On dimension mismatches.
+pub fn gmres_with<T: Scalar, P: Preconditioner<T>>(
+    a: &CsrMatrix<T>,
+    b: &[T],
+    x: &mut [T],
+    m: &P,
+    opts: &SolverOptions,
+    ws: &mut SolverWorkspace<T>,
 ) -> SolverResult {
     let n = a.nrows();
     assert_eq!(b.len(), n, "gmres: rhs length");
@@ -45,21 +65,28 @@ pub fn gmres<T: Scalar, P: Preconditioner<T>>(
     #[allow(unused_assignments)]
     let mut relres = f64::INFINITY;
 
-    // Arnoldi basis and Hessenberg storage (column-major H, (m+1) x m).
-    let mut v: Vec<Vec<T>> = Vec::with_capacity(restart + 1);
-    let mut h = vec![T::ZERO; (restart + 1) * restart];
-    let mut cs = vec![T::ZERO; restart];
-    let mut sn = vec![T::ZERO; restart];
-    let mut g = vec![T::ZERO; restart + 1];
-    let mut z = vec![T::ZERO; n];
+    ws.ensure_krylov(n, restart, false);
+    let SolverWorkspace {
+        precond,
+        z,
+        u,
+        w,
+        v_basis,
+        h,
+        cs,
+        sn,
+        g,
+        yk,
+        ..
+    } = ws;
 
     'outer: loop {
-        // r = b - A x
-        let r = {
-            let ax = a.spmv(x);
-            vecops::sub(b, &ax)
-        };
-        let beta = vecops::norm2(&r);
+        // r = b - A x (into u).
+        a.spmv_into(x, u);
+        for i in 0..n {
+            u[i] = b[i] - u[i];
+        }
+        let beta = vecops::norm2(u);
         relres = beta.to_f64() / b_norm;
         if opts.record_history && history.is_empty() {
             history.push(relres);
@@ -67,13 +94,8 @@ pub fn gmres<T: Scalar, P: Preconditioner<T>>(
         if relres < opts.tol || total_iters >= opts.max_iters {
             break;
         }
-        v.clear();
-        v.push({
-            let mut v0 = r;
-            let inv = T::ONE / beta;
-            vecops::scale(inv, &mut v0);
-            v0
-        });
+        v_basis[0].copy_from_slice(u);
+        vecops::scale(T::ONE / beta, &mut v_basis[0]);
         g.iter_mut().for_each(|gi| *gi = T::ZERO);
         g[0] = beta;
         let mut j_used = 0usize;
@@ -83,15 +105,15 @@ pub fn gmres<T: Scalar, P: Preconditioner<T>>(
             }
             total_iters += 1;
             // w = A M^{-1} v_j
-            m.apply(&v[j], &mut z);
-            let mut w = a.spmv(&z);
+            m.apply_with(precond, &v_basis[j], z);
+            a.spmv_into(z, w);
             // Modified Gram–Schmidt.
             for i in 0..=j {
-                let hij = vecops::dot(&w, &v[i]);
+                let hij = vecops::dot(w, &v_basis[i]);
                 h[i * restart + j] = hij;
-                vecops::axpy(-hij, &v[i], &mut w);
+                vecops::axpy(-hij, &v_basis[i], w);
             }
-            let hjp = vecops::norm2(&w);
+            let hjp = vecops::norm2(w);
             h[(j + 1) * restart + j] = hjp;
             // Apply existing Givens rotations to the new column.
             for i in 0..j {
@@ -125,29 +147,26 @@ pub fn gmres<T: Scalar, P: Preconditioner<T>>(
             if hjp == T::ZERO {
                 break; // happy breakdown: exact solution in the space
             }
-            let mut vj = w;
-            let inv = T::ONE / hjp;
-            vecops::scale(inv, &mut vj);
-            v.push(vj);
+            v_basis[j + 1].copy_from_slice(w);
+            vecops::scale(T::ONE / hjp, &mut v_basis[j + 1]);
         }
         if j_used == 0 {
             break 'outer; // no progress possible
         }
         // Back-substitute y from the triangularized H, update x.
-        let mut y = vec![T::ZERO; j_used];
         for i in (0..j_used).rev() {
             let mut s = g[i];
             for k in (i + 1)..j_used {
-                s -= h[i * restart + k] * y[k];
+                s -= h[i * restart + k] * yk[k];
             }
-            y[i] = s / h[i * restart + i];
+            yk[i] = s / h[i * restart + i];
         }
         // x += M^{-1} (V y)
-        let mut u = vec![T::ZERO; n];
-        for (k, yk) in y.iter().enumerate() {
-            vecops::axpy(*yk, &v[k], &mut u);
+        u.iter_mut().for_each(|ui| *ui = T::ZERO);
+        for (k, y) in yk[..j_used].iter().enumerate() {
+            vecops::axpy(*y, &v_basis[k], u);
         }
-        m.apply(&u, &mut z);
+        m.apply_with(precond, u, z);
         for (xi, zi) in x.iter_mut().zip(z.iter()) {
             *xi += *zi;
         }
@@ -206,7 +225,12 @@ mod tests {
         let res = gmres(&a, &b, &mut x, &IdentityPrecond, &SolverOptions::default());
         assert!(res.converged, "relres = {}", res.relative_residual);
         let ax = a.spmv(&x);
-        let err: f64 = b.iter().zip(ax.iter()).map(|(p, q)| (p - q) * (p - q)).sum::<f64>().sqrt();
+        let err: f64 = b
+            .iter()
+            .zip(ax.iter())
+            .map(|(p, q)| (p - q) * (p - q))
+            .sum::<f64>()
+            .sqrt();
         let bn: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
         assert!(err / bn < 1e-5, "true residual {}", err / bn);
     }
@@ -240,7 +264,11 @@ mod tests {
         let a = convection(6, 6);
         let b = vec![1.0; 36];
         let mut x = vec![0.0; 36];
-        let opts = SolverOptions { restart: 1, max_iters: 10000, ..Default::default() };
+        let opts = SolverOptions {
+            restart: 1,
+            max_iters: 10000,
+            ..Default::default()
+        };
         let res = gmres(&a, &b, &mut x, &IdentityPrecond, &opts);
         assert!(res.converged, "relres = {}", res.relative_residual);
     }
@@ -250,11 +278,7 @@ mod tests {
         // ILU with full fill = exact LU: GMRES needs a single step.
         let a = convection(7, 7);
         let n = a.nrows();
-        let f = IluFactorization::compute(
-            &a,
-            &IluOptions::default().with_fill(n),
-        )
-        .unwrap();
+        let f = IluFactorization::compute(&a, &IluOptions::default().with_fill(n)).unwrap();
         let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
         let mut x = vec![0.0; n];
         let res = gmres(&a, &b, &mut x, &f, &SolverOptions::default());
@@ -277,7 +301,11 @@ mod tests {
         let a = convection(14, 14);
         let b = vec![1.0; a.nrows()];
         let mut x = vec![0.0; a.nrows()];
-        let opts = SolverOptions { max_iters: 5, tol: 1e-14, ..Default::default() };
+        let opts = SolverOptions {
+            max_iters: 5,
+            tol: 1e-14,
+            ..Default::default()
+        };
         let res = gmres(&a, &b, &mut x, &IdentityPrecond, &opts);
         assert!(!res.converged);
         assert_eq!(res.iterations, 5);

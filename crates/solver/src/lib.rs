@@ -12,6 +12,17 @@
 //!
 //! All solvers share [`SolverOptions`] / [`SolverResult`] and take any
 //! [`javelin_core::Preconditioner`].
+//!
+//! Every solver comes in two forms: the plain entry point (`pcg`,
+//! `gmres`, …) that allocates its own working vectors, and a `_with`
+//! variant threading a caller-owned [`SolverWorkspace`] through the
+//! iteration — including the [`javelin_core::ApplyScratch`] handed to
+//! [`javelin_core::Preconditioner::apply_with`]. After the workspace's
+//! first use at a given size, a full solve performs **zero heap
+//! allocations** (residual-history recording, off by default, is the
+//! one documented exception), pairing with the factorization's
+//! persistent worker team for an allocation-free, spawn-free Krylov
+//! hot loop.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,11 +31,13 @@ pub mod bicgstab;
 pub mod cg;
 pub mod fgmres;
 pub mod gmres;
+pub mod workspace;
 
-pub use bicgstab::bicgstab;
-pub use cg::{cg, pcg};
-pub use fgmres::fgmres;
-pub use gmres::gmres;
+pub use bicgstab::{bicgstab, bicgstab_with};
+pub use cg::{cg, pcg, pcg_with};
+pub use fgmres::{fgmres, fgmres_with};
+pub use gmres::{gmres, gmres_with};
+pub use workspace::SolverWorkspace;
 
 /// Iteration controls shared by all solvers.
 #[derive(Debug, Clone, Copy)]
@@ -42,7 +55,12 @@ pub struct SolverOptions {
 
 impl Default for SolverOptions {
     fn default() -> Self {
-        SolverOptions { tol: 1e-6, max_iters: 5000, restart: 50, record_history: false }
+        SolverOptions {
+            tol: 1e-6,
+            max_iters: 5000,
+            restart: 50,
+            record_history: false,
+        }
     }
 }
 

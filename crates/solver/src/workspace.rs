@@ -1,0 +1,116 @@
+//! Caller-owned solver working memory.
+//!
+//! A [`SolverWorkspace`] holds every vector a Krylov solver needs —
+//! residuals, directions, the Arnoldi basis, the small Hessenberg/Givens
+//! arrays — plus the [`ApplyScratch`] forwarded to
+//! [`javelin_core::Preconditioner::apply_with`]. Buffers are grown on
+//! first use for a given `(n, restart)` and then reused verbatim, so a
+//! steady-state solve allocates nothing. One workspace can serve many
+//! consecutive solves (and mixed solver kinds); it simply keeps the
+//! high-water-mark buffers alive.
+
+use javelin_core::ApplyScratch;
+use javelin_sparse::Scalar;
+
+/// Reusable working memory for the Krylov solvers (see module docs).
+#[derive(Debug, Clone, Default)]
+pub struct SolverWorkspace<T> {
+    /// Scratch handed to `Preconditioner::apply_with`.
+    pub precond: ApplyScratch<T>,
+    // Length-`n` vectors (grown on demand).
+    pub(crate) r: Vec<T>,
+    pub(crate) rhat: Vec<T>,
+    pub(crate) z: Vec<T>,
+    pub(crate) p: Vec<T>,
+    pub(crate) q: Vec<T>,
+    pub(crate) y: Vec<T>,
+    pub(crate) t: Vec<T>,
+    pub(crate) u: Vec<T>,
+    pub(crate) w: Vec<T>,
+    // Arnoldi bases: `restart + 1` (resp. `restart`) vectors of length `n`.
+    pub(crate) v_basis: Vec<Vec<T>>,
+    pub(crate) z_basis: Vec<Vec<T>>,
+    // Small least-squares state: `(restart + 1) × restart` Hessenberg,
+    // Givens rotations, the rotated rhs, and the solved coefficients.
+    pub(crate) h: Vec<T>,
+    pub(crate) cs: Vec<T>,
+    pub(crate) sn: Vec<T>,
+    pub(crate) g: Vec<T>,
+    pub(crate) yk: Vec<T>,
+}
+
+fn ensure<T: Scalar>(v: &mut Vec<T>, n: usize) {
+    if v.len() != n {
+        v.clear();
+        v.resize(n, T::ZERO);
+    }
+}
+
+impl<T: Scalar> SolverWorkspace<T> {
+    /// Fresh, empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sizes the short-recurrence buffers (CG / BiCGSTAB) for `n`.
+    pub(crate) fn ensure_short(&mut self, n: usize) {
+        for buf in [
+            &mut self.r,
+            &mut self.rhat,
+            &mut self.z,
+            &mut self.p,
+            &mut self.q,
+            &mut self.y,
+            &mut self.t,
+        ] {
+            ensure(buf, n);
+        }
+    }
+
+    /// Sizes the Arnoldi-process buffers (GMRES / FGMRES) for `n` and
+    /// restart length `m`; `with_z_basis` additionally sizes the stored
+    /// preconditioned basis FGMRES needs.
+    pub(crate) fn ensure_krylov(&mut self, n: usize, m: usize, with_z_basis: bool) {
+        for buf in [&mut self.z, &mut self.u, &mut self.w] {
+            ensure(buf, n);
+        }
+        if self.v_basis.len() != m + 1 {
+            self.v_basis.resize_with(m + 1, Vec::new);
+        }
+        for v in self.v_basis.iter_mut() {
+            ensure(v, n);
+        }
+        if with_z_basis {
+            if self.z_basis.len() != m {
+                self.z_basis.resize_with(m, Vec::new);
+            }
+            for z in self.z_basis.iter_mut() {
+                ensure(z, n);
+            }
+        }
+        ensure(&mut self.h, (m + 1) * m);
+        ensure(&mut self.cs, m);
+        ensure(&mut self.sn, m);
+        ensure(&mut self.g, m + 1);
+        ensure(&mut self.yk, m);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_grow_and_stabilize() {
+        let mut ws = SolverWorkspace::<f64>::new();
+        ws.ensure_short(10);
+        assert_eq!(ws.r.len(), 10);
+        let ptr = ws.r.as_ptr();
+        ws.ensure_short(10); // same size: no reallocation
+        assert_eq!(ws.r.as_ptr(), ptr);
+        ws.ensure_krylov(10, 5, true);
+        assert_eq!(ws.v_basis.len(), 6);
+        assert_eq!(ws.z_basis.len(), 5);
+        assert_eq!(ws.h.len(), 30);
+    }
+}

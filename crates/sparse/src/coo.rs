@@ -23,7 +23,13 @@ pub struct CooMatrix<T> {
 impl<T: Scalar> CooMatrix<T> {
     /// Creates an empty `nrows × ncols` triplet matrix.
     pub fn new(nrows: usize, ncols: usize) -> Self {
-        CooMatrix { nrows, ncols, rows: Vec::new(), cols: Vec::new(), vals: Vec::new() }
+        CooMatrix {
+            nrows,
+            ncols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
     }
 
     /// Creates an empty triplet matrix with room for `cap` entries.

@@ -39,7 +39,13 @@ impl<T: Scalar> CscMatrix<T> {
         // Validate by viewing the arrays as a CSR of the transpose.
         CsrMatrix::try_from_parts(ncols, nrows, colptr, rowidx, vals).map(|m| {
             let (nc, _nr, colptr, rowidx, vals) = m.into_parts();
-            CscMatrix { nrows, ncols: nc, colptr, rowidx, vals }
+            CscMatrix {
+                nrows,
+                ncols: nc,
+                colptr,
+                rowidx,
+                vals,
+            }
         })
     }
 
@@ -53,11 +59,17 @@ impl<T: Scalar> CscMatrix<T> {
     ) -> Self {
         #[cfg(debug_assertions)]
         {
-            return Self::try_from_parts(nrows, ncols, colptr, rowidx, vals)
-                .expect("from_raw_unchecked: invalid CSC structure");
+            Self::try_from_parts(nrows, ncols, colptr, rowidx, vals)
+                .expect("from_raw_unchecked: invalid CSC structure")
         }
         #[cfg(not(debug_assertions))]
-        CscMatrix { nrows, ncols, colptr, rowidx, vals }
+        CscMatrix {
+            nrows,
+            ncols,
+            colptr,
+            rowidx,
+            vals,
+        }
     }
 
     /// Number of rows.
@@ -160,8 +172,7 @@ mod tests {
     fn validation_rejects_garbage() {
         assert!(CscMatrix::<f64>::try_from_parts(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
         assert!(
-            CscMatrix::<f64>::try_from_parts(2, 1, vec![0, 2], vec![1, 0], vec![1.0, 2.0])
-                .is_err()
+            CscMatrix::<f64>::try_from_parts(2, 1, vec![0, 2], vec![1, 0], vec![1.0, 2.0]).is_err()
         );
         assert!(CscMatrix::<f64>::try_from_parts(2, 1, vec![0, 1], vec![5], vec![1.0]).is_err());
     }

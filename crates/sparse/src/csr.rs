@@ -86,7 +86,13 @@ impl<T: Scalar> CsrMatrix<T> {
                 }
             }
         }
-        Ok(CsrMatrix { nrows, ncols, rowptr, colidx, vals })
+        Ok(CsrMatrix {
+            nrows,
+            ncols,
+            rowptr,
+            colidx,
+            vals,
+        })
     }
 
     /// Builds a CSR matrix **without** validation. Callers must uphold
@@ -100,11 +106,17 @@ impl<T: Scalar> CsrMatrix<T> {
     ) -> Self {
         #[cfg(debug_assertions)]
         {
-            return Self::try_from_parts(nrows, ncols, rowptr, colidx, vals)
-                .expect("from_raw_unchecked: invalid structure");
+            Self::try_from_parts(nrows, ncols, rowptr, colidx, vals)
+                .expect("from_raw_unchecked: invalid structure")
         }
         #[cfg(not(debug_assertions))]
-        CsrMatrix { nrows, ncols, rowptr, colidx, vals }
+        CsrMatrix {
+            nrows,
+            ncols,
+            rowptr,
+            colidx,
+            vals,
+        }
     }
 
     /// The `n × n` identity matrix.
@@ -205,7 +217,9 @@ impl<T: Scalar> CsrMatrix<T> {
     /// position is not stored.
     pub fn get(&self, row: usize, col: usize) -> Option<T> {
         let cols = self.row_cols(row);
-        cols.binary_search(&col).ok().map(|k| self.vals[self.rowptr[row] + k])
+        cols.binary_search(&col)
+            .ok()
+            .map(|k| self.vals[self.rowptr[row] + k])
     }
 
     /// Iterates `(row, col, value)` over all stored entries.
@@ -305,7 +319,10 @@ impl<T: Scalar> CsrMatrix<T> {
     /// present in the pattern.
     pub fn diag_positions(&self) -> Result<Vec<usize>, SparseError> {
         if !self.is_square() {
-            return Err(SparseError::NotSquare { nrows: self.nrows, ncols: self.ncols });
+            return Err(SparseError::NotSquare {
+                nrows: self.nrows,
+                ncols: self.ncols,
+            });
         }
         let mut pos = vec![0usize; self.nrows];
         for r in 0..self.nrows {
@@ -325,7 +342,10 @@ impl<T: Scalar> CsrMatrix<T> {
     /// differs from the matrix dimension (square required).
     pub fn permute_sym(&self, perm: &Perm) -> Result<CsrMatrix<T>, SparseError> {
         if !self.is_square() {
-            return Err(SparseError::NotSquare { nrows: self.nrows, ncols: self.ncols });
+            return Err(SparseError::NotSquare {
+                nrows: self.nrows,
+                ncols: self.ncols,
+            });
         }
         if perm.len() != self.nrows {
             return Err(SparseError::DimensionMismatch(format!(
@@ -374,7 +394,13 @@ impl<T: Scalar> CsrMatrix<T> {
                 vals[base + k] = v;
             }
         }
-        Ok(CsrMatrix { nrows: self.nrows, ncols: self.ncols, rowptr, colidx, vals })
+        Ok(CsrMatrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            rowptr,
+            colidx,
+            vals,
+        })
     }
 
     /// Strictly-lower / lower-with-diagonal triangular part.
@@ -402,7 +428,13 @@ impl<T: Scalar> CsrMatrix<T> {
             }
             rowptr[r + 1] = colidx.len();
         }
-        CsrMatrix { nrows: self.nrows, ncols: self.ncols, rowptr, colidx, vals }
+        CsrMatrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            rowptr,
+            colidx,
+            vals,
+        }
     }
 
     /// Applies `f` to every stored value, keeping the pattern.
@@ -509,44 +541,24 @@ mod tests {
         // rowptr too short
         assert!(CsrMatrix::<f64>::try_from_parts(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
         // rowptr[0] != 0
-        assert!(
-            CsrMatrix::<f64>::try_from_parts(1, 1, vec![1, 1], vec![], vec![]).is_err()
-        );
+        assert!(CsrMatrix::<f64>::try_from_parts(1, 1, vec![1, 1], vec![], vec![]).is_err());
         // non-monotone rowptr
-        assert!(CsrMatrix::<f64>::try_from_parts(
-            2,
-            2,
-            vec![0, 2, 1],
-            vec![0, 1],
-            vec![1.0, 2.0]
-        )
-        .is_err());
+        assert!(
+            CsrMatrix::<f64>::try_from_parts(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 2.0])
+                .is_err()
+        );
         // column out of bounds
-        assert!(
-            CsrMatrix::<f64>::try_from_parts(1, 1, vec![0, 1], vec![3], vec![1.0]).is_err()
-        );
+        assert!(CsrMatrix::<f64>::try_from_parts(1, 1, vec![0, 1], vec![3], vec![1.0]).is_err());
         // duplicate column
-        assert!(CsrMatrix::<f64>::try_from_parts(
-            1,
-            3,
-            vec![0, 2],
-            vec![1, 1],
-            vec![1.0, 2.0]
-        )
-        .is_err());
-        // unsorted columns
-        assert!(CsrMatrix::<f64>::try_from_parts(
-            1,
-            3,
-            vec![0, 2],
-            vec![2, 0],
-            vec![1.0, 2.0]
-        )
-        .is_err());
-        // vals length mismatch
         assert!(
-            CsrMatrix::<f64>::try_from_parts(1, 2, vec![0, 1], vec![0], vec![]).is_err()
+            CsrMatrix::<f64>::try_from_parts(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 2.0]).is_err()
         );
+        // unsorted columns
+        assert!(
+            CsrMatrix::<f64>::try_from_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]).is_err()
+        );
+        // vals length mismatch
+        assert!(CsrMatrix::<f64>::try_from_parts(1, 2, vec![0, 1], vec![0], vec![]).is_err());
     }
 
     #[test]
@@ -634,7 +646,10 @@ mod tests {
         coo.push(0, 0, 1.0).unwrap();
         coo.push(1, 0, 1.0).unwrap();
         let a = coo.to_csr();
-        assert_eq!(a.diag_positions(), Err(SparseError::MissingDiagonal { row: 1 }));
+        assert_eq!(
+            a.diag_positions(),
+            Err(SparseError::MissingDiagonal { row: 1 })
+        );
     }
 
     #[test]

@@ -49,7 +49,12 @@ pub enum SparseError {
 impl fmt::Display for SparseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SparseError::IndexOutOfBounds { row, col, nrows, ncols } => write!(
+            SparseError::IndexOutOfBounds {
+                row,
+                col,
+                nrows,
+                ncols,
+            } => write!(
                 f,
                 "entry ({row},{col}) out of bounds for {nrows}x{ncols} matrix"
             ),
@@ -82,7 +87,12 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = SparseError::IndexOutOfBounds { row: 5, col: 7, nrows: 3, ncols: 3 };
+        let e = SparseError::IndexOutOfBounds {
+            row: 5,
+            col: 7,
+            nrows: 3,
+            ncols: 3,
+        };
         assert!(e.to_string().contains("(5,7)"));
         assert!(e.to_string().contains("3x3"));
         let e = SparseError::ZeroPivot { row: 42 };

@@ -59,7 +59,9 @@ pub fn read_matrix_market_from<T: Scalar, R: Read>(reader: R) -> Result<CsrMatri
     let head_l = header.to_ascii_lowercase();
     let toks: Vec<&str> = head_l.split_whitespace().collect();
     if toks.len() < 5 || toks[0] != "%%matrixmarket" || toks[1] != "matrix" {
-        return Err(SparseError::Io(format!("bad MatrixMarket banner: {header}")));
+        return Err(SparseError::Io(format!(
+            "bad MatrixMarket banner: {header}"
+        )));
     }
     if toks[2] != "coordinate" {
         return Err(SparseError::Io(format!(
@@ -268,14 +270,8 @@ mod tests {
     fn rejects_bad_banner_and_counts() {
         assert!(parse("%%NotMM matrix coordinate real general\n1 1 0\n").is_err());
         assert!(parse("%%MatrixMarket matrix array real general\n1 1\n1.0\n").is_err());
-        assert!(parse(
-            "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n"
-        )
-        .is_err());
-        assert!(parse(
-            "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n"
-        )
-        .is_err());
+        assert!(parse("%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n").is_err());
+        assert!(parse("%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n").is_err());
     }
 
     #[test]

@@ -27,7 +27,12 @@ impl SparsityPattern {
             let row = &colidx[rowptr[r]..rowptr[r + 1]];
             row.iter().all(|&c| c < ncols) && row.windows(2).all(|w| w[0] < w[1])
         }));
-        SparsityPattern { nrows, ncols, rowptr, colidx }
+        SparsityPattern {
+            nrows,
+            ncols,
+            rowptr,
+            colidx,
+        }
     }
 
     /// Pattern of an existing matrix.
@@ -128,7 +133,10 @@ pub fn lower_pattern<T: Scalar>(a: &CsrMatrix<T>) -> SparsityPattern {
 /// Entry `(i,j)` with `j < i` is present when either `A[i,j]` or
 /// `A[j,i]` is stored.
 pub fn lower_symmetrized_pattern<T: Scalar>(a: &CsrMatrix<T>) -> SparsityPattern {
-    assert!(a.is_square(), "symmetrized pattern requires a square matrix");
+    assert!(
+        a.is_square(),
+        "symmetrized pattern requires a square matrix"
+    );
     let n = a.nrows();
     // Count contributions: (i,j) from lower(A) and (j,i) mirrored from
     // upper(A).
@@ -242,7 +250,11 @@ pub fn upper_of_pattern(p: &SparsityPattern) -> SparsityPattern {
 
 /// Strictly-lower part of the symmetrization `P + Pᵀ` of a pattern.
 pub fn lower_symmetrized_of_pattern(p: &SparsityPattern) -> SparsityPattern {
-    assert_eq!(p.nrows(), p.ncols(), "symmetrization requires a square pattern");
+    assert_eq!(
+        p.nrows(),
+        p.ncols(),
+        "symmetrization requires a square pattern"
+    );
     let n = p.nrows();
     let mut rows: Vec<Vec<usize>> = vec![Vec::new(); n];
     for r in 0..n {
@@ -284,7 +296,13 @@ mod tests {
         // [ . 3 . ]
         // [ . 4 5 ]
         let mut coo = CooMatrix::new(3, 3);
-        for (r, c, v) in [(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 1, 4.0), (2, 2, 5.0)] {
+        for (r, c, v) in [
+            (0, 0, 1.0),
+            (0, 2, 2.0),
+            (1, 1, 3.0),
+            (2, 1, 4.0),
+            (2, 2, 5.0),
+        ] {
             coo.push(r, c, v).unwrap();
         }
         coo.to_csr()
@@ -366,7 +384,10 @@ mod tests {
         let p = SparsityPattern::of(&a);
         assert_eq!(lower_of_pattern(&p), lower_pattern(&a));
         assert_eq!(upper_of_pattern(&p), upper_pattern(&a));
-        assert_eq!(lower_symmetrized_of_pattern(&p), lower_symmetrized_pattern(&a));
+        assert_eq!(
+            lower_symmetrized_of_pattern(&p),
+            lower_symmetrized_pattern(&a)
+        );
         assert_eq!(
             level_pattern_of(&p, LevelPattern::LowerA),
             lower_pattern(&a)
@@ -386,15 +407,13 @@ mod proptests {
 
     fn arb_square(n_max: usize) -> impl Strategy<Value = CsrMatrix<f64>> {
         (2..n_max).prop_flat_map(|n| {
-            proptest::collection::vec((0..n, 0..n, -4.0..4.0f64), 1..n * 4).prop_map(
-                move |trips| {
-                    let mut coo = CooMatrix::new(n, n);
-                    for (r, c, v) in trips {
-                        coo.push(r, c, v).unwrap();
-                    }
-                    coo.to_csr()
-                },
-            )
+            proptest::collection::vec((0..n, 0..n, -4.0..4.0f64), 1..n * 4).prop_map(move |trips| {
+                let mut coo = CooMatrix::new(n, n);
+                for (r, c, v) in trips {
+                    coo.push(r, c, v).unwrap();
+                }
+                coo.to_csr()
+            })
         })
     }
 

@@ -22,7 +22,10 @@ impl Perm {
     /// The identity permutation on `0..n`.
     pub fn identity(n: usize) -> Self {
         let v: Vec<usize> = (0..n).collect();
-        Perm { new_to_old: v.clone(), old_to_new: v }
+        Perm {
+            new_to_old: v.clone(),
+            old_to_new: v,
+        }
     }
 
     /// Builds a permutation from its new-to-old form, validating that it
@@ -47,7 +50,10 @@ impl Perm {
             }
             old_to_new[oldi] = newi;
         }
-        Ok(Perm { new_to_old, old_to_new })
+        Ok(Perm {
+            new_to_old,
+            old_to_new,
+        })
     }
 
     /// Builds a permutation from its old-to-new form.
@@ -88,7 +94,10 @@ impl Perm {
 
     /// The inverse permutation.
     pub fn inverse(&self) -> Perm {
-        Perm { new_to_old: self.old_to_new.clone(), old_to_new: self.new_to_old.clone() }
+        Perm {
+            new_to_old: self.old_to_new.clone(),
+            old_to_new: self.new_to_old.clone(),
+        }
     }
 
     /// Composition `self ∘ other`: applying the result is equivalent to
@@ -100,8 +109,11 @@ impl Perm {
     /// When lengths differ.
     pub fn compose(&self, other: &Perm) -> Perm {
         assert_eq!(self.len(), other.len(), "compose: length mismatch");
-        let new_to_old: Vec<usize> =
-            self.new_to_old.iter().map(|&mid| other.new_to_old[mid]).collect();
+        let new_to_old: Vec<usize> = self
+            .new_to_old
+            .iter()
+            .map(|&mid| other.new_to_old[mid])
+            .collect();
         Perm::from_new_to_old(new_to_old).expect("composition of bijections is a bijection")
     }
 
@@ -192,9 +204,9 @@ mod proptests {
 
     fn arb_perm(max_n: usize) -> impl Strategy<Value = Perm> {
         (1..max_n).prop_flat_map(|n| {
-            Just((0..n).collect::<Vec<usize>>()).prop_shuffle().prop_map(|v| {
-                Perm::from_new_to_old(v).unwrap()
-            })
+            Just((0..n).collect::<Vec<usize>>())
+                .prop_shuffle()
+                .prop_map(|v| Perm::from_new_to_old(v).unwrap())
         })
     }
 

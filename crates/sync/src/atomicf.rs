@@ -37,7 +37,10 @@ impl AtomicF64 {
         let mut cur = self.0.load(Ordering::Relaxed);
         loop {
             let new = (f64::from_bits(cur) + delta).to_bits();
-            match self.0.compare_exchange_weak(cur, new, order, Ordering::Relaxed) {
+            match self
+                .0
+                .compare_exchange_weak(cur, new, order, Ordering::Relaxed)
+            {
                 Ok(prev) => return f64::from_bits(prev),
                 Err(actual) => cur = actual,
             }
@@ -74,7 +77,10 @@ impl AtomicF32 {
         let mut cur = self.0.load(Ordering::Relaxed);
         loop {
             let new = (f32::from_bits(cur) + delta).to_bits();
-            match self.0.compare_exchange_weak(cur, new, order, Ordering::Relaxed) {
+            match self
+                .0
+                .compare_exchange_weak(cur, new, order, Ordering::Relaxed)
+            {
                 Ok(prev) => return f32::from_bits(prev),
                 Err(actual) => cur = actual,
             }

@@ -22,12 +22,26 @@ impl SpinBarrier {
     /// Barrier for `n` participants (`n ≥ 1`).
     pub fn new(n: usize) -> Self {
         assert!(n >= 1, "barrier needs at least one participant");
-        SpinBarrier { n, arrived: AtomicUsize::new(0), sense: AtomicBool::new(false) }
+        SpinBarrier {
+            n,
+            arrived: AtomicUsize::new(0),
+            sense: AtomicBool::new(false),
+        }
     }
 
     /// Number of participants.
     pub fn participants(&self) -> usize {
         self.n
+    }
+
+    /// Resets the barrier to its initial phase. Caller must guarantee
+    /// quiescence (no thread inside `wait`) — typically between parallel
+    /// regions, so one barrier can be built per plan and reused across
+    /// any number of solves even after a panicked region left it
+    /// mid-phase.
+    pub fn reset(&self) {
+        self.arrived.store(0, Ordering::Relaxed);
+        self.sense.store(false, Ordering::Release);
     }
 
     /// Blocks until all `n` participants have called `wait`. Returns
@@ -79,16 +93,29 @@ mod tests {
                         // After the barrier every increment of this phase
                         // must be visible.
                         let seen = counter.load(Ordering::Relaxed);
-                        assert!(
-                            seen >= (phase + 1) * THREADS,
-                            "phase {phase}: saw {seen}"
-                        );
+                        assert!(seen >= (phase + 1) * THREADS, "phase {phase}: saw {seen}");
                         b.wait(); // second barrier so nobody races ahead
                     }
                 });
             }
         });
         assert_eq!(counter.load(Ordering::Relaxed), THREADS * PHASES);
+    }
+
+    #[test]
+    fn reset_restores_initial_phase() {
+        let b = SpinBarrier::new(2);
+        // Simulate an abandoned phase: one arrival, then reset.
+        b.arrived.store(1, Ordering::Relaxed);
+        b.sense.store(true, Ordering::Relaxed);
+        b.reset();
+        // A fresh two-party phase must complete normally.
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                b.wait();
+            });
+            b.wait();
+        });
     }
 
     #[test]

@@ -1,0 +1,105 @@
+//! Execution context for parallel regions: how a plan runs its SPMD
+//! closures.
+//!
+//! Plans (factorizations, spmv plans, solver workspaces) pick their
+//! execution strategy once at construction time:
+//!
+//! * [`Exec::team`] — a persistent [`WorkerTeam`]; regions reuse parked
+//!   threads with stable tids. The right choice for anything executed
+//!   repeatedly (the Krylov hot loop).
+//! * [`Exec::spawn`] — scoped spawn-per-region
+//!   ([`crate::pool::run_on_threads`]); no resident threads. The right
+//!   choice for one-shot phases or callers that must not keep threads
+//!   alive.
+//!
+//! Both run `f(tid)` for `tid ∈ 0..nthreads` with the caller
+//! participating as tid 0 and full fork-join semantics (all memory
+//! writes of the region happen-before `run` returns).
+
+use crate::pool;
+use crate::team::WorkerTeam;
+use std::sync::Arc;
+
+/// How parallel regions are executed (see module docs).
+#[derive(Debug, Clone)]
+pub enum Exec {
+    /// Scoped spawn-per-region fallback.
+    Spawn {
+        /// Number of participants per region.
+        nthreads: usize,
+    },
+    /// Persistent parked worker team.
+    Team(Arc<WorkerTeam>),
+}
+
+impl Exec {
+    /// Spawn-per-region execution with `nthreads` participants.
+    pub fn spawn(nthreads: usize) -> Self {
+        assert!(nthreads >= 1, "need at least one thread");
+        Exec::Spawn { nthreads }
+    }
+
+    /// Persistent-team execution with `nthreads` participants.
+    pub fn team(nthreads: usize) -> Self {
+        Exec::Team(Arc::new(WorkerTeam::new(nthreads)))
+    }
+
+    /// Wraps an existing team.
+    pub fn with_team(team: Arc<WorkerTeam>) -> Self {
+        Exec::Team(team)
+    }
+
+    /// Number of participants per region.
+    pub fn nthreads(&self) -> usize {
+        match self {
+            Exec::Spawn { nthreads } => *nthreads,
+            Exec::Team(team) => team.nthreads(),
+        }
+    }
+
+    /// Runs one fork-join region: `f(tid)` for every tid.
+    #[inline]
+    pub fn run<F>(&self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        match self {
+            Exec::Spawn { nthreads } => pool::run_on_threads(*nthreads, f),
+            Exec::Team(team) => team.run(f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn both_variants_run_all_tids() {
+        for exec in [Exec::spawn(3), Exec::team(3)] {
+            assert_eq!(exec.nthreads(), 3);
+            let hits: Vec<AtomicUsize> = (0..3).map(|_| AtomicUsize::new(0)).collect();
+            for _ in 0..4 {
+                exec.run(|tid| {
+                    hits[tid].fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 4));
+        }
+    }
+
+    #[test]
+    fn cloned_team_exec_shares_workers() {
+        let exec = Exec::team(2);
+        let clone = exec.clone();
+        let sum = AtomicUsize::new(0);
+        exec.run(|tid| {
+            sum.fetch_add(tid + 1, Ordering::Relaxed);
+        });
+        clone.run(|tid| {
+            sum.fetch_add(tid + 1, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 6);
+    }
+}

@@ -8,8 +8,13 @@
 //! library" as an in-progress improvement. This crate supplies those
 //! pieces:
 //!
-//! * [`pool`] — scoped fork-join execution with stable thread ids
-//!   (replaces the OpenMP parallel region);
+//! * [`team`] — the persistent [`WorkerTeam`]: parked workers with
+//!   stable tids executing borrowed SPMD regions (the OpenMP parallel
+//!   region, amortized across the whole Krylov loop);
+//! * [`exec`] — [`Exec`], the per-plan choice between the team and
+//!   spawn-per-region execution;
+//! * [`pool`] — scoped spawn-per-region fork-join (the fallback for
+//!   one-shot phases);
 //! * [`progress`] — cache-padded monotone progress counters with
 //!   acquire/release semantics: the runtime half of the sparsified
 //!   point-to-point schedule;
@@ -23,22 +28,28 @@
 //!   kernels;
 //! * [`atomicf`] — atomic floating-point accumulators.
 //!
-//! Everything is safe Rust: even the spin primitives are built on
-//! `std::sync::atomic` without any `unsafe`.
+//! Everything except the worker team is safe Rust built on
+//! `std::sync::atomic`; [`team`] contains the crate's only `unsafe` —
+//! the lifetime erasure that lets persistent workers execute borrowed
+//! closures — behind a documented fork-join protocol.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod atomicf;
 pub mod backoff;
 pub mod barrier;
+pub mod exec;
 pub mod pool;
 pub mod progress;
 pub mod segscan;
 pub mod taskgraph;
+pub mod team;
 
 pub use backoff::Backoff;
 pub use barrier::SpinBarrier;
+pub use exec::Exec;
 pub use pool::run_on_threads;
 pub use progress::ProgressCounters;
 pub use taskgraph::TaskGraph;
+pub use team::WorkerTeam;

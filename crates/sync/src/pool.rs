@@ -1,18 +1,21 @@
 //! Scoped fork-join execution with stable thread ids.
 //!
 //! The paper runs inside an OpenMP parallel region: a fixed team of
-//! threads, each knowing its id, executing the same SPMD function. The
-//! Rust analogue here is [`run_on_threads`], built on `std::thread::scope`
-//! so worker closures can borrow the matrix, the schedule and the
-//! progress counters directly — no `Arc`, no `'static` bounds, no
-//! `unsafe`.
+//! threads, each knowing its id, executing the same SPMD function. This
+//! module is the *spawn-per-region* Rust analogue, built on
+//! `std::thread::scope` so worker closures can borrow the matrix, the
+//! schedule and the progress counters directly.
 //!
-//! Design note: a persistent worker pool would shave the ~tens of
-//! microseconds of thread spawn per parallel region. Javelin's regions
-//! wrap whole factorizations/solves (milliseconds), the paper's scaling
-//! phenomena are reproduced through the machine-model simulator, and
-//! spawn-per-region keeps the entire workspace `#![forbid(unsafe_code)]`
-//! — so the simple scoped version is the deliberate choice.
+//! Design note: spawn-per-region is no longer the deliberate choice for
+//! hot paths — it remains as the fallback for one-shot callers (the
+//! symbolic and numeric factorization phases, run once per matrix) and
+//! for code that must not keep resident threads. Anything executed
+//! repeatedly (triangular solves and spmv inside a Krylov iteration)
+//! runs on the persistent [`crate::team::WorkerTeam`] through
+//! [`crate::exec::Exec`], which amortizes thread startup across the
+//! whole solve exactly the way the paper amortizes its symbolic phase
+//! across numeric re-factorizations. The two are interchangeable at
+//! every call site: same tid semantics, same fork-join memory ordering.
 
 /// Runs `f(tid)` on `nthreads` OS threads (tids `0..nthreads`) and
 /// waits for all of them. `nthreads == 1` runs inline on the caller.
@@ -37,15 +40,24 @@ where
     });
 }
 
-/// Splits `0..len` into `nthreads` contiguous chunks and runs
-/// `f(tid, start..end)` on each thread; empty chunks are skipped at the
-/// closure level (the closure still runs with an empty range).
+/// Splits `0..len` into at most `nthreads` contiguous chunks and runs
+/// `f(tid, start..end)` on each participating thread.
+///
+/// Degenerate calls stay cheap: `len == 0` returns without entering a
+/// parallel region, and when the chunking leaves trailing threads with
+/// empty ranges only the threads that own work are started (so the
+/// closure is never invoked with an empty range).
 pub fn parallel_chunks<F>(nthreads: usize, len: usize, f: F)
 where
     F: Fn(usize, std::ops::Range<usize>) + Sync,
 {
+    if len == 0 {
+        return;
+    }
     let chunk = len.div_ceil(nthreads.max(1)).max(1);
-    run_on_threads(nthreads, |tid| {
+    // Threads `>= active` would receive empty ranges; don't start them.
+    let active = len.div_ceil(chunk);
+    run_on_threads(active, |tid| {
         let start = (tid * chunk).min(len);
         let end = ((tid + 1) * chunk).min(len);
         f(tid, start..end);
@@ -53,7 +65,12 @@ where
 }
 
 /// Parallel element-wise map over mutable data: partitions `data` into
-/// `nthreads` contiguous slices and hands each to `f(tid, offset, slice)`.
+/// at most `nthreads` contiguous slices and hands slice `tid` to
+/// `f(tid, offset, slice)`.
+///
+/// Each thread owns exactly one precomputed slice — there is no shared
+/// work queue to contend on, and the `(tid, offset)` association is
+/// deterministic. Threads without a slice are not started.
 pub fn parallel_slices<T: Send, F>(nthreads: usize, data: &mut [T], f: F)
 where
     F: Fn(usize, usize, &mut [T]) + Sync,
@@ -63,29 +80,23 @@ where
         return;
     }
     let chunk = len.div_ceil(nthreads.max(1)).max(1);
-    let mut parts: Vec<(usize, &mut [T])> = Vec::with_capacity(nthreads);
+    // Pre-partition into per-tid cells; each cell is taken exactly once
+    // by its owning thread (one uncontended lock apiece).
+    let mut parts: Vec<std::sync::Mutex<Option<(usize, &mut [T])>>> = Vec::new();
     let mut rest = data;
     let mut offset = 0usize;
     while !rest.is_empty() {
         let take = chunk.min(rest.len());
         let (head, tail) = rest.split_at_mut(take);
-        parts.push((offset, head));
+        parts.push(std::sync::Mutex::new(Some((offset, head))));
         offset += take;
         rest = tail;
     }
-    let parts = std::sync::Mutex::new(parts.into_iter().enumerate().collect::<Vec<_>>());
-    run_on_threads(nthreads, |tid| {
-        loop {
-            let item = parts.lock().expect("poisoned").pop();
-            match item {
-                Some((idx, (off, slice))) => {
-                    // Slices are handed out in reverse; idx keeps the
-                    // association deterministic for callers that care.
-                    let _ = idx;
-                    f(tid, off, slice);
-                }
-                None => break,
-            }
+    let active = parts.len();
+    run_on_threads(active, |tid| {
+        let item = parts[tid].lock().unwrap_or_else(|e| e.into_inner()).take();
+        if let Some((off, slice)) = item {
+            f(tid, off, slice);
         }
     });
 }
@@ -98,7 +109,9 @@ mod tests {
     #[test]
     fn all_tids_run_once() {
         for nthreads in 1..=6 {
-            let hits = (0..nthreads).map(|_| AtomicUsize::new(0)).collect::<Vec<_>>();
+            let hits = (0..nthreads)
+                .map(|_| AtomicUsize::new(0))
+                .collect::<Vec<_>>();
             run_on_threads(nthreads, |tid| {
                 hits[tid].fetch_add(1, Ordering::Relaxed);
             });
@@ -110,7 +123,7 @@ mod tests {
 
     #[test]
     fn borrows_stack_data() {
-        let data = vec![1usize, 2, 3, 4];
+        let data = [1usize, 2, 3, 4];
         let sum = AtomicUsize::new(0);
         run_on_threads(4, |tid| {
             sum.fetch_add(data[tid], Ordering::Relaxed);
@@ -137,6 +150,21 @@ mod tests {
     }
 
     #[test]
+    fn chunks_never_deliver_empty_ranges() {
+        // 5 threads × len 6 → chunk 2 → 3 active threads, none empty.
+        let calls = AtomicUsize::new(0);
+        parallel_chunks(5, 6, |_tid, range| {
+            assert!(!range.is_empty());
+            calls.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
+        // Degenerate: empty input never enters a region.
+        parallel_chunks(4, 0, |_tid, _range| {
+            panic!("must not be called for len == 0");
+        });
+    }
+
+    #[test]
     fn slices_partition_mutable_data() {
         let mut data = vec![0usize; 23];
         parallel_slices(4, &mut data, |_tid, offset, slice| {
@@ -146,6 +174,19 @@ mod tests {
         });
         let expect: Vec<usize> = (0..23).collect();
         assert_eq!(data, expect);
+    }
+
+    #[test]
+    fn slices_tid_matches_partition_order() {
+        // Thread tid must receive the tid-th contiguous slice.
+        let mut data = vec![0usize; 10];
+        parallel_slices(3, &mut data, |tid, offset, slice| {
+            assert_eq!(offset, tid * 4);
+            for v in slice.iter_mut() {
+                *v = tid;
+            }
+        });
+        assert_eq!(data, vec![0, 0, 0, 0, 1, 1, 1, 1, 2, 2]);
     }
 
     #[test]

@@ -23,7 +23,9 @@ impl ProgressCounters {
     /// Creates `n` counters initialized to zero.
     pub fn new(n: usize) -> Self {
         ProgressCounters {
-            counters: (0..n).map(|_| CachePadded::new(AtomicUsize::new(0))).collect(),
+            counters: (0..n)
+                .map(|_| CachePadded::new(AtomicUsize::new(0)))
+                .collect(),
         }
     }
 

@@ -15,7 +15,11 @@
 /// When `seg_ptr` is not a valid monotone pointer array over `vals`.
 pub fn segmented_sum_serial(seg_ptr: &[usize], vals: &[f64]) -> Vec<f64> {
     assert!(!seg_ptr.is_empty(), "seg_ptr must have at least one entry");
-    assert_eq!(*seg_ptr.last().expect("nonempty"), vals.len(), "seg_ptr must cover vals");
+    assert_eq!(
+        *seg_ptr.last().expect("nonempty"),
+        vals.len(),
+        "seg_ptr must cover vals"
+    );
     let nseg = seg_ptr.len() - 1;
     let mut out = vec![0.0; nseg];
     for s in 0..nseg {
@@ -40,7 +44,13 @@ pub struct TilePartial {
 /// `lo..hi`. `seg_of_lo` must be the segment containing entry `lo`
 /// (i.e. `seg_ptr[seg_of_lo] <= lo < seg_ptr[seg_of_lo + 1]`, treating
 /// empty segments as skipped).
-pub fn tile_partial(seg_ptr: &[usize], vals: &[f64], lo: usize, hi: usize, seg_of_lo: usize) -> TilePartial {
+pub fn tile_partial(
+    seg_ptr: &[usize],
+    vals: &[f64],
+    lo: usize,
+    hi: usize,
+    seg_of_lo: usize,
+) -> TilePartial {
     debug_assert!(lo <= hi && hi <= vals.len());
     let nseg = seg_ptr.len() - 1;
     let mut sums = Vec::new();
@@ -49,7 +59,7 @@ pub fn tile_partial(seg_ptr: &[usize], vals: &[f64], lo: usize, hi: usize, seg_o
     let mut cursor = lo;
     while cursor < hi {
         // Advance past empty/finished segments.
-        while seg + 1 <= nseg && seg_ptr[seg + 1] <= cursor {
+        while seg < nseg && seg_ptr[seg + 1] <= cursor {
             sums.push(acc);
             acc = 0.0;
             seg += 1;
@@ -61,7 +71,10 @@ pub fn tile_partial(seg_ptr: &[usize], vals: &[f64], lo: usize, hi: usize, seg_o
         cursor = seg_end;
     }
     sums.push(acc);
-    TilePartial { first_seg: seg_of_lo, sums }
+    TilePartial {
+        first_seg: seg_of_lo,
+        sums,
+    }
 }
 
 /// Combines tile partials (in tile order) into the full segmented sum.

@@ -46,7 +46,12 @@ impl TaskGraph {
             succ[next[before]] = after;
             next[before] += 1;
         }
-        TaskGraph { n, succ_ptr, succ, indegree }
+        TaskGraph {
+            n,
+            succ_ptr,
+            succ,
+            indegree,
+        }
     }
 
     /// Number of tasks.

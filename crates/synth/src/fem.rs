@@ -186,8 +186,13 @@ mod tests {
     fn triangle_mesh_diagonally_dominant() {
         let a = triangle_mesh_2d(6, 6, 0.5);
         for r in 0..a.nrows() {
-            let off: f64 =
-                a.row_cols(r).iter().zip(a.row_vals(r)).filter(|(c, _)| **c != r).map(|(_, v)| v.abs()).sum();
+            let off: f64 = a
+                .row_cols(r)
+                .iter()
+                .zip(a.row_vals(r))
+                .filter(|(c, _)| **c != r)
+                .map(|(_, v)| v.abs())
+                .sum();
             assert!(a.get(r, r).unwrap() >= off);
         }
     }

@@ -132,8 +132,16 @@ pub fn convection_diffusion_2d(nx: usize, ny: usize, wx: f64, wy: f64) -> CsrMat
     let mut coo = CooMatrix::with_capacity(n, n, 5 * n);
     // Upwind: convection adds |w|h to the diagonal and -|w|h upstream,
     // preserving an M-matrix (no pivoting hazards).
-    let (cxm, cxp) = if wx >= 0.0 { (wx * h, 0.0) } else { (0.0, -wx * h) };
-    let (cym, cyp) = if wy >= 0.0 { (wy * h, 0.0) } else { (0.0, -wy * h) };
+    let (cxm, cxp) = if wx >= 0.0 {
+        (wx * h, 0.0)
+    } else {
+        (0.0, -wx * h)
+    };
+    let (cym, cyp) = if wy >= 0.0 {
+        (wy * h, 0.0)
+    } else {
+        (0.0, -wy * h)
+    };
     for i in 0..nx {
         for j in 0..ny {
             let r = idx(i, j);
@@ -166,7 +174,13 @@ pub fn convection_diffusion_3d(
     let n = nx * ny * nz;
     let idx = |i: usize, j: usize, k: usize| (i * ny + j) * nz + k;
     let h = 1.0 / (nx.max(ny).max(nz) as f64 + 1.0);
-    let up = |wc: f64| if wc >= 0.0 { (wc * h, 0.0) } else { (0.0, -wc * h) };
+    let up = |wc: f64| {
+        if wc >= 0.0 {
+            (wc * h, 0.0)
+        } else {
+            (0.0, -wc * h)
+        }
+    };
     let (cxm, cxp) = up(w.0);
     let (cym, cyp) = up(w.1);
     let (czm, czp) = up(w.2);
@@ -211,7 +225,7 @@ mod tests {
         assert!(a.is_pattern_symmetric());
         assert!(a.is_symmetric(0.0));
         // Interior row has 5 entries.
-        assert_eq!(a.row_nnz(1 * 5 + 2), 5);
+        assert_eq!(a.row_nnz(5 + 2), 5);
         // Corner has 3.
         assert_eq!(a.row_nnz(0), 3);
         assert!(a.row_density() <= 5.0);
@@ -223,7 +237,7 @@ mod tests {
         let a = laplace_3d(3, 4, 5);
         assert_eq!(a.nrows(), 60);
         assert!(a.is_symmetric(0.0));
-        assert_eq!(a.row_nnz((1 * 4 + 2) * 5 + 2), 7);
+        assert_eq!(a.row_nnz((4 + 2) * 5 + 2), 7);
     }
 
     #[test]

@@ -13,8 +13,7 @@ pub fn random_sparse(n: usize, rd: f64, seed: u64) -> CsrMatrix<f64> {
     let mut coo = CooMatrix::with_capacity(n, n, (n as f64 * (per_row + 1.0)) as usize);
     for r in 0..n {
         coo.push_unchecked(r, r, 1.0);
-        let k = per_row.floor() as usize
-            + usize::from(rng.gen::<f64>() < per_row.fract());
+        let k = per_row.floor() as usize + usize::from(rng.gen::<f64>() < per_row.fract());
         for _ in 0..k {
             let c = rng.gen_range(0..n);
             if c != r {
@@ -51,8 +50,8 @@ pub fn random_symmetric(n: usize, rd: f64, seed: u64) -> CsrMatrix<f64> {
     let mut coo = CooMatrix::with_capacity(n, n, (n as f64 * (rd + 1.0)) as usize);
     for r in 0..n {
         coo.push_unchecked(r, r, 1.0);
-        let k = edges_per_row.floor() as usize
-            + usize::from(rng.gen::<f64>() < edges_per_row.fract());
+        let k =
+            edges_per_row.floor() as usize + usize::from(rng.gen::<f64>() < edges_per_row.fract());
         for _ in 0..k {
             let c = rng.gen_range(0..n);
             if c != r {
@@ -72,7 +71,11 @@ mod tests {
     fn random_sparse_density_close() {
         let a = random_sparse(2000, 6.0, 1);
         // diag + ~6 requested (minus collisions/duplicates)
-        assert!(a.row_density() > 5.0 && a.row_density() < 8.0, "rd = {}", a.row_density());
+        assert!(
+            a.row_density() > 5.0 && a.row_density() < 8.0,
+            "rd = {}",
+            a.row_density()
+        );
         assert!(a.diag_positions().is_ok());
     }
 

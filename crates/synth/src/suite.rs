@@ -95,7 +95,13 @@ macro_rules! entry {
             name: $name,
             paper_name: $paper,
             group: SuiteGroup::$group,
-            paper: PaperStats { n: $n, nnz: $nnz, rd: $rd, sp: $sp, lvl: $lvl },
+            paper: PaperStats {
+                n: $n,
+                nnz: $nnz,
+                rd: $rd,
+                sp: $sp,
+                lvl: $lvl,
+            },
             generator: $gen,
         }
     };
@@ -104,17 +110,27 @@ macro_rules! entry {
 /// The full 18-matrix suite in the paper's Table-I order.
 pub fn paper_suite() -> Vec<SuiteMatrix> {
     vec![
-        entry!("wang3-like", "wang3", B, (26064, 177168, 6.8, true, 10), |s| {
-            let d = if s == Scale::Tiny { 8 } else { 14 };
-            grid::convection_diffusion_3d(d, d, d, (30.0, 20.0, 10.0))
-        }),
+        entry!(
+            "wang3-like",
+            "wang3",
+            B,
+            (26064, 177168, 6.8, true, 10),
+            |s| {
+                let d = if s == Scale::Tiny { 8 } else { 14 };
+                grid::convection_diffusion_3d(d, d, d, (30.0, 20.0, 10.0))
+            }
+        ),
         entry!(
             "tsopf-like",
             "TSOPF_RS_b300_c2",
             B,
             (28338, 2943887, 103.88, false, 180),
             |s| {
-                let (n, b) = if s == Scale::Tiny { (360, 30) } else { (1800, 70) };
+                let (n, b) = if s == Scale::Tiny {
+                    (360, 30)
+                } else {
+                    (1800, 70)
+                };
                 circuit::power_grid(n, b, 2, 0x7509)
             }
         ),
@@ -148,14 +164,26 @@ pub fn paper_suite() -> Vec<SuiteMatrix> {
                 fem::shell_strip(nx, 2, 4, 0xfe17)
             }
         ),
-        entry!("trans4-like", "trans4", B, (116835, 749800, 6.42, false, 20), |s| {
-            let n = if s == Scale::Tiny { 900 } else { 5000 };
-            circuit::transient_circuit(n, 60, false, 0x7245)
-        }),
-        entry!("scircuit-like", "scircuit", B, (170998, 958936, 5.61, true, 34), |s| {
-            let n = if s == Scale::Tiny { 1200 } else { 7000 };
-            circuit::asic_like(n, 4, 2, 0.05, 0x5c1c)
-        }),
+        entry!(
+            "trans4-like",
+            "trans4",
+            B,
+            (116835, 749800, 6.42, false, 20),
+            |s| {
+                let n = if s == Scale::Tiny { 900 } else { 5000 };
+                circuit::transient_circuit(n, 60, false, 0x7245)
+            }
+        ),
+        entry!(
+            "scircuit-like",
+            "scircuit",
+            B,
+            (170998, 958936, 5.61, true, 34),
+            |s| {
+                let n = if s == Scale::Tiny { 1200 } else { 7000 };
+                circuit::asic_like(n, 4, 2, 0.05, 0x5c1c)
+            }
+        ),
         entry!(
             "transient-like",
             "transient",
@@ -166,10 +194,16 @@ pub fn paper_suite() -> Vec<SuiteMatrix> {
                 circuit::transient_circuit(n, 50, true, 0x42a5)
             }
         ),
-        entry!("offshore-like", "offshore", A, (259789, 4242673, 16.33, true, 74), |s| {
-            let d = if s == Scale::Tiny { 7 } else { 12 };
-            fem::tet_mesh_3d(d, d, d, 0.0, 0x0f54)
-        }),
+        entry!(
+            "offshore-like",
+            "offshore",
+            A,
+            (259789, 4242673, 16.33, true, 74),
+            |s| {
+                let d = if s == Scale::Tiny { 7 } else { 12 };
+                fem::tet_mesh_3d(d, d, d, 0.0, 0x0f54)
+            }
+        ),
         entry!(
             "asic320-like",
             "ASIC_320ks",
@@ -210,22 +244,46 @@ pub fn paper_suite() -> Vec<SuiteMatrix> {
                 circuit::asic_like(n, 2, 3, 0.05, 0xa680)
             }
         ),
-        entry!("apache2-like", "apache2", A, (715176, 4817870, 6.74, true, 13), |s| {
-            let d = if s == Scale::Tiny { 10 } else { 20 };
-            grid::laplace_3d(d, d, d)
-        }),
-        entry!("tmtsym-like", "tmt_sym", B, (726713, 5080961, 6.99, true, 28), |s| {
-            let d = if s == Scale::Tiny { 28 } else { 85 };
-            fem::triangle_mesh_2d(d, d, 1.0)
-        }),
-        entry!("ecology2-like", "ecology2", A, (999999, 4995991, 5.0, true, 13), |s| {
-            let d = if s == Scale::Tiny { 32 } else { 100 };
-            grid::laplace_2d(d, d)
-        }),
-        entry!("thermal2-like", "thermal2", A, (1200000, 8580313, 6.99, true, 27), |s| {
-            let d = if s == Scale::Tiny { 34 } else { 105 };
-            fem::triangle_mesh_2d(d, d, 0.8)
-        }),
+        entry!(
+            "apache2-like",
+            "apache2",
+            A,
+            (715176, 4817870, 6.74, true, 13),
+            |s| {
+                let d = if s == Scale::Tiny { 10 } else { 20 };
+                grid::laplace_3d(d, d, d)
+            }
+        ),
+        entry!(
+            "tmtsym-like",
+            "tmt_sym",
+            B,
+            (726713, 5080961, 6.99, true, 28),
+            |s| {
+                let d = if s == Scale::Tiny { 28 } else { 85 };
+                fem::triangle_mesh_2d(d, d, 1.0)
+            }
+        ),
+        entry!(
+            "ecology2-like",
+            "ecology2",
+            A,
+            (999999, 4995991, 5.0, true, 13),
+            |s| {
+                let d = if s == Scale::Tiny { 32 } else { 100 };
+                grid::laplace_2d(d, d)
+            }
+        ),
+        entry!(
+            "thermal2-like",
+            "thermal2",
+            A,
+            (1200000, 8580313, 6.99, true, 27),
+            |s| {
+                let d = if s == Scale::Tiny { 34 } else { 105 };
+                fem::triangle_mesh_2d(d, d, 0.8)
+            }
+        ),
         entry!(
             "g3circuit-like",
             "G3_circuit",
@@ -250,10 +308,17 @@ pub fn suite_matrix(name: &str) -> Option<SuiteMatrix> {
 pub fn group_a() -> Vec<SuiteMatrix> {
     // Table II order: offshore, parabolic_fem, af_shell3, thermal2,
     // ecology2, apache2.
-    ["offshore", "parabolic_fem", "af_shell3", "thermal2", "ecology2", "apache2"]
-        .iter()
-        .map(|n| suite_matrix(n).expect("group A member present"))
-        .collect()
+    [
+        "offshore",
+        "parabolic_fem",
+        "af_shell3",
+        "thermal2",
+        "ecology2",
+        "apache2",
+    ]
+    .iter()
+    .map(|n| suite_matrix(n).expect("group A member present"))
+    .collect()
 }
 
 #[cfg(test)]

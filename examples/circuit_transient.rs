@@ -35,7 +35,9 @@ fn main() {
 
     // Paper preordering pipeline: zero-free diagonal, then ND.
     let rowp = dm_row_permutation(&raw).expect("square");
-    let a = raw.permute(&rowp, &Perm::identity(raw.ncols())).expect("row perm");
+    let a = raw
+        .permute(&rowp, &Perm::identity(raw.ncols()))
+        .expect("row perm");
     let nd = nested_dissection_order(&a, 64);
     let a = a.permute_sym(&nd).expect("nd perm");
 
@@ -53,12 +55,16 @@ fn main() {
     // "Time stepping": a sequence of right-hand sides; each step reuses
     // the factors for thousands-of-solves amortization.
     let n = a.nrows();
-    let opts = SolverOptions { tol: 1e-8, ..Default::default() };
+    let opts = SolverOptions {
+        tol: 1e-8,
+        ..Default::default()
+    };
     let mut total_pre = 0usize;
     let mut total_plain = 0usize;
     for step in 0..5 {
-        let b: Vec<f64> =
-            (0..n).map(|i| ((i + step * 37) % 23) as f64 * 0.1 - 1.0).collect();
+        let b: Vec<f64> = (0..n)
+            .map(|i| ((i + step * 37) % 23) as f64 * 0.1 - 1.0)
+            .collect();
         let mut x = vec![0.0; n];
         let pre = gmres(&a, &b, &mut x, &factors, &opts);
         let mut x2 = vec![0.0; n];
@@ -71,8 +77,6 @@ fn main() {
             pre.iterations, plain.iterations
         );
     }
-    println!(
-        "total Krylov iterations over 5 steps: {total_pre} (ILU) vs {total_plain} (none)"
-    );
+    println!("total Krylov iterations over 5 steps: {total_pre} (ILU) vs {total_plain} (none)");
     assert!(total_pre < total_plain);
 }

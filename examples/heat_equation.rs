@@ -58,7 +58,10 @@ fn main() {
     let mut u = vec![0.0; n];
     // A hot spot in the middle of the cube.
     u[(nx / 2 * ny + ny / 2) * nz + nz / 2] = 100.0;
-    let opts = SolverOptions { tol: 1e-8, ..Default::default() };
+    let opts = SolverOptions {
+        tol: 1e-8,
+        ..Default::default()
+    };
     let mut total_iters = 0;
     for _step in 0..10 {
         let b = u.clone();

@@ -25,7 +25,10 @@ fn main() {
             let tmp = std::env::temp_dir().join("javelin_demo.mtx");
             let demo = convection_diffusion_2d(48, 48, 30.0, -12.0);
             write_matrix_market(&tmp, &demo).expect("write demo matrix");
-            println!("(no argument given; wrote a demo matrix to {})", tmp.display());
+            println!(
+                "(no argument given; wrote a demo matrix to {})",
+                tmp.display()
+            );
             tmp.to_string_lossy().into_owned()
         }
     };

@@ -51,5 +51,8 @@ fn main() {
     );
     assert!(pre.converged && plain.converged);
     assert!(pre.iterations < plain.iterations);
-    println!("preconditioning saved {} iterations", plain.iterations - pre.iterations);
+    println!(
+        "preconditioning saved {} iterations",
+        plain.iterations - pre.iterations
+    );
 }

@@ -26,13 +26,22 @@ fn main() {
     let machines = [MachineModel::haswell28(), MachineModel::knl68()];
     for (label, name) in cases {
         let a = preorder_dm_nd(
-            &suite_matrix(name).expect("suite matrix").build_at(Scale::Standard),
+            &suite_matrix(name)
+                .expect("suite matrix")
+                .build_at(Scale::Standard),
         );
         let f = IluFactorization::compute(&a, &IluOptions::default()).expect("ILU");
-        println!("\n=== {label}: n = {}, levels = {} ===", a.nrows(), f.stats().n_levels);
+        println!(
+            "\n=== {label}: n = {}, levels = {} ===",
+            a.nrows(),
+            f.stats().n_levels
+        );
         for m in &machines {
             println!("--- {} ---", m.name);
-            println!("{:>8} {:>12} {:>12} {:>12}", "threads", "ILU speedup", "stri LS", "stri LS+Low");
+            println!(
+                "{:>8} {:>12} {:>12} {:>12}",
+                "threads", "ILU speedup", "stri LS", "stri LS+Low"
+            );
             let base_f = sim_factor_time(&f, m, 1).total_s;
             let base_s = sim_trisolve_time(&f, m, 1, SolveEngine::Serial);
             let sweep: Vec<usize> = [1usize, 2, 4, 8, 14, 28, 68]

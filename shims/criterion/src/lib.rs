@@ -1,0 +1,193 @@
+//! Minimal `criterion` stand-in: groups, `BenchmarkId`, `Bencher::iter`,
+//! and the `criterion_group!`/`criterion_main!` macros. Each benchmark
+//! is timed with a calibrated batch loop and reported as the median
+//! ns/iteration on stdout — enough to compare kernels, not a statistics
+//! suite.
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::time::Instant;
+
+/// Opaque-to-the-optimizer value sink (`criterion::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifies one benchmark within a group: `function/parameter`.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function_name/parameter`.
+    pub fn new<F: fmt::Display, P: fmt::Display>(function_name: F, parameter: P) -> Self {
+        BenchmarkId {
+            name: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name }
+    }
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\nbench group: {name}");
+        BenchmarkGroup {
+            _c: self,
+            group: name.to_string(),
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(10);
+        f(&mut b);
+        b.report(name);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    group: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Benchmarks `f` with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.group, id));
+        self
+    }
+
+    /// Benchmarks a closure with no explicit input.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(&format!("{}/{}", self.group, id.into()));
+        self
+    }
+
+    /// Ends the group (prints nothing extra; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; `iter` runs and times the payload.
+pub struct Bencher {
+    sample_size: usize,
+    median_ns: Option<f64>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher {
+            sample_size,
+            median_ns: None,
+        }
+    }
+
+    /// Times `routine`, storing the median ns/iteration across samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate the batch size to ~2 ms per sample.
+        let mut batch = 1usize;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std_black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if dt.as_micros() >= 2000 || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        let mut samples: Vec<f64> = (0..self.sample_size)
+            .map(|_| {
+                let t0 = Instant::now();
+                for _ in 0..batch {
+                    std_black_box(routine());
+                }
+                t0.elapsed().as_nanos() as f64 / batch as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = Some(samples[samples.len() / 2]);
+    }
+
+    fn report(&self, label: &str) {
+        match self.median_ns {
+            Some(ns) if ns >= 1e6 => println!("  {label:<48} {:>12.3} ms", ns / 1e6),
+            Some(ns) if ns >= 1e3 => println!("  {label:<48} {:>12.3} us", ns / 1e3),
+            Some(ns) => println!("  {label:<48} {ns:>12.1} ns"),
+            None => println!("  {label:<48} (no measurement)"),
+        }
+    }
+}
+
+/// Declares a benchmark group function, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, as in criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

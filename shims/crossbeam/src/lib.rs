@@ -1,0 +1,60 @@
+//! Minimal `crossbeam` stand-in: just `utils::CachePadded`.
+
+/// Utility types shared across crossbeam — here only `CachePadded`.
+pub mod utils {
+    use std::fmt;
+    use std::ops::{Deref, DerefMut};
+
+    /// Pads and aligns a value to 128 bytes so adjacent instances never
+    /// share a cache line (two 64-byte lines: spatial-prefetcher safe).
+    #[derive(Default)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        /// Wraps `value`.
+        pub const fn new(value: T) -> Self {
+            CachePadded { value }
+        }
+
+        /// Unwraps the value.
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> Deref for CachePadded<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+
+    impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_tuple("CachePadded").field(&self.value).finish()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn aligned_to_128() {
+            let v = [CachePadded::new(0u8), CachePadded::new(1u8)];
+            assert_eq!(std::mem::align_of_val(&v[0]), 128);
+            let a = &v[0] as *const _ as usize;
+            let b = &v[1] as *const _ as usize;
+            assert!(b - a >= 128);
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Case configuration and the per-case RNG.
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+/// Subset of `proptest::test_runner::ProptestConfig` the workspace uses.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of randomized cases per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps the suite quick while
+        // still exercising varied structures.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic per-case random source handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: SmallRng,
+}
+
+impl TestRng {
+    /// RNG for case number `case` (fixed global seed, varied per case).
+    pub fn for_case(case: u32) -> Self {
+        TestRng {
+            inner: SmallRng::seed_from_u64(0x4A56_454C_494E_0000 ^ u64::from(case)),
+        }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}

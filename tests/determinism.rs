@@ -72,7 +72,10 @@ fn parallel_corner_is_bitwise_identical() {
 fn drop_tolerance_is_deterministic_in_parallel() {
     let meta = &paper_suite()[1]; // tsopf-like: dense rows
     let a = preorder_dm_nd(&meta.build_tiny());
-    let mut serial = IluOptions::default().with_fill(1).with_drop_tol(1e-2).with_milu(0.5);
+    let mut serial = IluOptions::default()
+        .with_fill(1)
+        .with_drop_tol(1e-2)
+        .with_milu(0.5);
     serial.split.min_rows_per_level = 12;
     let want = factor_bits(&a, &serial);
     let mut par = serial.clone();

@@ -125,7 +125,11 @@ fn dense_small_matrix_all_engines() {
     let mut coo = CooMatrix::new(n, n);
     for i in 0..n {
         for j in 0..n {
-            let v = if i == j { 20.0 } else { -0.5 - ((i * n + j) % 7) as f64 * 0.1 };
+            let v = if i == j {
+                20.0
+            } else {
+                -0.5 - ((i * n + j) % 7) as f64 * 0.1
+            };
             coo.push(i, j, v).unwrap();
         }
     }

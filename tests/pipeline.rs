@@ -40,7 +40,8 @@ fn solve_engines_agree_across_suite() {
             let f = IluFactorization::compute(&a, &opts)
                 .unwrap_or_else(|e| panic!("{}: {e}", meta.name));
             let mut x_ref = vec![0.0; n];
-            f.solve_with(SolveEngine::Serial, &b, &mut x_ref).expect("serial solve");
+            f.solve_with(SolveEngine::Serial, &b, &mut x_ref)
+                .expect("serial solve");
             for engine in [
                 SolveEngine::BarrierLevel,
                 SolveEngine::PointToPoint,
@@ -75,7 +76,12 @@ fn preconditioner_quality_across_suite() {
         let mut x = vec![0.0; n];
         f.solve_into(&b, &mut x).expect("solve");
         let ax = a.spmv(&x);
-        let r: f64 = b.iter().zip(&ax).map(|(p, q)| (p - q) * (p - q)).sum::<f64>().sqrt();
+        let r: f64 = b
+            .iter()
+            .zip(&ax)
+            .map(|(p, q)| (p - q) * (p - q))
+            .sum::<f64>()
+            .sqrt();
         let bn = (n as f64).sqrt();
         assert!(
             r.is_finite() && r < 5.0 * bn,

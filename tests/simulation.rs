@@ -54,7 +54,11 @@ fn knl_slower_serially_but_scales_further() {
         let f = factor_variants(&prep.matrix);
         let h1 = sim_factor_time(&f.ls, &h, 1).total_s;
         let k1 = sim_factor_time(&f.ls, &k, 1).total_s;
-        assert!(k1 > h1, "{}: KNL core should be slower serially", prep.meta.name);
+        assert!(
+            k1 > h1,
+            "{}: KNL core should be slower serially",
+            prep.meta.name
+        );
         let h_speed = h1 / sim_factor_time(&f.ls, &h, 14).total_s;
         let k_speed = k1 / sim_factor_time(&f.ls, &k, 68).total_s;
         total += 1;

@@ -12,7 +12,12 @@ use javelin_bench::harness::preorder_dm_nd;
 fn group_a_pcg_converges_under_all_orderings() {
     for meta in group_a() {
         let a = meta.build_tiny();
-        for ord in [Ordering::Amd, Ordering::Rcm, Ordering::Nd, Ordering::Natural] {
+        for ord in [
+            Ordering::Amd,
+            Ordering::Rcm,
+            Ordering::Nd,
+            Ordering::Natural,
+        ] {
             let p = compute_order(&a, ord);
             let ax = a.permute_sym(&p).expect("perm");
             let f = IluFactorization::compute(&ax, &IluOptions::default()).expect("ILU");
@@ -48,10 +53,19 @@ fn gmres_with_ilu_converges_on_nonsymmetric_suite() {
         );
         // Verify with the true residual.
         let ax = a.spmv(&x);
-        let err: f64 =
-            b.iter().zip(&ax).map(|(p, q)| (p - q) * (p - q)).sum::<f64>().sqrt();
+        let err: f64 = b
+            .iter()
+            .zip(&ax)
+            .map(|(p, q)| (p - q) * (p - q))
+            .sum::<f64>()
+            .sqrt();
         let bn: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
-        assert!(err / bn < 1e-5, "{}: true relres {:.2e}", meta.name, err / bn);
+        assert!(
+            err / bn < 1e-5,
+            "{}: true relres {:.2e}",
+            meta.name,
+            err / bn
+        );
     }
 }
 
@@ -62,7 +76,10 @@ fn bicgstab_matches_gmres_solutions() {
     let f = IluFactorization::compute(&a, &IluOptions::default()).expect("ILU");
     let n = a.nrows();
     let b: Vec<f64> = (0..n).map(|i| ((i * 7 % 11) as f64) - 5.0).collect();
-    let opts = SolverOptions { tol: 1e-10, ..Default::default() };
+    let opts = SolverOptions {
+        tol: 1e-10,
+        ..Default::default()
+    };
     let mut xg = vec![0.0; n];
     let rg = gmres(&a, &b, &mut xg, &f, &opts);
     let mut xb = vec![0.0; n];
@@ -109,11 +126,18 @@ fn milu_and_tau_variants_still_converge() {
     for opts in [
         IluOptions::default().with_fill(1),
         IluOptions::default().with_fill(1).with_drop_tol(1e-3),
-        IluOptions::default().with_fill(1).with_drop_tol(1e-3).with_milu(1.0),
+        IluOptions::default()
+            .with_fill(1)
+            .with_drop_tol(1e-3)
+            .with_milu(1.0),
     ] {
         let f = IluFactorization::compute(&a, &opts).expect("ILU variant");
         let mut x = vec![0.0; n];
         let res = pcg(&a, &b, &mut x, &f, &SolverOptions::default());
-        assert!(res.converged, "variant k={} tau={}", opts.fill_level, opts.drop_tol);
+        assert!(
+            res.converged,
+            "variant k={} tau={}",
+            opts.fill_level, opts.drop_tol
+        );
     }
 }

@@ -36,7 +36,8 @@ fn repeated_parallel_solves_are_stable() {
     let n = a.nrows();
     let b: Vec<f64> = (0..n).map(|i| (i % 13) as f64 - 6.0).collect();
     let mut reference = vec![0.0; n];
-    f.solve_with(SolveEngine::Serial, &b, &mut reference).expect("serial");
+    f.solve_with(SolveEngine::Serial, &b, &mut reference)
+        .expect("serial");
     // Hammer the point-to-point engines repeatedly: results must be
     // identical on every run (no lost updates, no stale reads).
     for round in 0..10 {
@@ -55,7 +56,9 @@ fn repeated_parallel_solves_are_stable() {
 
 #[test]
 fn parallel_corner_under_oversubscription() {
-    let a = suite_matrix("TSOPF_RS_b300_c2").expect("suite").build_tiny();
+    let a = suite_matrix("TSOPF_RS_b300_c2")
+        .expect("suite")
+        .build_tiny();
     let mut base = IluOptions::ilu0(6);
     base.split.min_rows_per_level = 16;
     base.split.location_frac = 0.0;
