@@ -1,0 +1,124 @@
+//! Multi-RHS panel apply vs. looped single-RHS applies — the number
+//! the panel refactor moves.
+//!
+//! A preconditioner apply pays two kinds of cost: the O(nnz) triangular
+//! arithmetic (unavoidable, scales with `k`) and the schedule walk —
+//! waits, barriers, region wake-ups, counter resets (fixed per walk).
+//! `apply_panel_with` retires a whole `k`-wide panel under **one**
+//! schedule walk, while the looped baseline pays the walk `k` times.
+//! The gap between the `panel` and `looped` rows at `k = 4, 8` is that
+//! amortization; at `k = 1` the two rows must coincide (the panel path
+//! degenerates to the historical single-RHS path, bit for bit).
+//!
+//! The second group measures the same amortization for the planned
+//! spmv ([`SpmvPlan::execute_panel`] vs. `k` `execute` calls).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use javelin_core::spmv::SpmvPlan;
+use javelin_core::{IluFactorization, IluOptions, SolveEngine};
+use javelin_sparse::{Panel, PanelMut};
+use javelin_synth::grid::laplace_2d;
+use javelin_synth::util::rhs_panel;
+
+fn bench_panel_apply(c: &mut Criterion) {
+    let mut group = c.benchmark_group("panel_apply");
+    group.sample_size(15);
+    let a = laplace_2d(64, 64);
+    let n = a.nrows();
+    // Engines are named explicitly: `serial` has no schedule walk (the
+    // panel and looped rows should coincide — pure arithmetic parity),
+    // while `p2p` pays the walk (region wake-up, counter resets, waits)
+    // once per call, so the panel row amortizes it k-fold.
+    for (label, engine, nthreads) in [
+        ("serial", SolveEngine::Serial, 1usize),
+        ("p2p", SolveEngine::PointToPointLower, 2),
+    ] {
+        let f = IluFactorization::compute(&a, &IluOptions::ilu0(nthreads)).expect("factorization");
+        for k in [1usize, 4, 8] {
+            let r = rhs_panel(n, k, 42);
+            // Steady state: warm buffers/scratch widths outside the timer.
+            let mut pbuf = Vec::new();
+            let mut z = vec![0.0; n * k];
+            f.solve_panel_with_buffer(
+                engine,
+                &mut pbuf,
+                Panel::new(&r, n, k),
+                PanelMut::new(&mut z, n, k),
+            )
+            .expect("panel solve");
+            group.bench_function(BenchmarkId::new(format!("panel/{label}"), k), |bench| {
+                bench.iter(|| {
+                    f.solve_panel_with_buffer(
+                        engine,
+                        &mut pbuf,
+                        Panel::new(&r, n, k),
+                        PanelMut::new(&mut z, n, k),
+                    )
+                    .expect("panel solve");
+                    z[0]
+                });
+            });
+            let mut lbuf = Vec::new();
+            let mut z_l = vec![0.0; n * k];
+            group.bench_function(BenchmarkId::new(format!("looped/{label}"), k), |bench| {
+                bench.iter(|| {
+                    for col in 0..k {
+                        f.solve_with_buffer(
+                            engine,
+                            &mut lbuf,
+                            &r[col * n..(col + 1) * n],
+                            &mut z_l[col * n..(col + 1) * n],
+                        )
+                        .expect("single solve");
+                    }
+                    z_l[0]
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_panel_spmv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("panel_spmv");
+    group.sample_size(15);
+    let a = laplace_2d(64, 64);
+    let n = a.nrows();
+    let tile = 512usize;
+    for nthreads in [1usize, 2] {
+        for k in [1usize, 4, 8] {
+            let x = rhs_panel(n, k, 7);
+            let mut y = vec![0.0; n * k];
+            let mut plan = SpmvPlan::new(&a, nthreads, tile);
+            // Warm the panel partials outside the timer.
+            plan.execute_panel(&a, Panel::new(&x, n, k), PanelMut::new(&mut y, n, k));
+            group.bench_function(BenchmarkId::new(format!("panel/t{nthreads}"), k), |bench| {
+                bench.iter(|| {
+                    plan.execute_panel(&a, Panel::new(&x, n, k), PanelMut::new(&mut y, n, k));
+                    y[0]
+                });
+            });
+            let plan_l = SpmvPlan::new(&a, nthreads, tile);
+            let mut y_l = vec![0.0; n * k];
+            group.bench_function(
+                BenchmarkId::new(format!("looped/t{nthreads}"), k),
+                |bench| {
+                    bench.iter(|| {
+                        for col in 0..k {
+                            plan_l.execute(
+                                &a,
+                                &x[col * n..(col + 1) * n],
+                                &mut y_l[col * n..(col + 1) * n],
+                            );
+                        }
+                        y_l[0]
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_panel_apply, bench_panel_spmv);
+criterion_main!(benches);

@@ -11,10 +11,11 @@ use javelin_level::{split_levels, LevelSets, P2PSchedule};
 use javelin_sparse::pattern::{
     level_pattern_of, lower_of_pattern, upper_of_pattern, LevelPattern, SparsityPattern,
 };
-use javelin_sparse::{CsrMatrix, Perm, Scalar, SparseError};
+use javelin_sparse::{CsrMatrix, Panel, PanelMut, Perm, Scalar, SparseError};
 use javelin_sync::Exec;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Everything the triangular-solve engines need, precomputed once at
@@ -70,6 +71,9 @@ pub struct IluFactors<T> {
     stats: FactorStats,
     exec: Exec,
     scratch: Mutex<SolveScratch<T>>,
+    /// Engine used when none is named, chosen at plan time from the
+    /// thread count and `std::thread::available_parallelism()`.
+    engine_hint: SolveEngine,
 }
 
 /// Runs the full pipeline (see crate docs).
@@ -85,6 +89,15 @@ pub fn compute<T: Scalar>(
     }
     let n = a.nrows();
     let nthreads = opts.nthreads.max(1);
+    if let Some(team) = &opts.shared_team {
+        if team.nthreads() != nthreads {
+            return Err(SparseError::DimensionMismatch(format!(
+                "shared worker team has {} participants, options request nthreads = {}",
+                team.nthreads(),
+                nthreads
+            )));
+        }
+    }
     let mut stats = FactorStats {
         n,
         nnz_a: a.nnz(),
@@ -312,12 +325,30 @@ pub fn compute<T: Scalar>(
         block_rows,
         block_seg_ptr,
     };
-    // Solve execution state, built once: persistent team (or the scoped
-    // spawn fallback) plus the allocation-free engine scratch.
-    let exec = if nthreads == 1 || !opts.persistent_team {
+    // Solve execution state, built once: a caller-shared team if one
+    // was provided, else a persistent team (or the scoped spawn
+    // fallback), plus the allocation-free engine scratch.
+    let exec = if let Some(team) = &opts.shared_team {
+        Exec::with_team(Arc::clone(team))
+    } else if nthreads == 1 || !opts.persistent_team {
         Exec::spawn(nthreads)
     } else {
         Exec::team(nthreads)
+    };
+    // Oversubscription-aware default engine, picked at plan time (the
+    // only moment the whole execution state is in hand): when the
+    // requested thread count exceeds the machine's cores, the
+    // point-to-point engines' spin waits churn against each other on
+    // shared cores and lose to plain serial substitution, so the
+    // unnamed-engine path falls back. Explicit engines remain available
+    // through `solve_with` for measurements.
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    let engine_hint = if nthreads == 1 || nthreads > cores {
+        SolveEngine::Serial
+    } else {
+        SolveEngine::PointToPointLower
     };
     let scratch = Mutex::new(SolveScratch::new(&plan, n, nthreads, opts.tile_size));
     Ok(IluFactors {
@@ -330,6 +361,7 @@ pub fn compute<T: Scalar>(
         stats,
         exec,
         scratch,
+        engine_hint,
     })
 }
 
@@ -419,14 +451,14 @@ impl<T: Scalar> IluFactors<T> {
         (l, u)
     }
 
-    /// The engine used when none is named: LS+Lower when threaded,
-    /// serial otherwise.
+    /// The engine used when none is named: LS+Lower when threaded and
+    /// the machine actually has the cores, serial otherwise — including
+    /// the oversubscribed case (`nthreads` above
+    /// `std::thread::available_parallelism()` at plan time), where the
+    /// point-to-point spin waits would churn against each other on
+    /// shared cores.
     pub fn default_engine(&self) -> SolveEngine {
-        if self.nthreads == 1 {
-            SolveEngine::Serial
-        } else {
-            SolveEngine::PointToPointLower
-        }
+        self.engine_hint
     }
 
     /// Solves `A·x ≈ b` through the factors with the default engine
@@ -517,38 +549,154 @@ impl<T: Scalar> IluFactors<T> {
                 serial::forward_inplace(&self.lu, &self.diag_pos, z);
                 serial::backward_inplace(&self.lu, &self.diag_pos, z);
             }
-            SolveEngine::BarrierLevel => {
-                let scratch = self.scratch.lock();
-                scratch.xbuf.load_from(z);
-                engines::solve_barrier_fused(
-                    &self.lu,
-                    &self.diag_pos,
-                    &self.plan.fwd_levels,
-                    &self.plan.bwd_levels,
-                    &scratch,
-                    &self.exec,
-                    &scratch.xbuf,
-                );
-                scratch.xbuf.store_to(z);
+            _ => {
+                let mut scratch = self.scratch.lock();
+                scratch.ensure_width(1);
+                scratch.load_cols(Panel::from_col(z));
+                self.run_parallel_engine(engine, &scratch);
+                scratch.store_cols(&mut PanelMut::from_col(z));
             }
+        }
+    }
+
+    /// Dispatches a non-serial engine over the scratch's loaded `xbuf`
+    /// at its current panel width.
+    fn run_parallel_engine(&self, engine: SolveEngine, scratch: &SolveScratch<T>) {
+        match engine {
+            SolveEngine::Serial => unreachable!("serial substitution has no parallel scratch"),
+            SolveEngine::BarrierLevel => engines::solve_barrier_fused(
+                &self.lu,
+                &self.diag_pos,
+                &self.plan.fwd_levels,
+                &self.plan.bwd_levels,
+                scratch,
+                &self.exec,
+                &scratch.xbuf,
+            ),
             SolveEngine::PointToPoint | SolveEngine::PointToPointLower => {
                 let tiles = if engine == SolveEngine::PointToPointLower {
                     engines::LowerTiles::On
                 } else {
                     engines::LowerTiles::Off
                 };
-                let scratch = self.scratch.lock();
-                scratch.xbuf.load_from(z);
                 engines::solve_p2p_fused(
                     &self.lu,
                     &self.diag_pos,
                     &self.plan,
-                    &scratch,
+                    scratch,
                     &self.exec,
                     tiles,
                     &scratch.xbuf,
                 );
-                scratch.xbuf.store_to(z);
+            }
+        }
+    }
+
+    /// Solves `A·X ≈ B` for a whole panel of right-hand sides with the
+    /// default engine: one schedule walk retires all `k` columns (see
+    /// [`IluFactors::solve_permuted_panel_inplace`]).
+    ///
+    /// # Errors
+    /// [`SparseError::DimensionMismatch`] on shape mismatches.
+    pub fn solve_panel_into(&self, b: Panel<'_, T>, x: PanelMut<'_, T>) -> Result<(), SparseError> {
+        self.solve_panel_with(self.default_engine(), b, x)
+    }
+
+    /// Panel solve with an explicit engine (allocates the permutation
+    /// buffer; repeated callers should use
+    /// [`IluFactors::solve_panel_with_buffer`]).
+    ///
+    /// # Errors
+    /// [`SparseError::DimensionMismatch`] on shape mismatches.
+    pub fn solve_panel_with(
+        &self,
+        engine: SolveEngine,
+        b: Panel<'_, T>,
+        x: PanelMut<'_, T>,
+    ) -> Result<(), SparseError> {
+        let mut perm_buf = Vec::new();
+        self.solve_panel_with_buffer(engine, &mut perm_buf, b, x)
+    }
+
+    /// Panel analogue of [`IluFactors::solve_with_buffer`]: permutes a
+    /// whole `n × k` RHS panel into the caller-provided buffer (grown to
+    /// `n·k` on first use, reused after), runs one panel solve through
+    /// the chosen engine, and un-permutes into `x`. In the steady state
+    /// — buffer and internal scratch warmed at this width — the entire
+    /// panel solve is allocation-free.
+    ///
+    /// Column `c` of the result is bit-identical to a single-RHS
+    /// [`IluFactors::solve_with_buffer`] of column `c`.
+    ///
+    /// # Errors
+    /// [`SparseError::DimensionMismatch`] on shape mismatches.
+    pub fn solve_panel_with_buffer(
+        &self,
+        engine: SolveEngine,
+        perm_buf: &mut Vec<T>,
+        b: Panel<'_, T>,
+        mut x: PanelMut<'_, T>,
+    ) -> Result<(), SparseError> {
+        let n = self.n();
+        let k = b.ncols();
+        if b.nrows() != n || x.nrows() != n || x.ncols() != k {
+            return Err(SparseError::DimensionMismatch(format!(
+                "panel solve: rhs {}x{} / solution {}x{} against factors of dimension {}",
+                b.nrows(),
+                b.ncols(),
+                x.nrows(),
+                x.ncols(),
+                n
+            )));
+        }
+        if k == 0 {
+            return Ok(());
+        }
+        if perm_buf.len() < n * k {
+            perm_buf.resize(n * k, T::ZERO);
+        }
+        let old_to_new = self.perm.old_to_new();
+        let new_to_old = self.perm.new_to_old();
+        let mut z = PanelMut::new(&mut perm_buf[..n * k], n, k);
+        for c in 0..k {
+            let bc = b.col(c);
+            let zc = z.col_mut(c);
+            for (o, &bo) in bc.iter().enumerate() {
+                zc[old_to_new[o]] = bo;
+            }
+        }
+        self.solve_permuted_panel_inplace(engine, &mut z);
+        for c in 0..k {
+            let zc = z.col(c);
+            let xc = x.col_mut(c);
+            for (i, &o) in new_to_old.iter().enumerate() {
+                xc[o] = zc[i];
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs forward + backward substitution on an already-permuted
+    /// panel, in place: the multi-RHS analogue of
+    /// [`IluFactors::solve_permuted_inplace`]. The parallel engines
+    /// retire all `k` columns per row under **one** counter/barrier
+    /// protocol, so the schedule walk is paid once per panel; the
+    /// internal scratch grows (grow-only) to the widest panel seen.
+    pub fn solve_permuted_panel_inplace(&self, engine: SolveEngine, z: &mut PanelMut<'_, T>) {
+        if z.ncols() == 0 {
+            return;
+        }
+        match engine {
+            SolveEngine::Serial => {
+                serial::forward_panel_inplace(&self.lu, &self.diag_pos, z);
+                serial::backward_panel_inplace(&self.lu, &self.diag_pos, z);
+            }
+            _ => {
+                let mut scratch = self.scratch.lock();
+                scratch.ensure_width(z.ncols());
+                scratch.load_cols(z.as_panel());
+                self.run_parallel_engine(engine, &scratch);
+                scratch.store_cols(z);
             }
         }
     }
@@ -841,6 +989,163 @@ mod tests {
             let bs: Vec<u64> = xs.iter().map(|v| v.to_bits()).collect();
             assert_eq!(bt, bs, "engine={engine}");
         }
+    }
+
+    #[test]
+    fn panel_solve_matches_single_rhs_bitwise_all_engines() {
+        // One panel solve retires k columns under one schedule walk;
+        // every column must carry exactly the bits of a single-RHS
+        // solve of that column, for every engine and width — including
+        // width changes against one reused scratch (8 → 1 exercises the
+        // grow-only narrowing path).
+        let a = irregular(150);
+        let n = a.nrows();
+        let mut opts = IluOptions::ilu0(3);
+        opts.split.min_rows_per_level = 8;
+        opts.split.location_frac = 0.0;
+        let f = compute_factors(&a, &opts);
+        for k in [8usize, 1, 2, 3] {
+            let b: Vec<f64> = (0..n * k)
+                .map(|i| ((i * 29 % 41) as f64 - 20.0) * 0.21)
+                .collect();
+            for engine in [
+                SolveEngine::Serial,
+                SolveEngine::BarrierLevel,
+                SolveEngine::PointToPoint,
+                SolveEngine::PointToPointLower,
+            ] {
+                let mut xp = vec![0.0; n * k];
+                f.solve_panel_with(engine, Panel::new(&b, n, k), PanelMut::new(&mut xp, n, k))
+                    .unwrap();
+                for c in 0..k {
+                    let mut x = vec![0.0; n];
+                    f.solve_with(engine, &b[c * n..(c + 1) * n], &mut x)
+                        .unwrap();
+                    let pb: Vec<u64> = xp[c * n..(c + 1) * n].iter().map(|v| v.to_bits()).collect();
+                    let sb: Vec<u64> = x.iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(pb, sb, "engine={engine} k={k} col={c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn panel_solve_reuses_buffer_and_rejects_bad_shapes() {
+        let a = laplace_2d(9, 9);
+        let n = a.nrows();
+        let f = compute_factors(&a, &IluOptions::ilu0(2));
+        let b: Vec<f64> = (0..n * 2).map(|i| (i as f64 * 0.13).sin()).collect();
+        let mut perm_buf = Vec::new();
+        let mut x = vec![0.0; n * 2];
+        f.solve_panel_with_buffer(
+            SolveEngine::Serial,
+            &mut perm_buf,
+            Panel::new(&b, n, 2),
+            PanelMut::new(&mut x, n, 2),
+        )
+        .unwrap();
+        assert_eq!(perm_buf.len(), n * 2);
+        let cap = perm_buf.capacity();
+        // Narrower reuse keeps the wide buffer (grow-only).
+        f.solve_panel_with_buffer(
+            SolveEngine::Serial,
+            &mut perm_buf,
+            Panel::new(&b[..n], n, 1),
+            PanelMut::new(&mut x[..n], n, 1),
+        )
+        .unwrap();
+        assert_eq!(perm_buf.capacity(), cap);
+        // Shape mismatches are reported, not panicked.
+        let short = vec![0.0; n];
+        let mut xs = vec![0.0; n * 2];
+        assert!(f
+            .solve_panel_into(Panel::new(&short, n, 1), PanelMut::new(&mut xs, n, 2))
+            .is_err());
+        // Zero-width panels are a no-op.
+        let empty: [f64; 0] = [];
+        let mut empty_x: [f64; 0] = [];
+        f.solve_panel_into(Panel::new(&empty, n, 0), PanelMut::new(&mut empty_x, n, 0))
+            .unwrap();
+    }
+
+    #[test]
+    fn shared_team_serves_many_factorizations() {
+        use javelin_sync::WorkerTeam;
+        use std::sync::Arc;
+        let a = irregular(140);
+        let n = a.nrows();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 13 % 29) as f64) - 14.0).collect();
+        let mut owned = IluOptions::ilu0(3);
+        owned.split.min_rows_per_level = 8;
+        owned.split.location_frac = 0.0;
+        let team = Arc::new(WorkerTeam::new(3));
+        let shared = owned.clone().with_shared_team(Arc::clone(&team));
+        let f_owned = compute_factors(&a, &owned);
+        let f1 = compute_factors(&a, &shared);
+        let f2 = compute_factors(&a, &shared.clone());
+        for engine in [
+            SolveEngine::BarrierLevel,
+            SolveEngine::PointToPoint,
+            SolveEngine::PointToPointLower,
+        ] {
+            let mut x0 = vec![0.0; n];
+            let mut x1 = vec![0.0; n];
+            let mut x2 = vec![0.0; n];
+            f_owned.solve_with(engine, &b, &mut x0).unwrap();
+            f1.solve_with(engine, &b, &mut x1).unwrap();
+            f2.solve_with(engine, &b, &mut x2).unwrap();
+            let b0: Vec<u64> = x0.iter().map(|v| v.to_bits()).collect();
+            let b1: Vec<u64> = x1.iter().map(|v| v.to_bits()).collect();
+            let b2: Vec<u64> = x2.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(b0, b1, "engine={engine}");
+            assert_eq!(b1, b2, "engine={engine}");
+        }
+        // Both factorizations hold the same team, not copies.
+        assert!(Arc::strong_count(&team) >= 3);
+        // A team whose participant count disagrees with nthreads is
+        // rejected up front.
+        let mut bad = owned.clone();
+        bad.shared_team = Some(Arc::new(WorkerTeam::new(2)));
+        assert!(matches!(
+            compute(&a, &bad),
+            Err(SparseError::DimensionMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn oversubscription_falls_back_to_serial_default_engine() {
+        let cores = std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(1);
+        let a = irregular(100);
+        let n = a.nrows();
+        // Requesting more threads than the machine has cores must flip
+        // the unnamed-engine path to serial substitution at plan time.
+        let f = compute_factors(&a, &IluOptions::ilu0(cores + 1));
+        assert_eq!(f.default_engine(), SolveEngine::Serial);
+        // The default path still solves correctly (and explicit engines
+        // remain available for measurements).
+        let b: Vec<f64> = (0..n).map(|i| ((i * 7 % 17) as f64) - 8.0).collect();
+        let mut x_def = vec![0.0; n];
+        let mut x_ser = vec![0.0; n];
+        f.solve_into(&b, &mut x_def).unwrap();
+        f.solve_with(SolveEngine::Serial, &b, &mut x_ser).unwrap();
+        assert_eq!(x_def, x_ser);
+        let mut x_p2p = vec![0.0; n];
+        f.solve_with(SolveEngine::PointToPointLower, &b, &mut x_p2p)
+            .unwrap();
+        for (g, w) in x_p2p.iter().zip(x_ser.iter()) {
+            assert!((g - w).abs() <= 1e-12 * w.abs().max(1.0));
+        }
+        // Within the core budget the threaded default survives.
+        if cores > 1 {
+            let f2 = compute_factors(&a, &IluOptions::ilu0(2));
+            assert_eq!(f2.default_engine(), SolveEngine::PointToPointLower);
+        }
+        assert_eq!(
+            compute_factors(&a, &IluOptions::default()).default_engine(),
+            SolveEngine::Serial
+        );
     }
 
     #[test]
@@ -1182,6 +1487,51 @@ mod proptests {
             let bp: Vec<u64> = fp.lu().vals().iter().map(|v| v.to_bits()).collect();
             let bs: Vec<u64> = fs.lu().vals().iter().map(|v| v.to_bits()).collect();
             prop_assert_eq!(bp, bs);
+        }
+
+        /// Panel trisolves are column-for-column bit-identical to `k`
+        /// independent single-RHS solves — the satellite contract, over
+        /// random matrices, the issue's widths, thread counts and tile
+        /// sizes, for every engine.
+        #[test]
+        fn panel_solves_bitwise_match_looped_single_rhs(
+            a in arb_matrix(24),
+            nthreads in 1usize..4,
+            k_idx in 0usize..4,
+            tile_idx in 0usize..3,
+        ) {
+            let k = [1usize, 2, 3, 8][k_idx];
+            let n = a.nrows();
+            let mut opts = IluOptions::ilu0(nthreads);
+            opts.tile_size = [1usize, 3, 64][tile_idx];
+            opts.split.min_rows_per_level = 4;
+            opts.split.location_frac = 0.0;
+            let f = compute(&a, &opts).unwrap();
+            let b: Vec<f64> = (0..n * k)
+                .map(|i| ((i * 31 % 23) as f64 - 11.0) * 0.17)
+                .collect();
+            for engine in [
+                SolveEngine::Serial,
+                SolveEngine::BarrierLevel,
+                SolveEngine::PointToPoint,
+                SolveEngine::PointToPointLower,
+            ] {
+                let mut xp = vec![0.0; n * k];
+                f.solve_panel_with(
+                    engine,
+                    javelin_sparse::Panel::new(&b, n, k),
+                    javelin_sparse::PanelMut::new(&mut xp, n, k),
+                )
+                .unwrap();
+                for c in 0..k {
+                    let mut x = vec![0.0; n];
+                    f.solve_with(engine, &b[c * n..(c + 1) * n], &mut x).unwrap();
+                    let pb: Vec<u64> =
+                        xp[c * n..(c + 1) * n].iter().map(|v| v.to_bits()).collect();
+                    let sb: Vec<u64> = x.iter().map(|v| v.to_bits()).collect();
+                    prop_assert_eq!(pb, sb, "engine={} k={} col={}", engine, k, c);
+                }
+            }
         }
 
         /// Forward+backward substitution through any engine equals the

@@ -51,6 +51,29 @@
 //!   [`ApplyScratch`] for preconditioner applies, `SolverWorkspace` in
 //!   `javelin-solver` for whole solves. Buffers grow on first use and
 //!   are reused verbatim afterwards.
+//! * **Panels (multi-RHS).** Every execute path is generic over an RHS
+//!   panel width `k`: [`IluFactors::solve_panel_with_buffer`] /
+//!   [`Preconditioner::apply_panel_with`] and
+//!   [`SpmvPlan::execute_panel`] retire a whole `k`-wide block of
+//!   vectors under **one** schedule walk — one wait/barrier protocol
+//!   per panel, not per column — amortizing the level-schedule
+//!   traversal across simultaneous solves. Callers hand in
+//!   column-major `javelin_sparse::Panel`/`PanelMut` views (each
+//!   column a contiguous length-`n` slice; columns `col_stride ≥ n`
+//!   apart; entry `(r, c)` at `c·col_stride + r`). Inside the engines
+//!   the solve buffer is stored *row-interleaved* (`(r, c)` at
+//!   `r·k + c`) so a row retirement touches its `k` columns
+//!   contiguously; [`SolveScratch`] transposes at the region boundary
+//!   and resizes **grow-only** ([`SolveScratch::ensure_width`]) — the
+//!   first width-8 solve allocates once, every later solve at width
+//!   `≤ 8` is allocation-free. Column arithmetic never mixes: column
+//!   `c` of any panel operation is **bit-identical** to the single-RHS
+//!   path on that column, and `k = 1` is bit-identical to the
+//!   historical single-vector path. Batched Krylov drivers
+//!   (`javelin_solver::solve_batch`) build on that contract with
+//!   per-column *convergence masking*: a converged column's updates
+//!   freeze but its storage stays in place, so the shared panel apply
+//!   keeps its shape until every column is done.
 //!
 //! Numeric refactorization on a fixed pattern reuses every plan: only
 //! the factor values change, so a transient/time-stepping workload pays

@@ -2,6 +2,8 @@
 
 use javelin_level::SplitOptions;
 use javelin_sparse::pattern::LevelPattern;
+use javelin_sync::WorkerTeam;
+use std::sync::Arc;
 
 /// Which method factors the lower-stage (trailing) rows — paper §III-B.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -126,6 +128,14 @@ pub struct IluOptions {
     /// what the factors exist for; disable for one-shot solves or when
     /// resident threads are unwanted.
     pub persistent_team: bool,
+    /// A caller-owned worker team the factorization's solves run on
+    /// instead of spawning their own: one process-wide team can serve
+    /// many factorizations (each parks between regions, so idle
+    /// sharers cost nothing). The team's participant count must equal
+    /// `nthreads` — the solve schedules are built for it.
+    /// `None` (the default) keeps the per-factorization team selected
+    /// by `persistent_team`.
+    pub shared_team: Option<Arc<WorkerTeam>>,
 }
 
 impl Default for IluOptions {
@@ -145,6 +155,7 @@ impl Default for IluOptions {
             parallel_symbolic: false,
             parallel_corner: false,
             persistent_team: true,
+            shared_team: None,
         }
     }
 }
@@ -183,6 +194,15 @@ impl IluOptions {
     /// MILU diagonal compensation.
     pub fn with_milu(mut self, omega: f64) -> Self {
         self.milu_omega = omega;
+        self
+    }
+
+    /// Runs this factorization's solves on `team` instead of a
+    /// per-factorization worker pool; `nthreads` is taken from the
+    /// team. See [`IluOptions::shared_team`].
+    pub fn with_shared_team(mut self, team: Arc<WorkerTeam>) -> Self {
+        self.nthreads = team.nthreads();
+        self.shared_team = Some(team);
         self
     }
 }

@@ -1,7 +1,7 @@
 //! The preconditioner abstraction consumed by `javelin-solver`.
 
 use crate::factors::IluFactors;
-use javelin_sparse::{CsrMatrix, Scalar};
+use javelin_sparse::{CsrMatrix, Panel, PanelMut, Scalar};
 
 /// Caller-owned scratch for [`Preconditioner::apply_with`]: buffers an
 /// application may use instead of allocating. Grown on first use, then
@@ -44,6 +44,25 @@ pub trait Preconditioner<T: Scalar>: Sync {
     fn apply_with(&self, scratch: &mut ApplyScratch<T>, r: &[T], z: &mut [T]) {
         let _ = scratch;
         self.apply(r, z);
+    }
+
+    /// Applies the preconditioner to a whole RHS panel: `Z ← M⁻¹ R`,
+    /// column for column. Implementations with a genuine multi-RHS path
+    /// (the ILU factors' panel trisolve) override this so one schedule
+    /// walk retires all `k` columns; the default simply loops
+    /// [`Preconditioner::apply_with`] over the columns, which is always
+    /// correct because the contract requires column `c` of the panel
+    /// result to be **bit-identical** to a single-RHS apply of column
+    /// `c` — batched solvers rely on that equivalence.
+    fn apply_panel_with(
+        &self,
+        scratch: &mut ApplyScratch<T>,
+        r: Panel<'_, T>,
+        mut z: PanelMut<'_, T>,
+    ) {
+        for c in 0..r.ncols() {
+            self.apply_with(scratch, r.col(c), z.col_mut(c));
+        }
     }
 }
 
@@ -92,6 +111,12 @@ impl<T: Scalar> Preconditioner<T> for IluFactors<T> {
 
     fn apply_with(&self, scratch: &mut ApplyScratch<T>, r: &[T], z: &mut [T]) {
         self.solve_with_buffer(self.default_engine(), scratch.buffer(self.n()), r, z)
+            .expect("preconditioner buffers sized by the solver");
+    }
+
+    fn apply_panel_with(&self, scratch: &mut ApplyScratch<T>, r: Panel<'_, T>, z: PanelMut<'_, T>) {
+        let buf = scratch.buffer(self.n() * r.ncols());
+        self.solve_panel_with_buffer(self.default_engine(), buf, r, z)
             .expect("preconditioner buffers sized by the solver");
     }
 }

@@ -19,8 +19,12 @@
 //! wraps plan + execute for one-shot callers.
 
 use crate::numeric::LuVals;
-use javelin_sparse::{CsrMatrix, Scalar};
+use javelin_sparse::{CsrMatrix, Panel, PanelMut, Scalar};
 use javelin_sync::{pool, Exec};
+
+/// Columns per stack-resident accumulator block in the panel kernel
+/// (mirrors the trisolve engines' chunking).
+const PANEL_CHUNK: usize = 8;
 
 /// Serial CSR spmv: `y = A·x`.
 pub fn spmv_serial<T: Scalar>(a: &CsrMatrix<T>, x: &[T], y: &mut [T]) {
@@ -201,6 +205,122 @@ impl<T: Scalar> SpmvPlan<T> {
             }
         }
     }
+
+    /// Executes `Y = A·X` for a whole RHS panel through the plan: the
+    /// tile descriptors are walked **once per panel** (per column
+    /// chunk), with the partial-sum buffer gaining a column dimension
+    /// (slot `s`, column `c` at `s·k + c`). The buffer grows, grow-only,
+    /// the first time a wider panel arrives — hence `&mut self`; at any
+    /// already-seen width the execution is allocation-free, and the
+    /// `k = 1` path never grows at all.
+    ///
+    /// Column `c` of the result is bit-identical to
+    /// [`SpmvPlan::execute`] on column `c`: same tiles, same segment
+    /// order, same deterministic tile-order combination.
+    ///
+    /// # Panics
+    /// When `a`'s shape/nnz do not match the planned matrix, or on
+    /// panel shape mismatches.
+    pub fn execute_panel(&mut self, a: &CsrMatrix<T>, x: Panel<'_, T>, mut y: PanelMut<'_, T>) {
+        assert_eq!(a.nrows(), self.nrows, "spmv plan: row count changed");
+        assert_eq!(a.ncols(), self.ncols, "spmv plan: col count changed");
+        assert_eq!(a.nnz(), self.nnz, "spmv plan: nnz changed");
+        assert_eq!(x.nrows(), self.ncols, "spmv: x panel rows mismatch");
+        assert_eq!(y.nrows(), self.nrows, "spmv: y panel rows mismatch");
+        assert_eq!(x.ncols(), y.ncols(), "spmv: panel widths differ");
+        let k = x.ncols();
+        if k == 0 {
+            return;
+        }
+        if k == 1 {
+            // Width 1 *is* the single-RHS plan execution — same loop,
+            // same registers, trivially bit-identical.
+            self.execute(a, x.col(0), y.col_mut(0));
+            return;
+        }
+        let n_slots = *self.slot_ptr.last().expect("nonempty");
+        if self.partials.len() < n_slots * k {
+            self.partials = LuVals::zeroed(n_slots * k);
+        }
+        if self.nnz == 0 {
+            for c in 0..k {
+                y.col_mut(c).fill(T::ZERO);
+            }
+            return;
+        }
+        let rowptr = a.rowptr();
+        let vals = a.vals();
+        let colidx = a.colidx();
+        let nthreads = self.exec.nthreads();
+        let tiles_per_thread = self.n_tiles.div_ceil(nthreads).max(1);
+        let partials = &self.partials;
+        self.exec.run(|tid| {
+            let t_lo = (tid * tiles_per_thread).min(self.n_tiles);
+            let t_hi = ((tid + 1) * tiles_per_thread).min(self.n_tiles);
+            for t in t_lo..t_hi {
+                let lo = t * self.tile;
+                let hi = ((t + 1) * self.tile).min(self.nnz);
+                let base = self.slot_ptr[t];
+                // Column chunks re-walk the tile so the accumulators
+                // stay on the stack; per column the walk (and the bits)
+                // match the single-RHS execute exactly. The chunk's
+                // column slices are hoisted out of the entry loop so the
+                // inner FMA indexes plain slices.
+                let mut c0 = 0usize;
+                while c0 < k {
+                    let cw = (k - c0).min(PANEL_CHUNK);
+                    let mut xcols: [&[T]; PANEL_CHUNK] = [&[]; PANEL_CHUNK];
+                    for (c, xc) in xcols[..cw].iter_mut().enumerate() {
+                        *xc = x.col(c0 + c);
+                    }
+                    let mut row = self.first_row[t];
+                    let mut slot = 0usize;
+                    let mut accs = [T::ZERO; PANEL_CHUNK];
+                    let mut cursor = lo;
+                    while cursor < hi {
+                        while rowptr[row + 1] <= cursor {
+                            for (c, acc) in accs[..cw].iter_mut().enumerate() {
+                                partials.set((base + slot) * k + c0 + c, *acc);
+                                *acc = T::ZERO;
+                            }
+                            slot += 1;
+                            row += 1;
+                        }
+                        let stop = rowptr[row + 1].min(hi);
+                        for e in cursor..stop {
+                            let v = vals[e];
+                            let j = colidx[e];
+                            for (acc, xc) in accs[..cw].iter_mut().zip(xcols[..cw].iter()) {
+                                *acc += v * xc[j];
+                            }
+                        }
+                        cursor = stop;
+                    }
+                    for (c, acc) in accs[..cw].iter().enumerate() {
+                        partials.set((base + slot) * k + c0 + c, *acc);
+                    }
+                    debug_assert_eq!(base + slot + 1, self.slot_ptr[t + 1]);
+                    c0 += cw;
+                }
+            }
+        });
+        // Deterministic combination in tile order, column by column
+        // (tile order per column matches the single-RHS execute, so the
+        // bits do too).
+        for c in 0..k {
+            let yc = y.col_mut(c);
+            yc.fill(T::ZERO);
+            for t in 0..self.n_tiles {
+                let first_row = self.first_row[t];
+                for (i, s) in (self.slot_ptr[t]..self.slot_ptr[t + 1]).enumerate() {
+                    let r = first_row + i;
+                    if r < self.nrows {
+                        yc[r] += partials.get(s * k + c);
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// CSR5-inspired tiled spmv: `y = A·x` via entry-stream tiles and
@@ -315,6 +435,32 @@ mod tests {
     }
 
     #[test]
+    fn panel_execute_grows_once_and_stays_bitwise_stable() {
+        let a = skewed(70);
+        let n = a.nrows();
+        let mut plan = SpmvPlan::new(&a, 3, 16);
+        let x: Vec<f64> = (0..n * 8).map(|i| (i as f64 * 0.11).cos()).collect();
+        // Wide panel first (grows the partials), then narrow reuse, then
+        // wide again — every column must match the single-RHS execute
+        // bitwise at every step.
+        for k in [8usize, 1, 3, 8] {
+            let mut y = vec![0.0; n * k];
+            plan.execute_panel(
+                &a,
+                Panel::new(&x[..n * k], n, k),
+                PanelMut::new(&mut y, n, k),
+            );
+            for c in 0..k {
+                let mut yc = vec![0.0; n];
+                plan.execute(&a, &x[c * n..(c + 1) * n], &mut yc);
+                let pb: Vec<u64> = y[c * n..(c + 1) * n].iter().map(|v| v.to_bits()).collect();
+                let sb: Vec<u64> = yc.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(pb, sb, "k={k} col={c}");
+            }
+        }
+    }
+
+    #[test]
     fn plan_thread_count_does_not_change_bits() {
         let a = skewed(91);
         let x: Vec<f64> = (0..91).map(|i| ((i * 13 % 7) as f64) - 3.0).collect();
@@ -359,6 +505,35 @@ mod proptests {
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Panel execution is column-for-column bit-identical to `k`
+        /// single-RHS executes for the issue's widths, across thread
+        /// counts and tile sizes, including empty rows/matrices.
+        #[test]
+        fn panel_spmv_bitwise_matches_looped_single_rhs(
+            a in arb_matrix(40),
+            k_idx in 0usize..4,
+            nthreads_idx in 0usize..4,
+            tile_idx in 0usize..5,
+        ) {
+            let k = [1usize, 2, 3, 8][k_idx];
+            let nthreads = [1usize, 2, 3, 8][nthreads_idx];
+            let tile = [1usize, 3, 8, 64, 1024][tile_idx];
+            let n = a.nrows();
+            let x: Vec<f64> = (0..n * k)
+                .map(|i| 0.25 + ((i * 7) % 11) as f64 * 0.3)
+                .collect();
+            let mut plan = SpmvPlan::new(&a, nthreads, tile);
+            let mut y = vec![f64::NAN; n * k];
+            plan.execute_panel(&a, Panel::new(&x, n, k), PanelMut::new(&mut y, n, k));
+            for c in 0..k {
+                let mut yc = vec![f64::NAN; n];
+                plan.execute(&a, &x[c * n..(c + 1) * n], &mut yc);
+                let pb: Vec<u64> = y[c * n..(c + 1) * n].iter().map(|v| v.to_bits()).collect();
+                let sb: Vec<u64> = yc.iter().map(|v| v.to_bits()).collect();
+                prop_assert_eq!(pb, sb, "k={} nthreads={} tile={} col={}", k, nthreads, tile, c);
+            }
+        }
 
         /// Planned execution equals the serial kernel for every
         /// (threads × tile) combination the issue calls out, including

@@ -1,4 +1,5 @@
-//! Parallel triangular-solve engines (paper Fig. 12).
+//! Parallel triangular-solve engines (paper Fig. 12), generic over the
+//! RHS panel width.
 //!
 //! * `CSR-LS` ([`forward_barrier`] / [`backward_barrier`]): the
 //!   traditional level-set solve with a spin barrier between levels —
@@ -14,14 +15,39 @@
 //! disjoint rows without `unsafe`; ordering comes from the progress
 //! counters / barriers.
 //!
+//! ## Panels
+//!
+//! Every engine retires a whole **panel** of `k` right-hand sides per
+//! schedule walk: a row's retirement updates all `k` columns before the
+//! row's progress counter is bumped (or its level barrier is crossed),
+//! so the wait/barrier protocol runs **once per panel, not once per
+//! column** — the schedule traversal the paper's level machinery pays
+//! is amortized across the whole block of vectors. The in-place solve
+//! buffer `xbuf` stores the panel *row-interleaved*: entry `(r, c)`
+//! lives at `r·k + c`, keeping the `k` columns of a row contiguous for
+//! the per-entry inner loops (callers see the column-major
+//! [`Panel`]/[`PanelMut`] layout; [`SolveScratch::load_cols`] /
+//! [`SolveScratch::store_cols`] transpose at the region boundary).
+//! Column arithmetic is fully independent — column `c` of a panel solve
+//! is bit-identical to a single-RHS solve of that column, and `k = 1`
+//! is bit-identical to the historical single-vector path.
+//!
+//! The trailing-block combination and the corner solve, serial on
+//! thread 0 in the single-RHS path, are **column-split** across the
+//! team for panels (`javelin_sync::col_range`): columns are independent
+//! there, so each thread owns a contiguous column range and narrow
+//! panels leave trailing threads idle instead of racing.
+//!
 //! All engines are **allocation-free per call**: every buffer they
 //! touch (progress counters, barrier, tiled-gather partials, the
 //! combination buffer) lives in a [`SolveScratch`] built once per
-//! factorization, and the parallel region runs on whatever
-//! [`Exec`] the plan was built with — a persistent team in the
-//! steady state. The scratch is reset at engine entry, so one scratch
-//! serves any number of solves (caller guarantees solves on one scratch
-//! are not concurrent; `IluFactors` does so with a mutex).
+//! factorization and resized grow-only when a wider panel first
+//! arrives ([`SolveScratch::ensure_width`]). The parallel region runs
+//! on whatever [`Exec`] the plan was built with — a persistent team in
+//! the steady state. The scratch is reset at engine entry, so one
+//! scratch serves any number of solves at any widths (caller guarantees
+//! solves on one scratch are not concurrent; `IluFactors` does so with
+//! a mutex).
 //!
 //! The hot path is the *fused* pair [`solve_p2p_fused`] /
 //! [`solve_barrier_fused`]: forward and backward substitution in one
@@ -32,8 +58,15 @@
 use crate::factors::SolvePlan;
 use crate::numeric::LuVals;
 use javelin_level::LevelSets;
-use javelin_sparse::{CsrMatrix, Scalar};
-use javelin_sync::{Exec, ProgressCounters, SpinBarrier};
+use javelin_sparse::{CsrMatrix, Panel, PanelMut, Scalar};
+use javelin_sync::{col_range, Exec, ProgressCounters, SpinBarrier};
+use std::ops::Range;
+
+/// Columns processed per stack-resident accumulator block: panel
+/// kernels walk a row's entries once per chunk of up to this many
+/// columns, so arbitrary widths run allocation-free. At `k = 1` the
+/// chunk degenerates to the historical scalar accumulator.
+const PANEL_CHUNK: usize = 8;
 
 /// Whether the point-to-point engines use the tiled lower-stage path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,12 +89,26 @@ pub enum LowerTiles {
 ///   the per-call `Vec<Mutex<Vec<…>>>` and the per-tile
 ///   `partition_point` searches);
 /// * the trailing-block combination buffer `z`;
-/// * `xbuf`, the bit-packed in-place solution vector the engines
-///   operate on, loaded/stored by the caller.
+/// * `xbuf`, the bit-packed in-place solution panel the engines operate
+///   on, loaded/stored by the caller.
+///
+/// The value buffers carry a **panel width**: `xbuf` holds `n × width`
+/// entries (row-interleaved), `partials` and `z` gain the same column
+/// dimension. [`SolveScratch::ensure_width`] resizes them grow-only —
+/// the first `k = 8` solve allocates once, every later solve at width
+/// `≤ 8` (including `k = 1`) reuses the high-water-mark buffers.
 #[derive(Debug)]
 pub struct SolveScratch<T> {
     nthreads: usize,
     tile: usize,
+    /// Factor dimension (rows per panel column).
+    n: usize,
+    /// Trailing (lower-stage) row count.
+    n_lower: usize,
+    /// Current panel width `k`; governs the interleaved indexing.
+    width: usize,
+    /// High-water-mark width the buffers are sized for.
+    width_cap: usize,
     progress: ProgressCounters,
     /// Separate counters for the backward schedule so the fused
     /// forward+backward region never resets counters mid-flight.
@@ -71,19 +118,23 @@ pub struct SolveScratch<T> {
     n_tiles: usize,
     /// Per tile: first trailing-block segment it overlaps.
     tile_first_seg: Vec<usize>,
-    /// Per tile: slot range `slot_ptr[t]..slot_ptr[t + 1]` in `partials`.
+    /// Per tile: slot range `slot_ptr[t]..slot_ptr[t + 1]` in `partials`
+    /// (per column; the flat buffer holds `width` values per slot).
     slot_ptr: Vec<usize>,
-    /// Flat tiled-gather partials, disjointly owned via `slot_ptr`.
+    /// Flat tiled-gather partials, disjointly owned via `slot_ptr`;
+    /// slot `s`, column `c` lives at `s·width + c`.
     partials: LuVals<T>,
-    /// Per-trailing-row combination buffer (length `n - n_upper`).
+    /// Per-trailing-row combination buffer (`n_lower × width`).
     z: LuVals<T>,
-    /// The in-place solve buffer (length `n`).
+    /// The in-place solve panel (`n × width`, row-interleaved).
     pub(crate) xbuf: LuVals<T>,
 }
 
 impl<T: Scalar> SolveScratch<T> {
     /// Builds scratch for solving factors of dimension `n` under `plan`
-    /// with `nthreads` workers and `tile_size`-entry gather tiles.
+    /// with `nthreads` workers and `tile_size`-entry gather tiles. The
+    /// initial panel width is 1; wider solves grow the buffers on first
+    /// use via [`SolveScratch::ensure_width`].
     pub fn new(plan: &SolvePlan, n: usize, nthreads: usize, tile_size: usize) -> Self {
         let tile = tile_size.max(1);
         let n_block_entries = *plan.block_seg_ptr.last().unwrap_or(&0);
@@ -113,6 +164,10 @@ impl<T: Scalar> SolveScratch<T> {
         SolveScratch {
             nthreads,
             tile,
+            n,
+            n_lower: n - plan.n_upper,
+            width: 1,
+            width_cap: 1,
             progress: ProgressCounters::new(nthreads),
             bwd_progress: ProgressCounters::new(nthreads),
             barrier: SpinBarrier::new(nthreads),
@@ -134,28 +189,120 @@ impl<T: Scalar> SolveScratch<T> {
     pub fn tile_size(&self) -> usize {
         self.tile
     }
+
+    /// Current panel width `k`.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Sets the panel width for subsequent engine calls, growing the
+    /// value buffers if `width` exceeds every width seen so far
+    /// (grow-only: narrowing back is free and keeps the wider buffers
+    /// for the next wide solve).
+    pub fn ensure_width(&mut self, width: usize) {
+        let width = width.max(1);
+        if width > self.width_cap {
+            let n_slots = *self.slot_ptr.last().expect("nonempty");
+            self.partials = LuVals::zeroed(n_slots * width);
+            self.z = LuVals::zeroed(self.n_lower * width);
+            self.xbuf = LuVals::zeroed(self.n * width);
+            self.width_cap = width;
+        }
+        self.width = width;
+    }
+
+    /// Loads a column-major panel into the row-interleaved `xbuf`.
+    /// The panel must have `n` rows and exactly [`SolveScratch::width`]
+    /// columns.
+    pub(crate) fn load_cols(&self, src: Panel<'_, T>) {
+        let k = self.width;
+        debug_assert_eq!(src.nrows(), self.n, "panel rows vs factor dim");
+        debug_assert_eq!(src.ncols(), k, "panel width vs scratch width");
+        for c in 0..k {
+            for (r, &v) in src.col(c).iter().enumerate() {
+                self.xbuf.set(r * k + c, v);
+            }
+        }
+    }
+
+    /// Stores the row-interleaved `xbuf` back into a column-major panel.
+    pub(crate) fn store_cols(&self, dst: &mut PanelMut<'_, T>) {
+        let k = self.width;
+        debug_assert_eq!(dst.nrows(), self.n, "panel rows vs factor dim");
+        debug_assert_eq!(dst.ncols(), k, "panel width vs scratch width");
+        for c in 0..k {
+            for (r, v) in dst.col_mut(c).iter_mut().enumerate() {
+                *v = self.xbuf.get(r * k + c);
+            }
+        }
+    }
 }
 
+/// Retires the strictly-lower part of row `r` for panel columns `cols`:
+/// `x[r, c] ← x[r, c] − Σ_{j<r} L[r, j] · x[j, c]`. Column chunks of
+/// [`PANEL_CHUNK`] keep the accumulators on the stack; per column the
+/// entry order (and therefore the bits) matches the single-RHS kernel.
 #[inline]
-fn row_sum_lower<T: Scalar>(lu: &CsrMatrix<T>, diag_pos: &[usize], x: &LuVals<T>, r: usize) -> T {
+fn retire_row_lower<T: Scalar>(
+    lu: &CsrMatrix<T>,
+    diag_pos: &[usize],
+    x: &LuVals<T>,
+    k: usize,
+    cols: Range<usize>,
+    r: usize,
+) {
     let vals = lu.vals();
     let colidx = lu.colidx();
-    let mut sum = T::ZERO;
-    for k in lu.rowptr()[r]..diag_pos[r] {
-        sum += vals[k] * x.get(colidx[k]);
+    let mut c0 = cols.start;
+    while c0 < cols.end {
+        let cw = (cols.end - c0).min(PANEL_CHUNK);
+        let mut sums = [T::ZERO; PANEL_CHUNK];
+        for e in lu.rowptr()[r]..diag_pos[r] {
+            let v = vals[e];
+            let xb = colidx[e] * k + c0;
+            for (c, s) in sums[..cw].iter_mut().enumerate() {
+                *s += v * x.get(xb + c);
+            }
+        }
+        let xb = r * k + c0;
+        for (c, s) in sums[..cw].iter().enumerate() {
+            x.set(xb + c, x.get(xb + c) - *s);
+        }
+        c0 += cw;
     }
-    sum
 }
 
+/// Retires the upper part of row `r` for panel columns `cols`:
+/// `x[r, c] ← (x[r, c] − Σ_{j>r} U[r, j] · x[j, c]) / U[r, r]`.
 #[inline]
-fn row_sum_upper<T: Scalar>(lu: &CsrMatrix<T>, diag_pos: &[usize], x: &LuVals<T>, r: usize) -> T {
+fn retire_row_upper<T: Scalar>(
+    lu: &CsrMatrix<T>,
+    diag_pos: &[usize],
+    x: &LuVals<T>,
+    k: usize,
+    cols: Range<usize>,
+    r: usize,
+) {
     let vals = lu.vals();
     let colidx = lu.colidx();
-    let mut sum = T::ZERO;
-    for k in (diag_pos[r] + 1)..lu.rowptr()[r + 1] {
-        sum += vals[k] * x.get(colidx[k]);
+    let d = vals[diag_pos[r]];
+    let mut c0 = cols.start;
+    while c0 < cols.end {
+        let cw = (cols.end - c0).min(PANEL_CHUNK);
+        let mut sums = [T::ZERO; PANEL_CHUNK];
+        for e in (diag_pos[r] + 1)..lu.rowptr()[r + 1] {
+            let v = vals[e];
+            let xb = colidx[e] * k + c0;
+            for (c, s) in sums[..cw].iter_mut().enumerate() {
+                *s += v * x.get(xb + c);
+            }
+        }
+        let xb = r * k + c0;
+        for (c, s) in sums[..cw].iter().enumerate() {
+            x.set(xb + c, (x.get(xb + c) - *s) / d);
+        }
+        c0 += cw;
     }
-    sum
 }
 
 /// One thread's share of the barriered forward level sweep.
@@ -169,12 +316,12 @@ fn forward_barrier_phase<T: Scalar>(
     tid: usize,
     x: &LuVals<T>,
 ) {
+    let k = scratch.width;
     for l in 0..levels.n_levels() {
         let rows = levels.level(l);
         let mut i = tid;
         while i < rows.len() {
-            let r = rows[i];
-            x.set(r, x.get(r) - row_sum_lower(lu, diag_pos, x, r));
+            retire_row_lower(lu, diag_pos, x, k, 0..k, rows[i]);
             i += nthreads;
         }
         scratch.barrier.wait();
@@ -192,13 +339,12 @@ fn backward_barrier_phase<T: Scalar>(
     tid: usize,
     x: &LuVals<T>,
 ) {
+    let k = scratch.width;
     for l in 0..levels.n_levels() {
         let rows = levels.level(l);
         let mut i = tid;
         while i < rows.len() {
-            let r = rows[i];
-            let d = lu.vals()[diag_pos[r]];
-            x.set(r, (x.get(r) - row_sum_upper(lu, diag_pos, x, r)) / d);
+            retire_row_upper(lu, diag_pos, x, k, 0..k, rows[i]);
             i += nthreads;
         }
         scratch.barrier.wait();
@@ -242,6 +388,8 @@ pub fn backward_barrier<T: Scalar>(
 /// Fused CSR-LS solve: forward then backward level sweeps in a single
 /// parallel region (the per-level barriers already order the
 /// transition), halving the region count of the barriered baseline.
+/// One barrier protocol per panel: a level costs the same wait count
+/// whether it retires 1 or `k` columns.
 pub fn solve_barrier_fused<T: Scalar>(
     lu: &CsrMatrix<T>,
     diag_pos: &[usize],
@@ -264,9 +412,9 @@ pub fn solve_barrier_fused<T: Scalar>(
 
 /// One thread's share of the point-to-point forward solve: upper stage
 /// through the pruned-wait schedule, then (under `use_tiles`) the tiled
-/// trailing-block gather, then tid 0's combination + trailing rows.
-/// Ends with every thread past the trailing stage; the caller decides
-/// what synchronization follows.
+/// trailing-block gather, then the column-split combination + trailing
+/// rows. Ends with every thread past the trailing stage; the caller
+/// decides what synchronization follows.
 #[inline]
 #[allow(clippy::too_many_arguments)]
 fn forward_p2p_phase<T: Scalar>(
@@ -279,12 +427,15 @@ fn forward_p2p_phase<T: Scalar>(
     tid: usize,
     x: &LuVals<T>,
 ) {
+    let k = scratch.width;
     let n = lu.nrows();
     let n_upper = plan.n_upper;
-    // Upper stage: point-to-point.
+    // Upper stage: point-to-point. A row's counter is bumped once per
+    // panel — after all k columns retire — so the wait protocol is
+    // amortized across the panel.
     for &row in plan.fwd.thread_tasks(tid) {
         scratch.progress.wait_all(plan.fwd.waits(row));
-        x.set(row, x.get(row) - row_sum_lower(lu, diag_pos, x, row));
+        retire_row_lower(lu, diag_pos, x, k, 0..k, row);
         scratch.progress.bump(tid);
     }
     if n_upper == n {
@@ -298,7 +449,8 @@ fn forward_p2p_phase<T: Scalar>(
         // Tiled segmented gather over the trailing block: each tile
         // writes per-segment partial sums into its disjoint slot range
         // (tile boundaries and first segments precomputed in the
-        // scratch — no searches, no allocation).
+        // scratch — no searches, no allocation). Column chunks re-walk
+        // the tile so accumulators stay on the stack.
         let mut t = tid;
         while t < n_tiles {
             let lo = t * tile;
@@ -309,75 +461,121 @@ fn forward_p2p_phase<T: Scalar>(
             // that this walk skips (empty segments) must not leak
             // values from a previous solve.
             for s in base..scratch.slot_ptr[t + 1] {
-                scratch.partials.set(s, T::ZERO);
+                for c in 0..k {
+                    scratch.partials.set(s * k + c, T::ZERO);
+                }
             }
-            let mut seg = first_seg;
-            let mut cursor = lo;
-            while cursor < hi {
-                while plan.block_seg_ptr[seg + 1] <= cursor {
-                    seg += 1;
+            let mut c0 = 0usize;
+            while c0 < k {
+                let cw = (k - c0).min(PANEL_CHUNK);
+                let mut seg = first_seg;
+                let mut cursor = lo;
+                while cursor < hi {
+                    while plan.block_seg_ptr[seg + 1] <= cursor {
+                        seg += 1;
+                    }
+                    let seg_hi = plan.block_seg_ptr[seg + 1].min(hi);
+                    let (k_lo, _) = plan.block_rows[seg];
+                    let seg_base = plan.block_seg_ptr[seg];
+                    let mut accs = [T::ZERO; PANEL_CHUNK];
+                    for v in cursor..seg_hi {
+                        let e = k_lo + (v - seg_base);
+                        let val = lu.vals()[e];
+                        let xb = lu.colidx()[e] * k + c0;
+                        for (c, acc) in accs[..cw].iter_mut().enumerate() {
+                            *acc += val * x.get(xb + c);
+                        }
+                    }
+                    let slot = base + (seg - first_seg);
+                    for (c, acc) in accs[..cw].iter().enumerate() {
+                        scratch.partials.set(slot * k + c0 + c, *acc);
+                    }
+                    cursor = seg_hi;
                 }
-                let seg_hi = plan.block_seg_ptr[seg + 1].min(hi);
-                let (k_lo, _) = plan.block_rows[seg];
-                let seg_base = plan.block_seg_ptr[seg];
-                let mut acc = T::ZERO;
-                for v in cursor..seg_hi {
-                    let k = k_lo + (v - seg_base);
-                    acc += lu.vals()[k] * x.get(lu.colidx()[k]);
-                }
-                scratch.partials.set(base + (seg - first_seg), acc);
-                cursor = seg_hi;
+                c0 += cw;
             }
             t += nthreads;
         }
         scratch.barrier.wait();
     }
-    if tid == 0 {
-        if use_tiles {
-            // Combine tile partials in tile order (deterministic), then
-            // finish each trailing row with its corner part.
-            let n_lower = n - n_upper;
-            for off in 0..n_lower {
-                scratch.z.set(off, T::ZERO);
+    // Trailing stage, column-split: panel columns are independent from
+    // here on, so each thread owns a contiguous column range (narrow
+    // panels leave trailing tids an empty range — `col_range` never
+    // hands out degenerate work). At k = 1 this degenerates to tid 0
+    // performing exactly the single-RHS serial combination.
+    let cols = col_range(k, nthreads, tid);
+    if cols.is_empty() {
+        return;
+    }
+    let n_lower = n - n_upper;
+    if use_tiles {
+        // Combine tile partials in tile order (deterministic per
+        // column), then finish each trailing row with its corner part.
+        for off in 0..n_lower {
+            for c in cols.clone() {
+                scratch.z.set(off * k + c, T::ZERO);
             }
-            for t in 0..n_tiles {
-                let first_seg = scratch.tile_first_seg[t];
-                for (k, s) in (scratch.slot_ptr[t]..scratch.slot_ptr[t + 1]).enumerate() {
-                    let seg = first_seg + k;
-                    scratch
-                        .z
-                        .set(seg, scratch.z.get(seg) + scratch.partials.get(s));
+        }
+        for t in 0..n_tiles {
+            let first_seg = scratch.tile_first_seg[t];
+            for (i, s) in (scratch.slot_ptr[t]..scratch.slot_ptr[t + 1]).enumerate() {
+                let seg = first_seg + i;
+                for c in cols.clone() {
+                    scratch.z.set(
+                        seg * k + c,
+                        scratch.z.get(seg * k + c) + scratch.partials.get(s * k + c),
+                    );
                 }
             }
-            for off in 0..n_lower {
-                let r = n_upper + off;
-                let (_, k_hi) = plan.block_rows[off];
-                let mut sum = scratch.z.get(off);
-                for k in k_hi..diag_pos[r] {
-                    sum += lu.vals()[k] * x.get(lu.colidx()[k]);
+        }
+        for off in 0..n_lower {
+            let r = n_upper + off;
+            let (_, k_hi) = plan.block_rows[off];
+            let mut c0 = cols.start;
+            while c0 < cols.end {
+                let cw = (cols.end - c0).min(PANEL_CHUNK);
+                let mut sums = [T::ZERO; PANEL_CHUNK];
+                for (c, s) in sums[..cw].iter_mut().enumerate() {
+                    *s = scratch.z.get(off * k + c0 + c);
                 }
-                x.set(r, x.get(r) - sum);
+                for e in k_hi..diag_pos[r] {
+                    let v = lu.vals()[e];
+                    let xb = lu.colidx()[e] * k + c0;
+                    for (c, s) in sums[..cw].iter_mut().enumerate() {
+                        *s += v * x.get(xb + c);
+                    }
+                }
+                let xb = r * k + c0;
+                for (c, s) in sums[..cw].iter().enumerate() {
+                    x.set(xb + c, x.get(xb + c) - *s);
+                }
+                c0 += cw;
             }
-        } else {
-            for r in n_upper..n {
-                x.set(r, x.get(r) - row_sum_lower(lu, diag_pos, x, r));
-            }
+        }
+    } else {
+        for r in n_upper..n {
+            retire_row_lower(lu, diag_pos, x, k, cols.clone(), r);
         }
     }
 }
 
-/// Serial backward solve of the trailing corner (self-contained:
-/// trailing rows only reference corner columns in their U parts).
+/// Backward solve of the trailing corner restricted to panel columns
+/// `cols` (self-contained: trailing rows only reference corner columns
+/// in their U parts, and panel columns are mutually independent).
 #[inline]
-fn corner_backward<T: Scalar>(
+fn corner_backward_cols<T: Scalar>(
     lu: &CsrMatrix<T>,
     diag_pos: &[usize],
     n_upper: usize,
     x: &LuVals<T>,
+    k: usize,
+    cols: Range<usize>,
 ) {
+    if cols.is_empty() {
+        return;
+    }
     for r in (n_upper..lu.nrows()).rev() {
-        let d = lu.vals()[diag_pos[r]];
-        x.set(r, (x.get(r) - row_sum_upper(lu, diag_pos, x, r)) / d);
+        retire_row_upper(lu, diag_pos, x, k, cols.clone(), r);
     }
 }
 
@@ -391,18 +589,18 @@ fn backward_p2p_phase<T: Scalar>(
     tid: usize,
     x: &LuVals<T>,
 ) {
+    let k = scratch.width;
     for &task in plan.bwd.thread_tasks(tid) {
         scratch.bwd_progress.wait_all(plan.bwd.waits(task));
-        let r = plan.bwd_row_of_task[task];
-        let d = lu.vals()[diag_pos[r]];
-        x.set(r, (x.get(r) - row_sum_upper(lu, diag_pos, x, r)) / d);
+        retire_row_upper(lu, diag_pos, x, k, 0..k, plan.bwd_row_of_task[task]);
         scratch.bwd_progress.bump(tid);
     }
 }
 
 /// Point-to-point forward solve, in place: upper-stage rows through the
-/// pruned-wait schedule, trailing rows serially (`LowerTiles::Off`) or
-/// via the tiled segmented gather plus corner solve (`LowerTiles::On`).
+/// pruned-wait schedule, trailing rows column-split (`LowerTiles::Off`)
+/// or via the tiled segmented gather plus corner solve
+/// (`LowerTiles::On`).
 pub fn forward_p2p<T: Scalar>(
     lu: &CsrMatrix<T>,
     diag_pos: &[usize],
@@ -419,12 +617,13 @@ pub fn forward_p2p<T: Scalar>(
     let use_tiles = tiles == LowerTiles::On && scratch.n_tiles > 0;
     exec.run(|tid| {
         forward_p2p_phase(lu, diag_pos, plan, scratch, nthreads, use_tiles, tid, x);
-        // Region join publishes tid 0's trailing writes to the caller.
+        // Region join publishes the trailing writes to the caller.
     });
 }
 
-/// Point-to-point backward solve, in place: corner first (serial), then
-/// upper-stage rows through the backward pruned-wait schedule.
+/// Point-to-point backward solve, in place: corner first (on the
+/// caller, all columns), then upper-stage rows through the backward
+/// pruned-wait schedule.
 pub fn backward_p2p<T: Scalar>(
     lu: &CsrMatrix<T>,
     diag_pos: &[usize],
@@ -435,7 +634,8 @@ pub fn backward_p2p<T: Scalar>(
 ) {
     let n_upper = plan.n_upper;
     debug_assert_eq!(exec.nthreads(), scratch.nthreads);
-    corner_backward(lu, diag_pos, n_upper, x);
+    let k = scratch.width;
+    corner_backward_cols(lu, diag_pos, n_upper, x, k, 0..k);
     scratch.bwd_progress.reset();
     exec.run(|tid| {
         backward_p2p_phase(lu, diag_pos, plan, scratch, tid, x);
@@ -445,7 +645,8 @@ pub fn backward_p2p<T: Scalar>(
 /// Fused point-to-point solve: forward substitution, corner, and
 /// backward substitution in **one** parallel region — the Krylov
 /// hot-loop entry point. One team wake-up per preconditioner apply,
-/// zero allocations, no `partition_point` searches.
+/// zero allocations, no `partition_point` searches; the whole panel
+/// rides a single schedule walk.
 pub fn solve_p2p_fused<T: Scalar>(
     lu: &CsrMatrix<T>,
     diag_pos: &[usize],
@@ -463,17 +664,16 @@ pub fn solve_p2p_fused<T: Scalar>(
     scratch.bwd_progress.reset();
     scratch.barrier.reset();
     let use_tiles = tiles == LowerTiles::On && scratch.n_tiles > 0;
+    let k = scratch.width;
     exec.run(|tid| {
         forward_p2p_phase(lu, diag_pos, plan, scratch, nthreads, use_tiles, tid, x);
         if n_upper < n {
-            // tid 0 finishes the trailing forward rows above, then owns
-            // the corner backward solve; the barrier pair publishes the
-            // forward solution to everyone and the corner to the
-            // backward stage.
+            // The trailing forward rows finish above (column-split);
+            // the corner backward solve is column-split the same way.
+            // The barrier pair publishes the forward solution to
+            // everyone and the corner to the backward stage.
             scratch.barrier.wait();
-            if tid == 0 {
-                corner_backward(lu, diag_pos, n_upper, x);
-            }
+            corner_backward_cols(lu, diag_pos, n_upper, x, k, col_range(k, nthreads, tid));
             scratch.barrier.wait();
         } else {
             // Order every forward write before any backward read: the
@@ -488,13 +688,24 @@ pub fn solve_p2p_fused<T: Scalar>(
 #[cfg(test)]
 mod tests {
     //! Engine equivalence is exercised end-to-end in `factors.rs` tests
-    //! (every engine × thread count against serial substitution); the
-    //! unit tests here cover the pieces with no factor pipeline.
+    //! (every engine × thread count × panel width against serial
+    //! substitution); the unit tests here cover the pieces with no
+    //! factor pipeline.
     use super::*;
 
     #[test]
     fn lower_tiles_flag_equality() {
         assert_eq!(LowerTiles::Off, LowerTiles::Off);
         assert_ne!(LowerTiles::Off, LowerTiles::On);
+    }
+
+    #[test]
+    fn panel_chunk_handles_all_issue_widths() {
+        // Chunking must cover every width the proptests exercise in at
+        // most two passes (allocation-free stack accumulators).
+        for k in [1usize, 2, 3, 8, 9, 16] {
+            let chunks = k.div_ceil(PANEL_CHUNK);
+            assert!(chunks <= 2, "width {k} needs {chunks} chunks");
+        }
     }
 }

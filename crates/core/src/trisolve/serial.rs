@@ -1,6 +1,6 @@
 //! Serial forward/backward substitution on the combined LU factor.
 
-use javelin_sparse::{CsrMatrix, Scalar};
+use javelin_sparse::{CsrMatrix, PanelMut, Scalar};
 
 /// In-place forward substitution `L·x = y` with implicit unit diagonal:
 /// on entry `x` holds `y`, on exit the solution.
@@ -27,6 +27,31 @@ pub fn backward_inplace<T: Scalar>(lu: &CsrMatrix<T>, diag_pos: &[usize], x: &mu
             sum += vals[k] * x[colidx[k]];
         }
         x[r] = (x[r] - sum) / vals[diag_pos[r]];
+    }
+}
+
+/// Column-by-column panel forward substitution: the looped single-RHS
+/// reference every parallel panel engine is measured against. Column
+/// `c` is bit-identical to [`forward_inplace`] on that column.
+pub fn forward_panel_inplace<T: Scalar>(
+    lu: &CsrMatrix<T>,
+    diag_pos: &[usize],
+    x: &mut PanelMut<'_, T>,
+) {
+    for c in 0..x.ncols() {
+        forward_inplace(lu, diag_pos, x.col_mut(c));
+    }
+}
+
+/// Column-by-column panel backward substitution (see
+/// [`forward_panel_inplace`]).
+pub fn backward_panel_inplace<T: Scalar>(
+    lu: &CsrMatrix<T>,
+    diag_pos: &[usize],
+    x: &mut PanelMut<'_, T>,
+) {
+    for c in 0..x.ncols() {
+        backward_inplace(lu, diag_pos, x.col_mut(c));
     }
 }
 
@@ -80,6 +105,28 @@ mod tests {
         backward_inplace(&lu, &dp, &mut x);
         assert!((x[0] - x_true[0]).abs() < 1e-12);
         assert!((x[1] - x_true[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn panel_substitution_matches_looped_columns() {
+        let (lu, dp) = lu2();
+        let cols = [vec![2.0, 3.0], vec![-1.0, 5.0], vec![0.5, 0.25]];
+        // Reference: one column at a time.
+        let mut want = Vec::new();
+        for c in &cols {
+            let mut x = c.clone();
+            forward_inplace(&lu, &dp, &mut x);
+            backward_inplace(&lu, &dp, &mut x);
+            want.push(x);
+        }
+        // Panel: all three columns in one column-major block.
+        let mut data: Vec<f64> = cols.iter().flatten().copied().collect();
+        let mut p = PanelMut::new(&mut data, 2, 3);
+        forward_panel_inplace(&lu, &dp, &mut p);
+        backward_panel_inplace(&lu, &dp, &mut p);
+        for (c, w) in want.iter().enumerate() {
+            assert_eq!(p.col(c), w.as_slice(), "column {c}");
+        }
     }
 
     #[test]

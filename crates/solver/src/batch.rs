@@ -1,0 +1,430 @@
+//! Batched PCG: `k` independent SPD systems solved in lockstep through
+//! one RHS panel.
+//!
+//! [`solve_batch`] runs `k` preconditioned-CG recurrences side by side,
+//! sharing one [`javelin_core::Preconditioner::apply_panel_with`] call
+//! per iteration: the preconditioner's schedule walk — the dominant
+//! per-iteration cost the paper's triangular solves pay — is traversed
+//! **once per panel**, not once per column. Per-column scalar state
+//! (α, β, ρ, residual norms) stays independent, so each column follows
+//! exactly the arithmetic of a standalone [`crate::pcg_with`] run:
+//! column `c` of the batch is **bit-identical** to solving column `c`
+//! alone, iteration counts included.
+//!
+//! ## Convergence masking
+//!
+//! Columns converge (or break down) at different iterations. A finished
+//! column is *masked*: its vector updates and scalar recurrences stop,
+//! its result is frozen — but its storage stays in place, so the panel
+//! layout (and the panel preconditioner apply) never changes shape.
+//! Applying `M⁻¹` to a frozen column is redundant work, but it is
+//! exactly what keeps the remaining columns on a single shared schedule
+//! walk; the batch terminates as soon as every column is masked.
+//!
+//! ## Allocation discipline
+//!
+//! All panel buffers live in the caller's [`SolverWorkspace`]
+//! (`ensure_panel`, grow-only). After the first solve at a given
+//! `(n, k)` — and with a warmed preconditioner scratch — an entire
+//! batched solve performs **zero steady-state heap allocations**: the
+//! per-iteration loop is matvecs, dots, axpys and one panel apply. The
+//! `Vec<SolverResult>` assembled on entry and the optional residual
+//! histories (`record_history`, off by default) are the documented
+//! exceptions, mirroring the single-RHS solvers.
+
+use crate::{SolverOptions, SolverResult, SolverWorkspace};
+use javelin_core::precond::Preconditioner;
+use javelin_sparse::{vecops, CsrMatrix, Panel, PanelMut, Scalar};
+
+/// Column is still iterating.
+const ACTIVE: u8 = 0;
+/// Column met the tolerance (result frozen).
+const DONE: u8 = 1;
+/// Column hit a breakdown (`pᵀAp` zero or non-finite; result frozen).
+const HALTED: u8 = 2;
+
+/// Batched PCG over an RHS panel, allocating a fresh workspace.
+/// Repeated callers should hold a [`SolverWorkspace`] and use
+/// [`solve_batch_with`].
+///
+/// # Panics
+/// On panel shape mismatches.
+pub fn solve_batch<T: Scalar, P: Preconditioner<T>>(
+    a: &CsrMatrix<T>,
+    b: Panel<'_, T>,
+    x: PanelMut<'_, T>,
+    m: &P,
+    opts: &SolverOptions,
+) -> Vec<SolverResult> {
+    solve_batch_with(a, b, x, m, opts, &mut SolverWorkspace::new())
+}
+
+/// [`solve_batch`] with caller-owned working memory (see module docs
+/// for the lockstep/masking contract). Returns one [`SolverResult`]
+/// per panel column, in column order.
+///
+/// # Panics
+/// On panel shape mismatches.
+pub fn solve_batch_with<T: Scalar, P: Preconditioner<T>>(
+    a: &CsrMatrix<T>,
+    b: Panel<'_, T>,
+    mut x: PanelMut<'_, T>,
+    m: &P,
+    opts: &SolverOptions,
+    ws: &mut SolverWorkspace<T>,
+) -> Vec<SolverResult> {
+    let n = a.nrows();
+    let k = b.ncols();
+    assert_eq!(b.nrows(), n, "solve_batch: rhs panel rows");
+    assert_eq!(x.nrows(), n, "solve_batch: solution panel rows");
+    assert_eq!(x.ncols(), k, "solve_batch: panel widths differ");
+    let mut results: Vec<SolverResult> = (0..k)
+        .map(|_| SolverResult {
+            converged: false,
+            iterations: 0,
+            relative_residual: 0.0,
+            history: Vec::new(),
+        })
+        .collect();
+    if k == 0 {
+        return results;
+    }
+    ws.ensure_panel(n, k);
+    let SolverWorkspace {
+        precond,
+        pr,
+        pz,
+        pp,
+        pq,
+        col_rz,
+        col_bnorm,
+        col_relres,
+        col_state,
+        ..
+    } = ws;
+
+    // ---- Per-column setup, mirroring `pcg_with` exactly. ------------
+    for c in 0..k {
+        col_bnorm[c] = vecops::norm2(b.col(c)).to_f64();
+        if col_bnorm[c] == 0.0 {
+            // Trivial column: x = 0, converged in 0 iterations. Zero its
+            // working columns so the shared panel applies stay finite.
+            x.col_mut(c).fill(T::ZERO);
+            for buf in [&mut *pr, &mut *pz, &mut *pp, &mut *pq] {
+                buf[c * n..(c + 1) * n].fill(T::ZERO);
+            }
+            col_state[c] = DONE;
+            results[c].converged = true;
+        } else {
+            col_state[c] = ACTIVE;
+            // r = b - A x (matvec into q, subtract into r).
+            a.spmv_into(x.col(c), &mut pq[c * n..(c + 1) * n]);
+            let bc = b.col(c);
+            for i in 0..n {
+                pr[c * n + i] = bc[i] - pq[c * n + i];
+            }
+        }
+    }
+    if col_state.iter().all(|&s| s != ACTIVE) {
+        return results;
+    }
+    // z = M⁻¹ r: one panel apply for all columns.
+    m.apply_panel_with(
+        precond,
+        Panel::new(&pr[..n * k], n, k),
+        PanelMut::new(&mut pz[..n * k], n, k),
+    );
+    for c in 0..k {
+        if col_state[c] != ACTIVE {
+            continue;
+        }
+        pp[c * n..(c + 1) * n].copy_from_slice(&pz[c * n..(c + 1) * n]);
+        col_rz[c] = vecops::dot(&pr[c * n..(c + 1) * n], &pz[c * n..(c + 1) * n]);
+        col_relres[c] = vecops::norm2(&pr[c * n..(c + 1) * n]).to_f64() / col_bnorm[c];
+        if opts.record_history {
+            results[c].history.push(col_relres[c]);
+        }
+    }
+
+    // ---- Lockstep iteration with per-column masking. ----------------
+    for it in 1..=opts.max_iters {
+        if col_state.iter().all(|&s| s != ACTIVE) {
+            break;
+        }
+        for c in 0..k {
+            if col_state[c] != ACTIVE {
+                continue;
+            }
+            let rc = c * n..(c + 1) * n;
+            a.spmv_into(&pp[rc.clone()], &mut pq[rc.clone()]);
+            let pq_dot = vecops::dot(&pp[rc.clone()], &pq[rc.clone()]);
+            if pq_dot == T::ZERO || !pq_dot.is_finite() {
+                col_state[c] = HALTED;
+                results[c].iterations = it - 1;
+                results[c].relative_residual = col_relres[c];
+                continue;
+            }
+            let alpha = col_rz[c] / pq_dot;
+            vecops::axpy(alpha, &pp[rc.clone()], x.col_mut(c));
+            vecops::axpy(-alpha, &pq[rc.clone()], &mut pr[rc.clone()]);
+            col_relres[c] = vecops::norm2(&pr[rc.clone()]).to_f64() / col_bnorm[c];
+            if opts.record_history {
+                results[c].history.push(col_relres[c]);
+            }
+            if col_relres[c] < opts.tol {
+                col_state[c] = DONE;
+                results[c].converged = true;
+                results[c].iterations = it;
+                results[c].relative_residual = col_relres[c];
+            }
+        }
+        if col_state.iter().all(|&s| s != ACTIVE) {
+            break;
+        }
+        // One panel apply serves every still-active column; masked
+        // columns ride along without breaking the panel layout.
+        m.apply_panel_with(
+            precond,
+            Panel::new(&pr[..n * k], n, k),
+            PanelMut::new(&mut pz[..n * k], n, k),
+        );
+        for c in 0..k {
+            if col_state[c] != ACTIVE {
+                continue;
+            }
+            let rc = c * n..(c + 1) * n;
+            let rz_new = vecops::dot(&pr[rc.clone()], &pz[rc.clone()]);
+            let beta = rz_new / col_rz[c];
+            col_rz[c] = rz_new;
+            vecops::xpby(&pz[rc.clone()], beta, &mut pp[rc.clone()]);
+        }
+    }
+    // Columns still active at the cap: not converged.
+    for c in 0..k {
+        if col_state[c] == ACTIVE {
+            results[c].iterations = opts.max_iters;
+            results[c].relative_residual = col_relres[c];
+        }
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pcg_with;
+    use javelin_core::{IluFactorization, IluOptions};
+    use javelin_sparse::CooMatrix;
+
+    fn laplace_2d(nx: usize, ny: usize) -> CsrMatrix<f64> {
+        let n = nx * ny;
+        let idx = |i: usize, j: usize| i * ny + j;
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..nx {
+            for j in 0..ny {
+                let r = idx(i, j);
+                coo.push(r, r, 4.0).unwrap();
+                if i + 1 < nx {
+                    coo.push(r, idx(i + 1, j), -1.0).unwrap();
+                    coo.push(idx(i + 1, j), r, -1.0).unwrap();
+                }
+                if j + 1 < ny {
+                    coo.push(r, idx(i, j + 1), -1.0).unwrap();
+                    coo.push(idx(i, j + 1), r, -1.0).unwrap();
+                }
+            }
+        }
+        coo.to_csr()
+    }
+
+    fn rhs_panel(n: usize, k: usize) -> Vec<f64> {
+        (0..n * k)
+            .map(|i| ((i * 37 % 53) as f64 - 26.0) * 0.11 + ((i / n) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn batch_is_bitwise_identical_to_independent_pcg() {
+        // The defining contract: column c of a batched solve carries
+        // exactly the bits (and the iteration count) of a standalone
+        // pcg_with run on that column.
+        let a = laplace_2d(12, 11);
+        let n = a.nrows();
+        let f = IluFactorization::compute(&a, &IluOptions::ilu0(2)).unwrap();
+        let opts = SolverOptions::default();
+        for k in [1usize, 3, 8] {
+            let b = rhs_panel(n, k);
+            let mut xb = vec![0.0; n * k];
+            let results = solve_batch(
+                &a,
+                Panel::new(&b, n, k),
+                PanelMut::new(&mut xb, n, k),
+                &f,
+                &opts,
+            );
+            for c in 0..k {
+                let mut x = vec![0.0; n];
+                let r = pcg_with(
+                    &a,
+                    &b[c * n..(c + 1) * n],
+                    &mut x,
+                    &f,
+                    &opts,
+                    &mut SolverWorkspace::new(),
+                );
+                assert_eq!(results[c].converged, r.converged, "k={k} col={c}");
+                assert_eq!(results[c].iterations, r.iterations, "k={k} col={c}");
+                assert_eq!(
+                    results[c].relative_residual.to_bits(),
+                    r.relative_residual.to_bits(),
+                    "k={k} col={c}"
+                );
+                let bb: Vec<u64> = xb[c * n..(c + 1) * n].iter().map(|v| v.to_bits()).collect();
+                let sb: Vec<u64> = x.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(bb, sb, "k={k} col={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn masking_freezes_converged_columns_independently() {
+        // Column 0 carries a tiny RHS (converges almost immediately),
+        // column 1 a hard one: iteration counts must differ and each
+        // column's true residual must meet the tolerance.
+        let a = laplace_2d(14, 14);
+        let n = a.nrows();
+        let f = IluFactorization::compute(&a, &IluOptions::default()).unwrap();
+        let opts = SolverOptions::default();
+        let mut b = vec![0.0; n * 2];
+        b[0] = 1e-3; // nearly-aligned easy column
+        for i in 0..n {
+            b[n + i] = ((i * 17 % 31) as f64 - 15.0) * 0.4;
+        }
+        let mut x = vec![0.0; n * 2];
+        let res = solve_batch(
+            &a,
+            Panel::new(&b, n, 2),
+            PanelMut::new(&mut x, n, 2),
+            &f,
+            &opts,
+        );
+        assert!(res[0].converged && res[1].converged);
+        assert!(
+            res[0].iterations < res[1].iterations,
+            "easy column {} vs hard column {}",
+            res[0].iterations,
+            res[1].iterations
+        );
+        for c in 0..2 {
+            let ax = a.spmv(&x[c * n..(c + 1) * n]);
+            let rnorm: f64 = b[c * n..(c + 1) * n]
+                .iter()
+                .zip(ax.iter())
+                .map(|(bi, axi)| (bi - axi) * (bi - axi))
+                .sum::<f64>()
+                .sqrt();
+            let bnorm: f64 = b[c * n..(c + 1) * n]
+                .iter()
+                .map(|v| v * v)
+                .sum::<f64>()
+                .sqrt();
+            assert!(rnorm / bnorm < 1e-5, "col {c}: {}", rnorm / bnorm);
+        }
+    }
+
+    #[test]
+    fn zero_rhs_columns_are_trivially_converged() {
+        let a = laplace_2d(6, 6);
+        let n = a.nrows();
+        let f = IluFactorization::compute(&a, &IluOptions::default()).unwrap();
+        let mut b = vec![0.0; n * 3];
+        for i in 0..n {
+            b[n + i] = 1.0; // only the middle column is nontrivial
+        }
+        let mut x = vec![5.0; n * 3];
+        let res = solve_batch(
+            &a,
+            Panel::new(&b, n, 3),
+            PanelMut::new(&mut x, n, 3),
+            &f,
+            &SolverOptions::default(),
+        );
+        assert!(res[0].converged && res[0].iterations == 0);
+        assert!(res[2].converged && res[2].iterations == 0);
+        assert!(x[..n].iter().all(|&v| v == 0.0));
+        assert!(x[2 * n..].iter().all(|&v| v == 0.0));
+        assert!(res[1].converged && res[1].iterations > 0);
+    }
+
+    #[test]
+    fn workspace_reuse_across_widths_is_bitwise_stable() {
+        // One workspace across k = 3 → 1 → 3 (grow, narrow, re-widen)
+        // must reproduce fresh-workspace bits every time.
+        let a = laplace_2d(10, 9);
+        let n = a.nrows();
+        let f = IluFactorization::compute(&a, &IluOptions::ilu0(2)).unwrap();
+        let opts = SolverOptions::default();
+        let b3 = rhs_panel(n, 3);
+        let reference = {
+            let mut x = vec![0.0; n * 3];
+            solve_batch(
+                &a,
+                Panel::new(&b3, n, 3),
+                PanelMut::new(&mut x, n, 3),
+                &f,
+                &opts,
+            );
+            x.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        };
+        let mut ws = SolverWorkspace::new();
+        for rep in 0..3 {
+            let mut x = vec![0.0; n * 3];
+            solve_batch_with(
+                &a,
+                Panel::new(&b3, n, 3),
+                PanelMut::new(&mut x, n, 3),
+                &f,
+                &opts,
+                &mut ws,
+            );
+            let bits: Vec<u64> = x.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(bits, reference, "rep {rep}");
+            // Interleave a narrower solve to stress the width change.
+            let mut x1 = vec![0.0; n];
+            solve_batch_with(
+                &a,
+                Panel::new(&b3[..n], n, 1),
+                PanelMut::new(&mut x1, n, 1),
+                &f,
+                &opts,
+                &mut ws,
+            );
+        }
+    }
+
+    #[test]
+    fn iteration_cap_and_histories() {
+        let a = laplace_2d(16, 16);
+        let n = a.nrows();
+        let f = IluFactorization::compute(&a, &IluOptions::default()).unwrap();
+        let b = rhs_panel(n, 2);
+        let opts = SolverOptions {
+            max_iters: 2,
+            record_history: true,
+            ..Default::default()
+        };
+        let mut x = vec![0.0; n * 2];
+        let res = solve_batch(
+            &a,
+            Panel::new(&b, n, 2),
+            PanelMut::new(&mut x, n, 2),
+            &f,
+            &opts,
+        );
+        for r in &res {
+            assert!(!r.converged);
+            assert_eq!(r.iterations, 2);
+            assert_eq!(r.history.len(), 3); // initial + 2 iterations
+        }
+    }
+}

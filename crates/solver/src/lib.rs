@@ -8,7 +8,11 @@
 //! * [`gmres`] — restarted GMRES with right preconditioning and Givens
 //!   least-squares;
 //! * [`fgmres`] — flexible GMRES for iteration-varying preconditioners;
-//! * [`bicgstab`] — BiCGSTAB for nonsymmetric systems.
+//! * [`bicgstab`] — BiCGSTAB for nonsymmetric systems;
+//! * [`solve_batch`] — `k` independent PCG systems in lockstep over one
+//!   RHS panel, sharing one preconditioner schedule walk per iteration
+//!   with per-column convergence masking (the serving-scale multi-RHS
+//!   driver).
 //!
 //! All solvers share [`SolverOptions`] / [`SolverResult`] and take any
 //! [`javelin_core::Preconditioner`].
@@ -27,12 +31,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod bicgstab;
 pub mod cg;
 pub mod fgmres;
 pub mod gmres;
 pub mod workspace;
 
+pub use batch::{solve_batch, solve_batch_with};
 pub use bicgstab::{bicgstab, bicgstab_with};
 pub use cg::{cg, pcg, pcg_with};
 pub use fgmres::{fgmres, fgmres_with};

@@ -37,6 +37,18 @@ pub struct SolverWorkspace<T> {
     pub(crate) sn: Vec<T>,
     pub(crate) g: Vec<T>,
     pub(crate) yk: Vec<T>,
+    // Batched-solver panels: column-major `n × k` blocks (stride `n`)
+    // for residuals/preconditioned residuals/directions/matvecs, plus
+    // per-column iteration state. Sized by `ensure_panel`, grow-only
+    // across solves like every other buffer here.
+    pub(crate) pr: Vec<T>,
+    pub(crate) pz: Vec<T>,
+    pub(crate) pp: Vec<T>,
+    pub(crate) pq: Vec<T>,
+    pub(crate) col_rz: Vec<T>,
+    pub(crate) col_bnorm: Vec<f64>,
+    pub(crate) col_relres: Vec<f64>,
+    pub(crate) col_state: Vec<u8>,
 }
 
 fn ensure<T: Scalar>(v: &mut Vec<T>, n: usize) {
@@ -93,6 +105,21 @@ impl<T: Scalar> SolverWorkspace<T> {
         ensure(&mut self.sn, m);
         ensure(&mut self.g, m + 1);
         ensure(&mut self.yk, m);
+    }
+
+    /// Sizes the batched-solver panel buffers for `k` columns of `n`
+    /// entries (`solve_batch`).
+    pub(crate) fn ensure_panel(&mut self, n: usize, k: usize) {
+        for buf in [&mut self.pr, &mut self.pz, &mut self.pp, &mut self.pq] {
+            ensure(buf, n * k);
+        }
+        ensure(&mut self.col_rz, k);
+        ensure(&mut self.col_bnorm, k);
+        ensure(&mut self.col_relres, k);
+        if self.col_state.len() != k {
+            self.col_state.clear();
+            self.col_state.resize(k, 0);
+        }
     }
 }
 

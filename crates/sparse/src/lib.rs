@@ -18,6 +18,9 @@
 //! * [`Scalar`] — the "templated" numeric abstraction (the paper's C++
 //!   implementation is templated over the value type; we mirror that with
 //!   a trait implemented for `f32` and `f64`);
+//! * [`Panel`] / [`PanelMut`] — column-major dense right-hand-side
+//!   panels (`n × k` blocks with a column stride) consumed by the
+//!   multi-RHS execution paths;
 //! * [`io`] — Matrix Market reading/writing so that the real SuiteSparse
 //!   inputs used by the paper can be substituted for the bundled synthetic
 //!   suite;
@@ -36,6 +39,7 @@ pub mod csc;
 pub mod csr;
 pub mod error;
 pub mod io;
+pub mod panel;
 pub mod pattern;
 pub mod perm;
 pub mod scalar;
@@ -45,5 +49,6 @@ pub use coo::CooMatrix;
 pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
 pub use error::SparseError;
+pub use panel::{Panel, PanelMut};
 pub use perm::Perm;
 pub use scalar::Scalar;

@@ -49,7 +49,7 @@ pub mod team;
 pub use backoff::Backoff;
 pub use barrier::SpinBarrier;
 pub use exec::Exec;
-pub use pool::run_on_threads;
+pub use pool::{col_range, run_on_threads};
 pub use progress::ProgressCounters;
 pub use taskgraph::TaskGraph;
 pub use team::WorkerTeam;

@@ -58,6 +58,32 @@ pub fn ensure_diagonal(a: &CsrMatrix<f64>, diag_value: f64) -> CsrMatrix<f64> {
     coo.to_csr()
 }
 
+/// Deterministic column-major multi-RHS fixture: an `n × k` panel
+/// (column stride `n`, ready for `javelin_sparse::Panel::new`) whose
+/// columns carry visibly different structure — a smooth mode, an
+/// oscillatory mode, and seeded noise — so batched-solve tests and
+/// benchmarks exercise genuinely distinct systems per column rather
+/// than `k` copies of one vector.
+pub fn rhs_panel(n: usize, k: usize, seed: u64) -> Vec<f64> {
+    let mut r = rng(seed);
+    let mut data = vec![0.0f64; n * k];
+    for c in 0..k {
+        let freq = 1.0 + c as f64;
+        for i in 0..n {
+            let t = i as f64 / n.max(1) as f64;
+            let smooth = (freq * std::f64::consts::PI * t).sin();
+            let ripple = if c % 2 == 0 {
+                (7.0 * t * freq).cos()
+            } else {
+                0.0
+            };
+            let noise: f64 = r.gen_range(-0.25..0.25);
+            data[c * n + i] = smooth + 0.3 * ripple + noise;
+        }
+    }
+    data
+}
+
 /// Random nonsymmetric perturbation of values (pattern preserved):
 /// `v ← v · (1 + amp·u)` with `u ∈ [-1, 1)`. Useful for turning a
 /// symmetric stencil into a "semiconductor-device-like" nonsymmetric
@@ -113,6 +139,23 @@ mod tests {
             }
             assert!(diag >= off + 0.99, "row {r}: diag {diag} vs off {off}");
         }
+    }
+
+    #[test]
+    fn rhs_panel_is_deterministic_with_distinct_columns() {
+        let p1 = rhs_panel(40, 4, 9);
+        let p2 = rhs_panel(40, 4, 9);
+        assert_eq!(p1, p2, "same seed must reproduce the panel");
+        assert_ne!(p1, rhs_panel(40, 4, 10), "seed must matter");
+        for c in 1..4 {
+            assert_ne!(
+                &p1[..40],
+                &p1[c * 40..(c + 1) * 40],
+                "column {c} must differ from column 0"
+            );
+        }
+        assert!(p1.iter().all(|v| v.is_finite()));
+        assert!(rhs_panel(10, 0, 1).is_empty());
     }
 
     #[test]

@@ -47,6 +47,6 @@ pub mod prelude {
     pub use javelin_core::factors::IluFactors;
     pub use javelin_core::options::{IluOptions, LowerMethod};
     pub use javelin_core::IluFactorization;
-    pub use javelin_solver::{cg, gmres};
-    pub use javelin_sparse::{CooMatrix, CsrMatrix, Perm, Scalar};
+    pub use javelin_solver::{cg, gmres, solve_batch};
+    pub use javelin_sparse::{CooMatrix, CsrMatrix, Panel, PanelMut, Perm, Scalar};
 }
