@@ -212,7 +212,7 @@ impl<T: Scalar> javelin_core::Preconditioner<T> for HeavyIlu<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use javelin_core::{IluFactorization, IluOptions};
+    use javelin_core::{factorize, IluOptions};
     use javelin_sparse::CooMatrix;
 
     fn test_matrix(n: usize) -> CsrMatrix<f64> {
@@ -235,7 +235,7 @@ mod tests {
     fn heavy_values_match_javelin_serial() {
         let a = test_matrix(80);
         let heavy = HeavyIlu::factor(&a, &HeavyOptions::default()).unwrap();
-        let jav = IluFactorization::compute(&a, &IluOptions::default()).unwrap();
+        let jav = factorize(&a, &IluOptions::default()).unwrap();
         // Javelin permutes internally; compare through the permutation.
         let pa = a.permute_sym(jav.perm()).unwrap();
         let _ = pa;
@@ -296,7 +296,7 @@ mod tests {
             HeavyIlu::factor(&a, &HeavyOptions::default()),
             Err(SparseError::ZeroPivot { row: 1 })
         ));
-        assert!(IluFactorization::compute(&a, &IluOptions::default()).is_ok());
+        assert!(factorize(&a, &IluOptions::default()).is_ok());
     }
 
     #[test]

@@ -18,7 +18,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use javelin_core::spmv::{spmv_csr5lite, SpmvPlan};
-use javelin_core::{ApplyScratch, IluFactorization, IluOptions, Preconditioner};
+use javelin_core::{factorize, ApplyScratch, IluOptions, Preconditioner};
 use javelin_sync::{pool, WorkerTeam};
 use javelin_synth::grid::laplace_2d;
 
@@ -60,8 +60,7 @@ fn bench_apply(c: &mut Criterion) {
         let tile = 512usize;
         for nthreads in [1usize, 2, 4] {
             // Steady-state path: plan once, execute per iteration.
-            let f =
-                IluFactorization::compute(&a, &IluOptions::ilu0(nthreads)).expect("factorization");
+            let f = factorize(&a, &IluOptions::ilu0(nthreads)).expect("factorization");
             let plan = SpmvPlan::new(&a, nthreads, tile);
             let mut scratch = ApplyScratch::new();
             let mut z = vec![0.0; n];
@@ -80,7 +79,7 @@ fn bench_apply(c: &mut Criterion) {
             // planning, per-call thread spawns.
             let mut opts = IluOptions::ilu0(nthreads);
             opts.persistent_team = false;
-            let f0 = IluFactorization::compute(&a, &opts).expect("factorization");
+            let f0 = factorize(&a, &opts).expect("factorization");
             group.bench_function(
                 BenchmarkId::new(format!("oneshot/{label}"), nthreads),
                 |b| {

@@ -15,7 +15,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use javelin_core::spmv::SpmvPlan;
-use javelin_core::{IluFactorization, IluOptions, SolveEngine};
+use javelin_core::{factorize, IluOptions, SolveEngine};
 use javelin_sparse::{Panel, PanelMut};
 use javelin_synth::grid::laplace_2d;
 use javelin_synth::util::rhs_panel;
@@ -33,7 +33,7 @@ fn bench_panel_apply(c: &mut Criterion) {
         ("serial", SolveEngine::Serial, 1usize),
         ("p2p", SolveEngine::PointToPointLower, 2),
     ] {
-        let f = IluFactorization::compute(&a, &IluOptions::ilu0(nthreads)).expect("factorization");
+        let f = factorize(&a, &IluOptions::ilu0(nthreads)).expect("factorization");
         for k in [1usize, 4, 8] {
             let r = rhs_panel(n, k, 42);
             // Steady state: warm buffers/scratch widths outside the timer.

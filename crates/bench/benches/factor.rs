@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use javelin_bench::harness::preorder_dm_nd;
 use javelin_core::symbolic::{iluk_pattern_parallel, iluk_pattern_serial};
-use javelin_core::{IluFactorization, IluOptions, LowerMethod};
+use javelin_core::{factorize, IluOptions, LowerMethod};
 use javelin_synth::suite::{suite_matrix, Scale};
 
 fn bench_factor(c: &mut Criterion) {
@@ -19,15 +19,15 @@ fn bench_factor(c: &mut Criterion) {
                 .build_at(Scale::Tiny),
         );
         group.bench_with_input(BenchmarkId::new("serial", name), &a, |b, a| {
-            b.iter(|| IluFactorization::compute(a, &IluOptions::default()).unwrap());
+            b.iter(|| factorize(a, &IluOptions::default()).unwrap());
         });
         group.bench_with_input(BenchmarkId::new("ls_only", name), &a, |b, a| {
-            b.iter(|| IluFactorization::compute(a, &IluOptions::level_scheduling_only(1)).unwrap());
+            b.iter(|| factorize(a, &IluOptions::level_scheduling_only(1)).unwrap());
         });
         let mut er = IluOptions::ilu0(1);
         er.lower_method = LowerMethod::EvenRows;
         group.bench_with_input(BenchmarkId::new("two_stage_er", name), &a, |b, a| {
-            b.iter(|| IluFactorization::compute(a, &er).unwrap());
+            b.iter(|| factorize(a, &er).unwrap());
         });
     }
     group.finish();

@@ -1,0 +1,39 @@
+//! Criterion group `refactor-vs-compute`: the numeric-only speedup of
+//! the two-phase API on the paper suite. For each matrix it measures
+//! (a) the legacy fused pipeline (`factorize`: symbolic + analysis +
+//! numeric every call) against (b) `IluFactors::refactor` (numeric
+//! phase only, reusing the symbolic analysis, schedules, worker team
+//! and scratch) — the amortization a time stepper banks every step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use javelin_bench::harness::preorder_dm_nd;
+use javelin_core::{factorize, IluOptions, SymbolicIlu};
+use javelin_synth::suite::{suite_matrix, Scale};
+use javelin_synth::util::revalue;
+
+fn bench_refactor_vs_compute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("refactor-vs-compute");
+    group.sample_size(10);
+    for name in ["ecology2-like", "transient-like", "tsopf-like"] {
+        let a = preorder_dm_nd(
+            &suite_matrix(name)
+                .expect("suite member")
+                .build_at(Scale::Tiny),
+        );
+        let a2 = revalue(&a, 0.37, 0.02);
+        let opts = IluOptions::default();
+        group.bench_with_input(BenchmarkId::new("compute_full", name), &a2, |b, a2| {
+            b.iter(|| factorize(a2, &opts).unwrap());
+        });
+        let sym = SymbolicIlu::analyze(&a, &opts).expect("analysis");
+        let mut f = sym.factor(&a).expect("numeric phase");
+        f.refactor(&a2).expect("warm-up");
+        group.bench_with_input(BenchmarkId::new("refactor_numeric", name), &a2, |b, a2| {
+            b.iter(|| f.refactor(a2).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_refactor_vs_compute);
+criterion_main!(benches);

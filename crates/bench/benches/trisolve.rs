@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use javelin_bench::harness::preorder_dm_nd;
 use javelin_core::options::SolveEngine;
-use javelin_core::{IluFactorization, IluOptions};
+use javelin_core::{factorize, IluOptions};
 use javelin_synth::suite::{suite_matrix, Scale};
 
 fn bench_trisolve(c: &mut Criterion) {
@@ -15,7 +15,7 @@ fn bench_trisolve(c: &mut Criterion) {
             .expect("member")
             .build_at(Scale::Tiny),
     );
-    let f = IluFactorization::compute(&a, &IluOptions::default()).unwrap();
+    let f = factorize(&a, &IluOptions::default()).unwrap();
     let n = a.nrows();
     let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64).collect();
     for engine in [

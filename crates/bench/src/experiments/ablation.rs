@@ -13,7 +13,7 @@
 //! schedules; wait counts are exact.
 
 use crate::harness::{prepare, Table};
-use javelin_core::{IluFactorization, IluOptions, LowerMethod};
+use javelin_core::{factorize, IluOptions, LowerMethod};
 use javelin_level::{P2PSchedule, RowMapping};
 use javelin_machine::{sim_factor_time, MachineModel};
 use javelin_sparse::pattern::LevelPattern;
@@ -69,7 +69,7 @@ pub fn run(scale: Scale) -> String {
         for pat in [LevelPattern::LowerSymmetrized, LevelPattern::LowerA] {
             let mut opts = IluOptions::level_scheduling_only(1);
             opts.level_pattern = pat;
-            let f = IluFactorization::compute(&prep.matrix, &opts).expect("factors");
+            let f = factorize(&prep.matrix, &opts).expect("factors");
             lvls.push(f.stats().n_levels.to_string());
             let base = sim_factor_time(&f, &h14, 1).total_s;
             spd.push(format!(
@@ -91,8 +91,7 @@ pub fn run(scale: Scale) -> String {
         .filter(|m| CASES.contains(&m.name))
     {
         let prep = prepare(meta, scale);
-        let f = IluFactorization::compute(&prep.matrix, &IluOptions::level_scheduling_only(1))
-            .expect("factors");
+        let f = factorize(&prep.matrix, &IluOptions::level_scheduling_only(1)).expect("factors");
         let lu = f.lu();
         let dp = f.diag_positions();
         let n_upper = f.plan().n_upper;
@@ -140,7 +139,7 @@ pub fn run(scale: Scale) -> String {
             let mut opts = IluOptions::ilu0(1);
             opts.lower_method = LowerMethod::SegmentedRows;
             opts.tile_size = tile;
-            let f = IluFactorization::compute(&prep.matrix, &opts).expect("factors");
+            let f = factorize(&prep.matrix, &opts).expect("factors");
             if i == 0 {
                 cells.push(longest_sr_segment(&f).to_string());
             }
@@ -175,7 +174,7 @@ pub fn run(scale: Scale) -> String {
                 }
                 None => IluOptions::level_scheduling_only(1),
             };
-            let f = IluFactorization::compute(&prep.matrix, &opts).expect("factors");
+            let f = factorize(&prep.matrix, &opts).expect("factors");
             let t14 = sim_factor_time(&f, &h14, 14).total_s;
             cells.push(format!("{:.1}us", t14 * 1e6));
         }

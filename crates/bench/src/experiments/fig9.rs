@@ -10,7 +10,7 @@
 
 use crate::harness::{prepare, time_best_of, Table};
 use javelin_baseline::{HeavyIlu, HeavyOptions};
-use javelin_core::{IluFactorization, IluOptions};
+use javelin_core::{factorize, IluOptions};
 use javelin_machine::{sim_factor_time, sim_heavy_factor_time, MachineModel};
 use javelin_synth::suite::{paper_suite, Scale};
 
@@ -26,8 +26,7 @@ pub fn run(scale: Scale) -> String {
         let prep = prepare(meta, scale);
         let a = &prep.matrix;
         let mut cells = vec![prep.meta.name.to_string()];
-        let jav = IluFactorization::compute(a, &IluOptions::level_scheduling_only(1))
-            .expect("javelin factors");
+        let jav = factorize(a, &IluOptions::level_scheduling_only(1)).expect("javelin factors");
         match HeavyIlu::factor(a, &heavy_opts) {
             Ok(heavy) => {
                 // Measured serial ratio (real wall clock on this host):
@@ -37,7 +36,7 @@ pub fn run(scale: Scale) -> String {
                 });
                 let t_jav = (0..3)
                     .map(|_| {
-                        IluFactorization::compute(a, &IluOptions::level_scheduling_only(1))
+                        factorize(a, &IluOptions::level_scheduling_only(1))
                             .expect("factors")
                             .stats()
                             .t_numeric

@@ -9,7 +9,7 @@
 
 use crate::harness::Table;
 use javelin_baseline::{HeavyIlu, HeavyOptions};
-use javelin_core::{IluFactorization, IluOptions};
+use javelin_core::{factorize, IluOptions};
 use javelin_order::{compute_order, Ordering as Ord};
 use javelin_solver::{pcg, SolverOptions};
 use javelin_sparse::CsrMatrix;
@@ -36,7 +36,7 @@ fn iterations_plain(a: &CsrMatrix<f64>) -> String {
 fn iterations_ls(a: &CsrMatrix<f64>) -> String {
     // Javelin's level-set ordering imposed on top (pure level
     // scheduling, serial numeric).
-    match IluFactorization::compute(a, &IluOptions::level_scheduling_only(1)) {
+    match factorize(a, &IluOptions::level_scheduling_only(1)) {
         Ok(f) => {
             let b = vec![1.0; a.nrows()];
             let mut x = vec![0.0; a.nrows()];

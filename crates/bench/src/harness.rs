@@ -62,15 +62,14 @@ pub struct FactorSet {
 
 /// Builds the three standard configurations for one matrix.
 pub fn factor_variants(a: &CsrMatrix<f64>) -> FactorSet {
-    use javelin_core::{IluFactorization, IluOptions, LowerMethod};
-    let ls = IluFactorization::compute(a, &IluOptions::level_scheduling_only(1))
-        .expect("LS factorization");
+    use javelin_core::{factorize, IluOptions, LowerMethod};
+    let ls = factorize(a, &IluOptions::level_scheduling_only(1)).expect("LS factorization");
     let mut er_opts = IluOptions::ilu0(1);
     er_opts.lower_method = LowerMethod::EvenRows;
-    let er = IluFactorization::compute(a, &er_opts).expect("ER factorization");
+    let er = factorize(a, &er_opts).expect("ER factorization");
     let mut sr_opts = IluOptions::ilu0(1);
     sr_opts.lower_method = LowerMethod::SegmentedRows;
-    let sr = IluFactorization::compute(a, &sr_opts).expect("SR factorization");
+    let sr = factorize(a, &sr_opts).expect("SR factorization");
     FactorSet { ls, er, sr }
 }
 

@@ -1,25 +1,17 @@
-//! The factorization pipeline and the resulting preconditioner object.
+//! Numeric factor objects — the value-carrying half of the two-phase
+//! symbolic/numeric API (see [`crate::symbolic_ilu`]) — plus the legacy
+//! one-shot pipeline entry.
 
-use crate::numeric::kernel::LuVals;
-use crate::numeric::{lower, parallel, NumericCtx};
-use crate::options::{IluOptions, LowerMethod, SolveEngine};
+use crate::options::SolveEngine;
 use crate::stats::FactorStats;
-use crate::symbolic;
-use crate::trisolve::engines::SolveScratch;
+use crate::symbolic_ilu::SymbolicIlu;
 use crate::trisolve::{engines, serial};
-use javelin_level::{split_levels, LevelSets, P2PSchedule};
-use javelin_sparse::pattern::{
-    level_pattern_of, lower_of_pattern, upper_of_pattern, LevelPattern, SparsityPattern,
-};
+use javelin_level::{LevelSets, P2PSchedule};
 use javelin_sparse::{CsrMatrix, Panel, PanelMut, Perm, Scalar, SparseError};
 use javelin_sync::Exec;
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
-use std::time::Instant;
 
 /// Everything the triangular-solve engines need, precomputed once at
-/// factorization time — the co-design the paper stresses: the factor
+/// analysis time — the co-design the paper stresses: the factor
 /// layout *is* the solve layout.
 #[derive(Debug)]
 pub struct SolvePlan {
@@ -53,339 +45,104 @@ pub struct SolvePlan {
 /// An incomplete LU factorization `P·A·Pᵀ ≈ L·U` packaged for fast
 /// repeated triangular solves.
 ///
-/// Beyond the factor values, this carries the full execution state of
-/// the solve hot loop: the [`SolvePlan`] (schedules, levels, the
-/// trailing-block layout), a reusable [`SolveScratch`] (counters,
-/// barrier, tiled-gather partials, the in-place solve buffer) and an
-/// [`Exec`] — by default a persistent worker team — so that after
-/// `compute` returns, every solve runs with zero heap allocations and
-/// zero thread spawns. The scratch is mutex-guarded: concurrent applies
-/// from different threads serialize instead of racing.
+/// Beyond the factor values, this holds a [`SymbolicIlu`] handle — the
+/// pattern-dependent execution state shared by every factor object of
+/// one analysis: the [`SolvePlan`] (schedules, levels, the
+/// trailing-block layout), a reusable solve scratch (counters, barrier,
+/// tiled-gather partials, the in-place solve buffer) and an
+/// [`Exec`] — by default a persistent worker team — so that after the
+/// numeric phase returns, every solve runs with zero heap allocations
+/// and zero thread spawns. The scratch is mutex-guarded: concurrent
+/// applies from different threads serialize instead of racing.
+///
+/// For time-stepping workloads, [`IluFactors::refactor`] redoes only
+/// the numeric phase in place when the values change but the pattern
+/// does not.
 pub struct IluFactors<T> {
+    sym: SymbolicIlu<T>,
     lu: CsrMatrix<T>,
-    diag_pos: Vec<usize>,
-    perm: Perm,
-    plan: SolvePlan,
-    nthreads: usize,
-    tile_size: usize,
     stats: FactorStats,
-    exec: Exec,
-    scratch: Mutex<SolveScratch<T>>,
-    /// Engine used when none is named, chosen at plan time from the
-    /// thread count and `std::thread::available_parallelism()`.
-    engine_hint: SolveEngine,
 }
 
-/// Runs the full pipeline (see crate docs).
+/// Runs the full pipeline in one call: symbolic analysis plus numeric
+/// factorization (see crate docs). Prefer the explicit two-phase form —
+/// [`SymbolicIlu::analyze`] then [`SymbolicIlu::factor`] — whenever the
+/// same pattern is factored more than once.
+///
+/// # Errors
+/// Everything [`SymbolicIlu::analyze`] and [`SymbolicIlu::factor`] can
+/// return.
+pub fn factorize<T: Scalar>(
+    a: &CsrMatrix<T>,
+    opts: &crate::options::IluOptions,
+) -> Result<IluFactors<T>, SparseError> {
+    SymbolicIlu::analyze(a, opts)?.factor(a)
+}
+
+/// The legacy fused entry point (symbolic + numeric in one call,
+/// no refactorization).
+///
+/// # Errors
+/// See [`factorize`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use `SymbolicIlu::analyze` + `SymbolicIlu::factor` (or the one-shot \
+            `factorize`) so pattern-stable workloads can call `IluFactors::refactor`; \
+            applications should prefer the `javelin::Session` façade"
+)]
 pub fn compute<T: Scalar>(
     a: &CsrMatrix<T>,
-    opts: &IluOptions,
+    opts: &crate::options::IluOptions,
 ) -> Result<IluFactors<T>, SparseError> {
-    if !a.is_square() {
-        return Err(SparseError::NotSquare {
-            nrows: a.nrows(),
-            ncols: a.ncols(),
-        });
-    }
-    let n = a.nrows();
-    let nthreads = opts.nthreads.max(1);
-    if let Some(team) = &opts.shared_team {
-        if team.nthreads() != nthreads {
-            return Err(SparseError::DimensionMismatch(format!(
-                "shared worker team has {} participants, options request nthreads = {}",
-                team.nthreads(),
-                nthreads
-            )));
-        }
-    }
-    let mut stats = FactorStats {
-        n,
-        nnz_a: a.nnz(),
-        ..Default::default()
-    };
-
-    // ---- Symbolic: the ILU(k) pattern (paper: "predetermining the
-    // sparsity pattern"). -------------------------------------------
-    let t0 = Instant::now();
-    let s: SparsityPattern = if opts.parallel_symbolic {
-        symbolic::iluk_pattern_parallel(a, opts.fill_level, nthreads)?
-    } else {
-        symbolic::iluk_pattern_serial(a, opts.fill_level)?
-    };
-    stats.t_symbolic = t0.elapsed();
-    stats.nnz_lu = s.nnz();
-
-    // ---- Analysis: levels, two-stage split, permutation, schedules. --
-    let t1 = Instant::now();
-    let lvl_pattern = level_pattern_of(&s, opts.level_pattern);
-    let levels0 = LevelSets::compute_lower(&lvl_pattern);
-    stats.n_levels = levels0.n_levels();
-    let row_nnz: Vec<usize> = (0..n).map(|r| s.rowptr()[r + 1] - s.rowptr()[r]).collect();
-    let plan0 = split_levels(&levels0, &row_nnz, &opts.split);
-    stats.n_upper_levels = plan0.n_upper_levels();
-    stats.n_lower_rows = plan0.n_lower();
-    let perm = plan0.perm.clone();
-    let n_upper = plan0.n_upper;
-
-    // Permute the pattern and pull in A's values (fill positions start
-    // at zero) — the paper's "copy-fill-in phase", done row-wise so a
-    // NUMA-aware allocator would first-touch correctly.
-    let old_to_new = perm.old_to_new();
-    let new_to_old = perm.new_to_old();
-    let mut rowptr = vec![0usize; n + 1];
-    let mut colidx: Vec<usize> = Vec::with_capacity(s.nnz());
-    let mut vals: Vec<T> = Vec::with_capacity(s.nnz());
-    {
-        let mut scratch: Vec<(usize, T)> = Vec::new();
-        for new_r in 0..n {
-            let old_r = new_to_old[new_r];
-            scratch.clear();
-            // Merge: S row ⊇ A row, both sorted by old column.
-            let a_cols = a.row_cols(old_r);
-            let a_vals = a.row_vals(old_r);
-            let mut ai = 0usize;
-            for &old_c in s.row_cols(old_r) {
-                let v = if ai < a_cols.len() && a_cols[ai] == old_c {
-                    let v = a_vals[ai];
-                    ai += 1;
-                    v
-                } else {
-                    T::ZERO
-                };
-                scratch.push((old_to_new[old_c], v));
-            }
-            debug_assert_eq!(ai, a_cols.len(), "A row not contained in pattern row");
-            scratch.sort_unstable_by_key(|&(c, _)| c);
-            for &(c, v) in scratch.iter() {
-                colidx.push(c);
-                vals.push(v);
-            }
-            rowptr[new_r + 1] = colidx.len();
-        }
-    }
-    let diag_pos: Vec<usize> = (0..n)
-        .map(|r| {
-            rowptr[r]
-                + colidx[rowptr[r]..rowptr[r + 1]]
-                    .binary_search(&r)
-                    .expect("diagonal survives symmetric permutation")
-        })
-        .collect();
-
-    // τ drop thresholds, relative to the original row norms (Saad's
-    // ILUT convention).
-    let drop_thresh: Vec<T> = if opts.drop_tol > 0.0 {
-        (0..n)
-            .map(|new_r| {
-                let old_r = new_to_old[new_r];
-                let norm = a.row_vals(old_r).iter().map(|&v| v * v).sum::<T>().sqrt();
-                T::from_f64(opts.drop_tol) * norm
-            })
-            .collect()
-    } else {
-        Vec::new()
-    };
-
-    // Forward schedule over the upper stage. Dependencies are the
-    // strictly-lower columns of the *permuted* pattern — always sound,
-    // even when `lower(A)` levels let same-level dependencies appear
-    // (the point-to-point runtime only needs execution-index order).
-    let mut raw_deps = 0usize;
-    let fwd = P2PSchedule::build(n_upper, nthreads, &plan0.upper_level_ptr, |r, out| {
-        for k in rowptr[r]..rowptr[r + 1] {
-            let c = colidx[k];
-            if c >= r {
-                break;
-            }
-            debug_assert!(c < n_upper, "upper-stage row depends on trailing row");
-            out.push(c);
-        }
-        raw_deps += out.len();
-    });
-    stats.n_raw_deps = raw_deps;
-    stats.n_waits = fwd.n_waits();
-
-    // Backward schedule over the upper stage (upper-pattern deps
-    // restricted to columns < n_upper; corner columns are solved before
-    // the parallel region starts).
-    let bwd_levels_upper = {
-        let mut bp = vec![0usize; n_upper + 1];
-        let mut bc = Vec::new();
-        for r in 0..n_upper {
-            for k in (diag_pos[r] + 1)..rowptr[r + 1] {
-                let c = colidx[k];
-                if c < n_upper {
-                    bc.push(c);
-                }
-            }
-            bp[r + 1] = bc.len();
-        }
-        LevelSets::compute_upper(&SparsityPattern::from_raw(n_upper, n_upper, bp, bc))
-    };
-    let bwd_row_of_task: Vec<usize> = bwd_levels_upper.rows_in_level_order().to_vec();
-    let mut bwd_task_of_row = vec![0usize; n_upper];
-    for (t, &r) in bwd_row_of_task.iter().enumerate() {
-        bwd_task_of_row[r] = t;
-    }
-    let bwd = P2PSchedule::build(
-        n_upper,
-        nthreads,
-        bwd_levels_upper.level_ptr(),
-        |task, out| {
-            let r = bwd_row_of_task[task];
-            for k in (diag_pos[r] + 1)..rowptr[r + 1] {
-                let c = colidx[k];
-                if c < n_upper {
-                    out.push(bwd_task_of_row[c]);
-                }
-            }
-        },
-    );
-
-    // Full-matrix levels for the CSR-LS baseline engine.
-    let permuted_pattern = SparsityPattern::from_raw(n, n, rowptr.clone(), colidx.clone());
-    let fwd_levels = LevelSets::compute_lower(&lower_of_pattern(&permuted_pattern));
-    let bwd_levels = LevelSets::compute_upper(&upper_of_pattern(&permuted_pattern));
-
-    // Trailing-block segment structure for the tiled solve.
-    let n_lower = n - n_upper;
-    let mut block_rows = Vec::with_capacity(n_lower);
-    let mut block_seg_ptr = Vec::with_capacity(n_lower + 1);
-    block_seg_ptr.push(0usize);
-    for r in n_upper..n {
-        let lo = rowptr[r];
-        let hi = lo + colidx[lo..rowptr[r + 1]].partition_point(|&c| c < n_upper);
-        block_rows.push((lo, hi));
-        block_seg_ptr.push(block_seg_ptr.last().expect("nonempty") + (hi - lo));
-    }
-    stats.t_analysis = t1.elapsed();
-
-    // ---- Numeric factorization. --------------------------------------
-    let t2 = Instant::now();
-    let lu_vals = LuVals::from_values(&vals);
-    let replaced = AtomicUsize::new(0);
-    let dropped = AtomicUsize::new(0);
-    let failed = AtomicUsize::new(usize::MAX);
-    let ctx = NumericCtx {
-        rowptr: &rowptr,
-        colidx: &colidx,
-        diag_pos: &diag_pos,
-        vals: &lu_vals,
-        drop_thresh: &drop_thresh,
-        milu_omega: T::from_f64(opts.milu_omega),
-        pivot_threshold: T::from_f64(opts.pivot_threshold),
-        zero_pivot: opts.zero_pivot,
-        replaced: &replaced,
-        dropped: &dropped,
-        failed_row: &failed,
-    };
-    let method = resolve_lower_method(opts, n_lower, nthreads);
-    stats.lower_method = method;
-    if nthreads == 1 {
-        parallel::factor_serial(&ctx);
-    } else {
-        parallel::factor_upper_p2p(&ctx, &fwd);
-        if n_lower > 0 {
-            match method {
-                LowerMethod::SegmentedRows => lower::factor_lower_sr(
-                    &ctx,
-                    n_upper,
-                    &plan0.upper_level_ptr,
-                    nthreads,
-                    opts.tile_size,
-                    opts.parallel_corner,
-                ),
-                LowerMethod::EvenRows => {
-                    lower::factor_lower_er(&ctx, n_upper, nthreads, opts.parallel_corner)
-                }
-                LowerMethod::Auto => unreachable!("resolved above"),
-            }
-        }
-    }
-    stats.replaced_pivots = replaced.load(Ordering::Relaxed);
-    stats.dropped_entries = dropped.load(Ordering::Relaxed);
-    stats.t_numeric = t2.elapsed();
-    let failed_row = failed.load(Ordering::Relaxed);
-    if failed_row != usize::MAX {
-        return Err(SparseError::ZeroPivot {
-            row: failed_row - 1,
-        });
-    }
-
-    let lu = CsrMatrix::from_raw_unchecked(n, n, rowptr, colidx, lu_vals.into_values());
-    let plan = SolvePlan {
-        n_upper,
-        upper_level_ptr: plan0.upper_level_ptr,
-        fwd,
-        bwd,
-        bwd_row_of_task,
-        bwd_level_ptr: bwd_levels_upper.level_ptr().to_vec(),
-        fwd_levels,
-        bwd_levels,
-        block_rows,
-        block_seg_ptr,
-    };
-    // Solve execution state, built once: a caller-shared team if one
-    // was provided, else a persistent team (or the scoped spawn
-    // fallback), plus the allocation-free engine scratch.
-    let exec = if let Some(team) = &opts.shared_team {
-        Exec::with_team(Arc::clone(team))
-    } else if nthreads == 1 || !opts.persistent_team {
-        Exec::spawn(nthreads)
-    } else {
-        Exec::team(nthreads)
-    };
-    // Oversubscription-aware default engine, picked at plan time (the
-    // only moment the whole execution state is in hand): when the
-    // requested thread count exceeds the machine's cores, the
-    // point-to-point engines' spin waits churn against each other on
-    // shared cores and lose to plain serial substitution, so the
-    // unnamed-engine path falls back. Explicit engines remain available
-    // through `solve_with` for measurements.
-    let cores = std::thread::available_parallelism()
-        .map(|c| c.get())
-        .unwrap_or(1);
-    let engine_hint = if nthreads == 1 || nthreads > cores {
-        SolveEngine::Serial
-    } else {
-        SolveEngine::PointToPointLower
-    };
-    let scratch = Mutex::new(SolveScratch::new(&plan, n, nthreads, opts.tile_size));
-    Ok(IluFactors {
-        lu,
-        diag_pos,
-        perm,
-        plan,
-        nthreads,
-        tile_size: opts.tile_size,
-        stats,
-        exec,
-        scratch,
-        engine_hint,
-    })
-}
-
-/// Resolves `LowerMethod::Auto` per the paper's guidance: SR when the
-/// demoted rows are too few for row-level parallelism (and the
-/// symmetrized level pattern makes SR's block independence valid),
-/// otherwise ER.
-fn resolve_lower_method(opts: &IluOptions, n_lower: usize, nthreads: usize) -> LowerMethod {
-    let sr_ok = opts.level_pattern == LevelPattern::LowerSymmetrized;
-    match opts.lower_method {
-        LowerMethod::SegmentedRows if sr_ok => LowerMethod::SegmentedRows,
-        LowerMethod::SegmentedRows => LowerMethod::EvenRows, // lower(A): SR invalid
-        LowerMethod::EvenRows => LowerMethod::EvenRows,
-        LowerMethod::Auto => {
-            if sr_ok && n_lower < opts.sr_thread_mult * nthreads {
-                LowerMethod::SegmentedRows
-            } else {
-                LowerMethod::EvenRows
-            }
-        }
-    }
+    factorize(a, opts)
 }
 
 impl<T: Scalar> IluFactors<T> {
+    /// Assembles a factor object (numeric-phase internal constructor).
+    pub(crate) fn from_parts(sym: SymbolicIlu<T>, lu: CsrMatrix<T>, stats: FactorStats) -> Self {
+        IluFactors { sym, lu, stats }
+    }
+
+    /// The symbolic analysis these factors were produced from. Cloning
+    /// the handle is cheap and shares the plans, worker team and
+    /// scratch.
+    pub fn symbolic(&self) -> &SymbolicIlu<T> {
+        &self.sym
+    }
+
+    /// Redoes the **numeric phase only**, in place, for a matrix with
+    /// exactly the analyzed sparsity pattern but new values — the
+    /// time-stepping entry point. The symbolic analysis, level
+    /// schedules, trisolve/spmv plans, permutation, worker team and all
+    /// scratch buffers are reused verbatim: in the steady state this
+    /// performs **zero heap allocations and zero thread spawns** (the
+    /// planned engines run as regions on the persistent team).
+    ///
+    /// The resulting factor values are **bit-identical** to a fresh
+    /// [`SymbolicIlu::factor`] of the same matrix — the engines'
+    /// determinism contract, enforced by the test suite.
+    ///
+    /// # Errors
+    /// * [`SparseError::PatternMismatch`] when `a`'s pattern differs
+    ///   from the analyzed one (the factors are left untouched);
+    /// * [`SparseError::ZeroPivot`] under
+    ///   [`crate::ZeroPivotPolicy::Error`] when a pivot collapses — the
+    ///   factor values and statistics then keep the previous successful
+    ///   factorization, so the old preconditioner stays usable.
+    pub fn refactor(&mut self, a: &CsrMatrix<T>) -> Result<(), SparseError> {
+        self.sym
+            .refactor_into(a, self.lu.vals_mut(), &mut self.stats)
+    }
+
+    /// Pre-grows the internal solve scratch to panel width `k`, so the
+    /// first width-`k` panel solve is already allocation-free. Widths
+    /// are grow-only; narrower panels reuse the wide buffers.
+    pub fn reserve_panel_width(&self, k: usize) {
+        if k > 1 {
+            self.sym.core().scratch.lock().ensure_width(k);
+        }
+    }
+
     /// Matrix dimension.
     pub fn n(&self) -> usize {
         self.lu.nrows()
@@ -399,12 +156,12 @@ impl<T: Scalar> IluFactors<T> {
 
     /// Diagonal entry positions within the LU arrays.
     pub fn diag_positions(&self) -> &[usize] {
-        &self.diag_pos
+        &self.sym.core().diag_pos
     }
 
     /// The two-stage level permutation `P` (`LU ≈ P·A·Pᵀ`).
     pub fn perm(&self) -> &Perm {
-        &self.perm
+        &self.sym.core().perm
     }
 
     /// Factorization statistics.
@@ -414,17 +171,17 @@ impl<T: Scalar> IluFactors<T> {
 
     /// The solve plan (schedules, levels, trailing-block layout).
     pub fn plan(&self) -> &SolvePlan {
-        &self.plan
+        &self.sym.core().plan
     }
 
     /// Threads the factors were built for.
     pub fn nthreads(&self) -> usize {
-        self.nthreads
+        self.sym.core().nthreads
     }
 
     /// Tile size used by Segmented-Rows and the tiled solve kernels.
     pub fn tile_size(&self) -> usize {
-        self.tile_size
+        self.sym.core().tile_size
     }
 
     /// Splits the combined factor into `(L, U)` with L's unit diagonal
@@ -458,7 +215,7 @@ impl<T: Scalar> IluFactors<T> {
     /// point-to-point spin waits would churn against each other on
     /// shared cores.
     pub fn default_engine(&self) -> SolveEngine {
-        self.engine_hint
+        self.sym.core().engine_hint
     }
 
     /// Solves `A·x ≈ b` through the factors with the default engine
@@ -485,10 +242,10 @@ impl<T: Scalar> IluFactors<T> {
             )));
         }
         // Permuted RHS.
-        let mut z = self.perm.apply_vec(b);
+        let mut z = self.perm().apply_vec(b);
         self.solve_permuted_inplace(engine, &mut z);
         // Un-permute into x.
-        for (i, &o) in self.perm.new_to_old().iter().enumerate() {
+        for (i, &o) in self.perm().new_to_old().iter().enumerate() {
             x[o] = z[i];
         }
         Ok(())
@@ -519,12 +276,12 @@ impl<T: Scalar> IluFactors<T> {
             )));
         }
         perm_buf.resize(n, T::ZERO);
-        let old_to_new = self.perm.old_to_new();
+        let old_to_new = self.perm().old_to_new();
         for (o, &bo) in b.iter().enumerate() {
             perm_buf[old_to_new[o]] = bo;
         }
         self.solve_permuted_inplace(engine, perm_buf);
-        for (i, &o) in self.perm.new_to_old().iter().enumerate() {
+        for (i, &o) in self.perm().new_to_old().iter().enumerate() {
             x[o] = perm_buf[i];
         }
         Ok(())
@@ -532,7 +289,7 @@ impl<T: Scalar> IluFactors<T> {
 
     /// The execution context solves run on (persistent team by default).
     pub fn exec(&self) -> &Exec {
-        &self.exec
+        &self.sym.core().exec
     }
 
     /// Runs forward + backward substitution on an already-permuted
@@ -540,17 +297,16 @@ impl<T: Scalar> IluFactors<T> {
     /// permutation overhead, mirroring the paper's Fig. 12 measurement.
     ///
     /// Allocation-free: the parallel engines run through the reusable
-    /// [`SolveScratch`] on the factorization's [`Exec`] (a persistent
-    /// team by default). Concurrent callers serialize on the scratch
-    /// mutex.
+    /// solve scratch on the analysis's [`Exec`] (a persistent team by
+    /// default). Concurrent callers serialize on the scratch mutex.
     pub fn solve_permuted_inplace(&self, engine: SolveEngine, z: &mut [T]) {
         match engine {
             SolveEngine::Serial => {
-                serial::forward_inplace(&self.lu, &self.diag_pos, z);
-                serial::backward_inplace(&self.lu, &self.diag_pos, z);
+                serial::forward_inplace(&self.lu, self.diag_positions(), z);
+                serial::backward_inplace(&self.lu, self.diag_positions(), z);
             }
             _ => {
-                let mut scratch = self.scratch.lock();
+                let mut scratch = self.sym.core().scratch.lock();
                 scratch.ensure_width(1);
                 scratch.load_cols(Panel::from_col(z));
                 self.run_parallel_engine(engine, &scratch);
@@ -561,16 +317,21 @@ impl<T: Scalar> IluFactors<T> {
 
     /// Dispatches a non-serial engine over the scratch's loaded `xbuf`
     /// at its current panel width.
-    fn run_parallel_engine(&self, engine: SolveEngine, scratch: &SolveScratch<T>) {
+    fn run_parallel_engine(
+        &self,
+        engine: SolveEngine,
+        scratch: &crate::trisolve::engines::SolveScratch<T>,
+    ) {
+        let core = self.sym.core();
         match engine {
             SolveEngine::Serial => unreachable!("serial substitution has no parallel scratch"),
             SolveEngine::BarrierLevel => engines::solve_barrier_fused(
                 &self.lu,
-                &self.diag_pos,
-                &self.plan.fwd_levels,
-                &self.plan.bwd_levels,
+                &core.diag_pos,
+                &core.plan.fwd_levels,
+                &core.plan.bwd_levels,
                 scratch,
-                &self.exec,
+                &core.exec,
                 &scratch.xbuf,
             ),
             SolveEngine::PointToPoint | SolveEngine::PointToPointLower => {
@@ -581,10 +342,10 @@ impl<T: Scalar> IluFactors<T> {
                 };
                 engines::solve_p2p_fused(
                     &self.lu,
-                    &self.diag_pos,
-                    &self.plan,
+                    &core.diag_pos,
+                    &core.plan,
                     scratch,
-                    &self.exec,
+                    &core.exec,
                     tiles,
                     &scratch.xbuf,
                 );
@@ -655,8 +416,8 @@ impl<T: Scalar> IluFactors<T> {
         if perm_buf.len() < n * k {
             perm_buf.resize(n * k, T::ZERO);
         }
-        let old_to_new = self.perm.old_to_new();
-        let new_to_old = self.perm.new_to_old();
+        let old_to_new = self.perm().old_to_new();
+        let new_to_old = self.perm().new_to_old();
         let mut z = PanelMut::new(&mut perm_buf[..n * k], n, k);
         for c in 0..k {
             let bc = b.col(c);
@@ -688,11 +449,11 @@ impl<T: Scalar> IluFactors<T> {
         }
         match engine {
             SolveEngine::Serial => {
-                serial::forward_panel_inplace(&self.lu, &self.diag_pos, z);
-                serial::backward_panel_inplace(&self.lu, &self.diag_pos, z);
+                serial::forward_panel_inplace(&self.lu, self.diag_positions(), z);
+                serial::backward_panel_inplace(&self.lu, self.diag_positions(), z);
             }
             _ => {
-                let mut scratch = self.scratch.lock();
+                let mut scratch = self.sym.core().scratch.lock();
                 scratch.ensure_width(z.ncols());
                 scratch.load_cols(z.as_panel());
                 self.run_parallel_engine(engine, &scratch);
@@ -716,9 +477,10 @@ impl<T: Scalar> IluFactors<T> {
     /// (input not SPD, or dropping destroyed definiteness).
     pub fn to_incomplete_cholesky(&self) -> Result<CsrMatrix<T>, SparseError> {
         let n = self.n();
+        let diag_pos = self.diag_positions();
         // sqrt of pivots, validated.
         let mut sqrt_d = Vec::with_capacity(n);
-        for (r, &dp) in self.diag_pos.iter().enumerate() {
+        for (r, &dp) in diag_pos.iter().enumerate() {
             let d = self.lu.vals()[dp];
             if !(d > T::ZERO) {
                 return Err(SparseError::ZeroPivot { row: r });
@@ -729,7 +491,7 @@ impl<T: Scalar> IluFactors<T> {
         let mut colidx = Vec::new();
         let mut vals = Vec::new();
         for r in 0..n {
-            for k in self.lu.rowptr()[r]..self.diag_pos[r] {
+            for k in self.lu.rowptr()[r]..diag_pos[r] {
                 let c = self.lu.colidx()[k];
                 colidx.push(c);
                 vals.push(self.lu.vals()[k] * sqrt_d[c]);
@@ -749,7 +511,7 @@ impl<T: Scalar> IluFactors<T> {
     pub fn pivot_extrema(&self) -> (T, T) {
         let mut lo = T::from_f64(f64::INFINITY);
         let mut hi = T::ZERO;
-        for &dp in &self.diag_pos {
+        for &dp in self.diag_positions() {
             let d = self.lu.vals()[dp].abs();
             lo = lo.min(d);
             hi = hi.max(d);
@@ -774,16 +536,17 @@ impl<T: Scalar> IluFactors<T> {
     /// O(Σ nnz(L row) · nnz(U row)).
     pub fn product_error_on_pattern(&self, a: &CsrMatrix<T>) -> T {
         let n = self.n();
-        let pa = a.permute_sym(&self.perm).expect("factor perm fits A");
+        let diag_pos = self.diag_positions();
+        let pa = a.permute_sym(self.perm()).expect("factor perm fits A");
         let mut acc: Vec<T> = vec![T::ZERO; n];
         let mut touched: Vec<usize> = Vec::new();
         let mut worst = T::ZERO;
         for i in 0..n {
             // (LU)(i, :) = Σ_{c < i} L[i,c]·U(c,:) + U(i,:)
-            for k in self.lu.rowptr()[i]..self.diag_pos[i] {
+            for k in self.lu.rowptr()[i]..diag_pos[i] {
                 let c = self.lu.colidx()[k];
                 let lic = self.lu.vals()[k];
-                for kk in self.diag_pos[c]..self.lu.rowptr()[c + 1] {
+                for kk in diag_pos[c]..self.lu.rowptr()[c + 1] {
                     let j = self.lu.colidx()[kk];
                     if acc[j] == T::ZERO {
                         touched.push(j);
@@ -791,7 +554,7 @@ impl<T: Scalar> IluFactors<T> {
                     acc[j] += lic * self.lu.vals()[kk];
                 }
             }
-            for kk in self.diag_pos[i]..self.lu.rowptr()[i + 1] {
+            for kk in diag_pos[i]..self.lu.rowptr()[i + 1] {
                 let j = self.lu.colidx()[kk];
                 if acc[j] == T::ZERO {
                     touched.push(j);
@@ -816,7 +579,8 @@ impl<T: Scalar> IluFactors<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::options::ZeroPivotPolicy;
+    use crate::options::{IluOptions, LowerMethod, ZeroPivotPolicy};
+    use javelin_sparse::pattern::LevelPattern;
     use javelin_sparse::CooMatrix;
 
     fn laplace_2d(nx: usize, ny: usize) -> CsrMatrix<f64> {
@@ -861,6 +625,11 @@ mod tests {
         coo.to_csr()
     }
 
+    /// Same pattern as the input, deterministically different values.
+    fn revalue(a: &CsrMatrix<f64>, seed: f64) -> CsrMatrix<f64> {
+        javelin_synth::util::revalue(a, seed, 0.01)
+    }
+
     #[test]
     fn ilu0_product_identity_on_pattern() {
         let a = laplace_2d(8, 8);
@@ -869,7 +638,150 @@ mod tests {
     }
 
     fn compute_factors(a: &CsrMatrix<f64>, o: &IluOptions) -> IluFactors<f64> {
-        compute(a, o).expect("factorization succeeds")
+        factorize(a, o).expect("factorization succeeds")
+    }
+
+    #[test]
+    fn deprecated_compute_still_works() {
+        // The legacy fused entry stays available (deprecated, not
+        // removed) and produces the same factors.
+        let a = laplace_2d(6, 6);
+        #[allow(deprecated)]
+        let old = compute(&a, &IluOptions::default()).unwrap();
+        let new = compute_factors(&a, &IluOptions::default());
+        let ob: Vec<u64> = old.lu().vals().iter().map(|v| v.to_bits()).collect();
+        let nb: Vec<u64> = new.lu().vals().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(ob, nb);
+    }
+
+    #[test]
+    fn refactor_is_bit_identical_to_fresh_factor() {
+        // The tentpole contract: refactor(a2) == analyze-once,
+        // factor(a2), for every engine family and thread count.
+        for a in [laplace_2d(9, 7), irregular(150)] {
+            for nthreads in [1usize, 2, 4] {
+                for method in [
+                    LowerMethod::Auto,
+                    LowerMethod::EvenRows,
+                    LowerMethod::SegmentedRows,
+                ] {
+                    let mut opts = IluOptions::ilu0(nthreads);
+                    opts.lower_method = method;
+                    opts.split.min_rows_per_level = 8;
+                    opts.split.location_frac = 0.0;
+                    opts.split.max_lower_frac = 0.4;
+                    let sym = SymbolicIlu::analyze(&a, &opts).unwrap();
+                    let mut f = sym.factor(&a).unwrap();
+                    let a2 = revalue(&a, 0.37);
+                    let fresh = sym.factor(&a2).unwrap();
+                    f.refactor(&a2).unwrap();
+                    let rb: Vec<u64> = f.lu().vals().iter().map(|v| v.to_bits()).collect();
+                    let fb: Vec<u64> = fresh.lu().vals().iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(rb, fb, "nthreads={nthreads} method={method}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn refactor_with_dropping_and_milu_matches_fresh() {
+        let a = irregular(120);
+        let opts = IluOptions::ilu0(3)
+            .with_fill(1)
+            .with_drop_tol(0.02)
+            .with_milu(1.0);
+        let sym = SymbolicIlu::analyze(&a, &opts).unwrap();
+        let mut f = sym.factor(&a).unwrap();
+        let a2 = revalue(&a, 0.71);
+        let fresh = sym.factor(&a2).unwrap();
+        f.refactor(&a2).unwrap();
+        assert_eq!(
+            f.lu()
+                .vals()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            fresh
+                .lu()
+                .vals()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>()
+        );
+        assert!(f.stats().dropped_entries > 0, "τ should drop entries");
+        assert_eq!(f.stats().dropped_entries, fresh.stats().dropped_entries);
+        assert_eq!(f.stats().replaced_pivots, fresh.stats().replaced_pivots);
+    }
+
+    #[test]
+    fn refactor_rejects_pattern_mismatch_and_leaves_factors_intact() {
+        let a = laplace_2d(8, 8);
+        let sym = SymbolicIlu::analyze(&a, &IluOptions::ilu0(2)).unwrap();
+        let mut f = sym.factor(&a).unwrap();
+        let before: Vec<u64> = f.lu().vals().iter().map(|v| v.to_bits()).collect();
+        // Different dimension.
+        let small = laplace_2d(4, 4);
+        assert!(matches!(
+            f.refactor(&small),
+            Err(SparseError::PatternMismatch(_))
+        ));
+        // Same dimension, different pattern.
+        let other = irregular(64);
+        assert!(matches!(
+            f.refactor(&other),
+            Err(SparseError::PatternMismatch(_))
+        ));
+        // And factor() checks too.
+        assert!(matches!(
+            sym.factor(&other),
+            Err(SparseError::PatternMismatch(_))
+        ));
+        let after: Vec<u64> = f.lu().vals().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(before, after, "failed refactor must not corrupt factors");
+    }
+
+    #[test]
+    fn refactor_then_solve_matches_fresh_solve_bitwise() {
+        let a = irregular(150);
+        let n = a.nrows();
+        let mut opts = IluOptions::ilu0(3);
+        opts.split.min_rows_per_level = 8;
+        opts.split.location_frac = 0.0;
+        let sym = SymbolicIlu::analyze(&a, &opts).unwrap();
+        let mut f = sym.factor(&a).unwrap();
+        let a2 = revalue(&a, 1.3);
+        f.refactor(&a2).unwrap();
+        let fresh = compute_factors(&a2, &opts);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.29).sin()).collect();
+        for engine in [
+            crate::options::SolveEngine::Serial,
+            crate::options::SolveEngine::BarrierLevel,
+            crate::options::SolveEngine::PointToPoint,
+            crate::options::SolveEngine::PointToPointLower,
+        ] {
+            let mut xr = vec![0.0; n];
+            let mut xf = vec![0.0; n];
+            f.solve_with(engine, &b, &mut xr).unwrap();
+            fresh.solve_with(engine, &b, &mut xf).unwrap();
+            let rb: Vec<u64> = xr.iter().map(|v| v.to_bits()).collect();
+            let fb: Vec<u64> = xf.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(rb, fb, "engine={engine}");
+        }
+    }
+
+    #[test]
+    fn symbolic_handle_is_shared_and_cheap_to_clone() {
+        let a = laplace_2d(7, 7);
+        let sym = SymbolicIlu::analyze(&a, &IluOptions::ilu0(2)).unwrap();
+        let f1 = sym.factor(&a).unwrap();
+        let f2 = sym.factor(&revalue(&a, 0.5)).unwrap();
+        // Same plan object behind both factor objects.
+        assert!(std::ptr::eq(f1.plan(), f2.plan()));
+        assert!(std::ptr::eq(f1.plan(), sym.plan()));
+        assert_eq!(sym.n(), 49);
+        assert_eq!(sym.nnz(), a.nnz());
+        assert_eq!(sym.nthreads(), 2);
+        assert!(!format!("{sym:?}").is_empty());
     }
 
     #[test]
@@ -1034,6 +946,7 @@ mod tests {
         let a = laplace_2d(9, 9);
         let n = a.nrows();
         let f = compute_factors(&a, &IluOptions::ilu0(2));
+        f.reserve_panel_width(2);
         let b: Vec<f64> = (0..n * 2).map(|i| (i as f64 * 0.13).sin()).collect();
         let mut perm_buf = Vec::new();
         let mut x = vec![0.0; n * 2];
@@ -1107,7 +1020,7 @@ mod tests {
         let mut bad = owned.clone();
         bad.shared_team = Some(Arc::new(WorkerTeam::new(2)));
         assert!(matches!(
-            compute(&a, &bad),
+            factorize(&a, &bad),
             Err(SparseError::DimensionMismatch(_))
         ));
     }
@@ -1240,7 +1153,7 @@ mod tests {
         let a = coo.to_csr();
         let mut opts = IluOptions::default();
         opts.zero_pivot = ZeroPivotPolicy::Error;
-        match compute(&a, &opts) {
+        match factorize(&a, &opts) {
             Err(SparseError::ZeroPivot { row }) => assert_eq!(row, 1),
             Err(other) => panic!("expected zero pivot, got {other:?}"),
             Ok(_) => panic!("expected zero pivot, got a factorization"),
@@ -1248,7 +1161,7 @@ mod tests {
         // Replace policy succeeds and counts the replacement.
         let mut opts2 = IluOptions::default();
         opts2.zero_pivot = ZeroPivotPolicy::Replace { replacement: 1e-8 };
-        let f = compute(&a, &opts2).unwrap();
+        let f = factorize(&a, &opts2).unwrap();
         assert_eq!(f.stats().replaced_pivots, 1);
     }
 
@@ -1258,13 +1171,13 @@ mod tests {
         let mut coo = CooMatrix::new(2, 3);
         coo.push(0, 0, 1.0).unwrap();
         coo.push(1, 1, 1.0).unwrap();
-        assert!(compute(&coo.to_csr(), &IluOptions::default()).is_err());
+        assert!(factorize(&coo.to_csr(), &IluOptions::default()).is_err());
         // Missing diagonal.
         let mut coo = CooMatrix::new(2, 2);
         coo.push(0, 0, 1.0).unwrap();
         coo.push(1, 0, 1.0).unwrap();
         assert!(matches!(
-            compute(&coo.to_csr(), &IluOptions::default()),
+            factorize(&coo.to_csr(), &IluOptions::default()),
             Err(SparseError::MissingDiagonal { row: 1 })
         ));
     }
@@ -1405,6 +1318,14 @@ mod tests {
         let b1: Vec<u64> = f1.lu().vals().iter().map(|v| v.to_bits()).collect();
         let b2: Vec<u64> = f2.lu().vals().iter().map(|v| v.to_bits()).collect();
         assert_eq!(b1, b2);
+        // And refactor through the parallel-corner analysis matches too
+        // (the planned path substitutes the serial corner — identical
+        // bits by the determinism contract).
+        let sym = SymbolicIlu::analyze(&a, &pc).unwrap();
+        let mut f3 = sym.factor(&a).unwrap();
+        f3.refactor(&a).unwrap();
+        let b3: Vec<u64> = f3.lu().vals().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(b1, b3);
     }
 
     #[test]
@@ -1419,7 +1340,9 @@ mod tests {
             }
         }
         let a = coo.to_csr();
-        let f = compute(&a, &IluOptions::ilu0(2)).unwrap();
+        let sym = SymbolicIlu::analyze(&a, &IluOptions::ilu0(2)).unwrap();
+        let mut f = sym.factor(&a).unwrap();
+        f.refactor(&a).unwrap();
         let b = vec![1.0f32; n];
         let mut x = vec![0.0f32; n];
         f.solve_into(&b, &mut x).unwrap();
@@ -1430,7 +1353,7 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use crate::options::LowerMethod;
+    use crate::options::{IluOptions, LowerMethod, SolveEngine};
     use javelin_sparse::CooMatrix;
     use proptest::prelude::*;
 
@@ -1454,13 +1377,19 @@ mod proptests {
         })
     }
 
+    /// Same pattern, deterministically perturbed values (still
+    /// diagonally dominant enough to factor).
+    fn revalue(a: &CsrMatrix<f64>, seed: f64) -> CsrMatrix<f64> {
+        javelin_synth::util::revalue(a, seed, 0.05)
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(24))]
 
         /// The defining ILU(0) identity on random matrices.
         #[test]
         fn ilu0_identity_on_random_matrices(a in arb_matrix(28)) {
-            let f = compute(&a, &IluOptions::default()).unwrap();
+            let f = factorize(&a, &IluOptions::default()).unwrap();
             prop_assert!(f.product_error_on_pattern(&a) < 1e-9);
         }
 
@@ -1482,17 +1411,71 @@ mod proptests {
             opts.split.location_frac = 0.0;
             let mut serial = opts.clone();
             serial.nthreads = 1;
-            let fp = compute(&a, &opts).unwrap();
-            let fs = compute(&a, &serial).unwrap();
+            let fp = factorize(&a, &opts).unwrap();
+            let fs = factorize(&a, &serial).unwrap();
             let bp: Vec<u64> = fp.lu().vals().iter().map(|v| v.to_bits()).collect();
             let bs: Vec<u64> = fs.lu().vals().iter().map(|v| v.to_bits()).collect();
             prop_assert_eq!(bp, bs);
         }
 
+        /// The refactor satellite contract: `symbolic.factor(&a2)` and
+        /// `factors.refactor(&a2)` (same pattern, new values) are
+        /// bit-identical — across lower-stage engines, thread counts and
+        /// panel widths (the refactored factors' panel solves must carry
+        /// exactly the fresh factors' bits too).
+        #[test]
+        fn refactor_bitwise_equals_fresh_factor(
+            a in arb_matrix(24),
+            nthreads in 1usize..4,
+            use_sr in proptest::bool::ANY,
+            k_idx in 0usize..4,
+            seed in 0.1..2.0f64,
+        ) {
+            let k = [1usize, 2, 3, 8][k_idx];
+            let n = a.nrows();
+            let mut opts = IluOptions::ilu0(nthreads);
+            opts.lower_method = if use_sr {
+                LowerMethod::SegmentedRows
+            } else {
+                LowerMethod::EvenRows
+            };
+            opts.split.min_rows_per_level = 4;
+            opts.split.location_frac = 0.0;
+            let sym = SymbolicIlu::analyze(&a, &opts).unwrap();
+            let mut f = sym.factor(&a).unwrap();
+            let a2 = revalue(&a, seed);
+            let fresh = sym.factor(&a2).unwrap();
+            f.refactor(&a2).unwrap();
+            let rb: Vec<u64> = f.lu().vals().iter().map(|v| v.to_bits()).collect();
+            let fb: Vec<u64> = fresh.lu().vals().iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(rb, fb);
+            // Panel solves through refactored vs fresh factors agree
+            // bitwise at every width.
+            let b: Vec<f64> = (0..n * k)
+                .map(|i| ((i * 31 % 23) as f64 - 11.0) * 0.17)
+                .collect();
+            let mut xr = vec![0.0; n * k];
+            let mut xf = vec![0.0; n * k];
+            f.solve_panel_into(
+                javelin_sparse::Panel::new(&b, n, k),
+                javelin_sparse::PanelMut::new(&mut xr, n, k),
+            )
+            .unwrap();
+            fresh
+                .solve_panel_into(
+                    javelin_sparse::Panel::new(&b, n, k),
+                    javelin_sparse::PanelMut::new(&mut xf, n, k),
+                )
+                .unwrap();
+            let xrb: Vec<u64> = xr.iter().map(|v| v.to_bits()).collect();
+            let xfb: Vec<u64> = xf.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(xrb, xfb, "panel width {}", k);
+        }
+
         /// Panel trisolves are column-for-column bit-identical to `k`
-        /// independent single-RHS solves — the satellite contract, over
-        /// random matrices, the issue's widths, thread counts and tile
-        /// sizes, for every engine.
+        /// independent single-RHS solves — the panel contract, over
+        /// random matrices, widths, thread counts and tile sizes, for
+        /// every engine.
         #[test]
         fn panel_solves_bitwise_match_looped_single_rhs(
             a in arb_matrix(24),
@@ -1506,7 +1489,7 @@ mod proptests {
             opts.tile_size = [1usize, 3, 64][tile_idx];
             opts.split.min_rows_per_level = 4;
             opts.split.location_frac = 0.0;
-            let f = compute(&a, &opts).unwrap();
+            let f = factorize(&a, &opts).unwrap();
             let b: Vec<f64> = (0..n * k)
                 .map(|i| ((i * 31 % 23) as f64 - 11.0) * 0.17)
                 .collect();
@@ -1540,7 +1523,7 @@ mod proptests {
         fn solves_agree_on_random_matrices(a in arb_matrix(24), nthreads in 2usize..4) {
             let n = a.nrows();
             let opts = IluOptions::ilu0(nthreads);
-            let f = compute(&a, &opts).unwrap();
+            let f = factorize(&a, &opts).unwrap();
             let b: Vec<f64> = (0..n).map(|i| ((i * 31 % 17) as f64) - 8.0).collect();
             let mut x_ref = vec![0.0; n];
             f.solve_with(SolveEngine::Serial, &b, &mut x_ref).unwrap();

@@ -25,21 +25,30 @@
 //! 5. **spmv** ([`spmv`]): serial, row-parallel, and CSR5-inspired
 //!    tiled segmented-sum kernels.
 //!
-//! ## Plan/execute lifecycle
+//! ## The two-phase API: analyze → factor → refactor → solve
 //!
-//! Everything on the Krylov hot path follows a strict **plan once,
-//! execute allocation-free** split, mirroring how the paper amortizes
-//! its symbolic phase across numeric re-factorizations:
+//! The pipeline above is *phased* the way the paper describes it:
+//! steps 1–2 depend only on the sparsity **pattern**, step 3 on the
+//! **values**, and step 4 runs thousands of times per factorization.
+//! The API mirrors that exactly (the symbolic/numeric handle split of
+//! SuperLU/KLU-style production interfaces):
 //!
-//! * **Plan (once per matrix).** [`IluFactorization::compute`] builds
-//!   the factor values *and* the solve execution state: the
-//!   [`factors::SolvePlan`] (schedules, level sets, trailing-block
-//!   segment layout), a [`SolveScratch`] (progress counters, barrier,
-//!   flat tiled-gather partials, the bit-packed in-place solve buffer)
-//!   and a `javelin_sync::Exec` — by default a persistent worker team
-//!   whose threads park between calls. Likewise [`SpmvPlan::new`]
-//!   derives per-tile descriptors (first row, disjoint partial-slot
-//!   ranges) from the sparsity pattern once.
+//! * **Analyze (once per pattern).** [`SymbolicIlu::analyze`] computes
+//!   everything pattern-dependent: the ILU(k) fill, level sets, the
+//!   two-stage split and permutation, the forward/backward
+//!   point-to-point schedules, the [`factors::SolvePlan`], a reusable
+//!   [`SolveScratch`] (progress counters, barrier, flat tiled-gather
+//!   partials, the bit-packed in-place solve buffer), the numeric
+//!   scratch, and a `javelin_sync::Exec` — by default a persistent
+//!   worker team whose threads park between calls.
+//! * **Factor (once per value set).** [`SymbolicIlu::factor`] runs the
+//!   numeric up-looking elimination through the full engine set and
+//!   returns [`IluFactors`], which shares the analysis handle.
+//! * **Refactor (every time step).** [`IluFactors::refactor`] redoes
+//!   *only* the numeric phase in place for a pattern-identical matrix:
+//!   zero heap allocations, zero thread spawns (the planned engines run
+//!   as regions on the persistent team), bit-identical to a fresh
+//!   [`SymbolicIlu::factor`] of the same values.
 //! * **Execute (every iteration).** [`IluFactors::solve_with`] /
 //!   [`Preconditioner::apply_with`] and [`SpmvPlan::execute`] run fused
 //!   parallel regions on the planned team: no heap allocation, no
@@ -55,34 +64,22 @@
 //!   panel width `k`: [`IluFactors::solve_panel_with_buffer`] /
 //!   [`Preconditioner::apply_panel_with`] and
 //!   [`SpmvPlan::execute_panel`] retire a whole `k`-wide block of
-//!   vectors under **one** schedule walk — one wait/barrier protocol
-//!   per panel, not per column — amortizing the level-schedule
-//!   traversal across simultaneous solves. Callers hand in
-//!   column-major `javelin_sparse::Panel`/`PanelMut` views (each
-//!   column a contiguous length-`n` slice; columns `col_stride ≥ n`
-//!   apart; entry `(r, c)` at `c·col_stride + r`). Inside the engines
-//!   the solve buffer is stored *row-interleaved* (`(r, c)` at
-//!   `r·k + c`) so a row retirement touches its `k` columns
-//!   contiguously; [`SolveScratch`] transposes at the region boundary
-//!   and resizes **grow-only** ([`SolveScratch::ensure_width`]) — the
-//!   first width-8 solve allocates once, every later solve at width
-//!   `≤ 8` is allocation-free. Column arithmetic never mixes: column
-//!   `c` of any panel operation is **bit-identical** to the single-RHS
-//!   path on that column, and `k = 1` is bit-identical to the
-//!   historical single-vector path. Batched Krylov drivers
-//!   (`javelin_solver::solve_batch`) build on that contract with
-//!   per-column *convergence masking*: a converged column's updates
-//!   freeze but its storage stays in place, so the shared panel apply
-//!   keeps its shape until every column is done.
+//!   vectors under **one** schedule walk. Column `c` of any panel
+//!   operation is **bit-identical** to the single-RHS path on that
+//!   column, and `k = 1` is bit-identical to the single-vector path.
+//!   Batched Krylov drivers (`javelin_solver::solve_batch`) build on
+//!   that contract with per-column convergence masking.
 //!
-//! Numeric refactorization on a fixed pattern reuses every plan: only
-//! the factor values change, so a transient/time-stepping workload pays
-//! the analysis exactly once.
+//! The one-shot [`factorize`] fuses analyze + factor for callers that
+//! factor a pattern exactly once; the legacy
+//! [`IluFactorization::compute`] entry is deprecated in its favor.
+//! Applications should usually sit one level higher still, on the
+//! `javelin::Session` façade, which owns the workspaces too.
 //!
 //! ## Quick start
 //!
 //! ```
-//! use javelin_core::{IluFactorization, options::IluOptions};
+//! use javelin_core::{options::IluOptions, SymbolicIlu};
 //! use javelin_sparse::CooMatrix;
 //!
 //! // A small SPD tridiagonal system.
@@ -96,11 +93,16 @@
 //!     }
 //! }
 //! let a = coo.to_csr();
-//! let factors = IluFactorization::compute(&a, &IluOptions::default()).unwrap();
+//! // Pattern work once …
+//! let sym = SymbolicIlu::analyze(&a, &IluOptions::default()).unwrap();
+//! // … numeric factorization per value set …
+//! let mut factors = sym.factor(&a).unwrap();
 //! let b = vec![1.0f64; n];
 //! let mut x = vec![0.0f64; n];
 //! factors.solve_into(&b, &mut x).unwrap();
 //! assert!(x.iter().all(|v| v.is_finite()));
+//! // … and when the values change on the same pattern, numeric-only:
+//! factors.refactor(&a).unwrap();
 //! ```
 
 #![forbid(unsafe_code)]
@@ -113,19 +115,25 @@ pub mod precond;
 pub mod spmv;
 pub mod stats;
 pub mod symbolic;
+pub mod symbolic_ilu;
 pub mod trisolve;
 
-pub use factors::IluFactors;
+pub use factors::{factorize, IluFactors};
 pub use options::{IluOptions, LowerMethod, SolveEngine, ZeroPivotPolicy};
-pub use precond::{ApplyScratch, Preconditioner};
+pub use precond::{ApplyScratch, EnginePinned, Preconditioner};
 pub use spmv::SpmvPlan;
 pub use stats::FactorStats;
+pub use symbolic_ilu::SymbolicIlu;
 pub use trisolve::engines::SolveScratch;
 
 use javelin_sparse::{CsrMatrix, Scalar, SparseError};
 
-/// Entry point: computes an incomplete LU factorization with the full
-/// Javelin pipeline.
+/// Legacy entry point: computes an incomplete LU factorization with the
+/// full Javelin pipeline in one fused call.
+///
+/// Superseded by the two-phase API ([`SymbolicIlu::analyze`] +
+/// [`SymbolicIlu::factor`], with [`IluFactors::refactor`] for
+/// pattern-stable re-factorization) and the one-shot [`factorize`].
 pub struct IluFactorization;
 
 impl IluFactorization {
@@ -143,10 +151,16 @@ impl IluFactorization {
     ///   entry is absent;
     /// * [`SparseError::ZeroPivot`] under
     ///   [`ZeroPivotPolicy::Error`] when a pivot collapses.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `SymbolicIlu::analyze` + `SymbolicIlu::factor` (or the one-shot \
+                `factorize`) so pattern-stable workloads can call `IluFactors::refactor`; \
+                applications should prefer the `javelin::Session` façade"
+    )]
     pub fn compute<T: Scalar>(
         a: &CsrMatrix<T>,
         opts: &IluOptions,
     ) -> Result<IluFactors<T>, SparseError> {
-        factors::compute(a, opts)
+        factors::factorize(a, opts)
     }
 }

@@ -26,10 +26,10 @@
 //! results are bit-identical to the serial sweep.
 
 use crate::numeric::kernel::{eliminate_columns, finalize_row, RowWorkspace};
-use crate::numeric::parallel::factor_rows_serial;
+use crate::numeric::parallel::{factor_rows_serial, factor_rows_serial_ws};
 use crate::numeric::NumericCtx;
 use javelin_sparse::Scalar;
-use javelin_sync::{pool, TaskGraph};
+use javelin_sync::{pool, Exec, TaskGraph};
 use parking_lot::Mutex;
 use std::sync::atomic::Ordering;
 
@@ -60,6 +60,44 @@ pub fn factor_lower_er<T: Scalar>(
     } else {
         factor_corner(ctx, n_upper);
     }
+}
+
+/// Even-Rows on pre-built execution state: the `FACTOR_L` sweep over
+/// trailing rows runs as one region on `exec` (a persistent worker team
+/// by default) with each participant borrowing its preallocated
+/// [`RowWorkspace`], then the corner is factored serially through
+/// participant 0's workspace — zero heap allocations, zero thread
+/// spawns. The numeric-refactorization path; bit-identical to
+/// [`factor_lower_er`] (and, by the engines' determinism contract, to
+/// Segmented-Rows and the parallel corner).
+pub fn factor_lower_er_planned<T: Scalar>(
+    ctx: &NumericCtx<'_, T>,
+    n_upper: usize,
+    exec: &Exec,
+    workspaces: &[Mutex<RowWorkspace>],
+) {
+    let n = ctx.rowptr.len() - 1;
+    let n_lower = n - n_upper;
+    if n_lower == 0 {
+        return;
+    }
+    let nthreads = exec.nthreads();
+    debug_assert_eq!(workspaces.len(), nthreads);
+    let chunk = n_lower.div_ceil(nthreads.max(1)).max(1);
+    exec.run(|tid| {
+        let start = (tid * chunk).min(n_lower);
+        let end = ((tid + 1) * chunk).min(n_lower);
+        if start >= end {
+            return;
+        }
+        let mut ws = workspaces[tid].lock();
+        for off in start..end {
+            let r = n_upper + off;
+            ws.load_row(ctx.rowptr, ctx.colidx, r);
+            eliminate_columns(ctx, &ws, r, 0, n_upper);
+        }
+    });
+    factor_rows_serial_ws(ctx, n_upper, n, n_upper, &mut workspaces[0].lock());
 }
 
 /// One Segmented-Rows work item.

@@ -5,18 +5,22 @@ use crate::numeric::kernel::{eliminate_columns, finalize_row, RowWorkspace};
 use crate::numeric::NumericCtx;
 use javelin_level::P2PSchedule;
 use javelin_sparse::Scalar;
-use javelin_sync::{pool, ProgressCounters};
+use javelin_sync::{pool, Exec, ProgressCounters};
+use parking_lot::Mutex;
 
 /// Serial up-looking factorization of rows `0..n` — the reference every
 /// parallel engine must match bit-for-bit.
 pub fn factor_serial<T: Scalar>(ctx: &NumericCtx<'_, T>) {
     let n = ctx.rowptr.len() - 1;
     let mut ws = RowWorkspace::new(n);
-    for r in 0..n {
-        ws.load_row(ctx.rowptr, ctx.colidx, r);
-        eliminate_columns(ctx, &ws, r, 0, n);
-        finalize_row(ctx, r);
-    }
+    factor_serial_ws(ctx, &mut ws);
+}
+
+/// [`factor_serial`] with a caller-owned workspace — the allocation-free
+/// form the numeric-refactorization path uses.
+pub fn factor_serial_ws<T: Scalar>(ctx: &NumericCtx<'_, T>, ws: &mut RowWorkspace) {
+    let n = ctx.rowptr.len() - 1;
+    factor_rows_serial_ws(ctx, 0, n, 0, ws);
 }
 
 /// Serial up-looking factorization restricted to rows `lo..hi`
@@ -24,9 +28,21 @@ pub fn factor_serial<T: Scalar>(ctx: &NumericCtx<'_, T>) {
 pub fn factor_rows_serial<T: Scalar>(ctx: &NumericCtx<'_, T>, lo: usize, hi: usize, col_lo: usize) {
     let n = ctx.rowptr.len() - 1;
     let mut ws = RowWorkspace::new(n);
+    factor_rows_serial_ws(ctx, lo, hi, col_lo, &mut ws);
+}
+
+/// [`factor_rows_serial`] with a caller-owned workspace.
+pub fn factor_rows_serial_ws<T: Scalar>(
+    ctx: &NumericCtx<'_, T>,
+    lo: usize,
+    hi: usize,
+    col_lo: usize,
+    ws: &mut RowWorkspace,
+) {
+    let n = ctx.rowptr.len() - 1;
     for r in lo..hi {
         ws.load_row(ctx.rowptr, ctx.colidx, r);
-        eliminate_columns(ctx, &ws, r, col_lo, n);
+        eliminate_columns(ctx, ws, r, col_lo, n);
         finalize_row(ctx, r);
     }
 }
@@ -51,6 +67,44 @@ pub fn factor_upper_p2p<T: Scalar>(ctx: &NumericCtx<'_, T>, schedule: &P2PSchedu
         // Workspace allocated inside the worker: first-touch local, as
         // the paper's copy-fill-in phase recommends.
         let mut ws = RowWorkspace::new(n);
+        for &row in schedule.thread_tasks(tid) {
+            progress.wait_all(schedule.waits(row));
+            ws.load_row(ctx.rowptr, ctx.colidx, row);
+            eliminate_columns(ctx, &ws, row, 0, n);
+            finalize_row(ctx, row);
+            progress.bump(tid);
+        }
+    });
+}
+
+/// [`factor_upper_p2p`] on pre-built execution state: the region runs on
+/// `exec` (a persistent worker team by default), the progress counters
+/// are reset and reused, and each participant borrows its preallocated
+/// [`RowWorkspace`] — zero heap allocations and zero thread spawns. This
+/// is the numeric-refactorization path; results are bit-identical to
+/// [`factor_upper_p2p`].
+///
+/// `exec`, `progress` and `workspaces` must all carry
+/// `schedule.nthreads()` participants.
+pub fn factor_upper_p2p_planned<T: Scalar>(
+    ctx: &NumericCtx<'_, T>,
+    schedule: &P2PSchedule,
+    exec: &Exec,
+    progress: &ProgressCounters,
+    workspaces: &[Mutex<RowWorkspace>],
+) {
+    let nthreads = schedule.nthreads();
+    debug_assert_eq!(exec.nthreads(), nthreads);
+    debug_assert_eq!(progress.len(), nthreads);
+    debug_assert_eq!(workspaces.len(), nthreads);
+    if nthreads == 1 {
+        factor_rows_serial_ws(ctx, 0, schedule.n_tasks(), 0, &mut workspaces[0].lock());
+        return;
+    }
+    progress.reset();
+    let n = ctx.rowptr.len() - 1;
+    exec.run(|tid| {
+        let mut ws = workspaces[tid].lock();
         for &row in schedule.thread_tasks(tid) {
             progress.wait_all(schedule.waits(row));
             ws.load_row(ctx.rowptr, ctx.colidx, row);

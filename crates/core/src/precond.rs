@@ -1,6 +1,7 @@
 //! The preconditioner abstraction consumed by `javelin-solver`.
 
 use crate::factors::IluFactors;
+use crate::options::SolveEngine;
 use javelin_sparse::{CsrMatrix, Panel, PanelMut, Scalar};
 
 /// Caller-owned scratch for [`Preconditioner::apply_with`]: buffers an
@@ -105,18 +106,59 @@ impl<T: Scalar> Preconditioner<T> for JacobiPrecond<T> {
 
 impl<T: Scalar> Preconditioner<T> for IluFactors<T> {
     fn apply(&self, r: &[T], z: &mut [T]) {
-        self.solve_into(r, z)
+        self.with_engine(self.default_engine()).apply(r, z);
+    }
+
+    fn apply_with(&self, scratch: &mut ApplyScratch<T>, r: &[T], z: &mut [T]) {
+        self.with_engine(self.default_engine())
+            .apply_with(scratch, r, z);
+    }
+
+    fn apply_panel_with(&self, scratch: &mut ApplyScratch<T>, r: Panel<'_, T>, z: PanelMut<'_, T>) {
+        self.with_engine(self.default_engine())
+            .apply_panel_with(scratch, r, z);
+    }
+}
+
+/// A preconditioner view of [`IluFactors`] with an explicitly pinned
+/// triangular-solve engine (see [`IluFactors::with_engine`]). Borrowed,
+/// copyable and engine-stable — the form session-style callers hand to
+/// Krylov solvers when the engine choice must not follow
+/// [`IluFactors::default_engine`].
+#[derive(Clone, Copy)]
+pub struct EnginePinned<'a, T> {
+    factors: &'a IluFactors<T>,
+    engine: SolveEngine,
+}
+
+impl<T: Scalar> IluFactors<T> {
+    /// A [`Preconditioner`] over these factors that always applies
+    /// through `engine` instead of [`IluFactors::default_engine`].
+    pub fn with_engine(&self, engine: SolveEngine) -> EnginePinned<'_, T> {
+        EnginePinned {
+            factors: self,
+            engine,
+        }
+    }
+}
+
+impl<T: Scalar> Preconditioner<T> for EnginePinned<'_, T> {
+    fn apply(&self, r: &[T], z: &mut [T]) {
+        self.factors
+            .solve_with(self.engine, r, z)
             .expect("preconditioner buffers sized by the solver");
     }
 
     fn apply_with(&self, scratch: &mut ApplyScratch<T>, r: &[T], z: &mut [T]) {
-        self.solve_with_buffer(self.default_engine(), scratch.buffer(self.n()), r, z)
+        self.factors
+            .solve_with_buffer(self.engine, scratch.buffer(self.factors.n()), r, z)
             .expect("preconditioner buffers sized by the solver");
     }
 
     fn apply_panel_with(&self, scratch: &mut ApplyScratch<T>, r: Panel<'_, T>, z: PanelMut<'_, T>) {
-        let buf = scratch.buffer(self.n() * r.ncols());
-        self.solve_panel_with_buffer(self.default_engine(), buf, r, z)
+        let buf = scratch.buffer(self.factors.n() * r.ncols());
+        self.factors
+            .solve_panel_with_buffer(self.engine, buf, r, z)
             .expect("preconditioner buffers sized by the solver");
     }
 }
@@ -243,7 +285,7 @@ mod tests {
             coo.push(i, i, 2.0).unwrap();
         }
         let a = coo.to_csr();
-        let f = crate::IluFactorization::compute(&a, &crate::IluOptions::default()).unwrap();
+        let f = crate::factorize(&a, &crate::IluOptions::default()).unwrap();
         let mut z = vec![0.0; 3];
         f.apply(&[2.0, 4.0, 6.0], &mut z);
         assert_eq!(z, vec![1.0, 2.0, 3.0]);

@@ -12,7 +12,7 @@
 //!   vertices are all smaller than `min(i,j)`. Each row's bounded
 //!   search is independent, so rows parallelize embarrassingly — this
 //!   is the approach the paper points to for parallel preprocessing
-//!   (its reference [6]).
+//!   (its reference \[6\]).
 //!
 //! Both return identical patterns (property-tested); `ILU(0)`
 //! short-circuits to the input pattern.

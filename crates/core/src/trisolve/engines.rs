@@ -26,8 +26,8 @@
 //! buffer `xbuf` stores the panel *row-interleaved*: entry `(r, c)`
 //! lives at `r·k + c`, keeping the `k` columns of a row contiguous for
 //! the per-entry inner loops (callers see the column-major
-//! [`Panel`]/[`PanelMut`] layout; [`SolveScratch::load_cols`] /
-//! [`SolveScratch::store_cols`] transpose at the region boundary).
+//! [`Panel`]/[`PanelMut`] layout; `SolveScratch::load_cols` /
+//! `SolveScratch::store_cols` transpose at the region boundary).
 //! Column arithmetic is fully independent — column `c` of a panel solve
 //! is bit-identical to a single-RHS solve of that column, and `k = 1`
 //! is bit-identical to the historical single-vector path.

@@ -413,7 +413,7 @@ pub fn sim_heavy_factor_time(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use javelin_core::{IluFactorization, IluOptions};
+    use javelin_core::{factorize, IluOptions};
     use javelin_sparse::{CooMatrix, CsrMatrix};
 
     fn grid(nx: usize, ny: usize) -> CsrMatrix<f64> {
@@ -452,7 +452,7 @@ mod tests {
     #[test]
     fn factor_speedup_grows_then_saturates() {
         let a = grid(40, 40);
-        let f = IluFactorization::compute(&a, &IluOptions::default()).unwrap();
+        let f = factorize(&a, &IluOptions::default()).unwrap();
         let m = MachineModel::haswell14();
         let t1 = sim_factor_time(&f, &m, 1).total_s;
         let t4 = sim_factor_time(&f, &m, 4).total_s;
@@ -471,7 +471,7 @@ mod tests {
         // A pure dependency chain has level width 1: no speedup, only
         // sync overhead.
         let a = chain(400);
-        let f = IluFactorization::compute(&a, &IluOptions::level_scheduling_only(1)).unwrap();
+        let f = factorize(&a, &IluOptions::level_scheduling_only(1)).unwrap();
         let m = MachineModel::haswell14();
         let t1 = sim_factor_time(&f, &m, 1).total_s;
         let t8 = sim_factor_time(&f, &m, 8).total_s;
@@ -481,7 +481,7 @@ mod tests {
     #[test]
     fn p2p_beats_barrier_for_trisolve() {
         let a = grid(30, 30);
-        let f = IluFactorization::compute(&a, &IluOptions::default()).unwrap();
+        let f = factorize(&a, &IluOptions::default()).unwrap();
         let m = MachineModel::haswell14();
         let barrier = sim_trisolve_time(&f, &m, 14, SolveEngine::BarrierLevel);
         let p2p = sim_trisolve_time(&f, &m, 14, SolveEngine::PointToPoint);
@@ -494,7 +494,7 @@ mod tests {
     #[test]
     fn numa_hurts_cross_socket_scaling() {
         let a = grid(40, 40);
-        let f = IluFactorization::compute(&a, &IluOptions::default()).unwrap();
+        let f = factorize(&a, &IluOptions::default()).unwrap();
         let h14 = MachineModel::haswell14();
         let h28 = MachineModel::haswell28();
         let s14 = sim_factor_time(&f, &h14, 1).total_s / sim_factor_time(&f, &h14, 14).total_s;
@@ -507,7 +507,7 @@ mod tests {
     #[test]
     fn smt_gains_are_minor() {
         let a = grid(40, 40);
-        let f = IluFactorization::compute(&a, &IluOptions::default()).unwrap();
+        let f = factorize(&a, &IluOptions::default()).unwrap();
         let knl = MachineModel::knl136();
         let t68 = sim_factor_time(&f, &knl, 68).total_s;
         let t136 = sim_factor_time(&f, &knl, 136).total_s;
@@ -537,7 +537,7 @@ mod tests {
         opts.split.min_rows_per_level = 24;
         opts.split.location_frac = 0.1;
         opts.split.max_lower_frac = 0.3;
-        let f = IluFactorization::compute(&a, &opts).unwrap();
+        let f = factorize(&a, &opts).unwrap();
         assert!(f.stats().n_lower_rows > 100, "want a real trailing block");
         let m = MachineModel::knl68();
         let serial = sim_trisolve_time(&f, &m, 1, SolveEngine::Serial);
@@ -568,7 +568,7 @@ mod tests {
         opts.split.min_rows_per_level = 48;
         opts.split.location_frac = 0.1;
         opts.split.max_lower_frac = 0.3;
-        let f = IluFactorization::compute(&a, &opts).unwrap();
+        let f = factorize(&a, &opts).unwrap();
         let m = MachineModel::knl68();
         let ls = sim_trisolve_time(&f, &m, 68, SolveEngine::PointToPoint);
         let lower = sim_trisolve_time(&f, &m, 68, SolveEngine::PointToPointLower);
@@ -581,7 +581,7 @@ mod tests {
     #[test]
     fn ls_beats_serial_on_wide_levels() {
         let a = grid(36, 36);
-        let f = IluFactorization::compute(&a, &IluOptions::default()).unwrap();
+        let f = factorize(&a, &IluOptions::default()).unwrap();
         let m = MachineModel::knl68();
         let serial = sim_trisolve_time(&f, &m, 1, SolveEngine::Serial);
         let ls = sim_trisolve_time(&f, &m, 68, SolveEngine::PointToPoint);
@@ -594,7 +594,7 @@ mod tests {
     #[test]
     fn thread_count_clamped_to_machine() {
         let a = grid(10, 10);
-        let f = IluFactorization::compute(&a, &IluOptions::default()).unwrap();
+        let f = factorize(&a, &IluOptions::default()).unwrap();
         let m = MachineModel::generic(4);
         let t4 = sim_factor_time(&f, &m, 4).total_s;
         let t99 = sim_factor_time(&f, &m, 99).total_s;

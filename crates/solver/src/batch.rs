@@ -213,7 +213,7 @@ pub fn solve_batch_with<T: Scalar, P: Preconditioner<T>>(
 mod tests {
     use super::*;
     use crate::pcg_with;
-    use javelin_core::{IluFactorization, IluOptions};
+    use javelin_core::{factorize, IluOptions};
     use javelin_sparse::CooMatrix;
 
     fn laplace_2d(nx: usize, ny: usize) -> CsrMatrix<f64> {
@@ -250,7 +250,7 @@ mod tests {
         // pcg_with run on that column.
         let a = laplace_2d(12, 11);
         let n = a.nrows();
-        let f = IluFactorization::compute(&a, &IluOptions::ilu0(2)).unwrap();
+        let f = factorize(&a, &IluOptions::ilu0(2)).unwrap();
         let opts = SolverOptions::default();
         for k in [1usize, 3, 8] {
             let b = rhs_panel(n, k);
@@ -293,7 +293,7 @@ mod tests {
         // column's true residual must meet the tolerance.
         let a = laplace_2d(14, 14);
         let n = a.nrows();
-        let f = IluFactorization::compute(&a, &IluOptions::default()).unwrap();
+        let f = factorize(&a, &IluOptions::default()).unwrap();
         let opts = SolverOptions::default();
         let mut b = vec![0.0; n * 2];
         b[0] = 1e-3; // nearly-aligned easy column
@@ -336,7 +336,7 @@ mod tests {
     fn zero_rhs_columns_are_trivially_converged() {
         let a = laplace_2d(6, 6);
         let n = a.nrows();
-        let f = IluFactorization::compute(&a, &IluOptions::default()).unwrap();
+        let f = factorize(&a, &IluOptions::default()).unwrap();
         let mut b = vec![0.0; n * 3];
         for i in 0..n {
             b[n + i] = 1.0; // only the middle column is nontrivial
@@ -362,7 +362,7 @@ mod tests {
         // must reproduce fresh-workspace bits every time.
         let a = laplace_2d(10, 9);
         let n = a.nrows();
-        let f = IluFactorization::compute(&a, &IluOptions::ilu0(2)).unwrap();
+        let f = factorize(&a, &IluOptions::ilu0(2)).unwrap();
         let opts = SolverOptions::default();
         let b3 = rhs_panel(n, 3);
         let reference = {
@@ -406,7 +406,7 @@ mod tests {
     fn iteration_cap_and_histories() {
         let a = laplace_2d(16, 16);
         let n = a.nrows();
-        let f = IluFactorization::compute(&a, &IluOptions::default()).unwrap();
+        let f = factorize(&a, &IluOptions::default()).unwrap();
         let b = rhs_panel(n, 2);
         let opts = SolverOptions {
             max_iters: 2,

@@ -165,7 +165,7 @@ pub fn bicgstab_with<T: Scalar, P: Preconditioner<T>>(
 mod tests {
     use super::*;
     use javelin_core::precond::IdentityPrecond;
-    use javelin_core::{IluFactorization, IluOptions};
+    use javelin_core::{factorize, IluOptions};
     use javelin_sparse::CooMatrix;
 
     fn nonsym(n: usize) -> CsrMatrix<f64> {
@@ -211,7 +211,7 @@ mod tests {
             let mut x = vec![0.0; 300];
             bicgstab(&a, &b, &mut x, &IdentityPrecond, &SolverOptions::default())
         };
-        let f = IluFactorization::compute(&a, &IluOptions::default()).unwrap();
+        let f = factorize(&a, &IluOptions::default()).unwrap();
         let pre = {
             let mut x = vec![0.0; 300];
             bicgstab(&a, &b, &mut x, &f, &SolverOptions::default())

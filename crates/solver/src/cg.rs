@@ -124,7 +124,7 @@ pub fn pcg_with<T: Scalar, P: Preconditioner<T>>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use javelin_core::{IluFactorization, IluOptions};
+    use javelin_core::{factorize, IluOptions};
     use javelin_sparse::CooMatrix;
 
     fn laplace_2d(nx: usize, ny: usize) -> CsrMatrix<f64> {
@@ -177,7 +177,7 @@ mod tests {
             let mut x = vec![0.0; n];
             cg(&a, &b, &mut x, &SolverOptions::default())
         };
-        let f = IluFactorization::compute(&a, &IluOptions::default()).unwrap();
+        let f = factorize(&a, &IluOptions::default()).unwrap();
         let pre = {
             let mut x = vec![0.0; n];
             pcg(&a, &b, &mut x, &f, &SolverOptions::default())
@@ -197,7 +197,7 @@ mod tests {
         // change) must give bit-identical results to fresh workspaces.
         let a = laplace_2d(14, 14);
         let n = a.nrows();
-        let f = IluFactorization::compute(&a, &IluOptions::ilu0(2)).unwrap();
+        let f = factorize(&a, &IluOptions::ilu0(2)).unwrap();
         let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.17).sin()).collect();
         let opts = SolverOptions::default();
         let mut x_ref = vec![0.0; n];

@@ -13,7 +13,7 @@ use javelin_core::precond::Preconditioner;
 use javelin_sparse::vecops;
 use javelin_sparse::{CsrMatrix, Scalar};
 
-/// Flexible restarted GMRES: like [`crate::gmres`], but applies the
+/// Flexible restarted GMRES: like [`crate::gmres()`], but applies the
 /// (possibly varying) preconditioner through the stored `Z` basis, so
 /// each iteration may use a different `M⁻¹`.
 ///
@@ -176,7 +176,7 @@ mod tests {
     use super::*;
     use crate::gmres;
     use javelin_core::precond::{IdentityPrecond, SsorPrecond};
-    use javelin_core::{IluFactorization, IluOptions};
+    use javelin_core::{factorize, IluOptions};
     use javelin_sparse::CooMatrix;
     use parking_lot::Mutex;
 
@@ -209,7 +209,7 @@ mod tests {
     fn fgmres_matches_gmres_with_fixed_preconditioner() {
         let a = convection(10, 10);
         let n = a.nrows();
-        let f = IluFactorization::compute(&a, &IluOptions::default()).unwrap();
+        let f = factorize(&a, &IluOptions::default()).unwrap();
         let b: Vec<f64> = (0..n).map(|i| (i % 9) as f64 - 4.0).collect();
         let opts = SolverOptions {
             tol: 1e-10,

@@ -186,7 +186,7 @@ pub fn gmres_with<T: Scalar, P: Preconditioner<T>>(
 mod tests {
     use super::*;
     use javelin_core::precond::IdentityPrecond;
-    use javelin_core::{IluFactorization, IluOptions};
+    use javelin_core::{factorize, IluOptions};
     use javelin_sparse::CooMatrix;
 
     fn convection(nx: usize, ny: usize) -> CsrMatrix<f64> {
@@ -244,7 +244,7 @@ mod tests {
             let mut x = vec![0.0; n];
             gmres(&a, &b, &mut x, &IdentityPrecond, &SolverOptions::default())
         };
-        let f = IluFactorization::compute(&a, &IluOptions::default()).unwrap();
+        let f = factorize(&a, &IluOptions::default()).unwrap();
         let pre = {
             let mut x = vec![0.0; n];
             gmres(&a, &b, &mut x, &f, &SolverOptions::default())
@@ -278,7 +278,7 @@ mod tests {
         // ILU with full fill = exact LU: GMRES needs a single step.
         let a = convection(7, 7);
         let n = a.nrows();
-        let f = IluFactorization::compute(&a, &IluOptions::default().with_fill(n)).unwrap();
+        let f = factorize(&a, &IluOptions::default().with_fill(n)).unwrap();
         let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
         let mut x = vec![0.0; n];
         let res = gmres(&a, &b, &mut x, &f, &SolverOptions::default());

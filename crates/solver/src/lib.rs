@@ -4,18 +4,20 @@
 //! and the measurement instrument of the paper's Table II (iterations
 //! to a 1e-6 relative residual under different orderings).
 //!
-//! * [`cg`] — (preconditioned) conjugate gradients for SPD systems;
-//! * [`gmres`] — restarted GMRES with right preconditioning and Givens
+//! * [`fn@cg`] — (preconditioned) conjugate gradients for SPD systems;
+//! * [`fn@gmres`] — restarted GMRES with right preconditioning and Givens
 //!   least-squares;
-//! * [`fgmres`] — flexible GMRES for iteration-varying preconditioners;
-//! * [`bicgstab`] — BiCGSTAB for nonsymmetric systems;
+//! * [`fn@fgmres`] — flexible GMRES for iteration-varying preconditioners;
+//! * [`fn@bicgstab`] — BiCGSTAB for nonsymmetric systems;
 //! * [`solve_batch`] — `k` independent PCG systems in lockstep over one
 //!   RHS panel, sharing one preconditioner schedule walk per iteration
 //!   with per-column convergence masking (the serving-scale multi-RHS
 //!   driver).
 //!
 //! All solvers share [`SolverOptions`] / [`SolverResult`] and take any
-//! [`javelin_core::Preconditioner`].
+//! [`javelin_core::Preconditioner`]; the [`Method`] enum plus
+//! [`krylov_with`] give a single dispatched entry over all of them —
+//! the method axis of the `javelin::Session` façade.
 //!
 //! Every solver comes in two forms: the plain entry point (`pcg`,
 //! `gmres`, …) that allocates its own working vectors, and a `_with`
@@ -44,6 +46,90 @@ pub use cg::{cg, pcg, pcg_with};
 pub use fgmres::{fgmres, fgmres_with};
 pub use gmres::{gmres, gmres_with};
 pub use workspace::SolverWorkspace;
+
+use javelin_core::Preconditioner;
+use javelin_sparse::{CsrMatrix, Scalar};
+
+/// Which Krylov method a dispatched solve runs — the method axis of the
+/// unified `javelin::Session` façade (each variant maps onto one of the
+/// dedicated entry points below).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Preconditioned conjugate gradients ([`pcg`]) — SPD systems.
+    Pcg,
+    /// Restarted GMRES with right preconditioning ([`fn@gmres`]).
+    Gmres,
+    /// Flexible GMRES ([`fn@fgmres`]) — iteration-varying preconditioners.
+    Fgmres,
+    /// BiCGSTAB ([`fn@bicgstab`]) — nonsymmetric systems.
+    Bicgstab,
+    /// Lockstep batched PCG ([`solve_batch`]); on a single right-hand
+    /// side this runs the panel driver at width 1, which is
+    /// bit-identical to [`pcg`] by the panel contract.
+    BatchPcg,
+}
+
+impl std::fmt::Display for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Method::Pcg => write!(f, "pcg"),
+            Method::Gmres => write!(f, "gmres"),
+            Method::Fgmres => write!(f, "fgmres"),
+            Method::Bicgstab => write!(f, "bicgstab"),
+            Method::BatchPcg => write!(f, "batch-pcg"),
+        }
+    }
+}
+
+/// Runs the chosen Krylov [`Method`] with caller-owned working memory —
+/// the dispatch behind `javelin::Session::krylov`. Allocation behavior
+/// and semantics are those of the underlying `_with` entry point.
+///
+/// # Panics
+/// On dimension mismatches (as the underlying solvers do).
+pub fn krylov_with<T: Scalar, P: Preconditioner<T>>(
+    method: Method,
+    a: &CsrMatrix<T>,
+    b: &[T],
+    x: &mut [T],
+    m: &P,
+    opts: &SolverOptions,
+    ws: &mut SolverWorkspace<T>,
+) -> SolverResult {
+    match method {
+        Method::Pcg => pcg_with(a, b, x, m, opts, ws),
+        Method::Gmres => gmres_with(a, b, x, m, opts, ws),
+        Method::Fgmres => fgmres_with(a, b, x, m, opts, ws),
+        Method::Bicgstab => bicgstab_with(a, b, x, m, opts, ws),
+        Method::BatchPcg => {
+            let n = a.nrows();
+            assert_eq!(b.len(), n, "krylov: rhs length");
+            assert_eq!(x.len(), n, "krylov: solution length");
+            let results = solve_batch_with(
+                a,
+                javelin_sparse::Panel::new(b, n, 1),
+                javelin_sparse::PanelMut::new(x, n, 1),
+                m,
+                opts,
+                ws,
+            );
+            results.into_iter().next().expect("one column")
+        }
+    }
+}
+
+/// [`krylov_with`] allocating a fresh workspace — convenience for
+/// one-shot solves.
+pub fn krylov<T: Scalar, P: Preconditioner<T>>(
+    method: Method,
+    a: &CsrMatrix<T>,
+    b: &[T],
+    x: &mut [T],
+    m: &P,
+    opts: &SolverOptions,
+) -> SolverResult {
+    krylov_with(method, a, b, x, m, opts, &mut SolverWorkspace::new())
+}
 
 /// Iteration controls shared by all solvers.
 #[derive(Debug, Clone, Copy)]

@@ -107,6 +107,19 @@ impl<T: Scalar> SolverWorkspace<T> {
         ensure(&mut self.yk, m);
     }
 
+    /// Pre-grows every buffer family a session-style caller may hit —
+    /// the short-recurrence vectors, the Arnoldi state for `restart`,
+    /// and (for `k > 0`) the batched panels — so the first solve of any
+    /// kind is already allocation-free. Growing is idempotent;
+    /// steady-state callers never need this.
+    pub fn reserve(&mut self, n: usize, restart: usize, k: usize) {
+        self.ensure_short(n);
+        self.ensure_krylov(n, restart.max(1), true);
+        if k > 0 {
+            self.ensure_panel(n, k);
+        }
+    }
+
     /// Sizes the batched-solver panel buffers for `k` columns of `n`
     /// entries (`solve_batch`).
     pub(crate) fn ensure_panel(&mut self, n: usize, k: usize) {

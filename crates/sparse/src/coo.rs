@@ -3,7 +3,7 @@
 //! `CooMatrix` is the mutable staging area: generators and file readers
 //! push `(row, col, value)` triplets in any order (duplicates allowed —
 //! they are summed, the Matrix Market convention) and convert once into
-//! the immutable [`CsrMatrix`](crate::CsrMatrix) on which everything else
+//! the immutable [`CsrMatrix`] on which everything else
 //! operates.
 
 use crate::csr::CsrMatrix;

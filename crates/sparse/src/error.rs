@@ -44,6 +44,10 @@ pub enum SparseError {
     Io(String),
     /// Two operands had incompatible shapes.
     DimensionMismatch(String),
+    /// A matrix's sparsity pattern differs from the pattern an analysis
+    /// was built for (numeric refactorization requires an identical
+    /// pattern).
+    PatternMismatch(String),
 }
 
 impl fmt::Display for SparseError {
@@ -69,6 +73,7 @@ impl fmt::Display for SparseError {
             }
             SparseError::Io(msg) => write!(f, "i/o error: {msg}"),
             SparseError::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
+            SparseError::PatternMismatch(msg) => write!(f, "sparsity pattern mismatch: {msg}"),
         }
     }
 }

@@ -84,6 +84,20 @@ pub fn rhs_panel(n: usize, k: usize, seed: u64) -> Vec<f64> {
     data
 }
 
+/// Deterministic same-pattern value drift: `v_k ← v_k · (1 +
+/// amplitude·sin(k·seed))` — the "time step's worth of change" fixture
+/// for numeric-refactorization tests and benchmarks. The sparsity
+/// pattern is untouched, so the result is valid input for
+/// `IluFactors::refactor` against an analysis of `a`; small amplitudes
+/// (≲ 0.05) keep diagonally dominant inputs factorable.
+pub fn revalue(a: &CsrMatrix<f64>, seed: f64, amplitude: f64) -> CsrMatrix<f64> {
+    let (nr, nc, rp, ci, mut vs) = a.clone().into_parts();
+    for (k, v) in vs.iter_mut().enumerate() {
+        *v *= 1.0 + amplitude * ((k as f64 * seed).sin());
+    }
+    CsrMatrix::from_raw_unchecked(nr, nc, rp, ci, vs)
+}
+
 /// Random nonsymmetric perturbation of values (pattern preserved):
 /// `v ← v · (1 + amp·u)` with `u ∈ [-1, 1)`. Useful for turning a
 /// symmetric stencil into a "semiconductor-device-like" nonsymmetric

@@ -17,7 +17,7 @@
 //!    global allocator, not assumed;
 //! 4. malformed panels are rejected with an error, not a panic.
 
-use javelin::core::{IluFactorization, IluOptions};
+use javelin::core::{factorize, IluOptions};
 use javelin::solver::{pcg_with, solve_batch_with, SolverOptions, SolverWorkspace};
 use javelin::sparse::{Panel, PanelMut};
 use javelin::synth::grid::laplace_2d;
@@ -55,7 +55,7 @@ fn main() {
 
     // Factor once; the persistent worker team and the panel-width
     // scratch inside the factors serve every solve below.
-    let factors = IluFactorization::compute(&a, &IluOptions::ilu0(2)).expect("ILU(0)");
+    let factors = factorize(&a, &IluOptions::ilu0(2)).expect("ILU(0)");
 
     // A deterministic panel whose columns are genuinely different
     // systems, so they converge at different iterations and the

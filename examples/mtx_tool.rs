@@ -10,7 +10,7 @@
 //! Without an argument it demonstrates the round trip on a generated
 //! matrix written to a temporary file.
 
-use javelin::core::{IluFactorization, IluOptions};
+use javelin::core::{factorize, IluOptions};
 use javelin::level::LevelSets;
 use javelin::solver::{gmres, SolverOptions};
 use javelin::sparse::io::{read_matrix_market, write_matrix_market};
@@ -49,7 +49,7 @@ fn main() {
         st.n_levels, st.min, st.median, st.max
     );
     let t0 = std::time::Instant::now();
-    let f = IluFactorization::compute(&a, &IluOptions::default()).expect("ILU(0)");
+    let f = factorize(&a, &IluOptions::default()).expect("ILU(0)");
     println!(
         "ILU(0) in {:.2?}; {} lower-stage rows ({}), {:.0}% of raw deps pruned",
         t0.elapsed(),

@@ -1,12 +1,14 @@
 //! Quickstart: factor a 2D Poisson problem with ILU(0) and solve it
-//! with preconditioned conjugate gradients.
+//! with preconditioned conjugate gradients — through the `Session`
+//! façade, the one-object entry point that owns the factorization, the
+//! worker team and every workspace.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use javelin::core::{IluFactorization, IluOptions};
-use javelin::solver::{cg, pcg, SolverOptions};
+use javelin::prelude::*;
+use javelin::solver::cg;
 use javelin::synth::grid::laplace_2d;
 
 fn main() {
@@ -15,11 +17,11 @@ fn main() {
     let n = a.nrows();
     println!("matrix: {} x {} with {} nonzeros", n, n, a.nnz());
 
-    // 2. Incomplete factorization. The default options reproduce the
-    //    paper's configuration: ILU(0), level scheduling on
-    //    lower(A+A^T), automatic two-stage split.
-    let factors = IluFactorization::compute(&a, &IluOptions::default()).expect("ILU(0)");
-    let s = factors.stats();
+    // 2. One Session = analyze + factor + workspaces. The default
+    //    options reproduce the paper's configuration: ILU(0), level
+    //    scheduling on lower(A+A^T), automatic two-stage split.
+    let mut session = Session::builder().build(&a).expect("ILU(0)");
+    let s = session.stats();
     println!(
         "ILU(0): {} levels ({} upper-stage), {} rows in the lower stage, fill ratio {:.2}",
         s.n_levels,
@@ -36,11 +38,12 @@ fn main() {
 
     // 3. Solve A x = b with and without the preconditioner.
     let b = vec![1.0; n];
-    let opts = SolverOptions::default();
     let mut x_plain = vec![0.0; n];
-    let plain = cg(&a, &b, &mut x_plain, &opts);
+    let plain = cg(&a, &b, &mut x_plain, &SolverOptions::default());
     let mut x_pre = vec![0.0; n];
-    let pre = pcg(&a, &b, &mut x_pre, &factors, &opts);
+    let pre = session
+        .krylov(Method::Pcg, &b, &mut x_pre)
+        .expect("matching shapes");
     println!(
         "CG:          {} iterations (relative residual {:.2e})",
         plain.iterations, plain.relative_residual

@@ -13,7 +13,7 @@
 //! ```
 
 use javelin::core::options::SolveEngine;
-use javelin::core::{IluFactorization, IluOptions};
+use javelin::core::{factorize, IluOptions};
 use javelin::machine::{sim_factor_time, sim_trisolve_time, MachineModel};
 use javelin::synth::suite::{suite_matrix, Scale};
 use javelin_bench::harness::preorder_dm_nd;
@@ -30,7 +30,7 @@ fn main() {
                 .expect("suite matrix")
                 .build_at(Scale::Standard),
         );
-        let f = IluFactorization::compute(&a, &IluOptions::default()).expect("ILU");
+        let f = factorize(&a, &IluOptions::default()).expect("ILU");
         println!(
             "\n=== {label}: n = {}, levels = {} ===",
             a.nrows(),

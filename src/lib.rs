@@ -4,20 +4,58 @@
 //! reproduction of *"Javelin: A Scalable Implementation for Sparse
 //! Incomplete LU Factorization"* (Booth & Bolet, IPDPS 2019).
 //!
-//! This facade crate re-exports the workspace so applications can depend
-//! on a single crate:
+//! ## The `Session` façade
+//!
+//! The recommended entry point is [`Session`]: one object that owns the
+//! matrix, the two-phase factorization, the persistent worker team and
+//! every workspace, with the whole solve surface collapsed to three
+//! verbs — `solve` (one preconditioner apply), `solve_panel` (multi-RHS)
+//! and `krylov` (full iterative solve):
 //!
 //! ```
 //! use javelin::prelude::*;
 //!
 //! // 2D Poisson problem, ILU(0) preconditioner, solve with PCG.
 //! let a = javelin::synth::grid::laplace_2d(16, 16);
-//! let opts = IluOptions::default();
-//! let fact = IluFactorization::compute(&a, &opts).unwrap();
+//! let mut session = Session::builder().nthreads(2).build(&a).unwrap();
 //! let b = vec![1.0; a.nrows()];
 //! let mut x = vec![0.0; a.nrows()];
-//! fact.solve_into(&b, &mut x).unwrap();
-//! assert!(x.iter().all(|v| v.is_finite()));
+//! let res = session.krylov(Method::Pcg, &b, &mut x).unwrap();
+//! assert!(res.converged);
+//! ```
+//!
+//! ## The two-phase lifecycle: analyze → factor → refactor → solve
+//!
+//! Underneath the façade, the API mirrors the paper's phase structure
+//! (the symbolic/numeric handle split of SuperLU/KLU-style interfaces):
+//!
+//! * [`SymbolicIlu::analyze`](core::SymbolicIlu::analyze) does all
+//!   pattern-dependent work once — ordering, ILU(k) fill, level
+//!   schedules, the two-stage split, trisolve/spmv plans, scratch and
+//!   the worker team;
+//! * [`SymbolicIlu::factor`](core::SymbolicIlu::factor) runs the
+//!   numeric phase for one value set;
+//! * [`IluFactors::refactor`](core::IluFactors::refactor) redoes the
+//!   numeric phase **in place** for a pattern-identical matrix — zero
+//!   allocations, zero thread spawns, bit-identical to a fresh factor —
+//!   so a time stepper pays the symbolic cost exactly once;
+//! * every solve/apply runs allocation-free on the persistent team.
+//!
+//! Time-stepping with [`Session::refactor`]:
+//!
+//! ```
+//! use javelin::prelude::*;
+//!
+//! let a = javelin::synth::grid::laplace_2d(12, 12);
+//! let mut session = Session::builder().build(&a).unwrap();
+//! let mut u = vec![1.0; a.nrows()];
+//! for _step in 0..3 {
+//!     // values drift, pattern fixed → numeric-only refactorization
+//!     session.refactor(&a).unwrap();
+//!     let b = u.clone();
+//!     let res = session.krylov(Method::Pcg, &b, &mut u).unwrap();
+//!     assert!(res.converged);
+//! }
 //! ```
 //!
 //! The subsystem crates are re-exported under their short names:
@@ -26,10 +64,10 @@
 //! * [`synth`] — synthetic matrix generators (incl. the paper test suite)
 //! * [`order`] — RCM, minimum-degree, nested dissection, DM/BTF, coloring
 //! * [`level`] — level-set scheduling, two-stage split, p2p schedules
-//! * [`sync`] — thread pool, progress counters, task graph, segmented scan
+//! * [`sync`] — thread pool, worker team, progress counters, task graph
 //! * [`core`] — the ILU framework itself (factorization, stri, spmv)
 //! * [`baseline`] — serial ILUT and the heavyweight comparator
-//! * [`solver`] — CG / GMRES / BiCGSTAB Krylov solvers
+//! * [`solver`] — CG / GMRES / FGMRES / BiCGSTAB / batched Krylov solvers
 //! * [`machine`] — machine models and the schedule simulator
 
 pub use javelin_baseline as baseline;
@@ -42,11 +80,20 @@ pub use javelin_sparse as sparse;
 pub use javelin_sync as sync;
 pub use javelin_synth as synth;
 
+pub mod session;
+
+pub use session::{Session, SessionBuilder};
+
 /// Commonly used items, for `use javelin::prelude::*`.
 pub mod prelude {
+    pub use crate::session::{Session, SessionBuilder};
     pub use javelin_core::factors::IluFactors;
-    pub use javelin_core::options::{IluOptions, LowerMethod};
-    pub use javelin_core::IluFactorization;
-    pub use javelin_solver::{cg, gmres, solve_batch};
+    pub use javelin_core::options::{IluOptions, LowerMethod, SolveEngine};
+    pub use javelin_core::symbolic_ilu::SymbolicIlu;
+    pub use javelin_core::{factorize, IluFactorization};
+    pub use javelin_solver::{
+        bicgstab, cg, fgmres, gmres, krylov, pcg, solve_batch, Method, SolverOptions, SolverResult,
+        SolverWorkspace,
+    };
     pub use javelin_sparse::{CooMatrix, CsrMatrix, Panel, PanelMut, Perm, Scalar};
 }

@@ -1,0 +1,526 @@
+//! The unified `Session` façade: one object owning the matrix, the
+//! two-phase factorization, the worker team and every workspace, with
+//! the whole solve surface collapsed to three verbs —
+//! [`Session::solve`], [`Session::solve_panel`] and
+//! [`Session::krylov`] — plus [`Session::refactor`] for time stepping.
+//!
+//! ```
+//! use javelin::prelude::*;
+//!
+//! let a = javelin::synth::grid::laplace_2d(16, 16);
+//! let mut session = Session::builder()
+//!     .fill_level(0)
+//!     .nthreads(2)
+//!     .panel_width(4)
+//!     .build(&a)
+//!     .unwrap();
+//! let b = vec![1.0; a.nrows()];
+//! let mut x = vec![0.0; a.nrows()];
+//! // Full preconditioned Krylov solve of A·x = b:
+//! let res = session.krylov(Method::Pcg, &b, &mut x).unwrap();
+//! assert!(res.converged);
+//! // Values change, pattern does not — numeric-only refactorization:
+//! session.refactor(&a).unwrap();
+//! ```
+
+use javelin_core::{FactorStats, IluFactors, IluOptions, SolveEngine, SymbolicIlu};
+use javelin_solver::SolverWorkspace;
+use javelin_solver::{krylov_with, solve_batch_with, Method, SolverOptions, SolverResult};
+use javelin_sparse::{CsrMatrix, Panel, PanelMut, Scalar, SparseError};
+use javelin_sync::WorkerTeam;
+use std::sync::Arc;
+
+/// Builder for a [`Session`] (see [`Session::builder`]).
+///
+/// The common factorization and solver knobs have dedicated setters;
+/// [`SessionBuilder::ilu_options`] / [`SessionBuilder::solver_options`]
+/// are the escape hatches for everything else.
+#[derive(Debug, Clone, Default)]
+pub struct SessionBuilder {
+    opts: IluOptions,
+    solver: SolverOptions,
+    engine: Option<SolveEngine>,
+    panel_width: usize,
+}
+
+impl SessionBuilder {
+    /// Fill level `k` of ILU(k) (default 0).
+    #[must_use]
+    pub fn fill_level(mut self, k: usize) -> Self {
+        self.opts.fill_level = k;
+        self
+    }
+
+    /// Drop tolerance τ of ILU(k, τ) (default 0: no dropping).
+    #[must_use]
+    pub fn drop_tol(mut self, tau: f64) -> Self {
+        self.opts.drop_tol = tau;
+        self
+    }
+
+    /// Modified-ILU diagonal compensation ω (default 0).
+    #[must_use]
+    pub fn milu(mut self, omega: f64) -> Self {
+        self.opts.milu_omega = omega;
+        self
+    }
+
+    /// Worker threads (default 1: fully serial pipeline).
+    #[must_use]
+    pub fn nthreads(mut self, nthreads: usize) -> Self {
+        self.opts.nthreads = nthreads;
+        self
+    }
+
+    /// Tile size for Segmented-Rows and the tiled solve kernels.
+    #[must_use]
+    pub fn tile_size(mut self, tile: usize) -> Self {
+        self.opts.tile_size = tile;
+        self
+    }
+
+    /// Triangular-solve engine for every apply in this session
+    /// (default: the analysis's oversubscription-aware choice).
+    #[must_use]
+    pub fn engine(mut self, engine: SolveEngine) -> Self {
+        self.engine = Some(engine);
+        self
+    }
+
+    /// Pre-warms panel scratch and solver panels to width `k`, so the
+    /// first [`Session::solve_panel`] / [`Session::krylov_panel`] at
+    /// width ≤ `k` is already allocation-free (default 1).
+    #[must_use]
+    pub fn panel_width(mut self, k: usize) -> Self {
+        self.panel_width = k;
+        self
+    }
+
+    /// Runs this session's parallel regions on a caller-owned worker
+    /// team (`nthreads` is taken from the team) — one process-wide team
+    /// can serve many sessions.
+    #[must_use]
+    pub fn shared_team(mut self, team: Arc<WorkerTeam>) -> Self {
+        self.opts = self.opts.with_shared_team(team);
+        self
+    }
+
+    /// Krylov iteration controls (tolerance, caps, restart length).
+    #[must_use]
+    pub fn solver_options(mut self, solver: SolverOptions) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// Replaces the full factorization option set (escape hatch; the
+    /// dedicated setters cover the common knobs).
+    #[must_use]
+    pub fn ilu_options(mut self, opts: IluOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Analyzes and factors `a`, returning a ready [`Session`]. The
+    /// session keeps its own copy of the matrix for the Krylov matvecs.
+    ///
+    /// # Errors
+    /// Everything [`SymbolicIlu::analyze`] / [`SymbolicIlu::factor`]
+    /// can return.
+    pub fn build<T: Scalar>(&self, a: &CsrMatrix<T>) -> Result<Session<T>, SparseError> {
+        let sym = SymbolicIlu::analyze(a, &self.opts)?;
+        let factors = sym.factor(a)?;
+        let engine = self.engine.unwrap_or_else(|| factors.default_engine());
+        factors.reserve_panel_width(self.panel_width);
+        let mut workspace = SolverWorkspace::new();
+        workspace.reserve(a.nrows(), self.solver.restart, self.panel_width.max(1));
+        Ok(Session {
+            a: a.clone(),
+            factors,
+            engine,
+            solver: self.solver,
+            workspace,
+            perm_buf: Vec::new(),
+        })
+    }
+}
+
+/// A single owner for everything one linear system needs across its
+/// lifetime: the matrix, the symbolic analysis, the numeric factors,
+/// the persistent worker team and all solve workspaces (see module
+/// docs). Created by [`Session::builder`].
+pub struct Session<T: Scalar> {
+    a: CsrMatrix<T>,
+    factors: IluFactors<T>,
+    engine: SolveEngine,
+    solver: SolverOptions,
+    workspace: SolverWorkspace<T>,
+    perm_buf: Vec<T>,
+}
+
+// `builder()` lives on a single concrete instantiation so that plain
+// `Session::builder()` needs no type annotation — the builder itself is
+// scalar-agnostic and `build` fixes `T` from the matrix it receives.
+impl Session<f64> {
+    /// Starts building a session. Equivalent to
+    /// [`SessionBuilder::default`]; the scalar type is chosen by
+    /// [`SessionBuilder::build`], not here.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::default()
+    }
+}
+
+impl<T: Scalar> Session<T> {
+    /// Applies the factorization once: `x ← (LU)⁻¹ b` through the
+    /// session's engine — one forward + backward substitution, not an
+    /// iterative solve. Allocation-free after the first call.
+    ///
+    /// # Errors
+    /// [`SparseError::DimensionMismatch`] on length mismatches.
+    pub fn solve(&mut self, b: &[T], x: &mut [T]) -> Result<(), SparseError> {
+        self.factors
+            .solve_with_buffer(self.engine, &mut self.perm_buf, b, x)
+    }
+
+    /// Panel analogue of [`Session::solve`]: one schedule walk retires
+    /// all columns of the right-hand-side panel.
+    ///
+    /// # Errors
+    /// [`SparseError::DimensionMismatch`] on shape mismatches.
+    pub fn solve_panel(&mut self, b: Panel<'_, T>, x: PanelMut<'_, T>) -> Result<(), SparseError> {
+        self.factors
+            .solve_panel_with_buffer(self.engine, &mut self.perm_buf, b, x)
+    }
+
+    /// Full preconditioned iterative solve of `A·x = b` with the chosen
+    /// Krylov [`Method`], the session's ILU factors as the
+    /// preconditioner and its reusable workspace — allocation-free in
+    /// the steady state.
+    ///
+    /// # Errors
+    /// [`SparseError::DimensionMismatch`] on length mismatches.
+    pub fn krylov(
+        &mut self,
+        method: Method,
+        b: &[T],
+        x: &mut [T],
+    ) -> Result<SolverResult, SparseError> {
+        let n = self.a.nrows();
+        if b.len() != n || x.len() != n {
+            return Err(SparseError::DimensionMismatch(format!(
+                "krylov: rhs/solution lengths ({}, {}) != {}",
+                b.len(),
+                x.len(),
+                n
+            )));
+        }
+        let m = self.factors.with_engine(self.engine);
+        Ok(krylov_with(
+            method,
+            &self.a,
+            b,
+            x,
+            &m,
+            &self.solver,
+            &mut self.workspace,
+        ))
+    }
+
+    /// Batched Krylov solve: `k` PCG systems in lockstep over one RHS
+    /// panel, sharing one preconditioner schedule walk per iteration
+    /// with per-column convergence masking. Returns one result per
+    /// column.
+    ///
+    /// # Errors
+    /// [`SparseError::DimensionMismatch`] on shape mismatches.
+    pub fn krylov_panel(
+        &mut self,
+        b: Panel<'_, T>,
+        x: PanelMut<'_, T>,
+    ) -> Result<Vec<SolverResult>, SparseError> {
+        let n = self.a.nrows();
+        if b.nrows() != n || x.nrows() != n || x.ncols() != b.ncols() {
+            return Err(SparseError::DimensionMismatch(format!(
+                "krylov_panel: rhs {}x{} / solution {}x{} against a system of dimension {}",
+                b.nrows(),
+                b.ncols(),
+                x.nrows(),
+                x.ncols(),
+                n
+            )));
+        }
+        let m = self.factors.with_engine(self.engine);
+        Ok(solve_batch_with(
+            &self.a,
+            b,
+            x,
+            &m,
+            &self.solver,
+            &mut self.workspace,
+        ))
+    }
+
+    /// Numeric-only refactorization for a pattern-identical matrix with
+    /// new values (see [`IluFactors::refactor`]): the session's stored
+    /// matrix is updated in place and every plan, team and workspace is
+    /// reused — zero allocations, zero thread spawns in the steady
+    /// state.
+    ///
+    /// # Errors
+    /// * [`SparseError::PatternMismatch`] when `a`'s pattern differs
+    ///   from the analyzed one (session untouched);
+    /// * [`SparseError::ZeroPivot`] when a pivot collapses under the
+    ///   error policy.
+    pub fn refactor(&mut self, a: &CsrMatrix<T>) -> Result<(), SparseError> {
+        self.factors.refactor(a)?;
+        self.a.vals_mut().copy_from_slice(a.vals());
+        Ok(())
+    }
+
+    /// The system matrix the session solves against.
+    pub fn matrix(&self) -> &CsrMatrix<T> {
+        &self.a
+    }
+
+    /// The numeric factors (also this session's preconditioner).
+    pub fn factors(&self) -> &IluFactors<T> {
+        &self.factors
+    }
+
+    /// The shared symbolic analysis handle.
+    pub fn symbolic(&self) -> &SymbolicIlu<T> {
+        self.factors.symbolic()
+    }
+
+    /// Factorization statistics of the most recent factor/refactor.
+    pub fn stats(&self) -> &FactorStats {
+        self.factors.stats()
+    }
+
+    /// The triangular-solve engine every apply in this session uses.
+    pub fn engine(&self) -> SolveEngine {
+        self.engine
+    }
+
+    /// The Krylov iteration controls.
+    pub fn solver_options(&self) -> &SolverOptions {
+        &self.solver
+    }
+
+    /// Mutable access to the Krylov iteration controls (e.g. to tighten
+    /// the tolerance between time steps).
+    pub fn solver_options_mut(&mut self) -> &mut SolverOptions {
+        &mut self.solver
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use javelin_solver::pcg;
+    use javelin_synth::grid::laplace_2d;
+
+    fn b_vec(n: usize) -> Vec<f64> {
+        (0..n).map(|i| ((i * 13 % 17) as f64) - 8.0).collect()
+    }
+
+    #[test]
+    fn session_krylov_matches_direct_solver_calls() {
+        let a = laplace_2d(14, 14);
+        let n = a.nrows();
+        let b = b_vec(n);
+        let mut session = Session::builder().nthreads(2).build(&a).unwrap();
+        let mut xs = vec![0.0; n];
+        let res = session.krylov(Method::Pcg, &b, &mut xs).unwrap();
+        assert!(res.converged);
+        // Reference: plain pcg with the same factors and engine.
+        let opts = IluOptions::ilu0(2);
+        let factors = javelin_core::factorize(&a, &opts).unwrap();
+        let mut xr = vec![0.0; n];
+        let reference = pcg(&a, &b, &mut xr, &factors, &SolverOptions::default());
+        assert_eq!(res.iterations, reference.iterations);
+        for (g, w) in xs.iter().zip(xr.iter()) {
+            assert!((g - w).abs() <= 1e-10 * w.abs().max(1.0), "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn session_methods_all_converge() {
+        let a = laplace_2d(12, 12);
+        let n = a.nrows();
+        let b = b_vec(n);
+        let mut session = Session::builder().nthreads(2).build(&a).unwrap();
+        for method in [
+            Method::Pcg,
+            Method::Gmres,
+            Method::Fgmres,
+            Method::Bicgstab,
+            Method::BatchPcg,
+        ] {
+            let mut x = vec![0.0; n];
+            let res = session.krylov(method, &b, &mut x).unwrap();
+            assert!(res.converged, "{method} failed");
+            let ax = a.spmv(&x);
+            let rel: f64 = b
+                .iter()
+                .zip(&ax)
+                .map(|(p, q)| (p - q) * (p - q))
+                .sum::<f64>()
+                .sqrt()
+                / b.iter().map(|v| v * v).sum::<f64>().sqrt();
+            assert!(rel <= 1e-5, "{method}: residual {rel}");
+        }
+    }
+
+    #[test]
+    fn session_solve_is_one_preconditioner_apply() {
+        let a = laplace_2d(10, 10);
+        let n = a.nrows();
+        let b = b_vec(n);
+        let mut session = Session::builder().nthreads(2).build(&a).unwrap();
+        let engine = session.engine();
+        let mut xs = vec![0.0; n];
+        session.solve(&b, &mut xs).unwrap();
+        let mut xr = vec![0.0; n];
+        session.factors().solve_with(engine, &b, &mut xr).unwrap();
+        assert_eq!(
+            xs.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            xr.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn session_panel_paths_match_scalar_paths_bitwise() {
+        let a = laplace_2d(9, 9);
+        let n = a.nrows();
+        let k = 3;
+        let b: Vec<f64> = (0..n * k)
+            .map(|i| ((i * 7 % 31) as f64) * 0.11 - 1.5)
+            .collect();
+        let mut session = Session::builder()
+            .nthreads(2)
+            .panel_width(k)
+            .build(&a)
+            .unwrap();
+        let mut xp = vec![0.0; n * k];
+        session
+            .solve_panel(Panel::new(&b, n, k), PanelMut::new(&mut xp, n, k))
+            .unwrap();
+        for c in 0..k {
+            let mut x = vec![0.0; n];
+            session.solve(&b[c * n..(c + 1) * n], &mut x).unwrap();
+            assert_eq!(
+                xp[c * n..(c + 1) * n]
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                x.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "column {c}"
+            );
+        }
+        // Batched Krylov over the same panel converges column-wise.
+        let mut xk = vec![0.0; n * k];
+        let results = session
+            .krylov_panel(Panel::new(&b, n, k), PanelMut::new(&mut xk, n, k))
+            .unwrap();
+        assert_eq!(results.len(), k);
+        assert!(results.iter().all(|r| r.converged));
+    }
+
+    #[test]
+    fn session_refactor_tracks_new_values() {
+        let a = laplace_2d(10, 10);
+        let n = a.nrows();
+        let b = b_vec(n);
+        let mut session = Session::builder().nthreads(2).build(&a).unwrap();
+        // Scale the whole system: same pattern, new values.
+        let (nr, nc, rp, ci, vs) = a.clone().into_parts();
+        let vs2: Vec<f64> = vs.iter().map(|v| v * 2.0).collect();
+        let a2 = CsrMatrix::from_raw_unchecked(nr, nc, rp, ci, vs2);
+        session.refactor(&a2).unwrap();
+        assert_eq!(session.matrix().vals(), a2.vals());
+        let mut x = vec![0.0; n];
+        let res = session.krylov(Method::Pcg, &b, &mut x).unwrap();
+        assert!(res.converged);
+        // A·x = b with A doubled means x is halved relative to the
+        // original system's solution.
+        let mut session1 = Session::builder().nthreads(2).build(&a).unwrap();
+        let mut x1 = vec![0.0; n];
+        session1.krylov(Method::Pcg, &b, &mut x1).unwrap();
+        for (two, one) in x.iter().zip(x1.iter()) {
+            assert!((2.0 * two - one).abs() <= 1e-5 * one.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn session_rejects_mismatched_shapes() {
+        let a = laplace_2d(6, 6);
+        let n = a.nrows();
+        let mut session = Session::builder().build(&a).unwrap();
+        let b = vec![1.0; n - 1];
+        let mut x = vec![0.0; n];
+        assert!(session.krylov(Method::Pcg, &b, &mut x).is_err());
+        assert!(session.solve(&b, &mut x).is_err());
+        let bp = vec![0.0; n];
+        let mut xp = vec![0.0; 2 * n];
+        assert!(session
+            .krylov_panel(Panel::new(&bp, n, 1), PanelMut::new(&mut xp, n, 2))
+            .is_err());
+        // Pattern mismatch on refactor leaves the session usable.
+        let other = laplace_2d(5, 5);
+        assert!(matches!(
+            session.refactor(&other),
+            Err(SparseError::PatternMismatch(_))
+        ));
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        assert!(session.krylov(Method::Pcg, &b, &mut x).unwrap().converged);
+    }
+
+    #[test]
+    fn builder_knobs_are_applied() {
+        let a = laplace_2d(8, 8);
+        let session = Session::builder()
+            .fill_level(1)
+            .drop_tol(0.0)
+            .milu(0.0)
+            .nthreads(2)
+            .tile_size(32)
+            .engine(SolveEngine::BarrierLevel)
+            .panel_width(4)
+            .solver_options(SolverOptions {
+                tol: 1e-10,
+                ..Default::default()
+            })
+            .build(&a)
+            .unwrap();
+        assert_eq!(session.engine(), SolveEngine::BarrierLevel);
+        assert_eq!(session.symbolic().options().fill_level, 1);
+        assert_eq!(session.symbolic().options().tile_size, 32);
+        assert_eq!(session.solver_options().tol, 1e-10);
+        assert!(session.stats().nnz_lu >= a.nnz());
+    }
+
+    #[test]
+    fn shared_team_session() {
+        let a = laplace_2d(8, 8);
+        let team = Arc::new(WorkerTeam::new(2));
+        let mut s1 = Session::builder()
+            .shared_team(Arc::clone(&team))
+            .build(&a)
+            .unwrap();
+        let mut s2 = Session::builder()
+            .shared_team(Arc::clone(&team))
+            .build(&a)
+            .unwrap();
+        let n = a.nrows();
+        let b = b_vec(n);
+        let mut x1 = vec![0.0; n];
+        let mut x2 = vec![0.0; n];
+        s1.krylov(Method::Pcg, &b, &mut x1).unwrap();
+        s2.krylov(Method::Pcg, &b, &mut x2).unwrap();
+        assert_eq!(
+            x1.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            x2.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+}

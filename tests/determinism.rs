@@ -3,12 +3,12 @@
 //! ILU as debuggable as the serial one (contrast with the
 //! nondeterministic fine-grained ILU the paper cites as related work).
 
-use javelin::core::{IluFactorization, IluOptions, LowerMethod};
+use javelin::core::{factorize, IluOptions, LowerMethod};
 use javelin::synth::suite::paper_suite;
 use javelin_bench::harness::preorder_dm_nd;
 
 fn factor_bits(a: &javelin::sparse::CsrMatrix<f64>, opts: &IluOptions) -> Vec<u64> {
-    let f = IluFactorization::compute(a, opts).expect("factors");
+    let f = factorize(a, opts).expect("factors");
     f.lu().vals().iter().map(|v| v.to_bits()).collect()
 }
 

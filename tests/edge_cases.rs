@@ -4,12 +4,12 @@
 //! option combinations.
 
 use javelin::core::options::SolveEngine;
-use javelin::core::{IluFactorization, IluOptions, LowerMethod};
+use javelin::core::{factorize, IluOptions, LowerMethod};
 use javelin::sparse::pattern::LevelPattern;
 use javelin::sparse::{CooMatrix, CsrMatrix};
 
 fn solve_roundtrip(a: &CsrMatrix<f64>, opts: &IluOptions) {
-    let f = IluFactorization::compute(a, opts).expect("factorization");
+    let f = factorize(a, opts).expect("factorization");
     let n = a.nrows();
     let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 3) as f64).collect();
     for engine in [
@@ -30,7 +30,7 @@ fn one_by_one_system() {
     coo.push(0, 0, 5.0).unwrap();
     let a = coo.to_csr();
     for nthreads in [1usize, 4] {
-        let f = IluFactorization::compute(&a, &IluOptions::ilu0(nthreads)).unwrap();
+        let f = factorize(&a, &IluOptions::ilu0(nthreads)).unwrap();
         let mut x = vec![0.0];
         f.solve_into(&[10.0], &mut x).unwrap();
         assert_eq!(x, vec![2.0]);
@@ -45,7 +45,7 @@ fn pure_diagonal_matrix_single_level() {
         coo.push(i, i, (i + 1) as f64).unwrap();
     }
     let a = coo.to_csr();
-    let f = IluFactorization::compute(&a, &IluOptions::ilu0(4)).unwrap();
+    let f = factorize(&a, &IluOptions::ilu0(4)).unwrap();
     assert_eq!(f.stats().n_levels, 1);
     assert_eq!(f.stats().n_waits, 0, "diagonal has no dependencies");
     solve_roundtrip(&a, &IluOptions::ilu0(4));
@@ -65,7 +65,7 @@ fn pure_chain_every_row_its_own_level() {
     // lower(A) pattern: n levels of one row each.
     let mut opts = IluOptions::ilu0(3);
     opts.level_pattern = LevelPattern::LowerA;
-    let f = IluFactorization::compute(&a, &opts).unwrap();
+    let f = factorize(&a, &opts).unwrap();
     assert!(f.stats().n_levels >= n - f.stats().n_lower_rows);
     solve_roundtrip(&a, &opts);
 }
@@ -87,7 +87,7 @@ fn everything_demoted_to_lower_stage_is_prevented() {
     opts.split.min_rows_per_level = usize::MAX;
     opts.split.location_frac = 0.0;
     opts.split.max_lower_frac = 1.0;
-    let f = IluFactorization::compute(&a, &opts).unwrap();
+    let f = factorize(&a, &opts).unwrap();
     assert!(f.plan().n_upper >= 1, "level 0 must survive");
     solve_roundtrip(&a, &opts);
 }
@@ -114,7 +114,7 @@ fn forced_sr_on_matrix_without_lower_stage() {
     let a = coo.to_csr();
     let mut opts = IluOptions::ilu0(2);
     opts.lower_method = LowerMethod::SegmentedRows;
-    let f = IluFactorization::compute(&a, &opts).unwrap();
+    let f = factorize(&a, &opts).unwrap();
     assert_eq!(f.stats().n_lower_rows, 0);
     solve_roundtrip(&a, &opts);
 }
@@ -152,7 +152,7 @@ fn tiny_tile_size_still_correct() {
         }
     }
     let a = coo.to_csr();
-    let serial = IluFactorization::compute(&a, &IluOptions::default()).unwrap();
+    let serial = factorize(&a, &IluOptions::default()).unwrap();
     let want: Vec<u64> = serial.lu().vals().iter().map(|v| v.to_bits()).collect();
     let mut opts = IluOptions::ilu0(3);
     opts.lower_method = LowerMethod::SegmentedRows;
@@ -161,8 +161,8 @@ fn tiny_tile_size_still_correct() {
     opts.split.location_frac = 0.0;
     let mut serial_same_split = opts.clone();
     serial_same_split.nthreads = 1;
-    let f_ser = IluFactorization::compute(&a, &serial_same_split).unwrap();
-    let f_par = IluFactorization::compute(&a, &opts).unwrap();
+    let f_ser = factorize(&a, &serial_same_split).unwrap();
+    let f_par = factorize(&a, &opts).unwrap();
     let bs: Vec<u64> = f_ser.lu().vals().iter().map(|v| v.to_bits()).collect();
     let bp: Vec<u64> = f_par.lu().vals().iter().map(|v| v.to_bits()).collect();
     assert_eq!(bs, bp);

@@ -3,7 +3,7 @@
 //! the bundled synthetic suite and on real `.mtx` inputs through the
 //! very same code path.
 
-use javelin::core::{IluFactorization, IluOptions};
+use javelin::core::{factorize, IluOptions};
 use javelin::sparse::io::{read_matrix_market_from, write_matrix_market_to};
 use javelin::sparse::CsrMatrix;
 use javelin::synth::suite::paper_suite;
@@ -28,8 +28,8 @@ fn factorization_identical_after_roundtrip() {
     let mut buf = Vec::new();
     write_matrix_market_to(&mut buf, &a).expect("write");
     let b: CsrMatrix<f64> = read_matrix_market_from(buf.as_slice()).expect("read");
-    let fa = IluFactorization::compute(&a, &IluOptions::default()).expect("factor a");
-    let fb = IluFactorization::compute(&b, &IluOptions::default()).expect("factor b");
+    let fa = factorize(&a, &IluOptions::default()).expect("factor a");
+    let fb = factorize(&b, &IluOptions::default()).expect("factor b");
     // Same permutation and near-identical values (write/read loses at
     // most the last ulp through decimal formatting; we print with {:e}
     // which is exact for f64 -> decimal -> f64? Not guaranteed — allow

@@ -3,7 +3,7 @@
 //! reproduced test suite (tiny scale).
 
 use javelin::core::options::SolveEngine;
-use javelin::core::{IluFactorization, IluOptions};
+use javelin::core::{factorize, IluOptions};
 use javelin::synth::suite::paper_suite;
 use javelin_bench::harness::preorder_dm_nd;
 
@@ -13,8 +13,8 @@ use javelin_bench::harness::preorder_dm_nd;
 fn ilu0_product_identity_across_suite() {
     for meta in paper_suite() {
         let a = preorder_dm_nd(&meta.build_tiny());
-        let f = IluFactorization::compute(&a, &IluOptions::default())
-            .unwrap_or_else(|e| panic!("{}: {e}", meta.name));
+        let f =
+            factorize(&a, &IluOptions::default()).unwrap_or_else(|e| panic!("{}: {e}", meta.name));
         let scale: f64 = a.vals().iter().fold(0.0f64, |m, v| m.max(v.abs()));
         let err = f.product_error_on_pattern(&a);
         assert!(
@@ -37,8 +37,7 @@ fn solve_engines_agree_across_suite() {
             let mut opts = IluOptions::ilu0(nthreads);
             opts.split.min_rows_per_level = 12;
             opts.split.location_frac = 0.1;
-            let f = IluFactorization::compute(&a, &opts)
-                .unwrap_or_else(|e| panic!("{}: {e}", meta.name));
+            let f = factorize(&a, &opts).unwrap_or_else(|e| panic!("{}: {e}", meta.name));
             let mut x_ref = vec![0.0; n];
             f.solve_with(SolveEngine::Serial, &b, &mut x_ref)
                 .expect("serial solve");
@@ -71,7 +70,7 @@ fn preconditioner_quality_across_suite() {
     for meta in paper_suite() {
         let a = preorder_dm_nd(&meta.build_tiny());
         let n = a.nrows();
-        let f = IluFactorization::compute(&a, &IluOptions::default()).expect("factors");
+        let f = factorize(&a, &IluOptions::default()).expect("factors");
         let b = vec![1.0; n];
         let mut x = vec![0.0; n];
         f.solve_into(&b, &mut x).expect("solve");
@@ -112,7 +111,7 @@ fn stats_consistency_across_suite() {
         let a = preorder_dm_nd(&meta.build_tiny());
         let mut opts = IluOptions::ilu0(3);
         opts.split.min_rows_per_level = 12;
-        let f = IluFactorization::compute(&a, &opts).expect("factors");
+        let f = factorize(&a, &opts).expect("factors");
         let s = f.stats();
         assert_eq!(s.n, a.nrows(), "{}", meta.name);
         assert_eq!(s.nnz_a, a.nnz());

@@ -1,0 +1,114 @@
+//! Steady-state `refactor` performs **zero heap allocations** — the
+//! acceptance contract of the two-phase API. A counting global
+//! allocator wraps the system allocator; this file holds exactly one
+//! test so no concurrent test can pollute the counters (worker-team
+//! threads are counted too, which is the point: the planned numeric
+//! path must not allocate on any thread).
+
+use javelin::core::{IluOptions, SymbolicIlu};
+use javelin::sparse::{CooMatrix, CsrMatrix};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+static BYTES: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size(), Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn snapshot() -> (usize, usize) {
+    (ALLOCS.load(Ordering::SeqCst), BYTES.load(Ordering::SeqCst))
+}
+
+/// Irregular matrix with a structural diagonal, two-stage-splittable.
+fn irregular(n: usize) -> CsrMatrix<f64> {
+    let mut coo = CooMatrix::new(n, n);
+    for i in 0..n {
+        coo.push(i, i, 8.0 + i as f64 * 0.01).unwrap();
+        if i >= 1 {
+            coo.push(i, i - 1, -1.0).unwrap();
+        }
+        if i >= 7 {
+            coo.push(i, i - 7, -0.5).unwrap();
+        }
+        if i + 3 < n {
+            coo.push(i, i + 3, -0.25).unwrap();
+        }
+    }
+    coo.to_csr()
+}
+
+/// Same pattern, new values.
+fn revalue(a: &CsrMatrix<f64>, seed: f64) -> CsrMatrix<f64> {
+    javelin::synth::util::revalue(a, seed, 0.03)
+}
+
+#[test]
+fn steady_state_refactor_allocates_zero_bytes() {
+    // Threaded, with dropping enabled so the τ-threshold recomputation
+    // path is exercised too; the persistent team is the default.
+    let a = irregular(400);
+    let mut opts = IluOptions::ilu0(3).with_fill(1).with_drop_tol(1e-4);
+    opts.split.min_rows_per_level = 8;
+    opts.split.location_frac = 0.0;
+    let sym = SymbolicIlu::analyze(&a, &opts).expect("analysis");
+    let mut factors = sym.factor(&a).expect("numeric phase");
+
+    // Warm-up: the first refactor may lazily initialize process-global
+    // state (parking-lot tables, thread parking) — after it, the path
+    // must be exactly reusing preallocated buffers.
+    let warm = revalue(&a, 0.37);
+    factors.refactor(&warm).expect("warm-up refactor");
+    factors
+        .refactor(&revalue(&a, 0.71))
+        .expect("second warm-up");
+
+    for round in 0..5 {
+        let a_t = revalue(&a, 1.1 + round as f64);
+        // NOTE: `revalue` above allocates, so build the matrix first …
+        let (allocs_mid, bytes_mid) = snapshot();
+        // … and measure the refactor call alone.
+        factors.refactor(&a_t).expect("steady-state refactor");
+        let (allocs_after, bytes_after) = snapshot();
+        assert_eq!(
+            allocs_after - allocs_mid,
+            0,
+            "round {round}: steady-state refactor performed heap allocations"
+        );
+        assert_eq!(
+            bytes_after - bytes_mid,
+            0,
+            "round {round}: steady-state refactor allocated bytes"
+        );
+        drop(a_t);
+    }
+
+    // And the refactored factors are still correct: bit-identical to a
+    // fresh numeric factorization of the same values.
+    let last = revalue(&a, 5.1);
+    factors.refactor(&last).unwrap();
+    let fresh = sym.factor(&last).unwrap();
+    let rb: Vec<u64> = factors.lu().vals().iter().map(|v| v.to_bits()).collect();
+    let fb: Vec<u64> = fresh.lu().vals().iter().map(|v| v.to_bits()).collect();
+    assert_eq!(rb, fb);
+}

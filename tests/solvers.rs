@@ -2,7 +2,7 @@
 //! the reproduced suite, including the Table-II orderings machinery.
 
 use javelin::core::precond::IdentityPrecond;
-use javelin::core::{IluFactorization, IluOptions};
+use javelin::core::{factorize, IluOptions};
 use javelin::order::{compute_order, Ordering};
 use javelin::solver::{bicgstab, gmres, pcg, SolverOptions};
 use javelin::synth::suite::{group_a, paper_suite, SuiteGroup};
@@ -20,7 +20,7 @@ fn group_a_pcg_converges_under_all_orderings() {
         ] {
             let p = compute_order(&a, ord);
             let ax = a.permute_sym(&p).expect("perm");
-            let f = IluFactorization::compute(&ax, &IluOptions::default()).expect("ILU");
+            let f = factorize(&ax, &IluOptions::default()).expect("ILU");
             let n = ax.nrows();
             let b = vec![1.0; n];
             let mut x = vec![0.0; n];
@@ -41,7 +41,7 @@ fn gmres_with_ilu_converges_on_nonsymmetric_suite() {
             continue;
         }
         let a = preorder_dm_nd(&meta.build_tiny());
-        let f = IluFactorization::compute(&a, &IluOptions::default()).expect("ILU");
+        let f = factorize(&a, &IluOptions::default()).expect("ILU");
         let n = a.nrows();
         let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 3) as f64).collect();
         let mut x = vec![0.0; n];
@@ -73,7 +73,7 @@ fn gmres_with_ilu_converges_on_nonsymmetric_suite() {
 fn bicgstab_matches_gmres_solutions() {
     let meta = &paper_suite()[5]; // trans4-like
     let a = preorder_dm_nd(&meta.build_tiny());
-    let f = IluFactorization::compute(&a, &IluOptions::default()).expect("ILU");
+    let f = factorize(&a, &IluOptions::default()).expect("ILU");
     let n = a.nrows();
     let b: Vec<f64> = (0..n).map(|i| ((i * 7 % 11) as f64) - 5.0).collect();
     let opts = SolverOptions {
@@ -96,7 +96,7 @@ fn preconditioning_never_hurts_iteration_counts_much() {
     // the suite (that is the entire point of the library).
     for meta in paper_suite().into_iter().take(6) {
         let a = preorder_dm_nd(&meta.build_tiny());
-        let f = IluFactorization::compute(&a, &IluOptions::default()).expect("ILU");
+        let f = factorize(&a, &IluOptions::default()).expect("ILU");
         let n = a.nrows();
         // Non-constant rhs: several generators produce A·1 = 1 exactly
         // (unit row sums), which lets plain GMRES converge in one step.
@@ -131,7 +131,7 @@ fn milu_and_tau_variants_still_converge() {
             .with_drop_tol(1e-3)
             .with_milu(1.0),
     ] {
-        let f = IluFactorization::compute(&a, &opts).expect("ILU variant");
+        let f = factorize(&a, &opts).expect("ILU variant");
         let mut x = vec![0.0; n];
         let res = pcg(&a, &b, &mut x, &f, &SolverOptions::default());
         assert!(

@@ -7,21 +7,21 @@
 //! dependency needs).
 
 use javelin::core::options::SolveEngine;
-use javelin::core::{IluFactorization, IluOptions, LowerMethod};
+use javelin::core::{factorize, IluOptions, LowerMethod};
 use javelin::synth::grid::laplace_2d;
 use javelin::synth::suite::suite_matrix;
 
 #[test]
 fn eight_threads_on_any_core_count_terminate_and_agree() {
     let a = laplace_2d(24, 24);
-    let serial = IluFactorization::compute(&a, &IluOptions::default()).expect("serial");
+    let serial = factorize(&a, &IluOptions::default()).expect("serial");
     let want: Vec<u64> = serial.lu().vals().iter().map(|v| v.to_bits()).collect();
     let mut opts = IluOptions::ilu0(8);
     opts.split.min_rows_per_level = 8;
     opts.split.location_frac = 0.1;
     for method in [LowerMethod::EvenRows, LowerMethod::SegmentedRows] {
         opts.lower_method = method;
-        let f = IluFactorization::compute(&a, &opts).expect("oversubscribed");
+        let f = factorize(&a, &opts).expect("oversubscribed");
         let got: Vec<u64> = f.lu().vals().iter().map(|v| v.to_bits()).collect();
         assert_eq!(got, want, "{method}");
     }
@@ -32,7 +32,7 @@ fn repeated_parallel_solves_are_stable() {
     let a = suite_matrix("transient").expect("suite").build_tiny();
     let mut opts = IluOptions::ilu0(6);
     opts.split.min_rows_per_level = 10;
-    let f = IluFactorization::compute(&a, &opts).expect("factors");
+    let f = factorize(&a, &opts).expect("factors");
     let n = a.nrows();
     let b: Vec<f64> = (0..n).map(|i| (i % 13) as f64 - 6.0).collect();
     let mut reference = vec![0.0; n];
@@ -64,8 +64,8 @@ fn parallel_corner_under_oversubscription() {
     base.split.location_frac = 0.0;
     let mut pc = base.clone();
     pc.parallel_corner = true;
-    let f1 = IluFactorization::compute(&a, &base).expect("serial corner");
-    let f2 = IluFactorization::compute(&a, &pc).expect("parallel corner");
+    let f1 = factorize(&a, &base).expect("serial corner");
+    let f2 = factorize(&a, &pc).expect("parallel corner");
     let b1: Vec<u64> = f1.lu().vals().iter().map(|v| v.to_bits()).collect();
     let b2: Vec<u64> = f2.lu().vals().iter().map(|v| v.to_bits()).collect();
     assert_eq!(b1, b2);
