@@ -81,7 +81,10 @@ impl std::fmt::Display for SolveEngine {
     }
 }
 
-/// Options for [`crate::IluFactorization::compute`].
+/// Options for the factorization pipeline — consumed by
+/// [`crate::SymbolicIlu::analyze`] (and the one-shot
+/// [`crate::factorize`]), which fix them for the lifetime of the
+/// symbolic handle.
 #[derive(Debug, Clone)]
 pub struct IluOptions {
     /// Fill level `k` of ILU(k). `0` keeps the pattern of `A` (the

@@ -36,16 +36,38 @@ use crate::{SolverOptions, SolverResult, SolverWorkspace};
 use javelin_core::precond::Preconditioner;
 use javelin_sparse::{vecops, CsrMatrix, Panel, PanelMut, Scalar};
 
-/// Column is still iterating.
-const ACTIVE: u8 = 0;
+/// Column is still iterating. (Shared with the nonsymmetric batch
+/// drivers `bicgstab_batch` / `gmres_batch`, which reuse this masking
+/// vocabulary.)
+pub(crate) const ACTIVE: u8 = 0;
 /// Column met the tolerance (result frozen).
-const DONE: u8 = 1;
+pub(crate) const DONE: u8 = 1;
 /// Column hit a breakdown (`pᵀAp` zero or non-finite; result frozen).
-const HALTED: u8 = 2;
+pub(crate) const HALTED: u8 = 2;
 
 /// Batched PCG over an RHS panel, allocating a fresh workspace.
 /// Repeated callers should hold a [`SolverWorkspace`] and use
 /// [`solve_batch_with`].
+///
+/// ```
+/// use javelin_core::{factorize, IluOptions};
+/// use javelin_solver::{solve_batch, SolverOptions};
+/// use javelin_sparse::{Panel, PanelMut};
+///
+/// let a = javelin_synth::grid::laplace_2d(16, 16);
+/// let n = a.nrows();
+/// let f = factorize(&a, &IluOptions::ilu0(2)).unwrap();
+/// let (k, b) = (4, javelin_synth::util::rhs_panel(n, 4, 42));
+/// let mut x = vec![0.0; n * k];
+/// let results = solve_batch(
+///     &a,
+///     Panel::new(&b, n, k),
+///     PanelMut::new(&mut x, n, k),
+///     &f,
+///     &SolverOptions::default(),
+/// );
+/// assert!(results.iter().all(|r| r.converged));
+/// ```
 ///
 /// # Panics
 /// On panel shape mismatches.

@@ -1,0 +1,555 @@
+//! Batched BiCGSTAB: `k` independent nonsymmetric systems solved in
+//! lockstep through one RHS panel.
+//!
+//! [`bicgstab_batch`] extends the lockstep-masking pattern of
+//! [`crate::solve_batch`] to the nonsymmetric short-recurrence solver:
+//! the **two** preconditioner applications a BiCGSTAB step pays
+//! (`y = M⁻¹p` and `z = M⁻¹s`) each become one
+//! [`javelin_core::Preconditioner::apply_panel_with`] call, so the
+//! triangular schedule walk — the dominant per-iteration cost — is
+//! traversed twice per *panel* instead of twice per *column*. All
+//! per-column scalar recurrences (ρ, α, ω, β, residual norms) stay
+//! independent: column `c` of the batch is **bit-identical** to a
+//! standalone [`crate::bicgstab_with`] run on that column, iteration
+//! counts, convergence flags and (on breakdown) even NaN payloads
+//! included.
+//!
+//! ## Masking and per-column breakdown
+//!
+//! Columns converge at different iterations, and BiCGSTAB can also
+//! *break down* per column (ρ = r̂ᵀr collapsing to zero or turning
+//! non-finite, `tᵀt = 0`, or ω = 0). In every case the affected column
+//! is **masked**, not the panel: its result freezes exactly where the
+//! scalar solver would have returned, its storage keeps its panel slot
+//! (so the shared panel applies never change shape), and the remaining
+//! columns keep iterating with bit-identical arithmetic. The panel
+//! trisolve processes columns independently, so even a non-finite
+//! frozen column cannot perturb its neighbours — the caller can then
+//! restart just the masked column (e.g. via [`crate::gmres()`]) while
+//! keeping the converged ones.
+//!
+//! ## Allocation discipline
+//!
+//! All panels live in the caller's [`SolverWorkspace`]
+//! (`ensure_panel_bicgstab`, grow-only): after the first solve at a
+//! given `(n, k)` the per-iteration loop is matvecs, dots, axpys and
+//! two panel applies — zero steady-state heap allocations, with the
+//! `Vec<SolverResult>` on entry and opt-in residual histories as the
+//! documented exceptions, mirroring [`crate::solve_batch`].
+
+use crate::batch::{ACTIVE, DONE, HALTED};
+use crate::{SolverOptions, SolverResult, SolverWorkspace};
+use javelin_core::precond::Preconditioner;
+use javelin_sparse::{vecops, CsrMatrix, Panel, PanelMut, Scalar};
+
+/// Batched right-preconditioned BiCGSTAB over an RHS panel, allocating
+/// a fresh workspace. Repeated callers should hold a
+/// [`SolverWorkspace`] and use [`bicgstab_batch_with`].
+///
+/// ```
+/// use javelin_core::{factorize, IluOptions};
+/// use javelin_solver::{bicgstab_batch, SolverOptions};
+/// use javelin_sparse::{Panel, PanelMut};
+///
+/// let a = javelin_synth::grid::convection_diffusion_2d(12, 12, 0.4, 0.2);
+/// let n = a.nrows();
+/// let f = factorize(&a, &IluOptions::ilu0(2)).unwrap();
+/// let (k, b) = (3, javelin_synth::util::rhs_panel(n, 3, 7));
+/// let mut x = vec![0.0; n * k];
+/// let results = bicgstab_batch(
+///     &a,
+///     Panel::new(&b, n, k),
+///     PanelMut::new(&mut x, n, k),
+///     &f,
+///     &SolverOptions::default(),
+/// );
+/// assert!(results.iter().all(|r| r.converged));
+/// ```
+///
+/// # Panics
+/// On panel shape mismatches.
+pub fn bicgstab_batch<T: Scalar, P: Preconditioner<T>>(
+    a: &CsrMatrix<T>,
+    b: Panel<'_, T>,
+    x: PanelMut<'_, T>,
+    m: &P,
+    opts: &SolverOptions,
+) -> Vec<SolverResult> {
+    bicgstab_batch_with(a, b, x, m, opts, &mut SolverWorkspace::new())
+}
+
+/// [`bicgstab_batch`] with caller-owned working memory (see module docs
+/// for the lockstep/masking contract). Returns one [`SolverResult`] per
+/// panel column, in column order.
+///
+/// # Panics
+/// On panel shape mismatches.
+pub fn bicgstab_batch_with<T: Scalar, P: Preconditioner<T>>(
+    a: &CsrMatrix<T>,
+    b: Panel<'_, T>,
+    mut x: PanelMut<'_, T>,
+    m: &P,
+    opts: &SolverOptions,
+    ws: &mut SolverWorkspace<T>,
+) -> Vec<SolverResult> {
+    let n = a.nrows();
+    let k = b.ncols();
+    assert_eq!(b.nrows(), n, "bicgstab_batch: rhs panel rows");
+    assert_eq!(x.nrows(), n, "bicgstab_batch: solution panel rows");
+    assert_eq!(x.ncols(), k, "bicgstab_batch: panel widths differ");
+    let mut results: Vec<SolverResult> = (0..k)
+        .map(|_| SolverResult {
+            converged: false,
+            iterations: 0,
+            relative_residual: 0.0,
+            history: Vec::new(),
+        })
+        .collect();
+    if k == 0 {
+        return results;
+    }
+    ws.ensure_panel_bicgstab(n, k);
+    let SolverWorkspace {
+        precond,
+        pr,
+        pz,
+        pp,
+        pq,
+        prhat,
+        py,
+        pt,
+        col_rho,
+        col_alpha,
+        col_omega,
+        col_bnorm,
+        col_relres,
+        col_state,
+        ..
+    } = ws;
+
+    // ---- Per-column setup, mirroring `bicgstab_with` exactly. -------
+    for c in 0..k {
+        let rc = c * n..(c + 1) * n;
+        col_bnorm[c] = vecops::norm2(b.col(c)).to_f64();
+        if col_bnorm[c] == 0.0 {
+            // Trivial column: x = 0, converged in 0 iterations. Zero its
+            // working columns so the shared panel applies stay finite.
+            x.col_mut(c).fill(T::ZERO);
+            for buf in [
+                &mut *pr,
+                &mut *pz,
+                &mut *pp,
+                &mut *pq,
+                &mut *prhat,
+                &mut *py,
+                &mut *pt,
+            ] {
+                buf[rc.clone()].fill(T::ZERO);
+            }
+            col_state[c] = DONE;
+            results[c].converged = true;
+            continue;
+        }
+        col_state[c] = ACTIVE;
+        // r = b - A x (matvec into q, subtract into r); r_hat = r.
+        a.spmv_into(x.col(c), &mut pq[rc.clone()]);
+        let bc = b.col(c);
+        for i in 0..n {
+            pr[c * n + i] = bc[i] - pq[c * n + i];
+        }
+        prhat[rc.clone()].copy_from_slice(&pr[rc.clone()]);
+        col_rho[c] = T::ONE;
+        col_alpha[c] = T::ONE;
+        col_omega[c] = T::ONE;
+        // q plays the role of `v = A·y`; z of the second preconditioned
+        // direction; t of `A·z` — all zeroed like the scalar solver.
+        pq[rc.clone()].fill(T::ZERO);
+        pp[rc.clone()].fill(T::ZERO);
+        col_relres[c] = vecops::norm2(&pr[rc.clone()]).to_f64() / col_bnorm[c];
+        if opts.record_history {
+            results[c].history.push(col_relres[c]);
+        }
+    }
+
+    // ---- Lockstep iteration with per-column masking. ----------------
+    for it in 1..=opts.max_iters {
+        if col_state.iter().all(|&s| s != ACTIVE) {
+            break;
+        }
+        // Phase 1 (per column): the ρ recurrence and the new direction.
+        for c in 0..k {
+            if col_state[c] != ACTIVE {
+                continue;
+            }
+            let rc = c * n..(c + 1) * n;
+            let rho_new = vecops::dot(&prhat[rc.clone()], &pr[rc.clone()]);
+            if rho_new == T::ZERO || !rho_new.is_finite() {
+                // ρ-breakdown: mask this column where the scalar solver
+                // would have returned; the panel keeps iterating.
+                col_state[c] = HALTED;
+                results[c].iterations = it - 1;
+                results[c].relative_residual = col_relres[c];
+                continue;
+            }
+            let beta = (rho_new / col_rho[c]) * (col_alpha[c] / col_omega[c]);
+            col_rho[c] = rho_new;
+            // p = r + beta (p - omega v)
+            let omega = col_omega[c];
+            for i in rc {
+                pp[i] = pr[i] + beta * (pp[i] - omega * pq[i]);
+            }
+        }
+        if col_state.iter().all(|&s| s != ACTIVE) {
+            break;
+        }
+        // y = M⁻¹ p: one panel apply for every column (masked columns
+        // ride along on frozen data without changing the panel shape).
+        m.apply_panel_with(
+            precond,
+            Panel::new(&pp[..n * k], n, k),
+            PanelMut::new(&mut py[..n * k], n, k),
+        );
+        // Phase 2 (per column): v = A·y, α, the intermediate residual s
+        // and its early convergence check.
+        for c in 0..k {
+            if col_state[c] != ACTIVE {
+                continue;
+            }
+            let rc = c * n..(c + 1) * n;
+            a.spmv_into(&py[rc.clone()], &mut pq[rc.clone()]);
+            col_alpha[c] = col_rho[c] / vecops::dot(&prhat[rc.clone()], &pq[rc.clone()]);
+            // s = r - alpha v  (reuse r)
+            vecops::axpy(-col_alpha[c], &pq[rc.clone()], &mut pr[rc.clone()]);
+            let s_norm = vecops::norm2(&pr[rc.clone()]).to_f64() / col_bnorm[c];
+            col_relres[c] = s_norm;
+            if s_norm < opts.tol {
+                vecops::axpy(col_alpha[c], &py[rc.clone()], x.col_mut(c));
+                if opts.record_history {
+                    results[c].history.push(s_norm);
+                }
+                col_state[c] = DONE;
+                results[c].converged = true;
+                results[c].iterations = it;
+                results[c].relative_residual = s_norm;
+            }
+        }
+        if col_state.iter().all(|&s| s != ACTIVE) {
+            break;
+        }
+        // z = M⁻¹ s: the second shared panel apply of the step.
+        m.apply_panel_with(
+            precond,
+            Panel::new(&pr[..n * k], n, k),
+            PanelMut::new(&mut pz[..n * k], n, k),
+        );
+        // Phase 3 (per column): the stabilization half-step.
+        for c in 0..k {
+            if col_state[c] != ACTIVE {
+                continue;
+            }
+            let rc = c * n..(c + 1) * n;
+            a.spmv_into(&pz[rc.clone()], &mut pt[rc.clone()]);
+            let tt = vecops::dot(&pt[rc.clone()], &pt[rc.clone()]);
+            if tt == T::ZERO {
+                col_state[c] = HALTED;
+                results[c].iterations = it;
+                results[c].relative_residual = col_relres[c];
+                continue;
+            }
+            col_omega[c] = vecops::dot(&pt[rc.clone()], &pr[rc.clone()]) / tt;
+            // x += alpha y + omega z
+            vecops::axpy(col_alpha[c], &py[rc.clone()], x.col_mut(c));
+            vecops::axpy(col_omega[c], &pz[rc.clone()], x.col_mut(c));
+            // r = s - omega t
+            vecops::axpy(-col_omega[c], &pt[rc.clone()], &mut pr[rc.clone()]);
+            col_relres[c] = vecops::norm2(&pr[rc.clone()]).to_f64() / col_bnorm[c];
+            if opts.record_history {
+                results[c].history.push(col_relres[c]);
+            }
+            if col_relres[c] < opts.tol {
+                col_state[c] = DONE;
+                results[c].converged = true;
+                results[c].iterations = it;
+                results[c].relative_residual = col_relres[c];
+            } else if col_omega[c] == T::ZERO {
+                col_state[c] = HALTED;
+                results[c].iterations = it;
+                results[c].relative_residual = col_relres[c];
+            }
+        }
+    }
+    // Columns still active at the cap: not converged.
+    for c in 0..k {
+        if col_state[c] == ACTIVE {
+            results[c].iterations = opts.max_iters;
+            results[c].relative_residual = col_relres[c];
+        }
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bicgstab_with;
+    use javelin_core::precond::IdentityPrecond;
+    use javelin_core::{factorize, IluOptions};
+    use javelin_sparse::CooMatrix;
+    use javelin_synth::grid::convection_diffusion_2d;
+    use javelin_synth::util::rhs_panel;
+
+    fn assert_columns_bitwise(
+        a: &CsrMatrix<f64>,
+        b: &[f64],
+        k: usize,
+        batch_x: &[f64],
+        batch_res: &[SolverResult],
+        m: &impl Preconditioner<f64>,
+        opts: &SolverOptions,
+    ) {
+        let n = a.nrows();
+        for c in 0..k {
+            let mut x = vec![0.0; n];
+            let r = bicgstab_with(
+                a,
+                &b[c * n..(c + 1) * n],
+                &mut x,
+                m,
+                opts,
+                &mut SolverWorkspace::new(),
+            );
+            assert_eq!(batch_res[c].converged, r.converged, "col {c}");
+            assert_eq!(batch_res[c].iterations, r.iterations, "col {c}");
+            assert_eq!(
+                batch_res[c].relative_residual.to_bits(),
+                r.relative_residual.to_bits(),
+                "col {c}"
+            );
+            assert_eq!(batch_res[c].history.len(), r.history.len(), "col {c}");
+            let bb: Vec<u64> = batch_x[c * n..(c + 1) * n]
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            let sb: Vec<u64> = x.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(bb, sb, "col {c}");
+        }
+    }
+
+    #[test]
+    fn batch_is_bitwise_identical_to_independent_bicgstab() {
+        // The defining contract on a genuinely nonsymmetric operator.
+        let a = convection_diffusion_2d(13, 11, 0.4, 0.2);
+        let n = a.nrows();
+        let f = factorize(&a, &IluOptions::ilu0(2)).unwrap();
+        let opts = SolverOptions::default();
+        for k in [1usize, 3, 8] {
+            let b = rhs_panel(n, k, 11);
+            let mut xb = vec![0.0; n * k];
+            let results = bicgstab_batch(
+                &a,
+                Panel::new(&b, n, k),
+                PanelMut::new(&mut xb, n, k),
+                &f,
+                &opts,
+            );
+            assert!(results.iter().all(|r| r.converged), "k={k}");
+            assert_columns_bitwise(&a, &b, k, &xb, &results, &f, &opts);
+        }
+    }
+
+    #[test]
+    fn masking_freezes_converged_columns_independently() {
+        let a = convection_diffusion_2d(14, 14, 0.5, 0.1);
+        let n = a.nrows();
+        let f = factorize(&a, &IluOptions::default()).unwrap();
+        let opts = SolverOptions::default();
+        let mut b = vec![0.0; n * 2];
+        // Easy column: the RHS of a constant solution (the smooth mode
+        // ILU resolves almost immediately); hard column: rough data.
+        let ones = vec![1.0; n];
+        b[..n].copy_from_slice(&a.spmv(&ones));
+        for i in 0..n {
+            b[n + i] = ((i * 17 % 31) as f64 - 15.0) * 0.4;
+        }
+        let mut x = vec![0.0; n * 2];
+        let res = bicgstab_batch(
+            &a,
+            Panel::new(&b, n, 2),
+            PanelMut::new(&mut x, n, 2),
+            &f,
+            &opts,
+        );
+        assert!(res[0].converged && res[1].converged);
+        assert!(
+            res[0].iterations < res[1].iterations,
+            "easy column {} vs hard column {}",
+            res[0].iterations,
+            res[1].iterations
+        );
+        assert_columns_bitwise(&a, &b, 2, &x, &res, &f, &opts);
+    }
+
+    /// A matrix whose leading 2×2 block is exactly skew-symmetric (a
+    /// guaranteed ρ-chain breakdown for BiCGSTAB with x₀ = 0 and a RHS
+    /// supported on that block) glued to a well-behaved nonsymmetric
+    /// block. Column 0 of the panel must break down mid-iteration
+    /// without perturbing a single bit of the other columns' iterates.
+    fn skew_plus_dominant(m: usize) -> CsrMatrix<f64> {
+        let n = 2 + m;
+        let mut coo = CooMatrix::new(n, n);
+        coo.push(0, 1, 2.0).unwrap();
+        coo.push(1, 0, -2.0).unwrap();
+        for i in 0..m {
+            let r = 2 + i;
+            coo.push(r, r, 5.0).unwrap();
+            if i + 1 < m {
+                coo.push(r, r + 1, -1.3).unwrap();
+                coo.push(r + 1, r, -0.7).unwrap();
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn rho_breakdown_masks_one_column_without_perturbing_the_rest() {
+        let m = 40;
+        let a = skew_plus_dominant(m);
+        let n = a.nrows();
+        let k = 3;
+        let mut b = vec![0.0; n * k];
+        // Column 0 lives on the skew block: scalar BiCGSTAB breaks down.
+        b[0] = 1.0;
+        b[1] = -0.5;
+        // Columns 1..k live on the dominant block and converge.
+        for c in 1..k {
+            for i in 0..m {
+                b[c * n + 2 + i] = ((i * 7 + c) % 13) as f64 * 0.3 - 1.7;
+            }
+        }
+        let opts = SolverOptions::default();
+        // Prove the breakdown really happens in the scalar solver.
+        let mut x0 = vec![0.0; n];
+        let scalar0 = bicgstab_with(
+            &a,
+            &b[..n],
+            &mut x0,
+            &IdentityPrecond,
+            &opts,
+            &mut SolverWorkspace::new(),
+        );
+        assert!(!scalar0.converged, "column 0 must break down");
+        assert!(
+            scalar0.iterations < opts.max_iters,
+            "breakdown, not cap: {}",
+            scalar0.iterations
+        );
+        // The batch masks column 0 at the same point, bit for bit, and
+        // the surviving columns match their scalar runs bit for bit.
+        let mut xb = vec![0.0; n * k];
+        let res = bicgstab_batch(
+            &a,
+            Panel::new(&b, n, k),
+            PanelMut::new(&mut xb, n, k),
+            &IdentityPrecond,
+            &opts,
+        );
+        assert!(!res[0].converged);
+        assert!(res[1].converged && res[2].converged);
+        assert_columns_bitwise(&a, &b, k, &xb, &res, &IdentityPrecond, &opts);
+    }
+
+    #[test]
+    fn zero_rhs_columns_are_trivially_converged() {
+        let a = convection_diffusion_2d(6, 6, 0.3, 0.3);
+        let n = a.nrows();
+        let f = factorize(&a, &IluOptions::default()).unwrap();
+        let mut b = vec![0.0; n * 3];
+        for i in 0..n {
+            b[n + i] = 1.0; // only the middle column is nontrivial
+        }
+        let mut x = vec![5.0; n * 3];
+        let res = bicgstab_batch(
+            &a,
+            Panel::new(&b, n, 3),
+            PanelMut::new(&mut x, n, 3),
+            &f,
+            &SolverOptions::default(),
+        );
+        assert!(res[0].converged && res[0].iterations == 0);
+        assert!(res[2].converged && res[2].iterations == 0);
+        assert!(x[..n].iter().all(|&v| v == 0.0));
+        assert!(x[2 * n..].iter().all(|&v| v == 0.0));
+        assert!(res[1].converged && res[1].iterations > 0);
+    }
+
+    #[test]
+    fn workspace_reuse_across_widths_is_bitwise_stable() {
+        let a = convection_diffusion_2d(10, 9, 0.2, 0.4);
+        let n = a.nrows();
+        let f = factorize(&a, &IluOptions::ilu0(2)).unwrap();
+        let opts = SolverOptions::default();
+        let b3 = rhs_panel(n, 3, 5);
+        let reference = {
+            let mut x = vec![0.0; n * 3];
+            bicgstab_batch(
+                &a,
+                Panel::new(&b3, n, 3),
+                PanelMut::new(&mut x, n, 3),
+                &f,
+                &opts,
+            );
+            x.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        };
+        let mut ws = SolverWorkspace::new();
+        for rep in 0..3 {
+            let mut x = vec![0.0; n * 3];
+            bicgstab_batch_with(
+                &a,
+                Panel::new(&b3, n, 3),
+                PanelMut::new(&mut x, n, 3),
+                &f,
+                &opts,
+                &mut ws,
+            );
+            let bits: Vec<u64> = x.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(bits, reference, "rep {rep}");
+            // Interleave a narrower solve to stress the width change.
+            let mut x1 = vec![0.0; n];
+            bicgstab_batch_with(
+                &a,
+                Panel::new(&b3[..n], n, 1),
+                PanelMut::new(&mut x1, n, 1),
+                &f,
+                &opts,
+                &mut ws,
+            );
+        }
+    }
+
+    #[test]
+    fn iteration_cap_and_histories() {
+        let a = convection_diffusion_2d(16, 16, 0.6, 0.2);
+        let n = a.nrows();
+        let b = rhs_panel(n, 2, 3);
+        let opts = SolverOptions {
+            max_iters: 2,
+            tol: 1e-15,
+            record_history: true,
+            ..Default::default()
+        };
+        let mut x = vec![0.0; n * 2];
+        let res = bicgstab_batch(
+            &a,
+            Panel::new(&b, n, 2),
+            PanelMut::new(&mut x, n, 2),
+            &IdentityPrecond,
+            &opts,
+        );
+        for r in &res {
+            assert!(!r.converged);
+            assert_eq!(r.iterations, 2);
+            assert_eq!(r.history.len(), 3); // initial + 2 full steps
+        }
+        assert_columns_bitwise(&a, &b, 2, &x, &res, &IdentityPrecond, &opts);
+    }
+}

@@ -1,0 +1,692 @@
+//! Lockstep-restart batched GMRES: `k` independent nonsymmetric
+//! systems driven through one RHS panel, one restart cycle at a time.
+//!
+//! [`gmres_batch`] extends the lockstep-masking pattern of
+//! [`crate::solve_batch`] to restarted GMRES. Because a scalar GMRES
+//! run only ever leaves its restart cycle at a convergence, breakdown
+//! or iteration-cap boundary, every still-active column of a panel sits
+//! at **the same inner step `j` of the same cycle** — so the dominant
+//! per-step cost, the preconditioner application `z = M⁻¹·vⱼ`, can be
+//! one shared [`javelin_core::Preconditioner::apply_panel_with`] call
+//! over the stacked Arnoldi slot `j`, while the Hessenberg, Givens and
+//! least-squares state stay strictly per column. Column `c` of the
+//! batch is **bit-identical** to a standalone [`crate::gmres_with`] run
+//! on that column: same iterates, same iteration counts, same residual
+//! histories.
+//!
+//! ## Masking at restart boundaries
+//!
+//! A column that converges (or exhausts its iteration cap) mid-cycle
+//! finalizes immediately — back-substitution, one single-column
+//! correction apply `x += M⁻¹(V·y)`, exactly where the scalar solver
+//! would have stopped — and then *freezes in its panel slot*: later
+//! shared applies simply carry its stale basis column along without
+//! reading the result. A column that hits the happy-breakdown case
+//! (`h_{j+1,j} = 0` with the residual still above tolerance) finalizes
+//! its cycle the same way and then *pauses* until the panel's next
+//! restart boundary, where it re-enters with a fresh residual — the
+//! same arithmetic the scalar solver performs immediately, deferred to
+//! the shared boundary so the panel applies keep a single shape.
+//!
+//! ## Allocation discipline
+//!
+//! The stacked basis (`restart + 1` panels of `n × k`) and all
+//! per-column small state live in the caller's [`SolverWorkspace`]
+//! (`ensure_panel_gmres`, grow-only): after the first solve at a given
+//! `(n, k, restart)` the whole batch runs with zero steady-state heap
+//! allocations, with the `Vec<SolverResult>` on entry and opt-in
+//! residual histories as the documented exceptions.
+
+use crate::batch::{ACTIVE, DONE, HALTED};
+use crate::{SolverOptions, SolverResult, SolverWorkspace};
+use javelin_core::precond::Preconditioner;
+use javelin_core::ApplyScratch;
+use javelin_sparse::{vecops, CsrMatrix, Panel, PanelMut, Scalar};
+
+/// Column finished a cycle below tolerance and waits (masked) for the
+/// panel's next restart boundary to re-enter with a fresh residual.
+const PENDING: u8 = 3;
+
+/// Batched right-preconditioned restarted GMRES(m) over an RHS panel,
+/// allocating a fresh workspace. Repeated callers should hold a
+/// [`SolverWorkspace`] and use [`gmres_batch_with`].
+///
+/// ```
+/// use javelin_core::{factorize, IluOptions};
+/// use javelin_solver::{gmres_batch, SolverOptions};
+/// use javelin_sparse::{Panel, PanelMut};
+///
+/// let a = javelin_synth::grid::convection_diffusion_2d(12, 12, 0.4, 0.2);
+/// let n = a.nrows();
+/// let f = factorize(&a, &IluOptions::ilu0(2)).unwrap();
+/// let (k, b) = (3, javelin_synth::util::rhs_panel(n, 3, 7));
+/// let mut x = vec![0.0; n * k];
+/// let results = gmres_batch(
+///     &a,
+///     Panel::new(&b, n, k),
+///     PanelMut::new(&mut x, n, k),
+///     &f,
+///     &SolverOptions::default(),
+/// );
+/// assert!(results.iter().all(|r| r.converged));
+/// ```
+///
+/// # Panics
+/// On panel shape mismatches.
+pub fn gmres_batch<T: Scalar, P: Preconditioner<T>>(
+    a: &CsrMatrix<T>,
+    b: Panel<'_, T>,
+    x: PanelMut<'_, T>,
+    m: &P,
+    opts: &SolverOptions,
+) -> Vec<SolverResult> {
+    gmres_batch_with(a, b, x, m, opts, &mut SolverWorkspace::new())
+}
+
+/// [`gmres_batch`] with caller-owned working memory (see module docs
+/// for the lockstep-restart contract). Returns one [`SolverResult`]
+/// per panel column, in column order.
+///
+/// # Panics
+/// On panel shape mismatches.
+pub fn gmres_batch_with<T: Scalar, P: Preconditioner<T>>(
+    a: &CsrMatrix<T>,
+    b: Panel<'_, T>,
+    mut x: PanelMut<'_, T>,
+    m: &P,
+    opts: &SolverOptions,
+    ws: &mut SolverWorkspace<T>,
+) -> Vec<SolverResult> {
+    let n = a.nrows();
+    let k = b.ncols();
+    assert_eq!(b.nrows(), n, "gmres_batch: rhs panel rows");
+    assert_eq!(x.nrows(), n, "gmres_batch: solution panel rows");
+    assert_eq!(x.ncols(), k, "gmres_batch: panel widths differ");
+    let mut results: Vec<SolverResult> = (0..k)
+        .map(|_| SolverResult {
+            converged: false,
+            iterations: 0,
+            relative_residual: 0.0,
+            history: Vec::new(),
+        })
+        .collect();
+    if k == 0 {
+        return results;
+    }
+    let restart = opts.restart.max(1).min(n.max(1));
+    ws.ensure_panel_gmres(n, k, restart);
+    let SolverWorkspace {
+        precond,
+        pz,
+        pq,
+        pv,
+        pu,
+        ph,
+        pcs,
+        psn,
+        pg,
+        pyk,
+        col_bnorm,
+        col_relres,
+        col_state,
+        col_iters,
+        col_jused,
+        ..
+    } = ws;
+    // Per-column strides into the flat small-state arrays.
+    let hs = (restart + 1) * restart;
+    let gs = restart + 1;
+
+    // ---- Per-column setup, mirroring `gmres_with` exactly. ----------
+    let mut any_pending = false;
+    for c in 0..k {
+        let rc = c * n..(c + 1) * n;
+        col_bnorm[c] = vecops::norm2(b.col(c)).to_f64();
+        col_iters[c] = 0;
+        col_jused[c] = 0;
+        if col_bnorm[c] == 0.0 {
+            // Trivial column: x = 0, converged in 0 iterations. Keep its
+            // panel slots finite for the shared applies.
+            x.col_mut(c).fill(T::ZERO);
+            for buf in [&mut *pz, &mut *pq, &mut *pu] {
+                buf[rc.clone()].fill(T::ZERO);
+            }
+            for slot in 0..=restart {
+                pv[slot * n * k + c * n..slot * n * k + (c + 1) * n].fill(T::ZERO);
+            }
+            col_state[c] = DONE;
+            results[c].converged = true;
+        } else {
+            col_state[c] = PENDING;
+            any_pending = true;
+        }
+    }
+    if !any_pending {
+        return results;
+    }
+
+    // ---- Lockstep restart cycles. -----------------------------------
+    loop {
+        // Cycle start: every pending column computes its true residual
+        // and either finishes or (re-)enters the shared cycle.
+        let mut in_cycle = false;
+        for c in 0..k {
+            if col_state[c] != PENDING {
+                continue;
+            }
+            let rc = c * n..(c + 1) * n;
+            // r = b - A x (into u).
+            a.spmv_into(x.col(c), &mut pu[rc.clone()]);
+            let bc = b.col(c);
+            for i in 0..n {
+                pu[c * n + i] = bc[i] - pu[c * n + i];
+            }
+            let beta = vecops::norm2(&pu[rc.clone()]);
+            col_relres[c] = beta.to_f64() / col_bnorm[c];
+            if opts.record_history && results[c].history.is_empty() {
+                results[c].history.push(col_relres[c]);
+            }
+            if col_relres[c] < opts.tol || col_iters[c] >= opts.max_iters {
+                col_state[c] = if col_relres[c] < opts.tol {
+                    DONE
+                } else {
+                    HALTED
+                };
+                results[c].converged = col_relres[c] < opts.tol;
+                results[c].iterations = col_iters[c];
+                results[c].relative_residual = col_relres[c];
+                continue;
+            }
+            // v₀ = r / β; reset the rotated RHS g.
+            let v0 = &mut pv[c * n..(c + 1) * n];
+            v0.copy_from_slice(&pu[rc]);
+            vecops::scale(T::ONE / beta, v0);
+            let g = &mut pg[c * gs..(c + 1) * gs];
+            g.iter_mut().for_each(|gi| *gi = T::ZERO);
+            g[0] = beta;
+            col_jused[c] = 0;
+            col_state[c] = ACTIVE;
+            in_cycle = true;
+        }
+        if !in_cycle {
+            break; // every column is DONE or HALTED
+        }
+
+        // Inner Arnoldi steps, in lockstep across the panel.
+        for j in 0..restart {
+            if col_state.iter().all(|&s| s != ACTIVE) {
+                break;
+            }
+            // z = M⁻¹ vⱼ: ONE panel apply over the stacked basis slot j
+            // serves every active column; masked columns carry stale
+            // (finite-or-not, column-independent) data along.
+            m.apply_panel_with(
+                precond,
+                Panel::new(&pv[j * n * k..(j + 1) * n * k], n, k),
+                PanelMut::new(&mut pz[..n * k], n, k),
+            );
+            for c in 0..k {
+                if col_state[c] != ACTIVE {
+                    continue;
+                }
+                if col_iters[c] >= opts.max_iters {
+                    // The scalar solver leaves the inner loop here and
+                    // finalizes what it has.
+                    finalize_column(
+                        c,
+                        n,
+                        k,
+                        restart,
+                        col_jused[c],
+                        ph,
+                        pg,
+                        pyk,
+                        pv,
+                        pu,
+                        pz,
+                        precond,
+                        m,
+                        &mut x,
+                    );
+                    dispose(c, opts, col_relres, col_iters, col_state, &mut results);
+                    continue;
+                }
+                col_iters[c] += 1;
+                let rc = c * n..(c + 1) * n;
+                // w = A zⱼ (w lives in this column's pq slot).
+                a.spmv_into(&pz[rc.clone()], &mut pq[rc.clone()]);
+                // Modified Gram–Schmidt against this column's basis.
+                for i in 0..=j {
+                    let vi = &pv[i * n * k + c * n..i * n * k + (c + 1) * n];
+                    let hij = vecops::dot(&pq[rc.clone()], vi);
+                    ph[c * hs + i * restart + j] = hij;
+                    vecops::axpy(-hij, vi, &mut pq[rc.clone()]);
+                }
+                let hjp = vecops::norm2(&pq[rc.clone()]);
+                ph[c * hs + (j + 1) * restart + j] = hjp;
+                // Apply existing Givens rotations to the new column.
+                for i in 0..j {
+                    let hi = ph[c * hs + i * restart + j];
+                    let hi1 = ph[c * hs + (i + 1) * restart + j];
+                    let (ci, si) = (pcs[c * restart + i], psn[c * restart + i]);
+                    ph[c * hs + i * restart + j] = ci * hi + si * hi1;
+                    ph[c * hs + (i + 1) * restart + j] = -si * hi + ci * hi1;
+                }
+                // New rotation to kill h[j+1, j].
+                let hjj = ph[c * hs + j * restart + j];
+                let denom = (hjj * hjj + hjp * hjp).sqrt();
+                let (cj, sj) = if denom == T::ZERO {
+                    (T::ONE, T::ZERO)
+                } else {
+                    (hjj / denom, hjp / denom)
+                };
+                pcs[c * restart + j] = cj;
+                psn[c * restart + j] = sj;
+                ph[c * hs + j * restart + j] = cj * hjj + sj * hjp;
+                ph[c * hs + (j + 1) * restart + j] = T::ZERO;
+                pg[c * gs + j + 1] = -sj * pg[c * gs + j];
+                pg[c * gs + j] = cj * pg[c * gs + j];
+                col_jused[c] = j + 1;
+                col_relres[c] = pg[c * gs + j + 1].abs().to_f64() / col_bnorm[c];
+                if opts.record_history {
+                    results[c].history.push(col_relres[c]);
+                }
+                if col_relres[c] < opts.tol {
+                    // Converged mid-cycle: finalize and freeze.
+                    finalize_column(
+                        c,
+                        n,
+                        k,
+                        restart,
+                        col_jused[c],
+                        ph,
+                        pg,
+                        pyk,
+                        pv,
+                        pu,
+                        pz,
+                        precond,
+                        m,
+                        &mut x,
+                    );
+                    dispose(c, opts, col_relres, col_iters, col_state, &mut results);
+                    continue;
+                }
+                if hjp == T::ZERO {
+                    // Happy breakdown: finalize the cycle now, pause
+                    // until the panel's next restart boundary.
+                    finalize_column(
+                        c,
+                        n,
+                        k,
+                        restart,
+                        col_jused[c],
+                        ph,
+                        pg,
+                        pyk,
+                        pv,
+                        pu,
+                        pz,
+                        precond,
+                        m,
+                        &mut x,
+                    );
+                    dispose(c, opts, col_relres, col_iters, col_state, &mut results);
+                    continue;
+                }
+                // v_{j+1} = w / h_{j+1,j}.
+                let (src, dst) = (rc.clone(), (j + 1) * n * k + c * n);
+                let vnext = &mut pv[dst..dst + n];
+                vnext.copy_from_slice(&pq[src]);
+                vecops::scale(T::ONE / hjp, vnext);
+            }
+        }
+        // Restart boundary: columns that used the full cycle update x
+        // and either finish or re-enter pending.
+        for c in 0..k {
+            if col_state[c] != ACTIVE {
+                continue;
+            }
+            finalize_column(
+                c,
+                n,
+                k,
+                restart,
+                col_jused[c],
+                ph,
+                pg,
+                pyk,
+                pv,
+                pu,
+                pz,
+                precond,
+                m,
+                &mut x,
+            );
+            dispose(c, opts, col_relres, col_iters, col_state, &mut results);
+        }
+    }
+    results
+}
+
+/// End-of-cycle update for one column, exactly as the scalar solver
+/// performs it: back-substitute `y` from the triangularized Hessenberg,
+/// assemble `u = V·y`, apply the preconditioner once (single column —
+/// the scalar code path, bit for bit) and add the correction to `x`.
+#[allow(clippy::too_many_arguments)]
+fn finalize_column<T: Scalar, P: Preconditioner<T>>(
+    c: usize,
+    n: usize,
+    k: usize,
+    restart: usize,
+    j_used: usize,
+    ph: &[T],
+    pg: &[T],
+    pyk: &mut [T],
+    pv: &[T],
+    pu: &mut [T],
+    pz: &mut [T],
+    precond: &mut ApplyScratch<T>,
+    m: &P,
+    x: &mut PanelMut<'_, T>,
+) {
+    let hs = (restart + 1) * restart;
+    let h = &ph[c * hs..(c + 1) * hs];
+    let g = &pg[c * (restart + 1)..(c + 1) * (restart + 1)];
+    let yk = &mut pyk[c * restart..(c + 1) * restart];
+    for i in (0..j_used).rev() {
+        let mut s = g[i];
+        for kk in (i + 1)..j_used {
+            s -= h[i * restart + kk] * yk[kk];
+        }
+        yk[i] = s / h[i * restart + i];
+    }
+    // x += M⁻¹ (V y)
+    let u = &mut pu[c * n..(c + 1) * n];
+    u.iter_mut().for_each(|ui| *ui = T::ZERO);
+    for (kk, y) in yk[..j_used].iter().enumerate() {
+        let v = &pv[kk * n * k + c * n..kk * n * k + (c + 1) * n];
+        vecops::axpy(*y, v, u);
+    }
+    let z = &mut pz[c * n..(c + 1) * n];
+    m.apply_with(precond, u, z);
+    for (xi, zi) in x.col_mut(c).iter_mut().zip(z.iter()) {
+        *xi += *zi;
+    }
+}
+
+/// Post-finalization disposition, mirroring the scalar solver's exit
+/// checks: below tolerance → converged and frozen; iteration cap hit →
+/// frozen unconverged; otherwise the column re-enters at the panel's
+/// next restart boundary.
+fn dispose(
+    c: usize,
+    opts: &SolverOptions,
+    col_relres: &[f64],
+    col_iters: &[usize],
+    col_state: &mut [u8],
+    results: &mut [SolverResult],
+) {
+    if col_relres[c] < opts.tol {
+        col_state[c] = DONE;
+        results[c].converged = true;
+        results[c].iterations = col_iters[c];
+        results[c].relative_residual = col_relres[c];
+    } else if col_iters[c] >= opts.max_iters {
+        col_state[c] = HALTED;
+        results[c].iterations = col_iters[c];
+        results[c].relative_residual = col_relres[c];
+    } else {
+        col_state[c] = PENDING;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gmres_with;
+    use javelin_core::precond::IdentityPrecond;
+    use javelin_core::{factorize, IluOptions};
+    use javelin_synth::grid::convection_diffusion_2d;
+    use javelin_synth::util::rhs_panel;
+
+    fn assert_columns_bitwise(
+        a: &CsrMatrix<f64>,
+        b: &[f64],
+        k: usize,
+        batch_x: &[f64],
+        batch_res: &[SolverResult],
+        m: &impl Preconditioner<f64>,
+        opts: &SolverOptions,
+    ) {
+        let n = a.nrows();
+        for c in 0..k {
+            let mut x = vec![0.0; n];
+            let r = gmres_with(
+                a,
+                &b[c * n..(c + 1) * n],
+                &mut x,
+                m,
+                opts,
+                &mut SolverWorkspace::new(),
+            );
+            assert_eq!(batch_res[c].converged, r.converged, "col {c}");
+            assert_eq!(batch_res[c].iterations, r.iterations, "col {c}");
+            assert_eq!(
+                batch_res[c].relative_residual.to_bits(),
+                r.relative_residual.to_bits(),
+                "col {c}"
+            );
+            assert_eq!(batch_res[c].history.len(), r.history.len(), "col {c}");
+            let bb: Vec<u64> = batch_x[c * n..(c + 1) * n]
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            let sb: Vec<u64> = x.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(bb, sb, "col {c}");
+        }
+    }
+
+    #[test]
+    fn batch_is_bitwise_identical_to_independent_gmres() {
+        let a = convection_diffusion_2d(13, 11, 0.4, 0.2);
+        let n = a.nrows();
+        let f = factorize(&a, &IluOptions::ilu0(2)).unwrap();
+        let opts = SolverOptions::default();
+        for k in [1usize, 3, 8] {
+            let b = rhs_panel(n, k, 23);
+            let mut xb = vec![0.0; n * k];
+            let results = gmres_batch(
+                &a,
+                Panel::new(&b, n, k),
+                PanelMut::new(&mut xb, n, k),
+                &f,
+                &opts,
+            );
+            assert!(results.iter().all(|r| r.converged), "k={k}");
+            assert_columns_bitwise(&a, &b, k, &xb, &results, &f, &opts);
+        }
+    }
+
+    #[test]
+    fn lockstep_restarts_preserve_bitwise_identity() {
+        // A short restart length forces several full cycles per column
+        // — the lockstep-restart boundary is where block GMRES variants
+        // usually diverge from the scalar recurrence, so pin it with an
+        // unpreconditioned run (many cycles) and histories on.
+        let a = convection_diffusion_2d(12, 12, 0.6, 0.3);
+        let n = a.nrows();
+        let opts = SolverOptions {
+            restart: 7,
+            record_history: true,
+            ..Default::default()
+        };
+        for k in [2usize, 5] {
+            let b = rhs_panel(n, k, 31);
+            let mut xb = vec![0.0; n * k];
+            let results = gmres_batch(
+                &a,
+                Panel::new(&b, n, k),
+                PanelMut::new(&mut xb, n, k),
+                &IdentityPrecond,
+                &opts,
+            );
+            assert!(results.iter().all(|r| r.converged), "k={k}");
+            assert!(
+                results.iter().any(|r| r.iterations > 7),
+                "k={k}: want at least one column past the first restart"
+            );
+            assert_columns_bitwise(&a, &b, k, &xb, &results, &IdentityPrecond, &opts);
+        }
+    }
+
+    #[test]
+    fn masking_freezes_converged_columns_independently() {
+        let a = convection_diffusion_2d(14, 14, 0.5, 0.1);
+        let n = a.nrows();
+        let f = factorize(&a, &IluOptions::default()).unwrap();
+        let opts = SolverOptions::default();
+        let mut b = vec![0.0; n * 2];
+        b[0] = 1e-3; // nearly-aligned easy column
+        for i in 0..n {
+            b[n + i] = ((i * 17 % 31) as f64 - 15.0) * 0.4;
+        }
+        let mut x = vec![0.0; n * 2];
+        let res = gmres_batch(
+            &a,
+            Panel::new(&b, n, 2),
+            PanelMut::new(&mut x, n, 2),
+            &f,
+            &opts,
+        );
+        assert!(res[0].converged && res[1].converged);
+        assert!(
+            res[0].iterations <= res[1].iterations,
+            "easy column {} vs hard column {}",
+            res[0].iterations,
+            res[1].iterations
+        );
+        assert_columns_bitwise(&a, &b, 2, &x, &res, &f, &opts);
+    }
+
+    #[test]
+    fn zero_rhs_columns_are_trivially_converged() {
+        let a = convection_diffusion_2d(6, 6, 0.3, 0.3);
+        let n = a.nrows();
+        let f = factorize(&a, &IluOptions::default()).unwrap();
+        let mut b = vec![0.0; n * 3];
+        for i in 0..n {
+            b[n + i] = 1.0;
+        }
+        let mut x = vec![5.0; n * 3];
+        let res = gmres_batch(
+            &a,
+            Panel::new(&b, n, 3),
+            PanelMut::new(&mut x, n, 3),
+            &f,
+            &SolverOptions::default(),
+        );
+        assert!(res[0].converged && res[0].iterations == 0);
+        assert!(res[2].converged && res[2].iterations == 0);
+        assert!(x[..n].iter().all(|&v| v == 0.0));
+        assert!(x[2 * n..].iter().all(|&v| v == 0.0));
+        assert!(res[1].converged && res[1].iterations > 0);
+    }
+
+    #[test]
+    fn exact_preconditioner_converges_in_one_step_per_column() {
+        // ILU with full fill = exact LU: every column needs ≤ 2 inner
+        // steps, and the batch must agree with the scalar runs exactly.
+        let a = convection_diffusion_2d(7, 7, 0.4, 0.2);
+        let n = a.nrows();
+        let f = factorize(&a, &IluOptions::default().with_fill(n)).unwrap();
+        let opts = SolverOptions::default();
+        let k = 4;
+        let b = rhs_panel(n, k, 13);
+        let mut x = vec![0.0; n * k];
+        let res = gmres_batch(
+            &a,
+            Panel::new(&b, n, k),
+            PanelMut::new(&mut x, n, k),
+            &f,
+            &opts,
+        );
+        for r in &res {
+            assert!(r.converged);
+            assert!(r.iterations <= 2, "took {} iterations", r.iterations);
+        }
+        assert_columns_bitwise(&a, &b, k, &x, &res, &f, &opts);
+    }
+
+    #[test]
+    fn iteration_cap_matches_scalar_exactly() {
+        let a = convection_diffusion_2d(14, 14, 0.6, 0.2);
+        let n = a.nrows();
+        let b = rhs_panel(n, 2, 3);
+        let opts = SolverOptions {
+            max_iters: 5,
+            tol: 1e-14,
+            restart: 3, // cap lands mid-cycle: 5 = 3 + 2
+            record_history: true,
+        };
+        let mut x = vec![0.0; n * 2];
+        let res = gmres_batch(
+            &a,
+            Panel::new(&b, n, 2),
+            PanelMut::new(&mut x, n, 2),
+            &IdentityPrecond,
+            &opts,
+        );
+        for r in &res {
+            assert!(!r.converged);
+            assert_eq!(r.iterations, 5);
+        }
+        assert_columns_bitwise(&a, &b, 2, &x, &res, &IdentityPrecond, &opts);
+    }
+
+    #[test]
+    fn workspace_reuse_across_widths_is_bitwise_stable() {
+        let a = convection_diffusion_2d(10, 9, 0.2, 0.4);
+        let n = a.nrows();
+        let f = factorize(&a, &IluOptions::ilu0(2)).unwrap();
+        let opts = SolverOptions {
+            restart: 9,
+            ..Default::default()
+        };
+        let b3 = rhs_panel(n, 3, 5);
+        let reference = {
+            let mut x = vec![0.0; n * 3];
+            gmres_batch(
+                &a,
+                Panel::new(&b3, n, 3),
+                PanelMut::new(&mut x, n, 3),
+                &f,
+                &opts,
+            );
+            x.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        };
+        let mut ws = SolverWorkspace::new();
+        for rep in 0..3 {
+            let mut x = vec![0.0; n * 3];
+            gmres_batch_with(
+                &a,
+                Panel::new(&b3, n, 3),
+                PanelMut::new(&mut x, n, 3),
+                &f,
+                &opts,
+                &mut ws,
+            );
+            let bits: Vec<u64> = x.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(bits, reference, "rep {rep}");
+            let mut x1 = vec![0.0; n];
+            gmres_batch_with(
+                &a,
+                Panel::new(&b3[..n], n, 1),
+                PanelMut::new(&mut x1, n, 1),
+                &f,
+                &opts,
+                &mut ws,
+            );
+        }
+    }
+}

@@ -12,12 +12,16 @@
 //! * [`solve_batch`] — `k` independent PCG systems in lockstep over one
 //!   RHS panel, sharing one preconditioner schedule walk per iteration
 //!   with per-column convergence masking (the serving-scale multi-RHS
-//!   driver).
+//!   driver);
+//! * [`bicgstab_batch`] / [`gmres_batch`] — the nonsymmetric batch
+//!   drivers: lockstep BiCGSTAB with per-column breakdown masking, and
+//!   lockstep-restart GMRES with per-column Hessenberg/Givens state.
 //!
 //! All solvers share [`SolverOptions`] / [`SolverResult`] and take any
 //! [`javelin_core::Preconditioner`]; the [`Method`] enum plus
-//! [`krylov_with`] give a single dispatched entry over all of them —
-//! the method axis of the `javelin::Session` façade.
+//! [`krylov_with`] / [`krylov_panel_with`] give a single dispatched
+//! entry over all of them — the method axis of the `javelin::Session`
+//! façade.
 //!
 //! Every solver comes in two forms: the plain entry point (`pcg`,
 //! `gmres`, …) that allocates its own working vectors, and a `_with`
@@ -34,13 +38,18 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod batch_bicgstab;
+pub mod batch_gmres;
 pub mod bicgstab;
 pub mod cg;
 pub mod fgmres;
 pub mod gmres;
+mod proptests;
 pub mod workspace;
 
 pub use batch::{solve_batch, solve_batch_with};
+pub use batch_bicgstab::{bicgstab_batch, bicgstab_batch_with};
+pub use batch_gmres::{gmres_batch, gmres_batch_with};
 pub use bicgstab::{bicgstab, bicgstab_with};
 pub use cg::{cg, pcg, pcg_with};
 pub use fgmres::{fgmres, fgmres_with};
@@ -48,11 +57,25 @@ pub use gmres::{gmres, gmres_with};
 pub use workspace::SolverWorkspace;
 
 use javelin_core::Preconditioner;
-use javelin_sparse::{CsrMatrix, Scalar};
+use javelin_sparse::{CsrMatrix, Panel, PanelMut, Scalar};
 
 /// Which Krylov method a dispatched solve runs — the method axis of the
 /// unified `javelin::Session` façade (each variant maps onto one of the
 /// dedicated entry points below).
+///
+/// ```
+/// use javelin_core::{factorize, IluOptions};
+/// use javelin_solver::{krylov, Method, SolverOptions};
+///
+/// let a = javelin_synth::grid::convection_diffusion_2d(10, 10, 0.4, 0.2);
+/// let f = factorize(&a, &IluOptions::ilu0(1)).unwrap();
+/// let b = vec![1.0; a.nrows()];
+/// for method in [Method::Gmres, Method::Bicgstab, Method::BatchGmres] {
+///     let mut x = vec![0.0; a.nrows()];
+///     let res = krylov(method, &a, &b, &mut x, &f, &SolverOptions::default());
+///     assert!(res.converged, "{method}");
+/// }
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Method {
     /// Preconditioned conjugate gradients ([`pcg`]) — SPD systems.
@@ -67,6 +90,14 @@ pub enum Method {
     /// side this runs the panel driver at width 1, which is
     /// bit-identical to [`pcg`] by the panel contract.
     BatchPcg,
+    /// Lockstep batched BiCGSTAB ([`bicgstab_batch`]) — nonsymmetric
+    /// panels with per-column convergence/breakdown masking; width 1 is
+    /// bit-identical to [`fn@bicgstab`].
+    BatchBicgstab,
+    /// Lockstep-restart batched GMRES ([`gmres_batch`]) — shared panel
+    /// applies per inner step, per-column Hessenberg/Givens state;
+    /// width 1 is bit-identical to [`fn@gmres`].
+    BatchGmres,
 }
 
 impl std::fmt::Display for Method {
@@ -77,6 +108,8 @@ impl std::fmt::Display for Method {
             Method::Fgmres => write!(f, "fgmres"),
             Method::Bicgstab => write!(f, "bicgstab"),
             Method::BatchPcg => write!(f, "batch-pcg"),
+            Method::BatchBicgstab => write!(f, "batch-bicgstab"),
+            Method::BatchGmres => write!(f, "batch-gmres"),
         }
     }
 }
@@ -101,14 +134,15 @@ pub fn krylov_with<T: Scalar, P: Preconditioner<T>>(
         Method::Gmres => gmres_with(a, b, x, m, opts, ws),
         Method::Fgmres => fgmres_with(a, b, x, m, opts, ws),
         Method::Bicgstab => bicgstab_with(a, b, x, m, opts, ws),
-        Method::BatchPcg => {
+        Method::BatchPcg | Method::BatchBicgstab | Method::BatchGmres => {
             let n = a.nrows();
             assert_eq!(b.len(), n, "krylov: rhs length");
             assert_eq!(x.len(), n, "krylov: solution length");
-            let results = solve_batch_with(
+            let results = krylov_panel_with(
+                method,
                 a,
-                javelin_sparse::Panel::new(b, n, 1),
-                javelin_sparse::PanelMut::new(x, n, 1),
+                Panel::new(b, n, 1),
+                PanelMut::new(x, n, 1),
                 m,
                 opts,
                 ws,
@@ -129,6 +163,58 @@ pub fn krylov<T: Scalar, P: Preconditioner<T>>(
     opts: &SolverOptions,
 ) -> SolverResult {
     krylov_with(method, a, b, x, m, opts, &mut SolverWorkspace::new())
+}
+
+/// Runs the chosen Krylov [`Method`] over a whole RHS panel with
+/// caller-owned working memory — the dispatch behind
+/// `javelin::Session::krylov_panel`. The three batch methods (and their
+/// scalar synonyms: [`Method::Pcg`] routes to [`solve_batch_with`],
+/// [`Method::Bicgstab`] to [`bicgstab_batch_with`], [`Method::Gmres`]
+/// to [`gmres_batch_with`]) run `k` systems in lockstep sharing one
+/// preconditioner schedule walk per apply; [`Method::Fgmres`], which
+/// has no batch variant, loops the scalar solver over the columns.
+/// Either way column `c` of the result is bit-identical to the scalar
+/// solve of column `c`. Returns one [`SolverResult`] per column.
+///
+/// # Panics
+/// On panel shape mismatches.
+pub fn krylov_panel_with<T: Scalar, P: Preconditioner<T>>(
+    method: Method,
+    a: &CsrMatrix<T>,
+    b: Panel<'_, T>,
+    mut x: PanelMut<'_, T>,
+    m: &P,
+    opts: &SolverOptions,
+    ws: &mut SolverWorkspace<T>,
+) -> Vec<SolverResult> {
+    match method {
+        Method::Pcg | Method::BatchPcg => solve_batch_with(a, b, x, m, opts, ws),
+        Method::Bicgstab | Method::BatchBicgstab => bicgstab_batch_with(a, b, x, m, opts, ws),
+        Method::Gmres | Method::BatchGmres => gmres_batch_with(a, b, x, m, opts, ws),
+        Method::Fgmres => {
+            let n = a.nrows();
+            let k = b.ncols();
+            assert_eq!(b.nrows(), n, "krylov_panel: rhs panel rows");
+            assert_eq!(x.nrows(), n, "krylov_panel: solution panel rows");
+            assert_eq!(x.ncols(), k, "krylov_panel: panel widths differ");
+            (0..k)
+                .map(|c| fgmres_with(a, b.col(c), x.col_mut(c), m, opts, ws))
+                .collect()
+        }
+    }
+}
+
+/// [`krylov_panel_with`] allocating a fresh workspace — convenience for
+/// one-shot panel solves.
+pub fn krylov_panel<T: Scalar, P: Preconditioner<T>>(
+    method: Method,
+    a: &CsrMatrix<T>,
+    b: Panel<'_, T>,
+    x: PanelMut<'_, T>,
+    m: &P,
+    opts: &SolverOptions,
+) -> Vec<SolverResult> {
+    krylov_panel_with(method, a, b, x, m, opts, &mut SolverWorkspace::new())
 }
 
 /// Iteration controls shared by all solvers.

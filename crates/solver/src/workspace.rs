@@ -49,6 +49,28 @@ pub struct SolverWorkspace<T> {
     pub(crate) col_bnorm: Vec<f64>,
     pub(crate) col_relres: Vec<f64>,
     pub(crate) col_state: Vec<u8>,
+    // Nonsymmetric batch extensions (`bicgstab_batch`): the shadow
+    // residual, the two preconditioned directions and `A·z`, plus the
+    // per-column BiCGSTAB scalar recurrences.
+    pub(crate) prhat: Vec<T>,
+    pub(crate) py: Vec<T>,
+    pub(crate) pt: Vec<T>,
+    pub(crate) col_rho: Vec<T>,
+    pub(crate) col_alpha: Vec<T>,
+    pub(crate) col_omega: Vec<T>,
+    // Lockstep-restart GMRES (`gmres_batch`): a stacked Arnoldi basis
+    // of `restart + 1` panels (layout `[j][c][i]`, so step `j`'s basis
+    // vectors form one contiguous `n × k` panel), a correction panel,
+    // and per-column Hessenberg/Givens/least-squares state.
+    pub(crate) pv: Vec<T>,
+    pub(crate) pu: Vec<T>,
+    pub(crate) ph: Vec<T>,
+    pub(crate) pcs: Vec<T>,
+    pub(crate) psn: Vec<T>,
+    pub(crate) pg: Vec<T>,
+    pub(crate) pyk: Vec<T>,
+    pub(crate) col_iters: Vec<usize>,
+    pub(crate) col_jused: Vec<usize>,
 }
 
 fn ensure<T: Scalar>(v: &mut Vec<T>, n: usize) {
@@ -109,14 +131,21 @@ impl<T: Scalar> SolverWorkspace<T> {
 
     /// Pre-grows every buffer family a session-style caller may hit —
     /// the short-recurrence vectors, the Arnoldi state for `restart`,
-    /// and (for `k > 0`) the batched panels — so the first solve of any
-    /// kind is already allocation-free. Growing is idempotent;
-    /// steady-state callers never need this.
+    /// and (for `k > 0`) the batched short-recurrence panels (PCG and
+    /// BiCGSTAB) — so the first solve of those kinds is already
+    /// allocation-free. The lockstep-restart GMRES driver's stacked
+    /// `(restart + 1) × n × k` Arnoldi basis is deliberately **not**
+    /// pre-grown here: it dwarfs every other buffer (gigabytes for
+    /// large `n·k`) and would tax every session whether or not it ever
+    /// runs batched GMRES, so `gmres_batch` grows it on first use
+    /// instead (grow-only; allocation-free from the second solve on).
+    /// Growing is idempotent; steady-state callers never need this.
     pub fn reserve(&mut self, n: usize, restart: usize, k: usize) {
         self.ensure_short(n);
         self.ensure_krylov(n, restart.max(1), true);
         if k > 0 {
             self.ensure_panel(n, k);
+            self.ensure_panel_bicgstab(n, k);
         }
     }
 
@@ -132,6 +161,37 @@ impl<T: Scalar> SolverWorkspace<T> {
         if self.col_state.len() != k {
             self.col_state.clear();
             self.col_state.resize(k, 0);
+        }
+    }
+
+    /// Sizes the extra panels/per-column scalars `bicgstab_batch` needs
+    /// on top of [`SolverWorkspace::ensure_panel`].
+    pub(crate) fn ensure_panel_bicgstab(&mut self, n: usize, k: usize) {
+        self.ensure_panel(n, k);
+        for buf in [&mut self.prhat, &mut self.py, &mut self.pt] {
+            ensure(buf, n * k);
+        }
+        ensure(&mut self.col_rho, k);
+        ensure(&mut self.col_alpha, k);
+        ensure(&mut self.col_omega, k);
+    }
+
+    /// Sizes the stacked Arnoldi basis and per-column least-squares
+    /// state `gmres_batch` needs for `k` columns at restart length `m`.
+    pub(crate) fn ensure_panel_gmres(&mut self, n: usize, k: usize, m: usize) {
+        self.ensure_panel(n, k);
+        ensure(&mut self.pv, (m + 1) * n * k);
+        ensure(&mut self.pu, n * k);
+        ensure(&mut self.ph, (m + 1) * m * k);
+        ensure(&mut self.pcs, m * k);
+        ensure(&mut self.psn, m * k);
+        ensure(&mut self.pg, (m + 1) * k);
+        ensure(&mut self.pyk, m * k);
+        for buf in [&mut self.col_iters, &mut self.col_jused] {
+            if buf.len() != k {
+                buf.clear();
+                buf.resize(k, 0);
+            }
         }
     }
 }

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Markdown link check for the docs layer (README.md + docs/), so the
+# prose can't rot silently: every relative link target must exist in
+# the repository. External (http/https) links are skipped — CI has no
+# network. Run from the repository root:
+#
+#   bash scripts/check_links.sh
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+fail=0
+checked=0
+
+for md in "$root"/README.md "$root"/docs/*.md; do
+    [ -f "$md" ] || continue
+    dir="$(dirname "$md")"
+    # Inline markdown links: [text](target). One per line via grep -o.
+    while IFS= read -r target; do
+        # Skip external links and pure fragments.
+        case "$target" in
+        http://* | https://* | mailto:* | \#*) continue ;;
+        esac
+        # Strip a trailing #fragment.
+        path="${target%%#*}"
+        [ -n "$path" ] || continue
+        checked=$((checked + 1))
+        if [ ! -e "$dir/$path" ]; then
+            echo "BROKEN: $md -> $target"
+            fail=1
+        fi
+    done < <(grep -o '\](\([^)]*\))' "$md" | sed 's/^](\(.*\))$/\1/')
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "markdown link check failed"
+    exit 1
+fi
+echo "markdown link check: $checked relative links OK"

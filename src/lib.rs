@@ -67,8 +67,44 @@
 //! * [`sync`] — thread pool, worker team, progress counters, task graph
 //! * [`core`] — the ILU framework itself (factorization, stri, spmv)
 //! * [`baseline`] — serial ILUT and the heavyweight comparator
-//! * [`solver`] — CG / GMRES / FGMRES / BiCGSTAB / batched Krylov solvers
+//! * [`solver`] — CG / GMRES / FGMRES / BiCGSTAB and the lockstep
+//!   batched drivers (`solve_batch`, `bicgstab_batch`, `gmres_batch`)
 //! * [`machine`] — machine models and the schedule simulator
+//!
+//! ## Multi-RHS panels
+//!
+//! Every layer is generic over a panel width `k`: one preconditioner
+//! schedule walk retires all `k` columns, and the batched Krylov
+//! drivers run `k` systems in lockstep with per-column convergence
+//! (and breakdown) masking — column `c` always carries exactly the
+//! bits of the scalar solve of column `c`:
+//!
+//! ```
+//! use javelin::prelude::*;
+//!
+//! let a = javelin::synth::grid::convection_diffusion_2d(12, 12, 0.4, 0.2);
+//! let n = a.nrows();
+//! let mut session = Session::builder().panel_width(4).build(&a).unwrap();
+//! let (k, b) = (4, javelin::synth::util::rhs_panel(n, 4, 7));
+//! let mut x = vec![0.0; n * k];
+//! let results = session
+//!     .krylov_panel(
+//!         Method::BatchGmres,
+//!         Panel::new(&b, n, k),
+//!         PanelMut::new(&mut x, n, k),
+//!     )
+//!     .unwrap();
+//! assert!(results.iter().all(|r| r.converged));
+//! ```
+//!
+//! ## Further reading
+//!
+//! The repository ships a docs layer alongside the rustdoc:
+//! `README.md` (quickstart, workspace map, headline bench numbers)
+//! and `docs/ARCHITECTURE.md` — the three load-bearing lifecycles
+//! (plan/execute, panel stride + lockstep masking, and
+//! analyze→factor→refactor) with diagrams and pointers into the
+//! crates that implement them.
 
 pub use javelin_baseline as baseline;
 pub use javelin_core as core;
@@ -92,8 +128,8 @@ pub mod prelude {
     pub use javelin_core::symbolic_ilu::SymbolicIlu;
     pub use javelin_core::{factorize, IluFactorization};
     pub use javelin_solver::{
-        bicgstab, cg, fgmres, gmres, krylov, pcg, solve_batch, Method, SolverOptions, SolverResult,
-        SolverWorkspace,
+        bicgstab, bicgstab_batch, cg, fgmres, gmres, gmres_batch, krylov, krylov_panel, pcg,
+        solve_batch, Method, SolverOptions, SolverResult, SolverWorkspace,
     };
     pub use javelin_sparse::{CooMatrix, CsrMatrix, Panel, PanelMut, Perm, Scalar};
 }

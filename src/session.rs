@@ -2,7 +2,9 @@
 //! two-phase factorization, the worker team and every workspace, with
 //! the whole solve surface collapsed to three verbs —
 //! [`Session::solve`], [`Session::solve_panel`] and
-//! [`Session::krylov`] — plus [`Session::refactor`] for time stepping.
+//! [`Session::krylov`] (with [`Session::krylov_panel`] as the batched
+//! multi-RHS form of the latter) — plus [`Session::refactor`] for time
+//! stepping.
 //!
 //! ```
 //! use javelin::prelude::*;
@@ -25,7 +27,7 @@
 
 use javelin_core::{FactorStats, IluFactors, IluOptions, SolveEngine, SymbolicIlu};
 use javelin_solver::SolverWorkspace;
-use javelin_solver::{krylov_with, solve_batch_with, Method, SolverOptions, SolverResult};
+use javelin_solver::{krylov_panel_with, krylov_with, Method, SolverOptions, SolverResult};
 use javelin_sparse::{CsrMatrix, Panel, PanelMut, Scalar, SparseError};
 use javelin_sync::WorkerTeam;
 use std::sync::Arc;
@@ -89,7 +91,12 @@ impl SessionBuilder {
 
     /// Pre-warms panel scratch and solver panels to width `k`, so the
     /// first [`Session::solve_panel`] / [`Session::krylov_panel`] at
-    /// width ≤ `k` is already allocation-free (default 1).
+    /// width ≤ `k` is already allocation-free (default 1). Exception:
+    /// the batched-GMRES stacked Arnoldi basis — by far the largest
+    /// buffer, `(restart + 1) × n × k` — is grown on the first
+    /// `BatchGmres` panel solve instead of at build time, so sessions
+    /// that never batch GMRES never pay for it; from the second such
+    /// solve on it too is allocation-free.
     #[must_use]
     pub fn panel_width(mut self, k: usize) -> Self {
         self.panel_width = k;
@@ -225,15 +232,39 @@ impl<T: Scalar> Session<T> {
         ))
     }
 
-    /// Batched Krylov solve: `k` PCG systems in lockstep over one RHS
-    /// panel, sharing one preconditioner schedule walk per iteration
-    /// with per-column convergence masking. Returns one result per
-    /// column.
+    /// Batched Krylov solve: `k` systems of the chosen [`Method`] in
+    /// lockstep over one RHS panel, sharing one preconditioner schedule
+    /// walk per panel apply with per-column convergence (and, for
+    /// BiCGSTAB, breakdown) masking. `Pcg`/`BatchPcg` run the batched
+    /// CG driver, `Bicgstab`/`BatchBicgstab` the batched BiCGSTAB,
+    /// `Gmres`/`BatchGmres` the lockstep-restart block GMRES; `Fgmres`
+    /// loops the scalar solver column by column. Column `c` of the
+    /// result is always bit-identical to the scalar solve of column
+    /// `c`. Returns one result per column.
+    ///
+    /// ```
+    /// use javelin::prelude::*;
+    ///
+    /// let a = javelin::synth::grid::convection_diffusion_2d(10, 10, 0.4, 0.2);
+    /// let n = a.nrows();
+    /// let mut session = Session::builder().panel_width(3).build(&a).unwrap();
+    /// let (k, b) = (3, javelin::synth::util::rhs_panel(n, 3, 42));
+    /// let mut x = vec![0.0; n * k];
+    /// let results = session
+    ///     .krylov_panel(
+    ///         Method::BatchBicgstab,
+    ///         Panel::new(&b, n, k),
+    ///         PanelMut::new(&mut x, n, k),
+    ///     )
+    ///     .unwrap();
+    /// assert!(results.iter().all(|r| r.converged));
+    /// ```
     ///
     /// # Errors
     /// [`SparseError::DimensionMismatch`] on shape mismatches.
     pub fn krylov_panel(
         &mut self,
+        method: Method,
         b: Panel<'_, T>,
         x: PanelMut<'_, T>,
     ) -> Result<Vec<SolverResult>, SparseError> {
@@ -249,7 +280,8 @@ impl<T: Scalar> Session<T> {
             )));
         }
         let m = self.factors.with_engine(self.engine);
-        Ok(solve_batch_with(
+        Ok(krylov_panel_with(
+            method,
             &self.a,
             b,
             x,
@@ -355,6 +387,8 @@ mod tests {
             Method::Fgmres,
             Method::Bicgstab,
             Method::BatchPcg,
+            Method::BatchBicgstab,
+            Method::BatchGmres,
         ] {
             let mut x = vec![0.0; n];
             let res = session.krylov(method, &b, &mut x).unwrap();
@@ -417,13 +451,16 @@ mod tests {
                 "column {c}"
             );
         }
-        // Batched Krylov over the same panel converges column-wise.
-        let mut xk = vec![0.0; n * k];
-        let results = session
-            .krylov_panel(Panel::new(&b, n, k), PanelMut::new(&mut xk, n, k))
-            .unwrap();
-        assert_eq!(results.len(), k);
-        assert!(results.iter().all(|r| r.converged));
+        // Batched Krylov over the same panel converges column-wise,
+        // whichever batch method drives it.
+        for method in [Method::BatchPcg, Method::BatchBicgstab, Method::BatchGmres] {
+            let mut xk = vec![0.0; n * k];
+            let results = session
+                .krylov_panel(method, Panel::new(&b, n, k), PanelMut::new(&mut xk, n, k))
+                .unwrap();
+            assert_eq!(results.len(), k, "{method}");
+            assert!(results.iter().all(|r| r.converged), "{method}");
+        }
     }
 
     #[test]
@@ -463,7 +500,11 @@ mod tests {
         let bp = vec![0.0; n];
         let mut xp = vec![0.0; 2 * n];
         assert!(session
-            .krylov_panel(Panel::new(&bp, n, 1), PanelMut::new(&mut xp, n, 2))
+            .krylov_panel(
+                Method::BatchPcg,
+                Panel::new(&bp, n, 1),
+                PanelMut::new(&mut xp, n, 2)
+            )
             .is_err());
         // Pattern mismatch on refactor leaves the session usable.
         let other = laplace_2d(5, 5);

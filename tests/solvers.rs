@@ -118,6 +118,74 @@ fn preconditioning_never_hurts_iteration_counts_much() {
 }
 
 #[test]
+fn session_batched_nonsymmetric_krylov_is_columnwise_scalar_identical() {
+    // The PR-4 acceptance surface end to end: a nonsymmetric suite
+    // matrix solved through `Session::krylov_panel` with both batch
+    // methods must reproduce, bit for bit, the scalar solver run on
+    // each column with the same pinned-engine preconditioner.
+    use javelin::prelude::*;
+    use javelin::solver::{bicgstab_with, gmres_with};
+
+    let meta = &paper_suite()[5]; // trans4-like (group B)
+    let a = preorder_dm_nd(&meta.build_tiny());
+    let n = a.nrows();
+    let k = 4usize;
+    let b: Vec<f64> = (0..n * k)
+        .map(|i| ((i * 13 % 29) as f64 - 14.0) * 0.21)
+        .collect();
+    let mut session = Session::builder()
+        .nthreads(2)
+        .panel_width(k)
+        .build(&a)
+        .unwrap();
+    let engine = session.engine();
+    let opts = *session.solver_options();
+    for method in [Method::BatchBicgstab, Method::BatchGmres] {
+        let mut xp = vec![0.0; n * k];
+        let results = session
+            .krylov_panel(method, Panel::new(&b, n, k), PanelMut::new(&mut xp, n, k))
+            .unwrap();
+        assert!(
+            results.iter().all(|r| r.converged),
+            "{method} on {}",
+            meta.name
+        );
+        let f = factorize(&a, &IluOptions::ilu0(2)).unwrap();
+        let m = f.with_engine(engine);
+        for c in 0..k {
+            let mut x = vec![0.0; n];
+            let r = match method {
+                Method::BatchBicgstab => bicgstab_with(
+                    &a,
+                    &b[c * n..(c + 1) * n],
+                    &mut x,
+                    &m,
+                    &opts,
+                    &mut SolverWorkspace::new(),
+                ),
+                _ => gmres_with(
+                    &a,
+                    &b[c * n..(c + 1) * n],
+                    &mut x,
+                    &m,
+                    &opts,
+                    &mut SolverWorkspace::new(),
+                ),
+            };
+            assert_eq!(results[c].iterations, r.iterations, "{method} col {c}");
+            assert_eq!(
+                xp[c * n..(c + 1) * n]
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                x.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{method} col {c}"
+            );
+        }
+    }
+}
+
+#[test]
 fn milu_and_tau_variants_still_converge() {
     let meta = &group_a()[4]; // ecology2-like
     let a = preorder_dm_nd(&meta.build_tiny());
