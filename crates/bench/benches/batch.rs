@@ -12,6 +12,13 @@
 //!
 //! The second group measures the same amortization for the planned
 //! spmv ([`SpmvPlan::execute_panel`] vs. `k` `execute` calls).
+//!
+//! Both groups also carry a `dyn` row: the same panel kernel pinned to
+//! the `DynLanes` runtime-width fallback
+//! (`solve_panel_dynwidth_with_buffer` / `execute_panel_dynwidth`).
+//! At `k ∈ {4, 8}` the default rows run the `FixedLanes` monomorphized
+//! kernels, so `panel` vs `paneldyn` is exactly what the fixed-width
+//! specialization buys (bitwise-identical results either way).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use javelin_core::spmv::SpmvPlan;
@@ -49,6 +56,18 @@ fn bench_panel_apply(c: &mut Criterion) {
             group.bench_function(BenchmarkId::new(format!("panel/{label}"), k), |bench| {
                 bench.iter(|| {
                     f.solve_panel_with_buffer(
+                        engine,
+                        &mut pbuf,
+                        Panel::new(&r, n, k),
+                        PanelMut::new(&mut z, n, k),
+                    )
+                    .expect("panel solve");
+                    z[0]
+                });
+            });
+            group.bench_function(BenchmarkId::new(format!("paneldyn/{label}"), k), |bench| {
+                bench.iter(|| {
+                    f.solve_panel_dynwidth_with_buffer(
                         engine,
                         &mut pbuf,
                         Panel::new(&r, n, k),
@@ -98,6 +117,19 @@ fn bench_panel_spmv(c: &mut Criterion) {
                     y[0]
                 });
             });
+            group.bench_function(
+                BenchmarkId::new(format!("paneldyn/t{nthreads}"), k),
+                |bench| {
+                    bench.iter(|| {
+                        plan.execute_panel_dynwidth(
+                            &a,
+                            Panel::new(&x, n, k),
+                            PanelMut::new(&mut y, n, k),
+                        );
+                        y[0]
+                    });
+                },
+            );
             let plan_l = SpmvPlan::new(&a, nthreads, tile);
             let mut y_l = vec![0.0; n * k];
             group.bench_function(

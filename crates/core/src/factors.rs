@@ -7,7 +7,8 @@ use crate::stats::FactorStats;
 use crate::symbolic_ilu::SymbolicIlu;
 use crate::trisolve::{engines, serial};
 use javelin_level::{LevelSets, P2PSchedule};
-use javelin_sparse::{CsrMatrix, Panel, PanelMut, Perm, Scalar, SparseError};
+use javelin_sparse::lanes::{DynLanes, Lanes};
+use javelin_sparse::{with_lanes, CsrMatrix, Panel, PanelMut, Perm, Scalar, SparseError};
 use javelin_sync::Exec;
 
 /// Everything the triangular-solve engines need, precomputed once at
@@ -316,9 +317,23 @@ impl<T: Scalar> IluFactors<T> {
     }
 
     /// Dispatches a non-serial engine over the scratch's loaded `xbuf`
-    /// at its current panel width.
+    /// at its current panel width: `k ∈ {1, 4, 8}` route to the
+    /// monomorphized fixed-lane kernels, everything else to the
+    /// bit-identical dynamic-width fallback (the lane layer's dispatch
+    /// table).
     fn run_parallel_engine(
         &self,
+        engine: SolveEngine,
+        scratch: &crate::trisolve::engines::SolveScratch<T>,
+    ) {
+        with_lanes!(scratch.width(), lanes => self.run_engine_lanes(lanes, engine, scratch));
+    }
+
+    /// The lane-generic engine dispatch behind
+    /// [`IluFactors::run_parallel_engine`].
+    fn run_engine_lanes<L: Lanes>(
+        &self,
+        lanes: L,
         engine: SolveEngine,
         scratch: &crate::trisolve::engines::SolveScratch<T>,
     ) {
@@ -326,6 +341,7 @@ impl<T: Scalar> IluFactors<T> {
         match engine {
             SolveEngine::Serial => unreachable!("serial substitution has no parallel scratch"),
             SolveEngine::BarrierLevel => engines::solve_barrier_fused(
+                lanes,
                 &self.lu,
                 &core.diag_pos,
                 &core.plan.fwd_levels,
@@ -341,6 +357,7 @@ impl<T: Scalar> IluFactors<T> {
                     engines::LowerTiles::Off
                 };
                 engines::solve_p2p_fused(
+                    lanes,
                     &self.lu,
                     &core.diag_pos,
                     &core.plan,
@@ -396,7 +413,36 @@ impl<T: Scalar> IluFactors<T> {
         engine: SolveEngine,
         perm_buf: &mut Vec<T>,
         b: Panel<'_, T>,
+        x: PanelMut<'_, T>,
+    ) -> Result<(), SparseError> {
+        self.solve_panel_buffered_impl(engine, perm_buf, b, x, false)
+    }
+
+    /// [`IluFactors::solve_panel_with_buffer`] pinned to the
+    /// dynamic-width lane fallback regardless of `k` — a measurement
+    /// aid so benchmarks can quantify what the fixed-width lane
+    /// monomorphizations buy at `k ∈ {4, 8}`. Bit-identical to the
+    /// dispatched path.
+    ///
+    /// # Errors
+    /// [`SparseError::DimensionMismatch`] on shape mismatches.
+    pub fn solve_panel_dynwidth_with_buffer(
+        &self,
+        engine: SolveEngine,
+        perm_buf: &mut Vec<T>,
+        b: Panel<'_, T>,
+        x: PanelMut<'_, T>,
+    ) -> Result<(), SparseError> {
+        self.solve_panel_buffered_impl(engine, perm_buf, b, x, true)
+    }
+
+    fn solve_panel_buffered_impl(
+        &self,
+        engine: SolveEngine,
+        perm_buf: &mut Vec<T>,
+        b: Panel<'_, T>,
         mut x: PanelMut<'_, T>,
+        dynwidth: bool,
     ) -> Result<(), SparseError> {
         let n = self.n();
         let k = b.ncols();
@@ -426,7 +472,11 @@ impl<T: Scalar> IluFactors<T> {
                 zc[old_to_new[o]] = bo;
             }
         }
-        self.solve_permuted_panel_inplace(engine, &mut z);
+        if dynwidth {
+            self.solve_permuted_panel_lanes(engine, DynLanes(k), &mut z);
+        } else {
+            self.solve_permuted_panel_inplace(engine, &mut z);
+        }
         for c in 0..k {
             let zc = z.col(c);
             let xc = x.col_mut(c);
@@ -443,10 +493,24 @@ impl<T: Scalar> IluFactors<T> {
     /// retire all `k` columns per row under **one** counter/barrier
     /// protocol, so the schedule walk is paid once per panel; the
     /// internal scratch grows (grow-only) to the widest panel seen.
+    /// Widths `k ∈ {1, 4, 8}` run the monomorphized fixed-lane
+    /// kernels; every other width the bit-identical dynamic fallback.
     pub fn solve_permuted_panel_inplace(&self, engine: SolveEngine, z: &mut PanelMut<'_, T>) {
-        if z.ncols() == 0 {
+        let k = z.ncols();
+        if k == 0 {
             return;
         }
+        with_lanes!(k, lanes => self.solve_permuted_panel_lanes(engine, lanes, z));
+    }
+
+    /// The lane-generic body of
+    /// [`IluFactors::solve_permuted_panel_inplace`].
+    fn solve_permuted_panel_lanes<L: Lanes>(
+        &self,
+        engine: SolveEngine,
+        lanes: L,
+        z: &mut PanelMut<'_, T>,
+    ) {
         match engine {
             SolveEngine::Serial => {
                 serial::forward_panel_inplace(&self.lu, self.diag_positions(), z);
@@ -454,9 +518,9 @@ impl<T: Scalar> IluFactors<T> {
             }
             _ => {
                 let mut scratch = self.sym.core().scratch.lock();
-                scratch.ensure_width(z.ncols());
+                scratch.ensure_lanes(lanes);
                 scratch.load_cols(z.as_panel());
-                self.run_parallel_engine(engine, &scratch);
+                self.run_engine_lanes(lanes, engine, &scratch);
                 scratch.store_cols(z);
             }
         }
@@ -916,7 +980,9 @@ mod tests {
         opts.split.min_rows_per_level = 8;
         opts.split.location_frac = 0.0;
         let f = compute_factors(&a, &opts);
-        for k in [8usize, 1, 2, 3] {
+        // Fixed-lane widths (1, 4, 8) and DynLanes widths (2, 3, 5, 7),
+        // wide-first so 8 → 1 exercises the grow-only narrowing path.
+        for k in [8usize, 1, 2, 3, 4, 5, 7] {
             let b: Vec<f64> = (0..n * k)
                 .map(|i| ((i * 29 % 41) as f64 - 20.0) * 0.21)
                 .collect();
@@ -937,6 +1003,20 @@ mod tests {
                     let sb: Vec<u64> = x.iter().map(|v| v.to_bits()).collect();
                     assert_eq!(pb, sb, "engine={engine} k={k} col={c}");
                 }
+                // The forced dynamic-width fallback is bit-identical to
+                // whatever the dispatch table picked.
+                let mut xd = vec![0.0; n * k];
+                let mut dbuf = Vec::new();
+                f.solve_panel_dynwidth_with_buffer(
+                    engine,
+                    &mut dbuf,
+                    Panel::new(&b, n, k),
+                    PanelMut::new(&mut xd, n, k),
+                )
+                .unwrap();
+                let pb: Vec<u64> = xp.iter().map(|v| v.to_bits()).collect();
+                let db: Vec<u64> = xd.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(pb, db, "dynwidth engine={engine} k={k}");
             }
         }
     }

@@ -17,14 +17,18 @@
 //! [`SpmvPlan::execute`] then runs without heap allocation or searches
 //! — the per-iteration shape the Krylov loop needs. [`spmv_csr5lite`]
 //! wraps plan + execute for one-shot callers.
+//!
+//! Both execution entry points are thin wrappers over **one**
+//! width-generic lane core (`execute_lanes`): [`SpmvPlan::execute`] is
+//! the `FixedLanes<1>` instantiation, [`SpmvPlan::execute_panel`]
+//! dispatches `k ∈ {1, 4, 8}` to the monomorphized fixed-width kernels
+//! and every other width to the bit-identical `DynLanes` fallback (see
+//! [`javelin_sparse::lanes`]).
 
 use crate::numeric::LuVals;
-use javelin_sparse::{CsrMatrix, Panel, PanelMut, Scalar};
+use javelin_sparse::lanes::{for_each_chunk, DynLanes, FixedLanes, Lanes, LANE_CHUNK};
+use javelin_sparse::{with_lanes, CsrMatrix, Panel, PanelMut, Scalar};
 use javelin_sync::{pool, Exec};
-
-/// Columns per stack-resident accumulator block in the panel kernel
-/// (mirrors the trisolve engines' chunking).
-const PANEL_CHUNK: usize = 8;
 
 /// Serial CSR spmv: `y = A·x`.
 pub fn spmv_serial<T: Scalar>(a: &CsrMatrix<T>, x: &[T], y: &mut [T]) {
@@ -147,63 +151,20 @@ impl<T: Scalar> SpmvPlan<T> {
     /// bit-identical for every thread count (fixed tile-order
     /// combination).
     ///
+    /// This *is* the width-generic lane core instantiated at
+    /// `FixedLanes<1>` — the scalar path and the panel path share one
+    /// kernel body (`execute_lanes`).
+    ///
     /// # Panics
     /// When `a`'s shape/nnz do not match the planned matrix, or on
     /// vector length mismatches.
     pub fn execute(&self, a: &CsrMatrix<T>, x: &[T], y: &mut [T]) {
-        assert_eq!(a.nrows(), self.nrows, "spmv plan: row count changed");
-        assert_eq!(a.ncols(), self.ncols, "spmv plan: col count changed");
-        assert_eq!(a.nnz(), self.nnz, "spmv plan: nnz changed");
         assert_eq!(x.len(), self.ncols, "spmv: x length mismatch");
         assert_eq!(y.len(), self.nrows, "spmv: y length mismatch");
-        if self.nnz == 0 {
-            y.fill(T::ZERO);
-            return;
-        }
-        let rowptr = a.rowptr();
-        let vals = a.vals();
-        let colidx = a.colidx();
-        let nthreads = self.exec.nthreads();
-        let tiles_per_thread = self.n_tiles.div_ceil(nthreads).max(1);
-        self.exec.run(|tid| {
-            let t_lo = (tid * tiles_per_thread).min(self.n_tiles);
-            let t_hi = ((tid + 1) * tiles_per_thread).min(self.n_tiles);
-            for t in t_lo..t_hi {
-                let lo = t * self.tile;
-                let hi = ((t + 1) * self.tile).min(self.nnz);
-                let base = self.slot_ptr[t];
-                let mut row = self.first_row[t];
-                let mut slot = 0usize;
-                let mut acc = T::ZERO;
-                let mut cursor = lo;
-                while cursor < hi {
-                    while rowptr[row + 1] <= cursor {
-                        self.partials.set(base + slot, acc);
-                        slot += 1;
-                        acc = T::ZERO;
-                        row += 1;
-                    }
-                    let stop = rowptr[row + 1].min(hi);
-                    for k in cursor..stop {
-                        acc += vals[k] * x[colidx[k]];
-                    }
-                    cursor = stop;
-                }
-                self.partials.set(base + slot, acc);
-                debug_assert_eq!(base + slot + 1, self.slot_ptr[t + 1]);
-            }
-        });
-        // Deterministic combination in tile order.
-        y.fill(T::ZERO);
-        for t in 0..self.n_tiles {
-            let first_row = self.first_row[t];
-            for (k, s) in (self.slot_ptr[t]..self.slot_ptr[t + 1]).enumerate() {
-                let r = first_row + k;
-                if r < self.nrows {
-                    y[r] += self.partials.get(s);
-                }
-            }
-        }
+        let x = Panel::from_col(x);
+        let mut y = PanelMut::from_col(y);
+        self.check_panel_shapes(a, &x, &y);
+        self.execute_lanes(FixedLanes::<1>, a, x, &mut y);
     }
 
     /// Executes `Y = A·X` for a whole RHS panel through the plan: the
@@ -214,6 +175,11 @@ impl<T: Scalar> SpmvPlan<T> {
     /// already-seen width the execution is allocation-free, and the
     /// `k = 1` path never grows at all.
     ///
+    /// Widths `k ∈ {1, 4, 8}` dispatch to the monomorphized
+    /// [`FixedLanes`] kernels (compile-time lane trip counts — the
+    /// SIMD-friendly form); every other width runs the bit-identical
+    /// [`DynLanes`] fallback.
+    ///
     /// Column `c` of the result is bit-identical to
     /// [`SpmvPlan::execute`] on column `c`: same tiles, same segment
     /// order, same deterministic tile-order combination.
@@ -222,32 +188,81 @@ impl<T: Scalar> SpmvPlan<T> {
     /// When `a`'s shape/nnz do not match the planned matrix, or on
     /// panel shape mismatches.
     pub fn execute_panel(&mut self, a: &CsrMatrix<T>, x: Panel<'_, T>, mut y: PanelMut<'_, T>) {
+        let k = self.check_panel_shapes(a, &x, &y);
+        if k == 0 {
+            return;
+        }
+        self.grow_partials(k);
+        with_lanes!(k, lanes => self.execute_lanes(lanes, a, x, &mut y));
+    }
+
+    /// [`SpmvPlan::execute_panel`] pinned to the [`DynLanes`] fallback
+    /// regardless of width — a measurement aid so benchmarks can
+    /// quantify what the fixed-width monomorphizations buy at
+    /// `k ∈ {4, 8}`. Bit-identical to [`SpmvPlan::execute_panel`].
+    pub fn execute_panel_dynwidth(
+        &mut self,
+        a: &CsrMatrix<T>,
+        x: Panel<'_, T>,
+        mut y: PanelMut<'_, T>,
+    ) {
+        let k = self.check_panel_shapes(a, &x, &y);
+        if k == 0 {
+            return;
+        }
+        self.grow_partials(k);
+        self.execute_lanes(DynLanes(k), a, x, &mut y);
+    }
+
+    /// The single shape validator behind every execute entry point
+    /// (also reached for zero-width panels, which are otherwise a
+    /// no-op). Returns the panel width.
+    fn check_panel_shapes(&self, a: &CsrMatrix<T>, x: &Panel<'_, T>, y: &PanelMut<'_, T>) -> usize {
         assert_eq!(a.nrows(), self.nrows, "spmv plan: row count changed");
         assert_eq!(a.ncols(), self.ncols, "spmv plan: col count changed");
         assert_eq!(a.nnz(), self.nnz, "spmv plan: nnz changed");
         assert_eq!(x.nrows(), self.ncols, "spmv: x panel rows mismatch");
         assert_eq!(y.nrows(), self.nrows, "spmv: y panel rows mismatch");
         assert_eq!(x.ncols(), y.ncols(), "spmv: panel widths differ");
-        let k = x.ncols();
-        if k == 0 {
-            return;
-        }
-        if k == 1 {
-            // Width 1 *is* the single-RHS plan execution — same loop,
-            // same registers, trivially bit-identical.
-            self.execute(a, x.col(0), y.col_mut(0));
-            return;
-        }
+        x.ncols()
+    }
+
+    /// Grow-only resize of the partial buffer to width `k`.
+    fn grow_partials(&mut self, k: usize) {
         let n_slots = *self.slot_ptr.last().expect("nonempty");
         if self.partials.len() < n_slots * k {
             self.partials = LuVals::zeroed(n_slots * k);
         }
+    }
+
+    /// The width-generic kernel core behind both [`SpmvPlan::execute`]
+    /// (`FixedLanes<1>`) and [`SpmvPlan::execute_panel`] (dispatched):
+    /// one tile walk retires all `k` lanes, with per-tile partials
+    /// row-interleaved at `(slot, c) → slot·k + c` and a deterministic
+    /// per-lane tile-order combination. Requires the partial buffer to
+    /// already span `n_slots · k` entries (see
+    /// `grow_partials`); lane arithmetic is entry-ordered
+    /// and lane-independent, so lane `c` carries identical bits through
+    /// every `L`.
+    fn execute_lanes<L: Lanes>(
+        &self,
+        lanes: L,
+        a: &CsrMatrix<T>,
+        x: Panel<'_, T>,
+        y: &mut PanelMut<'_, T>,
+    ) {
+        // Shapes were validated by `check_panel_shapes` on every entry
+        // path; only the lane/width pairing is this function's own.
+        let k = lanes.width();
+        assert_eq!(x.ncols(), k, "spmv: panel width vs lanes");
         if self.nnz == 0 {
             for c in 0..k {
                 y.col_mut(c).fill(T::ZERO);
             }
             return;
         }
+        let n_slots = *self.slot_ptr.last().expect("nonempty");
+        debug_assert!(self.partials.len() >= n_slots * k, "partials not grown");
         let rowptr = a.rowptr();
         let vals = a.vals();
         let colidx = a.colidx();
@@ -261,26 +276,26 @@ impl<T: Scalar> SpmvPlan<T> {
                 let lo = t * self.tile;
                 let hi = ((t + 1) * self.tile).min(self.nnz);
                 let base = self.slot_ptr[t];
-                // Column chunks re-walk the tile so the accumulators
-                // stay on the stack; per column the walk (and the bits)
-                // match the single-RHS execute exactly. The chunk's
-                // column slices are hoisted out of the entry loop so the
-                // inner FMA indexes plain slices.
-                let mut c0 = 0usize;
-                while c0 < k {
-                    let cw = (k - c0).min(PANEL_CHUNK);
-                    let mut xcols: [&[T]; PANEL_CHUNK] = [&[]; PANEL_CHUNK];
+                // Lane chunks re-walk the tile so the accumulators stay
+                // on the stack; per lane the walk (and the bits) match
+                // the single-RHS execute exactly. At a fixed width the
+                // chunk is one constant-trip block — the form the
+                // vectorizer wants. The chunk's column slices are
+                // hoisted out of the entry loop so the inner FMA
+                // indexes plain slices.
+                for_each_chunk(0..k, |c0, cw| {
+                    let mut xcols: [&[T]; LANE_CHUNK] = [&[]; LANE_CHUNK];
                     for (c, xc) in xcols[..cw].iter_mut().enumerate() {
                         *xc = x.col(c0 + c);
                     }
                     let mut row = self.first_row[t];
                     let mut slot = 0usize;
-                    let mut accs = [T::ZERO; PANEL_CHUNK];
+                    let mut accs = [T::ZERO; LANE_CHUNK];
                     let mut cursor = lo;
                     while cursor < hi {
                         while rowptr[row + 1] <= cursor {
                             for (c, acc) in accs[..cw].iter_mut().enumerate() {
-                                partials.set((base + slot) * k + c0 + c, *acc);
+                                partials.set(lanes.idx(base + slot, c0 + c), *acc);
                                 *acc = T::ZERO;
                             }
                             slot += 1;
@@ -297,16 +312,15 @@ impl<T: Scalar> SpmvPlan<T> {
                         cursor = stop;
                     }
                     for (c, acc) in accs[..cw].iter().enumerate() {
-                        partials.set((base + slot) * k + c0 + c, *acc);
+                        partials.set(lanes.idx(base + slot, c0 + c), *acc);
                     }
                     debug_assert_eq!(base + slot + 1, self.slot_ptr[t + 1]);
-                    c0 += cw;
-                }
+                });
             }
         });
-        // Deterministic combination in tile order, column by column
-        // (tile order per column matches the single-RHS execute, so the
-        // bits do too).
+        // Deterministic combination in tile order, lane by lane (tile
+        // order per lane matches the single-RHS execute, so the bits do
+        // too).
         for c in 0..k {
             let yc = y.col_mut(c);
             yc.fill(T::ZERO);
@@ -315,7 +329,7 @@ impl<T: Scalar> SpmvPlan<T> {
                 for (i, s) in (self.slot_ptr[t]..self.slot_ptr[t + 1]).enumerate() {
                     let r = first_row + i;
                     if r < self.nrows {
-                        yc[r] += partials.get(s * k + c);
+                        yc[r] += partials.get(lanes.idx(s, c));
                     }
                 }
             }
@@ -442,8 +456,9 @@ mod tests {
         let x: Vec<f64> = (0..n * 8).map(|i| (i as f64 * 0.11).cos()).collect();
         // Wide panel first (grows the partials), then narrow reuse, then
         // wide again — every column must match the single-RHS execute
-        // bitwise at every step.
-        for k in [8usize, 1, 3, 8] {
+        // bitwise at every step. Covers both the fixed (1, 4, 8) and
+        // dynamic (3, 5) dispatch arms.
+        for k in [8usize, 1, 3, 4, 5, 8] {
             let mut y = vec![0.0; n * k];
             plan.execute_panel(
                 &a,
@@ -457,6 +472,39 @@ mod tests {
                 let sb: Vec<u64> = yc.iter().map(|v| v.to_bits()).collect();
                 assert_eq!(pb, sb, "k={k} col={c}");
             }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "panel widths differ")]
+    fn zero_width_panel_with_mismatched_output_is_rejected() {
+        // Shape validation must run even on the zero-width early-out
+        // path: a 0-column x against a 3-column y is a caller bug.
+        let a = skewed(10);
+        let n = a.nrows();
+        let x: [f64; 0] = [];
+        let mut y = vec![0.0; n * 3];
+        let mut plan = SpmvPlan::new(&a, 1, 16);
+        plan.execute_panel(&a, Panel::new(&x, n, 0), PanelMut::new(&mut y, n, 3));
+    }
+
+    #[test]
+    fn dynwidth_fallback_matches_dispatched_kernels_bitwise() {
+        // The measurement aid (and the DynLanes arm generally) must be
+        // bit-identical to whatever the dispatch table picks, at the
+        // monomorphized widths especially.
+        let a = skewed(66);
+        let n = a.nrows();
+        for k in [1usize, 4, 5, 8] {
+            let x: Vec<f64> = (0..n * k).map(|i| (i as f64 * 0.23).sin()).collect();
+            let mut plan = SpmvPlan::new(&a, 2, 16);
+            let mut y_fixed = vec![0.0; n * k];
+            plan.execute_panel(&a, Panel::new(&x, n, k), PanelMut::new(&mut y_fixed, n, k));
+            let mut y_dyn = vec![0.0; n * k];
+            plan.execute_panel_dynwidth(&a, Panel::new(&x, n, k), PanelMut::new(&mut y_dyn, n, k));
+            let fb: Vec<u64> = y_fixed.iter().map(|v| v.to_bits()).collect();
+            let db: Vec<u64> = y_dyn.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(fb, db, "k={k}");
         }
     }
 
@@ -512,11 +560,12 @@ mod proptests {
         #[test]
         fn panel_spmv_bitwise_matches_looped_single_rhs(
             a in arb_matrix(40),
-            k_idx in 0usize..4,
+            k_idx in 0usize..7,
             nthreads_idx in 0usize..4,
             tile_idx in 0usize..5,
         ) {
-            let k = [1usize, 2, 3, 8][k_idx];
+            // Fixed widths (1, 4, 8) and DynLanes widths (2, 3, 5, 7).
+            let k = [1usize, 2, 3, 4, 5, 7, 8][k_idx];
             let nthreads = [1usize, 2, 3, 8][nthreads_idx];
             let tile = [1usize, 3, 8, 64, 1024][tile_idx];
             let n = a.nrows();

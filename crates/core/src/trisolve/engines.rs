@@ -15,7 +15,7 @@
 //! disjoint rows without `unsafe`; ordering comes from the progress
 //! counters / barriers.
 //!
-//! ## Panels
+//! ## Panels and lanes
 //!
 //! Every engine retires a whole **panel** of `k` right-hand sides per
 //! schedule walk: a row's retirement updates all `k` columns before the
@@ -23,14 +23,22 @@
 //! so the wait/barrier protocol runs **once per panel, not once per
 //! column** — the schedule traversal the paper's level machinery pays
 //! is amortized across the whole block of vectors. The in-place solve
-//! buffer `xbuf` stores the panel *row-interleaved*: entry `(r, c)`
-//! lives at `r·k + c`, keeping the `k` columns of a row contiguous for
-//! the per-entry inner loops (callers see the column-major
-//! [`Panel`]/[`PanelMut`] layout; `SolveScratch::load_cols` /
-//! `SolveScratch::store_cols` transpose at the region boundary).
-//! Column arithmetic is fully independent — column `c` of a panel solve
-//! is bit-identical to a single-RHS solve of that column, and `k = 1`
-//! is bit-identical to the historical single-vector path.
+//! buffer `xbuf` stores the panel *row-interleaved* through the lane
+//! layer ([`javelin_sparse::lanes`]): entry `(r, c)` lives at
+//! [`Lanes::idx`]`(r, c) = r·k + c`, keeping the `k` columns of a row
+//! contiguous for the per-entry inner loops (callers see the
+//! column-major [`Panel`]/[`PanelMut`] layout; `SolveScratch::load_cols`
+//! / `SolveScratch::store_cols` transpose at the region boundary).
+//!
+//! Every engine entry point is **width-generic over [`Lanes`]**: the
+//! scalar protocol is literally the `FixedLanes<1>` instantiation of
+//! the panel protocol, `FixedLanes<4>`/`FixedLanes<8>` monomorphize the
+//! per-lane inner loops with compile-time trip counts (the
+//! SIMD-friendly form), and [`javelin_sparse::DynLanes`] runs the same
+//! code at any other width. Column arithmetic is fully independent —
+//! column `c` of a panel solve is bit-identical to a single-RHS solve
+//! of that column through **any** lane instantiation, and `k = 1` is
+//! bit-identical to the historical single-vector path.
 //!
 //! The trailing-block combination and the corner solve, serial on
 //! thread 0 in the single-RHS path, are **column-split** across the
@@ -58,15 +66,10 @@
 use crate::factors::SolvePlan;
 use crate::numeric::LuVals;
 use javelin_level::LevelSets;
+use javelin_sparse::lanes::{for_each_chunk, Lanes, LANE_CHUNK};
 use javelin_sparse::{CsrMatrix, Panel, PanelMut, Scalar};
 use javelin_sync::{col_range, Exec, ProgressCounters, SpinBarrier};
 use std::ops::Range;
-
-/// Columns processed per stack-resident accumulator block: panel
-/// kernels walk a row's entries once per chunk of up to this many
-/// columns, so arbitrary widths run allocation-free. At `k = 1` the
-/// chunk degenerates to the historical scalar accumulator.
-const PANEL_CHUNK: usize = 8;
 
 /// Whether the point-to-point engines use the tiled lower-stage path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -211,6 +214,13 @@ impl<T: Scalar> SolveScratch<T> {
         self.width = width;
     }
 
+    /// [`SolveScratch::ensure_width`] through a lane value: sizes the
+    /// value buffers for `lanes.width()` so the engines can be invoked
+    /// with that lane instantiation.
+    pub fn ensure_lanes<L: Lanes>(&mut self, lanes: L) {
+        self.ensure_width(lanes.width());
+    }
+
     /// Loads a column-major panel into the row-interleaved `xbuf`.
     /// The panel must have `n` rows and exactly [`SolveScratch::width`]
     /// columns.
@@ -238,76 +248,74 @@ impl<T: Scalar> SolveScratch<T> {
     }
 }
 
-/// Retires the strictly-lower part of row `r` for panel columns `cols`:
-/// `x[r, c] ← x[r, c] − Σ_{j<r} L[r, j] · x[j, c]`. Column chunks of
-/// [`PANEL_CHUNK`] keep the accumulators on the stack; per column the
-/// entry order (and therefore the bits) matches the single-RHS kernel.
-#[inline]
-fn retire_row_lower<T: Scalar>(
+/// Retires the strictly-lower part of row `r` for panel lanes `cols`:
+/// `x[r, c] ← x[r, c] − Σ_{j<r} L[r, j] · x[j, c]`. Lane chunks of
+/// [`LANE_CHUNK`] keep the accumulators on the stack (one constant-trip
+/// block at a fixed width ≤ 8); per lane the entry order (and therefore
+/// the bits) matches the single-RHS kernel — which *is* this function
+/// at `FixedLanes<1>`.
+#[inline(always)]
+fn retire_row_lower<T: Scalar, L: Lanes>(
+    lanes: L,
     lu: &CsrMatrix<T>,
     diag_pos: &[usize],
     x: &LuVals<T>,
-    k: usize,
     cols: Range<usize>,
     r: usize,
 ) {
     let vals = lu.vals();
     let colidx = lu.colidx();
-    let mut c0 = cols.start;
-    while c0 < cols.end {
-        let cw = (cols.end - c0).min(PANEL_CHUNK);
-        let mut sums = [T::ZERO; PANEL_CHUNK];
+    for_each_chunk(cols, |c0, cw| {
+        let mut sums = [T::ZERO; LANE_CHUNK];
         for e in lu.rowptr()[r]..diag_pos[r] {
             let v = vals[e];
-            let xb = colidx[e] * k + c0;
+            let xb = lanes.idx(colidx[e], c0);
             for (c, s) in sums[..cw].iter_mut().enumerate() {
                 *s += v * x.get(xb + c);
             }
         }
-        let xb = r * k + c0;
+        let xb = lanes.idx(r, c0);
         for (c, s) in sums[..cw].iter().enumerate() {
             x.set(xb + c, x.get(xb + c) - *s);
         }
-        c0 += cw;
-    }
+    });
 }
 
-/// Retires the upper part of row `r` for panel columns `cols`:
+/// Retires the upper part of row `r` for panel lanes `cols`:
 /// `x[r, c] ← (x[r, c] − Σ_{j>r} U[r, j] · x[j, c]) / U[r, r]`.
-#[inline]
-fn retire_row_upper<T: Scalar>(
+#[inline(always)]
+fn retire_row_upper<T: Scalar, L: Lanes>(
+    lanes: L,
     lu: &CsrMatrix<T>,
     diag_pos: &[usize],
     x: &LuVals<T>,
-    k: usize,
     cols: Range<usize>,
     r: usize,
 ) {
     let vals = lu.vals();
     let colidx = lu.colidx();
     let d = vals[diag_pos[r]];
-    let mut c0 = cols.start;
-    while c0 < cols.end {
-        let cw = (cols.end - c0).min(PANEL_CHUNK);
-        let mut sums = [T::ZERO; PANEL_CHUNK];
+    for_each_chunk(cols, |c0, cw| {
+        let mut sums = [T::ZERO; LANE_CHUNK];
         for e in (diag_pos[r] + 1)..lu.rowptr()[r + 1] {
             let v = vals[e];
-            let xb = colidx[e] * k + c0;
+            let xb = lanes.idx(colidx[e], c0);
             for (c, s) in sums[..cw].iter_mut().enumerate() {
                 *s += v * x.get(xb + c);
             }
         }
-        let xb = r * k + c0;
+        let xb = lanes.idx(r, c0);
         for (c, s) in sums[..cw].iter().enumerate() {
             x.set(xb + c, (x.get(xb + c) - *s) / d);
         }
-        c0 += cw;
-    }
+    });
 }
 
 /// One thread's share of the barriered forward level sweep.
 #[inline]
-fn forward_barrier_phase<T: Scalar>(
+#[allow(clippy::too_many_arguments)]
+fn forward_barrier_phase<T: Scalar, L: Lanes>(
+    lanes: L,
     lu: &CsrMatrix<T>,
     diag_pos: &[usize],
     levels: &LevelSets,
@@ -316,12 +324,12 @@ fn forward_barrier_phase<T: Scalar>(
     tid: usize,
     x: &LuVals<T>,
 ) {
-    let k = scratch.width;
+    let k = lanes.width();
     for l in 0..levels.n_levels() {
         let rows = levels.level(l);
         let mut i = tid;
         while i < rows.len() {
-            retire_row_lower(lu, diag_pos, x, k, 0..k, rows[i]);
+            retire_row_lower(lanes, lu, diag_pos, x, 0..k, rows[i]);
             i += nthreads;
         }
         scratch.barrier.wait();
@@ -330,7 +338,9 @@ fn forward_barrier_phase<T: Scalar>(
 
 /// One thread's share of the barriered backward level sweep.
 #[inline]
-fn backward_barrier_phase<T: Scalar>(
+#[allow(clippy::too_many_arguments)]
+fn backward_barrier_phase<T: Scalar, L: Lanes>(
+    lanes: L,
     lu: &CsrMatrix<T>,
     diag_pos: &[usize],
     levels: &LevelSets,
@@ -339,12 +349,12 @@ fn backward_barrier_phase<T: Scalar>(
     tid: usize,
     x: &LuVals<T>,
 ) {
-    let k = scratch.width;
+    let k = lanes.width();
     for l in 0..levels.n_levels() {
         let rows = levels.level(l);
         let mut i = tid;
         while i < rows.len() {
-            retire_row_upper(lu, diag_pos, x, k, 0..k, rows[i]);
+            retire_row_upper(lanes, lu, diag_pos, x, 0..k, rows[i]);
             i += nthreads;
         }
         scratch.barrier.wait();
@@ -352,7 +362,10 @@ fn backward_barrier_phase<T: Scalar>(
 }
 
 /// Barriered level-set forward solve (CSR-LS baseline), in place.
-pub fn forward_barrier<T: Scalar>(
+/// Width-generic: `lanes.width()` must equal the scratch's current
+/// panel width.
+pub fn forward_barrier<T: Scalar, L: Lanes>(
+    lanes: L,
     lu: &CsrMatrix<T>,
     diag_pos: &[usize],
     levels: &LevelSets,
@@ -362,14 +375,17 @@ pub fn forward_barrier<T: Scalar>(
 ) {
     let nthreads = exec.nthreads();
     debug_assert_eq!(nthreads, scratch.nthreads);
+    debug_assert_eq!(lanes.width(), scratch.width, "lanes vs scratch width");
     scratch.barrier.reset();
     exec.run(|tid| {
-        forward_barrier_phase(lu, diag_pos, levels, scratch, nthreads, tid, x);
+        forward_barrier_phase(lanes, lu, diag_pos, levels, scratch, nthreads, tid, x);
     });
 }
 
 /// Barriered level-set backward solve (CSR-LS baseline), in place.
-pub fn backward_barrier<T: Scalar>(
+/// Width-generic like [`forward_barrier`].
+pub fn backward_barrier<T: Scalar, L: Lanes>(
+    lanes: L,
     lu: &CsrMatrix<T>,
     diag_pos: &[usize],
     levels: &LevelSets,
@@ -379,9 +395,10 @@ pub fn backward_barrier<T: Scalar>(
 ) {
     let nthreads = exec.nthreads();
     debug_assert_eq!(nthreads, scratch.nthreads);
+    debug_assert_eq!(lanes.width(), scratch.width, "lanes vs scratch width");
     scratch.barrier.reset();
     exec.run(|tid| {
-        backward_barrier_phase(lu, diag_pos, levels, scratch, nthreads, tid, x);
+        backward_barrier_phase(lanes, lu, diag_pos, levels, scratch, nthreads, tid, x);
     });
 }
 
@@ -389,8 +406,11 @@ pub fn backward_barrier<T: Scalar>(
 /// parallel region (the per-level barriers already order the
 /// transition), halving the region count of the barriered baseline.
 /// One barrier protocol per panel: a level costs the same wait count
-/// whether it retires 1 or `k` columns.
-pub fn solve_barrier_fused<T: Scalar>(
+/// whether it retires 1 or `k` columns — and one kernel body serves
+/// every width through `lanes`.
+#[allow(clippy::too_many_arguments)]
+pub fn solve_barrier_fused<T: Scalar, L: Lanes>(
+    lanes: L,
     lu: &CsrMatrix<T>,
     diag_pos: &[usize],
     fwd_levels: &LevelSets,
@@ -401,12 +421,13 @@ pub fn solve_barrier_fused<T: Scalar>(
 ) {
     let nthreads = exec.nthreads();
     debug_assert_eq!(nthreads, scratch.nthreads);
+    debug_assert_eq!(lanes.width(), scratch.width, "lanes vs scratch width");
     scratch.barrier.reset();
     exec.run(|tid| {
-        forward_barrier_phase(lu, diag_pos, fwd_levels, scratch, nthreads, tid, x);
+        forward_barrier_phase(lanes, lu, diag_pos, fwd_levels, scratch, nthreads, tid, x);
         // The barrier after the last forward level orders every forward
         // write before the first backward read.
-        backward_barrier_phase(lu, diag_pos, bwd_levels, scratch, nthreads, tid, x);
+        backward_barrier_phase(lanes, lu, diag_pos, bwd_levels, scratch, nthreads, tid, x);
     });
 }
 
@@ -417,7 +438,8 @@ pub fn solve_barrier_fused<T: Scalar>(
 /// decides what synchronization follows.
 #[inline]
 #[allow(clippy::too_many_arguments)]
-fn forward_p2p_phase<T: Scalar>(
+fn forward_p2p_phase<T: Scalar, L: Lanes>(
+    lanes: L,
     lu: &CsrMatrix<T>,
     diag_pos: &[usize],
     plan: &SolvePlan,
@@ -427,7 +449,7 @@ fn forward_p2p_phase<T: Scalar>(
     tid: usize,
     x: &LuVals<T>,
 ) {
-    let k = scratch.width;
+    let k = lanes.width();
     let n = lu.nrows();
     let n_upper = plan.n_upper;
     // Upper stage: point-to-point. A row's counter is bumped once per
@@ -435,7 +457,7 @@ fn forward_p2p_phase<T: Scalar>(
     // amortized across the panel.
     for &row in plan.fwd.thread_tasks(tid) {
         scratch.progress.wait_all(plan.fwd.waits(row));
-        retire_row_lower(lu, diag_pos, x, k, 0..k, row);
+        retire_row_lower(lanes, lu, diag_pos, x, 0..k, row);
         scratch.progress.bump(tid);
     }
     if n_upper == n {
@@ -449,7 +471,7 @@ fn forward_p2p_phase<T: Scalar>(
         // Tiled segmented gather over the trailing block: each tile
         // writes per-segment partial sums into its disjoint slot range
         // (tile boundaries and first segments precomputed in the
-        // scratch — no searches, no allocation). Column chunks re-walk
+        // scratch — no searches, no allocation). Lane chunks re-walk
         // the tile so accumulators stay on the stack.
         let mut t = tid;
         while t < n_tiles {
@@ -462,12 +484,10 @@ fn forward_p2p_phase<T: Scalar>(
             // values from a previous solve.
             for s in base..scratch.slot_ptr[t + 1] {
                 for c in 0..k {
-                    scratch.partials.set(s * k + c, T::ZERO);
+                    scratch.partials.set(lanes.idx(s, c), T::ZERO);
                 }
             }
-            let mut c0 = 0usize;
-            while c0 < k {
-                let cw = (k - c0).min(PANEL_CHUNK);
+            for_each_chunk(0..k, |c0, cw| {
                 let mut seg = first_seg;
                 let mut cursor = lo;
                 while cursor < hi {
@@ -477,23 +497,22 @@ fn forward_p2p_phase<T: Scalar>(
                     let seg_hi = plan.block_seg_ptr[seg + 1].min(hi);
                     let (k_lo, _) = plan.block_rows[seg];
                     let seg_base = plan.block_seg_ptr[seg];
-                    let mut accs = [T::ZERO; PANEL_CHUNK];
+                    let mut accs = [T::ZERO; LANE_CHUNK];
                     for v in cursor..seg_hi {
                         let e = k_lo + (v - seg_base);
                         let val = lu.vals()[e];
-                        let xb = lu.colidx()[e] * k + c0;
+                        let xb = lanes.idx(lu.colidx()[e], c0);
                         for (c, acc) in accs[..cw].iter_mut().enumerate() {
                             *acc += val * x.get(xb + c);
                         }
                     }
                     let slot = base + (seg - first_seg);
                     for (c, acc) in accs[..cw].iter().enumerate() {
-                        scratch.partials.set(slot * k + c0 + c, *acc);
+                        scratch.partials.set(lanes.idx(slot, c0 + c), *acc);
                     }
                     cursor = seg_hi;
                 }
-                c0 += cw;
-            }
+            });
             t += nthreads;
         }
         scratch.barrier.wait();
@@ -513,7 +532,7 @@ fn forward_p2p_phase<T: Scalar>(
         // column), then finish each trailing row with its corner part.
         for off in 0..n_lower {
             for c in cols.clone() {
-                scratch.z.set(off * k + c, T::ZERO);
+                scratch.z.set(lanes.idx(off, c), T::ZERO);
             }
         }
         for t in 0..n_tiles {
@@ -522,8 +541,8 @@ fn forward_p2p_phase<T: Scalar>(
                 let seg = first_seg + i;
                 for c in cols.clone() {
                     scratch.z.set(
-                        seg * k + c,
-                        scratch.z.get(seg * k + c) + scratch.partials.get(s * k + c),
+                        lanes.idx(seg, c),
+                        scratch.z.get(lanes.idx(seg, c)) + scratch.partials.get(lanes.idx(s, c)),
                     );
                 }
             }
@@ -531,30 +550,27 @@ fn forward_p2p_phase<T: Scalar>(
         for off in 0..n_lower {
             let r = n_upper + off;
             let (_, k_hi) = plan.block_rows[off];
-            let mut c0 = cols.start;
-            while c0 < cols.end {
-                let cw = (cols.end - c0).min(PANEL_CHUNK);
-                let mut sums = [T::ZERO; PANEL_CHUNK];
+            for_each_chunk(cols.clone(), |c0, cw| {
+                let mut sums = [T::ZERO; LANE_CHUNK];
                 for (c, s) in sums[..cw].iter_mut().enumerate() {
-                    *s = scratch.z.get(off * k + c0 + c);
+                    *s = scratch.z.get(lanes.idx(off, c0 + c));
                 }
                 for e in k_hi..diag_pos[r] {
                     let v = lu.vals()[e];
-                    let xb = lu.colidx()[e] * k + c0;
+                    let xb = lanes.idx(lu.colidx()[e], c0);
                     for (c, s) in sums[..cw].iter_mut().enumerate() {
                         *s += v * x.get(xb + c);
                     }
                 }
-                let xb = r * k + c0;
+                let xb = lanes.idx(r, c0);
                 for (c, s) in sums[..cw].iter().enumerate() {
                     x.set(xb + c, x.get(xb + c) - *s);
                 }
-                c0 += cw;
-            }
+            });
         }
     } else {
         for r in n_upper..n {
-            retire_row_lower(lu, diag_pos, x, k, cols.clone(), r);
+            retire_row_lower(lanes, lu, diag_pos, x, cols.clone(), r);
         }
     }
 }
@@ -563,25 +579,26 @@ fn forward_p2p_phase<T: Scalar>(
 /// `cols` (self-contained: trailing rows only reference corner columns
 /// in their U parts, and panel columns are mutually independent).
 #[inline]
-fn corner_backward_cols<T: Scalar>(
+fn corner_backward_cols<T: Scalar, L: Lanes>(
+    lanes: L,
     lu: &CsrMatrix<T>,
     diag_pos: &[usize],
     n_upper: usize,
     x: &LuVals<T>,
-    k: usize,
     cols: Range<usize>,
 ) {
     if cols.is_empty() {
         return;
     }
     for r in (n_upper..lu.nrows()).rev() {
-        retire_row_upper(lu, diag_pos, x, k, cols.clone(), r);
+        retire_row_upper(lanes, lu, diag_pos, x, cols.clone(), r);
     }
 }
 
 /// One thread's share of the backward point-to-point upper stage.
 #[inline]
-fn backward_p2p_phase<T: Scalar>(
+fn backward_p2p_phase<T: Scalar, L: Lanes>(
+    lanes: L,
     lu: &CsrMatrix<T>,
     diag_pos: &[usize],
     plan: &SolvePlan,
@@ -589,10 +606,10 @@ fn backward_p2p_phase<T: Scalar>(
     tid: usize,
     x: &LuVals<T>,
 ) {
-    let k = scratch.width;
+    let k = lanes.width();
     for &task in plan.bwd.thread_tasks(tid) {
         scratch.bwd_progress.wait_all(plan.bwd.waits(task));
-        retire_row_upper(lu, diag_pos, x, k, 0..k, plan.bwd_row_of_task[task]);
+        retire_row_upper(lanes, lu, diag_pos, x, 0..k, plan.bwd_row_of_task[task]);
         scratch.bwd_progress.bump(tid);
     }
 }
@@ -600,8 +617,10 @@ fn backward_p2p_phase<T: Scalar>(
 /// Point-to-point forward solve, in place: upper-stage rows through the
 /// pruned-wait schedule, trailing rows column-split (`LowerTiles::Off`)
 /// or via the tiled segmented gather plus corner solve
-/// (`LowerTiles::On`).
-pub fn forward_p2p<T: Scalar>(
+/// (`LowerTiles::On`). Width-generic over `lanes`.
+#[allow(clippy::too_many_arguments)]
+pub fn forward_p2p<T: Scalar, L: Lanes>(
+    lanes: L,
     lu: &CsrMatrix<T>,
     diag_pos: &[usize],
     plan: &SolvePlan,
@@ -612,19 +631,23 @@ pub fn forward_p2p<T: Scalar>(
 ) {
     let nthreads = exec.nthreads();
     debug_assert_eq!(nthreads, scratch.nthreads);
+    debug_assert_eq!(lanes.width(), scratch.width, "lanes vs scratch width");
     scratch.progress.reset();
     scratch.barrier.reset();
     let use_tiles = tiles == LowerTiles::On && scratch.n_tiles > 0;
     exec.run(|tid| {
-        forward_p2p_phase(lu, diag_pos, plan, scratch, nthreads, use_tiles, tid, x);
+        forward_p2p_phase(
+            lanes, lu, diag_pos, plan, scratch, nthreads, use_tiles, tid, x,
+        );
         // Region join publishes the trailing writes to the caller.
     });
 }
 
 /// Point-to-point backward solve, in place: corner first (on the
 /// caller, all columns), then upper-stage rows through the backward
-/// pruned-wait schedule.
-pub fn backward_p2p<T: Scalar>(
+/// pruned-wait schedule. Width-generic over `lanes`.
+pub fn backward_p2p<T: Scalar, L: Lanes>(
+    lanes: L,
     lu: &CsrMatrix<T>,
     diag_pos: &[usize],
     plan: &SolvePlan,
@@ -634,11 +657,12 @@ pub fn backward_p2p<T: Scalar>(
 ) {
     let n_upper = plan.n_upper;
     debug_assert_eq!(exec.nthreads(), scratch.nthreads);
-    let k = scratch.width;
-    corner_backward_cols(lu, diag_pos, n_upper, x, k, 0..k);
+    debug_assert_eq!(lanes.width(), scratch.width, "lanes vs scratch width");
+    let k = lanes.width();
+    corner_backward_cols(lanes, lu, diag_pos, n_upper, x, 0..k);
     scratch.bwd_progress.reset();
     exec.run(|tid| {
-        backward_p2p_phase(lu, diag_pos, plan, scratch, tid, x);
+        backward_p2p_phase(lanes, lu, diag_pos, plan, scratch, tid, x);
     });
 }
 
@@ -646,8 +670,11 @@ pub fn backward_p2p<T: Scalar>(
 /// backward substitution in **one** parallel region — the Krylov
 /// hot-loop entry point. One team wake-up per preconditioner apply,
 /// zero allocations, no `partition_point` searches; the whole panel
-/// rides a single schedule walk.
-pub fn solve_p2p_fused<T: Scalar>(
+/// rides a single schedule walk through one width-generic kernel body
+/// (`FixedLanes<1>` *is* the scalar protocol).
+#[allow(clippy::too_many_arguments)]
+pub fn solve_p2p_fused<T: Scalar, L: Lanes>(
+    lanes: L,
     lu: &CsrMatrix<T>,
     diag_pos: &[usize],
     plan: &SolvePlan,
@@ -660,20 +687,23 @@ pub fn solve_p2p_fused<T: Scalar>(
     let n_upper = plan.n_upper;
     let nthreads = exec.nthreads();
     debug_assert_eq!(nthreads, scratch.nthreads);
+    debug_assert_eq!(lanes.width(), scratch.width, "lanes vs scratch width");
     scratch.progress.reset();
     scratch.bwd_progress.reset();
     scratch.barrier.reset();
     let use_tiles = tiles == LowerTiles::On && scratch.n_tiles > 0;
-    let k = scratch.width;
+    let k = lanes.width();
     exec.run(|tid| {
-        forward_p2p_phase(lu, diag_pos, plan, scratch, nthreads, use_tiles, tid, x);
+        forward_p2p_phase(
+            lanes, lu, diag_pos, plan, scratch, nthreads, use_tiles, tid, x,
+        );
         if n_upper < n {
             // The trailing forward rows finish above (column-split);
             // the corner backward solve is column-split the same way.
             // The barrier pair publishes the forward solution to
             // everyone and the corner to the backward stage.
             scratch.barrier.wait();
-            corner_backward_cols(lu, diag_pos, n_upper, x, k, col_range(k, nthreads, tid));
+            corner_backward_cols(lanes, lu, diag_pos, n_upper, x, col_range(k, nthreads, tid));
             scratch.barrier.wait();
         } else {
             // Order every forward write before any backward read: the
@@ -681,7 +711,7 @@ pub fn solve_p2p_fused<T: Scalar>(
             // different threads.
             scratch.barrier.wait();
         }
-        backward_p2p_phase(lu, diag_pos, plan, scratch, tid, x);
+        backward_p2p_phase(lanes, lu, diag_pos, plan, scratch, tid, x);
     });
 }
 
@@ -700,12 +730,16 @@ mod tests {
     }
 
     #[test]
-    fn panel_chunk_handles_all_issue_widths() {
+    fn lane_chunk_handles_all_issue_widths() {
         // Chunking must cover every width the proptests exercise in at
-        // most two passes (allocation-free stack accumulators).
-        for k in [1usize, 2, 3, 8, 9, 16] {
-            let chunks = k.div_ceil(PANEL_CHUNK);
+        // most two passes (allocation-free stack accumulators), and the
+        // monomorphized widths in exactly one.
+        for k in [1usize, 2, 3, 4, 5, 8, 9, 16] {
+            let chunks = k.div_ceil(LANE_CHUNK);
             assert!(chunks <= 2, "width {k} needs {chunks} chunks");
+        }
+        for k in [1usize, 4, 8] {
+            assert_eq!(k.div_ceil(LANE_CHUNK), 1, "fixed width {k} chunks once");
         }
     }
 }

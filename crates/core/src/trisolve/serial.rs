@@ -1,33 +1,92 @@
 //! Serial forward/backward substitution on the combined LU factor.
+//!
+//! The substitution kernels are width-generic over the lane layer
+//! ([`javelin_sparse::lanes`]): [`forward_lanes_inplace`] /
+//! [`backward_lanes_inplace`] retire every lane of a row before moving
+//! to the next row over a row-interleaved buffer (`(r, c) → r·k + c`).
+//! The classic scalar entry points [`forward_inplace`] /
+//! [`backward_inplace`] are the `FixedLanes<1>` instantiations — at
+//! width 1 a plain vector *is* the interleaved buffer, so the scalar
+//! path and the lane path are literally the same code, bit for bit.
 
+use javelin_sparse::lanes::{for_each_chunk, FixedLanes, Lanes, LANE_CHUNK};
 use javelin_sparse::{CsrMatrix, PanelMut, Scalar};
 
-/// In-place forward substitution `L·x = y` with implicit unit diagonal:
-/// on entry `x` holds `y`, on exit the solution.
-pub fn forward_inplace<T: Scalar>(lu: &CsrMatrix<T>, diag_pos: &[usize], x: &mut [T]) {
+/// In-place lane-generic forward substitution `L·X = Y` with implicit
+/// unit diagonal over a row-interleaved `n × k` buffer: on entry `x`
+/// holds the right-hand sides, on exit the solutions. Lane `c` carries
+/// exactly the bits of a scalar [`forward_inplace`] run on that lane.
+pub fn forward_lanes_inplace<T: Scalar, L: Lanes>(
+    lanes: L,
+    lu: &CsrMatrix<T>,
+    diag_pos: &[usize],
+    x: &mut [T],
+) {
     let vals = lu.vals();
     let colidx = lu.colidx();
+    let k = lanes.width();
+    debug_assert_eq!(x.len(), lu.nrows() * k, "interleaved buffer size");
     for r in 0..lu.nrows() {
-        let mut sum = T::ZERO;
-        for k in lu.rowptr()[r]..diag_pos[r] {
-            sum += vals[k] * x[colidx[k]];
-        }
-        x[r] -= sum;
+        for_each_chunk(0..k, |c0, cw| {
+            let mut sums = [T::ZERO; LANE_CHUNK];
+            for e in lu.rowptr()[r]..diag_pos[r] {
+                let v = vals[e];
+                let xb = lanes.idx(colidx[e], c0);
+                for (c, s) in sums[..cw].iter_mut().enumerate() {
+                    *s += v * x[xb + c];
+                }
+            }
+            let xb = lanes.idx(r, c0);
+            for (c, s) in sums[..cw].iter().enumerate() {
+                x[xb + c] -= *s;
+            }
+        });
     }
 }
 
-/// In-place backward substitution `U·x = y`: on entry `x` holds `y`,
-/// on exit the solution.
-pub fn backward_inplace<T: Scalar>(lu: &CsrMatrix<T>, diag_pos: &[usize], x: &mut [T]) {
+/// In-place lane-generic backward substitution `U·X = Y` over a
+/// row-interleaved buffer (see [`forward_lanes_inplace`]).
+pub fn backward_lanes_inplace<T: Scalar, L: Lanes>(
+    lanes: L,
+    lu: &CsrMatrix<T>,
+    diag_pos: &[usize],
+    x: &mut [T],
+) {
     let vals = lu.vals();
     let colidx = lu.colidx();
+    let k = lanes.width();
+    debug_assert_eq!(x.len(), lu.nrows() * k, "interleaved buffer size");
     for r in (0..lu.nrows()).rev() {
-        let mut sum = T::ZERO;
-        for k in (diag_pos[r] + 1)..lu.rowptr()[r + 1] {
-            sum += vals[k] * x[colidx[k]];
-        }
-        x[r] = (x[r] - sum) / vals[diag_pos[r]];
+        let d = vals[diag_pos[r]];
+        for_each_chunk(0..k, |c0, cw| {
+            let mut sums = [T::ZERO; LANE_CHUNK];
+            for e in (diag_pos[r] + 1)..lu.rowptr()[r + 1] {
+                let v = vals[e];
+                let xb = lanes.idx(colidx[e], c0);
+                for (c, s) in sums[..cw].iter_mut().enumerate() {
+                    *s += v * x[xb + c];
+                }
+            }
+            let xb = lanes.idx(r, c0);
+            for (c, s) in sums[..cw].iter().enumerate() {
+                x[xb + c] = (x[xb + c] - *s) / d;
+            }
+        });
     }
+}
+
+/// In-place forward substitution `L·x = y` with implicit unit diagonal:
+/// on entry `x` holds `y`, on exit the solution. The `FixedLanes<1>`
+/// instantiation of [`forward_lanes_inplace`].
+pub fn forward_inplace<T: Scalar>(lu: &CsrMatrix<T>, diag_pos: &[usize], x: &mut [T]) {
+    forward_lanes_inplace(FixedLanes::<1>, lu, diag_pos, x);
+}
+
+/// In-place backward substitution `U·x = y`: on entry `x` holds `y`,
+/// on exit the solution. The `FixedLanes<1>` instantiation of
+/// [`backward_lanes_inplace`].
+pub fn backward_inplace<T: Scalar>(lu: &CsrMatrix<T>, diag_pos: &[usize], x: &mut [T]) {
+    backward_lanes_inplace(FixedLanes::<1>, lu, diag_pos, x);
 }
 
 /// Column-by-column panel forward substitution: the looped single-RHS
@@ -126,6 +185,44 @@ mod tests {
         backward_panel_inplace(&lu, &dp, &mut p);
         for (c, w) in want.iter().enumerate() {
             assert_eq!(p.col(c), w.as_slice(), "column {c}");
+        }
+    }
+
+    #[test]
+    fn lane_substitution_matches_scalar_per_lane_bitwise() {
+        // The lane kernels on a row-interleaved buffer must reproduce,
+        // per lane, exactly the scalar substitution bits — for a fixed
+        // width, a dynamic width, and the degenerate width 1.
+        use javelin_sparse::lanes::DynLanes;
+        let (lu, dp) = lu2();
+        let n = lu.nrows();
+        let cols = [[2.0, 3.0], [-1.0, 5.0], [0.5, 0.25]];
+        let run = |fwd_bwd: &dyn Fn(&mut [f64])| {
+            let k = cols.len();
+            let mut x = vec![0.0; n * k];
+            for (c, col) in cols.iter().enumerate() {
+                for r in 0..n {
+                    x[r * k + c] = col[r];
+                }
+            }
+            fwd_bwd(&mut x);
+            x
+        };
+        let dynamic = run(&|x| {
+            forward_lanes_inplace(DynLanes(3), &lu, &dp, x);
+            backward_lanes_inplace(DynLanes(3), &lu, &dp, x);
+        });
+        for (c, col) in cols.iter().enumerate() {
+            let mut want = col.to_vec();
+            forward_inplace(&lu, &dp, &mut want);
+            backward_inplace(&lu, &dp, &mut want);
+            for r in 0..n {
+                assert_eq!(
+                    dynamic[r * 3 + c].to_bits(),
+                    want[r].to_bits(),
+                    "lane {c} row {r}"
+                );
+            }
         }
     }
 

@@ -11,6 +11,13 @@
 //! column `c` of the batch is **bit-identical** to solving column `c`
 //! alone, iteration counts included.
 //!
+//! Since the lane refactor the relationship is literal: the driver body
+//! is one width-generic core over [`javelin_sparse::lanes::Lanes`], and
+//! [`crate::pcg_with`] *is* its `FixedLanes<1>` instantiation — there
+//! is no separate scalar convergence loop to keep in sync. Widths
+//! `k ∈ {1, 4, 8}` run monomorphized, all others through the
+//! bit-identical dynamic fallback.
+//!
 //! ## Convergence masking
 //!
 //! Columns converge (or break down) at different iterations. A finished
@@ -34,16 +41,8 @@
 
 use crate::{SolverOptions, SolverResult, SolverWorkspace};
 use javelin_core::precond::Preconditioner;
-use javelin_sparse::{vecops, CsrMatrix, Panel, PanelMut, Scalar};
-
-/// Column is still iterating. (Shared with the nonsymmetric batch
-/// drivers `bicgstab_batch` / `gmres_batch`, which reuse this masking
-/// vocabulary.)
-pub(crate) const ACTIVE: u8 = 0;
-/// Column met the tolerance (result frozen).
-pub(crate) const DONE: u8 = 1;
-/// Column hit a breakdown (`pᵀAp` zero or non-finite; result frozen).
-pub(crate) const HALTED: u8 = 2;
+use javelin_sparse::lanes::{Lanes, LANE_DONE, LANE_HALTED};
+use javelin_sparse::{vecops, with_lanes, CsrMatrix, Panel, PanelMut, Scalar};
 
 /// Batched PCG over an RHS panel, allocating a fresh workspace.
 /// Repeated callers should hold a [`SolverWorkspace`] and use
@@ -83,35 +82,79 @@ pub fn solve_batch<T: Scalar, P: Preconditioner<T>>(
 
 /// [`solve_batch`] with caller-owned working memory (see module docs
 /// for the lockstep/masking contract). Returns one [`SolverResult`]
-/// per panel column, in column order.
+/// per panel column, in column order. Widths `k ∈ {1, 4, 8}` dispatch
+/// to the monomorphized fixed-lane driver, everything else to the
+/// bit-identical dynamic-width fallback.
 ///
 /// # Panics
 /// On panel shape mismatches.
 pub fn solve_batch_with<T: Scalar, P: Preconditioner<T>>(
     a: &CsrMatrix<T>,
     b: Panel<'_, T>,
-    mut x: PanelMut<'_, T>,
+    x: PanelMut<'_, T>,
     m: &P,
     opts: &SolverOptions,
     ws: &mut SolverWorkspace<T>,
 ) -> Vec<SolverResult> {
-    let n = a.nrows();
+    let mut results = vec![SolverResult::default(); b.ncols()];
+    solve_batch_into(a, b, x, m, opts, ws, &mut results);
+    results
+}
+
+/// [`solve_batch_with`] writing into a caller-provided result slice —
+/// the fully allocation-free form (the `Vec<SolverResult>` the other
+/// entry points assemble is their one documented allocation).
+///
+/// # Panics
+/// On panel shape mismatches or when `results.len() != b.ncols()`.
+pub fn solve_batch_into<T: Scalar, P: Preconditioner<T>>(
+    a: &CsrMatrix<T>,
+    b: Panel<'_, T>,
+    x: PanelMut<'_, T>,
+    m: &P,
+    opts: &SolverOptions,
+    ws: &mut SolverWorkspace<T>,
+    results: &mut [SolverResult],
+) {
     let k = b.ncols();
+    assert_eq!(b.nrows(), a.nrows(), "solve_batch: rhs panel rows");
+    assert_eq!(x.nrows(), a.nrows(), "solve_batch: solution panel rows");
+    assert_eq!(x.ncols(), k, "solve_batch: panel widths differ");
+    assert_eq!(results.len(), k, "solve_batch: results length");
+    if k == 0 {
+        return;
+    }
+    with_lanes!(k, lanes => solve_batch_lanes(lanes, a, b, x, m, opts, ws, results));
+}
+
+/// The width-generic PCG driver core: `pcg_with` *is* this function at
+/// `FixedLanes<1>`, `solve_batch_*` dispatch it per width. Per-lane
+/// scalar state keeps every lane on exactly the standalone-PCG
+/// recurrence, so lane `c` is bit-identical across instantiations.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn solve_batch_lanes<T: Scalar, P: Preconditioner<T>, L: Lanes>(
+    lanes: L,
+    a: &CsrMatrix<T>,
+    b: Panel<'_, T>,
+    mut x: PanelMut<'_, T>,
+    m: &P,
+    opts: &SolverOptions,
+    ws: &mut SolverWorkspace<T>,
+    results: &mut [SolverResult],
+) {
+    let n = a.nrows();
+    let k = lanes.width();
+    assert_eq!(b.ncols(), k, "solve_batch: rhs panel width vs lanes");
     assert_eq!(b.nrows(), n, "solve_batch: rhs panel rows");
     assert_eq!(x.nrows(), n, "solve_batch: solution panel rows");
     assert_eq!(x.ncols(), k, "solve_batch: panel widths differ");
-    let mut results: Vec<SolverResult> = (0..k)
-        .map(|_| SolverResult {
-            converged: false,
-            iterations: 0,
-            relative_residual: 0.0,
-            history: Vec::new(),
-        })
-        .collect();
-    if k == 0 {
-        return results;
+    assert_eq!(results.len(), k, "solve_batch: results length");
+    for r in results.iter_mut() {
+        *r = SolverResult::default();
     }
     ws.ensure_panel(n, k);
+    // Rearm every lane to ACTIVE for this solve (storage pre-sized).
+    ws.mask.reset(k);
     let SolverWorkspace {
         precond,
         pr,
@@ -121,24 +164,23 @@ pub fn solve_batch_with<T: Scalar, P: Preconditioner<T>>(
         col_rz,
         col_bnorm,
         col_relres,
-        col_state,
+        mask,
         ..
     } = ws;
 
-    // ---- Per-column setup, mirroring `pcg_with` exactly. ------------
+    // ---- Per-lane setup, the historical `pcg_with` prologue. --------
     for c in 0..k {
         col_bnorm[c] = vecops::norm2(b.col(c)).to_f64();
         if col_bnorm[c] == 0.0 {
-            // Trivial column: x = 0, converged in 0 iterations. Zero its
+            // Trivial lane: x = 0, converged in 0 iterations. Zero its
             // working columns so the shared panel applies stay finite.
             x.col_mut(c).fill(T::ZERO);
             for buf in [&mut *pr, &mut *pz, &mut *pp, &mut *pq] {
                 buf[c * n..(c + 1) * n].fill(T::ZERO);
             }
-            col_state[c] = DONE;
+            mask.set(c, LANE_DONE);
             results[c].converged = true;
         } else {
-            col_state[c] = ACTIVE;
             // r = b - A x (matvec into q, subtract into r).
             a.spmv_into(x.col(c), &mut pq[c * n..(c + 1) * n]);
             let bc = b.col(c);
@@ -147,17 +189,17 @@ pub fn solve_batch_with<T: Scalar, P: Preconditioner<T>>(
             }
         }
     }
-    if col_state.iter().all(|&s| s != ACTIVE) {
-        return results;
+    if !mask.any_active() {
+        return;
     }
-    // z = M⁻¹ r: one panel apply for all columns.
+    // z = M⁻¹ r: one panel apply for all lanes.
     m.apply_panel_with(
         precond,
         Panel::new(&pr[..n * k], n, k),
         PanelMut::new(&mut pz[..n * k], n, k),
     );
     for c in 0..k {
-        if col_state[c] != ACTIVE {
+        if !mask.is_active(c) {
             continue;
         }
         pp[c * n..(c + 1) * n].copy_from_slice(&pz[c * n..(c + 1) * n]);
@@ -168,20 +210,20 @@ pub fn solve_batch_with<T: Scalar, P: Preconditioner<T>>(
         }
     }
 
-    // ---- Lockstep iteration with per-column masking. ----------------
+    // ---- Lockstep iteration with per-lane masking. ------------------
     for it in 1..=opts.max_iters {
-        if col_state.iter().all(|&s| s != ACTIVE) {
+        if !mask.any_active() {
             break;
         }
         for c in 0..k {
-            if col_state[c] != ACTIVE {
+            if !mask.is_active(c) {
                 continue;
             }
             let rc = c * n..(c + 1) * n;
             a.spmv_into(&pp[rc.clone()], &mut pq[rc.clone()]);
             let pq_dot = vecops::dot(&pp[rc.clone()], &pq[rc.clone()]);
             if pq_dot == T::ZERO || !pq_dot.is_finite() {
-                col_state[c] = HALTED;
+                mask.set(c, LANE_HALTED);
                 results[c].iterations = it - 1;
                 results[c].relative_residual = col_relres[c];
                 continue;
@@ -194,24 +236,24 @@ pub fn solve_batch_with<T: Scalar, P: Preconditioner<T>>(
                 results[c].history.push(col_relres[c]);
             }
             if col_relres[c] < opts.tol {
-                col_state[c] = DONE;
+                mask.set(c, LANE_DONE);
                 results[c].converged = true;
                 results[c].iterations = it;
                 results[c].relative_residual = col_relres[c];
             }
         }
-        if col_state.iter().all(|&s| s != ACTIVE) {
+        if !mask.any_active() {
             break;
         }
-        // One panel apply serves every still-active column; masked
-        // columns ride along without breaking the panel layout.
+        // One panel apply serves every still-active lane; masked lanes
+        // ride along without breaking the panel layout.
         m.apply_panel_with(
             precond,
             Panel::new(&pr[..n * k], n, k),
             PanelMut::new(&mut pz[..n * k], n, k),
         );
         for c in 0..k {
-            if col_state[c] != ACTIVE {
+            if !mask.is_active(c) {
                 continue;
             }
             let rc = c * n..(c + 1) * n;
@@ -221,14 +263,13 @@ pub fn solve_batch_with<T: Scalar, P: Preconditioner<T>>(
             vecops::xpby(&pz[rc.clone()], beta, &mut pp[rc.clone()]);
         }
     }
-    // Columns still active at the cap: not converged.
+    // Lanes still active at the cap: not converged.
     for c in 0..k {
-        if col_state[c] == ACTIVE {
+        if mask.is_active(c) {
             results[c].iterations = opts.max_iters;
             results[c].relative_residual = col_relres[c];
         }
     }
-    results
 }
 
 #[cfg(test)]

@@ -37,10 +37,10 @@
 //! `Vec<SolverResult>` on entry and opt-in residual histories as the
 //! documented exceptions, mirroring [`crate::solve_batch`].
 
-use crate::batch::{ACTIVE, DONE, HALTED};
 use crate::{SolverOptions, SolverResult, SolverWorkspace};
 use javelin_core::precond::Preconditioner;
-use javelin_sparse::{vecops, CsrMatrix, Panel, PanelMut, Scalar};
+use javelin_sparse::lanes::{Lanes, LANE_DONE, LANE_HALTED};
+use javelin_sparse::{vecops, with_lanes, CsrMatrix, Panel, PanelMut, Scalar};
 
 /// Batched right-preconditioned BiCGSTAB over an RHS panel, allocating
 /// a fresh workspace. Repeated callers should hold a
@@ -80,35 +80,78 @@ pub fn bicgstab_batch<T: Scalar, P: Preconditioner<T>>(
 
 /// [`bicgstab_batch`] with caller-owned working memory (see module docs
 /// for the lockstep/masking contract). Returns one [`SolverResult`] per
-/// panel column, in column order.
+/// panel column, in column order. Widths `k ∈ {1, 4, 8}` dispatch to
+/// the monomorphized fixed-lane driver, everything else to the
+/// bit-identical dynamic-width fallback.
 ///
 /// # Panics
 /// On panel shape mismatches.
 pub fn bicgstab_batch_with<T: Scalar, P: Preconditioner<T>>(
     a: &CsrMatrix<T>,
     b: Panel<'_, T>,
-    mut x: PanelMut<'_, T>,
+    x: PanelMut<'_, T>,
     m: &P,
     opts: &SolverOptions,
     ws: &mut SolverWorkspace<T>,
 ) -> Vec<SolverResult> {
-    let n = a.nrows();
+    let mut results = vec![SolverResult::default(); b.ncols()];
+    bicgstab_batch_into(a, b, x, m, opts, ws, &mut results);
+    results
+}
+
+/// [`bicgstab_batch_with`] writing into a caller-provided result slice
+/// — the fully allocation-free form.
+///
+/// # Panics
+/// On panel shape mismatches or when `results.len() != b.ncols()`.
+pub fn bicgstab_batch_into<T: Scalar, P: Preconditioner<T>>(
+    a: &CsrMatrix<T>,
+    b: Panel<'_, T>,
+    x: PanelMut<'_, T>,
+    m: &P,
+    opts: &SolverOptions,
+    ws: &mut SolverWorkspace<T>,
+    results: &mut [SolverResult],
+) {
     let k = b.ncols();
+    assert_eq!(b.nrows(), a.nrows(), "bicgstab_batch: rhs panel rows");
+    assert_eq!(x.nrows(), a.nrows(), "bicgstab_batch: solution panel rows");
+    assert_eq!(x.ncols(), k, "bicgstab_batch: panel widths differ");
+    assert_eq!(results.len(), k, "bicgstab_batch: results length");
+    if k == 0 {
+        return;
+    }
+    with_lanes!(k, lanes => bicgstab_batch_lanes(lanes, a, b, x, m, opts, ws, results));
+}
+
+/// The width-generic BiCGSTAB driver core: `bicgstab_with` *is* this
+/// function at `FixedLanes<1>`; the batch entry points dispatch it per
+/// width. Per-lane ρ/α/ω state keeps every lane on exactly the
+/// standalone recurrence, breakdowns included.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn bicgstab_batch_lanes<T: Scalar, P: Preconditioner<T>, L: Lanes>(
+    lanes: L,
+    a: &CsrMatrix<T>,
+    b: Panel<'_, T>,
+    mut x: PanelMut<'_, T>,
+    m: &P,
+    opts: &SolverOptions,
+    ws: &mut SolverWorkspace<T>,
+    results: &mut [SolverResult],
+) {
+    let n = a.nrows();
+    let k = lanes.width();
+    assert_eq!(b.ncols(), k, "bicgstab_batch: rhs panel width vs lanes");
     assert_eq!(b.nrows(), n, "bicgstab_batch: rhs panel rows");
     assert_eq!(x.nrows(), n, "bicgstab_batch: solution panel rows");
     assert_eq!(x.ncols(), k, "bicgstab_batch: panel widths differ");
-    let mut results: Vec<SolverResult> = (0..k)
-        .map(|_| SolverResult {
-            converged: false,
-            iterations: 0,
-            relative_residual: 0.0,
-            history: Vec::new(),
-        })
-        .collect();
-    if k == 0 {
-        return results;
+    assert_eq!(results.len(), k, "bicgstab_batch: results length");
+    for r in results.iter_mut() {
+        *r = SolverResult::default();
     }
     ws.ensure_panel_bicgstab(n, k);
+    // Rearm every lane to ACTIVE for this solve (storage pre-sized).
+    ws.mask.reset(k);
     let SolverWorkspace {
         precond,
         pr,
@@ -123,16 +166,16 @@ pub fn bicgstab_batch_with<T: Scalar, P: Preconditioner<T>>(
         col_omega,
         col_bnorm,
         col_relres,
-        col_state,
+        mask,
         ..
     } = ws;
 
-    // ---- Per-column setup, mirroring `bicgstab_with` exactly. -------
+    // ---- Per-lane setup, the historical `bicgstab_with` prologue. ---
     for c in 0..k {
         let rc = c * n..(c + 1) * n;
         col_bnorm[c] = vecops::norm2(b.col(c)).to_f64();
         if col_bnorm[c] == 0.0 {
-            // Trivial column: x = 0, converged in 0 iterations. Zero its
+            // Trivial lane: x = 0, converged in 0 iterations. Zero its
             // working columns so the shared panel applies stay finite.
             x.col_mut(c).fill(T::ZERO);
             for buf in [
@@ -146,11 +189,10 @@ pub fn bicgstab_batch_with<T: Scalar, P: Preconditioner<T>>(
             ] {
                 buf[rc.clone()].fill(T::ZERO);
             }
-            col_state[c] = DONE;
+            mask.set(c, LANE_DONE);
             results[c].converged = true;
             continue;
         }
-        col_state[c] = ACTIVE;
         // r = b - A x (matvec into q, subtract into r); r_hat = r.
         a.spmv_into(x.col(c), &mut pq[rc.clone()]);
         let bc = b.col(c);
@@ -171,22 +213,22 @@ pub fn bicgstab_batch_with<T: Scalar, P: Preconditioner<T>>(
         }
     }
 
-    // ---- Lockstep iteration with per-column masking. ----------------
+    // ---- Lockstep iteration with per-lane masking. ------------------
     for it in 1..=opts.max_iters {
-        if col_state.iter().all(|&s| s != ACTIVE) {
+        if !mask.any_active() {
             break;
         }
-        // Phase 1 (per column): the ρ recurrence and the new direction.
+        // Phase 1 (per lane): the ρ recurrence and the new direction.
         for c in 0..k {
-            if col_state[c] != ACTIVE {
+            if !mask.is_active(c) {
                 continue;
             }
             let rc = c * n..(c + 1) * n;
             let rho_new = vecops::dot(&prhat[rc.clone()], &pr[rc.clone()]);
             if rho_new == T::ZERO || !rho_new.is_finite() {
-                // ρ-breakdown: mask this column where the scalar solver
+                // ρ-breakdown: mask this lane where the scalar solver
                 // would have returned; the panel keeps iterating.
-                col_state[c] = HALTED;
+                mask.set(c, LANE_HALTED);
                 results[c].iterations = it - 1;
                 results[c].relative_residual = col_relres[c];
                 continue;
@@ -199,20 +241,20 @@ pub fn bicgstab_batch_with<T: Scalar, P: Preconditioner<T>>(
                 pp[i] = pr[i] + beta * (pp[i] - omega * pq[i]);
             }
         }
-        if col_state.iter().all(|&s| s != ACTIVE) {
+        if !mask.any_active() {
             break;
         }
-        // y = M⁻¹ p: one panel apply for every column (masked columns
-        // ride along on frozen data without changing the panel shape).
+        // y = M⁻¹ p: one panel apply for every lane (masked lanes ride
+        // along on frozen data without changing the panel shape).
         m.apply_panel_with(
             precond,
             Panel::new(&pp[..n * k], n, k),
             PanelMut::new(&mut py[..n * k], n, k),
         );
-        // Phase 2 (per column): v = A·y, α, the intermediate residual s
+        // Phase 2 (per lane): v = A·y, α, the intermediate residual s
         // and its early convergence check.
         for c in 0..k {
-            if col_state[c] != ACTIVE {
+            if !mask.is_active(c) {
                 continue;
             }
             let rc = c * n..(c + 1) * n;
@@ -227,13 +269,13 @@ pub fn bicgstab_batch_with<T: Scalar, P: Preconditioner<T>>(
                 if opts.record_history {
                     results[c].history.push(s_norm);
                 }
-                col_state[c] = DONE;
+                mask.set(c, LANE_DONE);
                 results[c].converged = true;
                 results[c].iterations = it;
                 results[c].relative_residual = s_norm;
             }
         }
-        if col_state.iter().all(|&s| s != ACTIVE) {
+        if !mask.any_active() {
             break;
         }
         // z = M⁻¹ s: the second shared panel apply of the step.
@@ -242,16 +284,16 @@ pub fn bicgstab_batch_with<T: Scalar, P: Preconditioner<T>>(
             Panel::new(&pr[..n * k], n, k),
             PanelMut::new(&mut pz[..n * k], n, k),
         );
-        // Phase 3 (per column): the stabilization half-step.
+        // Phase 3 (per lane): the stabilization half-step.
         for c in 0..k {
-            if col_state[c] != ACTIVE {
+            if !mask.is_active(c) {
                 continue;
             }
             let rc = c * n..(c + 1) * n;
             a.spmv_into(&pz[rc.clone()], &mut pt[rc.clone()]);
             let tt = vecops::dot(&pt[rc.clone()], &pt[rc.clone()]);
             if tt == T::ZERO {
-                col_state[c] = HALTED;
+                mask.set(c, LANE_HALTED);
                 results[c].iterations = it;
                 results[c].relative_residual = col_relres[c];
                 continue;
@@ -267,25 +309,24 @@ pub fn bicgstab_batch_with<T: Scalar, P: Preconditioner<T>>(
                 results[c].history.push(col_relres[c]);
             }
             if col_relres[c] < opts.tol {
-                col_state[c] = DONE;
+                mask.set(c, LANE_DONE);
                 results[c].converged = true;
                 results[c].iterations = it;
                 results[c].relative_residual = col_relres[c];
             } else if col_omega[c] == T::ZERO {
-                col_state[c] = HALTED;
+                mask.set(c, LANE_HALTED);
                 results[c].iterations = it;
                 results[c].relative_residual = col_relres[c];
             }
         }
     }
-    // Columns still active at the cap: not converged.
+    // Lanes still active at the cap: not converged.
     for c in 0..k {
-        if col_state[c] == ACTIVE {
+        if mask.is_active(c) {
             results[c].iterations = opts.max_iters;
             results[c].relative_residual = col_relres[c];
         }
     }
-    results
 }
 
 #[cfg(test)]

@@ -37,15 +37,11 @@
 //! allocations, with the `Vec<SolverResult>` on entry and opt-in
 //! residual histories as the documented exceptions.
 
-use crate::batch::{ACTIVE, DONE, HALTED};
 use crate::{SolverOptions, SolverResult, SolverWorkspace};
 use javelin_core::precond::Preconditioner;
 use javelin_core::ApplyScratch;
-use javelin_sparse::{vecops, CsrMatrix, Panel, PanelMut, Scalar};
-
-/// Column finished a cycle below tolerance and waits (masked) for the
-/// panel's next restart boundary to re-enter with a fresh residual.
-const PENDING: u8 = 3;
+use javelin_sparse::lanes::{Lanes, LANE_ACTIVE, LANE_DONE, LANE_HALTED, LANE_PENDING};
+use javelin_sparse::{vecops, with_lanes, CsrMatrix, LaneMask, Panel, PanelMut, Scalar};
 
 /// Batched right-preconditioned restarted GMRES(m) over an RHS panel,
 /// allocating a fresh workspace. Repeated callers should hold a
@@ -85,36 +81,80 @@ pub fn gmres_batch<T: Scalar, P: Preconditioner<T>>(
 
 /// [`gmres_batch`] with caller-owned working memory (see module docs
 /// for the lockstep-restart contract). Returns one [`SolverResult`]
-/// per panel column, in column order.
+/// per panel column, in column order. Widths `k ∈ {1, 4, 8}` dispatch
+/// to the monomorphized fixed-lane driver, everything else to the
+/// bit-identical dynamic-width fallback.
 ///
 /// # Panics
 /// On panel shape mismatches.
 pub fn gmres_batch_with<T: Scalar, P: Preconditioner<T>>(
     a: &CsrMatrix<T>,
     b: Panel<'_, T>,
-    mut x: PanelMut<'_, T>,
+    x: PanelMut<'_, T>,
     m: &P,
     opts: &SolverOptions,
     ws: &mut SolverWorkspace<T>,
 ) -> Vec<SolverResult> {
-    let n = a.nrows();
+    let mut results = vec![SolverResult::default(); b.ncols()];
+    gmres_batch_into(a, b, x, m, opts, ws, &mut results);
+    results
+}
+
+/// [`gmres_batch_with`] writing into a caller-provided result slice —
+/// the fully allocation-free form: with the workspace reserved via
+/// [`SolverWorkspace::reserve_gmres_basis`] even the **first** solve
+/// performs zero heap allocations (enforced by
+/// `tests/refactor_alloc.rs`).
+///
+/// # Panics
+/// On panel shape mismatches or when `results.len() != b.ncols()`.
+pub fn gmres_batch_into<T: Scalar, P: Preconditioner<T>>(
+    a: &CsrMatrix<T>,
+    b: Panel<'_, T>,
+    x: PanelMut<'_, T>,
+    m: &P,
+    opts: &SolverOptions,
+    ws: &mut SolverWorkspace<T>,
+    results: &mut [SolverResult],
+) {
     let k = b.ncols();
+    assert_eq!(b.nrows(), a.nrows(), "gmres_batch: rhs panel rows");
+    assert_eq!(x.nrows(), a.nrows(), "gmres_batch: solution panel rows");
+    assert_eq!(x.ncols(), k, "gmres_batch: panel widths differ");
+    assert_eq!(results.len(), k, "gmres_batch: results length");
+    if k == 0 {
+        return;
+    }
+    with_lanes!(k, lanes => gmres_batch_lanes(lanes, a, b, x, m, opts, ws, results));
+}
+
+/// The width-generic lockstep-restart GMRES driver core, dispatched by
+/// the entry points above.
+#[allow(clippy::too_many_arguments)]
+fn gmres_batch_lanes<T: Scalar, P: Preconditioner<T>, L: Lanes>(
+    lanes: L,
+    a: &CsrMatrix<T>,
+    b: Panel<'_, T>,
+    mut x: PanelMut<'_, T>,
+    m: &P,
+    opts: &SolverOptions,
+    ws: &mut SolverWorkspace<T>,
+    results: &mut [SolverResult],
+) {
+    let n = a.nrows();
+    let k = lanes.width();
+    assert_eq!(b.ncols(), k, "gmres_batch: rhs panel width vs lanes");
     assert_eq!(b.nrows(), n, "gmres_batch: rhs panel rows");
     assert_eq!(x.nrows(), n, "gmres_batch: solution panel rows");
     assert_eq!(x.ncols(), k, "gmres_batch: panel widths differ");
-    let mut results: Vec<SolverResult> = (0..k)
-        .map(|_| SolverResult {
-            converged: false,
-            iterations: 0,
-            relative_residual: 0.0,
-            history: Vec::new(),
-        })
-        .collect();
-    if k == 0 {
-        return results;
+    assert_eq!(results.len(), k, "gmres_batch: results length");
+    for r in results.iter_mut() {
+        *r = SolverResult::default();
     }
     let restart = opts.restart.max(1).min(n.max(1));
     ws.ensure_panel_gmres(n, k, restart);
+    // Rearm every lane to ACTIVE for this solve (storage pre-sized).
+    ws.mask.reset(k);
     let SolverWorkspace {
         precond,
         pz,
@@ -128,7 +168,7 @@ pub fn gmres_batch_with<T: Scalar, P: Preconditioner<T>>(
         pyk,
         col_bnorm,
         col_relres,
-        col_state,
+        mask,
         col_iters,
         col_jused,
         ..
@@ -154,15 +194,15 @@ pub fn gmres_batch_with<T: Scalar, P: Preconditioner<T>>(
             for slot in 0..=restart {
                 pv[slot * n * k + c * n..slot * n * k + (c + 1) * n].fill(T::ZERO);
             }
-            col_state[c] = DONE;
+            mask.set(c, LANE_DONE);
             results[c].converged = true;
         } else {
-            col_state[c] = PENDING;
+            mask.set(c, LANE_PENDING);
             any_pending = true;
         }
     }
     if !any_pending {
-        return results;
+        return;
     }
 
     // ---- Lockstep restart cycles. -----------------------------------
@@ -171,7 +211,7 @@ pub fn gmres_batch_with<T: Scalar, P: Preconditioner<T>>(
         // and either finishes or (re-)enters the shared cycle.
         let mut in_cycle = false;
         for c in 0..k {
-            if col_state[c] != PENDING {
+            if !mask.is(c, LANE_PENDING) {
                 continue;
             }
             let rc = c * n..(c + 1) * n;
@@ -187,11 +227,14 @@ pub fn gmres_batch_with<T: Scalar, P: Preconditioner<T>>(
                 results[c].history.push(col_relres[c]);
             }
             if col_relres[c] < opts.tol || col_iters[c] >= opts.max_iters {
-                col_state[c] = if col_relres[c] < opts.tol {
-                    DONE
-                } else {
-                    HALTED
-                };
+                mask.set(
+                    c,
+                    if col_relres[c] < opts.tol {
+                        LANE_DONE
+                    } else {
+                        LANE_HALTED
+                    },
+                );
                 results[c].converged = col_relres[c] < opts.tol;
                 results[c].iterations = col_iters[c];
                 results[c].relative_residual = col_relres[c];
@@ -205,7 +248,7 @@ pub fn gmres_batch_with<T: Scalar, P: Preconditioner<T>>(
             g.iter_mut().for_each(|gi| *gi = T::ZERO);
             g[0] = beta;
             col_jused[c] = 0;
-            col_state[c] = ACTIVE;
+            mask.set(c, LANE_ACTIVE);
             in_cycle = true;
         }
         if !in_cycle {
@@ -214,7 +257,7 @@ pub fn gmres_batch_with<T: Scalar, P: Preconditioner<T>>(
 
         // Inner Arnoldi steps, in lockstep across the panel.
         for j in 0..restart {
-            if col_state.iter().all(|&s| s != ACTIVE) {
+            if !mask.any_active() {
                 break;
             }
             // z = M⁻¹ vⱼ: ONE panel apply over the stacked basis slot j
@@ -226,7 +269,7 @@ pub fn gmres_batch_with<T: Scalar, P: Preconditioner<T>>(
                 PanelMut::new(&mut pz[..n * k], n, k),
             );
             for c in 0..k {
-                if col_state[c] != ACTIVE {
+                if !mask.is_active(c) {
                     continue;
                 }
                 if col_iters[c] >= opts.max_iters {
@@ -248,7 +291,7 @@ pub fn gmres_batch_with<T: Scalar, P: Preconditioner<T>>(
                         m,
                         &mut x,
                     );
-                    dispose(c, opts, col_relres, col_iters, col_state, &mut results);
+                    dispose(c, opts, col_relres, col_iters, mask, results);
                     continue;
                 }
                 col_iters[c] += 1;
@@ -309,7 +352,7 @@ pub fn gmres_batch_with<T: Scalar, P: Preconditioner<T>>(
                         m,
                         &mut x,
                     );
-                    dispose(c, opts, col_relres, col_iters, col_state, &mut results);
+                    dispose(c, opts, col_relres, col_iters, mask, results);
                     continue;
                 }
                 if hjp == T::ZERO {
@@ -331,7 +374,7 @@ pub fn gmres_batch_with<T: Scalar, P: Preconditioner<T>>(
                         m,
                         &mut x,
                     );
-                    dispose(c, opts, col_relres, col_iters, col_state, &mut results);
+                    dispose(c, opts, col_relres, col_iters, mask, results);
                     continue;
                 }
                 // v_{j+1} = w / h_{j+1,j}.
@@ -344,7 +387,7 @@ pub fn gmres_batch_with<T: Scalar, P: Preconditioner<T>>(
         // Restart boundary: columns that used the full cycle update x
         // and either finish or re-enter pending.
         for c in 0..k {
-            if col_state[c] != ACTIVE {
+            if !mask.is_active(c) {
                 continue;
             }
             finalize_column(
@@ -363,10 +406,9 @@ pub fn gmres_batch_with<T: Scalar, P: Preconditioner<T>>(
                 m,
                 &mut x,
             );
-            dispose(c, opts, col_relres, col_iters, col_state, &mut results);
+            dispose(c, opts, col_relres, col_iters, mask, results);
         }
     }
-    results
 }
 
 /// End-of-cycle update for one column, exactly as the scalar solver
@@ -424,20 +466,20 @@ fn dispose(
     opts: &SolverOptions,
     col_relres: &[f64],
     col_iters: &[usize],
-    col_state: &mut [u8],
+    mask: &mut LaneMask,
     results: &mut [SolverResult],
 ) {
     if col_relres[c] < opts.tol {
-        col_state[c] = DONE;
+        mask.set(c, LANE_DONE);
         results[c].converged = true;
         results[c].iterations = col_iters[c];
         results[c].relative_residual = col_relres[c];
     } else if col_iters[c] >= opts.max_iters {
-        col_state[c] = HALTED;
+        mask.set(c, LANE_HALTED);
         results[c].iterations = col_iters[c];
         results[c].relative_residual = col_relres[c];
     } else {
-        col_state[c] = PENDING;
+        mask.set(c, LANE_PENDING);
     }
 }
 

@@ -1,11 +1,16 @@
 //! BiCGSTAB with right preconditioning — the low-memory alternative to
 //! GMRES for nonsymmetric systems (circuit-style matrices in the
 //! paper's group B often pair with BiCGSTAB in practice).
+//!
+//! The convergence loop lives in one place: the width-generic lane
+//! driver in [`crate::batch_bicgstab`]. [`bicgstab_with`] is its
+//! `FixedLanes<1>` instantiation, so the scalar and batched solvers —
+//! breakdown semantics included — are literally the same code.
 
 use crate::{SolverOptions, SolverResult, SolverWorkspace};
 use javelin_core::precond::Preconditioner;
-use javelin_sparse::vecops;
-use javelin_sparse::{CsrMatrix, Scalar};
+use javelin_sparse::lanes::FixedLanes;
+use javelin_sparse::{CsrMatrix, Panel, PanelMut, Scalar};
 
 /// Right-preconditioned BiCGSTAB. Iterations count full BiCGSTAB steps
 /// (two matvecs and two preconditioner applications each).
@@ -28,6 +33,13 @@ pub fn bicgstab<T: Scalar, P: Preconditioner<T>>(
 /// [`bicgstab`] with caller-owned working memory: allocation-free once
 /// the workspace has seen this size.
 ///
+/// This is the `FixedLanes<1>` instantiation of the lane-generic batch
+/// driver ([`crate::bicgstab_batch_with`] at width 1): one convergence
+/// loop serves the scalar and panel paths, and at width 1 the compiler
+/// folds every per-lane loop into the scalar BiCGSTAB recurrence —
+/// bit-identical results, breakdown exits (NaN payloads included) and
+/// iteration counts.
+///
 /// # Panics
 /// On dimension mismatches.
 pub fn bicgstab_with<T: Scalar, P: Preconditioner<T>>(
@@ -41,124 +53,19 @@ pub fn bicgstab_with<T: Scalar, P: Preconditioner<T>>(
     let n = a.nrows();
     assert_eq!(b.len(), n, "bicgstab: rhs length");
     assert_eq!(x.len(), n, "bicgstab: solution length");
-    let b_norm = vecops::norm2(b).to_f64();
-    if b_norm == 0.0 {
-        x.fill(T::ZERO);
-        return SolverResult {
-            converged: true,
-            iterations: 0,
-            relative_residual: 0.0,
-            history: Vec::new(),
-        };
-    }
-    ws.ensure_short(n);
-    let SolverWorkspace {
-        precond,
-        r,
-        rhat,
-        z,
-        p,
-        q,
-        y,
-        t,
-        ..
-    } = ws;
-    // r = b - A x (matvec into q, subtract into r); r_hat = r.
-    a.spmv_into(x, q);
-    for i in 0..n {
-        r[i] = b[i] - q[i];
-    }
-    rhat.copy_from_slice(r);
-    let mut rho = T::ONE;
-    let mut alpha = T::ONE;
-    let mut omega = T::ONE;
-    // q plays the role of `v = A·y`; z of the second preconditioned
-    // direction; t of `A·z`.
-    q.iter_mut().for_each(|qi| *qi = T::ZERO);
-    p.iter_mut().for_each(|pi| *pi = T::ZERO);
-    let mut history = Vec::new();
-    let mut relres = vecops::norm2(r).to_f64() / b_norm;
-    if opts.record_history {
-        history.push(relres);
-    }
-    for it in 1..=opts.max_iters {
-        let rho_new = vecops::dot(rhat, r);
-        if rho_new == T::ZERO || !rho_new.is_finite() {
-            return SolverResult {
-                converged: false,
-                iterations: it - 1,
-                relative_residual: relres,
-                history,
-            };
-        }
-        let beta = (rho_new / rho) * (alpha / omega);
-        rho = rho_new;
-        // p = r + beta (p - omega v)
-        for i in 0..n {
-            p[i] = r[i] + beta * (p[i] - omega * q[i]);
-        }
-        m.apply_with(precond, p, y);
-        a.spmv_into(y, q);
-        alpha = rho / vecops::dot(rhat, q);
-        // s = r - alpha v  (reuse r)
-        vecops::axpy(-alpha, q, r);
-        let s_norm = vecops::norm2(r).to_f64() / b_norm;
-        if s_norm < opts.tol {
-            vecops::axpy(alpha, y, x);
-            if opts.record_history {
-                history.push(s_norm);
-            }
-            return SolverResult {
-                converged: true,
-                iterations: it,
-                relative_residual: s_norm,
-                history,
-            };
-        }
-        m.apply_with(precond, r, z);
-        a.spmv_into(z, t);
-        let tt = vecops::dot(t, t);
-        if tt == T::ZERO {
-            return SolverResult {
-                converged: false,
-                iterations: it,
-                relative_residual: s_norm,
-                history,
-            };
-        }
-        omega = vecops::dot(t, r) / tt;
-        // x += alpha y + omega z
-        vecops::axpy(alpha, y, x);
-        vecops::axpy(omega, z, x);
-        // r = s - omega t
-        vecops::axpy(-omega, t, r);
-        relres = vecops::norm2(r).to_f64() / b_norm;
-        if opts.record_history {
-            history.push(relres);
-        }
-        if relres < opts.tol {
-            return SolverResult {
-                converged: true,
-                iterations: it,
-                relative_residual: relres,
-                history,
-            };
-        }
-        if omega == T::ZERO {
-            return SolverResult {
-                converged: false,
-                iterations: it,
-                relative_residual: relres,
-                history,
-            };
-        }
-    }
-    SolverResult {
-        converged: false,
-        iterations: opts.max_iters,
-        relative_residual: relres,
-        history,
-    }
+    let mut results = [SolverResult::default()];
+    crate::batch_bicgstab::bicgstab_batch_lanes(
+        FixedLanes::<1>,
+        a,
+        Panel::from_col(b),
+        PanelMut::from_col(x),
+        m,
+        opts,
+        ws,
+        &mut results,
+    );
+    let [res] = results;
+    res
 }
 
 #[cfg(test)]

@@ -1,9 +1,16 @@
 //! (Preconditioned) conjugate gradients.
+//!
+//! The convergence loop lives in one place: the width-generic lane
+//! driver in [`crate::batch`]. [`pcg_with`] is its `FixedLanes<1>`
+//! instantiation — a plain vector viewed as a width-1 panel — so the
+//! scalar solver and the batched solver cannot drift apart, and the
+//! scalar bits are exactly the historical ones (the width-1 identity
+//! the test suite has pinned since the panel drivers landed).
 
 use crate::{SolverOptions, SolverResult, SolverWorkspace};
 use javelin_core::precond::{IdentityPrecond, Preconditioner};
-use javelin_sparse::vecops;
-use javelin_sparse::{CsrMatrix, Scalar};
+use javelin_sparse::lanes::FixedLanes;
+use javelin_sparse::{CsrMatrix, Panel, PanelMut, Scalar};
 
 /// Unpreconditioned CG for SPD systems.
 pub fn cg<T: Scalar>(a: &CsrMatrix<T>, b: &[T], x: &mut [T], opts: &SolverOptions) -> SolverResult {
@@ -36,6 +43,12 @@ pub fn pcg<T: Scalar, P: Preconditioner<T>>(
 /// applies, vector updates — performs no heap allocation (residual
 /// history, off by default, excepted).
 ///
+/// This is the `FixedLanes<1>` instantiation of the lane-generic batch
+/// driver ([`crate::solve_batch_with`] at width 1): the compiler
+/// monomorphizes every per-lane loop to a single iteration, so the
+/// generated code — and the result, bit for bit — is the scalar PCG
+/// recurrence.
+///
 /// # Panics
 /// On dimension mismatches.
 pub fn pcg_with<T: Scalar, P: Preconditioner<T>>(
@@ -49,76 +62,19 @@ pub fn pcg_with<T: Scalar, P: Preconditioner<T>>(
     let n = a.nrows();
     assert_eq!(b.len(), n, "cg: rhs length");
     assert_eq!(x.len(), n, "cg: solution length");
-    let b_norm = vecops::norm2(b).to_f64();
-    if b_norm == 0.0 {
-        x.fill(T::ZERO);
-        return SolverResult {
-            converged: true,
-            iterations: 0,
-            relative_residual: 0.0,
-            history: Vec::new(),
-        };
-    }
-    ws.ensure_short(n);
-    let SolverWorkspace {
-        precond,
-        r,
-        z,
-        p,
-        q,
-        ..
-    } = ws;
-    // r = b - A x (matvec into q, subtract into r).
-    a.spmv_into(x, q);
-    for i in 0..n {
-        r[i] = b[i] - q[i];
-    }
-    m.apply_with(precond, r, z);
-    p.copy_from_slice(z);
-    let mut rz = vecops::dot(r, z);
-    let mut history = Vec::new();
-    let mut relres = vecops::norm2(r).to_f64() / b_norm;
-    if opts.record_history {
-        history.push(relres);
-    }
-    for it in 1..=opts.max_iters {
-        a.spmv_into(p, q);
-        let pq = vecops::dot(p, q);
-        if pq == T::ZERO || !pq.is_finite() {
-            return SolverResult {
-                converged: false,
-                iterations: it - 1,
-                relative_residual: relres,
-                history,
-            };
-        }
-        let alpha = rz / pq;
-        vecops::axpy(alpha, p, x);
-        vecops::axpy(-alpha, q, r);
-        relres = vecops::norm2(r).to_f64() / b_norm;
-        if opts.record_history {
-            history.push(relres);
-        }
-        if relres < opts.tol {
-            return SolverResult {
-                converged: true,
-                iterations: it,
-                relative_residual: relres,
-                history,
-            };
-        }
-        m.apply_with(precond, r, z);
-        let rz_new = vecops::dot(r, z);
-        let beta = rz_new / rz;
-        rz = rz_new;
-        vecops::xpby(z, beta, p);
-    }
-    SolverResult {
-        converged: false,
-        iterations: opts.max_iters,
-        relative_residual: relres,
-        history,
-    }
+    let mut results = [SolverResult::default()];
+    crate::batch::solve_batch_lanes(
+        FixedLanes::<1>,
+        a,
+        Panel::from_col(b),
+        PanelMut::from_col(x),
+        m,
+        opts,
+        ws,
+        &mut results,
+    );
+    let [res] = results;
+    res
 }
 
 #[cfg(test)]

@@ -27,12 +27,26 @@
 //! `gmres`, …) that allocates its own working vectors, and a `_with`
 //! variant threading a caller-owned [`SolverWorkspace`] through the
 //! iteration — including the [`javelin_core::ApplyScratch`] handed to
-//! [`javelin_core::Preconditioner::apply_with`]. After the workspace's
-//! first use at a given size, a full solve performs **zero heap
-//! allocations** (residual-history recording, off by default, is the
-//! one documented exception), pairing with the factorization's
-//! persistent worker team for an allocation-free, spawn-free Krylov
-//! hot loop.
+//! [`javelin_core::Preconditioner::apply_with`]. The batch drivers add
+//! a third, `_into`, writing results into a caller slice for fully
+//! allocation-free solves. After the workspace's first use at a given
+//! size, a full solve performs **zero heap allocations**
+//! (residual-history recording, off by default, is the one documented
+//! exception), pairing with the factorization's persistent worker team
+//! for an allocation-free, spawn-free Krylov hot loop.
+//!
+//! ## One convergence loop per method — the lane layer
+//!
+//! The short-recurrence drivers are **width-generic** over
+//! [`javelin_sparse::lanes::Lanes`]: [`fn@pcg`] / [`fn@bicgstab`] are
+//! the `FixedLanes<1>` instantiations of the batch cores (there is no
+//! separate scalar convergence loop to keep in sync), panel widths
+//! `k ∈ {4, 8}` monomorphize the drivers' per-lane bookkeeping loops,
+//! and every other width runs the bit-identical `DynLanes` fallback.
+//! (The SIMD-relevant inner loops live below the drivers, in the
+//! preconditioner's trisolve and spmv kernels, which pick their own
+//! fixed-lane instantiation from the panel width.) Column `c` of any
+//! width is bit-identical to the scalar solve of that column.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -47,9 +61,9 @@ pub mod gmres;
 mod proptests;
 pub mod workspace;
 
-pub use batch::{solve_batch, solve_batch_with};
-pub use batch_bicgstab::{bicgstab_batch, bicgstab_batch_with};
-pub use batch_gmres::{gmres_batch, gmres_batch_with};
+pub use batch::{solve_batch, solve_batch_into, solve_batch_with};
+pub use batch_bicgstab::{bicgstab_batch, bicgstab_batch_into, bicgstab_batch_with};
+pub use batch_gmres::{gmres_batch, gmres_batch_into, gmres_batch_with};
 pub use bicgstab::{bicgstab, bicgstab_with};
 pub use cg::{cg, pcg, pcg_with};
 pub use fgmres::{fgmres, fgmres_with};
@@ -173,6 +187,10 @@ pub fn krylov<T: Scalar, P: Preconditioner<T>>(
 /// to [`gmres_batch_with`]) run `k` systems in lockstep sharing one
 /// preconditioner schedule walk per apply; [`Method::Fgmres`], which
 /// has no batch variant, loops the scalar solver over the columns.
+/// Panel widths `k ∈ {1, 4, 8}` pick the monomorphized fixed-lane
+/// instantiations (and the preconditioner's trisolve/spmv kernels pick
+/// theirs from the same width); every other width runs the
+/// bit-identical dynamic fallback.
 /// Either way column `c` of the result is bit-identical to the scalar
 /// solve of column `c`. Returns one [`SolverResult`] per column.
 ///
@@ -242,8 +260,10 @@ impl Default for SolverOptions {
     }
 }
 
-/// Outcome of a solve.
-#[derive(Debug, Clone)]
+/// Outcome of a solve. The `Default` value (unconverged, zero
+/// iterations, empty history) is the reset state the `*_into` batch
+/// entry points write over.
+#[derive(Debug, Clone, Default)]
 pub struct SolverResult {
     /// Whether the tolerance was met within the iteration cap.
     pub converged: bool,

@@ -22,7 +22,9 @@ const ENGINES: [SolveEngine; 4] = [
     SolveEngine::PointToPoint,
     SolveEngine::PointToPointLower,
 ];
-const WIDTHS: [usize; 4] = [1, 2, 3, 8];
+/// The issue's width matrix: the monomorphized lane widths (1, 4, 8)
+/// and the `DynLanes` fallback widths (2, 3, 5).
+const WIDTHS: [usize; 6] = [1, 2, 3, 4, 5, 8];
 
 /// Deterministic panel with visibly different columns.
 fn panel(n: usize, k: usize, seed: u64) -> Vec<f64> {
@@ -55,7 +57,7 @@ proptest! {
     fn batch_columns_bitwise_equal_scalar_runs(
         nthreads in 1usize..4,
         engine_idx in 0usize..4,
-        k_idx in 0usize..4,
+        k_idx in 0usize..6,
         seed in 1u64..500,
         method_idx in 0usize..3,
     ) {
@@ -103,6 +105,52 @@ proptest! {
             let bb: Vec<u64> = xb[c * n..(c + 1) * n].iter().map(|v| v.to_bits()).collect();
             let sb: Vec<u64> = x.iter().map(|v| v.to_bits()).collect();
             prop_assert_eq!(bb, sb, "{} col {}", method, c);
+        }
+    }
+
+    /// The `DynLanes` fallback widths (5, 7) — which the dispatch table
+    /// never monomorphizes — are pinned bitwise per column to the
+    /// scalar path, so the fallback is as trusted as the fixed-width
+    /// specializations.
+    #[test]
+    fn dyn_lane_widths_bitwise_equal_scalar_runs(
+        nthreads in 1usize..3,
+        engine_idx in 0usize..4,
+        k_idx in 0usize..2,
+        seed in 1u64..300,
+        method_idx in 0usize..3,
+    ) {
+        let engine = ENGINES[engine_idx];
+        let k = [5usize, 7][k_idx];
+        let method = [Method::BatchBicgstab, Method::BatchGmres, Method::BatchPcg][method_idx];
+        let a = if method == Method::BatchPcg {
+            laplace_2d(8, 9)
+        } else {
+            revalue(&convection_diffusion_2d(8, 9, 0.3, 0.4), seed as f64 * 0.01, 0.05)
+        };
+        let n = a.nrows();
+        let f = factorize(&a, &IluOptions::ilu0(nthreads)).unwrap();
+        let m = f.with_engine(engine);
+        let opts = SolverOptions { restart: 9, ..Default::default() };
+        let b = panel(n, k, seed);
+        let mut xb = vec![0.0; n * k];
+        let results = krylov_panel_with(
+            method,
+            &a,
+            Panel::new(&b, n, k),
+            PanelMut::new(&mut xb, n, k),
+            &m,
+            &opts,
+            &mut SolverWorkspace::new(),
+        );
+        for c in 0..k {
+            let mut x = vec![0.0; n];
+            let r = scalar_reference(method, &a, &b[c * n..(c + 1) * n], &mut x, &m, &opts);
+            prop_assert_eq!(results[c].converged, r.converged, "{} k={} col {}", method, k, c);
+            prop_assert_eq!(results[c].iterations, r.iterations, "{} k={} col {}", method, k, c);
+            let bb: Vec<u64> = xb[c * n..(c + 1) * n].iter().map(|v| v.to_bits()).collect();
+            let sb: Vec<u64> = x.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(bb, sb, "{} k={} col {}", method, k, c);
         }
     }
 

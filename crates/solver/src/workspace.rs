@@ -1,30 +1,31 @@
 //! Caller-owned solver working memory.
 //!
-//! A [`SolverWorkspace`] holds every vector a Krylov solver needs —
-//! residuals, directions, the Arnoldi basis, the small Hessenberg/Givens
-//! arrays — plus the [`ApplyScratch`] forwarded to
+//! A [`SolverWorkspace`] holds every buffer a Krylov solver needs —
+//! residual/direction panels, the Arnoldi bases, the small
+//! Hessenberg/Givens arrays, the per-column [`LaneMask`] — plus the
+//! [`ApplyScratch`] forwarded to
 //! [`javelin_core::Preconditioner::apply_with`]. Buffers are grown on
-//! first use for a given `(n, restart)` and then reused verbatim, so a
-//! steady-state solve allocates nothing. One workspace can serve many
+//! first use for a given `(n, restart, k)` and then reused verbatim, so
+//! a steady-state solve allocates nothing. One workspace can serve many
 //! consecutive solves (and mixed solver kinds); it simply keeps the
 //! high-water-mark buffers alive.
+//!
+//! Since the lane refactor the scalar short-recurrence drivers
+//! ([`crate::pcg_with`], [`crate::bicgstab_with`]) are the
+//! `FixedLanes<1>` instantiations of the batch drivers, so they solve
+//! out of the same panel buffers at width 1 — one buffer family, one
+//! sizing rule, every width.
 
 use javelin_core::ApplyScratch;
-use javelin_sparse::Scalar;
+use javelin_sparse::{LaneMask, Scalar};
 
 /// Reusable working memory for the Krylov solvers (see module docs).
 #[derive(Debug, Clone, Default)]
 pub struct SolverWorkspace<T> {
     /// Scratch handed to `Preconditioner::apply_with`.
     pub precond: ApplyScratch<T>,
-    // Length-`n` vectors (grown on demand).
-    pub(crate) r: Vec<T>,
-    pub(crate) rhat: Vec<T>,
+    // Length-`n` vectors for the Arnoldi-process solvers.
     pub(crate) z: Vec<T>,
-    pub(crate) p: Vec<T>,
-    pub(crate) q: Vec<T>,
-    pub(crate) y: Vec<T>,
-    pub(crate) t: Vec<T>,
     pub(crate) u: Vec<T>,
     pub(crate) w: Vec<T>,
     // Arnoldi bases: `restart + 1` (resp. `restart`) vectors of length `n`.
@@ -37,10 +38,11 @@ pub struct SolverWorkspace<T> {
     pub(crate) sn: Vec<T>,
     pub(crate) g: Vec<T>,
     pub(crate) yk: Vec<T>,
-    // Batched-solver panels: column-major `n × k` blocks (stride `n`)
-    // for residuals/preconditioned residuals/directions/matvecs, plus
+    // Lane-driver panels: column-major `n × k` blocks (stride `n`) for
+    // residuals/preconditioned residuals/directions/matvecs, plus
     // per-column iteration state. Sized by `ensure_panel`, grow-only
-    // across solves like every other buffer here.
+    // across solves like every other buffer here; the scalar drivers
+    // use them at width 1.
     pub(crate) pr: Vec<T>,
     pub(crate) pz: Vec<T>,
     pub(crate) pp: Vec<T>,
@@ -48,8 +50,10 @@ pub struct SolverWorkspace<T> {
     pub(crate) col_rz: Vec<T>,
     pub(crate) col_bnorm: Vec<f64>,
     pub(crate) col_relres: Vec<f64>,
-    pub(crate) col_state: Vec<u8>,
-    // Nonsymmetric batch extensions (`bicgstab_batch`): the shadow
+    /// Per-column convergence/breakdown masking state of the lockstep
+    /// drivers (the lane layer's masking vocabulary).
+    pub(crate) mask: LaneMask,
+    // Nonsymmetric lane extensions (`bicgstab_batch`): the shadow
     // residual, the two preconditioned directions and `A·z`, plus the
     // per-column BiCGSTAB scalar recurrences.
     pub(crate) prhat: Vec<T>,
@@ -86,21 +90,6 @@ impl<T: Scalar> SolverWorkspace<T> {
         Self::default()
     }
 
-    /// Sizes the short-recurrence buffers (CG / BiCGSTAB) for `n`.
-    pub(crate) fn ensure_short(&mut self, n: usize) {
-        for buf in [
-            &mut self.r,
-            &mut self.rhat,
-            &mut self.z,
-            &mut self.p,
-            &mut self.q,
-            &mut self.y,
-            &mut self.t,
-        ] {
-            ensure(buf, n);
-        }
-    }
-
     /// Sizes the Arnoldi-process buffers (GMRES / FGMRES) for `n` and
     /// restart length `m`; `with_z_basis` additionally sizes the stored
     /// preconditioned basis FGMRES needs.
@@ -130,27 +119,42 @@ impl<T: Scalar> SolverWorkspace<T> {
     }
 
     /// Pre-grows every buffer family a session-style caller may hit —
-    /// the short-recurrence vectors, the Arnoldi state for `restart`,
-    /// and (for `k > 0`) the batched short-recurrence panels (PCG and
-    /// BiCGSTAB) — so the first solve of those kinds is already
-    /// allocation-free. The lockstep-restart GMRES driver's stacked
-    /// `(restart + 1) × n × k` Arnoldi basis is deliberately **not**
-    /// pre-grown here: it dwarfs every other buffer (gigabytes for
-    /// large `n·k`) and would tax every session whether or not it ever
-    /// runs batched GMRES, so `gmres_batch` grows it on first use
-    /// instead (grow-only; allocation-free from the second solve on).
-    /// Growing is idempotent; steady-state callers never need this.
+    /// the Arnoldi state for `restart` and the lane panels (PCG and
+    /// BiCGSTAB, which the scalar drivers share at width 1) for `k`
+    /// columns — plus the preconditioner scratch at panel width, so the
+    /// first solve of those kinds is already allocation-free. The
+    /// lockstep-restart GMRES driver's stacked `(restart + 1) × n × k`
+    /// Arnoldi basis is deliberately **not** pre-grown here: it dwarfs
+    /// every other buffer (gigabytes for large `n·k`) and would tax
+    /// every session whether or not it ever runs batched GMRES — opt in
+    /// with [`SolverWorkspace::reserve_gmres_basis`] when the workload
+    /// does, otherwise `gmres_batch` grows it on first use (grow-only;
+    /// allocation-free from the second solve on). Growing is
+    /// idempotent; steady-state callers never need this.
     pub fn reserve(&mut self, n: usize, restart: usize, k: usize) {
-        self.ensure_short(n);
+        let k = k.max(1);
         self.ensure_krylov(n, restart.max(1), true);
-        if k > 0 {
-            self.ensure_panel(n, k);
-            self.ensure_panel_bicgstab(n, k);
-        }
+        self.ensure_panel(n, k);
+        self.ensure_panel_bicgstab(n, k);
+        self.precond.buffer(n * k);
     }
 
-    /// Sizes the batched-solver panel buffers for `k` columns of `n`
-    /// entries (`solve_batch`).
+    /// Opt-in pre-growth of the batched-GMRES state — the stacked
+    /// `(restart + 1) × n × k` Arnoldi basis plus the per-column
+    /// least-squares arrays — so even the **first** `gmres_batch` solve
+    /// at `(n, restart, k)` performs zero heap allocations (enforced by
+    /// `tests/refactor_alloc.rs`). The restart length is clamped the
+    /// way the driver clamps it (`max(1).min(n)`), so reserving with
+    /// the solve's `SolverOptions::restart` always matches.
+    pub fn reserve_gmres_basis(&mut self, n: usize, restart: usize, k: usize) {
+        let k = k.max(1);
+        let m = restart.max(1).min(n.max(1));
+        self.ensure_panel_gmres(n, k, m);
+        self.precond.buffer(n * k);
+    }
+
+    /// Sizes the lane-driver panel buffers for `k` columns of `n`
+    /// entries (`solve_batch`, and `pcg_with` at `k = 1`).
     pub(crate) fn ensure_panel(&mut self, n: usize, k: usize) {
         for buf in [&mut self.pr, &mut self.pz, &mut self.pp, &mut self.pq] {
             ensure(buf, n * k);
@@ -158,14 +162,17 @@ impl<T: Scalar> SolverWorkspace<T> {
         ensure(&mut self.col_rz, k);
         ensure(&mut self.col_bnorm, k);
         ensure(&mut self.col_relres, k);
-        if self.col_state.len() != k {
-            self.col_state.clear();
-            self.col_state.resize(k, 0);
+        // Size the mask storage only (grow-only, like every buffer
+        // here) so the drivers' explicit `mask.reset(k)` at solve entry
+        // — the one semantic rearm — never allocates after a reserve.
+        if self.mask.len() != k {
+            self.mask.reset(k);
         }
     }
 
-    /// Sizes the extra panels/per-column scalars `bicgstab_batch` needs
-    /// on top of [`SolverWorkspace::ensure_panel`].
+    /// Sizes the extra panels/per-column scalars `bicgstab_batch` (and
+    /// `bicgstab_with` at `k = 1`) needs on top of
+    /// [`SolverWorkspace::ensure_panel`].
     pub(crate) fn ensure_panel_bicgstab(&mut self, n: usize, k: usize) {
         self.ensure_panel(n, k);
         for buf in [&mut self.prhat, &mut self.py, &mut self.pt] {
@@ -203,14 +210,29 @@ mod tests {
     #[test]
     fn buffers_grow_and_stabilize() {
         let mut ws = SolverWorkspace::<f64>::new();
-        ws.ensure_short(10);
-        assert_eq!(ws.r.len(), 10);
-        let ptr = ws.r.as_ptr();
-        ws.ensure_short(10); // same size: no reallocation
-        assert_eq!(ws.r.as_ptr(), ptr);
+        ws.ensure_panel(10, 1);
+        assert_eq!(ws.pr.len(), 10);
+        let ptr = ws.pr.as_ptr();
+        ws.ensure_panel(10, 1); // same size: no reallocation
+        assert_eq!(ws.pr.as_ptr(), ptr);
         ws.ensure_krylov(10, 5, true);
         assert_eq!(ws.v_basis.len(), 6);
         assert_eq!(ws.z_basis.len(), 5);
         assert_eq!(ws.h.len(), 30);
+    }
+
+    #[test]
+    fn reserve_gmres_basis_matches_driver_sizing() {
+        let (n, restart, k) = (20usize, 50usize, 3usize);
+        let mut ws = SolverWorkspace::<f64>::new();
+        ws.reserve_gmres_basis(n, restart, k);
+        // The driver clamps restart to n; the reserved basis must match
+        // that clamped shape exactly so the first solve never regrows.
+        let m = restart.min(n);
+        assert_eq!(ws.pv.len(), (m + 1) * n * k);
+        assert_eq!(ws.ph.len(), (m + 1) * m * k);
+        let ptr = ws.pv.as_ptr();
+        ws.ensure_panel_gmres(n, k, m);
+        assert_eq!(ws.pv.as_ptr(), ptr, "reserve must pre-grow the basis");
     }
 }

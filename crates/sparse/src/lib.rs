@@ -21,6 +21,10 @@
 //! * [`Panel`] / [`PanelMut`] — column-major dense right-hand-side
 //!   panels (`n × k` blocks with a column stride) consumed by the
 //!   multi-RHS execution paths;
+//! * [`lanes`] — the width-generic lane layer ([`FixedLanes`] /
+//!   [`DynLanes`] plus the [`with_lanes!`] dispatch table): one kernel
+//!   core serves the scalar path (`K = 1`), the SIMD-specialized panel
+//!   widths (`K = 4, 8`) and arbitrary dynamic widths;
 //! * [`io`] — Matrix Market reading/writing so that the real SuiteSparse
 //!   inputs used by the paper can be substituted for the bundled synthetic
 //!   suite;
@@ -39,6 +43,7 @@ pub mod csc;
 pub mod csr;
 pub mod error;
 pub mod io;
+pub mod lanes;
 pub mod panel;
 pub mod pattern;
 pub mod perm;
@@ -49,6 +54,7 @@ pub use coo::CooMatrix;
 pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
 pub use error::SparseError;
+pub use lanes::{DynLanes, FixedLanes, LaneMask, Lanes};
 pub use panel::{Panel, PanelMut};
 pub use perm::Perm;
 pub use scalar::Scalar;

@@ -10,9 +10,8 @@
 //! Without an argument it demonstrates the round trip on a generated
 //! matrix written to a temporary file.
 
-use javelin::core::{factorize, IluOptions};
 use javelin::level::LevelSets;
-use javelin::solver::{gmres, SolverOptions};
+use javelin::prelude::*;
 use javelin::sparse::io::{read_matrix_market, write_matrix_market};
 use javelin::sparse::pattern::lower_symmetrized_pattern;
 use javelin::synth::grid::convection_diffusion_2d;
@@ -48,19 +47,21 @@ fn main() {
         "after DM+ND: {} levels (min {}, median {}, max {})",
         st.n_levels, st.min, st.median, st.max
     );
+    // One Session owns the matrix, the two-phase factorization and
+    // every workspace — analyze + factor here, solve below.
     let t0 = std::time::Instant::now();
-    let f = factorize(&a, &IluOptions::default()).expect("ILU(0)");
+    let mut session = Session::builder().build(&a).expect("ILU(0)");
     println!(
         "ILU(0) in {:.2?}; {} lower-stage rows ({}), {:.0}% of raw deps pruned",
         t0.elapsed(),
-        f.stats().n_lower_rows,
-        f.stats().lower_method,
-        100.0 * f.stats().wait_sparsification()
+        session.stats().n_lower_rows,
+        session.stats().lower_method,
+        100.0 * session.stats().wait_sparsification()
     );
     let n = a.nrows();
     let b = vec![1.0; n];
     let mut x = vec![0.0; n];
-    let res = gmres(&a, &b, &mut x, &f, &SolverOptions::default());
+    let res = session.krylov(Method::Gmres, &b, &mut x).expect("shapes");
     println!(
         "GMRES(50) + ILU(0): converged = {}, iterations = {}, relres = {:.2e}",
         res.converged, res.iterations, res.relative_residual

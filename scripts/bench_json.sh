@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Runs the criterion bench suites and emits a machine-readable perf
+# snapshot (BENCH_results.json by default) from the shim's stdout
+# report. Dependency-free: bash + awk + cargo only.
+#
+# Usage:
+#   scripts/bench_json.sh                  # all suites -> BENCH_results.json
+#   SUITES="batch apply" OUT=/tmp/b.json scripts/bench_json.sh
+#
+# Every entry records the suite, the bench group, the benchmark label
+# and the median ns/iteration the shim printed:
+#   {"suite": "batch", "group": "panel_apply",
+#    "bench": "panel/p2p/8", "median_ns": 123456.0}
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SUITES=${SUITES:-"apply batch batch_krylov refactor spmv trisolve"}
+OUT=${OUT:-BENCH_results.json}
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+for suite in $SUITES; do
+    echo "== bench suite: $suite" >&2
+    echo "suite: $suite" >>"$raw"
+    cargo bench -q -p javelin-bench --bench "$suite" >>"$raw"
+done
+
+commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+stamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+
+{
+    printf '{\n  "generated_at": "%s",\n  "commit": "%s",\n  "results": [\n' \
+        "$stamp" "$commit"
+    awk '
+        /^suite: /       { suite = $2; next }
+        /^bench group: / { group = $3; next }
+        # Shim report lines: "  <label>  <value> <ns|us|ms>"
+        NF >= 3 && ($NF == "ns" || $NF == "us" || $NF == "ms") {
+            val = $(NF - 1) + 0
+            if ($NF == "us") val *= 1000
+            if ($NF == "ms") val *= 1000000
+            if (!first_done) first_done = 1; else printf ",\n"
+            printf "    {\"suite\": \"%s\", \"group\": \"%s\", \"bench\": \"%s\", \"median_ns\": %.1f}", \
+                suite, group, $1, val
+        }
+        END { if (first_done) printf "\n" }
+    ' "$raw"
+    printf '  ]\n}\n'
+} >"$OUT"
+
+count=$(grep -c '"bench"' "$OUT" || true)
+echo "wrote $OUT ($count benchmarks)" >&2

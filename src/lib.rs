@@ -71,13 +71,16 @@
 //!   batched drivers (`solve_batch`, `bicgstab_batch`, `gmres_batch`)
 //! * [`machine`] — machine models and the schedule simulator
 //!
-//! ## Multi-RHS panels
+//! ## Multi-RHS panels and the lane layer
 //!
-//! Every layer is generic over a panel width `k`: one preconditioner
-//! schedule walk retires all `k` columns, and the batched Krylov
-//! drivers run `k` systems in lockstep with per-column convergence
-//! (and breakdown) masking — column `c` always carries exactly the
-//! bits of the scalar solve of column `c`:
+//! Every layer is generic over a panel width `k` through the
+//! width-generic **lane layer** ([`sparse::lanes`]): one kernel core
+//! serves the scalar path (`FixedLanes<1>`), the SIMD-specialized
+//! widths (`k ∈ {4, 8}`, monomorphized) and arbitrary dynamic widths.
+//! One preconditioner schedule walk retires all `k` columns, and the
+//! batched Krylov drivers run `k` systems in lockstep with per-column
+//! convergence (and breakdown) masking — column `c` always carries
+//! exactly the bits of the scalar solve of column `c`:
 //!
 //! ```
 //! use javelin::prelude::*;
@@ -123,13 +126,15 @@ pub use session::{Session, SessionBuilder};
 /// Commonly used items, for `use javelin::prelude::*`.
 pub mod prelude {
     pub use crate::session::{Session, SessionBuilder};
+    pub use javelin_core::factorize;
     pub use javelin_core::factors::IluFactors;
     pub use javelin_core::options::{IluOptions, LowerMethod, SolveEngine};
     pub use javelin_core::symbolic_ilu::SymbolicIlu;
-    pub use javelin_core::{factorize, IluFactorization};
     pub use javelin_solver::{
         bicgstab, bicgstab_batch, cg, fgmres, gmres, gmres_batch, krylov, krylov_panel, pcg,
         solve_batch, Method, SolverOptions, SolverResult, SolverWorkspace,
     };
-    pub use javelin_sparse::{CooMatrix, CsrMatrix, Panel, PanelMut, Perm, Scalar};
+    pub use javelin_sparse::{
+        CooMatrix, CsrMatrix, DynLanes, FixedLanes, Lanes, Panel, PanelMut, Perm, Scalar,
+    };
 }

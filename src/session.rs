@@ -43,6 +43,7 @@ pub struct SessionBuilder {
     solver: SolverOptions,
     engine: Option<SolveEngine>,
     panel_width: usize,
+    warm_gmres_basis: bool,
 }
 
 impl SessionBuilder {
@@ -95,11 +96,26 @@ impl SessionBuilder {
     /// the batched-GMRES stacked Arnoldi basis — by far the largest
     /// buffer, `(restart + 1) × n × k` — is grown on the first
     /// `BatchGmres` panel solve instead of at build time, so sessions
-    /// that never batch GMRES never pay for it; from the second such
-    /// solve on it too is allocation-free.
+    /// that never batch GMRES never pay for it; opt in with
+    /// [`SessionBuilder::warm_gmres_basis`] when the workload does
+    /// batch GMRES, otherwise from the second such solve on it too is
+    /// allocation-free.
     #[must_use]
     pub fn panel_width(mut self, k: usize) -> Self {
         self.panel_width = k;
+        self
+    }
+
+    /// Opt-in: also pre-grow the batched-GMRES stacked Arnoldi basis
+    /// (`(restart + 1) × n × k` at the builder's
+    /// [`panel_width`](SessionBuilder::panel_width) and the solver
+    /// options' restart length) at build time, so even the session's
+    /// **first** `BatchGmres` panel solve performs zero heap
+    /// allocations. Off by default because the basis dwarfs every other
+    /// buffer.
+    #[must_use]
+    pub fn warm_gmres_basis(mut self) -> Self {
+        self.warm_gmres_basis = true;
         self
     }
 
@@ -140,6 +156,9 @@ impl SessionBuilder {
         factors.reserve_panel_width(self.panel_width);
         let mut workspace = SolverWorkspace::new();
         workspace.reserve(a.nrows(), self.solver.restart, self.panel_width.max(1));
+        if self.warm_gmres_basis {
+            workspace.reserve_gmres_basis(a.nrows(), self.solver.restart, self.panel_width.max(1));
+        }
         Ok(Session {
             a: a.clone(),
             factors,
@@ -539,6 +558,46 @@ mod tests {
         assert_eq!(session.symbolic().options().tile_size, 32);
         assert_eq!(session.solver_options().tol, 1e-10);
         assert!(session.stats().nnz_lu >= a.nnz());
+    }
+
+    #[test]
+    fn warmed_gmres_basis_session_matches_cold_session_bitwise() {
+        let a = laplace_2d(9, 8);
+        let n = a.nrows();
+        let k = 3;
+        let b: Vec<f64> = (0..n * k)
+            .map(|i| ((i * 11 % 23) as f64) * 0.2 - 2.0)
+            .collect();
+        let mut warm = Session::builder()
+            .panel_width(k)
+            .warm_gmres_basis()
+            .build(&a)
+            .unwrap();
+        let mut cold = Session::builder().panel_width(k).build(&a).unwrap();
+        let mut xw = vec![0.0; n * k];
+        let mut xc = vec![0.0; n * k];
+        let rw = warm
+            .krylov_panel(
+                Method::BatchGmres,
+                Panel::new(&b, n, k),
+                PanelMut::new(&mut xw, n, k),
+            )
+            .unwrap();
+        let rc = cold
+            .krylov_panel(
+                Method::BatchGmres,
+                Panel::new(&b, n, k),
+                PanelMut::new(&mut xc, n, k),
+            )
+            .unwrap();
+        assert!(rw.iter().all(|r| r.converged));
+        for c in 0..k {
+            assert_eq!(rw[c].iterations, rc[c].iterations, "col {c}");
+        }
+        assert_eq!(
+            xw.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            xc.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -1,12 +1,16 @@
-//! Steady-state `refactor` performs **zero heap allocations** — the
-//! acceptance contract of the two-phase API. A counting global
+//! Steady-state `refactor` performs **zero heap allocations**, and a
+//! **first** `gmres_batch` solve through a reserved workspace
+//! ([`SolverWorkspace::reserve`] + [`SolverWorkspace::reserve_gmres_basis`])
+//! performs zero heap allocations too — the acceptance contracts of the
+//! two-phase API and the lane-layer reserve path. A counting global
 //! allocator wraps the system allocator; this file holds exactly one
 //! test so no concurrent test can pollute the counters (worker-team
 //! threads are counted too, which is the point: the planned numeric
 //! path must not allocate on any thread).
 
 use javelin::core::{IluOptions, SymbolicIlu};
-use javelin::sparse::{CooMatrix, CsrMatrix};
+use javelin::solver::{gmres_batch_into, SolverOptions, SolverResult, SolverWorkspace};
+use javelin::sparse::{CooMatrix, CsrMatrix, Panel, PanelMut};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -111,4 +115,49 @@ fn steady_state_refactor_allocates_zero_bytes() {
     let rb: Vec<u64> = factors.lu().vals().iter().map(|v| v.to_bits()).collect();
     let fb: Vec<u64> = fresh.lu().vals().iter().map(|v| v.to_bits()).collect();
     assert_eq!(rb, fb);
+
+    // ---- Phase 2: a FIRST `gmres_batch` solve through a reserved ----
+    // workspace allocates zero bytes. `reserve` covers the lane panels
+    // and the preconditioner scratch; `reserve_gmres_basis` opts into
+    // the stacked Arnoldi basis — the one buffer `reserve` leaves lazy.
+    let n = last.nrows();
+    let k = 3usize;
+    let opts_s = SolverOptions {
+        restart: 20,
+        ..Default::default()
+    };
+    let mut ws = SolverWorkspace::new();
+    ws.reserve(n, opts_s.restart, k);
+    ws.reserve_gmres_basis(n, opts_s.restart, k);
+    factors.reserve_panel_width(k);
+    let b: Vec<f64> = (0..n * k)
+        .map(|i| ((i * 13 % 29) as f64) * 0.2 - 2.5)
+        .collect();
+    let mut x = vec![0.0; n * k];
+    let mut results = vec![SolverResult::default(); k];
+    let (allocs_mid, bytes_mid) = snapshot();
+    gmres_batch_into(
+        &last,
+        Panel::new(&b, n, k),
+        PanelMut::new(&mut x, n, k),
+        &factors,
+        &opts_s,
+        &mut ws,
+        &mut results,
+    );
+    let (allocs_after, bytes_after) = snapshot();
+    assert_eq!(
+        allocs_after - allocs_mid,
+        0,
+        "first reserved gmres_batch solve performed heap allocations"
+    );
+    assert_eq!(
+        bytes_after - bytes_mid,
+        0,
+        "first reserved gmres_batch solve allocated bytes"
+    );
+    assert!(
+        results.iter().all(|r| r.converged),
+        "reserved gmres_batch must still converge: {results:?}"
+    );
 }
