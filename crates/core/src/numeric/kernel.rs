@@ -196,9 +196,21 @@ pub fn finalize_row<T: Scalar>(ctx: &NumericCtx<'_, T>, r: usize) {
     if ctx.milu_omega != T::ZERO {
         d += ctx.milu_omega * dropped_sum;
     }
-    if d.abs() < ctx.pivot_threshold {
+    match javelin_sparse::fault::fire("numeric.pivot") {
+        Some(javelin_sparse::fault::FaultAction::Zero) => d = T::ZERO,
+        Some(javelin_sparse::fault::FaultAction::Nan) => d = T::from_f64(f64::NAN),
+        Some(javelin_sparse::fault::FaultAction::Panic) => {
+            panic!("fault injected at numeric.pivot")
+        }
+        None => {}
+    }
+    // A non-finite pivot is a breakdown too: NaN/Inf compares false
+    // against the threshold but would poison every dependent row.
+    if d.abs() < ctx.pivot_threshold || !d.is_finite() {
         match ctx.zero_pivot {
-            ZeroPivotPolicy::Error => ctx.record_failure(r),
+            // ShiftRetry attempts run with Error semantics per sweep;
+            // the retry loop above the engines applies the shifts.
+            ZeroPivotPolicy::Error | ZeroPivotPolicy::ShiftRetry { .. } => ctx.record_failure(r),
             ZeroPivotPolicy::Replace { replacement } => {
                 let rep = T::from_f64(replacement);
                 d = if d < T::ZERO { -rep } else { rep };

@@ -46,6 +46,38 @@ pub enum ZeroPivotPolicy {
         /// Magnitude substituted for collapsed pivots.
         replacement: f64,
     },
+    /// Shift-and-retry (Manteuffel-style): run the numeric phase as
+    /// under [`ZeroPivotPolicy::Error`]; on breakdown, reload the
+    /// values and re-run with an escalating diagonal boost
+    /// `aᵢᵢ ← aᵢᵢ + sign(aᵢᵢ)·α·s` (where `s = maxᵢ|aᵢᵢ|`, or 1 for an
+    /// all-zero diagonal), `α = initial·growthᵏ` on the `k`-th retry.
+    /// Retries reuse the zero-allocation planned refactor machinery, so
+    /// each costs one numeric sweep and nothing else. Succeeds with the
+    /// applied shift recorded in [`crate::FactorStats::diag_shift`], or
+    /// fails with [`javelin_sparse::SparseError::Breakdown`] once
+    /// `max_attempts` shifted retries are exhausted.
+    ShiftRetry {
+        /// Relative shift `α` of the first retry.
+        initial: f64,
+        /// Multiplier applied to `α` on each further retry (`> 1`).
+        growth: f64,
+        /// Maximum number of *shifted* retries after the unshifted
+        /// attempt (total numeric sweeps ≤ `max_attempts + 1`).
+        max_attempts: usize,
+    },
+}
+
+impl ZeroPivotPolicy {
+    /// Shift-and-retry with the standard escalation: `α` from `1e-8`,
+    /// ×10 per retry, at most 10 shifted retries (covering relative
+    /// shifts up to ~10).
+    pub fn shift_retry() -> Self {
+        ZeroPivotPolicy::ShiftRetry {
+            initial: 1e-8,
+            growth: 10.0,
+            max_attempts: 10,
+        }
+    }
 }
 
 impl Default for ZeroPivotPolicy {
@@ -197,6 +229,18 @@ impl IluOptions {
     /// MILU diagonal compensation.
     pub fn with_milu(mut self, omega: f64) -> Self {
         self.milu_omega = omega;
+        self
+    }
+
+    /// Pivot breakdown policy (see [`ZeroPivotPolicy`]).
+    pub fn with_zero_pivot(mut self, policy: ZeroPivotPolicy) -> Self {
+        self.zero_pivot = policy;
+        self
+    }
+
+    /// Pivot breakdown detection threshold.
+    pub fn with_pivot_threshold(mut self, threshold: f64) -> Self {
+        self.pivot_threshold = threshold;
         self
     }
 

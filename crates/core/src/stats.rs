@@ -29,6 +29,12 @@ pub struct FactorStats {
     pub replaced_pivots: usize,
     /// Entries zeroed by the τ drop rule.
     pub dropped_entries: usize,
+    /// Numeric sweeps performed by the last factorization (1 unless
+    /// [`crate::ZeroPivotPolicy::ShiftRetry`] had to retry).
+    pub shift_attempts: usize,
+    /// Absolute diagonal shift applied on the successful sweep (0 when
+    /// no shift was needed).
+    pub diag_shift: f64,
     /// Symbolic-phase wall time.
     pub t_symbolic: Duration,
     /// Level analysis + split + schedule construction wall time.

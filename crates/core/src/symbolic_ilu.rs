@@ -31,7 +31,7 @@
 use crate::factors::{IluFactors, SolvePlan};
 use crate::numeric::kernel::{LuVals, RowWorkspace};
 use crate::numeric::{lower, parallel, NumericCtx};
-use crate::options::{IluOptions, LowerMethod, SolveEngine};
+use crate::options::{IluOptions, LowerMethod, SolveEngine, ZeroPivotPolicy};
 use crate::stats::FactorStats;
 use crate::symbolic;
 use crate::trisolve::engines::SolveScratch;
@@ -509,10 +509,11 @@ impl<T: Scalar> SymbolicIlu<T> {
         let mut vals = vec![T::ZERO; c.colidx.len()];
         {
             let mut num = self.core.numeric.lock();
-            self.load_values(a, &mut num);
-            let (replaced, dropped) = self.run_numeric(&num, NumericPath::Fresh)?;
-            stats.replaced_pivots = replaced;
-            stats.dropped_entries = dropped;
+            let outcome = self.run_numeric_policy(a, &mut num, NumericPath::Fresh)?;
+            stats.replaced_pivots = outcome.replaced;
+            stats.dropped_entries = outcome.dropped;
+            stats.shift_attempts = outcome.attempts;
+            stats.diag_shift = outcome.shift;
             num.lu_vals.store_to(&mut vals);
         }
         stats.t_numeric = t2.elapsed();
@@ -539,12 +540,13 @@ impl<T: Scalar> SymbolicIlu<T> {
         let t2 = Instant::now();
         {
             let mut num = self.core.numeric.lock();
-            self.load_values(a, &mut num);
             // Counters are committed only on success: a failed refactor
             // leaves both the factor values and their stats untouched.
-            let (replaced, dropped) = self.run_numeric(&num, NumericPath::Planned)?;
-            stats.replaced_pivots = replaced;
-            stats.dropped_entries = dropped;
+            let outcome = self.run_numeric_policy(a, &mut num, NumericPath::Planned)?;
+            stats.replaced_pivots = outcome.replaced;
+            stats.dropped_entries = outcome.dropped;
+            stats.shift_attempts = outcome.attempts;
+            stats.diag_shift = outcome.shift;
             num.lu_vals.store_to(out);
         }
         stats.t_numeric = t2.elapsed();
@@ -571,6 +573,100 @@ impl<T: Scalar> SymbolicIlu<T> {
                 *thresh = T::from_f64(c.opts.drop_tol) * norm;
             }
         }
+    }
+
+    /// Loads `a`'s values and runs the numeric engines under the
+    /// configured breakdown policy. For [`ZeroPivotPolicy::ShiftRetry`]
+    /// this is the retry loop of the graceful-degradation layer: each
+    /// failed sweep reloads the values (allocation-free), boosts the
+    /// diagonal by the escalating relative shift and re-runs on the
+    /// planned zero-allocation path, until the factorization succeeds
+    /// or the attempt budget is exhausted.
+    ///
+    /// # Errors
+    /// * [`SparseError::ZeroPivot`] under [`ZeroPivotPolicy::Error`];
+    /// * [`SparseError::Breakdown`] when `ShiftRetry` runs out of
+    ///   attempts.
+    fn run_numeric_policy(
+        &self,
+        a: &CsrMatrix<T>,
+        num: &mut NumericScratch<T>,
+        path: NumericPath,
+    ) -> Result<NumericOutcome, SparseError> {
+        let c = &*self.core;
+        self.load_values(a, num);
+        let first = self.run_numeric(num, path);
+        let ZeroPivotPolicy::ShiftRetry {
+            initial,
+            growth,
+            max_attempts,
+        } = c.opts.zero_pivot
+        else {
+            let (replaced, dropped) = first?;
+            return Ok(NumericOutcome {
+                replaced,
+                dropped,
+                attempts: 1,
+                shift: 0.0,
+            });
+        };
+        let mut last_row = match first {
+            Ok((replaced, dropped)) => {
+                return Ok(NumericOutcome {
+                    replaced,
+                    dropped,
+                    attempts: 1,
+                    shift: 0.0,
+                })
+            }
+            Err(SparseError::ZeroPivot { row }) => row,
+            Err(e) => return Err(e),
+        };
+        let mut shift = 0.0f64;
+        for attempt in 1..=max_attempts {
+            // Reload through the precomputed source map — the failed
+            // sweep left the buffer partially factored — then boost the
+            // diagonal away from zero. Both steps are allocation-free,
+            // as is the planned numeric path below.
+            self.load_values(a, num);
+            let mut scale = 0.0f64;
+            for &k in c.diag_pos.iter() {
+                scale = scale.max(num.lu_vals.get(k).abs().to_f64());
+            }
+            if scale == 0.0 {
+                scale = 1.0;
+            }
+            shift = initial * growth.powi(attempt as i32 - 1) * scale;
+            let shift_t = T::from_f64(shift);
+            for &k in c.diag_pos.iter() {
+                let d = num.lu_vals.get(k);
+                num.lu_vals.set(
+                    k,
+                    if d < T::ZERO {
+                        d - shift_t
+                    } else {
+                        d + shift_t
+                    },
+                );
+            }
+            match self.run_numeric(num, NumericPath::Planned) {
+                Ok((replaced, dropped)) => {
+                    return Ok(NumericOutcome {
+                        replaced,
+                        dropped,
+                        attempts: attempt + 1,
+                        shift,
+                    })
+                }
+                Err(SparseError::ZeroPivot { row }) => last_row = row,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(SparseError::Breakdown {
+            row: last_row,
+            attempts: max_attempts + 1,
+            shift,
+        })
     }
 
     /// Runs the numeric engines over the loaded value buffer, returning
@@ -650,6 +746,16 @@ impl<T: Scalar> SymbolicIlu<T> {
             dropped.load(Ordering::Relaxed),
         ))
     }
+}
+
+/// Outcome of a (possibly retried) numeric phase.
+struct NumericOutcome {
+    replaced: usize,
+    dropped: usize,
+    /// Numeric sweeps performed (1 = no retry needed).
+    attempts: usize,
+    /// Absolute diagonal shift of the successful sweep.
+    shift: f64,
 }
 
 /// Which numeric execution shape to run (see [`SymbolicIlu::factor`] /

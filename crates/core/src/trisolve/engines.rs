@@ -361,6 +361,17 @@ fn backward_barrier_phase<T: Scalar, L: Lanes>(
     }
 }
 
+/// Chaos hook: fires the `trisolve.region` failpoint from inside a
+/// parallel region (only `Panic` is meaningful here — the site produces
+/// no value). Compiles to nothing without the `fault-injection`
+/// feature.
+#[inline]
+fn region_failpoint(tid: usize) {
+    if javelin_sparse::fault::fire("trisolve.region").is_some() {
+        panic!("fault injected at trisolve.region (tid {tid})");
+    }
+}
+
 /// Barriered level-set forward solve (CSR-LS baseline), in place.
 /// Width-generic: `lanes.width()` must equal the scratch's current
 /// panel width.
@@ -378,6 +389,7 @@ pub fn forward_barrier<T: Scalar, L: Lanes>(
     debug_assert_eq!(lanes.width(), scratch.width, "lanes vs scratch width");
     scratch.barrier.reset();
     exec.run(|tid| {
+        region_failpoint(tid);
         forward_barrier_phase(lanes, lu, diag_pos, levels, scratch, nthreads, tid, x);
     });
 }
@@ -398,6 +410,7 @@ pub fn backward_barrier<T: Scalar, L: Lanes>(
     debug_assert_eq!(lanes.width(), scratch.width, "lanes vs scratch width");
     scratch.barrier.reset();
     exec.run(|tid| {
+        region_failpoint(tid);
         backward_barrier_phase(lanes, lu, diag_pos, levels, scratch, nthreads, tid, x);
     });
 }
@@ -424,6 +437,7 @@ pub fn solve_barrier_fused<T: Scalar, L: Lanes>(
     debug_assert_eq!(lanes.width(), scratch.width, "lanes vs scratch width");
     scratch.barrier.reset();
     exec.run(|tid| {
+        region_failpoint(tid);
         forward_barrier_phase(lanes, lu, diag_pos, fwd_levels, scratch, nthreads, tid, x);
         // The barrier after the last forward level orders every forward
         // write before the first backward read.
@@ -636,6 +650,7 @@ pub fn forward_p2p<T: Scalar, L: Lanes>(
     scratch.barrier.reset();
     let use_tiles = tiles == LowerTiles::On && scratch.n_tiles > 0;
     exec.run(|tid| {
+        region_failpoint(tid);
         forward_p2p_phase(
             lanes, lu, diag_pos, plan, scratch, nthreads, use_tiles, tid, x,
         );
@@ -662,6 +677,7 @@ pub fn backward_p2p<T: Scalar, L: Lanes>(
     corner_backward_cols(lanes, lu, diag_pos, n_upper, x, 0..k);
     scratch.bwd_progress.reset();
     exec.run(|tid| {
+        region_failpoint(tid);
         backward_p2p_phase(lanes, lu, diag_pos, plan, scratch, tid, x);
     });
 }
@@ -694,6 +710,7 @@ pub fn solve_p2p_fused<T: Scalar, L: Lanes>(
     let use_tiles = tiles == LowerTiles::On && scratch.n_tiles > 0;
     let k = lanes.width();
     exec.run(|tid| {
+        region_failpoint(tid);
         forward_p2p_phase(
             lanes, lu, diag_pos, plan, scratch, nthreads, use_tiles, tid, x,
         );

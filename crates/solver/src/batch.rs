@@ -39,7 +39,7 @@
 //! histories (`record_history`, off by default) are the documented
 //! exceptions, mirroring the single-RHS solvers.
 
-use crate::{SolverOptions, SolverResult, SolverWorkspace};
+use crate::{SolverOptions, SolverResult, SolverStatus, SolverWorkspace};
 use javelin_core::precond::Preconditioner;
 use javelin_sparse::lanes::{Lanes, LANE_DONE, LANE_HALTED};
 use javelin_sparse::{vecops, with_lanes, CsrMatrix, Panel, PanelMut, Scalar};
@@ -180,6 +180,17 @@ pub(crate) fn solve_batch_lanes<T: Scalar, P: Preconditioner<T>, L: Lanes>(
             }
             mask.set(c, LANE_DONE);
             results[c].converged = true;
+            results[c].status = SolverStatus::Converged;
+        } else if !col_bnorm[c].is_finite() {
+            // Hostile RHS (NaN/∞): freeze the lane at the initial guess
+            // instead of iterating on poisoned arithmetic. Working
+            // columns are zeroed so the shared applies stay finite.
+            for buf in [&mut *pr, &mut *pz, &mut *pp, &mut *pq] {
+                buf[c * n..(c + 1) * n].fill(T::ZERO);
+            }
+            mask.set(c, LANE_HALTED);
+            results[c].relative_residual = f64::NAN;
+            results[c].status = SolverStatus::NumericalBreakdown;
         } else {
             // r = b - A x (matvec into q, subtract into r).
             a.spmv_into(x.col(c), &mut pq[c * n..(c + 1) * n]);
@@ -208,6 +219,13 @@ pub(crate) fn solve_batch_lanes<T: Scalar, P: Preconditioner<T>, L: Lanes>(
         if opts.record_history {
             results[c].history.push(col_relres[c]);
         }
+        if !col_relres[c].is_finite() {
+            // First-iteration guard: a non-finite initial residual
+            // (hostile matrix values, poisoned x₀) halts the lane now.
+            mask.set(c, LANE_HALTED);
+            results[c].relative_residual = col_relres[c];
+            results[c].status = SolverStatus::NumericalBreakdown;
+        }
     }
 
     // ---- Lockstep iteration with per-lane masking. ------------------
@@ -226,6 +244,7 @@ pub(crate) fn solve_batch_lanes<T: Scalar, P: Preconditioner<T>, L: Lanes>(
                 mask.set(c, LANE_HALTED);
                 results[c].iterations = it - 1;
                 results[c].relative_residual = col_relres[c];
+                results[c].status = SolverStatus::NumericalBreakdown;
                 continue;
             }
             let alpha = col_rz[c] / pq_dot;
@@ -240,6 +259,15 @@ pub(crate) fn solve_batch_lanes<T: Scalar, P: Preconditioner<T>, L: Lanes>(
                 results[c].converged = true;
                 results[c].iterations = it;
                 results[c].relative_residual = col_relres[c];
+                results[c].status = SolverStatus::Converged;
+            } else if !col_relres[c].is_finite() {
+                // Per-iteration containment: a residual that turned
+                // NaN/∞ never recovers; freeze the lane here instead of
+                // dragging poisoned panels to the iteration cap.
+                mask.set(c, LANE_HALTED);
+                results[c].iterations = it;
+                results[c].relative_residual = col_relres[c];
+                results[c].status = SolverStatus::NumericalBreakdown;
             }
         }
         if !mask.any_active() {

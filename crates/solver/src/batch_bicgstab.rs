@@ -37,7 +37,7 @@
 //! `Vec<SolverResult>` on entry and opt-in residual histories as the
 //! documented exceptions, mirroring [`crate::solve_batch`].
 
-use crate::{SolverOptions, SolverResult, SolverWorkspace};
+use crate::{SolverOptions, SolverResult, SolverStatus, SolverWorkspace};
 use javelin_core::precond::Preconditioner;
 use javelin_sparse::lanes::{Lanes, LANE_DONE, LANE_HALTED};
 use javelin_sparse::{vecops, with_lanes, CsrMatrix, Panel, PanelMut, Scalar};
@@ -191,6 +191,26 @@ pub(crate) fn bicgstab_batch_lanes<T: Scalar, P: Preconditioner<T>, L: Lanes>(
             }
             mask.set(c, LANE_DONE);
             results[c].converged = true;
+            results[c].status = SolverStatus::Converged;
+            continue;
+        }
+        if !col_bnorm[c].is_finite() {
+            // Hostile RHS (NaN/∞): freeze the lane at the initial guess
+            // with zeroed working columns (shared applies stay finite).
+            for buf in [
+                &mut *pr,
+                &mut *pz,
+                &mut *pp,
+                &mut *pq,
+                &mut *prhat,
+                &mut *py,
+                &mut *pt,
+            ] {
+                buf[rc.clone()].fill(T::ZERO);
+            }
+            mask.set(c, LANE_HALTED);
+            results[c].relative_residual = f64::NAN;
+            results[c].status = SolverStatus::NumericalBreakdown;
             continue;
         }
         // r = b - A x (matvec into q, subtract into r); r_hat = r.
@@ -210,6 +230,12 @@ pub(crate) fn bicgstab_batch_lanes<T: Scalar, P: Preconditioner<T>, L: Lanes>(
         col_relres[c] = vecops::norm2(&pr[rc.clone()]).to_f64() / col_bnorm[c];
         if opts.record_history {
             results[c].history.push(col_relres[c]);
+        }
+        if !col_relres[c].is_finite() {
+            // First-iteration guard: non-finite initial residual.
+            mask.set(c, LANE_HALTED);
+            results[c].relative_residual = col_relres[c];
+            results[c].status = SolverStatus::NumericalBreakdown;
         }
     }
 
@@ -231,6 +257,7 @@ pub(crate) fn bicgstab_batch_lanes<T: Scalar, P: Preconditioner<T>, L: Lanes>(
                 mask.set(c, LANE_HALTED);
                 results[c].iterations = it - 1;
                 results[c].relative_residual = col_relres[c];
+                results[c].status = SolverStatus::NumericalBreakdown;
                 continue;
             }
             let beta = (rho_new / col_rho[c]) * (col_alpha[c] / col_omega[c]);
@@ -273,6 +300,15 @@ pub(crate) fn bicgstab_batch_lanes<T: Scalar, P: Preconditioner<T>, L: Lanes>(
                 results[c].converged = true;
                 results[c].iterations = it;
                 results[c].relative_residual = s_norm;
+                results[c].status = SolverStatus::Converged;
+            } else if !s_norm.is_finite() {
+                // α turned non-finite (r̂ᵀv collapse) or hostile values
+                // poisoned s: halt before the stabilization half-step
+                // touches x with NaNs.
+                mask.set(c, LANE_HALTED);
+                results[c].iterations = it;
+                results[c].relative_residual = s_norm;
+                results[c].status = SolverStatus::NumericalBreakdown;
             }
         }
         if !mask.any_active() {
@@ -292,10 +328,11 @@ pub(crate) fn bicgstab_batch_lanes<T: Scalar, P: Preconditioner<T>, L: Lanes>(
             let rc = c * n..(c + 1) * n;
             a.spmv_into(&pz[rc.clone()], &mut pt[rc.clone()]);
             let tt = vecops::dot(&pt[rc.clone()], &pt[rc.clone()]);
-            if tt == T::ZERO {
+            if tt == T::ZERO || !tt.is_finite() {
                 mask.set(c, LANE_HALTED);
                 results[c].iterations = it;
                 results[c].relative_residual = col_relres[c];
+                results[c].status = SolverStatus::NumericalBreakdown;
                 continue;
             }
             col_omega[c] = vecops::dot(&pt[rc.clone()], &pr[rc.clone()]) / tt;
@@ -313,10 +350,12 @@ pub(crate) fn bicgstab_batch_lanes<T: Scalar, P: Preconditioner<T>, L: Lanes>(
                 results[c].converged = true;
                 results[c].iterations = it;
                 results[c].relative_residual = col_relres[c];
-            } else if col_omega[c] == T::ZERO {
+                results[c].status = SolverStatus::Converged;
+            } else if col_omega[c] == T::ZERO || !col_relres[c].is_finite() {
                 mask.set(c, LANE_HALTED);
                 results[c].iterations = it;
                 results[c].relative_residual = col_relres[c];
+                results[c].status = SolverStatus::NumericalBreakdown;
             }
         }
     }

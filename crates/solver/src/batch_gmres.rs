@@ -37,7 +37,7 @@
 //! allocations, with the `Vec<SolverResult>` on entry and opt-in
 //! residual histories as the documented exceptions.
 
-use crate::{SolverOptions, SolverResult, SolverWorkspace};
+use crate::{SolverOptions, SolverResult, SolverStatus, SolverWorkspace};
 use javelin_core::precond::Preconditioner;
 use javelin_core::ApplyScratch;
 use javelin_sparse::lanes::{Lanes, LANE_ACTIVE, LANE_DONE, LANE_HALTED, LANE_PENDING};
@@ -196,6 +196,19 @@ fn gmres_batch_lanes<T: Scalar, P: Preconditioner<T>, L: Lanes>(
             }
             mask.set(c, LANE_DONE);
             results[c].converged = true;
+            results[c].status = SolverStatus::Converged;
+        } else if !col_bnorm[c].is_finite() {
+            // Hostile RHS (NaN/∞): freeze at the initial guess with
+            // zeroed panel slots so the shared applies stay finite.
+            for buf in [&mut *pz, &mut *pq, &mut *pu] {
+                buf[rc.clone()].fill(T::ZERO);
+            }
+            for slot in 0..=restart {
+                pv[slot * n * k + c * n..slot * n * k + (c + 1) * n].fill(T::ZERO);
+            }
+            mask.set(c, LANE_HALTED);
+            results[c].relative_residual = f64::NAN;
+            results[c].status = SolverStatus::NumericalBreakdown;
         } else {
             mask.set(c, LANE_PENDING);
             any_pending = true;
@@ -226,18 +239,27 @@ fn gmres_batch_lanes<T: Scalar, P: Preconditioner<T>, L: Lanes>(
             if opts.record_history && results[c].history.is_empty() {
                 results[c].history.push(col_relres[c]);
             }
-            if col_relres[c] < opts.tol || col_iters[c] >= opts.max_iters {
-                mask.set(
-                    c,
-                    if col_relres[c] < opts.tol {
-                        LANE_DONE
-                    } else {
-                        LANE_HALTED
-                    },
-                );
-                results[c].converged = col_relres[c] < opts.tol;
+            if !col_relres[c].is_finite() {
+                // Per-restart guard: the true residual turned NaN/∞
+                // (poisoned preconditioner or matrix values) — freeze
+                // the column instead of re-entering the cycle.
+                mask.set(c, LANE_HALTED);
                 results[c].iterations = col_iters[c];
                 results[c].relative_residual = col_relres[c];
+                results[c].status = SolverStatus::NumericalBreakdown;
+                continue;
+            }
+            if col_relres[c] < opts.tol || col_iters[c] >= opts.max_iters {
+                let done = col_relres[c] < opts.tol;
+                mask.set(c, if done { LANE_DONE } else { LANE_HALTED });
+                results[c].converged = done;
+                results[c].iterations = col_iters[c];
+                results[c].relative_residual = col_relres[c];
+                results[c].status = if done {
+                    SolverStatus::Converged
+                } else {
+                    SolverStatus::MaxIters
+                };
                 continue;
             }
             // v₀ = r / β; reset the rotated RHS g.
@@ -474,11 +496,21 @@ fn dispose(
         results[c].converged = true;
         results[c].iterations = col_iters[c];
         results[c].relative_residual = col_relres[c];
+        results[c].status = SolverStatus::Converged;
     } else if col_iters[c] >= opts.max_iters {
         mask.set(c, LANE_HALTED);
         results[c].iterations = col_iters[c];
         results[c].relative_residual = col_relres[c];
+        results[c].status = if col_relres[c].is_finite() {
+            SolverStatus::MaxIters
+        } else {
+            SolverStatus::NumericalBreakdown
+        };
     } else {
+        // Not converged, cap not hit: re-enter at the panel's next
+        // restart boundary, where the cycle-start residual check (and
+        // its non-finite guard) decides this column's fate — exactly
+        // the scalar solver's control flow.
         mask.set(c, LANE_PENDING);
     }
 }

@@ -8,7 +8,7 @@
 //! sweep counts. The cost over GMRES is storing the preconditioned
 //! basis `Z` alongside `V`.
 
-use crate::{SolverOptions, SolverResult, SolverWorkspace};
+use crate::{SolverOptions, SolverResult, SolverStatus, SolverWorkspace};
 use javelin_core::precond::Preconditioner;
 use javelin_sparse::vecops;
 use javelin_sparse::{CsrMatrix, Scalar};
@@ -58,10 +58,22 @@ pub fn fgmres_with<T: Scalar, P: Preconditioner<T>>(
             iterations: 0,
             relative_residual: 0.0,
             history: Vec::new(),
+            status: SolverStatus::Converged,
+        };
+    }
+    if !b_norm.is_finite() {
+        // Hostile RHS: refuse to iterate on NaN/∞ data.
+        return SolverResult {
+            converged: false,
+            iterations: 0,
+            relative_residual: f64::NAN,
+            history: Vec::new(),
+            status: SolverStatus::NumericalBreakdown,
         };
     }
     let mut history = Vec::new();
     let mut total_iters = 0usize;
+    let mut broke_down = false;
     #[allow(unused_assignments)]
     let mut relres = f64::INFINITY;
 
@@ -90,6 +102,11 @@ pub fn fgmres_with<T: Scalar, P: Preconditioner<T>>(
         relres = beta.to_f64() / b_norm;
         if opts.record_history && history.is_empty() {
             history.push(relres);
+        }
+        if !relres.is_finite() {
+            // Per-restart guard: non-finite true residual — stop now.
+            broke_down = true;
+            break;
         }
         if relres < opts.tol || total_iters >= opts.max_iters {
             break;
@@ -163,11 +180,19 @@ pub fn fgmres_with<T: Scalar, P: Preconditioner<T>>(
             break;
         }
     }
+    let converged = relres < opts.tol;
     SolverResult {
-        converged: relres < opts.tol,
+        converged,
         iterations: total_iters,
         relative_residual: relres,
         history,
+        status: if converged {
+            SolverStatus::Converged
+        } else if broke_down || !relres.is_finite() {
+            SolverStatus::NumericalBreakdown
+        } else {
+            SolverStatus::MaxIters
+        },
     }
 }
 

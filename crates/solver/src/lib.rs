@@ -260,6 +260,29 @@ impl Default for SolverOptions {
     }
 }
 
+/// How a solve terminated — the structured companion to
+/// [`SolverResult::converged`]. Every driver distinguishes *running out
+/// of iterations* from *numerical breakdown* (a non-finite residual or
+/// a collapsed recurrence scalar): a breakdown freezes the affected
+/// column where a healthy solver would have kept iterating on NaNs, so
+/// the caller can react (refactor with a diagonal shift, switch
+/// methods, restart the one bad column) instead of paying `max_iters`
+/// of poisoned arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverStatus {
+    /// The tolerance was met within the iteration cap.
+    Converged,
+    /// The iteration cap was exhausted with finite arithmetic. This is
+    /// the `Default` (the reset state of [`SolverResult`]).
+    #[default]
+    MaxIters,
+    /// The recurrence broke down: a residual norm turned NaN/∞, a
+    /// direction dot-product collapsed to zero, or the right-hand side
+    /// itself was non-finite. The iterate is frozen at the last finite
+    /// state the driver produced.
+    NumericalBreakdown,
+}
+
 /// Outcome of a solve. The `Default` value (unconverged, zero
 /// iterations, empty history) is the reset state the `*_into` batch
 /// entry points write over.
@@ -273,11 +296,23 @@ pub struct SolverResult {
     pub relative_residual: f64,
     /// Per-iteration relative residuals (empty unless requested).
     pub history: Vec<f64>,
+    /// Structured termination reason (see [`SolverStatus`]).
+    pub status: SolverStatus,
+}
+
+impl SolverResult {
+    /// True when the solve halted on a numerical breakdown rather than
+    /// converging or exhausting its iteration cap.
+    pub fn broke_down(&self) -> bool {
+        self.status == SolverStatus::NumericalBreakdown
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use javelin_core::precond::IdentityPrecond;
+    use javelin_sparse::CooMatrix;
 
     #[test]
     fn defaults_match_paper_tolerance() {
@@ -285,5 +320,135 @@ mod tests {
         assert_eq!(o.tol, 1e-6);
         assert!(o.max_iters >= 1000);
         assert_eq!(o.restart, 50);
+    }
+
+    #[test]
+    fn default_status_is_max_iters() {
+        assert_eq!(SolverResult::default().status, SolverStatus::MaxIters);
+        assert!(!SolverResult::default().broke_down());
+    }
+
+    const ALL_METHODS: [Method; 7] = [
+        Method::Pcg,
+        Method::Gmres,
+        Method::Fgmres,
+        Method::Bicgstab,
+        Method::BatchPcg,
+        Method::BatchBicgstab,
+        Method::BatchGmres,
+    ];
+
+    fn diag_dominant(n: usize) -> CsrMatrix<f64> {
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 4.0).unwrap();
+            if i + 1 < n {
+                coo.push(i, i + 1, -1.0).unwrap();
+                coo.push(i + 1, i, -1.0).unwrap();
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn nan_rhs_halts_every_method_immediately() {
+        // A poisoned right-hand side must produce a structured
+        // NumericalBreakdown at iteration 0, not max_iters of NaN
+        // arithmetic — and never a NaN solution with converged = true.
+        let a = diag_dominant(30);
+        let mut b = vec![1.0; 30];
+        b[7] = f64::NAN;
+        for method in ALL_METHODS {
+            let mut x = vec![0.0; 30];
+            let res = krylov(
+                method,
+                &a,
+                &b,
+                &mut x,
+                &IdentityPrecond,
+                &SolverOptions::default(),
+            );
+            assert!(!res.converged, "{method}");
+            assert_eq!(res.status, SolverStatus::NumericalBreakdown, "{method}");
+            assert_eq!(res.iterations, 0, "{method}");
+            assert!(res.broke_down(), "{method}");
+            // The iterate is frozen at the (finite) initial guess.
+            assert!(x.iter().all(|v| v.is_finite()), "{method}");
+        }
+    }
+
+    #[test]
+    fn nan_matrix_value_halts_with_breakdown_not_cap() {
+        // One NaN in the operator: every driver must freeze the solve
+        // within the first couple of iterations with a breakdown
+        // status, far from the 5000-iteration cap.
+        let n = 30;
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 4.0).unwrap();
+        }
+        coo.push(12, 13, f64::NAN).unwrap();
+        let a = coo.to_csr();
+        let b = vec![1.0; n];
+        let opts = SolverOptions::default();
+        for method in ALL_METHODS {
+            let mut x = vec![0.0; n];
+            let res = krylov(method, &a, &b, &mut x, &IdentityPrecond, &opts);
+            assert!(!res.converged, "{method}");
+            assert_eq!(res.status, SolverStatus::NumericalBreakdown, "{method}");
+            assert!(
+                res.iterations + 2 < opts.max_iters,
+                "{method}: froze at {} of {}",
+                res.iterations,
+                opts.max_iters
+            );
+        }
+    }
+
+    #[test]
+    fn poisoned_panel_column_freezes_without_perturbing_neighbours() {
+        // Column 1 carries a NaN RHS; columns 0 and 2 must converge
+        // bit-identically to their standalone scalar solves.
+        let a = diag_dominant(40);
+        let n = a.nrows();
+        let k = 3;
+        let mut b = vec![0.0; n * k];
+        for i in 0..n {
+            b[i] = ((i % 7) as f64) - 3.0;
+            b[2 * n + i] = ((i % 5) as f64) * 0.5 - 1.0;
+        }
+        b[n + 4] = f64::NAN;
+        let opts = SolverOptions::default();
+        for method in [Method::BatchPcg, Method::BatchBicgstab, Method::BatchGmres] {
+            let mut xb = vec![0.0; n * k];
+            let res = krylov_panel_with(
+                method,
+                &a,
+                Panel::new(&b, n, k),
+                PanelMut::new(&mut xb, n, k),
+                &IdentityPrecond,
+                &opts,
+                &mut SolverWorkspace::new(),
+            );
+            assert_eq!(res[1].status, SolverStatus::NumericalBreakdown, "{method}");
+            assert!(!res[1].converged, "{method}");
+            for c in [0usize, 2] {
+                assert!(res[c].converged, "{method} col {c}");
+                assert_eq!(res[c].status, SolverStatus::Converged, "{method} col {c}");
+                let mut xs = vec![0.0; n];
+                let scalar = krylov(
+                    method,
+                    &a,
+                    &b[c * n..(c + 1) * n],
+                    &mut xs,
+                    &IdentityPrecond,
+                    &opts,
+                );
+                assert_eq!(scalar.iterations, res[c].iterations, "{method} col {c}");
+                let pb: Vec<u64> = xb[c * n..(c + 1) * n].iter().map(|v| v.to_bits()).collect();
+                let sb: Vec<u64> = xs.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(pb, sb, "{method} col {c}");
+            }
+        }
     }
 }

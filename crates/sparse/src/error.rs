@@ -4,7 +4,7 @@ use std::fmt;
 
 /// Errors produced while constructing, converting or reading sparse
 /// matrices.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SparseError {
     /// An index was outside the matrix dimensions.
     IndexOutOfBounds {
@@ -48,6 +48,25 @@ pub enum SparseError {
     /// was built for (numeric refactorization requires an identical
     /// pattern).
     PatternMismatch(String),
+    /// A non-finite (NaN or infinite) value where a finite number is
+    /// required — hostile input files and poisoned matrices are rejected
+    /// at the boundary rather than propagated into the kernels.
+    NonFinite {
+        /// Row index of the offending value.
+        row: usize,
+        /// Column index of the offending value.
+        col: usize,
+    },
+    /// Factorization broke down and every recovery attempt was
+    /// exhausted (see `ZeroPivotPolicy::ShiftRetry` in the core crate).
+    Breakdown {
+        /// Row at which the final attempt collapsed.
+        row: usize,
+        /// Number of numeric attempts performed (including the first).
+        attempts: usize,
+        /// Absolute diagonal shift applied on the final attempt.
+        shift: f64,
+    },
 }
 
 impl fmt::Display for SparseError {
@@ -74,6 +93,18 @@ impl fmt::Display for SparseError {
             SparseError::Io(msg) => write!(f, "i/o error: {msg}"),
             SparseError::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
             SparseError::PatternMismatch(msg) => write!(f, "sparsity pattern mismatch: {msg}"),
+            SparseError::NonFinite { row, col } => {
+                write!(f, "non-finite value at entry ({row},{col})")
+            }
+            SparseError::Breakdown {
+                row,
+                attempts,
+                shift,
+            } => write!(
+                f,
+                "factorization breakdown at row {row} after {attempts} attempt(s) \
+                 (final diagonal shift {shift:e})"
+            ),
         }
     }
 }
@@ -104,6 +135,15 @@ mod tests {
         assert!(e.to_string().contains("42"));
         let e = SparseError::MissingDiagonal { row: 3 };
         assert!(e.to_string().contains("row 3"));
+        let e = SparseError::NonFinite { row: 1, col: 2 };
+        assert!(e.to_string().contains("(1,2)"));
+        let e = SparseError::Breakdown {
+            row: 9,
+            attempts: 4,
+            shift: 1e-2,
+        };
+        assert!(e.to_string().contains("row 9"));
+        assert!(e.to_string().contains("4 attempt"));
     }
 
     #[test]

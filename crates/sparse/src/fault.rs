@@ -1,0 +1,130 @@
+//! Hand-rolled failpoint registry for chaos testing.
+//!
+//! Production numerical code rarely exercises its breakdown paths: zero
+//! pivots, NaN payloads and mid-region panics are one-in-a-million
+//! events in normal operation, so the code that survives them rots. This
+//! module gives the test tree a way to *inject* those events at named
+//! sites inside the numeric kernel, the triangular-solve engines and the
+//! Matrix Market reader.
+//!
+//! The whole mechanism is gated behind the `fault-injection` cargo
+//! feature. Without the feature, [`fire`] is a `const`-foldable inline
+//! function returning `None`, so instrumented sites cost nothing in
+//! release builds — no atomic load, no branch that survives
+//! optimization. With the feature, a process-global registry maps site
+//! names to one-shot armed faults.
+//!
+//! Because the registry is process-global, tests that arm faults must be
+//! serialized (the chaos suite holds a lock around each scenario).
+
+/// What an armed failpoint does when it fires. The site interprets the
+/// action: a value-producing site applies `Nan`/`Zero` to its value, any
+/// site can honor `Panic`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Panic at the site (exercises unwind containment).
+    Panic,
+    /// Replace the site's value with NaN (exercises non-finite guards).
+    Nan,
+    /// Replace the site's value with zero (exercises pivot breakdown).
+    Zero,
+}
+
+#[cfg(feature = "fault-injection")]
+mod registry {
+    use super::FaultAction;
+    use std::sync::{Mutex, OnceLock};
+
+    struct Armed {
+        site: &'static str,
+        action: FaultAction,
+        /// Number of matching [`fire`] calls to let through before
+        /// firing.
+        skip: usize,
+        fired: bool,
+    }
+
+    fn slots() -> &'static Mutex<Vec<Armed>> {
+        static SLOTS: OnceLock<Mutex<Vec<Armed>>> = OnceLock::new();
+        SLOTS.get_or_init(|| Mutex::new(Vec::new()))
+    }
+
+    /// Arms `site` to perform `action` on its `skip + 1`-th hit. The
+    /// fault is one-shot: it disarms itself after firing. Re-arming an
+    /// already-armed site replaces the previous arming.
+    pub fn arm(site: &'static str, action: FaultAction, skip: usize) {
+        let mut s = slots().lock().unwrap_or_else(|e| e.into_inner());
+        s.retain(|a| a.site != site);
+        s.push(Armed {
+            site,
+            action,
+            skip,
+            fired: false,
+        });
+    }
+
+    /// Disarms every failpoint.
+    pub fn clear() {
+        slots().lock().unwrap_or_else(|e| e.into_inner()).clear();
+    }
+
+    /// `true` if `site` is armed and has not fired yet.
+    pub fn is_armed(site: &str) -> bool {
+        slots()
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .any(|a| a.site == site && !a.fired)
+    }
+
+    /// Called by instrumented sites: returns the armed action exactly
+    /// once when the hit count is reached.
+    pub fn fire(site: &str) -> Option<FaultAction> {
+        let mut s = slots().lock().unwrap_or_else(|e| e.into_inner());
+        let a = s.iter_mut().find(|a| a.site == site && !a.fired)?;
+        if a.skip > 0 {
+            a.skip -= 1;
+            return None;
+        }
+        a.fired = true;
+        Some(a.action)
+    }
+}
+
+#[cfg(feature = "fault-injection")]
+pub use registry::{arm, clear, fire, is_armed};
+
+/// Feature-off stub: never fires and folds to nothing.
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub fn fire(_site: &str) -> Option<FaultAction> {
+    None
+}
+
+#[cfg(all(test, feature = "fault-injection"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_shot_with_skip() {
+        clear();
+        arm("test.site", FaultAction::Zero, 2);
+        assert!(is_armed("test.site"));
+        assert_eq!(fire("test.site"), None);
+        assert_eq!(fire("test.site"), None);
+        assert_eq!(fire("test.site"), Some(FaultAction::Zero));
+        assert_eq!(fire("test.site"), None);
+        assert!(!is_armed("test.site"));
+        assert_eq!(fire("other.site"), None);
+        clear();
+    }
+
+    #[test]
+    fn rearming_replaces() {
+        clear();
+        arm("test.rearm", FaultAction::Panic, 5);
+        arm("test.rearm", FaultAction::Nan, 0);
+        assert_eq!(fire("test.rearm"), Some(FaultAction::Nan));
+        clear();
+    }
+}

@@ -102,12 +102,24 @@ pub fn read_matrix_market_from<T: Scalar, R: Read>(reader: R) -> Result<CsrMatri
         return Err(SparseError::Io(format!("bad size line '{size_line}'")));
     }
     let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
-
+    // Hostile-header guards: a forged size line must not drive a huge
+    // allocation or overflow the mirror-capacity arithmetic below.
+    if nnz > nrows.saturating_mul(ncols) {
+        return Err(SparseError::Io(format!(
+            "header declares {nnz} entries for a {nrows}x{ncols} matrix"
+        )));
+    }
     let cap = match symmetry {
         MmSymmetry::General => nnz,
-        _ => nnz * 2,
+        _ => nnz
+            .checked_mul(2)
+            .ok_or_else(|| SparseError::Io(format!("entry count {nnz} overflows capacity")))?,
     };
-    let mut coo = CooMatrix::with_capacity(nrows, ncols, cap);
+    // The header is untrusted: reserve at most a bounded prefix and let
+    // the triplet buffers grow with the entries actually present, so a
+    // forged nnz cannot drive an OOM (or a capacity panic) up front.
+    const MAX_HEADER_RESERVE: usize = 1 << 20;
+    let mut coo = CooMatrix::with_capacity(nrows, ncols, cap.min(MAX_HEADER_RESERVE));
     let mut seen = 0usize;
     for line in lines {
         let line = line.map_err(|e| SparseError::Io(e.to_string()))?;
@@ -129,16 +141,33 @@ pub fn read_matrix_market_from<T: Scalar, R: Read>(reader: R) -> Result<CsrMatri
         if r == 0 || c == 0 {
             return Err(SparseError::Io("matrix market indices are 1-based".into()));
         }
+        if r > nrows || c > ncols {
+            return Err(SparseError::IndexOutOfBounds {
+                row: r - 1,
+                col: c - 1,
+                nrows,
+                ncols,
+            });
+        }
         let v = match field {
             MmField::Pattern => T::ONE,
             _ => {
                 let tok = it
                     .next()
                     .ok_or_else(|| SparseError::Io(format!("missing value: {trimmed}")))?;
-                T::from_f64(
-                    tok.parse::<f64>()
-                        .map_err(|e| SparseError::Io(format!("bad value '{tok}': {e}")))?,
-                )
+                let mut parsed = tok
+                    .parse::<f64>()
+                    .map_err(|e| SparseError::Io(format!("bad value '{tok}': {e}")))?;
+                if crate::fault::fire("io.value") == Some(crate::fault::FaultAction::Nan) {
+                    parsed = f64::NAN;
+                }
+                if !parsed.is_finite() {
+                    return Err(SparseError::NonFinite {
+                        row: r - 1,
+                        col: c - 1,
+                    });
+                }
+                T::from_f64(parsed)
             }
         };
         coo.push(r - 1, c - 1, v)?;
@@ -272,6 +301,55 @@ mod tests {
         assert!(parse("%%MatrixMarket matrix array real general\n1 1\n1.0\n").is_err());
         assert!(parse("%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n").is_err());
         assert!(parse("%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n").is_err());
+    }
+
+    #[test]
+    fn rejects_non_finite_values() {
+        let e =
+            parse("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 nan\n").unwrap_err();
+        assert_eq!(e, SparseError::NonFinite { row: 0, col: 1 });
+        let e =
+            parse("%%MatrixMarket matrix coordinate real general\n2 2 1\n2 1 inf\n").unwrap_err();
+        assert_eq!(e, SparseError::NonFinite { row: 1, col: 0 });
+        assert!(
+            parse("%%MatrixMarket matrix coordinate real general\n2 2 1\n2 1 -infinity\n").is_err()
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_range_indices() {
+        let e =
+            parse("%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n").unwrap_err();
+        assert!(matches!(e, SparseError::IndexOutOfBounds { row: 2, .. }));
+        let e =
+            parse("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 9 1.0\n").unwrap_err();
+        assert!(matches!(e, SparseError::IndexOutOfBounds { col: 8, .. }));
+    }
+
+    #[test]
+    fn rejects_overflowing_headers() {
+        // nnz larger than the matrix can hold: must fail before any
+        // large allocation happens.
+        let huge = usize::MAX;
+        let e = parse(&format!(
+            "%%MatrixMarket matrix coordinate real general\n2 2 {huge}\n"
+        ))
+        .unwrap_err();
+        assert!(matches!(e, SparseError::Io(_)));
+        // Symmetric capacity doubling must not wrap.
+        let e = parse(&format!(
+            "%%MatrixMarket matrix coordinate real symmetric\n{huge} {huge} {huge}\n"
+        ))
+        .unwrap_err();
+        assert!(matches!(e, SparseError::Io(_)));
+        // A general header where nnz == nrows·ncols (saturated) slips
+        // past the density check; the bounded reservation must keep it
+        // from allocating, and the missing entries make it an error.
+        let e = parse(&format!(
+            "%%MatrixMarket matrix coordinate real general\n{huge} {huge} {huge}\n"
+        ))
+        .unwrap_err();
+        assert!(matches!(e, SparseError::Io(_)));
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub mod coo;
 pub mod csc;
 pub mod csr;
 pub mod error;
+pub mod fault;
 pub mod io;
 pub mod lanes;
 pub mod panel;

@@ -46,6 +46,11 @@ impl SpinBarrier {
 
     /// Blocks until all `n` participants have called `wait`. Returns
     /// `true` on exactly one participant per phase (the "leader").
+    ///
+    /// # Panics
+    /// With [`crate::abort::ABORT_PANIC_MSG`] if the enclosing parallel
+    /// region aborts (a peer panicked) while waiting — a panicked peer
+    /// never arrives, so the phase can never complete.
     pub fn wait(&self) -> bool {
         let phase_sense = self.sense.load(Ordering::Relaxed);
         let arrival = self.arrived.fetch_add(1, Ordering::AcqRel) + 1;
@@ -58,6 +63,7 @@ impl SpinBarrier {
         } else {
             let mut backoff = Backoff::new();
             while self.sense.load(Ordering::Acquire) == phase_sense {
+                crate::abort::check();
                 backoff.snooze();
             }
             false

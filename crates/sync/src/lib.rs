@@ -36,6 +36,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod abort;
 pub mod atomicf;
 pub mod backoff;
 pub mod barrier;

@@ -17,11 +17,20 @@
 //! across numeric re-factorizations. The two are interchangeable at
 //! every call site: same tid semantics, same fork-join memory ordering.
 
+use crate::abort::{self, RegionAbort};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
 /// Runs `f(tid)` on `nthreads` OS threads (tids `0..nthreads`) and
 /// waits for all of them. `nthreads == 1` runs inline on the caller.
 ///
+/// Each region carries its own [`RegionAbort`] flag: if any participant
+/// panics, the flag is set before its unwind leaves the region, so
+/// peers blocked in the crate's spin waits unwind promptly instead of
+/// deadlocking on progress that will never come (see [`crate::abort`]).
+///
 /// # Panics
-/// Propagates the first worker panic after all workers finish.
+/// Propagates a panic after all workers finish.
 pub fn run_on_threads<F>(nthreads: usize, f: F)
 where
     F: Fn(usize) + Sync,
@@ -31,12 +40,33 @@ where
         f(0);
         return;
     }
+    let region_abort = Arc::new(RegionAbort::new());
     std::thread::scope(|s| {
         for tid in 1..nthreads {
             let fref = &f;
-            s.spawn(move || fref(tid));
+            let region_abort = Arc::clone(&region_abort);
+            s.spawn(move || {
+                let result = {
+                    let _g = abort::enter(Arc::clone(&region_abort));
+                    catch_unwind(AssertUnwindSafe(|| fref(tid)))
+                };
+                if let Err(payload) = result {
+                    region_abort.set();
+                    resume_unwind(payload);
+                }
+            });
         }
-        f(0);
+        let caller_result = {
+            let _g = abort::enter(Arc::clone(&region_abort));
+            catch_unwind(AssertUnwindSafe(|| f(0)))
+        };
+        if let Err(payload) = caller_result {
+            // Release the peers before unwinding: the scope's exit path
+            // joins every spawned thread, which only terminates if they
+            // can observe the abort.
+            region_abort.set();
+            resume_unwind(payload);
+        }
     });
 }
 

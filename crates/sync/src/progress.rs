@@ -63,6 +63,11 @@ impl ProgressCounters {
 
     /// Spin-waits (with yield escalation) until thread `t` has completed
     /// at least `required` tasks.
+    ///
+    /// # Panics
+    /// With [`crate::abort::ABORT_PANIC_MSG`] if the enclosing parallel
+    /// region aborts (a peer panicked) while waiting — the wait would
+    /// otherwise spin forever on a counter nobody will bump.
     #[inline]
     pub fn wait_for(&self, t: usize, required: usize) {
         if self.counters[t].load(Ordering::Acquire) >= required {
@@ -70,6 +75,7 @@ impl ProgressCounters {
         }
         let mut backoff = Backoff::new();
         while self.counters[t].load(Ordering::Acquire) < required {
+            crate::abort::check();
             backoff.snooze();
         }
     }

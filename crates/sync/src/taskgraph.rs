@@ -141,6 +141,9 @@ impl TaskGraph {
                                 || !ready.lock().is_empty(),
                             "task graph deadlocked: cycle detected"
                         );
+                        // A task that panicked never retires: unwind
+                        // instead of spinning on it forever.
+                        crate::abort::check();
                         backoff.snooze();
                     }
                 }

@@ -33,6 +33,7 @@
 
 #![allow(unsafe_code)]
 
+use crate::abort::{self, RegionAbort};
 use crate::backoff::Backoff;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -60,6 +61,16 @@ struct Shared {
     done: AtomicUsize,
     /// Set when any worker's closure panicked during the region.
     panicked: AtomicBool,
+    /// Per-region abort flag: set when any participant (worker or
+    /// caller) panics, so peers blocked in spin waits unwind instead of
+    /// deadlocking (see [`crate::abort`]). Cleared at region start.
+    region_abort: Arc<RegionAbort>,
+    /// Sticky panic marker: set when a region ends by unwind, cleared
+    /// by [`WorkerTeam::repair`] (which `run` invokes automatically).
+    poisoned: AtomicBool,
+    /// Bumped on every unwound region — lets callers holding long-lived
+    /// plans detect that the team went through a panic/repair cycle.
+    generation: AtomicU64,
     /// Orders the team to exit.
     shutdown: AtomicBool,
     /// Number of workers parked on the condvar.
@@ -101,6 +112,9 @@ impl WorkerTeam {
             job: Mutex::new(None),
             done: AtomicUsize::new(0),
             panicked: AtomicBool::new(false),
+            region_abort: Arc::new(RegionAbort::new()),
+            poisoned: AtomicBool::new(false),
+            generation: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             sleepers: AtomicUsize::new(0),
             sleep_lock: Mutex::new(()),
@@ -127,6 +141,40 @@ impl WorkerTeam {
         self.shared.nthreads
     }
 
+    /// `true` while the team carries unrepaired poison from a region
+    /// that ended by unwind. [`WorkerTeam::run`] repairs automatically
+    /// at its next entry; this accessor lets callers observe the state
+    /// in between.
+    pub fn is_poisoned(&self) -> bool {
+        self.shared.poisoned.load(Ordering::Acquire)
+    }
+
+    /// Number of panic/repair cycles this team has been through. Stable
+    /// across healthy regions, bumped once per unwound region — callers
+    /// holding long-lived schedules can compare generations to learn
+    /// that a panic happened between two uses.
+    pub fn generation(&self) -> u64 {
+        self.shared.generation.load(Ordering::Acquire)
+    }
+
+    /// Explicitly clears panic poison and re-arms the region-abort
+    /// flag, returning `true` if there was poison to clear. Safe to
+    /// call at any time (serialized with regions); [`WorkerTeam::run`]
+    /// performs the same repair automatically, so this exists for
+    /// callers that want the team verifiably clean *before* committing
+    /// to the next region.
+    pub fn repair(&self) -> bool {
+        let _region = self.region.lock().unwrap_or_else(|e| e.into_inner());
+        self.repair_inner()
+    }
+
+    /// Repair body; caller must hold the region lock (quiescence).
+    fn repair_inner(&self) -> bool {
+        self.shared.region_abort.clear();
+        self.shared.panicked.store(false, Ordering::Relaxed);
+        self.shared.poisoned.swap(false, Ordering::AcqRel)
+    }
+
     /// Executes `f(tid)` for every tid in `0..nthreads`, the caller
     /// running tid 0, and returns once all participants finished. `f`
     /// may borrow from the caller's stack. Regions are serialized:
@@ -146,6 +194,8 @@ impl WorkerTeam {
         }
         let _region = self.region.lock().unwrap_or_else(|e| e.into_inner());
         let shared = &*self.shared;
+        // Auto-repair poison left by a previously unwound region.
+        self.repair_inner();
         shared.done.store(0, Ordering::Relaxed);
         shared.panicked.store(false, Ordering::Relaxed);
         {
@@ -168,7 +218,15 @@ impl WorkerTeam {
 
         // Participate as tid 0, deferring any panic until the region is
         // quiescent (workers may still be reading caller-owned data).
-        let caller_result = catch_unwind(AssertUnwindSafe(|| f(0)));
+        let caller_result = catch_unwind(AssertUnwindSafe(|| {
+            let _g = abort::enter(Arc::clone(&shared.region_abort));
+            f(0)
+        }));
+        if caller_result.is_err() {
+            // Workers may be spin-waiting on progress tid 0 will never
+            // make: release them so the region can reach quiescence.
+            shared.region_abort.set();
+        }
 
         let mut backoff = Backoff::new();
         while shared.done.load(Ordering::Acquire) != shared.nthreads - 1 {
@@ -177,10 +235,20 @@ impl WorkerTeam {
         // Region over: drop the job pointer before `f` goes out of scope.
         *shared.job.lock().unwrap_or_else(|e| e.into_inner()) = None;
 
+        let worker_panicked = shared.panicked.load(Ordering::Relaxed);
+        if caller_result.is_err() || worker_panicked {
+            shared.poisoned.store(true, Ordering::Release);
+            shared.generation.fetch_add(1, Ordering::AcqRel);
+        }
         if let Err(payload) = caller_result {
+            if worker_panicked && abort::is_abort_payload(payload.as_ref()) {
+                // Tid 0 only unwound because a worker's panic aborted
+                // the region: report the root cause, not the echo.
+                panic!("worker thread panicked during team region");
+            }
             resume_unwind(payload);
         }
-        if shared.panicked.load(Ordering::Relaxed) {
+        if worker_panicked {
             panic!("worker thread panicked during team region");
         }
     }
@@ -244,8 +312,19 @@ fn worker_loop(shared: &Shared, tid: usize) {
             // Safety: the publisher keeps the closure alive until every
             // worker bumps `done` below.
             let f = unsafe { &*ptr };
-            if catch_unwind(AssertUnwindSafe(|| f(tid))).is_err() {
-                shared.panicked.store(true, Ordering::Relaxed);
+            let result = {
+                let _g = abort::enter(Arc::clone(&shared.region_abort));
+                catch_unwind(AssertUnwindSafe(|| f(tid)))
+            };
+            if let Err(payload) = result {
+                // An abort echo is this worker being *released* from a
+                // wait after a peer's panic, not a root cause: it must
+                // still free any peers waiting on this worker, but only
+                // genuine panics mark the region as worker-panicked.
+                if !abort::is_abort_payload(payload.as_ref()) {
+                    shared.panicked.store(true, Ordering::Relaxed);
+                }
+                shared.region_abort.set();
             }
             shared.done.fetch_add(1, Ordering::Release);
         }
@@ -329,6 +408,97 @@ mod tests {
             sum.fetch_add(tid + 1, Ordering::Relaxed);
         });
         assert_eq!(sum.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn worker_panic_releases_peers_blocked_on_its_progress() {
+        // tid 1 panics before bumping the counter tids 0 and 2 wait on.
+        // Without the region-abort protocol this deadlocks forever.
+        let team = WorkerTeam::new(3);
+        let progress = crate::progress::ProgressCounters::new(3);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            team.run(|tid| {
+                if tid == 1 {
+                    panic!("boom");
+                }
+                progress.wait_for(1, 1); // never satisfied
+            });
+        }));
+        assert!(r.is_err());
+        assert_eq!(team.generation(), 1);
+        // The team must still run healthy regions afterwards.
+        let sum = AtomicUsize::new(0);
+        team.run(|tid| {
+            sum.fetch_add(tid + 1, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 6);
+        assert_eq!(team.generation(), 1);
+    }
+
+    #[test]
+    fn caller_panic_releases_workers_blocked_on_tid0() {
+        // Tid 0 (the caller) panics before bumping the counter the
+        // workers wait on — the symmetric deadlock.
+        let team = WorkerTeam::new(3);
+        let progress = crate::progress::ProgressCounters::new(3);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            team.run(|tid| {
+                if tid == 0 {
+                    panic!("caller boom");
+                }
+                progress.wait_for(0, 1); // never satisfied
+            });
+        }));
+        let payload = r.unwrap_err();
+        // The caller's own panic is the root cause and must win over
+        // any worker abort echoes.
+        assert_eq!(*payload.downcast_ref::<&str>().unwrap(), "caller boom");
+        let sum = AtomicUsize::new(0);
+        team.run(|tid| {
+            sum.fetch_add(tid + 1, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn barrier_waiters_unwind_on_peer_panic() {
+        let team = WorkerTeam::new(3);
+        let barrier = crate::barrier::SpinBarrier::new(3);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            team.run(|tid| {
+                if tid == 2 {
+                    panic!("boom");
+                }
+                barrier.wait(); // 2 of 3 arrivals: never completes
+            });
+        }));
+        assert!(r.is_err());
+        barrier.reset();
+        team.run(|_| {
+            barrier.wait();
+        });
+    }
+
+    #[test]
+    fn poison_and_repair_contract() {
+        let team = WorkerTeam::new(2);
+        assert!(!team.is_poisoned());
+        assert_eq!(team.generation(), 0);
+        assert!(!team.repair()); // nothing to repair
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            team.run(|tid| {
+                if tid == 1 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(team.is_poisoned());
+        assert_eq!(team.generation(), 1);
+        assert!(team.repair());
+        assert!(!team.is_poisoned());
+        assert!(!team.repair()); // idempotent
+                                 // Generation records history; repair does not rewind it.
+        assert_eq!(team.generation(), 1);
     }
 
     #[test]

@@ -43,7 +43,15 @@ pub mod prelude {
 
 /// Runs `cases` deterministic cases of `body`, seeding each case
 /// differently. Used by the `proptest!` macro expansion.
+///
+/// Like real proptest, the `PROPTEST_CASES` environment variable
+/// overrides the per-test case count — CI uses it to widen the sweeps
+/// without touching the sources.
 pub fn run_cases(cases: u32, mut body: impl FnMut(&mut test_runner::TestRng, u32)) {
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .unwrap_or(cases);
     for case in 0..cases {
         let mut rng = test_runner::TestRng::for_case(case);
         body(&mut rng, case);

@@ -25,7 +25,9 @@
 //! session.refactor(&a).unwrap();
 //! ```
 
-use javelin_core::{FactorStats, IluFactors, IluOptions, SolveEngine, SymbolicIlu};
+use javelin_core::{
+    FactorStats, IluFactors, IluOptions, SolveEngine, SymbolicIlu, ZeroPivotPolicy,
+};
 use javelin_solver::SolverWorkspace;
 use javelin_solver::{krylov_panel_with, krylov_with, Method, SolverOptions, SolverResult};
 use javelin_sparse::{CsrMatrix, Panel, PanelMut, Scalar, SparseError};
@@ -79,6 +81,51 @@ impl SessionBuilder {
     #[must_use]
     pub fn tile_size(mut self, tile: usize) -> Self {
         self.opts.tile_size = tile;
+        self
+    }
+
+    /// What the numeric phase does when a pivot collapses (default:
+    /// [`ZeroPivotPolicy::Replace`] with a tiny magnitude). With
+    /// [`ZeroPivotPolicy::shift_retry`] a breakdown triggers
+    /// allocation-free numeric re-runs under an escalating diagonal
+    /// shift instead of failing the build:
+    ///
+    /// ```
+    /// use javelin::prelude::*;
+    ///
+    /// // A structurally fine but numerically singular system: both
+    /// // pivots are exactly zero, so plain ILU(0) breaks down.
+    /// let mut coo = CooMatrix::new(2, 2);
+    /// coo.push(0, 0, 0.0).unwrap();
+    /// coo.push(0, 1, 1.0).unwrap();
+    /// coo.push(1, 0, 1.0).unwrap();
+    /// coo.push(1, 1, 0.0).unwrap();
+    /// let a = coo.to_csr();
+    /// // Under the strict policy the zero pivot aborts the build.
+    /// assert!(Session::builder()
+    ///     .zero_pivot(ZeroPivotPolicy::Error)
+    ///     .build(&a)
+    ///     .is_err());
+    /// // Shift-and-retry: the factorization recovers by re-running the
+    /// // numeric phase with a boosted diagonal, and reports how.
+    /// let session = Session::builder()
+    ///     .zero_pivot(ZeroPivotPolicy::shift_retry())
+    ///     .build(&a)
+    ///     .unwrap();
+    /// assert!(session.stats().shift_attempts > 1);
+    /// assert!(session.stats().diag_shift > 0.0);
+    /// ```
+    #[must_use]
+    pub fn zero_pivot(mut self, policy: ZeroPivotPolicy) -> Self {
+        self.opts.zero_pivot = policy;
+        self
+    }
+
+    /// Magnitude below which a pivot counts as broken down (default
+    /// 1e-14); the trigger for whichever [`ZeroPivotPolicy`] is set.
+    #[must_use]
+    pub fn pivot_threshold(mut self, threshold: f64) -> Self {
+        self.opts.pivot_threshold = threshold;
         self
     }
 

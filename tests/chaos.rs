@@ -1,0 +1,257 @@
+//! Chaos suite: drives the graceful-degradation layer through injected
+//! faults — zero/NaN pivots in the numeric kernel, NaN payloads in the
+//! Matrix Market reader, and panics inside parallel trisolve regions —
+//! and asserts that every failure is *contained*: a structured error or
+//! a caught panic, a repairable worker team, and bit-identical results
+//! afterwards.
+//!
+//! Runs only with the `fault-injection` feature:
+//!
+//! ```text
+//! cargo test --features fault-injection --test chaos
+//! ```
+//!
+//! The failpoint registry is process-global and one-shot, so every
+//! scenario serializes on [`CHAOS`] and clears the registry on both
+//! sides.
+#![cfg(feature = "fault-injection")]
+
+use javelin::core::options::SolveEngine;
+use javelin::core::{factorize, IluOptions, SymbolicIlu, ZeroPivotPolicy};
+use javelin::sparse::fault::{self, FaultAction};
+use javelin::sparse::io::read_matrix_market_from;
+use javelin::sparse::{CooMatrix, CsrMatrix, SparseError};
+use javelin::sync::WorkerTeam;
+use proptest::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Serializes scenarios around the process-global failpoint registry.
+static CHAOS: Mutex<()> = Mutex::new(());
+
+fn scenario() -> MutexGuard<'static, ()> {
+    // A previous test's caught panic may have poisoned the mutex; the
+    // guard data is `()`, so the poison carries no meaning.
+    let guard = CHAOS.lock().unwrap_or_else(|e| e.into_inner());
+    fault::clear();
+    guard
+}
+
+/// Diagonally dominant convection-like fixture: healthy under every
+/// policy, so any breakdown observed below is the injected one.
+fn healthy(n: usize) -> CsrMatrix<f64> {
+    let mut coo = CooMatrix::new(n, n);
+    for i in 0..n {
+        coo.push(i, i, 6.0 + (i % 3) as f64).unwrap();
+        if i > 0 {
+            coo.push(i, i - 1, -1.25).unwrap();
+        }
+        if i + 4 < n {
+            coo.push(i, i + 4, -0.75).unwrap();
+        }
+        if i >= 9 {
+            coo.push(i, i - 9, -0.5).unwrap();
+        }
+    }
+    coo.to_csr()
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+#[test]
+fn injected_zero_pivot_errors_strictly_and_shift_retry_recovers() {
+    let _g = scenario();
+    let a = healthy(64);
+
+    // Strict policy: the injected zero pivot is a structured error.
+    fault::arm("numeric.pivot", FaultAction::Zero, 10);
+    let strict = IluOptions::ilu0(2).with_zero_pivot(ZeroPivotPolicy::Error);
+    assert!(
+        matches!(factorize(&a, &strict), Err(SparseError::ZeroPivot { .. })),
+        "injected zero pivot must surface under the strict policy"
+    );
+    assert!(!fault::is_armed("numeric.pivot"), "failpoint is one-shot");
+
+    // ShiftRetry: attempt 1 eats the injected fault, attempt 2 runs on
+    // the (healthy) matrix with a diagonal boost and succeeds.
+    fault::arm("numeric.pivot", FaultAction::Zero, 10);
+    let retry = IluOptions::ilu0(2).with_zero_pivot(ZeroPivotPolicy::shift_retry());
+    let f = factorize(&a, &retry).expect("shift-retry must absorb the fault");
+    assert_eq!(f.stats().shift_attempts, 2);
+    assert!(f.stats().diag_shift > 0.0);
+    let n = a.nrows();
+    let b = vec![1.0; n];
+    let mut x = vec![0.0; n];
+    f.solve_into(&b, &mut x).unwrap();
+    assert!(x.iter().all(|v| v.is_finite()));
+    fault::clear();
+}
+
+#[test]
+fn injected_nan_pivot_is_a_breakdown_not_a_poison() {
+    let _g = scenario();
+    let a = healthy(48);
+
+    // NaN compares false against any threshold — the kernel must catch
+    // it through the explicit finiteness check.
+    fault::arm("numeric.pivot", FaultAction::Nan, 5);
+    let strict = IluOptions::ilu0(2).with_zero_pivot(ZeroPivotPolicy::Error);
+    assert!(
+        matches!(factorize(&a, &strict), Err(SparseError::ZeroPivot { .. })),
+        "NaN pivot must be detected, not propagated"
+    );
+
+    // Replace: the NaN pivot is substituted and the factors stay finite.
+    fault::arm("numeric.pivot", FaultAction::Nan, 5);
+    let f = factorize(&a, &IluOptions::ilu0(2)).expect("Replace must absorb a NaN pivot");
+    assert!(f.lu().vals().iter().all(|v| v.is_finite()));
+    fault::clear();
+}
+
+#[test]
+fn injected_nan_value_in_matrix_market_is_rejected_at_the_boundary() {
+    let _g = scenario();
+    let text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 4.0\n2 2 3.0\n";
+    fault::arm("io.value", FaultAction::Nan, 1);
+    let e = read_matrix_market_from::<f64, _>(text.as_bytes()).unwrap_err();
+    assert_eq!(e, SparseError::NonFinite { row: 1, col: 1 });
+    fault::clear();
+}
+
+#[test]
+fn panicked_region_poisons_the_team_and_repair_restores_bit_identity() {
+    let _g = scenario();
+    let a = healthy(120);
+    let n = a.nrows();
+    let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
+
+    let team = Arc::new(WorkerTeam::new(2));
+    let opts = IluOptions::ilu0(2).with_shared_team(Arc::clone(&team));
+    let sym = SymbolicIlu::analyze(&a, &opts).unwrap();
+    let f = sym.factor(&a).unwrap();
+
+    // Healthy reference through the parallel engine.
+    let mut x_ref = vec![0.0; n];
+    f.solve_with(SolveEngine::PointToPoint, &b, &mut x_ref)
+        .unwrap();
+
+    // Inject a panic into the next parallel trisolve region.
+    let gen_before = team.generation();
+    fault::arm("trisolve.region", FaultAction::Panic, 0);
+    let mut x_bad = vec![0.0; n];
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        let _ = f.solve_with(SolveEngine::PointToPoint, &b, &mut x_bad);
+    }));
+    assert!(caught.is_err(), "the injected panic must propagate");
+    assert!(team.is_poisoned(), "an unwound region must poison the team");
+    assert!(team.generation() > gen_before, "generation must advance");
+
+    // Explicit repair clears the poison …
+    assert!(team.repair());
+    assert!(!team.is_poisoned());
+
+    // … and the SAME team then factors and solves bit-identically to a
+    // brand-new team.
+    let mut f_same = f;
+    f_same.refactor(&a).expect("refactor on the repaired team");
+    let mut x_same = vec![0.0; n];
+    f_same
+        .solve_with(SolveEngine::PointToPoint, &b, &mut x_same)
+        .unwrap();
+
+    let fresh_opts = IluOptions::ilu0(2).with_shared_team(Arc::new(WorkerTeam::new(2)));
+    let f_fresh = factorize(&a, &fresh_opts).unwrap();
+    let mut x_fresh = vec![0.0; n];
+    f_fresh
+        .solve_with(SolveEngine::PointToPoint, &b, &mut x_fresh)
+        .unwrap();
+
+    assert_eq!(
+        bits(f_same.lu().vals()),
+        bits(f_fresh.lu().vals()),
+        "post-repair factors must match a fresh team bit-for-bit"
+    );
+    assert_eq!(bits(&x_same), bits(&x_ref), "post-repair solve vs healthy");
+    assert_eq!(
+        bits(&x_same),
+        bits(&x_fresh),
+        "post-repair solve vs fresh team"
+    );
+    fault::clear();
+}
+
+const ENGINES: [SolveEngine; 3] = [
+    SolveEngine::BarrierLevel,
+    SolveEngine::PointToPoint,
+    SolveEngine::PointToPointLower,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Sweep: an injected pivot fault at an arbitrary row is either a
+    /// structured error (strict) or fully absorbed (ShiftRetry), for
+    /// any thread count.
+    #[test]
+    fn pivot_faults_never_escape(
+        nthreads in 1usize..4,
+        skip in 0usize..40,
+        nan in proptest::bool::ANY,
+    ) {
+        let _g = scenario();
+        let a = healthy(40);
+        let action = if nan { FaultAction::Nan } else { FaultAction::Zero };
+
+        fault::arm("numeric.pivot", action, skip);
+        let strict = IluOptions::ilu0(nthreads).with_zero_pivot(ZeroPivotPolicy::Error);
+        prop_assert!(matches!(
+            factorize(&a, &strict),
+            Err(SparseError::ZeroPivot { .. })
+        ));
+
+        fault::arm("numeric.pivot", action, skip);
+        let retry = IluOptions::ilu0(nthreads).with_zero_pivot(ZeroPivotPolicy::shift_retry());
+        let f = factorize(&a, &retry).expect("shift-retry recovery");
+        prop_assert_eq!(f.stats().shift_attempts, 2);
+        prop_assert!(f.lu().vals().iter().all(|v| v.is_finite()));
+        fault::clear();
+    }
+
+    /// Sweep: a panic in any parallel engine's region is contained, the
+    /// team repairs, and the next solve on the same factors matches the
+    /// healthy run bit-for-bit.
+    #[test]
+    fn region_panics_are_contained_for_every_engine(
+        nthreads in 2usize..4,
+        engine_idx in 0usize..ENGINES.len(),
+    ) {
+        let _g = scenario();
+        let engine = ENGINES[engine_idx];
+        let a = healthy(80);
+        let n = a.nrows();
+        let b: Vec<f64> = (0..n).map(|i| 0.5 + (i % 7) as f64).collect();
+
+        let team = Arc::new(WorkerTeam::new(nthreads));
+        let opts = IluOptions::ilu0(nthreads).with_shared_team(Arc::clone(&team));
+        let f = factorize(&a, &opts).unwrap();
+        let mut x_ref = vec![0.0; n];
+        f.solve_with(engine, &b, &mut x_ref).unwrap();
+
+        fault::arm("trisolve.region", FaultAction::Panic, 0);
+        let mut x_bad = vec![0.0; n];
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            let _ = f.solve_with(engine, &b, &mut x_bad);
+        }));
+        prop_assert!(caught.is_err());
+        prop_assert!(team.is_poisoned());
+
+        // `run` auto-repairs at its next entry — no explicit repair.
+        let mut x_again = vec![0.0; n];
+        f.solve_with(engine, &b, &mut x_again).unwrap();
+        prop_assert!(!team.is_poisoned());
+        prop_assert_eq!(bits(&x_again), bits(&x_ref));
+        fault::clear();
+    }
+}

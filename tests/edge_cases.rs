@@ -4,9 +4,9 @@
 //! option combinations.
 
 use javelin::core::options::SolveEngine;
-use javelin::core::{factorize, IluOptions, LowerMethod};
+use javelin::core::{factorize, IluOptions, LowerMethod, ZeroPivotPolicy};
 use javelin::sparse::pattern::LevelPattern;
-use javelin::sparse::{CooMatrix, CsrMatrix};
+use javelin::sparse::{CooMatrix, CsrMatrix, SparseError};
 
 fn solve_roundtrip(a: &CsrMatrix<f64>, opts: &IluOptions) {
     let f = factorize(a, opts).expect("factorization");
@@ -22,6 +22,96 @@ fn solve_roundtrip(a: &CsrMatrix<f64>, opts: &IluOptions) {
         f.solve_with(engine, &b, &mut x).expect("solve");
         assert!(x.iter().all(|v| v.is_finite()), "{engine}");
     }
+}
+
+#[test]
+fn empty_matrix_factorizes_and_solves() {
+    // 0×0: every phase must degrade to a no-op, not an index panic.
+    let a = CooMatrix::<f64>::new(0, 0).to_csr();
+    for nthreads in [1usize, 3] {
+        let f = factorize(&a, &IluOptions::ilu0(nthreads)).expect("empty factorization");
+        let mut x: Vec<f64> = vec![];
+        f.solve_into(&[], &mut x).expect("empty solve");
+        assert!(x.is_empty());
+        solve_roundtrip(&a, &IluOptions::ilu0(nthreads));
+    }
+}
+
+#[test]
+fn all_zero_row_needs_a_pivot_policy() {
+    // Row 3 carries structural entries whose values are all zero. The
+    // strict policy must name the breakdown; Replace (the default) and
+    // ShiftRetry must both produce finite factors and finite solves.
+    let n = 20;
+    let build = || {
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            let v = if i == 3 { 0.0 } else { 4.0 };
+            coo.push(i, i, v).unwrap();
+            if i > 0 {
+                let v = if i == 3 { 0.0 } else { -1.0 };
+                coo.push(i, i - 1, v).unwrap();
+            }
+        }
+        coo.to_csr()
+    };
+    let a = build();
+    let strict = IluOptions::ilu0(2).with_zero_pivot(ZeroPivotPolicy::Error);
+    assert!(
+        matches!(factorize(&a, &strict), Err(SparseError::ZeroPivot { .. })),
+        "strict policy must fail on the all-zero row"
+    );
+    solve_roundtrip(&a, &IluOptions::ilu0(2)); // default Replace policy
+    solve_roundtrip(
+        &a,
+        &IluOptions::ilu0(2).with_zero_pivot(ZeroPivotPolicy::shift_retry()),
+    );
+}
+
+#[test]
+fn fully_dense_row_and_column() {
+    // One row (and its mirror column) touching every index: the worst
+    // case for fill and for the two-stage split heuristics.
+    let n = 30;
+    let mut coo = CooMatrix::new(n, n);
+    for i in 0..n {
+        coo.push(i, i, 40.0).unwrap();
+    }
+    for j in 0..n {
+        if j != n - 1 {
+            coo.push(n - 1, j, -0.5).unwrap(); // dense last row
+            coo.push(j, n - 1, -0.25).unwrap(); // dense last column
+        }
+    }
+    let a = coo.to_csr();
+    for nthreads in [1usize, 4] {
+        solve_roundtrip(&a, &IluOptions::ilu0(nthreads));
+        solve_roundtrip(&a, &IluOptions::ilu0(nthreads).with_fill(2));
+    }
+}
+
+#[test]
+fn exactly_singular_two_by_two() {
+    // [[1, 1], [1, 1]]: the second pivot is exactly 1 − 1·1 = 0 after
+    // elimination — a *produced* zero, not a structural one.
+    let mut coo = CooMatrix::new(2, 2);
+    coo.push(0, 0, 1.0).unwrap();
+    coo.push(0, 1, 1.0).unwrap();
+    coo.push(1, 0, 1.0).unwrap();
+    coo.push(1, 1, 1.0).unwrap();
+    let a = coo.to_csr();
+    let strict = IluOptions::default().with_zero_pivot(ZeroPivotPolicy::Error);
+    assert!(
+        matches!(factorize(&a, &strict), Err(SparseError::ZeroPivot { .. })),
+        "exact singularity must surface under the strict policy"
+    );
+    // Replace and ShiftRetry both recover with finite factors.
+    solve_roundtrip(&a, &IluOptions::default());
+    let retry = IluOptions::default().with_zero_pivot(ZeroPivotPolicy::shift_retry());
+    let f = factorize(&a, &retry).unwrap();
+    assert!(f.stats().shift_attempts > 1, "recovery must have retried");
+    assert!(f.stats().diag_shift > 0.0);
+    solve_roundtrip(&a, &retry);
 }
 
 #[test]

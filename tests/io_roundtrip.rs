@@ -5,7 +5,7 @@
 
 use javelin::core::{factorize, IluOptions};
 use javelin::sparse::io::{read_matrix_market_from, write_matrix_market_to};
-use javelin::sparse::CsrMatrix;
+use javelin::sparse::{CsrMatrix, SparseError};
 use javelin::synth::suite::paper_suite;
 
 #[test]
@@ -36,4 +36,76 @@ fn factorization_identical_after_roundtrip() {
     // tiny drift).
     assert_eq!(fa.perm().new_to_old(), fb.perm().new_to_old());
     assert!(fa.lu().approx_eq(fb.lu(), 1e-9));
+}
+
+fn parse(text: &str) -> Result<CsrMatrix<f64>, SparseError> {
+    read_matrix_market_from(text.as_bytes())
+}
+
+#[test]
+fn malformed_matrix_market_inputs_are_rejected() {
+    // Every hostile input must come back as a structured error — never
+    // a panic, never a silently wrong matrix.
+
+    // Wrong banner.
+    assert!(matches!(
+        parse("%%NotMatrixMarket matrix coordinate real general\n1 1 1\n1 1 2.0\n"),
+        Err(SparseError::Io(_))
+    ));
+    // Unsupported field / symmetry keywords.
+    assert!(matches!(
+        parse("%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 2.0 0.0\n"),
+        Err(SparseError::Io(_))
+    ));
+    assert!(matches!(
+        parse("%%MatrixMarket matrix coordinate real hermitian\n1 1 1\n1 1 2.0\n"),
+        Err(SparseError::Io(_))
+    ));
+    // Garbage size line.
+    assert!(matches!(
+        parse("%%MatrixMarket matrix coordinate real general\n2 two 1\n1 1 2.0\n"),
+        Err(SparseError::Io(_))
+    ));
+    // Entry-count header that overflows any plausible buffer.
+    let huge = format!(
+        "%%MatrixMarket matrix coordinate real general\n{} {} {}\n",
+        usize::MAX,
+        usize::MAX,
+        usize::MAX
+    );
+    assert!(matches!(parse(&huge), Err(SparseError::Io(_))));
+    // Truncated entry list (header promises 2, file has 1).
+    assert!(matches!(
+        parse("%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 2.0\n"),
+        Err(SparseError::Io(_))
+    ));
+    // Short entry line and unparsable value.
+    assert!(matches!(
+        parse("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n"),
+        Err(SparseError::Io(_))
+    ));
+    assert!(matches!(
+        parse("%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 fast\n"),
+        Err(SparseError::Io(_))
+    ));
+    // 0-based and out-of-range indices.
+    assert!(matches!(
+        parse("%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 2.0\n"),
+        Err(SparseError::Io(_))
+    ));
+    assert!(matches!(
+        parse("%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 2.0\n"),
+        Err(SparseError::IndexOutOfBounds { .. })
+    ));
+    // Non-finite payloads are stopped at the boundary, with coordinates.
+    assert!(matches!(
+        parse("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 NaN\n"),
+        Err(SparseError::NonFinite { row: 0, col: 1 })
+    ));
+    assert!(matches!(
+        parse("%%MatrixMarket matrix coordinate real general\n2 2 1\n2 1 inf\n"),
+        Err(SparseError::NonFinite { row: 1, col: 0 })
+    ));
+    // Empty stream.
+    assert!(matches!(parse(""), Err(SparseError::Io(_))));
 }

@@ -8,9 +8,9 @@
 //! threads are counted too, which is the point: the planned numeric
 //! path must not allocate on any thread).
 
-use javelin::core::{IluOptions, SymbolicIlu};
+use javelin::core::{IluOptions, SymbolicIlu, ZeroPivotPolicy};
 use javelin::solver::{gmres_batch_into, SolverOptions, SolverResult, SolverWorkspace};
-use javelin::sparse::{CooMatrix, CsrMatrix, Panel, PanelMut};
+use javelin::sparse::{CooMatrix, CsrMatrix, Panel, PanelMut, SparseError};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -159,5 +159,79 @@ fn steady_state_refactor_allocates_zero_bytes() {
     assert!(
         results.iter().all(|r| r.converged),
         "reserved gmres_batch must still converge: {results:?}"
+    );
+
+    // ---- Phase 3: shift-and-retry recovery reuses the planned ----
+    // numeric path, so a steady-state refactor of a singular-but-
+    // shiftable matrix (first attempt breaks down, second succeeds
+    // with a diagonal boost) still allocates zero bytes.
+    //
+    // Row 0's only structural entry is a zero diagonal, and no other
+    // row or column touches index 0 — so whatever ordering the
+    // symbolic phase picks, no update ever lands on that pivot and
+    // the first numeric attempt must collapse exactly there.
+    let n3 = 200usize;
+    let mut coo = CooMatrix::new(n3, n3);
+    coo.push(0, 0, 0.0).unwrap();
+    for i in 1..n3 {
+        coo.push(i, i, 8.0 + i as f64 * 0.01).unwrap();
+        if i >= 2 {
+            coo.push(i, i - 1, -1.0).unwrap();
+        }
+        if i >= 8 {
+            coo.push(i, i - 7, -0.5).unwrap();
+        }
+        if i + 3 < n3 {
+            coo.push(i, i + 3, -0.25).unwrap();
+        }
+    }
+    let a_sing = coo.to_csr();
+
+    // Under the strict policy the same matrix is a hard error …
+    let opts_err = IluOptions::ilu0(3).with_zero_pivot(ZeroPivotPolicy::Error);
+    let sym_err = SymbolicIlu::analyze(&a_sing, &opts_err).expect("analysis (Error policy)");
+    assert!(
+        matches!(sym_err.factor(&a_sing), Err(SparseError::ZeroPivot { .. })),
+        "Error policy must reject the singular matrix"
+    );
+
+    // … and under ShiftRetry it factors on the second attempt.
+    let opts_sr = IluOptions::ilu0(3).with_zero_pivot(ZeroPivotPolicy::shift_retry());
+    let sym_sr = SymbolicIlu::analyze(&a_sing, &opts_sr).expect("analysis (ShiftRetry)");
+    let mut f_sr = sym_sr.factor(&a_sing).expect("shift-retry factor");
+    assert_eq!(
+        f_sr.stats().shift_attempts,
+        2,
+        "one breakdown + one shifted success"
+    );
+    assert!(
+        f_sr.stats().diag_shift > 0.0,
+        "final shift must be recorded"
+    );
+
+    // Warm up, then measure: the whole retry loop (reload values,
+    // re-run the planned sweep with an escalated shift) must be
+    // allocation-free.
+    f_sr.refactor(&a_sing).expect("warm-up shifted refactor");
+    f_sr.refactor(&a_sing).expect("second warm-up");
+    let (allocs_mid, bytes_mid) = snapshot();
+    f_sr.refactor(&a_sing)
+        .expect("steady-state shifted refactor");
+    let (allocs_after, bytes_after) = snapshot();
+    assert_eq!(
+        allocs_after - allocs_mid,
+        0,
+        "shift-retry refactor performed heap allocations"
+    );
+    assert_eq!(
+        bytes_after - bytes_mid,
+        0,
+        "shift-retry refactor allocated bytes"
+    );
+    assert_eq!(f_sr.stats().shift_attempts, 2, "refactor retried once too");
+    assert!(f_sr.stats().diag_shift > 0.0);
+    assert!(
+        f_sr.lu().vals().iter().all(|v| v.is_finite()),
+        "shifted factors must be finite"
     );
 }
