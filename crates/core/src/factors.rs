@@ -135,6 +135,25 @@ impl<T: Scalar> IluFactors<T> {
             .refactor_into(a, self.lu.vals_mut(), &mut self.stats)
     }
 
+    /// Like [`IluFactors::refactor`], but unconditionally boosts the
+    /// diagonal by `relative_shift · max|aᵢᵢ|` before the numeric sweep,
+    /// trading a little preconditioner accuracy for stability — the
+    /// engine behind breakdown-aware solve retries, where the unshifted
+    /// factorization completed but produced factors too ill-conditioned
+    /// to apply. Same zero-allocation planned path as `refactor`; the
+    /// applied absolute shift lands in `stats().diag_shift`.
+    ///
+    /// # Errors
+    /// See [`IluFactors::refactor`].
+    pub fn refactor_with_shift(
+        &mut self,
+        a: &CsrMatrix<T>,
+        relative_shift: f64,
+    ) -> Result<(), SparseError> {
+        self.sym
+            .refactor_shifted_into(a, self.lu.vals_mut(), &mut self.stats, relative_shift)
+    }
+
     /// Pre-grows the internal solve scratch to panel width `k`, so the
     /// first width-`k` panel solve is already allocation-free. Widths
     /// are grow-only; narrower panels reuse the wide buffers.

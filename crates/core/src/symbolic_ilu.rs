@@ -72,6 +72,10 @@ pub(crate) struct SymCore<T> {
     /// Pattern of the analyzed `A`, kept to validate refactor inputs.
     a_rowptr: Vec<usize>,
     a_colidx: Vec<usize>,
+    /// Structural fingerprint of the analyzed `A` pattern (the cheap
+    /// cache key of pattern-keyed symbolic caches; see
+    /// [`javelin_sparse::pattern::pattern_fingerprint`]).
+    a_fingerprint: u64,
     /// Permuted combined-LU pattern.
     pub(crate) rowptr: Vec<usize>,
     pub(crate) colidx: Vec<usize>,
@@ -387,6 +391,12 @@ impl<T: Scalar> SymbolicIlu<T> {
                 opts: opts.clone(),
                 lower_method,
                 engine_hint,
+                a_fingerprint: javelin_sparse::pattern::fingerprint_parts(
+                    a.nrows(),
+                    a.ncols(),
+                    a.rowptr(),
+                    a.colidx(),
+                ),
                 a_rowptr: a.rowptr().to_vec(),
                 a_colidx: a.colidx().to_vec(),
                 rowptr,
@@ -458,6 +468,15 @@ impl<T: Scalar> SymbolicIlu<T> {
 
     pub(crate) fn core(&self) -> &SymCore<T> {
         &self.core
+    }
+
+    /// Structural fingerprint of the analyzed pattern — the cheap cache
+    /// key used by pattern-keyed symbolic caches. Equal to
+    /// [`javelin_sparse::pattern::pattern_fingerprint`] of the analyzed
+    /// matrix. A fingerprint match is a fast filter, not proof of
+    /// pattern identity; pair it with [`SymbolicIlu::check_pattern`].
+    pub fn pattern_fingerprint(&self) -> u64 {
+        self.core.a_fingerprint
     }
 
     /// Verifies that `a` has exactly the sparsity pattern this analysis
@@ -629,26 +648,7 @@ impl<T: Scalar> SymbolicIlu<T> {
             // diagonal away from zero. Both steps are allocation-free,
             // as is the planned numeric path below.
             self.load_values(a, num);
-            let mut scale = 0.0f64;
-            for &k in c.diag_pos.iter() {
-                scale = scale.max(num.lu_vals.get(k).abs().to_f64());
-            }
-            if scale == 0.0 {
-                scale = 1.0;
-            }
-            shift = initial * growth.powi(attempt as i32 - 1) * scale;
-            let shift_t = T::from_f64(shift);
-            for &k in c.diag_pos.iter() {
-                let d = num.lu_vals.get(k);
-                num.lu_vals.set(
-                    k,
-                    if d < T::ZERO {
-                        d - shift_t
-                    } else {
-                        d + shift_t
-                    },
-                );
-            }
+            shift = self.apply_diag_shift(num, initial * growth.powi(attempt as i32 - 1));
             match self.run_numeric(num, NumericPath::Planned) {
                 Ok((replaced, dropped)) => {
                     return Ok(NumericOutcome {
@@ -667,6 +667,70 @@ impl<T: Scalar> SymbolicIlu<T> {
             attempts: max_attempts + 1,
             shift,
         })
+    }
+
+    /// Boosts every diagonal away from zero by
+    /// `relative_shift · max|aᵢᵢ|` (falling back to an absolute shift
+    /// when the diagonal is entirely zero), signed to move each entry
+    /// away from the origin. Operates on the loaded value buffer;
+    /// allocation-free. Returns the absolute shift applied.
+    fn apply_diag_shift(&self, num: &mut NumericScratch<T>, relative_shift: f64) -> f64 {
+        let c = &*self.core;
+        let mut scale = 0.0f64;
+        for &k in c.diag_pos.iter() {
+            scale = scale.max(num.lu_vals.get(k).abs().to_f64());
+        }
+        if scale == 0.0 {
+            scale = 1.0;
+        }
+        let shift = relative_shift * scale;
+        let shift_t = T::from_f64(shift);
+        for &k in c.diag_pos.iter() {
+            let d = num.lu_vals.get(k);
+            num.lu_vals.set(
+                k,
+                if d < T::ZERO {
+                    d - shift_t
+                } else {
+                    d + shift_t
+                },
+            );
+        }
+        shift
+    }
+
+    /// Like [`SymbolicIlu::refactor_into`], but unconditionally boosts
+    /// the diagonal by `relative_shift · max|aᵢᵢ|` before the numeric
+    /// sweep — the engine behind breakdown-aware solve retries, which
+    /// need a *more* stable (if slightly less accurate) preconditioner
+    /// even when the unshifted factorization completed without a zero
+    /// pivot. Runs the planned allocation-free path; the applied shift
+    /// is recorded in `stats.diag_shift`.
+    ///
+    /// # Errors
+    /// See [`IluFactors::refactor`].
+    pub(crate) fn refactor_shifted_into(
+        &self,
+        a: &CsrMatrix<T>,
+        out: &mut [T],
+        stats: &mut FactorStats,
+        relative_shift: f64,
+    ) -> Result<(), SparseError> {
+        self.check_pattern(a)?;
+        let t2 = Instant::now();
+        {
+            let mut num = self.core.numeric.lock();
+            self.load_values(a, &mut num);
+            let shift = self.apply_diag_shift(&mut num, relative_shift);
+            let (replaced, dropped) = self.run_numeric(&num, NumericPath::Planned)?;
+            stats.replaced_pivots = replaced;
+            stats.dropped_entries = dropped;
+            stats.shift_attempts = 1;
+            stats.diag_shift = shift;
+            num.lu_vals.store_to(out);
+        }
+        stats.t_numeric = t2.elapsed();
+        Ok(())
     }
 
     /// Runs the numeric engines over the loaded value buffer, returning

@@ -1,0 +1,61 @@
+//! Typed service errors: admission control and per-request failure
+//! reporting. Every variant is a *contained* outcome — one request's
+//! error never takes the service (or any other client) down.
+
+use javelin_sparse::SparseError;
+
+/// Why a solve request did not produce a solution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The bounded admission queue is full: the request was never
+    /// enqueued. Back off and retry — the service is healthy, just
+    /// saturated (the whole point of admission control is that this
+    /// surfaces as a cheap typed error instead of unbounded memory
+    /// growth or collapse).
+    Overloaded {
+        /// The queue bound the request bounced off.
+        queue_depth: usize,
+    },
+    /// The request was malformed (dimension mismatch, non-square
+    /// matrix, unsupported width) and was rejected before touching the
+    /// solver stack.
+    Rejected(String),
+    /// The service is draining: no new requests are admitted, but
+    /// everything already queued is still served.
+    ShuttingDown,
+    /// The factorization/solve stack returned a structured error for
+    /// this request (e.g. a pivot collapse under
+    /// [`javelin_core::ZeroPivotPolicy::Error`]). Other in-flight
+    /// requests — including pattern-identical ones coalesced into the
+    /// same batch round — are unaffected.
+    Solve(SparseError),
+    /// The dispatcher vanished mid-request (its thread ended without
+    /// replying). Only reachable if the service itself was torn down
+    /// uncleanly.
+    Disconnected,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Overloaded { queue_depth } => {
+                write!(
+                    f,
+                    "service overloaded: admission queue full ({queue_depth})"
+                )
+            }
+            ServiceError::Rejected(why) => write!(f, "request rejected: {why}"),
+            ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+            ServiceError::Solve(e) => write!(f, "solve failed: {e}"),
+            ServiceError::Disconnected => write!(f, "service dispatcher disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<SparseError> for ServiceError {
+    fn from(e: SparseError) -> Self {
+        ServiceError::Solve(e)
+    }
+}

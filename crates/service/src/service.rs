@@ -1,0 +1,353 @@
+//! The threaded front-end: a persistent dispatcher thread, a bounded
+//! admission queue, cloneable client handles, and graceful drain.
+//!
+//! Concurrency model (deliberately simple — no async runtime, so the
+//! whole service builds offline on `std`):
+//!
+//! * Clients hold a [`ServiceClient`] — a clone of the bounded
+//!   `sync_channel` sender plus the shared shutdown flag and stats.
+//!   [`ServiceClient::solve`] is synchronous: it enqueues the request
+//!   with a non-blocking `try_send` (a full queue surfaces immediately
+//!   as [`ServiceError::Overloaded`] — admission control, not
+//!   buffering) and blocks on a private one-shot reply channel.
+//! * One dispatcher thread owns the [`Engine`]: it blocks for the
+//!   first request, then greedily drains whatever else is already
+//!   queued (up to `max_batch`) into one batch — that natural queue
+//!   occupancy is the coalescing window, so a loaded service fuses
+//!   pattern-identical requests into wide panels while an idle one
+//!   adds zero latency.
+//! * [`SolveService::shutdown`] flips the flag (new solves are refused
+//!   with [`ServiceError::ShuttingDown`]), sends a drain sentinel, and
+//!   joins: everything already queued is still served before the
+//!   thread exits.
+//!
+//! All actual solving — symbolic caching, value-group coalescing,
+//! panel dispatch on the shared persistent worker team, breakdown
+//! retries — lives in [`Engine`]; this module only moves requests.
+
+use crate::cache::CacheStats;
+use crate::engine::{Engine, EngineConfig, EngineStats, SolveReply, SolveRequest};
+use crate::error::ServiceError;
+use javelin_sparse::Scalar;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Service construction knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Engine knobs (factorization options, solver options, panel
+    /// width, cache capacity).
+    pub engine: EngineConfig,
+    /// Admission bound: requests beyond this many queued are refused
+    /// with [`ServiceError::Overloaded`].
+    pub max_queue: usize,
+    /// Most requests drained into one dispatch batch.
+    pub max_batch: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            engine: EngineConfig::default(),
+            max_queue: 64,
+            max_batch: 64,
+        }
+    }
+}
+
+/// Cross-thread service counters (clients and dispatcher both bump).
+#[derive(Debug, Default)]
+pub struct ServiceStats {
+    /// Requests admitted to the queue.
+    pub accepted: AtomicU64,
+    /// Requests refused because the queue was full.
+    pub overloaded: AtomicU64,
+    /// Requests refused because the service was draining.
+    pub shut_out: AtomicU64,
+    /// Replies delivered (success or typed failure).
+    pub completed: AtomicU64,
+}
+
+enum Msg<T: Scalar> {
+    Solve {
+        req: SolveRequest<T>,
+        reply: SyncSender<Result<SolveReply<T>, ServiceError>>,
+    },
+    Drain,
+}
+
+/// A running solve service (see module docs). Dropping it without
+/// [`SolveService::shutdown`] detaches the dispatcher thread, which
+/// exits once every client handle is gone.
+pub struct SolveService<T: Scalar> {
+    tx: SyncSender<Msg<T>>,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<ServiceStats>,
+    engine_stats: Arc<EngineStatsCell>,
+    handle: Option<JoinHandle<()>>,
+    max_queue: usize,
+}
+
+/// Engine counters published by the dispatcher after every batch, so
+/// observers read them without a channel round-trip.
+#[derive(Default)]
+struct EngineStatsCell {
+    requests: AtomicU64,
+    batches: AtomicU64,
+    coalesced_panels: AtomicU64,
+    coalesced_columns: AtomicU64,
+    retries: AtomicU64,
+    rejected: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_evictions: AtomicU64,
+    cache_collisions: AtomicU64,
+    cache_refactors: AtomicU64,
+}
+
+impl EngineStatsCell {
+    fn publish(&self, e: EngineStats, c: CacheStats) {
+        self.requests.store(e.requests, Ordering::Relaxed);
+        self.batches.store(e.batches, Ordering::Relaxed);
+        self.coalesced_panels
+            .store(e.coalesced_panels, Ordering::Relaxed);
+        self.coalesced_columns
+            .store(e.coalesced_columns, Ordering::Relaxed);
+        self.retries.store(e.retries, Ordering::Relaxed);
+        self.rejected.store(e.rejected, Ordering::Relaxed);
+        self.cache_hits.store(c.hits, Ordering::Relaxed);
+        self.cache_misses.store(c.misses, Ordering::Relaxed);
+        self.cache_evictions.store(c.evictions, Ordering::Relaxed);
+        self.cache_collisions.store(c.collisions, Ordering::Relaxed);
+        self.cache_refactors.store(c.refactors, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time snapshot of the dispatcher's engine and cache
+/// counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServiceSnapshot {
+    /// Requests the engine processed.
+    pub requests: u64,
+    /// Dispatch batches.
+    pub batches: u64,
+    /// Fused panels (width > 1) dispatched.
+    pub coalesced_panels: u64,
+    /// Columns solved in fused panels.
+    pub coalesced_columns: u64,
+    /// Breakdown retries run.
+    pub retries: u64,
+    /// Requests rejected as malformed.
+    pub rejected: u64,
+    /// Symbolic-cache hits (requests with zero symbolic work).
+    pub cache_hits: u64,
+    /// Symbolic-cache misses (fresh analyses).
+    pub cache_misses: u64,
+    /// Cache evictions.
+    pub cache_evictions: u64,
+    /// Fingerprint collisions caught by full verification.
+    pub cache_collisions: u64,
+    /// Numeric-only refactors (cached pattern, new values).
+    pub cache_refactors: u64,
+}
+
+impl<T: Scalar> SolveService<T> {
+    /// Starts the dispatcher thread and returns the service handle.
+    pub fn start(cfg: ServiceConfig) -> Self {
+        let (tx, rx) = sync_channel::<Msg<T>>(cfg.max_queue.max(1));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(ServiceStats::default());
+        let engine_stats = Arc::new(EngineStatsCell::default());
+        let max_queue = cfg.max_queue.max(1);
+        let handle = {
+            let stats = Arc::clone(&stats);
+            let engine_stats = Arc::clone(&engine_stats);
+            std::thread::Builder::new()
+                .name("javelin-service".into())
+                .spawn(move || dispatcher(cfg, rx, stats, engine_stats))
+                .expect("spawn service dispatcher")
+        };
+        SolveService {
+            tx,
+            shutdown,
+            stats,
+            engine_stats,
+            handle: Some(handle),
+            max_queue,
+        }
+    }
+
+    /// A new client handle (cheap to clone; clients are independent).
+    pub fn client(&self) -> ServiceClient<T> {
+        ServiceClient {
+            tx: self.tx.clone(),
+            shutdown: Arc::clone(&self.shutdown),
+            stats: Arc::clone(&self.stats),
+            max_queue: self.max_queue,
+        }
+    }
+
+    /// Front-end counters (admission decisions, completions).
+    pub fn stats(&self) -> &ServiceStats {
+        &self.stats
+    }
+
+    /// Engine/cache counters as published after the most recent batch.
+    pub fn snapshot(&self) -> ServiceSnapshot {
+        let e = &*self.engine_stats;
+        ServiceSnapshot {
+            requests: e.requests.load(Ordering::Relaxed),
+            batches: e.batches.load(Ordering::Relaxed),
+            coalesced_panels: e.coalesced_panels.load(Ordering::Relaxed),
+            coalesced_columns: e.coalesced_columns.load(Ordering::Relaxed),
+            retries: e.retries.load(Ordering::Relaxed),
+            rejected: e.rejected.load(Ordering::Relaxed),
+            cache_hits: e.cache_hits.load(Ordering::Relaxed),
+            cache_misses: e.cache_misses.load(Ordering::Relaxed),
+            cache_evictions: e.cache_evictions.load(Ordering::Relaxed),
+            cache_collisions: e.cache_collisions.load(Ordering::Relaxed),
+            cache_refactors: e.cache_refactors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Graceful drain: refuses new requests, serves everything already
+    /// queued, then joins the dispatcher thread.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // The sentinel both wakes a blocked dispatcher and marks the
+        // drain point; a full queue just means the dispatcher is busy —
+        // keep nudging until the sentinel fits.
+        let mut msg = Msg::Drain;
+        loop {
+            match self.tx.try_send(msg) {
+                Ok(()) => break,
+                Err(TrySendError::Full(m)) => {
+                    msg = m;
+                    std::thread::yield_now();
+                }
+                Err(TrySendError::Disconnected(_)) => break,
+            }
+        }
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn dispatcher<T: Scalar>(
+    cfg: ServiceConfig,
+    rx: Receiver<Msg<T>>,
+    stats: Arc<ServiceStats>,
+    engine_stats: Arc<EngineStatsCell>,
+) {
+    let mut engine = Engine::new(cfg.engine);
+    let max_batch = cfg.max_batch.max(1);
+    let mut requests: Vec<SolveRequest<T>> = Vec::new();
+    let mut reply_to: Vec<SyncSender<Result<SolveReply<T>, ServiceError>>> = Vec::new();
+    let mut replies: Vec<Result<SolveReply<T>, ServiceError>> = Vec::new();
+    let mut draining = false;
+    loop {
+        // Block for the first request of the round (unless draining:
+        // then only what is already queued counts).
+        match if draining {
+            rx.try_recv().map_err(|_| ())
+        } else {
+            rx.recv().map_err(|_| ())
+        } {
+            Ok(Msg::Solve { req, reply }) => {
+                requests.push(req);
+                reply_to.push(reply);
+            }
+            Ok(Msg::Drain) => draining = true,
+            Err(()) => {
+                if requests.is_empty() {
+                    break;
+                }
+            }
+        }
+        // Greedy drain: whatever is queued right now is the batch (and
+        // the coalescing window).
+        while requests.len() < max_batch {
+            match rx.try_recv() {
+                Ok(Msg::Solve { req, reply }) => {
+                    requests.push(req);
+                    reply_to.push(reply);
+                }
+                Ok(Msg::Drain) => draining = true,
+                Err(_) => break,
+            }
+        }
+        if requests.is_empty() {
+            if draining {
+                break;
+            }
+            continue;
+        }
+        engine.process(&mut requests, &mut replies);
+        // Publish counters BEFORE releasing replies: a client that has
+        // its answer in hand must observe a snapshot covering its batch.
+        engine_stats.publish(engine.stats(), engine.cache_stats());
+        for (reply, tx) in replies.drain(..).zip(reply_to.drain(..)) {
+            // A vanished client (timed out, died) must not stall the
+            // service; its reply is simply dropped. Counted before the
+            // send for the same reason as the publish above.
+            stats.completed.fetch_add(1, Ordering::Relaxed);
+            let _ = tx.send(reply);
+        }
+    }
+}
+
+/// A cloneable, synchronous client of a [`SolveService`].
+pub struct ServiceClient<T: Scalar> {
+    tx: SyncSender<Msg<T>>,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<ServiceStats>,
+    max_queue: usize,
+}
+
+impl<T: Scalar> Clone for ServiceClient<T> {
+    fn clone(&self) -> Self {
+        ServiceClient {
+            tx: self.tx.clone(),
+            shutdown: Arc::clone(&self.shutdown),
+            stats: Arc::clone(&self.stats),
+            max_queue: self.max_queue,
+        }
+    }
+}
+
+impl<T: Scalar> ServiceClient<T> {
+    /// Submits one solve and blocks for its reply.
+    ///
+    /// # Errors
+    /// * [`ServiceError::ShuttingDown`] — the service is draining;
+    /// * [`ServiceError::Overloaded`] — the admission queue is full
+    ///   (the request was never enqueued; back off and retry);
+    /// * [`ServiceError::Rejected`] — the request is malformed;
+    /// * [`ServiceError::Solve`] — the solver stack failed this
+    ///   request (other clients are unaffected);
+    /// * [`ServiceError::Disconnected`] — the dispatcher died.
+    pub fn solve(&self, req: SolveRequest<T>) -> Result<SolveReply<T>, ServiceError> {
+        if self.shutdown.load(Ordering::SeqCst) {
+            self.stats.shut_out.fetch_add(1, Ordering::Relaxed);
+            return Err(ServiceError::ShuttingDown);
+        }
+        let (rtx, rrx) = sync_channel(1);
+        match self.tx.try_send(Msg::Solve { req, reply: rtx }) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => {
+                self.stats.overloaded.fetch_add(1, Ordering::Relaxed);
+                return Err(ServiceError::Overloaded {
+                    queue_depth: self.max_queue,
+                });
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                return Err(ServiceError::Disconnected);
+            }
+        }
+        self.stats.accepted.fetch_add(1, Ordering::Relaxed);
+        rrx.recv().unwrap_or(Err(ServiceError::Disconnected))
+    }
+}

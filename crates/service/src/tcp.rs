@@ -1,0 +1,303 @@
+//! Thin `std::net` TCP front-end over a [`ServiceClient`].
+//!
+//! One acceptor thread (non-blocking accept + stop flag, no async
+//! runtime) spawns a handler thread per connection. Each connection is
+//! a tenant: it uploads its matrix once and then streams solves, which
+//! the in-process dispatcher coalesces with every other tenant's
+//! traffic exactly as if they were in-process clients.
+
+use crate::engine::SolveRequest;
+use crate::error::ServiceError;
+use crate::service::ServiceClient;
+use crate::wire::{self, BodyReader, Tag, MAX_DIM};
+use javelin_solver::Method;
+use javelin_sparse::CsrMatrix;
+use std::io::{self, ErrorKind};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running TCP front-end; dropping it without [`TcpFrontend::stop`]
+/// leaves the acceptor running until the process exits.
+pub struct TcpFrontend {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl TcpFrontend {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts accepting connections, each served through `client`.
+    ///
+    /// # Errors
+    /// I/O errors from binding.
+    pub fn bind(addr: &str, client: ServiceClient<f64>) -> io::Result<TcpFrontend> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("javelin-tcp-accept".into())
+                .spawn(move || accept_loop(listener, client, stop))
+                .expect("spawn tcp acceptor")
+        };
+        Ok(TcpFrontend {
+            addr: local,
+            stop,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting new connections and joins the acceptor.
+    /// Connections already being served run to completion on their own
+    /// threads.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, client: ServiceClient<f64>, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let client = client.clone();
+                let _ = std::thread::Builder::new()
+                    .name("javelin-tcp-conn".into())
+                    .spawn(move || {
+                        let _ = serve_connection(stream, client);
+                    });
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn service_error_code(e: &ServiceError) -> u16 {
+    match e {
+        ServiceError::Overloaded { .. } => wire::code::OVERLOADED,
+        ServiceError::Rejected(_) => wire::code::REJECTED,
+        ServiceError::ShuttingDown => wire::code::SHUTTING_DOWN,
+        ServiceError::Solve(_) => wire::code::SOLVE,
+        ServiceError::Disconnected => wire::code::DISCONNECTED,
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, client: ServiceClient<f64>) -> io::Result<()> {
+    let mut body = Vec::new();
+    let mut out = Vec::new();
+    let mut matrix: Option<Arc<CsrMatrix<f64>>> = None;
+    // Reused across solves on this connection: the reply hands the
+    // buffers back, so a streaming tenant settles into zero per-solve
+    // allocation on this side too.
+    let mut bbuf: Vec<f64> = Vec::new();
+    let mut xbuf: Vec<f64> = Vec::new();
+    loop {
+        let tag = match wire::read_frame(&mut stream, &mut body) {
+            Ok(t) => t,
+            Err(e) if e.kind() == ErrorKind::UnexpectedEof => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        match tag {
+            Tag::SetMatrix => match decode_matrix(&body) {
+                Ok(a) => {
+                    matrix = Some(Arc::new(a));
+                    out.clear();
+                    wire::write_frame(&mut stream, Tag::MatrixOk, &out)?;
+                }
+                Err(msg) => {
+                    wire::encode_reply_err(&mut out, wire::code::PROTOCOL, &msg);
+                    wire::write_frame(&mut stream, Tag::ReplyErr, &out)?;
+                }
+            },
+            Tag::Solve => {
+                let mut r = BodyReader::new(&body);
+                let method = r.u8().and_then(|v| {
+                    wire::method_from_wire(v)
+                        .ok_or_else(|| io::Error::new(ErrorKind::InvalidData, "unknown method tag"))
+                });
+                let parsed = method.and_then(|m| {
+                    let len = r.u64()? as usize;
+                    if len as u64 > MAX_DIM {
+                        return Err(io::Error::new(
+                            ErrorKind::InvalidData,
+                            "rhs length exceeds bound",
+                        ));
+                    }
+                    r.f64s(len, &mut bbuf)?;
+                    Ok(m)
+                });
+                let (method, a) = match (parsed, &matrix) {
+                    (Ok(m), Some(a)) => (m, Arc::clone(a)),
+                    (Err(e), _) => {
+                        wire::encode_reply_err(&mut out, wire::code::PROTOCOL, &e.to_string());
+                        wire::write_frame(&mut stream, Tag::ReplyErr, &out)?;
+                        continue;
+                    }
+                    (Ok(_), None) => {
+                        wire::encode_reply_err(
+                            &mut out,
+                            wire::code::PROTOCOL,
+                            "solve before set-matrix",
+                        );
+                        wire::write_frame(&mut stream, Tag::ReplyErr, &out)?;
+                        continue;
+                    }
+                };
+                let req = SolveRequest {
+                    a,
+                    b: std::mem::take(&mut bbuf),
+                    x: std::mem::take(&mut xbuf),
+                    method,
+                };
+                match client.solve(req) {
+                    Ok(reply) => {
+                        wire::encode_reply_ok(&mut out, &reply.result, &reply.x);
+                        bbuf = reply.b;
+                        xbuf = reply.x;
+                        wire::write_frame(&mut stream, Tag::ReplyOk, &out)?;
+                    }
+                    Err(e) => {
+                        wire::encode_reply_err(&mut out, service_error_code(&e), &e.to_string());
+                        wire::write_frame(&mut stream, Tag::ReplyErr, &out)?;
+                    }
+                }
+            }
+            Tag::ReplyOk | Tag::ReplyErr | Tag::MatrixOk => {
+                wire::encode_reply_err(
+                    &mut out,
+                    wire::code::PROTOCOL,
+                    "server-to-client tag from client",
+                );
+                wire::write_frame(&mut stream, Tag::ReplyErr, &out)?;
+            }
+        }
+    }
+}
+
+fn decode_matrix(body: &[u8]) -> Result<CsrMatrix<f64>, String> {
+    let mut r = BodyReader::new(body);
+    let n = r.u64().map_err(|e| e.to_string())?;
+    let nnz = r.u64().map_err(|e| e.to_string())?;
+    if n > MAX_DIM || nnz > MAX_DIM {
+        return Err("matrix dimensions exceed wire bounds".into());
+    }
+    let (n, nnz) = (n as usize, nnz as usize);
+    let mut rowptr = Vec::new();
+    let mut colidx = Vec::new();
+    let mut vals = Vec::new();
+    r.usizes(n + 1, &mut rowptr).map_err(|e| e.to_string())?;
+    r.usizes(nnz, &mut colidx).map_err(|e| e.to_string())?;
+    r.f64s(nnz, &mut vals).map_err(|e| e.to_string())?;
+    if r.remaining() != 0 {
+        return Err("trailing bytes after matrix body".into());
+    }
+    CsrMatrix::try_from_parts(n, n, rowptr, colidx, vals).map_err(|e| e.to_string())
+}
+
+/// A minimal blocking TCP client for tests and examples.
+pub struct TcpSolveClient {
+    stream: TcpStream,
+    body: Vec<u8>,
+    out: Vec<u8>,
+}
+
+/// A decoded [`Tag::ReplyOk`] frame.
+#[derive(Debug, Clone, Default)]
+pub struct WireReply {
+    /// Whether the solve converged.
+    pub converged: bool,
+    /// Whether the breakdown-retry ran.
+    pub retried: bool,
+    /// Iterations performed.
+    pub iterations: u64,
+    /// Final relative residual.
+    pub relative_residual: f64,
+    /// The solution.
+    pub x: Vec<f64>,
+}
+
+impl TcpSolveClient {
+    /// Connects to a [`TcpFrontend`].
+    ///
+    /// # Errors
+    /// Connection I/O errors.
+    pub fn connect(addr: SocketAddr) -> io::Result<TcpSolveClient> {
+        Ok(TcpSolveClient {
+            stream: TcpStream::connect(addr)?,
+            body: Vec::new(),
+            out: Vec::new(),
+        })
+    }
+
+    /// Uploads the connection's matrix.
+    ///
+    /// # Errors
+    /// I/O errors, or a decoded server-side rejection.
+    pub fn set_matrix(&mut self, a: &CsrMatrix<f64>) -> io::Result<()> {
+        wire::encode_set_matrix(&mut self.out, a.nrows(), a.rowptr(), a.colidx(), a.vals());
+        wire::write_frame(&mut self.stream, Tag::SetMatrix, &self.out)?;
+        let tag = wire::read_frame(&mut self.stream, &mut self.body)?;
+        match tag {
+            Tag::MatrixOk => Ok(()),
+            Tag::ReplyErr => Err(io::Error::other(decode_err(&self.body))),
+            _ => Err(io::Error::new(ErrorKind::InvalidData, "unexpected tag")),
+        }
+    }
+
+    /// Solves against the uploaded matrix.
+    ///
+    /// # Errors
+    /// I/O errors, or a decoded server-side error (code + message).
+    pub fn solve(&mut self, method: Method, b: &[f64]) -> io::Result<WireReply> {
+        wire::encode_solve(&mut self.out, method, b);
+        wire::write_frame(&mut self.stream, Tag::Solve, &self.out)?;
+        let tag = wire::read_frame(&mut self.stream, &mut self.body)?;
+        match tag {
+            Tag::ReplyOk => {
+                let mut r = BodyReader::new(&self.body);
+                let converged = r.u8()? != 0;
+                let retried = r.u8()? != 0;
+                let iterations = r.u64()?;
+                let relative_residual = r.f64()?;
+                let len = r.u64()? as usize;
+                let mut x = Vec::new();
+                r.f64s(len, &mut x)?;
+                Ok(WireReply {
+                    converged,
+                    retried,
+                    iterations,
+                    relative_residual,
+                    x,
+                })
+            }
+            Tag::ReplyErr => Err(io::Error::other(decode_err(&self.body))),
+            _ => Err(io::Error::new(ErrorKind::InvalidData, "unexpected tag")),
+        }
+    }
+}
+
+fn decode_err(body: &[u8]) -> String {
+    let mut r = BodyReader::new(body);
+    let code = r.u16().unwrap_or(0);
+    let len = r.u64().unwrap_or(0).min(4096) as usize;
+    let mut msg = String::new();
+    if let Ok(bytes) = r.bytes(len) {
+        msg = String::from_utf8_lossy(bytes).into_owned();
+    }
+    format!("server error {code}: {msg}")
+}

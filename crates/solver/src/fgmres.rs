@@ -59,6 +59,7 @@ pub fn fgmres_with<T: Scalar, P: Preconditioner<T>>(
             relative_residual: 0.0,
             history: Vec::new(),
             status: SolverStatus::Converged,
+            retried: false,
         };
     }
     if !b_norm.is_finite() {
@@ -69,6 +70,7 @@ pub fn fgmres_with<T: Scalar, P: Preconditioner<T>>(
             relative_residual: f64::NAN,
             history: Vec::new(),
             status: SolverStatus::NumericalBreakdown,
+            retried: false,
         };
     }
     let mut history = Vec::new();
@@ -193,6 +195,7 @@ pub fn fgmres_with<T: Scalar, P: Preconditioner<T>>(
         } else {
             SolverStatus::MaxIters
         },
+        retried: false,
     }
 }
 

@@ -222,6 +222,46 @@ pub fn krylov_panel_with<T: Scalar, P: Preconditioner<T>>(
     }
 }
 
+/// [`krylov_panel_with`] writing per-column results into a caller
+/// slice instead of returning a fresh `Vec` — the fully
+/// allocation-free dispatched panel entry (the service hot path). Each
+/// result slot is reset to [`SolverResult::default`] before the solve,
+/// so stale state (including a previous `retried` stamp) never leaks
+/// through. `results.len()` must equal the panel width.
+///
+/// # Panics
+/// On panel shape mismatches or a wrong `results` length.
+#[allow(clippy::too_many_arguments)]
+pub fn krylov_panel_into<T: Scalar, P: Preconditioner<T>>(
+    method: Method,
+    a: &CsrMatrix<T>,
+    b: Panel<'_, T>,
+    mut x: PanelMut<'_, T>,
+    m: &P,
+    opts: &SolverOptions,
+    ws: &mut SolverWorkspace<T>,
+    results: &mut [SolverResult],
+) {
+    match method {
+        Method::Pcg | Method::BatchPcg => solve_batch_into(a, b, x, m, opts, ws, results),
+        Method::Bicgstab | Method::BatchBicgstab => {
+            bicgstab_batch_into(a, b, x, m, opts, ws, results)
+        }
+        Method::Gmres | Method::BatchGmres => gmres_batch_into(a, b, x, m, opts, ws, results),
+        Method::Fgmres => {
+            let n = a.nrows();
+            let k = b.ncols();
+            assert_eq!(b.nrows(), n, "krylov_panel: rhs panel rows");
+            assert_eq!(x.nrows(), n, "krylov_panel: solution panel rows");
+            assert_eq!(x.ncols(), k, "krylov_panel: panel widths differ");
+            assert_eq!(results.len(), k, "krylov_panel: results length");
+            for (c, r) in results.iter_mut().enumerate() {
+                *r = fgmres_with(a, b.col(c), x.col_mut(c), m, opts, ws);
+            }
+        }
+    }
+}
+
 /// [`krylov_panel_with`] allocating a fresh workspace — convenience for
 /// one-shot panel solves.
 pub fn krylov_panel<T: Scalar, P: Preconditioner<T>>(
@@ -298,6 +338,12 @@ pub struct SolverResult {
     pub history: Vec<f64>,
     /// Structured termination reason (see [`SolverStatus`]).
     pub status: SolverStatus,
+    /// Whether this result came from an automatic breakdown-retry (the
+    /// first attempt hit [`SolverStatus::NumericalBreakdown`] and the
+    /// caller re-ran the solve with a stabilized preconditioner).
+    /// Drivers never set this themselves — retry layers
+    /// (`Session::krylov`, the solve service) stamp it.
+    pub retried: bool,
 }
 
 impl SolverResult {

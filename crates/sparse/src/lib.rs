@@ -56,6 +56,7 @@ pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
 pub use error::SparseError;
 pub use lanes::{DynLanes, FixedLanes, LaneMask, Lanes};
-pub use panel::{Panel, PanelMut};
+pub use panel::{Panel, PanelBuf, PanelMut};
+pub use pattern::{pattern_fingerprint, value_fingerprint};
 pub use perm::Perm;
 pub use scalar::Scalar;

@@ -234,6 +234,115 @@ impl<'a, T: Scalar> PanelMut<'a, T> {
     }
 }
 
+/// Owned, grow-only, column-major panel storage: the staging buffer
+/// between *owned columns* (independent right-hand sides arriving from
+/// separate clients) and the contiguous [`Panel`] views the batch
+/// drivers consume.
+///
+/// The backing buffer only ever grows ([`PanelBuf::ensure`]), so after
+/// warm-up at a given `(nrows, ncols)` the gather → solve → scatter
+/// cycle performs zero heap allocations — the contract the solve
+/// service's steady-state dispatch is tested against. The *shape* may
+/// shrink freely (a narrower coalesced batch reuses the wide buffer).
+#[derive(Debug, Clone, Default)]
+pub struct PanelBuf<T> {
+    data: Vec<T>,
+    nrows: usize,
+    ncols: usize,
+}
+
+impl<T: Scalar> PanelBuf<T> {
+    /// Empty buffer (shape `0 × 0`, no storage).
+    pub fn new() -> Self {
+        PanelBuf {
+            data: Vec::new(),
+            nrows: 0,
+            ncols: 0,
+        }
+    }
+
+    /// Sets the current shape to `nrows × ncols`, growing the backing
+    /// storage if (and only if) the new shape needs more entries.
+    /// Entries are not cleared — callers overwrite via gather or
+    /// [`PanelBuf::panel_mut`].
+    pub fn ensure(&mut self, nrows: usize, ncols: usize) {
+        let need = nrows * ncols;
+        if self.data.len() < need {
+            self.data.resize(need, T::ZERO);
+        }
+        self.nrows = nrows;
+        self.ncols = ncols;
+    }
+
+    /// Rows per column of the current shape.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Columns of the current shape.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Gathers owned columns into the staging storage: sets the shape
+    /// to `nrows × cols.len()` and copies each slice in as one column.
+    ///
+    /// # Panics
+    /// When any column's length differs from `nrows`.
+    pub fn gather<'s>(&mut self, nrows: usize, cols: impl ExactSizeIterator<Item = &'s [T]>)
+    where
+        T: 's,
+    {
+        self.ensure(nrows, cols.len());
+        for (c, col) in cols.enumerate() {
+            assert_eq!(col.len(), nrows, "panel gather: column {c} length");
+            self.data[c * nrows..(c + 1) * nrows].copy_from_slice(col);
+        }
+    }
+
+    /// Zero-fills the current shape (an initial-guess panel).
+    pub fn fill_zero(&mut self) {
+        self.data[..self.nrows * self.ncols].fill(T::ZERO);
+    }
+
+    /// Column `c` of the current shape as a contiguous slice.
+    ///
+    /// # Panics
+    /// When `c >= ncols`.
+    pub fn col(&self, c: usize) -> &[T] {
+        assert!(c < self.ncols, "panel buf: column {c} of {}", self.ncols);
+        &self.data[c * self.nrows..(c + 1) * self.nrows]
+    }
+
+    /// Copies column `c` out into a caller-owned slice (the scatter
+    /// half of the gather/scatter cycle).
+    ///
+    /// # Panics
+    /// When `c >= ncols` or `out.len() != nrows`.
+    pub fn scatter_col(&self, c: usize, out: &mut [T]) {
+        assert_eq!(out.len(), self.nrows, "panel buf: scatter length");
+        out.copy_from_slice(self.col(c));
+    }
+
+    /// Borrowed [`Panel`] view of the current shape.
+    pub fn panel(&self) -> Panel<'_, T> {
+        Panel::new(
+            &self.data[..self.nrows * self.ncols],
+            self.nrows,
+            self.ncols,
+        )
+    }
+
+    /// Borrowed [`PanelMut`] view of the current shape.
+    pub fn panel_mut(&mut self) -> PanelMut<'_, T> {
+        PanelMut::new(
+            &mut self.data[..self.nrows * self.ncols],
+            self.nrows,
+            self.ncols,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -313,5 +422,32 @@ mod tests {
         let data = vec![0.0f64; 4];
         let p = Panel::new(&data, 2, 2);
         let _ = p.col(2);
+    }
+
+    #[test]
+    fn panel_buf_gathers_scatters_and_reshapes_without_regrowth() {
+        let mut buf = PanelBuf::<f64>::new();
+        let c0 = [1.0, 2.0, 3.0];
+        let c1 = [4.0, 5.0, 6.0];
+        buf.gather(3, [c0.as_slice(), c1.as_slice()].into_iter());
+        assert_eq!((buf.nrows(), buf.ncols()), (3, 2));
+        assert_eq!(buf.panel().col(1), &c1);
+        let mut out = [0.0; 3];
+        buf.scatter_col(0, &mut out);
+        assert_eq!(out, c0);
+        // Shrinking the shape reuses storage; the wide gather's data is
+        // simply overwritten on the next use.
+        buf.ensure(2, 1);
+        buf.panel_mut().col_mut(0).copy_from_slice(&[9.0, 8.0]);
+        assert_eq!(buf.col(0), &[9.0, 8.0]);
+        buf.fill_zero();
+        assert_eq!(buf.col(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "column 0 length")]
+    fn panel_buf_rejects_ragged_columns() {
+        let mut buf = PanelBuf::<f64>::new();
+        buf.gather(3, [[1.0, 2.0].as_slice()].into_iter());
     }
 }

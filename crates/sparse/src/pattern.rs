@@ -91,6 +91,110 @@ impl SparsityPattern {
             vec![T::ONE; self.colidx.len()],
         )
     }
+
+    /// 64-bit structural fingerprint of this pattern (see
+    /// [`pattern_fingerprint`]).
+    pub fn fingerprint(&self) -> u64 {
+        fingerprint_parts(self.nrows, self.ncols, &self.rowptr, &self.colidx)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Structural fingerprints — the cache keys of the solve service.
+//
+// A pattern-keyed cache (the `javelin-service` symbolic LRU) needs a
+// cheap, deterministic, allocation-free digest of "same sparsity
+// structure". The hash below is a word-wise FNV-1a variant with a
+// splitmix64 finalizer: one multiply per index word, good dispersion
+// for equal-length integer streams, and no dependencies. It is a *fast
+// filter*, not a proof — collisions are possible (and unit-tested for
+// at the cache layer), so any consumer must verify the full pattern on
+// a fingerprint match before reusing cached analysis.
+// ---------------------------------------------------------------------
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// splitmix64 finalizer: full-avalanche mixing of the running hash.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Incremental word hasher behind the fingerprint functions (word-wise
+/// FNV-1a core + `mix64` finalizer).
+#[derive(Debug, Clone, Copy)]
+pub struct FingerprintHasher {
+    state: u64,
+}
+
+impl FingerprintHasher {
+    /// Fresh hasher (FNV-1a offset basis).
+    pub fn new() -> Self {
+        FingerprintHasher { state: FNV_OFFSET }
+    }
+
+    /// Absorbs one 64-bit word.
+    #[inline]
+    pub fn write(&mut self, word: u64) {
+        self.state = (self.state ^ word).wrapping_mul(FNV_PRIME);
+    }
+
+    /// Absorbs a slice of index words.
+    #[inline]
+    pub fn write_usizes(&mut self, words: &[usize]) {
+        for &w in words {
+            self.write(w as u64);
+        }
+    }
+
+    /// Finalized 64-bit digest.
+    #[inline]
+    pub fn finish(&self) -> u64 {
+        mix64(self.state)
+    }
+}
+
+impl Default for FingerprintHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// 64-bit fingerprint of a sparsity structure given as raw CSR arrays:
+/// dimensions, row pointers and column indices (values ignored).
+/// Allocation-free, deterministic across runs and platforms.
+pub fn fingerprint_parts(nrows: usize, ncols: usize, rowptr: &[usize], colidx: &[usize]) -> u64 {
+    let mut h = FingerprintHasher::new();
+    h.write(nrows as u64);
+    h.write(ncols as u64);
+    h.write_usizes(rowptr);
+    h.write_usizes(colidx);
+    h.finish()
+}
+
+/// 64-bit *structural* fingerprint of a matrix: a digest of its
+/// dimensions and CSR index arrays, independent of the stored values.
+/// Two matrices with equal fingerprints *probably* share a sparsity
+/// pattern — callers caching per-pattern state must still verify the
+/// actual index arrays on a match (see module comment).
+pub fn pattern_fingerprint<T: Scalar>(a: &CsrMatrix<T>) -> u64 {
+    fingerprint_parts(a.nrows(), a.ncols(), a.rowptr(), a.colidx())
+}
+
+/// 64-bit fingerprint of a value slice (bit-exact: hashes each value's
+/// IEEE bits, so `-0.0 ≠ 0.0` and NaN payloads are distinguished).
+/// Paired with [`pattern_fingerprint`] this keys "same matrix, same
+/// values" — the coalescing group key of the solve service.
+pub fn value_fingerprint<T: Scalar>(vals: &[T]) -> u64 {
+    let mut h = FingerprintHasher::new();
+    h.write(vals.len() as u64);
+    for v in vals {
+        h.write(v.to_f64().to_bits());
+    }
+    h.finish()
 }
 
 /// Which triangular pattern drives level scheduling — the paper's
@@ -417,7 +521,52 @@ mod proptests {
         })
     }
 
+    #[test]
+    fn fingerprint_ignores_values_and_sees_structure() {
+        let mut coo = CooMatrix::new(3, 3);
+        for i in 0..3 {
+            coo.push(i, i, 2.0 + i as f64).unwrap();
+        }
+        coo.push(0, 2, -1.0).unwrap();
+        let a = coo.to_csr();
+        // Same pattern, different values → same structural fingerprint,
+        // different value fingerprint.
+        let a2 = a.map_values(|v| v * 3.5);
+        assert_eq!(pattern_fingerprint(&a), pattern_fingerprint(&a2));
+        assert_ne!(value_fingerprint(a.vals()), value_fingerprint(a2.vals()));
+        // Value fingerprints are bit-exact: -0.0 and 0.0 differ.
+        assert_ne!(value_fingerprint(&[0.0f64]), value_fingerprint(&[-0.0f64]));
+        // Different structure → different fingerprint (with overwhelming
+        // probability; these fixed fixtures are part of the contract).
+        let mut coo3 = CooMatrix::new(3, 3);
+        for i in 0..3 {
+            coo3.push(i, i, 1.0).unwrap();
+        }
+        coo3.push(2, 0, -1.0).unwrap();
+        let b = coo3.to_csr();
+        assert_ne!(pattern_fingerprint(&a), pattern_fingerprint(&b));
+        // Dimensions participate: a 3×3 and a 4×4 all-diagonal pattern
+        // must not collide even though the shared prefix matches.
+        let d3 = SparsityPattern::from_raw(3, 3, vec![0, 1, 2, 3], vec![0, 1, 2]);
+        let d4 = SparsityPattern::from_raw(4, 4, vec![0, 1, 2, 3, 4], vec![0, 1, 2, 3]);
+        assert_ne!(d3.fingerprint(), d4.fingerprint());
+        // And the pattern-level fingerprint agrees with the matrix-level
+        // one.
+        assert_eq!(
+            SparsityPattern::of(&a).fingerprint(),
+            pattern_fingerprint(&a)
+        );
+    }
+
     proptest! {
+        #[test]
+        fn fingerprint_is_deterministic_and_value_blind(a in arb_square(24)) {
+            let fp1 = pattern_fingerprint(&a);
+            let fp2 = pattern_fingerprint(&a.map_values(|v| v * 0.5 - 1.0));
+            prop_assert_eq!(fp1, fp2);
+            prop_assert_eq!(fp1, SparsityPattern::of(&a).fingerprint());
+        }
+
         #[test]
         fn symmetrized_lower_is_superset_of_lower(a in arb_square(24)) {
             let l = lower_pattern(&a);

@@ -7,21 +7,20 @@
 //! strongly-coupled core, nonsymmetric values) is preordered with the
 //! paper's DM + ND pipeline and driven through a time loop the way a
 //! transient stepper would: the conductance stamps drift every step
-//! (same pattern, new values), so the loop calls
-//! `IluFactors::refactor` — the numeric-only path that reuses the
-//! symbolic analysis, schedules, worker team and scratch — and the
-//! example prints the measured symbolic-amortization speedup against
-//! redoing the full analyze+factor pipeline each step.
+//! (same pattern, new values), so the loop calls [`Session::refactor`]
+//! — the numeric-only path that reuses the symbolic analysis,
+//! schedules, worker team and scratch — and the example prints the
+//! measured symbolic-amortization speedup against redoing the full
+//! analyze+factor pipeline each step.
 //!
 //! ```text
 //! cargo run --release --example circuit_transient
 //! ```
 
 use javelin::core::precond::IdentityPrecond;
-use javelin::core::{IluOptions, SymbolicIlu};
 use javelin::order::{dm::dm_row_permutation, nested_dissection_order};
-use javelin::solver::{gmres, SolverOptions};
-use javelin::sparse::Perm;
+use javelin::prelude::*;
+use javelin::solver::gmres;
 use javelin::synth::circuit::transient_circuit;
 use javelin::synth::util::revalue;
 use std::time::{Duration, Instant};
@@ -46,26 +45,29 @@ fn main() {
     let nd = nested_dissection_order(&a, 64);
     let a = a.permute_sym(&nd).expect("nd perm");
 
-    // Symbolic analysis once, numeric factor once.
+    // One Session owns the analysis, factors, team and workspaces for
+    // the whole transient run.
+    let opts = SolverOptions {
+        tol: 1e-8,
+        ..Default::default()
+    };
     let t0 = Instant::now();
-    let sym = SymbolicIlu::analyze(&a, &IluOptions::default()).expect("analysis");
-    let mut factors = sym.factor(&a).expect("ILU(0)");
+    let mut session = Session::builder()
+        .solver_options(opts)
+        .build(&a)
+        .expect("ILU(0) session");
     let t_first = t0.elapsed();
     println!(
         "ILU(0) analyze+factor in {:.2?} ({} levels, {} lower-stage rows, method {})",
         t_first,
-        factors.stats().n_levels,
-        factors.stats().n_lower_rows,
-        factors.stats().lower_method
+        session.stats().n_levels,
+        session.stats().n_lower_rows,
+        session.stats().lower_method
     );
 
     // Time stepping: every step the stamps drift on a fixed pattern, so
     // only the numeric phase reruns; solves then reuse the factors.
     let n = a.nrows();
-    let opts = SolverOptions {
-        tol: 1e-8,
-        ..Default::default()
-    };
     let mut total_pre = 0usize;
     let mut total_plain = 0usize;
     let mut t_refactor = Duration::ZERO;
@@ -77,14 +79,15 @@ fn main() {
         let a_t = revalue(&a, 0.3 + step as f64, 0.02);
         // Numeric-only refactorization (the production path) …
         let tr = Instant::now();
-        factors.refactor(&a_t).expect("pattern-stable refactor");
+        session.refactor(&a_t).expect("pattern-stable refactor");
         t_refactor += tr.elapsed();
         // … versus redoing the whole pipeline (for the printed ratio).
         let tf = Instant::now();
-        let fresh = javelin::core::factorize(&a_t, &IluOptions::default()).expect("full pipeline");
+        let fresh = factorize(&a_t, &IluOptions::default()).expect("full pipeline");
         t_full += tf.elapsed();
         assert!(
-            factors
+            session
+                .factors()
                 .lu()
                 .vals()
                 .iter()
@@ -96,7 +99,7 @@ fn main() {
             .map(|i| ((i + step * 37) % 23) as f64 * 0.1 - 1.0)
             .collect();
         let mut x = vec![0.0; n];
-        let pre = gmres(&a_t, &b, &mut x, &factors, &opts);
+        let pre = session.krylov(Method::Gmres, &b, &mut x).expect("krylov");
         let mut x2 = vec![0.0; n];
         let plain = gmres(&a_t, &b, &mut x2, &IdentityPrecond, &opts);
         assert!(pre.converged, "step {step} failed to converge");
@@ -106,7 +109,7 @@ fn main() {
             "step {step}: GMRES {} iters with ILU(0) vs {} without | refactor {:.2?}",
             pre.iterations,
             plain.iterations,
-            factors.stats().t_numeric
+            session.stats().t_numeric
         );
     }
     println!(

@@ -13,8 +13,8 @@
 //! ```
 
 use javelin::core::options::SolveEngine;
-use javelin::core::{factorize, IluOptions};
 use javelin::machine::{sim_factor_time, sim_trisolve_time, MachineModel};
+use javelin::prelude::*;
 use javelin::synth::suite::{suite_matrix, Scale};
 use javelin_bench::harness::preorder_dm_nd;
 
@@ -30,28 +30,31 @@ fn main() {
                 .expect("suite matrix")
                 .build_at(Scale::Standard),
         );
-        let f = factorize(&a, &IluOptions::default()).expect("ILU");
+        // The Session façade owns the analysis, factors and team; the
+        // simulator reads the real schedules straight out of it.
+        let session = Session::builder().build(&a).expect("ILU");
         println!(
             "\n=== {label}: n = {}, levels = {} ===",
             a.nrows(),
-            f.stats().n_levels
+            session.stats().n_levels
         );
+        let f = session.factors();
         for m in &machines {
             println!("--- {} ---", m.name);
             println!(
                 "{:>8} {:>12} {:>12} {:>12}",
                 "threads", "ILU speedup", "stri LS", "stri LS+Low"
             );
-            let base_f = sim_factor_time(&f, m, 1).total_s;
-            let base_s = sim_trisolve_time(&f, m, 1, SolveEngine::Serial);
+            let base_f = sim_factor_time(f, m, 1).total_s;
+            let base_s = sim_trisolve_time(f, m, 1, SolveEngine::Serial);
             let sweep: Vec<usize> = [1usize, 2, 4, 8, 14, 28, 68]
                 .into_iter()
                 .filter(|&p| p <= m.max_threads())
                 .collect();
             for p in sweep {
-                let sf = base_f / sim_factor_time(&f, m, p).total_s;
-                let sls = base_s / sim_trisolve_time(&f, m, p, SolveEngine::PointToPoint);
-                let slo = base_s / sim_trisolve_time(&f, m, p, SolveEngine::PointToPointLower);
+                let sf = base_f / sim_factor_time(f, m, p).total_s;
+                let sls = base_s / sim_trisolve_time(f, m, p, SolveEngine::PointToPoint);
+                let slo = base_s / sim_trisolve_time(f, m, p, SolveEngine::PointToPointLower);
                 println!("{p:>8} {sf:>12.2} {sls:>12.2} {slo:>12.2}");
             }
         }

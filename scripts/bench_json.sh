@@ -1,37 +1,35 @@
 #!/usr/bin/env bash
-# Runs the criterion bench suites and emits a machine-readable perf
-# snapshot (BENCH_results.json by default) from the shim's stdout
-# report. Dependency-free: bash + awk + cargo only.
+# Runs the criterion bench suites (and the service load generator) and
+# APPENDS a timestamped perf snapshot to the benchmark trajectory
+# (BENCH_results.json by default) — history is kept, not overwritten,
+# so regressions are visible across commits. Dependency-free: bash +
+# awk + cargo only.
 #
 # Usage:
-#   scripts/bench_json.sh                  # all suites -> BENCH_results.json
+#   scripts/bench_json.sh                  # all suites + loadgen -> append
 #   SUITES="batch apply" OUT=/tmp/b.json scripts/bench_json.sh
+#   LOADGEN=0 scripts/bench_json.sh        # skip the service loadgen
+#   scripts/bench_json.sh --parse-only report.txt
+#                                          # just parse a raw shim report
+#                                          # (exit 1 if nothing parses)
 #
-# Every entry records the suite, the bench group, the benchmark label
-# and the median ns/iteration the shim printed:
-#   {"suite": "batch", "group": "panel_apply",
-#    "bench": "panel/p2p/8", "median_ns": 123456.0}
+# The trajectory file is a JSON array of snapshots; each snapshot
+# records the commit, the timestamp, every benchmark the shim printed
+# and (unless LOADGEN=0) the service loadgen throughput comparison:
+#   [
+#     {"generated_at": "…", "commit": "…",
+#      "loadgen": {"scenarios": [{"clients": 8, "speedup": …}, …]},
+#      "results": [{"suite": "batch", "group": "panel_apply",
+#                   "bench": "panel/p2p/8", "median_ns": 123456.0}, …]}
+#   ]
+# A legacy single-object BENCH_results.json is wrapped into the array
+# form on the first append.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-SUITES=${SUITES:-"apply batch batch_krylov refactor spmv trisolve"}
-OUT=${OUT:-BENCH_results.json}
-
-raw=$(mktemp)
-trap 'rm -f "$raw"' EXIT
-
-for suite in $SUITES; do
-    echo "== bench suite: $suite" >&2
-    echo "suite: $suite" >>"$raw"
-    cargo bench -q -p javelin-bench --bench "$suite" >>"$raw"
-done
-
-commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
-stamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
-
-{
-    printf '{\n  "generated_at": "%s",\n  "commit": "%s",\n  "results": [\n' \
-        "$stamp" "$commit"
+# Parses a raw shim stdout report ("suite: …" headers + criterion-shim
+# result lines) into JSON result entries on stdout.
+parse_report() {
     awk '
         /^suite: /       { suite = $2; next }
         /^bench group: / { group = $3; next }
@@ -45,9 +43,81 @@ stamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
                 suite, group, $1, val
         }
         END { if (first_done) printf "\n" }
-    ' "$raw"
-    printf '  ]\n}\n'
-} >"$OUT"
+    ' "$1"
+}
 
-count=$(grep -c '"bench"' "$OUT" || true)
-echo "wrote $OUT ($count benchmarks)" >&2
+# --parse-only: validate the parser against a captured report (the CI
+# smoke feeds it a known-good sample and a garbage negative).
+if [ "${1:-}" = "--parse-only" ]; then
+    src=${2:?usage: bench_json.sh --parse-only <report-file>}
+    parsed=$(parse_report "$src")
+    count=$(printf '%s' "$parsed" | grep -c '"bench"' || true)
+    if [ "$count" -eq 0 ]; then
+        echo "error: no benchmarks parsed from $src" >&2
+        exit 1
+    fi
+    printf '[\n%s\n]\n' "$parsed"
+    echo "parsed $count benchmarks from $src" >&2
+    exit 0
+fi
+
+SUITES=${SUITES:-"apply batch batch_krylov refactor spmv trisolve"}
+OUT=${OUT:-BENCH_results.json}
+LOADGEN=${LOADGEN:-1}
+LOADGEN_ARGS=${LOADGEN_ARGS:-"--threads 2 --engine p2p --solves 24 --clients 2,4,8"}
+
+raw=$(mktemp)
+snap=$(mktemp)
+lg=$(mktemp)
+trap 'rm -f "$raw" "$snap" "$lg"' EXIT
+
+for suite in $SUITES; do
+    echo "== bench suite: $suite" >&2
+    echo "suite: $suite" >>"$raw"
+    cargo bench -q -p javelin-bench --bench "$suite" >>"$raw"
+done
+
+results=$(parse_report "$raw")
+count=$(printf '%s' "$results" | grep -c '"bench"' || true)
+if [ "$count" -eq 0 ]; then
+    echo "error: bench suites ran but nothing parsed — shim output format drifted?" >&2
+    exit 1
+fi
+
+# Service loadgen: coalesced vs request-at-a-time solves/sec (the
+# parallel-engine configuration the service targets in production).
+loadgen_json="null"
+if [ "$LOADGEN" != "0" ]; then
+    echo "== service loadgen" >&2
+    # shellcheck disable=SC2086
+    cargo run -q --release --example service_loadgen -- $LOADGEN_ARGS --json "$lg" >&2
+    loadgen_json=$(cat "$lg")
+fi
+
+commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+stamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+
+{
+    printf '{\n  "generated_at": "%s",\n  "commit": "%s",\n' "$stamp" "$commit"
+    printf '  "loadgen": %s,\n' "$loadgen_json"
+    printf '  "results": [\n%s  ]\n}' "$results"
+} >"$snap"
+
+# Append the snapshot to the trajectory (array of snapshots). The
+# array's closing `]` is always the last line, so appending is a
+# drop-last-line + re-close; a legacy single-object file is wrapped.
+tmp=$(mktemp)
+if [ ! -s "$OUT" ]; then
+    { echo '['; cat "$snap"; echo ''; echo ']'; } >"$tmp"
+else
+    first=$(awk 'NF { print substr($1, 1, 1); exit }' "$OUT")
+    if [ "$first" = "[" ]; then
+        { sed '$d' "$OUT"; echo ','; cat "$snap"; echo ''; echo ']'; } >"$tmp"
+    else
+        { echo '['; cat "$OUT"; echo ','; cat "$snap"; echo ''; echo ']'; } >"$tmp"
+    fi
+fi
+mv "$tmp" "$OUT"
+
+snapshots=$(grep -c '"generated_at"' "$OUT" || true)
+echo "appended snapshot to $OUT ($count benchmarks, $snapshots snapshots total)" >&2

@@ -114,6 +114,7 @@ pub use javelin_core as core;
 pub use javelin_level as level;
 pub use javelin_machine as machine;
 pub use javelin_order as order;
+pub use javelin_service as service;
 pub use javelin_solver as solver;
 pub use javelin_sparse as sparse;
 pub use javelin_sync as sync;

@@ -34,6 +34,12 @@ use javelin_sparse::{CsrMatrix, Panel, PanelMut, Scalar, SparseError};
 use javelin_sync::WorkerTeam;
 use std::sync::Arc;
 
+/// Relative diagonal shift a breakdown-retry applies before re-running
+/// the solve: the preconditioner is refactored with every diagonal
+/// boosted by `1e-4 · max|aᵢᵢ|`, trading a little accuracy (a few more
+/// Krylov iterations) for the stability the first attempt lacked.
+pub(crate) const BREAKDOWN_RETRY_SHIFT: f64 = 1e-4;
+
 /// Builder for a [`Session`] (see [`Session::builder`]).
 ///
 /// The common factorization and solver knobs have dedicated setters;
@@ -269,6 +275,22 @@ impl<T: Scalar> Session<T> {
     /// preconditioner and its reusable workspace — allocation-free in
     /// the steady state.
     ///
+    /// ## Breakdown-aware retry
+    ///
+    /// When the solve halts with
+    /// [`SolverStatus::NumericalBreakdown`](javelin_solver::SolverStatus::NumericalBreakdown)
+    /// — typically a finite but wildly ill-conditioned preconditioner
+    /// overflowing during its apply — the session performs **one
+    /// automatic retry**: the factors are refactored with a small
+    /// forced diagonal shift (`1e-4 · max|aᵢᵢ|`, the
+    /// [`ZeroPivotPolicy::shift_retry`]-style boost of
+    /// [`IluFactors::refactor_with_shift`]) and the solve re-runs from
+    /// the frozen finite iterate. A result produced this way carries
+    /// `retried == true`. On success the session *keeps* the shifted
+    /// factors (self-healing: subsequent solves reuse the stable
+    /// preconditioner); if the shifted refactor itself fails, the
+    /// original breakdown result is returned unchanged.
+    ///
     /// # Errors
     /// [`SparseError::DimensionMismatch`] on length mismatches.
     pub fn krylov(
@@ -286,16 +308,28 @@ impl<T: Scalar> Session<T> {
                 n
             )));
         }
+        let first = {
+            let m = self.factors.with_engine(self.engine);
+            krylov_with(method, &self.a, b, x, &m, &self.solver, &mut self.workspace)
+        };
+        if !first.broke_down() {
+            return Ok(first);
+        }
+        // One automatic retry with a stabilized (diagonally shifted)
+        // preconditioner; the iterate is frozen finite, so it doubles
+        // as the warm start. A failed shifted refactor leaves the old
+        // factors untouched — surface the original breakdown then.
+        if self
+            .factors
+            .refactor_with_shift(&self.a, BREAKDOWN_RETRY_SHIFT)
+            .is_err()
+        {
+            return Ok(first);
+        }
         let m = self.factors.with_engine(self.engine);
-        Ok(krylov_with(
-            method,
-            &self.a,
-            b,
-            x,
-            &m,
-            &self.solver,
-            &mut self.workspace,
-        ))
+        let mut retry = krylov_with(method, &self.a, b, x, &m, &self.solver, &mut self.workspace);
+        retry.retried = true;
+        Ok(retry)
     }
 
     /// Batched Krylov solve: `k` systems of the chosen [`Method`] in
@@ -581,6 +615,34 @@ mod tests {
         let b = vec![1.0; n];
         let mut x = vec![0.0; n];
         assert!(session.krylov(Method::Pcg, &b, &mut x).unwrap().converged);
+    }
+
+    #[test]
+    fn breakdown_retry_refreshes_factors_and_stamps_result() {
+        // A non-finite right-hand side forces a structured breakdown on
+        // the first attempt; the session must perform exactly one
+        // automatic retry with a shifted preconditioner, stamp the
+        // result, and surface the (still broken-down) outcome instead
+        // of an error. The shifted refactor must land in the stats.
+        let a = laplace_2d(10, 10);
+        let n = a.nrows();
+        let mut session = Session::builder().nthreads(2).build(&a).unwrap();
+        assert_eq!(session.stats().diag_shift, 0.0);
+        let mut b = b_vec(n);
+        b[3] = f64::NAN;
+        let mut x = vec![0.0; n];
+        let res = session.krylov(Method::Gmres, &b, &mut x).unwrap();
+        assert!(res.broke_down());
+        assert!(res.retried, "the automatic retry must be recorded");
+        // The retry refactored with a forced diagonal shift and the
+        // session kept the stabilized factors.
+        assert!(session.stats().diag_shift > 0.0);
+        // A healthy solve on the shifted (slightly less accurate)
+        // preconditioner still converges — and needs no retry.
+        let b = b_vec(n);
+        let res = session.krylov(Method::Gmres, &b, &mut x).unwrap();
+        assert!(res.converged);
+        assert!(!res.retried);
     }
 
     #[test]

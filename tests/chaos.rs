@@ -182,6 +182,88 @@ fn panicked_region_poisons_the_team_and_repair_restores_bit_identity() {
     fault::clear();
 }
 
+#[test]
+fn service_contains_pivot_breakdown_to_one_tenant_and_keeps_serving() {
+    use javelin::service::{EngineConfig, ServiceConfig, ServiceError, SolveRequest, SolveService};
+    use javelin::solver::Method;
+
+    let _g = scenario();
+
+    // Strict pivot policy so the injected fault surfaces as a
+    // structured solve error rather than being absorbed.
+    let mut engine = EngineConfig::default();
+    engine.ilu = IluOptions::ilu0(2).with_zero_pivot(ZeroPivotPolicy::Error);
+    let service = SolveService::start(ServiceConfig {
+        engine,
+        ..Default::default()
+    });
+    let client = service.client();
+
+    let a_good = Arc::new(healthy(64));
+    let n = a_good.nrows();
+    let solve_good = |tag: u64| {
+        client.solve(SolveRequest {
+            a: Arc::clone(&a_good),
+            b: (0..n)
+                .map(|i| 1.0 + ((i as u64 + tag) % 5) as f64)
+                .collect(),
+            x: vec![0.0; n],
+            method: Method::BatchGmres,
+        })
+    };
+
+    // Tenant A is healthy and gets cached.
+    let reply = solve_good(0).expect("healthy tenant");
+    assert!(reply.result.converged);
+
+    // Tenant B shows up with a NEW pattern while the pivot failpoint is
+    // armed: its first-seen factorization breaks down mid-request. The
+    // error must come back typed, to B alone.
+    let a_bad = Arc::new(healthy(96));
+    fault::arm("numeric.pivot", FaultAction::Zero, 10);
+    let err = client
+        .solve(SolveRequest {
+            a: Arc::clone(&a_bad),
+            b: vec![1.0; a_bad.nrows()],
+            x: vec![0.0; a_bad.nrows()],
+            method: Method::BatchGmres,
+        })
+        .unwrap_err();
+    assert!(
+        matches!(err, ServiceError::Solve(SparseError::ZeroPivot { .. })),
+        "injected breakdown must surface as a structured solve error, got {err}"
+    );
+
+    // The dispatcher survived: tenant A's cached pattern still serves
+    // (zero new symbolic work), and B's pattern — fault now spent —
+    // factors cleanly on retry.
+    let reply = solve_good(1).expect("service must keep serving tenant A");
+    assert!(reply.result.converged);
+    assert!(reply.symbolic_reused, "A's pattern must still be cached");
+    let reply = client
+        .solve(SolveRequest {
+            a: Arc::clone(&a_bad),
+            b: vec![1.0; a_bad.nrows()],
+            x: vec![0.0; a_bad.nrows()],
+            method: Method::BatchGmres,
+        })
+        .expect("B recovers once the fault is spent");
+    assert!(reply.result.converged);
+
+    let snap = service.snapshot();
+    assert_eq!(snap.requests, 4);
+    assert_eq!(
+        service
+            .stats()
+            .completed
+            .load(std::sync::atomic::Ordering::SeqCst),
+        4,
+        "every request got a definite reply"
+    );
+    service.shutdown();
+    fault::clear();
+}
+
 const ENGINES: [SolveEngine; 3] = [
     SolveEngine::BarrierLevel,
     SolveEngine::PointToPoint,
