@@ -1,0 +1,59 @@
+//! Criterion group `sweep-refactor`: the scenario-batch speedup — one
+//! `refactor_batch` schedule walk refactoring k = 8 pattern-identical
+//! value sets against the fair baseline of 8 looped numeric-only
+//! `refactor` calls (both fully amortized, both allocation-free, both
+//! on the persistent team's p2p engines), on the paper's irregular
+//! transient workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use javelin_bench::harness::preorder_dm_nd;
+use javelin_core::{IluOptions, SymbolicIlu};
+use javelin_sparse::CsrMatrix;
+use javelin_synth::circuit::transient_circuit;
+use javelin_synth::util::revalue;
+
+const K: usize = 8;
+
+fn bench_sweep_refactor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep-refactor");
+    group.sample_size(10);
+    let a = preorder_dm_nd(&transient_circuit(8000, 60, true, 0x5eed));
+    let corners: Vec<CsrMatrix<f64>> = (0..K)
+        .map(|i| revalue(&a, 0.3 + i as f64 * 0.77, 0.05))
+        .collect();
+    let mats: Vec<&CsrMatrix<f64>> = corners.iter().collect();
+    for nthreads in [1usize, 2] {
+        let opts = IluOptions {
+            nthreads,
+            ..IluOptions::default()
+        };
+        let sym = SymbolicIlu::analyze(&a, &opts).expect("analysis");
+        // Looped baseline: k scalar numeric-only refactors.
+        let mut f = sym.factor(&a).expect("numeric phase");
+        f.refactor(&corners[0]).expect("warm-up");
+        group.bench_with_input(
+            BenchmarkId::new("looped_refactor_x8", nthreads),
+            &mats,
+            |b, mats| {
+                b.iter(|| {
+                    for m in mats {
+                        f.refactor(m).unwrap();
+                    }
+                });
+            },
+        );
+        // Batched: one schedule walk for all k value sets.
+        let mut batch = sym.factor_batch(&mats).expect("batch factor");
+        group.bench_with_input(
+            BenchmarkId::new("refactor_batch_k8", nthreads),
+            &mats,
+            |b, mats| {
+                b.iter(|| batch.refactor_batch(mats).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_refactor);
+criterion_main!(benches);

@@ -154,6 +154,18 @@ impl<T: Scalar> IluFactors<T> {
             .refactor_shifted_into(a, self.lu.vals_mut(), &mut self.stats, relative_shift)
     }
 
+    /// Mutable factor-value storage — the batched-refactor commit path
+    /// (`crate::batch_factor`) de-interleaves scenario lanes into it.
+    pub(crate) fn lu_vals_mut(&mut self) -> &mut [T] {
+        self.lu.vals_mut()
+    }
+
+    /// Mutable statistics — completed per scenario by the batched
+    /// numeric phase.
+    pub(crate) fn stats_mut(&mut self) -> &mut FactorStats {
+        &mut self.stats
+    }
+
     /// Pre-grows the internal solve scratch to panel width `k`, so the
     /// first width-`k` panel solve is already allocation-free. Widths
     /// are grow-only; narrower panels reuse the wide buffers.

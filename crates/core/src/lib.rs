@@ -108,6 +108,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch_factor;
 pub mod factors;
 pub mod numeric;
 pub mod options;
@@ -118,9 +119,10 @@ pub mod symbolic;
 pub mod symbolic_ilu;
 pub mod trisolve;
 
+pub use batch_factor::FactorsBatch;
 pub use factors::{factorize, IluFactors};
 pub use options::{IluOptions, LowerMethod, SolveEngine, ZeroPivotPolicy};
-pub use precond::{ApplyScratch, EnginePinned, Preconditioner};
+pub use precond::{ApplyScratch, EnginePinned, Preconditioner, ScenarioPrecond};
 pub use spmv::SpmvPlan;
 pub use stats::FactorStats;
 pub use symbolic_ilu::SymbolicIlu;

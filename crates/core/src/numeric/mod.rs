@@ -6,6 +6,7 @@
 //! factors — a property the test suite enforces. Engine choice affects
 //! only who executes which row when.
 
+pub mod batch;
 pub mod kernel;
 pub mod lower;
 pub mod parallel;

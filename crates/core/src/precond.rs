@@ -47,14 +47,27 @@ pub trait Preconditioner<T: Scalar>: Sync {
         self.apply(r, z);
     }
 
+    /// Applies the preconditioner to **panel column `col`**: `z ← M⁻¹ r`
+    /// where `r` is column `col` of a batched solve. Most
+    /// preconditioners are column-oblivious and the default simply
+    /// forwards to [`Preconditioner::apply_with`]; per-scenario
+    /// preconditioners (one operator per batch column, see
+    /// [`ScenarioPrecond`]) override this to dispatch on `col`. Batched
+    /// solvers route every single-column apply through this method so
+    /// scenario dispatch reaches restart/finalization paths too.
+    fn apply_column_with(&self, scratch: &mut ApplyScratch<T>, col: usize, r: &[T], z: &mut [T]) {
+        let _ = col;
+        self.apply_with(scratch, r, z);
+    }
+
     /// Applies the preconditioner to a whole RHS panel: `Z ← M⁻¹ R`,
     /// column for column. Implementations with a genuine multi-RHS path
     /// (the ILU factors' panel trisolve) override this so one schedule
     /// walk retires all `k` columns; the default simply loops
-    /// [`Preconditioner::apply_with`] over the columns, which is always
-    /// correct because the contract requires column `c` of the panel
-    /// result to be **bit-identical** to a single-RHS apply of column
-    /// `c` — batched solvers rely on that equivalence.
+    /// [`Preconditioner::apply_column_with`] over the columns, which is
+    /// always correct because the contract requires column `c` of the
+    /// panel result to be **bit-identical** to a single-RHS apply of
+    /// column `c` — batched solvers rely on that equivalence.
     fn apply_panel_with(
         &self,
         scratch: &mut ApplyScratch<T>,
@@ -62,7 +75,7 @@ pub trait Preconditioner<T: Scalar>: Sync {
         mut z: PanelMut<'_, T>,
     ) {
         for c in 0..r.ncols() {
-            self.apply_with(scratch, r.col(c), z.col_mut(c));
+            self.apply_column_with(scratch, c, r.col(c), z.col_mut(c));
         }
     }
 }
@@ -161,6 +174,61 @@ impl<T: Scalar> Preconditioner<T> for EnginePinned<'_, T> {
             .solve_panel_with_buffer(self.engine, buf, r, z)
             .expect("preconditioner buffers sized by the solver");
     }
+}
+
+/// A **per-scenario** panel preconditioner: column `c` of a batched
+/// Krylov solve is preconditioned by `factors[c]` — the consumer shape
+/// of [`crate::FactorsBatch`](crate::batch_factor::FactorsBatch), where
+/// each panel column is a different scenario's linear system. All
+/// factors share one symbolic analysis, so they also share the solve
+/// scratch and worker team.
+///
+/// Single-vector applies ([`Preconditioner::apply`] /
+/// [`Preconditioner::apply_with`]) use scenario 0 — batched drivers
+/// never call them, but the trait requires a meaningful fallback.
+#[derive(Clone, Copy)]
+pub struct ScenarioPrecond<'a, T> {
+    factors: &'a [IluFactors<T>],
+    engine: SolveEngine,
+}
+
+impl<'a, T: Scalar> ScenarioPrecond<'a, T> {
+    /// Builds the per-scenario view; `factors[c]` preconditions panel
+    /// column `c`. Panics on an empty slice.
+    pub fn new(factors: &'a [IluFactors<T>], engine: SolveEngine) -> Self {
+        assert!(
+            !factors.is_empty(),
+            "ScenarioPrecond needs at least one scenario"
+        );
+        ScenarioPrecond { factors, engine }
+    }
+
+    /// The scenario count (maximum panel width this can precondition).
+    pub fn k(&self) -> usize {
+        self.factors.len()
+    }
+}
+
+impl<T: Scalar> Preconditioner<T> for ScenarioPrecond<'_, T> {
+    fn apply(&self, r: &[T], z: &mut [T]) {
+        self.factors[0].with_engine(self.engine).apply(r, z);
+    }
+
+    fn apply_with(&self, scratch: &mut ApplyScratch<T>, r: &[T], z: &mut [T]) {
+        self.factors[0]
+            .with_engine(self.engine)
+            .apply_with(scratch, r, z);
+    }
+
+    fn apply_column_with(&self, scratch: &mut ApplyScratch<T>, col: usize, r: &[T], z: &mut [T]) {
+        self.factors[col]
+            .with_engine(self.engine)
+            .apply_with(scratch, r, z);
+    }
+
+    // The inherited `apply_panel_with` loops `apply_column_with`, which
+    // is exactly right here: the columns use *different* operators, so
+    // there is no shared panel trisolve to exploit.
 }
 
 /// Symmetric successive over-relaxation (SSOR) preconditioning:

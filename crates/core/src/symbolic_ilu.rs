@@ -47,7 +47,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// Marks an LU position with no corresponding entry in `A` (fill).
-const FILL: usize = usize::MAX;
+pub(crate) const FILL: usize = usize::MAX;
 
 /// Reusable working state of the numeric phase, sized at analysis time
 /// so a steady-state [`IluFactors::refactor`] allocates nothing: the
@@ -57,8 +57,11 @@ const FILL: usize = usize::MAX;
 pub(crate) struct NumericScratch<T> {
     lu_vals: LuVals<T>,
     drop_thresh: Vec<T>,
-    row_ws: Vec<Mutex<RowWorkspace>>,
-    progress: ProgressCounters,
+    /// Shared with the batched-refactor engines (`crate::batch_factor`):
+    /// the sparse-accumulator loads are pattern-only, so one workspace
+    /// set serves the scalar path and every lane width.
+    pub(crate) row_ws: Vec<Mutex<RowWorkspace>>,
+    pub(crate) progress: ProgressCounters,
 }
 
 /// Everything pattern-dependent, computed once (see module docs).
@@ -81,7 +84,7 @@ pub(crate) struct SymCore<T> {
     pub(crate) colidx: Vec<usize>,
     pub(crate) diag_pos: Vec<usize>,
     /// Per LU entry: source index into `A.vals()`, or [`FILL`].
-    a_src: Vec<usize>,
+    pub(crate) a_src: Vec<usize>,
     pub(crate) perm: Perm,
     pub(crate) plan: SolvePlan,
     /// Symbolic/analysis statistics — the template every numeric phase
@@ -89,7 +92,7 @@ pub(crate) struct SymCore<T> {
     pub(crate) stats: FactorStats,
     pub(crate) exec: Exec,
     pub(crate) scratch: Mutex<SolveScratch<T>>,
-    numeric: Mutex<NumericScratch<T>>,
+    pub(crate) numeric: Mutex<NumericScratch<T>>,
 }
 
 /// The pattern-dependent phase of an incomplete factorization: ordering,

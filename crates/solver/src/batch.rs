@@ -39,10 +39,10 @@
 //! histories (`record_history`, off by default) are the documented
 //! exceptions, mirroring the single-RHS solvers.
 
-use crate::{SolverOptions, SolverResult, SolverStatus, SolverWorkspace};
+use crate::{PanelMatrices, SolverOptions, SolverResult, SolverStatus, SolverWorkspace};
 use javelin_core::precond::Preconditioner;
 use javelin_sparse::lanes::{Lanes, LANE_DONE, LANE_HALTED};
-use javelin_sparse::{vecops, with_lanes, CsrMatrix, Panel, PanelMut, Scalar};
+use javelin_sparse::{vecops, with_lanes, Panel, PanelMut, Scalar};
 
 /// Batched PCG over an RHS panel, allocating a fresh workspace.
 /// Repeated callers should hold a [`SolverWorkspace`] and use
@@ -70,8 +70,8 @@ use javelin_sparse::{vecops, with_lanes, CsrMatrix, Panel, PanelMut, Scalar};
 ///
 /// # Panics
 /// On panel shape mismatches.
-pub fn solve_batch<T: Scalar, P: Preconditioner<T>>(
-    a: &CsrMatrix<T>,
+pub fn solve_batch<T: Scalar, A: PanelMatrices<T>, P: Preconditioner<T>>(
+    a: &A,
     b: Panel<'_, T>,
     x: PanelMut<'_, T>,
     m: &P,
@@ -88,8 +88,8 @@ pub fn solve_batch<T: Scalar, P: Preconditioner<T>>(
 ///
 /// # Panics
 /// On panel shape mismatches.
-pub fn solve_batch_with<T: Scalar, P: Preconditioner<T>>(
-    a: &CsrMatrix<T>,
+pub fn solve_batch_with<T: Scalar, A: PanelMatrices<T>, P: Preconditioner<T>>(
+    a: &A,
     b: Panel<'_, T>,
     x: PanelMut<'_, T>,
     m: &P,
@@ -107,8 +107,8 @@ pub fn solve_batch_with<T: Scalar, P: Preconditioner<T>>(
 ///
 /// # Panics
 /// On panel shape mismatches or when `results.len() != b.ncols()`.
-pub fn solve_batch_into<T: Scalar, P: Preconditioner<T>>(
-    a: &CsrMatrix<T>,
+pub fn solve_batch_into<T: Scalar, A: PanelMatrices<T>, P: Preconditioner<T>>(
+    a: &A,
     b: Panel<'_, T>,
     x: PanelMut<'_, T>,
     m: &P,
@@ -132,9 +132,9 @@ pub fn solve_batch_into<T: Scalar, P: Preconditioner<T>>(
 /// scalar state keeps every lane on exactly the standalone-PCG
 /// recurrence, so lane `c` is bit-identical across instantiations.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn solve_batch_lanes<T: Scalar, P: Preconditioner<T>, L: Lanes>(
+pub(crate) fn solve_batch_lanes<T: Scalar, A: PanelMatrices<T>, P: Preconditioner<T>, L: Lanes>(
     lanes: L,
-    a: &CsrMatrix<T>,
+    a: &A,
     b: Panel<'_, T>,
     mut x: PanelMut<'_, T>,
     m: &P,
@@ -193,7 +193,8 @@ pub(crate) fn solve_batch_lanes<T: Scalar, P: Preconditioner<T>, L: Lanes>(
             results[c].status = SolverStatus::NumericalBreakdown;
         } else {
             // r = b - A x (matvec into q, subtract into r).
-            a.spmv_into(x.col(c), &mut pq[c * n..(c + 1) * n]);
+            a.col_matrix(c)
+                .spmv_into(x.col(c), &mut pq[c * n..(c + 1) * n]);
             let bc = b.col(c);
             for i in 0..n {
                 pr[c * n + i] = bc[i] - pq[c * n + i];
@@ -238,7 +239,8 @@ pub(crate) fn solve_batch_lanes<T: Scalar, P: Preconditioner<T>, L: Lanes>(
                 continue;
             }
             let rc = c * n..(c + 1) * n;
-            a.spmv_into(&pp[rc.clone()], &mut pq[rc.clone()]);
+            a.col_matrix(c)
+                .spmv_into(&pp[rc.clone()], &mut pq[rc.clone()]);
             let pq_dot = vecops::dot(&pp[rc.clone()], &pq[rc.clone()]);
             if pq_dot == T::ZERO || !pq_dot.is_finite() {
                 mask.set(c, LANE_HALTED);
@@ -306,6 +308,7 @@ mod tests {
     use crate::pcg_with;
     use javelin_core::{factorize, IluOptions};
     use javelin_sparse::CooMatrix;
+    use javelin_sparse::CsrMatrix;
 
     fn laplace_2d(nx: usize, ny: usize) -> CsrMatrix<f64> {
         let n = nx * ny;

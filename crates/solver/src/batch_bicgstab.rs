@@ -37,10 +37,10 @@
 //! `Vec<SolverResult>` on entry and opt-in residual histories as the
 //! documented exceptions, mirroring [`crate::solve_batch`].
 
-use crate::{SolverOptions, SolverResult, SolverStatus, SolverWorkspace};
+use crate::{PanelMatrices, SolverOptions, SolverResult, SolverStatus, SolverWorkspace};
 use javelin_core::precond::Preconditioner;
 use javelin_sparse::lanes::{Lanes, LANE_DONE, LANE_HALTED};
-use javelin_sparse::{vecops, with_lanes, CsrMatrix, Panel, PanelMut, Scalar};
+use javelin_sparse::{vecops, with_lanes, Panel, PanelMut, Scalar};
 
 /// Batched right-preconditioned BiCGSTAB over an RHS panel, allocating
 /// a fresh workspace. Repeated callers should hold a
@@ -68,8 +68,8 @@ use javelin_sparse::{vecops, with_lanes, CsrMatrix, Panel, PanelMut, Scalar};
 ///
 /// # Panics
 /// On panel shape mismatches.
-pub fn bicgstab_batch<T: Scalar, P: Preconditioner<T>>(
-    a: &CsrMatrix<T>,
+pub fn bicgstab_batch<T: Scalar, A: PanelMatrices<T>, P: Preconditioner<T>>(
+    a: &A,
     b: Panel<'_, T>,
     x: PanelMut<'_, T>,
     m: &P,
@@ -86,8 +86,8 @@ pub fn bicgstab_batch<T: Scalar, P: Preconditioner<T>>(
 ///
 /// # Panics
 /// On panel shape mismatches.
-pub fn bicgstab_batch_with<T: Scalar, P: Preconditioner<T>>(
-    a: &CsrMatrix<T>,
+pub fn bicgstab_batch_with<T: Scalar, A: PanelMatrices<T>, P: Preconditioner<T>>(
+    a: &A,
     b: Panel<'_, T>,
     x: PanelMut<'_, T>,
     m: &P,
@@ -104,8 +104,8 @@ pub fn bicgstab_batch_with<T: Scalar, P: Preconditioner<T>>(
 ///
 /// # Panics
 /// On panel shape mismatches or when `results.len() != b.ncols()`.
-pub fn bicgstab_batch_into<T: Scalar, P: Preconditioner<T>>(
-    a: &CsrMatrix<T>,
+pub fn bicgstab_batch_into<T: Scalar, A: PanelMatrices<T>, P: Preconditioner<T>>(
+    a: &A,
     b: Panel<'_, T>,
     x: PanelMut<'_, T>,
     m: &P,
@@ -129,9 +129,14 @@ pub fn bicgstab_batch_into<T: Scalar, P: Preconditioner<T>>(
 /// width. Per-lane ρ/α/ω state keeps every lane on exactly the
 /// standalone recurrence, breakdowns included.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn bicgstab_batch_lanes<T: Scalar, P: Preconditioner<T>, L: Lanes>(
+pub(crate) fn bicgstab_batch_lanes<
+    T: Scalar,
+    A: PanelMatrices<T>,
+    P: Preconditioner<T>,
+    L: Lanes,
+>(
     lanes: L,
-    a: &CsrMatrix<T>,
+    a: &A,
     b: Panel<'_, T>,
     mut x: PanelMut<'_, T>,
     m: &P,
@@ -214,7 +219,7 @@ pub(crate) fn bicgstab_batch_lanes<T: Scalar, P: Preconditioner<T>, L: Lanes>(
             continue;
         }
         // r = b - A x (matvec into q, subtract into r); r_hat = r.
-        a.spmv_into(x.col(c), &mut pq[rc.clone()]);
+        a.col_matrix(c).spmv_into(x.col(c), &mut pq[rc.clone()]);
         let bc = b.col(c);
         for i in 0..n {
             pr[c * n + i] = bc[i] - pq[c * n + i];
@@ -285,7 +290,8 @@ pub(crate) fn bicgstab_batch_lanes<T: Scalar, P: Preconditioner<T>, L: Lanes>(
                 continue;
             }
             let rc = c * n..(c + 1) * n;
-            a.spmv_into(&py[rc.clone()], &mut pq[rc.clone()]);
+            a.col_matrix(c)
+                .spmv_into(&py[rc.clone()], &mut pq[rc.clone()]);
             col_alpha[c] = col_rho[c] / vecops::dot(&prhat[rc.clone()], &pq[rc.clone()]);
             // s = r - alpha v  (reuse r)
             vecops::axpy(-col_alpha[c], &pq[rc.clone()], &mut pr[rc.clone()]);
@@ -326,7 +332,8 @@ pub(crate) fn bicgstab_batch_lanes<T: Scalar, P: Preconditioner<T>, L: Lanes>(
                 continue;
             }
             let rc = c * n..(c + 1) * n;
-            a.spmv_into(&pz[rc.clone()], &mut pt[rc.clone()]);
+            a.col_matrix(c)
+                .spmv_into(&pz[rc.clone()], &mut pt[rc.clone()]);
             let tt = vecops::dot(&pt[rc.clone()], &pt[rc.clone()]);
             if tt == T::ZERO || !tt.is_finite() {
                 mask.set(c, LANE_HALTED);
@@ -375,6 +382,7 @@ mod tests {
     use javelin_core::precond::IdentityPrecond;
     use javelin_core::{factorize, IluOptions};
     use javelin_sparse::CooMatrix;
+    use javelin_sparse::CsrMatrix;
     use javelin_synth::grid::convection_diffusion_2d;
     use javelin_synth::util::rhs_panel;
 

@@ -37,11 +37,11 @@
 //! allocations, with the `Vec<SolverResult>` on entry and opt-in
 //! residual histories as the documented exceptions.
 
-use crate::{SolverOptions, SolverResult, SolverStatus, SolverWorkspace};
+use crate::{PanelMatrices, SolverOptions, SolverResult, SolverStatus, SolverWorkspace};
 use javelin_core::precond::Preconditioner;
 use javelin_core::ApplyScratch;
 use javelin_sparse::lanes::{Lanes, LANE_ACTIVE, LANE_DONE, LANE_HALTED, LANE_PENDING};
-use javelin_sparse::{vecops, with_lanes, CsrMatrix, LaneMask, Panel, PanelMut, Scalar};
+use javelin_sparse::{vecops, with_lanes, LaneMask, Panel, PanelMut, Scalar};
 
 /// Batched right-preconditioned restarted GMRES(m) over an RHS panel,
 /// allocating a fresh workspace. Repeated callers should hold a
@@ -69,8 +69,8 @@ use javelin_sparse::{vecops, with_lanes, CsrMatrix, LaneMask, Panel, PanelMut, S
 ///
 /// # Panics
 /// On panel shape mismatches.
-pub fn gmres_batch<T: Scalar, P: Preconditioner<T>>(
-    a: &CsrMatrix<T>,
+pub fn gmres_batch<T: Scalar, A: PanelMatrices<T>, P: Preconditioner<T>>(
+    a: &A,
     b: Panel<'_, T>,
     x: PanelMut<'_, T>,
     m: &P,
@@ -87,8 +87,8 @@ pub fn gmres_batch<T: Scalar, P: Preconditioner<T>>(
 ///
 /// # Panics
 /// On panel shape mismatches.
-pub fn gmres_batch_with<T: Scalar, P: Preconditioner<T>>(
-    a: &CsrMatrix<T>,
+pub fn gmres_batch_with<T: Scalar, A: PanelMatrices<T>, P: Preconditioner<T>>(
+    a: &A,
     b: Panel<'_, T>,
     x: PanelMut<'_, T>,
     m: &P,
@@ -108,8 +108,8 @@ pub fn gmres_batch_with<T: Scalar, P: Preconditioner<T>>(
 ///
 /// # Panics
 /// On panel shape mismatches or when `results.len() != b.ncols()`.
-pub fn gmres_batch_into<T: Scalar, P: Preconditioner<T>>(
-    a: &CsrMatrix<T>,
+pub fn gmres_batch_into<T: Scalar, A: PanelMatrices<T>, P: Preconditioner<T>>(
+    a: &A,
     b: Panel<'_, T>,
     x: PanelMut<'_, T>,
     m: &P,
@@ -131,9 +131,9 @@ pub fn gmres_batch_into<T: Scalar, P: Preconditioner<T>>(
 /// The width-generic lockstep-restart GMRES driver core, dispatched by
 /// the entry points above.
 #[allow(clippy::too_many_arguments)]
-fn gmres_batch_lanes<T: Scalar, P: Preconditioner<T>, L: Lanes>(
+fn gmres_batch_lanes<T: Scalar, A: PanelMatrices<T>, P: Preconditioner<T>, L: Lanes>(
     lanes: L,
-    a: &CsrMatrix<T>,
+    a: &A,
     b: Panel<'_, T>,
     mut x: PanelMut<'_, T>,
     m: &P,
@@ -229,7 +229,7 @@ fn gmres_batch_lanes<T: Scalar, P: Preconditioner<T>, L: Lanes>(
             }
             let rc = c * n..(c + 1) * n;
             // r = b - A x (into u).
-            a.spmv_into(x.col(c), &mut pu[rc.clone()]);
+            a.col_matrix(c).spmv_into(x.col(c), &mut pu[rc.clone()]);
             let bc = b.col(c);
             for i in 0..n {
                 pu[c * n + i] = bc[i] - pu[c * n + i];
@@ -319,7 +319,8 @@ fn gmres_batch_lanes<T: Scalar, P: Preconditioner<T>, L: Lanes>(
                 col_iters[c] += 1;
                 let rc = c * n..(c + 1) * n;
                 // w = A zⱼ (w lives in this column's pq slot).
-                a.spmv_into(&pz[rc.clone()], &mut pq[rc.clone()]);
+                a.col_matrix(c)
+                    .spmv_into(&pz[rc.clone()], &mut pq[rc.clone()]);
                 // Modified Gram–Schmidt against this column's basis.
                 for i in 0..=j {
                     let vi = &pv[i * n * k + c * n..i * n * k + (c + 1) * n];
@@ -473,7 +474,7 @@ fn finalize_column<T: Scalar, P: Preconditioner<T>>(
         vecops::axpy(*y, v, u);
     }
     let z = &mut pz[c * n..(c + 1) * n];
-    m.apply_with(precond, u, z);
+    m.apply_column_with(precond, c, u, z);
     for (xi, zi) in x.col_mut(c).iter_mut().zip(z.iter()) {
         *xi += *zi;
     }
@@ -521,6 +522,7 @@ mod tests {
     use crate::gmres_with;
     use javelin_core::precond::IdentityPrecond;
     use javelin_core::{factorize, IluOptions};
+    use javelin_sparse::CsrMatrix;
     use javelin_synth::grid::convection_diffusion_2d;
     use javelin_synth::util::rhs_panel;
 

@@ -73,6 +73,69 @@ pub use workspace::SolverWorkspace;
 use javelin_core::Preconditioner;
 use javelin_sparse::{CsrMatrix, Panel, PanelMut, Scalar};
 
+/// The operator axis of a batched panel solve: which matrix drives
+/// panel column `c`'s recurrence.
+///
+/// Ordinary multi-RHS solves share one matrix across all columns
+/// (`&CsrMatrix` implements this by ignoring the column index).
+/// Scenario sweeps — `k` pattern-identical systems, one per panel
+/// column — use [`ScenarioMatrices`] so each column iterates on its own
+/// operator while still sharing the lockstep loop and the panel
+/// preconditioner applies. The batch drivers only ever touch the
+/// operator through per-column `spmv`s, so the single-matrix case
+/// compiles to exactly the historical code and stays bit-identical.
+pub trait PanelMatrices<T: Scalar>: Sync {
+    /// Row dimension (shared by every column's matrix).
+    fn nrows(&self) -> usize;
+    /// The matrix driving panel column `c`.
+    fn col_matrix(&self, c: usize) -> &CsrMatrix<T>;
+}
+
+impl<T: Scalar> PanelMatrices<T> for CsrMatrix<T> {
+    fn nrows(&self) -> usize {
+        CsrMatrix::nrows(self)
+    }
+    fn col_matrix(&self, _c: usize) -> &CsrMatrix<T> {
+        self
+    }
+}
+
+// Smart-pointer and reference pass-throughs, so callers holding an
+// `Arc<CsrMatrix<T>>` (the solve-service shape) or a plain reference
+// keep working without an explicit deref at the call site.
+impl<T: Scalar, A: PanelMatrices<T> + ?Sized> PanelMatrices<T> for &A {
+    fn nrows(&self) -> usize {
+        (**self).nrows()
+    }
+    fn col_matrix(&self, c: usize) -> &CsrMatrix<T> {
+        (**self).col_matrix(c)
+    }
+}
+
+impl<T: Scalar, A: PanelMatrices<T> + Send + ?Sized> PanelMatrices<T> for std::sync::Arc<A> {
+    fn nrows(&self) -> usize {
+        (**self).nrows()
+    }
+    fn col_matrix(&self, c: usize) -> &CsrMatrix<T> {
+        (**self).col_matrix(c)
+    }
+}
+
+/// One matrix per panel column — the scenario-sweep consumer shape
+/// (pair with [`javelin_core::ScenarioPrecond`] for per-scenario
+/// preconditioning). The matrices must agree in shape; the solve
+/// asserts the slice covers the panel width.
+pub struct ScenarioMatrices<'a, T>(pub &'a [&'a CsrMatrix<T>]);
+
+impl<T: Scalar> PanelMatrices<T> for ScenarioMatrices<'_, T> {
+    fn nrows(&self) -> usize {
+        self.0[0].nrows()
+    }
+    fn col_matrix(&self, c: usize) -> &CsrMatrix<T> {
+        self.0[c]
+    }
+}
+
 /// Which Krylov method a dispatched solve runs — the method axis of the
 /// unified `javelin::Session` façade (each variant maps onto one of the
 /// dedicated entry points below).
@@ -196,9 +259,9 @@ pub fn krylov<T: Scalar, P: Preconditioner<T>>(
 ///
 /// # Panics
 /// On panel shape mismatches.
-pub fn krylov_panel_with<T: Scalar, P: Preconditioner<T>>(
+pub fn krylov_panel_with<T: Scalar, A: PanelMatrices<T>, P: Preconditioner<T>>(
     method: Method,
-    a: &CsrMatrix<T>,
+    a: &A,
     b: Panel<'_, T>,
     mut x: PanelMut<'_, T>,
     m: &P,
@@ -216,7 +279,7 @@ pub fn krylov_panel_with<T: Scalar, P: Preconditioner<T>>(
             assert_eq!(x.nrows(), n, "krylov_panel: solution panel rows");
             assert_eq!(x.ncols(), k, "krylov_panel: panel widths differ");
             (0..k)
-                .map(|c| fgmres_with(a, b.col(c), x.col_mut(c), m, opts, ws))
+                .map(|c| fgmres_with(a.col_matrix(c), b.col(c), x.col_mut(c), m, opts, ws))
                 .collect()
         }
     }
@@ -232,9 +295,9 @@ pub fn krylov_panel_with<T: Scalar, P: Preconditioner<T>>(
 /// # Panics
 /// On panel shape mismatches or a wrong `results` length.
 #[allow(clippy::too_many_arguments)]
-pub fn krylov_panel_into<T: Scalar, P: Preconditioner<T>>(
+pub fn krylov_panel_into<T: Scalar, A: PanelMatrices<T>, P: Preconditioner<T>>(
     method: Method,
-    a: &CsrMatrix<T>,
+    a: &A,
     b: Panel<'_, T>,
     mut x: PanelMut<'_, T>,
     m: &P,
@@ -256,7 +319,7 @@ pub fn krylov_panel_into<T: Scalar, P: Preconditioner<T>>(
             assert_eq!(x.ncols(), k, "krylov_panel: panel widths differ");
             assert_eq!(results.len(), k, "krylov_panel: results length");
             for (c, r) in results.iter_mut().enumerate() {
-                *r = fgmres_with(a, b.col(c), x.col_mut(c), m, opts, ws);
+                *r = fgmres_with(a.col_matrix(c), b.col(c), x.col_mut(c), m, opts, ws);
             }
         }
     }
@@ -264,9 +327,9 @@ pub fn krylov_panel_into<T: Scalar, P: Preconditioner<T>>(
 
 /// [`krylov_panel_with`] allocating a fresh workspace — convenience for
 /// one-shot panel solves.
-pub fn krylov_panel<T: Scalar, P: Preconditioner<T>>(
+pub fn krylov_panel<T: Scalar, A: PanelMatrices<T>, P: Preconditioner<T>>(
     method: Method,
-    a: &CsrMatrix<T>,
+    a: &A,
     b: Panel<'_, T>,
     x: PanelMut<'_, T>,
     m: &P,

@@ -1,0 +1,384 @@
+//! # javelin-sweep
+//!
+//! The scenario-sweep consumer of the batched-refactorization engine:
+//! the circuit-transient workload from the paper's introduction, driven
+//! `k` process corners at a time.
+//!
+//! A transient stepper that also explores process corners (or parameter
+//! perturbations, or Monte-Carlo draws) solves `k` **pattern-identical**
+//! systems per time step — the conductance stamps differ per corner,
+//! the connectivity never does. [`ScenarioSweep`] assembles exactly that
+//! workload (the `transient_circuit` generator plus the paper's DM + ND
+//! preordering) and retires each step twice:
+//!
+//! * **batched** — one [`FactorsBatch::refactor_batch`] walks the level
+//!   schedule once for all `k` value sets, then the per-scenario factors
+//!   precondition the columns of one lockstep panel Krylov solve
+//!   ([`ScenarioMatrices`] routes each column's matvec to its own
+//!   corner matrix);
+//! * **looped** — the classical baseline: `k` scalar
+//!   [`IluFactors::refactor`] + scalar Krylov solves, one corner after
+//!   another.
+//!
+//! Every step asserts the two paths agree **bitwise** (column `c` of
+//! the batched path carries exactly the bits of the scalar solve of
+//! corner `c`) and reports scenarios/sec for both, so the batch
+//! speedup is measured against a fair, fully-amortized baseline — not
+//! against re-running the symbolic phase.
+//!
+//! ```
+//! use javelin_sweep::{ScenarioSweep, SweepConfig};
+//!
+//! let mut sweep = ScenarioSweep::new(SweepConfig {
+//!     n: 400,
+//!     core_size: 16,
+//!     k: 4,
+//!     ..SweepConfig::default()
+//! })
+//! .unwrap();
+//! let report = sweep.run_step(0).unwrap();
+//! assert!(report.bitwise_equal);
+//! assert!(report.batched.iter().all(|r| r.converged));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use javelin_core::{
+    FactorsBatch, IluFactors, IluOptions, SolveEngine, SymbolicIlu, ZeroPivotPolicy,
+};
+use javelin_order::{dm::dm_row_permutation, nested_dissection_order};
+use javelin_solver::{
+    krylov_panel_with, krylov_with, Method, ScenarioMatrices, SolverOptions, SolverResult,
+    SolverWorkspace,
+};
+use javelin_sparse::{CsrMatrix, Panel, PanelMut, Perm, SparseError};
+use javelin_synth::circuit::transient_circuit;
+use javelin_synth::util::revalue;
+use std::time::{Duration, Instant};
+
+/// Configuration of a [`ScenarioSweep`].
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Circuit nodes (system dimension before preordering).
+    pub n: usize,
+    /// Size of the strongly-coupled dense core block.
+    pub core_size: usize,
+    /// Generator seed for the circuit assembly.
+    pub seed: u64,
+    /// Scenarios (process corners) per time step — the batch width `k`.
+    pub k: usize,
+    /// Relative stamp perturbation per corner (the `revalue` amplitude).
+    pub amplitude: f64,
+    /// Worker threads for factorization and solves.
+    pub nthreads: usize,
+    /// Panel Krylov method for the batched path (its scalar counterpart
+    /// drives the looped baseline).
+    pub method: Method,
+    /// Krylov iteration controls shared by both paths.
+    pub solver: SolverOptions,
+    /// Pivot-breakdown handling for both factorization paths.
+    pub zero_pivot: ZeroPivotPolicy,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            n: 2000,
+            core_size: 40,
+            seed: 0x5eed,
+            k: 8,
+            amplitude: 0.05,
+            nthreads: 2,
+            method: Method::BatchGmres,
+            solver: SolverOptions {
+                tol: 1e-8,
+                ..SolverOptions::default()
+            },
+            zero_pivot: IluOptions::default().zero_pivot,
+        }
+    }
+}
+
+/// What one [`ScenarioSweep::run_step`] measured.
+#[derive(Debug, Clone)]
+pub struct StepReport {
+    /// The time step this report belongs to.
+    pub step: usize,
+    /// Scenarios retired (the batch width).
+    pub k: usize,
+    /// Wall time of the single batched `refactor_batch` call.
+    pub t_refactor_batched: Duration,
+    /// Wall time of the `k` looped scalar `refactor` calls.
+    pub t_refactor_looped: Duration,
+    /// Wall time of the lockstep panel Krylov solve.
+    pub t_solve_batched: Duration,
+    /// Wall time of the `k` looped scalar Krylov solves.
+    pub t_solve_looped: Duration,
+    /// Per-scenario results of the batched path.
+    pub batched: Vec<SolverResult>,
+    /// Per-scenario results of the looped baseline.
+    pub looped: Vec<SolverResult>,
+    /// Whether every batched solution column reproduced the looped
+    /// baseline bit for bit.
+    pub bitwise_equal: bool,
+}
+
+impl StepReport {
+    /// Refactorization throughput of the batched path, scenarios/sec.
+    pub fn scenarios_per_sec_batched(&self) -> f64 {
+        self.k as f64 / self.t_refactor_batched.as_secs_f64().max(1e-12)
+    }
+
+    /// Refactorization throughput of the looped baseline, scenarios/sec.
+    pub fn scenarios_per_sec_looped(&self) -> f64 {
+        self.k as f64 / self.t_refactor_looped.as_secs_f64().max(1e-12)
+    }
+
+    /// Batched-over-looped refactorization speedup.
+    pub fn refactor_speedup(&self) -> f64 {
+        self.t_refactor_looped.as_secs_f64() / self.t_refactor_batched.as_secs_f64().max(1e-12)
+    }
+}
+
+/// The scalar Krylov method that drives the looped baseline for a
+/// batched `method` (identity for the already-scalar variants).
+pub fn scalar_counterpart(method: Method) -> Method {
+    match method {
+        Method::BatchPcg => Method::Pcg,
+        Method::BatchBicgstab => Method::Bicgstab,
+        Method::BatchGmres => Method::Gmres,
+        other => other,
+    }
+}
+
+/// A transient circuit sweep: one assembled + preordered system, one
+/// shared symbolic analysis, and the two refactor-and-solve paths the
+/// module docs describe (batched vs looped), ready to step.
+pub struct ScenarioSweep {
+    cfg: SweepConfig,
+    a: CsrMatrix<f64>,
+    /// Looped-baseline factors (scalar refactor per corner).
+    factors: IluFactors<f64>,
+    /// Batched-path factors (one schedule walk for all corners).
+    batch: FactorsBatch<f64>,
+    engine: SolveEngine,
+    ws_batched: SolverWorkspace<f64>,
+    ws_looped: SolverWorkspace<f64>,
+}
+
+impl ScenarioSweep {
+    /// Assembles the circuit, applies the paper's DM + ND preordering,
+    /// analyzes the pattern once and prepares both refactorization
+    /// paths (the batch is seeded from the step-0 corners).
+    ///
+    /// # Errors
+    /// Everything [`SymbolicIlu::analyze`] / [`SymbolicIlu::factor`] /
+    /// [`SymbolicIlu::factor_batch`] can return.
+    pub fn new(cfg: SweepConfig) -> Result<Self, SparseError> {
+        let raw = transient_circuit(cfg.n, cfg.core_size, true, cfg.seed);
+        let rowp = dm_row_permutation(&raw)?;
+        let a = raw.permute(&rowp, &Perm::identity(raw.ncols()))?;
+        let nd = nested_dissection_order(&a, 64);
+        let a = a.permute_sym(&nd)?;
+
+        let opts = IluOptions {
+            nthreads: cfg.nthreads,
+            zero_pivot: cfg.zero_pivot,
+            ..IluOptions::default()
+        };
+        let sym = SymbolicIlu::analyze(&a, &opts)?;
+        let factors = sym.factor(&a)?;
+        let engine = factors.default_engine();
+        factors.reserve_panel_width(cfg.k);
+        let corners = corner_matrices(&a, &cfg, 0);
+        let mats: Vec<&CsrMatrix<f64>> = corners.iter().collect();
+        let batch = factors.symbolic().factor_batch(&mats)?;
+        let n = a.nrows();
+        let mut ws_batched = SolverWorkspace::new();
+        ws_batched.reserve(n, cfg.solver.restart, cfg.k.max(1));
+        let ws_looped = SolverWorkspace::new();
+        Ok(ScenarioSweep {
+            cfg,
+            a,
+            factors,
+            batch,
+            engine,
+            ws_batched,
+            ws_looped,
+        })
+    }
+
+    /// The assembled, preordered base matrix.
+    pub fn matrix(&self) -> &CsrMatrix<f64> {
+        &self.a
+    }
+
+    /// The sweep configuration.
+    pub fn config(&self) -> &SweepConfig {
+        &self.cfg
+    }
+
+    /// The batched factor handle (per-scenario factors and statuses).
+    pub fn batch(&self) -> &FactorsBatch<f64> {
+        &self.batch
+    }
+
+    /// The `k` corner matrices of time step `step`: the base stamps
+    /// drifted by the step, perturbed per corner — same pattern, `k`
+    /// value sets.
+    pub fn corner_matrices(&self, step: usize) -> Vec<CsrMatrix<f64>> {
+        corner_matrices(&self.a, &self.cfg, step)
+    }
+
+    /// The deterministic right-hand-side panel of time step `step`
+    /// (column `c` is scenario `c`'s excitation).
+    pub fn rhs_panel(&self, step: usize) -> Vec<f64> {
+        let n = self.a.nrows();
+        let k = self.cfg.k;
+        let mut b = vec![0.0; n * k];
+        for c in 0..k {
+            for i in 0..n {
+                b[c * n + i] = ((i * 7 + c * 13 + step * 37) % 29) as f64 * 0.1 - 1.0;
+            }
+        }
+        b
+    }
+
+    /// Retires time step `step` through both paths and cross-checks
+    /// them bitwise (see the module docs).
+    ///
+    /// # Errors
+    /// Per-scenario factorization errors from either path (the first
+    /// failing scenario's [`SparseError::ZeroPivot`] /
+    /// [`SparseError::Breakdown`]); inspect [`ScenarioSweep::batch`]
+    /// for the full per-scenario status picture afterwards.
+    pub fn run_step(&mut self, step: usize) -> Result<StepReport, SparseError> {
+        let n = self.a.nrows();
+        let k = self.cfg.k;
+        let corners = self.corner_matrices(step);
+        let mats: Vec<&CsrMatrix<f64>> = corners.iter().collect();
+        let b = self.rhs_panel(step);
+
+        // Batched path: one schedule walk for all k value sets …
+        let t0 = Instant::now();
+        self.batch.refactor_batch(&mats)?;
+        let t_refactor_batched = t0.elapsed();
+        if let Some(err) = self
+            .batch
+            .statuses()
+            .iter()
+            .find_map(|s| s.as_ref().err().cloned())
+        {
+            return Err(err);
+        }
+        // … then per-scenario preconditioners feeding the columns of
+        // one lockstep panel Krylov solve.
+        let mut xb = vec![0.0; n * k];
+        let m = self.batch.precond(self.engine);
+        let t1 = Instant::now();
+        let batched = krylov_panel_with(
+            self.cfg.method,
+            &ScenarioMatrices(&mats),
+            Panel::new(&b, n, k),
+            PanelMut::new(&mut xb, n, k),
+            &m,
+            &self.cfg.solver,
+            &mut self.ws_batched,
+        );
+        let t_solve_batched = t1.elapsed();
+
+        // Looped baseline: k scalar refactor + solve round trips.
+        let scalar = scalar_counterpart(self.cfg.method);
+        let mut xl = vec![0.0; n * k];
+        let mut looped = Vec::with_capacity(k);
+        let mut t_refactor_looped = Duration::ZERO;
+        let mut t_solve_looped = Duration::ZERO;
+        for (c, xc) in xl.chunks_exact_mut(n).enumerate() {
+            let tr = Instant::now();
+            self.factors.refactor(mats[c])?;
+            t_refactor_looped += tr.elapsed();
+            let m = self.factors.with_engine(self.engine);
+            let ts = Instant::now();
+            looped.push(krylov_with(
+                scalar,
+                mats[c],
+                &b[c * n..(c + 1) * n],
+                xc,
+                &m,
+                &self.cfg.solver,
+                &mut self.ws_looped,
+            ));
+            t_solve_looped += ts.elapsed();
+        }
+
+        let bitwise_equal = xb.iter().zip(&xl).all(|(p, q)| p.to_bits() == q.to_bits());
+        Ok(StepReport {
+            step,
+            k,
+            t_refactor_batched,
+            t_refactor_looped,
+            t_solve_batched,
+            t_solve_looped,
+            batched,
+            looped,
+            bitwise_equal,
+        })
+    }
+}
+
+fn corner_matrices(a: &CsrMatrix<f64>, cfg: &SweepConfig, step: usize) -> Vec<CsrMatrix<f64>> {
+    (0..cfg.k)
+        .map(|c| revalue(a, 0.3 + step as f64 + c as f64 * 0.77, cfg.amplitude))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SweepConfig {
+        SweepConfig {
+            n: 500,
+            core_size: 20,
+            k: 4,
+            ..SweepConfig::default()
+        }
+    }
+
+    #[test]
+    fn batched_step_matches_looped_baseline_bitwise() {
+        let mut sweep = ScenarioSweep::new(small()).unwrap();
+        for step in 0..2 {
+            let report = sweep.run_step(step).unwrap();
+            assert!(report.bitwise_equal, "step {step}");
+            assert_eq!(report.batched.len(), 4);
+            assert!(report.batched.iter().all(|r| r.converged), "step {step}");
+            for (c, (b, l)) in report.batched.iter().zip(&report.looped).enumerate() {
+                assert_eq!(b.iterations, l.iterations, "step {step} scenario {c}");
+            }
+            assert!(sweep.batch().all_ok());
+        }
+    }
+
+    #[test]
+    fn methods_agree_with_their_scalar_counterparts() {
+        for method in [Method::BatchPcg, Method::BatchBicgstab, Method::BatchGmres] {
+            let mut sweep = ScenarioSweep::new(SweepConfig { method, ..small() }).unwrap();
+            let report = sweep.run_step(0).unwrap();
+            assert!(report.bitwise_equal, "{method:?}");
+        }
+    }
+
+    #[test]
+    fn corner_matrices_share_the_pattern() {
+        let sweep = ScenarioSweep::new(small()).unwrap();
+        let corners = sweep.corner_matrices(3);
+        for c in &corners {
+            assert_eq!(c.rowptr(), sweep.matrix().rowptr());
+            assert_eq!(c.colidx(), sweep.matrix().colidx());
+        }
+        // Distinct value sets per corner.
+        assert_ne!(corners[0].vals(), corners[1].vals());
+    }
+}

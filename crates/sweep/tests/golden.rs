@@ -1,0 +1,63 @@
+//! Golden regression test for the circuit-transient scenario sweep:
+//! a fixed-seed assembly driven three steps, checked against committed
+//! per-scenario iteration-count fixtures (exact) and residual bounds.
+//!
+//! The entire pipeline underneath is deterministic — fixed generator
+//! seed, deterministic factorization engines (bit-identical at every
+//! thread count), lockstep panel Krylov with the bitwise column
+//! contract — so iteration counts are stable and any drift here means
+//! a numeric behavior change somewhere in the stack, not noise.
+
+use javelin_solver::Method;
+use javelin_sweep::{ScenarioSweep, SweepConfig};
+
+/// Committed fixture: per-step, per-scenario GMRES iteration counts of
+/// the batched path (k = 4 corners, tol = 1e-8). Regenerate by running
+/// this test with `GOLDEN_PRINT=1` and pasting the printed table.
+const GOLDEN_ITERS: [[usize; 4]; 3] = [[7, 8, 8, 8], [8, 8, 8, 8], [7, 7, 8, 8]];
+
+fn golden_config() -> SweepConfig {
+    SweepConfig {
+        n: 600,
+        core_size: 24,
+        seed: 0x5eed,
+        k: 4,
+        amplitude: 0.05,
+        nthreads: 2,
+        method: Method::BatchGmres,
+        ..SweepConfig::default()
+    }
+}
+
+#[test]
+fn transient_sweep_matches_committed_fixtures() {
+    let mut sweep = ScenarioSweep::new(golden_config()).unwrap();
+    let mut observed = Vec::new();
+    for (step, golden) in GOLDEN_ITERS.iter().enumerate() {
+        let report = sweep.run_step(step).unwrap();
+        assert!(report.bitwise_equal, "step {step}: paths diverged bitwise");
+        let iters: Vec<usize> = report.batched.iter().map(|r| r.iterations).collect();
+        observed.push(iters.clone());
+        for (c, r) in report.batched.iter().enumerate() {
+            assert!(r.converged, "step {step} scenario {c} did not converge");
+            // Residuals are float-valued, so they get a bound rather
+            // than an exact fixture: converged means ≤ tol, and the
+            // reported value must be a sane positive float.
+            assert!(
+                r.relative_residual <= 1e-8 && r.relative_residual >= 0.0,
+                "step {step} scenario {c}: residual {}",
+                r.relative_residual
+            );
+        }
+        if std::env::var("GOLDEN_PRINT").is_err() {
+            assert_eq!(
+                &iters[..],
+                &golden[..],
+                "step {step}: iteration counts drifted from the committed fixture"
+            );
+        }
+    }
+    if std::env::var("GOLDEN_PRINT").is_ok() {
+        println!("GOLDEN_ITERS = {observed:?}");
+    }
+}

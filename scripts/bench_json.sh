@@ -61,7 +61,7 @@ if [ "${1:-}" = "--parse-only" ]; then
     exit 0
 fi
 
-SUITES=${SUITES:-"apply batch batch_krylov refactor spmv trisolve"}
+SUITES=${SUITES:-"apply batch batch_krylov refactor spmv sweep trisolve"}
 OUT=${OUT:-BENCH_results.json}
 LOADGEN=${LOADGEN:-1}
 LOADGEN_ARGS=${LOADGEN_ARGS:-"--threads 2 --engine p2p --solves 24 --clients 2,4,8"}

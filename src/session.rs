@@ -26,10 +26,12 @@
 //! ```
 
 use javelin_core::{
-    FactorStats, IluFactors, IluOptions, SolveEngine, SymbolicIlu, ZeroPivotPolicy,
+    FactorStats, FactorsBatch, IluFactors, IluOptions, SolveEngine, SymbolicIlu, ZeroPivotPolicy,
 };
 use javelin_solver::SolverWorkspace;
-use javelin_solver::{krylov_panel_with, krylov_with, Method, SolverOptions, SolverResult};
+use javelin_solver::{
+    krylov_panel_with, krylov_with, Method, ScenarioMatrices, SolverOptions, SolverResult,
+};
 use javelin_sparse::{CsrMatrix, Panel, PanelMut, Scalar, SparseError};
 use javelin_sync::WorkerTeam;
 use std::sync::Arc;
@@ -215,6 +217,7 @@ impl SessionBuilder {
         Ok(Session {
             a: a.clone(),
             factors,
+            batch: None,
             engine,
             solver: self.solver,
             workspace,
@@ -230,6 +233,7 @@ impl SessionBuilder {
 pub struct Session<T: Scalar> {
     a: CsrMatrix<T>,
     factors: IluFactors<T>,
+    batch: Option<FactorsBatch<T>>,
     engine: SolveEngine,
     solver: SolverOptions,
     workspace: SolverWorkspace<T>,
@@ -389,6 +393,83 @@ impl<T: Scalar> Session<T> {
             &self.solver,
             &mut self.workspace,
         ))
+    }
+
+    /// Scenario sweep: solves `k` pattern-identical systems — one per
+    /// matrix in `mats` (process corners, parameter perturbations,
+    /// Monte-Carlo draws) — through **one** batched refactorization and
+    /// one lockstep panel Krylov solve.
+    ///
+    /// Column `c` of `b`/`x` belongs to scenario `c`: matrix `mats[c]`
+    /// is refactored (batched, one schedule walk for all `k` value
+    /// sets; see [`FactorsBatch::refactor_batch`]), its factors
+    /// precondition column `c`, and its matvec drives column `c` of
+    /// the batched Krylov iteration. Each column's bits are identical
+    /// to a scalar `refactor` + `krylov` of that scenario alone.
+    ///
+    /// The session caches the batch handle: the first call at width `k`
+    /// allocates it ([`SymbolicIlu::factor_batch`]); subsequent calls
+    /// at the same `k` are numeric-only and allocation-free. The handle
+    /// stays inspectable through [`Session::scenario_batch`] (e.g. for
+    /// per-scenario shift/breakdown statistics).
+    ///
+    /// # Errors
+    /// * [`SparseError::DimensionMismatch`] when `mats` is empty or the
+    ///   panel shapes disagree with `k = mats.len()`;
+    /// * [`SparseError::PatternMismatch`] when any scenario matrix
+    ///   deviates from the analyzed pattern (nothing is touched);
+    /// * the first per-scenario numeric error
+    ///   ([`SparseError::ZeroPivot`] / [`SparseError::Breakdown`]) when
+    ///   a scenario's factorization fails — surviving scenarios keep
+    ///   their factors, and [`Session::scenario_batch`] exposes every
+    ///   per-scenario status.
+    pub fn sweep(
+        &mut self,
+        method: Method,
+        mats: &[&CsrMatrix<T>],
+        b: Panel<'_, T>,
+        x: PanelMut<'_, T>,
+    ) -> Result<Vec<SolverResult>, SparseError> {
+        let n = self.a.nrows();
+        let k = mats.len();
+        if k == 0 || b.nrows() != n || x.nrows() != n || b.ncols() != k || x.ncols() != k {
+            return Err(SparseError::DimensionMismatch(format!(
+                "sweep: {k} scenario matrices against rhs {}x{} / solution {}x{} (system dimension {n})",
+                b.nrows(),
+                b.ncols(),
+                x.nrows(),
+                x.ncols(),
+            )));
+        }
+        match &mut self.batch {
+            Some(batch) if batch.k() == k => batch.refactor_batch(mats)?,
+            slot => *slot = Some(self.factors.symbolic().factor_batch(mats)?),
+        }
+        let batch = self.batch.as_ref().expect("sweep: batch just installed");
+        if let Some(err) = batch
+            .statuses()
+            .iter()
+            .find_map(|s| s.as_ref().err().cloned())
+        {
+            return Err(err);
+        }
+        let m = batch.precond(self.engine);
+        Ok(krylov_panel_with(
+            method,
+            &ScenarioMatrices(mats),
+            b,
+            x,
+            &m,
+            &self.solver,
+            &mut self.workspace,
+        ))
+    }
+
+    /// The cached scenario batch of the most recent [`Session::sweep`]
+    /// (None before the first sweep): per-scenario factors, statuses
+    /// and shift/breakdown bookkeeping.
+    pub fn scenario_batch(&self) -> Option<&FactorsBatch<T>> {
+        self.batch.as_ref()
     }
 
     /// Numeric-only refactorization for a pattern-identical matrix with
@@ -586,6 +667,83 @@ mod tests {
         for (two, one) in x.iter().zip(x1.iter()) {
             assert!((2.0 * two - one).abs() <= 1e-5 * one.abs().max(1.0));
         }
+    }
+
+    #[test]
+    fn session_sweep_matches_per_scenario_scalar_solves_bitwise() {
+        let a = laplace_2d(11, 11);
+        let n = a.nrows();
+        let k = 4;
+        let corners: Vec<_> = (0..k)
+            .map(|c| javelin_synth::util::revalue(&a, 0.3 + c as f64 * 0.77, 0.05))
+            .collect();
+        let mats: Vec<&CsrMatrix<f64>> = corners.iter().collect();
+        let b: Vec<f64> = (0..n * k)
+            .map(|i| ((i * 7 % 29) as f64) * 0.13 - 1.7)
+            .collect();
+        let mut session = Session::builder()
+            .nthreads(2)
+            .panel_width(k)
+            .build(&a)
+            .unwrap();
+        assert!(session.scenario_batch().is_none());
+        let mut xs = vec![0.0; n * k];
+        let results = session
+            .sweep(
+                Method::BatchPcg,
+                &mats,
+                Panel::new(&b, n, k),
+                PanelMut::new(&mut xs, n, k),
+            )
+            .unwrap();
+        assert_eq!(results.len(), k);
+        assert!(results.iter().all(|r| r.converged));
+        let batch = session.scenario_batch().unwrap();
+        assert_eq!(batch.k(), k);
+        assert!(batch.all_ok());
+        // Reference: an independent session per scenario, scalar
+        // refactor + scalar krylov. Same bits, same iteration counts.
+        for (c, m) in corners.iter().enumerate() {
+            let mut single = Session::builder().nthreads(2).build(&a).unwrap();
+            single.refactor(m).unwrap();
+            let mut x = vec![0.0; n];
+            let r = single
+                .krylov(Method::Pcg, &b[c * n..(c + 1) * n], &mut x)
+                .unwrap();
+            assert_eq!(r.iterations, results[c].iterations, "scenario {c}");
+            assert_eq!(
+                xs[c * n..(c + 1) * n]
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                x.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "scenario {c}"
+            );
+        }
+        // A second sweep at the same width reuses the cached batch.
+        let mut xs2 = vec![0.0; n * k];
+        let again = session
+            .sweep(
+                Method::BatchPcg,
+                &mats,
+                Panel::new(&b, n, k),
+                PanelMut::new(&mut xs2, n, k),
+            )
+            .unwrap();
+        assert!(again.iter().all(|r| r.converged));
+        assert_eq!(
+            xs.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            xs2.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        // Shape mismatches are rejected up front.
+        assert!(session
+            .sweep(
+                Method::BatchPcg,
+                &[],
+                Panel::new(&b, n, k),
+                PanelMut::new(&mut xs2, n, k)
+            )
+            .is_err());
     }
 
     #[test]

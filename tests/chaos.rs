@@ -264,6 +264,88 @@ fn service_contains_pivot_breakdown_to_one_tenant_and_keeps_serving() {
     fault::clear();
 }
 
+#[test]
+fn injected_batch_pivot_fault_is_contained_to_one_scenario_column() {
+    use javelin::synth::util::revalue;
+
+    let _g = scenario();
+    let a = healthy(64);
+    let k = 4usize;
+    let corners: Vec<CsrMatrix<f64>> = (0..k)
+        .map(|c| revalue(&a, 0.3 + c as f64 * 0.77, 0.05))
+        .collect();
+    let mats: Vec<&CsrMatrix<f64>> = corners.iter().collect();
+
+    // The serial batch engine finalizes row-major, lane-minor, firing
+    // the `numeric.pivot` failpoint once per (row, lane) — so a skip of
+    // `row·k + lane` lands the fault in exactly one scenario column.
+    let (target_row, target_lane) = (10usize, 2usize);
+    let skip = target_row * k + target_lane;
+
+    // Uninjected reference batch.
+    let strict = IluOptions::ilu0(1).with_zero_pivot(ZeroPivotPolicy::Error);
+    let sym = SymbolicIlu::analyze(&a, &strict).unwrap();
+    let clean = sym.factor_batch(&mats).unwrap();
+    assert!(clean.all_ok());
+
+    // Strict policy: scenario `target_lane` gets a typed per-scenario
+    // ZeroPivot at the injected row; every other column's factors are
+    // bit-identical to the uninjected run.
+    fault::arm("numeric.pivot", FaultAction::Zero, skip);
+    let injected = sym.factor_batch(&mats).unwrap();
+    assert!(!injected.all_ok());
+    assert!(
+        matches!(
+            injected.statuses()[target_lane],
+            Err(SparseError::ZeroPivot { row }) if row == target_row
+        ),
+        "expected a typed ZeroPivot at row {target_row} in scenario {target_lane}, got {:?}",
+        injected.statuses()[target_lane]
+    );
+    for c in (0..k).filter(|&c| c != target_lane) {
+        assert!(injected.statuses()[c].is_ok(), "scenario {c} must survive");
+        assert_eq!(
+            bits(injected.factor(c).lu().vals()),
+            bits(clean.factor(c).lu().vals()),
+            "scenario {c} must be bit-identical to the uninjected batch"
+        );
+    }
+
+    // ShiftRetry: the injected scenario absorbs the fault through a
+    // shifted numeric re-run (the fault is one-shot, the re-sweep is
+    // clean) while its neighbours — re-swept by the same retry loop —
+    // reproduce their uninjected bits exactly.
+    let retry = IluOptions::ilu0(1).with_zero_pivot(ZeroPivotPolicy::shift_retry());
+    let sym_r = SymbolicIlu::analyze(&a, &retry).unwrap();
+    let clean_r = sym_r.factor_batch(&mats).unwrap();
+    assert!(clean_r.all_ok());
+    fault::arm("numeric.pivot", FaultAction::Zero, skip);
+    let healed = sym_r.factor_batch(&mats).unwrap();
+    assert!(
+        healed.all_ok(),
+        "shift-retry must absorb the injected fault"
+    );
+    assert_eq!(
+        healed.factor(target_lane).stats().shift_attempts,
+        2,
+        "the injected scenario must record its shifted retry"
+    );
+    assert!(healed.factor(target_lane).stats().diag_shift > 0.0);
+    for c in (0..k).filter(|&c| c != target_lane) {
+        assert_eq!(
+            healed.factor(c).stats().shift_attempts,
+            1,
+            "scenario {c} must not be shifted"
+        );
+        assert_eq!(
+            bits(healed.factor(c).lu().vals()),
+            bits(clean_r.factor(c).lu().vals()),
+            "scenario {c} must be bit-identical despite its neighbour's retry"
+        );
+    }
+    fault::clear();
+}
+
 const ENGINES: [SolveEngine; 3] = [
     SolveEngine::BarrierLevel,
     SolveEngine::PointToPoint,

@@ -303,4 +303,69 @@ fn steady_state_refactor_allocates_zero_bytes() {
     let cs = engine.cache_stats();
     assert_eq!(cs.misses, 1, "one symbolic analysis across all rounds");
     assert_eq!(cs.refactors, 0, "identical values: no numeric refactor");
+
+    // ---- Phase 5: steady-state `refactor_batch` is zero-alloc and ----
+    // zero-spawn on the persistent team. The batch walks the schedule
+    // once for k = 4 interleaved value sets; after the warm-up (which
+    // grows nothing either — every buffer was sized by `factor_batch`),
+    // each step must reuse the interleaved value buffer, the shared row
+    // workspaces and the planned team regions verbatim.
+    let a5 = irregular(300);
+    let mut opts5 = IluOptions::ilu0(3).with_drop_tol(1e-4);
+    opts5.split.min_rows_per_level = 8;
+    opts5.split.location_frac = 0.0;
+    let sym5 = SymbolicIlu::analyze(&a5, &opts5).expect("analysis (batch)");
+    let k5 = 4usize;
+    let corners: Vec<CsrMatrix<f64>> = (0..k5)
+        .map(|c| revalue(&a5, 0.3 + c as f64 * 0.77))
+        .collect();
+    let mats: Vec<&CsrMatrix<f64>> = corners.iter().collect();
+    let mut batch = sym5.factor_batch(&mats).expect("batch factor");
+    assert!(batch.all_ok());
+    // Warm-up rounds (parking-lot/thread-parking lazy init, as above).
+    batch.refactor_batch(&mats).expect("warm-up refactor_batch");
+    batch.refactor_batch(&mats).expect("second warm-up");
+    for round in 0..5 {
+        let corners_t: Vec<CsrMatrix<f64>> = (0..k5)
+            .map(|c| revalue(&a5, 2.2 + round as f64 + c as f64 * 0.77))
+            .collect();
+        let mats_t: Vec<&CsrMatrix<f64>> = corners_t.iter().collect();
+        // The corner assembly above allocates; measure the batched
+        // refactor call alone.
+        let (allocs_mid, bytes_mid) = snapshot();
+        batch
+            .refactor_batch(&mats_t)
+            .expect("steady-state refactor_batch");
+        let (allocs_after, bytes_after) = snapshot();
+        assert_eq!(
+            allocs_after - allocs_mid,
+            0,
+            "round {round}: steady-state refactor_batch performed heap allocations"
+        );
+        assert_eq!(
+            bytes_after - bytes_mid,
+            0,
+            "round {round}: steady-state refactor_batch allocated bytes"
+        );
+        assert!(batch.all_ok(), "round {round}");
+    }
+    // And the batched columns are still exactly the scalar refactors.
+    let mut scalar = sym5.factor(&a5).expect("scalar reference");
+    let last_corners: Vec<CsrMatrix<f64>> = (0..k5)
+        .map(|c| revalue(&a5, 9.9 + c as f64 * 0.77))
+        .collect();
+    let last_mats: Vec<&CsrMatrix<f64>> = last_corners.iter().collect();
+    batch.refactor_batch(&last_mats).unwrap();
+    for (c, m) in last_mats.iter().enumerate() {
+        scalar.refactor(m).unwrap();
+        let bb: Vec<u64> = batch
+            .factor(c)
+            .lu()
+            .vals()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        let sb: Vec<u64> = scalar.lu().vals().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bb, sb, "batched column {c} vs scalar refactor");
+    }
 }
