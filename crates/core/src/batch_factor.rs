@@ -121,7 +121,10 @@ impl<T: Scalar> SymbolicIlu<T> {
         let mut batch = FactorsBatch {
             sym: self.clone(),
             k,
-            lu_vals: LuVals::zeroed(nnz * k),
+            // First-touch on the factorization's own threads (see
+            // `LuVals::zeroed_on`) — the batch buffer is k× the scalar
+            // one, so placement matters most here.
+            lu_vals: LuVals::zeroed_on(nnz * k, self.exec()),
             drop_thresh: if c.opts.drop_tol > 0.0 {
                 vec![T::ZERO; c.n * k]
             } else {

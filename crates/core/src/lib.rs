@@ -105,7 +105,11 @@
 //! factors.refactor(&a).unwrap();
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the numeric kernels and lane-structured solve
+// paths opt back in per-module (`numeric/kernel.rs` documents the
+// row-ownership protocol that makes the exclusive-slice views sound);
+// everything else stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod batch_factor;

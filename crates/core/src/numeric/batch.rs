@@ -26,10 +26,12 @@
 //! alone — the contract the differential proptests in
 //! `crates/core/tests/batch_differential.rs` enforce.
 
+#![allow(unsafe_code)] // LuVals row views; protocol documented in kernel.rs.
+
 use crate::numeric::kernel::{LuVals, RowWorkspace};
 use crate::options::ZeroPivotPolicy;
 use javelin_level::P2PSchedule;
-use javelin_sparse::lanes::Lanes;
+use javelin_sparse::lanes::{lane_fnma, Lanes};
 use javelin_sparse::Scalar;
 use javelin_sync::{Exec, ProgressCounters};
 use parking_lot::Mutex;
@@ -76,6 +78,7 @@ impl<'a, T: Scalar> BatchNumericCtx<'a, T> {
     /// Records a pivot breakdown of scenario `lane` at `row`.
     #[inline]
     pub fn record_failure(&self, lane: usize, row: usize) {
+        // Keep the smallest failing row for a deterministic error.
         self.failed_row[lane].fetch_min(row + 1, Ordering::AcqRel);
     }
 }
@@ -98,7 +101,13 @@ pub fn eliminate_columns_lanes<T: Scalar, L: Lanes>(
     let k = lanes.width();
     let hi = col_hi.min(r);
     let dropping = !ctx.drop_thresh.is_empty();
-    for e in ctx.row_range(r) {
+    let erange = ctx.row_range(r);
+    let base = erange.start;
+    // Safety: the batch engines call this only while row `r` is
+    // exclusively owned by this worker (between its ready- and
+    // retire-signal), so its `k` interleaved lanes are private.
+    let vr = unsafe { ctx.vals.view_mut(base * k..erange.end * k) };
+    for e in erange {
         let c = ctx.colidx[e];
         if c >= hi {
             break;
@@ -107,24 +116,60 @@ pub fn eliminate_columns_lanes<T: Scalar, L: Lanes>(
             continue;
         }
         let dp = ctx.diag_pos[c];
-        for lane in 0..k {
-            let piv = ctx.vals.get(lanes.idx(dp, lane));
-            let l = ctx.vals.get(lanes.idx(e, lane)) / piv;
-            if dropping && l.abs() < ctx.drop_thresh[lanes.idx(r, lane)] {
-                // This lane treats the entry as zero: skip its update
-                // sweep. The position stays in the (shared) pattern.
-                ctx.vals.set(lanes.idx(e, lane), T::ZERO);
-                ctx.dropped[lane].fetch_add(1, Ordering::Relaxed);
-                continue;
+        let u_hi = ctx.rowptr[c + 1];
+        // Safety: row `c < r` is finalized, hence quiescent; its lanes
+        // (diagonal included) are read-only for the rest of the run.
+        let uc = unsafe { ctx.vals.view(dp * k..u_hi * k) };
+        let le = (e - base) * k;
+        if dropping {
+            // τ-dropping is per-lane control flow (each lane decides
+            // independently whether to zero the entry and skip its
+            // sweep), so keep the scalar lane-major walk.
+            for lane in 0..k {
+                let l = vr[le + lane] / uc[lane];
+                if l.abs() < ctx.drop_thresh[lanes.idx(r, lane)] {
+                    // This lane treats the entry as zero: skip its update
+                    // sweep. The position stays in the (shared) pattern.
+                    vr[le + lane] = T::ZERO;
+                    ctx.dropped[lane].fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                vr[le + lane] = l;
+                // a[r, j] -= l * u[c, j] for every j > c stored in both rows.
+                for (off, kk) in ((dp + 1)..u_hi).enumerate() {
+                    let j = ctx.colidx[kk];
+                    if let Some(p) = ws.entry_of(j) {
+                        vr[(p - base) * k + lane] -= l * uc[(off + 1) * k + lane];
+                    }
+                }
             }
-            ctx.vals.set(lanes.idx(e, lane), l);
-            // a[r, j] -= l * u[c, j] for every j > c stored in both rows.
-            for kk in (dp + 1)..ctx.rowptr[c + 1] {
+        } else {
+            // Fused path: no lane can drop, so compute every lane's
+            // multiplier first, then retire the update sweep one entry
+            // at a time through the k-lane `lane_fnma` micro-op.
+            // Entry-major vs lane-major is bit-identical: each
+            // (entry, lane) location is updated exactly once per
+            // eliminated column, in the same per-location order, with
+            // the same multiply-then-subtract expression.
+            //
+            // Columns are sorted within a row, so every update position
+            // `p` lies strictly past entry `e`; splitting at the end of
+            // `e`'s lane block lets the stored multipliers serve as
+            // `lane_fnma`'s per-lane coefficients.
+            let (head, tail) = vr.split_at_mut(le + k);
+            let lrow = &mut head[le..];
+            for (lv, &piv) in lrow.iter_mut().zip(&uc[..k]) {
+                *lv /= piv;
+            }
+            for (off, kk) in ((dp + 1)..u_hi).enumerate() {
                 let j = ctx.colidx[kk];
                 if let Some(p) = ws.entry_of(j) {
-                    ctx.vals.set(
-                        lanes.idx(p, lane),
-                        ctx.vals.get(lanes.idx(p, lane)) - l * ctx.vals.get(lanes.idx(kk, lane)),
+                    let pe = (p - base) * k - (le + k);
+                    lane_fnma(
+                        lanes,
+                        lrow,
+                        &uc[(off + 1) * k..(off + 2) * k],
+                        &mut tail[pe..pe + k],
                     );
                 }
             }
@@ -143,20 +188,23 @@ pub fn finalize_row_lanes<T: Scalar, L: Lanes>(lanes: L, ctx: &BatchNumericCtx<'
     let k = lanes.width();
     let dp = ctx.diag_pos[r];
     let dropping = !ctx.drop_thresh.is_empty();
+    // Safety: finalize runs exactly once per row, inside row `r`'s
+    // exclusive ownership window, before any dependent row reads it.
+    let vr = unsafe { ctx.vals.view_mut(dp * k..ctx.rowptr[r + 1] * k) };
     for lane in 0..k {
         let mut dropped_sum = T::ZERO;
         if dropping {
             let thresh = ctx.drop_thresh[lanes.idx(r, lane)];
-            for e in (dp + 1)..ctx.rowptr[r + 1] {
-                let v = ctx.vals.get(lanes.idx(e, lane));
+            for e in 1..vr.len() / k {
+                let v = vr[e * k + lane];
                 if v != T::ZERO && v.abs() < thresh {
-                    ctx.vals.set(lanes.idx(e, lane), T::ZERO);
+                    vr[e * k + lane] = T::ZERO;
                     dropped_sum += v;
                     ctx.dropped[lane].fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
-        let mut d = ctx.vals.get(lanes.idx(dp, lane));
+        let mut d = vr[lane];
         if ctx.milu_omega != T::ZERO {
             d += ctx.milu_omega * dropped_sum;
         }
@@ -180,7 +228,7 @@ pub fn finalize_row_lanes<T: Scalar, L: Lanes>(lanes: L, ctx: &BatchNumericCtx<'
                 }
             }
         }
-        ctx.vals.set(lanes.idx(dp, lane), d);
+        vr[lane] = d;
     }
 }
 

@@ -1,33 +1,78 @@
 //! The up-looking row kernel and its workspaces.
 //!
-//! `LuVals` stores factor values bit-packed in `AtomicU64` cells so
-//! different threads can write disjoint rows and read finalized rows
-//! without `unsafe`. All accesses are `Relaxed`: the necessary
-//! happens-before edges come from the progress counters / barriers /
-//! task graph that order row completion (a release-bump after the last
-//! write of a row, an acquire-wait before the first read). On x86 these
-//! relaxed atomics compile to plain moves — the paper's "no overhead"
-//! claim carries over.
+//! ## `LuVals` and the row-ownership protocol
+//!
+//! `LuVals` stores factor values in plain (`UnsafeCell`) memory that
+//! several threads access concurrently — on **disjoint entries**. The
+//! engines' synchronization protocols guarantee race freedom (see
+//! `docs/ARCHITECTURE.md` §7 "Memory model"):
+//!
+//! * every entry belongs to exactly one row, and a row's values are
+//!   written only by the worker that currently *owns* the row;
+//! * ownership is handed off through a release-bump of a progress
+//!   counter (or barrier arrival / task-graph edge / team-region join)
+//!   after the row's last write, and acquired through the matching
+//!   acquire-wait before any dependent read — the same happens-before
+//!   edges that previously ordered the relaxed-atomic accesses;
+//! * Segmented-Rows tiles that share a row write disjoint entry
+//!   subranges, chained per block, so exclusivity holds at entry
+//!   granularity there too.
+//!
+//! Under that protocol the hot kernels can check out a whole row (or a
+//! tile of one) as an exclusive `&mut [T]` via [`LuVals::view_mut`] and
+//! read finalized rows as `&[T]` via [`LuVals::view`] — contiguous
+//! loads/stores the compiler can vectorize, instead of per-element
+//! atomic round-trips that block coalescing. This is what an earlier
+//! revision's bit-packed `AtomicU64` representation (all `Relaxed`)
+//! could not offer: atomics pessimize vectorization even though they
+//! compile to plain moves on x86, and bit-packing made `&mut [f32]`
+//! views impossible.
+//!
+//! The safe `get`/`set` accessors remain for cold paths; they are plain
+//! reads/writes bound by the same protocol.
+
+#![allow(unsafe_code)] // LuVals views; soundness argument in the module docs above.
 
 use crate::numeric::NumericCtx;
 use crate::options::ZeroPivotPolicy;
 use javelin_sparse::Scalar;
-use std::marker::PhantomData;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::UnsafeCell;
+use std::ops::Range;
+use std::sync::atomic::Ordering;
 
-/// Bit-packed, concurrently accessible factor values.
-#[derive(Debug)]
+/// One factor value in engine-shared plain memory.
+///
+/// `#[repr(transparent)]` guarantees a `[ValCell<T>]` has exactly the
+/// layout of `[T]`, which is what lets [`LuVals::view`] /
+/// [`LuVals::view_mut`] hand out real value slices.
+#[repr(transparent)]
+struct ValCell<T>(UnsafeCell<T>);
+
+// Safety: cross-thread access to a cell is externally synchronized by
+// the engines' row-ownership protocol (module docs): concurrent
+// accesses always target disjoint entries, and same-entry accesses are
+// ordered by a release/acquire edge.
+unsafe impl<T: Send + Sync> Sync for ValCell<T> {}
+
+/// Concurrently accessible factor values (see the module docs for the
+/// ownership protocol that makes the shared-reference API race-free).
 pub struct LuVals<T> {
-    bits: Vec<AtomicU64>,
-    _ty: PhantomData<T>,
+    cells: Vec<ValCell<T>>,
+}
+
+impl<T> std::fmt::Debug for LuVals<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LuVals")
+            .field("len", &self.cells.len())
+            .finish()
+    }
 }
 
 impl<T: Scalar> LuVals<T> {
-    /// Packs a value slice.
+    /// Copies in a value slice.
     pub fn from_values(vals: &[T]) -> Self {
         LuVals {
-            bits: vals.iter().map(|v| AtomicU64::new(v.to_bits64())).collect(),
-            _ty: PhantomData,
+            cells: vals.iter().map(|&v| ValCell(UnsafeCell::new(v))).collect(),
         }
     }
 
@@ -36,59 +81,128 @@ impl<T: Scalar> LuVals<T> {
     /// from a value slice.
     pub fn zeroed(n: usize) -> Self {
         LuVals {
-            bits: (0..n)
-                .map(|_| AtomicU64::new(T::ZERO.to_bits64()))
-                .collect(),
-            _ty: PhantomData,
+            cells: (0..n).map(|_| ValCell(UnsafeCell::new(T::ZERO))).collect(),
         }
+    }
+
+    /// Like [`LuVals::zeroed`], but the zero-fill (the pages'
+    /// first touch) is performed by the participants of `exec`, each
+    /// initializing a contiguous chunk — so on first-touch NUMA systems
+    /// a buffer's pages land near the workers that will stream it.
+    pub fn zeroed_on(n: usize, exec: &javelin_sync::Exec) -> Self {
+        let nthreads = exec.nthreads();
+        if nthreads <= 1 || n == 0 {
+            return Self::zeroed(n);
+        }
+        let mut cells: Vec<ValCell<T>> = Vec::with_capacity(n);
+        let base = cells.as_mut_ptr();
+        let chunk = n.div_ceil(nthreads);
+        // Wrap the raw pointer so the region closure can share it (the
+        // method keeps the 2021-edition closure capturing the whole
+        // Sync wrapper, not the non-Sync pointer field).
+        struct Ptr<T>(*mut ValCell<T>);
+        unsafe impl<T> Sync for Ptr<T> {}
+        impl<T> Ptr<T> {
+            fn get(&self) -> *mut ValCell<T> {
+                self.0
+            }
+        }
+        let ptr = Ptr(base);
+        exec.run(|tid| {
+            let lo = (tid * chunk).min(n);
+            let hi = ((tid + 1) * chunk).min(n);
+            for i in lo..hi {
+                // Safety: chunks are disjoint per tid and lie within the
+                // reserved capacity; every index is written exactly once.
+                unsafe { ptr.get().add(i).write(ValCell(UnsafeCell::new(T::ZERO))) };
+            }
+        });
+        // Safety: all `n` elements were initialized in the region above,
+        // and the region join happens-before this call.
+        unsafe { cells.set_len(n) };
+        LuVals { cells }
     }
 
     /// Overwrites every entry from `vals` (lengths must match). Caller
     /// must guarantee quiescence; used to load a reused workspace
     /// buffer without reallocating.
     pub fn load_from(&self, vals: &[T]) {
-        assert_eq!(vals.len(), self.bits.len(), "LuVals::load_from length");
-        for (cell, v) in self.bits.iter().zip(vals.iter()) {
-            cell.store(v.to_bits64(), Ordering::Relaxed);
+        assert_eq!(vals.len(), self.cells.len(), "LuVals::load_from length");
+        for (i, &v) in vals.iter().enumerate() {
+            self.set(i, v);
         }
     }
 
     /// Copies every entry into `out` (lengths must match).
     pub fn store_to(&self, out: &mut [T]) {
-        assert_eq!(out.len(), self.bits.len(), "LuVals::store_to length");
-        for (o, cell) in out.iter_mut().zip(self.bits.iter()) {
-            *o = T::from_bits64(cell.load(Ordering::Relaxed));
+        assert_eq!(out.len(), self.cells.len(), "LuVals::store_to length");
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.get(i);
         }
     }
 
     /// Number of entries.
     pub fn len(&self) -> usize {
-        self.bits.len()
+        self.cells.len()
     }
 
     /// `true` when empty.
     pub fn is_empty(&self) -> bool {
-        self.bits.is_empty()
+        self.cells.is_empty()
     }
 
-    /// Reads entry `i`.
+    /// Reads entry `i`. A plain load; the caller must not race a
+    /// concurrent write of the same entry (the ownership protocol
+    /// guarantees this everywhere the engines call it).
     #[inline(always)]
     pub fn get(&self, i: usize) -> T {
-        T::from_bits64(self.bits[i].load(Ordering::Relaxed))
+        // Safety: in-bounds (indexing the Vec checks), and same-entry
+        // write/read pairs are ordered per the module docs.
+        unsafe { *self.cells[i].0.get() }
     }
 
-    /// Writes entry `i`.
+    /// Writes entry `i`. A plain store; same contract as [`LuVals::get`].
     #[inline(always)]
     pub fn set(&self, i: usize, v: T) {
-        self.bits[i].store(v.to_bits64(), Ordering::Relaxed);
+        // Safety: see `get`.
+        unsafe { *self.cells[i].0.get() = v }
+    }
+
+    /// A shared view of `range`.
+    ///
+    /// # Safety
+    /// No entry in `range` may be written by any thread for the
+    /// lifetime of the returned slice (the entries must be finalized or
+    /// otherwise quiescent under the row-ownership protocol).
+    #[inline(always)]
+    pub unsafe fn view(&self, range: Range<usize>) -> &[T] {
+        debug_assert!(range.end <= self.cells.len());
+        std::slice::from_raw_parts(
+            self.cells.as_ptr().cast::<T>().add(range.start),
+            range.len(),
+        )
+    }
+
+    /// An exclusive view of `range`.
+    ///
+    /// # Safety
+    /// The caller must exclusively own every entry in `range` for the
+    /// lifetime of the returned slice: no other thread may read *or*
+    /// write them (the row-ownership window between a row's ready- and
+    /// retire-signal).
+    #[inline(always)]
+    #[allow(clippy::mut_from_ref)] // checked-out row ownership; see Safety
+    pub unsafe fn view_mut(&self, range: Range<usize>) -> &mut [T] {
+        debug_assert!(range.end <= self.cells.len());
+        std::slice::from_raw_parts_mut(
+            self.cells.as_ptr().cast::<T>().cast_mut().add(range.start),
+            range.len(),
+        )
     }
 
     /// Unpacks into a plain vector.
     pub fn into_values(self) -> Vec<T> {
-        self.bits
-            .into_iter()
-            .map(|b| T::from_bits64(b.into_inner()))
-            .collect()
+        self.cells.into_iter().map(|c| c.0.into_inner()).collect()
     }
 }
 
@@ -134,7 +248,10 @@ impl RowWorkspace {
 /// to a column window so the two-stage engines can split a row's work.
 ///
 /// Requires `ws` to hold row `r` (see [`RowWorkspace::load_row`]) and
-/// every row `c` in the window to be finalized.
+/// every row `c` in the window to be finalized. The caller must own row
+/// `r` exclusively (all engines call this only inside the row's
+/// ownership window; tiles that share a row use their own subrange
+/// kernels instead).
 #[inline]
 pub fn eliminate_columns<T: Scalar>(
     ctx: &NumericCtx<'_, T>,
@@ -145,8 +262,13 @@ pub fn eliminate_columns<T: Scalar>(
 ) {
     let hi = col_hi.min(r);
     let dropping = !ctx.drop_thresh.is_empty();
-    for k in ctx.row_range(r) {
-        let c = ctx.colidx[k];
+    let range = ctx.row_range(r);
+    let base = range.start;
+    // Safety: row `r` is exclusively owned by this worker between its
+    // ready- and retire-signal (function contract above).
+    let vr = unsafe { ctx.vals.view_mut(range.clone()) };
+    let cols = &ctx.colidx[range];
+    for (kr, &c) in cols.iter().enumerate() {
         if c >= hi {
             break;
         }
@@ -154,20 +276,24 @@ pub fn eliminate_columns<T: Scalar>(
             continue;
         }
         let piv = ctx.vals.get(ctx.diag_pos[c]);
-        let l = ctx.vals.get(k) / piv;
+        let l = vr[kr] / piv;
         if dropping && l.abs() < ctx.drop_thresh[r] {
             // Treat as zero immediately: skip the update sweep. The
             // position stays in the pattern so schedules remain valid.
-            ctx.vals.set(k, T::ZERO);
+            vr[kr] = T::ZERO;
             ctx.dropped.fetch_add(1, Ordering::Relaxed);
             continue;
         }
-        ctx.vals.set(k, l);
+        vr[kr] = l;
         // a[r, j] -= l * u[c, j] for every j > c stored in both rows.
-        for kk in (ctx.diag_pos[c] + 1)..ctx.rowptr[c + 1] {
-            let j = ctx.colidx[kk];
+        let u_lo = ctx.diag_pos[c] + 1;
+        // Safety: row `c < r` is finalized (function contract), hence
+        // quiescent for the remainder of the factorization.
+        let uc = unsafe { ctx.vals.view(u_lo..ctx.rowptr[c + 1]) };
+        for (off, &ucv) in uc.iter().enumerate() {
+            let j = ctx.colidx[u_lo + off];
             if let Some(p) = ws.entry_of(j) {
-                ctx.vals.set(p, ctx.vals.get(p) - l * ctx.vals.get(kk));
+                vr[p - base] -= l * ucv;
             }
         }
     }
@@ -179,20 +305,23 @@ pub fn eliminate_columns<T: Scalar>(
 /// dependent row reads it.
 #[inline]
 pub fn finalize_row<T: Scalar>(ctx: &NumericCtx<'_, T>, r: usize) {
-    let dp = ctx.diag_pos[r];
+    let range = ctx.row_range(r);
+    let dp = ctx.diag_pos[r] - range.start;
+    // Safety: finalize runs exactly once, inside row `r`'s exclusive
+    // ownership window, before any dependent row reads it.
+    let vr = unsafe { ctx.vals.view_mut(range) };
     let mut dropped_sum = T::ZERO;
     if !ctx.drop_thresh.is_empty() {
         let thresh = ctx.drop_thresh[r];
-        for k in (dp + 1)..ctx.rowptr[r + 1] {
-            let v = ctx.vals.get(k);
-            if v != T::ZERO && v.abs() < thresh {
-                ctx.vals.set(k, T::ZERO);
-                dropped_sum += v;
+        for v in vr[dp + 1..].iter_mut() {
+            if *v != T::ZERO && v.abs() < thresh {
+                dropped_sum += *v;
+                *v = T::ZERO;
                 ctx.dropped.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
-    let mut d = ctx.vals.get(dp);
+    let mut d = vr[dp];
     if ctx.milu_omega != T::ZERO {
         d += ctx.milu_omega * dropped_sum;
     }
@@ -218,7 +347,7 @@ pub fn finalize_row<T: Scalar>(ctx: &NumericCtx<'_, T>, r: usize) {
             }
         }
     }
-    ctx.vals.set(dp, d);
+    vr[dp] = d;
 }
 
 #[cfg(test)]

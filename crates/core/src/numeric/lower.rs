@@ -25,6 +25,10 @@
 //! Every path preserves the serial within-row operation order, so
 //! results are bit-identical to the serial sweep.
 
+// SR tiles take `LuVals` row views over their exclusively-owned entry
+// subranges; the ownership protocol is documented in `kernel.rs`.
+#![allow(unsafe_code)]
+
 use crate::numeric::kernel::{eliminate_columns, finalize_row, RowWorkspace};
 use crate::numeric::parallel::{factor_rows_serial, factor_rows_serial_ws};
 use crate::numeric::NumericCtx;
@@ -237,20 +241,27 @@ pub fn factor_lower_sr<T: Scalar>(
                 let mut ws = workspaces[tid].lock();
                 ws.load_row(ctx.rowptr, ctx.colidx, *row);
                 let mut deltas: Vec<(usize, T)> = Vec::new();
-                for kk in *k_lo..*k_hi {
+                // Safety: concurrent tiles of one block own disjoint
+                // entry subranges, and same-row blocks are chained
+                // through the task graph — `k_lo..k_hi` is exclusively
+                // this tile's until its graph successors run.
+                let vt = unsafe { ctx.vals.view_mut(*k_lo..*k_hi) };
+                for (i, kk) in (*k_lo..*k_hi).enumerate() {
                     let c = ctx.colidx[kk];
-                    let piv = ctx.vals.get(ctx.diag_pos[c]);
-                    let l = ctx.vals.get(kk) / piv;
+                    // Safety: row `c` is an upper-stage row, finalized
+                    // before the lower stage started.
+                    let uc = unsafe { ctx.vals.view(ctx.diag_pos[c]..ctx.rowptr[c + 1]) };
+                    let l = vt[i] / uc[0];
                     if dropping && l.abs() < ctx.drop_thresh[*row] {
-                        ctx.vals.set(kk, T::ZERO);
+                        vt[i] = T::ZERO;
                         ctx.dropped.fetch_add(1, Ordering::Relaxed);
                         continue;
                     }
-                    ctx.vals.set(kk, l);
-                    for uk in (ctx.diag_pos[c] + 1)..ctx.rowptr[c + 1] {
+                    vt[i] = l;
+                    for (off, uk) in ((ctx.diag_pos[c] + 1)..ctx.rowptr[c + 1]).enumerate() {
                         let j = ctx.colidx[uk];
                         if let Some(p) = ws.entry_of(j) {
-                            deltas.push((p, l * ctx.vals.get(uk)));
+                            deltas.push((p, l * uc[off + 1]));
                         }
                     }
                 }

@@ -163,6 +163,16 @@ pub struct IluOptions {
     /// what the factors exist for; disable for one-shot solves or when
     /// resident threads are unwanted.
     pub persistent_team: bool,
+    /// Pin the persistent team's participants to cores (compact
+    /// placement: tid `i` → core `i % n_cores`) and first-touch the
+    /// factor-value pages from the pinned threads, so NUMA page
+    /// placement follows the threads that traverse the pages in the
+    /// Krylov loop. Best-effort — ignored when the kernel rejects the
+    /// mask or when `persistent_team` is off (spawned threads are
+    /// short-lived, pinning them buys nothing). Placement never affects
+    /// results: factorization and solves stay bit-identical either way.
+    /// Defaults off.
+    pub pin_threads: bool,
     /// A caller-owned worker team the factorization's solves run on
     /// instead of spawning their own: one process-wide team can serve
     /// many factorizations (each parks between regions, so idle
@@ -190,6 +200,7 @@ impl Default for IluOptions {
             parallel_symbolic: false,
             parallel_corner: false,
             persistent_team: true,
+            pin_threads: false,
             shared_team: None,
         }
     }

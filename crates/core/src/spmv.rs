@@ -25,6 +25,8 @@
 //! and every other width to the bit-identical `DynLanes` fallback (see
 //! [`javelin_sparse::lanes`]).
 
+#![allow(unsafe_code)] // LuVals tile views; protocol documented in numeric/kernel.rs.
+
 use crate::numeric::LuVals;
 use javelin_sparse::lanes::{for_each_chunk, DynLanes, FixedLanes, Lanes, LANE_CHUNK};
 use javelin_sparse::{with_lanes, CsrMatrix, Panel, PanelMut, Scalar};
@@ -276,6 +278,10 @@ impl<T: Scalar> SpmvPlan<T> {
                 let lo = t * self.tile;
                 let hi = ((t + 1) * self.tile).min(self.nnz);
                 let base = self.slot_ptr[t];
+                // Safety: tiles are partitioned contiguously across
+                // threads and `slot_ptr` assigns each tile a disjoint
+                // slot range — this thread owns every lane of tile `t`.
+                let pt = unsafe { partials.view_mut(base * k..self.slot_ptr[t + 1] * k) };
                 // Lane chunks re-walk the tile so the accumulators stay
                 // on the stack; per lane the walk (and the bits) match
                 // the single-RHS execute exactly. At a fixed width the
@@ -295,7 +301,7 @@ impl<T: Scalar> SpmvPlan<T> {
                     while cursor < hi {
                         while rowptr[row + 1] <= cursor {
                             for (c, acc) in accs[..cw].iter_mut().enumerate() {
-                                partials.set(lanes.idx(base + slot, c0 + c), *acc);
+                                pt[slot * k + c0 + c] = *acc;
                                 *acc = T::ZERO;
                             }
                             slot += 1;
@@ -312,7 +318,7 @@ impl<T: Scalar> SpmvPlan<T> {
                         cursor = stop;
                     }
                     for (c, acc) in accs[..cw].iter().enumerate() {
-                        partials.set(lanes.idx(base + slot, c0 + c), *acc);
+                        pt[slot * k + c0 + c] = *acc;
                     }
                     debug_assert_eq!(base + slot + 1, self.slot_ptr[t + 1]);
                 });
@@ -320,7 +326,11 @@ impl<T: Scalar> SpmvPlan<T> {
         });
         // Deterministic combination in tile order, lane by lane (tile
         // order per lane matches the single-RHS execute, so the bits do
-        // too).
+        // too). This reduction stays on the safe `get` accessor on
+        // purpose: it reads one scattered strided element per slot (no
+        // contiguous run to vectorize), and benchmarks showed a
+        // whole-buffer `view` here costing ~40% on the k = 1 one-shot
+        // path — only the tile writers above profit from slices.
         for c in 0..k {
             let yc = y.col_mut(c);
             yc.fill(T::ZERO);

@@ -353,6 +353,8 @@ impl<T: Scalar> SymbolicIlu<T> {
             Exec::with_team(Arc::clone(team))
         } else if nthreads == 1 || !opts.persistent_team {
             Exec::spawn(nthreads)
+        } else if opts.pin_threads {
+            Exec::team_pinned(nthreads)
         } else {
             Exec::team(nthreads)
         };
@@ -371,9 +373,18 @@ impl<T: Scalar> SymbolicIlu<T> {
         } else {
             SolveEngine::PointToPointLower
         };
-        let scratch = Mutex::new(SolveScratch::new(&plan, n, nthreads, opts.tile_size));
+        let scratch = Mutex::new(SolveScratch::new_on(
+            &plan,
+            n,
+            nthreads,
+            opts.tile_size,
+            Some(&exec),
+        ));
         let numeric = Mutex::new(NumericScratch {
-            lu_vals: LuVals::zeroed(colidx.len()),
+            // First-touch: the team's own threads fault the value pages
+            // in (chunked by tid) so page placement matches the workers
+            // that later fill and solve with them.
+            lu_vals: LuVals::zeroed_on(colidx.len(), &exec),
             drop_thresh: if opts.drop_tol > 0.0 {
                 vec![T::ZERO; n]
             } else {

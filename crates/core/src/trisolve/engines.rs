@@ -11,9 +11,13 @@
 //!   evaluated as a tiled segmented gather (the spmv-like update the SR
 //!   layout was designed for) before the small corner solve.
 //!
-//! Solution storage is the bit-packed [`LuVals`] so threads can write
-//! disjoint rows without `unsafe`; ordering comes from the progress
-//! counters / barriers.
+//! Solution storage is the shared-memory [`LuVals`]: threads check out
+//! exclusive column-window slices of the rows they own and shared
+//! slices of already-retired rows (`numeric/kernel.rs` documents the
+//! ownership protocol); ordering comes from the progress counters /
+//! barriers. In the column-split trailing stages different threads own
+//! different column windows of the *same* row, so every view here is
+//! clipped to the thread's window — never the whole row.
 //!
 //! ## Panels and lanes
 //!
@@ -62,6 +66,8 @@
 //! parallel region, so a full preconditioner apply costs a single team
 //! wake-up instead of two. The separate forward/backward entry points
 //! remain for callers that interleave other work between the sweeps.
+
+#![allow(unsafe_code)] // LuVals views; protocol documented in numeric/kernel.rs.
 
 use crate::factors::SolvePlan;
 use crate::numeric::LuVals;
@@ -139,6 +145,26 @@ impl<T: Scalar> SolveScratch<T> {
     /// initial panel width is 1; wider solves grow the buffers on first
     /// use via [`SolveScratch::ensure_width`].
     pub fn new(plan: &SolvePlan, n: usize, nthreads: usize, tile_size: usize) -> Self {
+        Self::new_on(plan, n, nthreads, tile_size, None)
+    }
+
+    /// Like [`SolveScratch::new`], but when `exec` is given, the value
+    /// buffers (`partials`, `z`, `xbuf`) are zero-filled *inside a
+    /// parallel region* on `exec`'s own threads — first-touch page
+    /// placement for pinned teams (see [`LuVals::zeroed_on`]). Width
+    /// regrowth via [`SolveScratch::ensure_width`] reallocates without
+    /// first-touch; size panels up front when placement matters.
+    pub fn new_on(
+        plan: &SolvePlan,
+        n: usize,
+        nthreads: usize,
+        tile_size: usize,
+        exec: Option<&Exec>,
+    ) -> Self {
+        let zeroed = |len: usize| match exec {
+            Some(exec) => LuVals::zeroed_on(len, exec),
+            None => LuVals::zeroed(len),
+        };
         let tile = tile_size.max(1);
         let n_block_entries = *plan.block_seg_ptr.last().unwrap_or(&0);
         let n_tiles = if n_block_entries > 0 {
@@ -177,9 +203,9 @@ impl<T: Scalar> SolveScratch<T> {
             n_tiles,
             tile_first_seg,
             slot_ptr,
-            partials: LuVals::zeroed(n_slots),
-            z: LuVals::zeroed(n - plan.n_upper),
-            xbuf: LuVals::zeroed(n),
+            partials: zeroed(n_slots),
+            z: zeroed(n - plan.n_upper),
+            xbuf: zeroed(n),
         }
     }
 
@@ -228,9 +254,12 @@ impl<T: Scalar> SolveScratch<T> {
         let k = self.width;
         debug_assert_eq!(src.nrows(), self.n, "panel rows vs factor dim");
         debug_assert_eq!(src.ncols(), k, "panel width vs scratch width");
+        // Safety: the caller holds the scratch exclusively outside any
+        // parallel region (IluFactors guards the scratch with a mutex).
+        let xb = unsafe { self.xbuf.view_mut(0..self.n * k) };
         for c in 0..k {
             for (r, &v) in src.col(c).iter().enumerate() {
-                self.xbuf.set(r * k + c, v);
+                xb[r * k + c] = v;
             }
         }
     }
@@ -240,9 +269,11 @@ impl<T: Scalar> SolveScratch<T> {
         let k = self.width;
         debug_assert_eq!(dst.nrows(), self.n, "panel rows vs factor dim");
         debug_assert_eq!(dst.ncols(), k, "panel width vs scratch width");
+        // Safety: as in `load_cols` — exclusive, outside any region.
+        let xb = unsafe { self.xbuf.view(0..self.n * k) };
         for c in 0..k {
             for (r, v) in dst.col_mut(c).iter_mut().enumerate() {
-                *v = self.xbuf.get(r * k + c);
+                *v = xb[r * k + c];
             }
         }
     }
@@ -270,13 +301,20 @@ fn retire_row_lower<T: Scalar, L: Lanes>(
         for e in lu.rowptr()[r]..diag_pos[r] {
             let v = vals[e];
             let xb = lanes.idx(colidx[e], c0);
-            for (c, s) in sums[..cw].iter_mut().enumerate() {
-                *s += v * x.get(xb + c);
+            // Safety: row colidx[e] retired before this row was released
+            // (schedule order), and the view stays inside this thread's
+            // column window.
+            let xs = unsafe { x.view(xb..xb + cw) };
+            for (s, &xv) in sums[..cw].iter_mut().zip(xs) {
+                *s += v * xv;
             }
         }
         let xb = lanes.idx(r, c0);
-        for (c, s) in sums[..cw].iter().enumerate() {
-            x.set(xb + c, x.get(xb + c) - *s);
+        // Safety: this thread owns row `r`'s `cols` window until its
+        // retire-signal (counter bump / barrier / region join).
+        let xr = unsafe { x.view_mut(xb..xb + cw) };
+        for (xv, s) in xr.iter_mut().zip(&sums[..cw]) {
+            *xv -= *s;
         }
     });
 }
@@ -300,13 +338,19 @@ fn retire_row_upper<T: Scalar, L: Lanes>(
         for e in (diag_pos[r] + 1)..lu.rowptr()[r + 1] {
             let v = vals[e];
             let xb = lanes.idx(colidx[e], c0);
-            for (c, s) in sums[..cw].iter_mut().enumerate() {
-                *s += v * x.get(xb + c);
+            // Safety: row colidx[e] retired first (backward schedule
+            // order); the view stays inside this thread's column window.
+            let xs = unsafe { x.view(xb..xb + cw) };
+            for (s, &xv) in sums[..cw].iter_mut().zip(xs) {
+                *s += v * xv;
             }
         }
         let xb = lanes.idx(r, c0);
-        for (c, s) in sums[..cw].iter().enumerate() {
-            x.set(xb + c, (x.get(xb + c) - *s) / d);
+        // Safety: exclusive `cols` window of row `r` (as in the lower
+        // retire).
+        let xr = unsafe { x.view_mut(xb..xb + cw) };
+        for (xv, s) in xr.iter_mut().zip(&sums[..cw]) {
+            *xv = (*xv - *s) / d;
         }
     });
 }
@@ -493,14 +537,17 @@ fn forward_p2p_phase<T: Scalar, L: Lanes>(
             let hi = ((t + 1) * tile).min(n_block_entries);
             let base = scratch.slot_ptr[t];
             let first_seg = scratch.tile_first_seg[t];
+            // Safety: tile `t` is processed by exactly one thread, and
+            // `slot_ptr` partitions the slots disjointly across tiles.
+            let pt = unsafe {
+                scratch
+                    .partials
+                    .view_mut(base * k..scratch.slot_ptr[t + 1] * k)
+            };
             // Zero the tile's slots first: segments inside the span
             // that this walk skips (empty segments) must not leak
             // values from a previous solve.
-            for s in base..scratch.slot_ptr[t + 1] {
-                for c in 0..k {
-                    scratch.partials.set(lanes.idx(s, c), T::ZERO);
-                }
-            }
+            pt.fill(T::ZERO);
             for_each_chunk(0..k, |c0, cw| {
                 let mut seg = first_seg;
                 let mut cursor = lo;
@@ -516,13 +563,16 @@ fn forward_p2p_phase<T: Scalar, L: Lanes>(
                         let e = k_lo + (v - seg_base);
                         let val = lu.vals()[e];
                         let xb = lanes.idx(lu.colidx()[e], c0);
-                        for (c, acc) in accs[..cw].iter_mut().enumerate() {
-                            *acc += val * x.get(xb + c);
+                        // Safety: the gathered columns are upper-stage
+                        // rows, all retired before the barrier above.
+                        let xs = unsafe { x.view(xb..xb + cw) };
+                        for (acc, &xv) in accs[..cw].iter_mut().zip(xs) {
+                            *acc += val * xv;
                         }
                     }
-                    let slot = base + (seg - first_seg);
+                    let slot = seg - first_seg;
                     for (c, acc) in accs[..cw].iter().enumerate() {
-                        scratch.partials.set(lanes.idx(slot, c0 + c), *acc);
+                        pt[slot * k + c0 + c] = *acc;
                     }
                     cursor = seg_hi;
                 }
@@ -544,20 +594,35 @@ fn forward_p2p_phase<T: Scalar, L: Lanes>(
     if use_tiles {
         // Combine tile partials in tile order (deterministic per
         // column), then finish each trailing row with its corner part.
+        // Every z/partials/x view below is clipped to this thread's
+        // `cols` window — other threads work the other columns.
         for off in 0..n_lower {
-            for c in cols.clone() {
-                scratch.z.set(lanes.idx(off, c), T::ZERO);
-            }
+            // Safety: column-split — the `cols` window of z is ours.
+            let zr = unsafe {
+                scratch
+                    .z
+                    .view_mut(lanes.idx(off, cols.start)..lanes.idx(off, cols.end))
+            };
+            zr.fill(T::ZERO);
         }
         for t in 0..n_tiles {
             let first_seg = scratch.tile_first_seg[t];
             for (i, s) in (scratch.slot_ptr[t]..scratch.slot_ptr[t + 1]).enumerate() {
                 let seg = first_seg + i;
-                for c in cols.clone() {
-                    scratch.z.set(
-                        lanes.idx(seg, c),
-                        scratch.z.get(lanes.idx(seg, c)) + scratch.partials.get(lanes.idx(s, c)),
-                    );
+                // Safety: z `cols` window owned as above; the partials
+                // are quiescent after the gather barrier.
+                let zr = unsafe {
+                    scratch
+                        .z
+                        .view_mut(lanes.idx(seg, cols.start)..lanes.idx(seg, cols.end))
+                };
+                let ps = unsafe {
+                    scratch
+                        .partials
+                        .view(lanes.idx(s, cols.start)..lanes.idx(s, cols.end))
+                };
+                for (zv, &pv) in zr.iter_mut().zip(ps) {
+                    *zv += pv;
                 }
             }
         }
@@ -566,19 +631,25 @@ fn forward_p2p_phase<T: Scalar, L: Lanes>(
             let (_, k_hi) = plan.block_rows[off];
             for_each_chunk(cols.clone(), |c0, cw| {
                 let mut sums = [T::ZERO; LANE_CHUNK];
-                for (c, s) in sums[..cw].iter_mut().enumerate() {
-                    *s = scratch.z.get(lanes.idx(off, c0 + c));
-                }
+                // Safety: z `cols` window owned by this thread (reads
+                // back the combination written above).
+                let zs = unsafe { scratch.z.view(lanes.idx(off, c0)..lanes.idx(off, c0) + cw) };
+                sums[..cw].copy_from_slice(zs);
                 for e in k_hi..diag_pos[r] {
                     let v = lu.vals()[e];
                     let xb = lanes.idx(lu.colidx()[e], c0);
-                    for (c, s) in sums[..cw].iter_mut().enumerate() {
-                        *s += v * x.get(xb + c);
+                    // Safety: corner columns are upper-stage rows,
+                    // retired before the gather barrier.
+                    let xs = unsafe { x.view(xb..xb + cw) };
+                    for (s, &xv) in sums[..cw].iter_mut().zip(xs) {
+                        *s += v * xv;
                     }
                 }
                 let xb = lanes.idx(r, c0);
-                for (c, s) in sums[..cw].iter().enumerate() {
-                    x.set(xb + c, x.get(xb + c) - *s);
+                // Safety: trailing row `r`'s `cols` window is ours.
+                let xr = unsafe { x.view_mut(xb..xb + cw) };
+                for (xv, s) in xr.iter_mut().zip(&sums[..cw]) {
+                    *xv -= *s;
                 }
             });
         }

@@ -50,6 +50,10 @@
 use crate::scalar::Scalar;
 use std::ops::Range;
 
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[allow(unsafe_code)] // core::arch intrinsics; see lanes/simd.rs module docs.
+mod simd;
+
 /// Columns per stack-resident accumulator block: the chunk width lane
 /// kernels use so arbitrary dynamic widths run allocation-free. Fixed
 /// widths `K ≤ LANE_CHUNK` run as one exact-width chunk.
@@ -170,9 +174,36 @@ pub fn lane_axpy<T: Scalar, L: Lanes>(lanes: L, alpha: &[T], x: &[T], y: &mut [T
     debug_assert_eq!(alpha.len(), k, "lane_axpy: alpha length");
     debug_assert_eq!(x.len(), y.len(), "lane_axpy: buffer lengths");
     debug_assert_eq!(x.len() % k.max(1), 0, "lane_axpy: ragged buffer");
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if simd::axpy::<T, L>(alpha, x, y) {
+        return;
+    }
     for (r, yrow) in y.chunks_exact_mut(k).enumerate() {
         for c in 0..k {
             yrow[c] += alpha[c] * x[lanes.idx(r, c)];
+        }
+    }
+}
+
+/// Per-lane fused negative multiply-add over row-interleaved buffers:
+/// `y[r·k + c] -= l[c] · x[r·k + c]` for every row and lane — the
+/// elimination inner-loop update `a[r,j] -= l·u[c,j]` with per-lane
+/// multipliers. "Fused" refers to the one-pass micro-op shape, **not**
+/// to hardware FMA: like [`Scalar::mul_add`], both the scalar body and
+/// the SIMD paths compute multiply-then-subtract in two rounded steps,
+/// so every lane stays bit-identical to the scalar kernels.
+pub fn lane_fnma<T: Scalar, L: Lanes>(lanes: L, l: &[T], x: &[T], y: &mut [T]) {
+    let k = lanes.width();
+    debug_assert_eq!(l.len(), k, "lane_fnma: multiplier length");
+    debug_assert_eq!(x.len(), y.len(), "lane_fnma: buffer lengths");
+    debug_assert_eq!(x.len() % k.max(1), 0, "lane_fnma: ragged buffer");
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if simd::fnma::<T, L>(l, x, y) {
+        return;
+    }
+    for (r, yrow) in y.chunks_exact_mut(k).enumerate() {
+        for c in 0..k {
+            yrow[c] -= l[c] * x[lanes.idx(r, c)];
         }
     }
 }
@@ -186,6 +217,10 @@ pub fn lane_dot<T: Scalar, L: Lanes>(lanes: L, x: &[T], y: &[T], out: &mut [T]) 
     debug_assert_eq!(x.len(), y.len(), "lane_dot: buffer lengths");
     debug_assert_eq!(x.len() % k.max(1), 0, "lane_dot: ragged buffer");
     out.fill(T::ZERO);
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if simd::dot::<T, L>(x, y, out) {
+        return;
+    }
     for (xrow, yrow) in x.chunks_exact(k).zip(y.chunks_exact(k)) {
         for c in 0..k {
             out[c] += xrow[c] * yrow[c];
@@ -199,6 +234,10 @@ pub fn lane_scale<T: Scalar, L: Lanes>(lanes: L, alpha: &[T], x: &mut [T]) {
     let k = lanes.width();
     debug_assert_eq!(alpha.len(), k, "lane_scale: alpha length");
     debug_assert_eq!(x.len() % k.max(1), 0, "lane_scale: ragged buffer");
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if simd::scale::<T, L>(alpha, x) {
+        return;
+    }
     for xrow in x.chunks_exact_mut(k) {
         for c in 0..k {
             xrow[c] *= alpha[c];
@@ -346,6 +385,7 @@ mod tests {
                 let lanes = DynLanes(k);
                 let mut y = y0.clone();
                 lane_axpy(lanes, &alpha, &x, &mut y);
+                lane_fnma(lanes, &alpha, &x, &mut y);
                 let mut d = vec![0.0; k];
                 lane_dot(lanes, &x, &y, &mut d);
                 lane_scale(lanes, &alpha, &mut y);
@@ -358,6 +398,7 @@ mod tests {
                 let xc: Vec<f64> = (0..n).map(|r| x[r * k + c]).collect();
                 let mut yc: Vec<f64> = (0..n).map(|r| y0[r * k + c]).collect();
                 lane_axpy(lanes1, &alpha[c..c + 1], &xc, &mut yc);
+                lane_fnma(lanes1, &alpha[c..c + 1], &xc, &mut yc);
                 let mut dc = [0.0f64];
                 lane_dot(lanes1, &xc, &yc, &mut dc);
                 lane_scale(lanes1, &alpha[c..c + 1], &mut yc);
@@ -370,6 +411,65 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    /// Poisoned inputs (NaN, ±∞, signed zero, subnormals): the fixed
+    /// widths 4 and 8 — the explicit-SIMD instantiations when the
+    /// `simd` feature is on — must propagate specials bit-identically
+    /// to the dynamic (always-scalar) fallback. x86 `mulpd` quiets and
+    /// forwards NaNs exactly like `mulsd`, and the vector bodies keep
+    /// the scalar operand order, so even `∞·0 → NaN` lanes match.
+    #[test]
+    fn micro_ops_with_nan_and_inf_agree_bitwise() {
+        let n = 11usize;
+        let specials = [
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            -0.0,
+            0.0,
+            1.0e-310, // subnormal
+            2.5,
+            -7.25,
+        ];
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+        for k in [4usize, 8] {
+            let x: Vec<f64> = (0..n * k).map(|i| specials[i % specials.len()]).collect();
+            let y0: Vec<f64> = (0..n * k)
+                .map(|i| specials[(i * 3 + 1) % specials.len()])
+                .collect();
+            let alpha: Vec<f64> = (0..k).map(|c| specials[(c + 2) % specials.len()]).collect();
+
+            // Dynamic width: always the portable scalar body.
+            let dynl = DynLanes(k);
+            let (mut ya_d, mut yf_d, mut ys_d) = (y0.clone(), y0.clone(), x.clone());
+            lane_axpy(dynl, &alpha, &x, &mut ya_d);
+            lane_fnma(dynl, &alpha, &x, &mut yf_d);
+            let mut d_d = vec![0.0; k];
+            lane_dot(dynl, &x, &y0, &mut d_d);
+            lane_scale(dynl, &alpha, &mut ys_d);
+
+            // Fixed width: the SIMD path when built with `--features
+            // simd` on AVX2 hardware, the same scalar body otherwise.
+            let (ya_f, yf_f, d_f, ys_f) = with_lanes!(k, lanes => {
+                let (mut ya, mut yf, mut ys) = (y0.clone(), y0.clone(), x.clone());
+                lane_axpy(lanes, &alpha, &x, &mut ya);
+                lane_fnma(lanes, &alpha, &x, &mut yf);
+                let mut d = vec![0.0; k];
+                lane_dot(lanes, &x, &y0, &mut d);
+                lane_scale(lanes, &alpha, &mut ys);
+                (ya, yf, d, ys)
+            });
+
+            assert_eq!(bits(&ya_f), bits(&ya_d), "axpy k={k}");
+            assert_eq!(bits(&yf_f), bits(&yf_d), "fnma k={k}");
+            assert_eq!(bits(&d_f), bits(&d_d), "dot k={k}");
+            assert_eq!(bits(&ys_f), bits(&ys_d), "scale k={k}");
+            // And the poison actually reached the outputs: NaN lanes
+            // must exist, or this test proves nothing.
+            assert!(ya_f.iter().any(|v| v.is_nan()), "axpy k={k} no NaN?");
+            assert!(d_f.iter().any(|v| v.is_nan()), "dot k={k} no NaN?");
         }
     }
 

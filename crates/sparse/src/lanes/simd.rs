@@ -1,0 +1,289 @@
+//! Explicit AVX2 paths for the `f64` lane micro-ops at the fixed panel
+//! widths 4 and 8 (`simd` feature, x86_64 only).
+//!
+//! Each entry point returns `false` when it cannot take over —
+//! dynamic width, non-`f64` scalar, or no AVX2 at runtime — and the
+//! caller falls through to the portable chunked-scalar body.
+//!
+//! ## Bitwise contract
+//!
+//! The vector bodies perform exactly the scalar bodies' arithmetic,
+//! lane-slotted: one IEEE-754 multiply then one add/subtract per
+//! element, in the same per-lane order (elementwise ops have no order;
+//! `dot` keeps its row-major accumulation by holding one vector
+//! accumulator whose slot `c` is lane `c`). **No FMA instructions**:
+//! [`Scalar::mul_add`](crate::scalar::Scalar::mul_add) is deliberately
+//! plain `a*b + c` with two roundings, and a contracted `vfmadd` would
+//! change low bits — so these kernels use `_mm256_mul_pd` followed by
+//! `_mm256_add_pd`/`_mm256_sub_pd`, never `_mm256_fmadd_pd`. x86 NaN
+//! propagation is identical between `mulpd`/`mulsd`, so even poisoned
+//! lanes stay bit-identical (pinned by the NaN/∞ tests in `lanes.rs`).
+//!
+//! ## Safety
+//!
+//! * The `f64` slice casts are guarded by a `TypeId` equality check
+//!   (`Scalar: 'static`), making the pointer cast a same-type no-op.
+//! * The `#[target_feature(enable = "avx2")]` bodies are only reached
+//!   after a cached `is_x86_feature_detected!("avx2")` probe.
+//! * All loads/stores are unaligned (`loadu`/`storeu`) and bounded by
+//!   the `while i + W <= len` loop conditions.
+
+use super::Lanes;
+use crate::scalar::Scalar;
+use core::arch::x86_64::{
+    __m256d, _mm256_add_pd, _mm256_loadu_pd, _mm256_mul_pd, _mm256_setzero_pd, _mm256_storeu_pd,
+    _mm256_sub_pd,
+};
+use std::any::TypeId;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Cached runtime AVX2 probe (0 = unknown, 1 = no, 2 = yes).
+#[inline]
+fn avx2_available() -> bool {
+    static STATE: AtomicU8 = AtomicU8::new(0);
+    match STATE.load(Ordering::Relaxed) {
+        2 => true,
+        1 => false,
+        _ => {
+            let yes = std::arch::is_x86_feature_detected!("avx2");
+            STATE.store(if yes { 2 } else { 1 }, Ordering::Relaxed);
+            yes
+        }
+    }
+}
+
+/// `true` when `(T, L)` is a combination the vector bodies cover and
+/// the CPU agrees. `L::FIXED` and the `TypeId` test are compile-time
+/// constants, so the ineligible monomorphizations fold to `false`.
+#[inline(always)]
+fn eligible<T: Scalar, L: Lanes>() -> bool {
+    matches!(L::FIXED, Some(4) | Some(8))
+        && TypeId::of::<T>() == TypeId::of::<f64>()
+        && avx2_available()
+}
+
+/// Reinterprets a `&[T]` whose `T` was proven (by `TypeId`) to be `f64`.
+#[inline(always)]
+fn as_f64<T: Scalar>(x: &[T]) -> &[f64] {
+    debug_assert_eq!(TypeId::of::<T>(), TypeId::of::<f64>());
+    // Safety: T == f64 (checked above), so layout and validity match.
+    unsafe { std::slice::from_raw_parts(x.as_ptr().cast::<f64>(), x.len()) }
+}
+
+/// Mutable variant of [`as_f64`].
+#[inline(always)]
+fn as_f64_mut<T: Scalar>(x: &mut [T]) -> &mut [f64] {
+    debug_assert_eq!(TypeId::of::<T>(), TypeId::of::<f64>());
+    // Safety: as above; exclusivity carries over from the input borrow.
+    unsafe { std::slice::from_raw_parts_mut(x.as_mut_ptr().cast::<f64>(), x.len()) }
+}
+
+/// `y[i] += alpha[i % k] · x[i]`, vectorized. Returns `false` if not taken.
+#[inline]
+pub(super) fn axpy<T: Scalar, L: Lanes>(alpha: &[T], x: &[T], y: &mut [T]) -> bool {
+    if !eligible::<T, L>() {
+        return false;
+    }
+    let (alpha, x, y) = (as_f64(alpha), as_f64(x), as_f64_mut(y));
+    // Safety: AVX2 presence established by `eligible`.
+    unsafe {
+        match L::FIXED {
+            Some(4) => axpy4(alpha, x, y),
+            _ => axpy8(alpha, x, y),
+        }
+    }
+    true
+}
+
+/// `y[i] -= l[i % k] · x[i]`, vectorized. Returns `false` if not taken.
+#[inline]
+pub(super) fn fnma<T: Scalar, L: Lanes>(l: &[T], x: &[T], y: &mut [T]) -> bool {
+    if !eligible::<T, L>() {
+        return false;
+    }
+    let (l, x, y) = (as_f64(l), as_f64(x), as_f64_mut(y));
+    // Safety: AVX2 presence established by `eligible`.
+    unsafe {
+        match L::FIXED {
+            Some(4) => fnma4(l, x, y),
+            _ => fnma8(l, x, y),
+        }
+    }
+    true
+}
+
+/// `out[c] = Σ_r x[r·k+c] · y[r·k+c]` (out pre-zeroed by the caller),
+/// vectorized. Returns `false` if not taken.
+#[inline]
+pub(super) fn dot<T: Scalar, L: Lanes>(x: &[T], y: &[T], out: &mut [T]) -> bool {
+    if !eligible::<T, L>() {
+        return false;
+    }
+    let (x, y, out) = (as_f64(x), as_f64(y), as_f64_mut(out));
+    // Safety: AVX2 presence established by `eligible`.
+    unsafe {
+        match L::FIXED {
+            Some(4) => dot4(x, y, out),
+            _ => dot8(x, y, out),
+        }
+    }
+    true
+}
+
+/// `x[i] *= alpha[i % k]`, vectorized. Returns `false` if not taken.
+#[inline]
+pub(super) fn scale<T: Scalar, L: Lanes>(alpha: &[T], x: &mut [T]) -> bool {
+    if !eligible::<T, L>() {
+        return false;
+    }
+    let (alpha, x) = (as_f64(alpha), as_f64_mut(x));
+    // Safety: AVX2 presence established by `eligible`.
+    unsafe {
+        match L::FIXED {
+            Some(4) => scale4(alpha, x),
+            _ => scale8(alpha, x),
+        }
+    }
+    true
+}
+
+// ---- width-4 bodies: one 256-bit vector per interleaved row ----
+
+#[target_feature(enable = "avx2")]
+unsafe fn axpy4(alpha: &[f64], x: &[f64], y: &mut [f64]) {
+    let av = _mm256_loadu_pd(alpha.as_ptr());
+    let n = y.len();
+    let mut i = 0;
+    while i + 4 <= n {
+        let xv = _mm256_loadu_pd(x.as_ptr().add(i));
+        let yv = _mm256_loadu_pd(y.as_ptr().add(i));
+        // mul then add — two roundings, matching Scalar semantics.
+        let r = _mm256_add_pd(yv, _mm256_mul_pd(av, xv));
+        _mm256_storeu_pd(y.as_mut_ptr().add(i), r);
+        i += 4;
+    }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn fnma4(l: &[f64], x: &[f64], y: &mut [f64]) {
+    let lv = _mm256_loadu_pd(l.as_ptr());
+    let n = y.len();
+    let mut i = 0;
+    while i + 4 <= n {
+        let xv = _mm256_loadu_pd(x.as_ptr().add(i));
+        let yv = _mm256_loadu_pd(y.as_ptr().add(i));
+        let r = _mm256_sub_pd(yv, _mm256_mul_pd(lv, xv));
+        _mm256_storeu_pd(y.as_mut_ptr().add(i), r);
+        i += 4;
+    }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn dot4(x: &[f64], y: &[f64], out: &mut [f64]) {
+    // One accumulator vector: slot c is lane c, added in row order —
+    // exactly the scalar accumulation sequence per lane.
+    let mut acc = _mm256_setzero_pd();
+    let n = x.len();
+    let mut i = 0;
+    while i + 4 <= n {
+        let xv = _mm256_loadu_pd(x.as_ptr().add(i));
+        let yv = _mm256_loadu_pd(y.as_ptr().add(i));
+        acc = _mm256_add_pd(acc, _mm256_mul_pd(xv, yv));
+        i += 4;
+    }
+    _mm256_storeu_pd(out.as_mut_ptr(), acc);
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn scale4(alpha: &[f64], x: &mut [f64]) {
+    let av = _mm256_loadu_pd(alpha.as_ptr());
+    let n = x.len();
+    let mut i = 0;
+    while i + 4 <= n {
+        let xv = _mm256_loadu_pd(x.as_ptr().add(i));
+        // x · alpha, matching the scalar body's operand order.
+        _mm256_storeu_pd(x.as_mut_ptr().add(i), _mm256_mul_pd(xv, av));
+        i += 4;
+    }
+}
+
+// ---- width-8 bodies: two 256-bit vectors per interleaved row ----
+
+#[target_feature(enable = "avx2")]
+unsafe fn axpy8(alpha: &[f64], x: &[f64], y: &mut [f64]) {
+    let (a0, a1) = load2(alpha.as_ptr());
+    let n = y.len();
+    let mut i = 0;
+    while i + 8 <= n {
+        let (x0, x1) = load2(x.as_ptr().add(i));
+        let (y0, y1) = load2(y.as_ptr().add(i));
+        store2(
+            y.as_mut_ptr().add(i),
+            _mm256_add_pd(y0, _mm256_mul_pd(a0, x0)),
+            _mm256_add_pd(y1, _mm256_mul_pd(a1, x1)),
+        );
+        i += 8;
+    }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn fnma8(l: &[f64], x: &[f64], y: &mut [f64]) {
+    let (l0, l1) = load2(l.as_ptr());
+    let n = y.len();
+    let mut i = 0;
+    while i + 8 <= n {
+        let (x0, x1) = load2(x.as_ptr().add(i));
+        let (y0, y1) = load2(y.as_ptr().add(i));
+        store2(
+            y.as_mut_ptr().add(i),
+            _mm256_sub_pd(y0, _mm256_mul_pd(l0, x0)),
+            _mm256_sub_pd(y1, _mm256_mul_pd(l1, x1)),
+        );
+        i += 8;
+    }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn dot8(x: &[f64], y: &[f64], out: &mut [f64]) {
+    let mut acc0 = _mm256_setzero_pd();
+    let mut acc1 = _mm256_setzero_pd();
+    let n = x.len();
+    let mut i = 0;
+    while i + 8 <= n {
+        let (x0, x1) = load2(x.as_ptr().add(i));
+        let (y0, y1) = load2(y.as_ptr().add(i));
+        acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(x0, y0));
+        acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(x1, y1));
+        i += 8;
+    }
+    store2(out.as_mut_ptr(), acc0, acc1);
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn scale8(alpha: &[f64], x: &mut [f64]) {
+    let (a0, a1) = load2(alpha.as_ptr());
+    let n = x.len();
+    let mut i = 0;
+    while i + 8 <= n {
+        let (x0, x1) = load2(x.as_ptr().add(i));
+        store2(
+            x.as_mut_ptr().add(i),
+            _mm256_mul_pd(x0, a0),
+            _mm256_mul_pd(x1, a1),
+        );
+        i += 8;
+    }
+}
+
+#[target_feature(enable = "avx2")]
+#[inline]
+unsafe fn load2(p: *const f64) -> (__m256d, __m256d) {
+    (_mm256_loadu_pd(p), _mm256_loadu_pd(p.add(4)))
+}
+
+#[target_feature(enable = "avx2")]
+#[inline]
+unsafe fn store2(p: *mut f64, lo: __m256d, hi: __m256d) {
+    _mm256_storeu_pd(p, lo);
+    _mm256_storeu_pd(p.add(4), hi);
+}

@@ -35,7 +35,11 @@
 //! never allocate, and construction routines take `Vec`s by value so the
 //! caller controls reuse.
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the optional explicit-SIMD lane micro-ops
+// (`lanes/simd.rs`, behind the `simd` feature) need `core::arch`
+// intrinsics and opt back in per-module; everything else stays
+// unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod coo;

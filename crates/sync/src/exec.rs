@@ -44,6 +44,16 @@ impl Exec {
         Exec::Team(Arc::new(WorkerTeam::new(nthreads)))
     }
 
+    /// Persistent-team execution with compact core pinning: participant
+    /// `tid` binds to core `tid % n_cores` (best-effort; see
+    /// [`crate::affinity`]). The calling thread is pinned as tid 0.
+    pub fn team_pinned(nthreads: usize) -> Self {
+        Exec::Team(Arc::new(WorkerTeam::with_affinity(
+            nthreads,
+            crate::affinity::TeamAffinity::Compact,
+        )))
+    }
+
     /// Wraps an existing team.
     pub fn with_team(team: Arc<WorkerTeam>) -> Self {
         Exec::Team(team)

@@ -26,17 +26,21 @@
 //!   (the paper's future-work tasking library);
 //! * [`segscan`] — segmented sums/scans used by the CSR5-style tiled
 //!   kernels;
-//! * [`atomicf`] — atomic floating-point accumulators.
+//! * [`atomicf`] — atomic floating-point accumulators;
+//! * [`affinity`] — best-effort core pinning for team participants
+//!   (`OMP_PROC_BIND`-style placement, Linux `sched_setaffinity`).
 //!
-//! Everything except the worker team is safe Rust built on
-//! `std::sync::atomic`; [`team`] contains the crate's only `unsafe` —
-//! the lifetime erasure that lets persistent workers execute borrowed
-//! closures — behind a documented fork-join protocol.
+//! Almost everything is safe Rust built on `std::sync::atomic`. The
+//! two exceptions: [`team`] erases a closure lifetime so persistent
+//! workers can execute borrowed regions (behind a documented fork-join
+//! protocol), and [`affinity`] makes one FFI call into the
+//! already-linked C library.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod abort;
+pub mod affinity;
 pub mod atomicf;
 pub mod backoff;
 pub mod barrier;
@@ -47,6 +51,7 @@ pub mod segscan;
 pub mod taskgraph;
 pub mod team;
 
+pub use affinity::TeamAffinity;
 pub use backoff::Backoff;
 pub use barrier::SpinBarrier;
 pub use exec::Exec;

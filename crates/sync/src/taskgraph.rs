@@ -128,19 +128,39 @@ impl TaskGraph {
                                 ready.lock().push(s);
                             }
                         }
-                        in_flight.fetch_sub(1, Ordering::AcqRel);
+                        // Retire order matters for the deadlock check
+                        // below: `remaining` first, `in_flight` last, so
+                        // that observing `in_flight == 0` implies every
+                        // retired task's successor pushes and `remaining`
+                        // decrement are already visible.
                         let left = remaining.fetch_sub(1, Ordering::AcqRel) - 1;
+                        in_flight.fetch_sub(1, Ordering::AcqRel);
                         if left == 0 {
                             break;
                         }
                     }
                     None => {
-                        assert!(
-                            in_flight.load(Ordering::Acquire) > 0
-                                || remaining.load(Ordering::Acquire) == 0
-                                || !ready.lock().is_empty(),
-                            "task graph deadlocked: cycle detected"
-                        );
+                        {
+                            // Evaluate the deadlock predicate under the
+                            // ready lock: claiming bumps `in_flight`
+                            // inside this same lock, and retiring
+                            // decrements it only after its successor
+                            // pushes (which need the lock) and the
+                            // `remaining` decrement. So "empty queue,
+                            // nothing in flight, tasks remaining" — all
+                            // observed in one critical section — is a
+                            // genuine cycle, not a transient of another
+                            // worker mid-claim or mid-retire. Reading the
+                            // three at different times without the lock
+                            // used to fire this assert spuriously.
+                            let q = ready.lock();
+                            assert!(
+                                !q.is_empty()
+                                    || in_flight.load(Ordering::Acquire) > 0
+                                    || remaining.load(Ordering::Acquire) == 0,
+                                "task graph deadlocked: cycle detected"
+                            );
+                        }
                         // A task that panicked never retires: unwind
                         // instead of spinning on it forever.
                         crate::abort::check();
@@ -245,6 +265,23 @@ mod tests {
         for nthreads in [1, 2, 4] {
             let order = run_and_record(&g, nthreads);
             assert_topological(&g, &order, &deps);
+        }
+    }
+
+    #[test]
+    fn idle_workers_never_false_deadlock_on_narrow_graphs() {
+        // Regression: the deadlock assert used to read `in_flight`, the
+        // ready queue and `remaining` at three different moments with no
+        // lock held, so an idle worker racing the claim of the last
+        // ready task could observe "empty + idle + tasks left" on an
+        // acyclic graph and panic. A chain keeps exactly one task
+        // runnable at a time, maximizing idle workers racing each
+        // handoff.
+        let deps: Vec<(usize, usize)> = (0..31).map(|i| (i, i + 1)).collect();
+        let g = TaskGraph::new(32, &deps);
+        for _ in 0..100 {
+            let order = run_and_record(&g, 4);
+            assert_eq!(order, (0..32).collect::<Vec<_>>());
         }
     }
 

@@ -34,6 +34,7 @@
 #![allow(unsafe_code)]
 
 use crate::abort::{self, RegionAbort};
+use crate::affinity::{pin_current_thread, TeamAffinity};
 use crate::backoff::Backoff;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -105,7 +106,20 @@ impl WorkerTeam {
     /// # Panics
     /// If `nthreads == 0` or a worker thread cannot be spawned.
     pub fn new(nthreads: usize) -> Self {
+        Self::with_affinity(nthreads, TeamAffinity::None)
+    }
+
+    /// Like [`WorkerTeam::new`], additionally applying `affinity` to
+    /// every participant: each worker pins itself as the first thing it
+    /// does on its own thread, and the calling thread (tid 0) is pinned
+    /// here, before the constructor returns. Pinning is best-effort
+    /// (see [`crate::affinity`]) — a rejected mask leaves the thread
+    /// unpinned and the team fully functional.
+    pub fn with_affinity(nthreads: usize, affinity: TeamAffinity) -> Self {
         assert!(nthreads >= 1, "team needs at least one participant");
+        if let Some(core) = affinity.core_for(0) {
+            pin_current_thread(core);
+        }
         let shared = Arc::new(Shared {
             nthreads,
             epoch: AtomicU64::new(0),
@@ -125,7 +139,12 @@ impl WorkerTeam {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("javelin-worker-{tid}"))
-                    .spawn(move || worker_loop(&shared, tid))
+                    .spawn(move || {
+                        if let Some(core) = affinity.core_for(tid) {
+                            pin_current_thread(core);
+                        }
+                        worker_loop(&shared, tid)
+                    })
                     .expect("spawn team worker")
             })
             .collect();
@@ -350,6 +369,20 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn pinned_team_runs_all_tids() {
+        // Pinning is best-effort; whatever the kernel decided, the
+        // region protocol must be unaffected.
+        let team = WorkerTeam::with_affinity(3, crate::affinity::TeamAffinity::Compact);
+        let hits: Vec<AtomicUsize> = (0..3).map(|_| AtomicUsize::new(0)).collect();
+        for _ in 0..4 {
+            team.run(|tid| {
+                hits[tid].fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 4));
     }
 
     #[test]

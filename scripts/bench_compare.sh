@@ -1,0 +1,142 @@
+#!/usr/bin/env bash
+# Compares the two newest snapshots in a benchmark trajectory file
+# (BENCH_results.json, as written by scripts/bench_json.sh) and prints
+# per-benchmark median deltas. Exits non-zero when any benchmark's
+# median regressed by more than THRESH percent (default 15) — the CI
+# tripwire for perf-sensitive PRs. Dependency-free: bash + awk only.
+#
+# Usage:
+#   scripts/bench_compare.sh                   # diff BENCH_results.json
+#   scripts/bench_compare.sh other.json        # diff another trajectory
+#   THRESH=10 scripts/bench_compare.sh         # tighter regression gate
+#   scripts/bench_compare.sh --parse-only f    # just parse: report the
+#                                              # snapshot/benchmark count,
+#                                              # exit 1 if nothing parses
+#
+# Only benchmarks present in BOTH snapshots are compared; added/removed
+# benchmarks are listed but never gate. Snapshots from different
+# machines or feature sets (see the "machine" header bench_json.sh
+# records) are compared with a warning — cross-machine deltas are
+# noise, re-run both snapshots on one box before trusting them.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+THRESH=${THRESH:-15}
+
+# Streams "snap|key|median_ns" triples (plus "meta|..." lines) from a
+# trajectory file, relying on the one-result-per-line format
+# bench_json.sh writes.
+extract() {
+    awk '
+        function strfield(name,    s) {
+            s = $0
+            if (match(s, "\"" name "\": \"[^\"]*\"")) {
+                s = substr(s, RSTART, RLENGTH)
+                sub("^\"" name "\": \"", "", s); sub("\"$", "", s)
+                return s
+            }
+            return ""
+        }
+        function numfield(name,    s) {
+            s = $0
+            if (match(s, "\"" name "\": [0-9.eE+-]+")) {
+                s = substr(s, RSTART, RLENGTH)
+                sub("^\"" name "\": ", "", s)
+                return s + 0
+            }
+            return ""
+        }
+        /"generated_at"/ {
+            snap++
+            printf "meta|%d|generated_at|%s\n", snap, strfield("generated_at")
+            next
+        }
+        /"commit"/ {
+            printf "meta|%d|commit|%s\n", snap, strfield("commit")
+            next
+        }
+        /"machine"/ && /"features"/ {
+            printf "meta|%d|machine|%s\n", snap, $0
+            next
+        }
+        /"median_ns"/ && /"bench"/ {
+            printf "res|%d|%s/%s/%s|%s\n", snap, \
+                strfield("suite"), strfield("group"), strfield("bench"), \
+                numfield("median_ns")
+        }
+    ' "$1"
+}
+
+if [ "${1:-}" = "--parse-only" ]; then
+    src=${2:?usage: bench_compare.sh --parse-only <trajectory-file>}
+    parsed=$(extract "$src")
+    snaps=$(printf '%s\n' "$parsed" | awk -F'|' '/^meta\|.*\|generated_at/ {n++} END {print n + 0}')
+    benches=$(printf '%s\n' "$parsed" | awk -F'|' '/^res\|/ {n++} END {print n + 0}')
+    if [ "$benches" -eq 0 ]; then
+        echo "error: no benchmark results parsed from $src" >&2
+        exit 1
+    fi
+    echo "parsed $benches benchmark results across $snaps snapshots from $src" >&2
+    exit 0
+fi
+
+SRC=${1:-BENCH_results.json}
+if [ ! -s "$SRC" ]; then
+    echo "error: trajectory file $SRC missing or empty" >&2
+    exit 1
+fi
+
+extract "$SRC" | awk -F'|' -v thresh="$THRESH" '
+    $1 == "meta" {
+        snap = $2
+        if (snap > last_snap) last_snap = snap
+        if ($3 == "generated_at") stamp[snap] = $4
+        if ($3 == "commit")       commit[snap] = $4
+        if ($3 == "machine")      machine[snap] = $4
+        next
+    }
+    $1 == "res" {
+        snap = $2
+        if (snap > last_snap) last_snap = snap
+        val[snap SUBSEP $3] = $4
+        if (!(snap SUBSEP $3 in seen_key)) {
+            seen_key[snap SUBSEP $3] = 1
+            keys[snap, ++nkeys_of[snap]] = $3
+        }
+    }
+    END {
+        if (last_snap < 2) {
+            printf "error: need at least two snapshots to compare (found %d)\n", last_snap > "/dev/stderr"
+            exit 1
+        }
+        prev = last_snap - 1; cur = last_snap
+        printf "comparing %s (%s) -> %s (%s), gate: +%s%% median\n\n", \
+            commit[prev], stamp[prev], commit[cur], stamp[cur], thresh
+        if (machine[prev] != machine[cur])
+            printf "warning: machine/feature headers differ between snapshots — deltas may be noise\n\n" > "/dev/stderr"
+        printf "%-52s %14s %14s %9s\n", "benchmark", "prev ns", "cur ns", "delta"
+        worst = 0; regressed = 0
+        for (i = 1; i <= nkeys_of[cur]; i++) {
+            k = keys[cur, i]
+            if (!((prev SUBSEP k) in val)) { added[++nadded] = k; continue }
+            p = val[prev SUBSEP k]; c = val[cur SUBSEP k]
+            if (p <= 0) continue
+            d = (c - p) / p * 100.0
+            flag = ""
+            if (d > thresh) { flag = "  << REGRESSION"; regressed++ }
+            if (d > worst) worst = d
+            printf "%-52s %14.1f %14.1f %+8.1f%%%s\n", k, p, c, d, flag
+        }
+        for (i = 1; i <= nkeys_of[prev]; i++) {
+            k = keys[prev, i]
+            if (!((cur SUBSEP k) in val)) removed[++nremoved] = k
+        }
+        if (nadded)   { printf "\nnew benchmarks (no baseline):\n"; for (i = 1; i <= nadded; i++) printf "  + %s\n", added[i] }
+        if (nremoved) { printf "\ndropped benchmarks:\n"; for (i = 1; i <= nremoved; i++) printf "  - %s\n", removed[i] }
+        printf "\nworst delta: %+.1f%% (gate +%s%%)\n", worst, thresh
+        if (regressed) {
+            printf "error: %d benchmark(s) regressed beyond the gate\n", regressed > "/dev/stderr"
+            exit 1
+        }
+    }
+'

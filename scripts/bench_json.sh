@@ -9,6 +9,8 @@
 #   scripts/bench_json.sh                  # all suites + loadgen -> append
 #   SUITES="batch apply" OUT=/tmp/b.json scripts/bench_json.sh
 #   LOADGEN=0 scripts/bench_json.sh        # skip the service loadgen
+#   FEATURES=simd scripts/bench_json.sh    # bench with cargo features on
+#                                          # (recorded in the snapshot)
 #   scripts/bench_json.sh --parse-only report.txt
 #                                          # just parse a raw shim report
 #                                          # (exit 1 if nothing parses)
@@ -65,6 +67,10 @@ SUITES=${SUITES:-"apply batch batch_krylov refactor spmv sweep trisolve"}
 OUT=${OUT:-BENCH_results.json}
 LOADGEN=${LOADGEN:-1}
 LOADGEN_ARGS=${LOADGEN_ARGS:-"--threads 2 --engine p2p --solves 24 --clients 2,4,8"}
+# Cargo features the bench crates are built with (space/comma separated,
+# e.g. FEATURES=simd). Recorded in the snapshot so trajectories built
+# under different feature sets are distinguishable.
+FEATURES=${FEATURES:-}
 
 raw=$(mktemp)
 snap=$(mktemp)
@@ -74,7 +80,8 @@ trap 'rm -f "$raw" "$snap" "$lg"' EXIT
 for suite in $SUITES; do
     echo "== bench suite: $suite" >&2
     echo "suite: $suite" >>"$raw"
-    cargo bench -q -p javelin-bench --bench "$suite" >>"$raw"
+    # shellcheck disable=SC2086
+    cargo bench -q -p javelin-bench ${FEATURES:+--features "$FEATURES"} --bench "$suite" >>"$raw"
 done
 
 results=$(parse_report "$raw")
@@ -96,9 +103,19 @@ fi
 
 commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 stamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+# Machine/build context: hardware threads the OS reports, the process's
+# available parallelism (affinity-mask aware), and the cargo feature
+# set — snapshots from different machines or builds must not be
+# compared silently.
+nthreads=$(getconf _NPROCESSORS_ONLN 2>/dev/null || grep -c ^processor /proc/cpuinfo 2>/dev/null || echo 1)
+# nproc honours the affinity mask — the same number
+# std::thread::available_parallelism reports to the library.
+avail=$(nproc 2>/dev/null || echo "$nthreads")
 
 {
     printf '{\n  "generated_at": "%s",\n  "commit": "%s",\n' "$stamp" "$commit"
+    printf '  "machine": {"nthreads": %s, "available_parallelism": %s, "features": "%s"},\n' \
+        "$nthreads" "$avail" "${FEATURES:-default}"
     printf '  "loadgen": %s,\n' "$loadgen_json"
     printf '  "results": [\n%s  ]\n}' "$results"
 } >"$snap"

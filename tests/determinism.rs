@@ -69,6 +69,32 @@ fn parallel_corner_is_bitwise_identical() {
 }
 
 #[test]
+fn pinned_team_is_bitwise_identical_and_solves_match() {
+    // Core pinning + first-touch placement are locality knobs only:
+    // factors AND solve vectors must be bit-identical to the unpinned
+    // run, whatever mask the kernel actually granted.
+    for meta in paper_suite().into_iter().take(4) {
+        let a = preorder_dm_nd(&meta.build_tiny());
+        let opts = IluOptions::ilu0(3);
+        let mut pinned = opts.clone();
+        pinned.pin_threads = true;
+        let want = factorize(&a, &opts).expect("factors");
+        let got = factorize(&a, &pinned).expect("factors");
+        let wb: Vec<u64> = want.lu().vals().iter().map(|v| v.to_bits()).collect();
+        let gb: Vec<u64> = got.lu().vals().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(gb, wb, "{}: pinned factor bits", meta.name);
+        let rhs: Vec<f64> = (0..a.nrows()).map(|i| (i as f64).sin() + 1.5).collect();
+        let mut xw = vec![0.0; a.nrows()];
+        let mut xg = vec![0.0; a.nrows()];
+        want.solve_into(&rhs, &mut xw).expect("solve");
+        got.solve_into(&rhs, &mut xg).expect("solve");
+        let xwb: Vec<u64> = xw.iter().map(|v| v.to_bits()).collect();
+        let xgb: Vec<u64> = xg.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(xgb, xwb, "{}: pinned solve bits", meta.name);
+    }
+}
+
+#[test]
 fn drop_tolerance_is_deterministic_in_parallel() {
     let meta = &paper_suite()[1]; // tsopf-like: dense rows
     let a = preorder_dm_nd(&meta.build_tiny());

@@ -368,4 +368,44 @@ fn steady_state_refactor_allocates_zero_bytes() {
         let sb: Vec<u64> = scalar.lu().vals().iter().map(|v| v.to_bits()).collect();
         assert_eq!(bb, sb, "batched column {c} vs scalar refactor");
     }
+
+    // ---- Phase 6: exclusive-slice kernels on a PINNED team. ----
+    // `pin_threads` changes placement only (core binding + first-touch
+    // zero-fill at analyze time); steady-state refactors and repeated
+    // solves through the row-view (`LuVals::view_mut`) eliminate/retire
+    // paths must stay allocation-free on the pinned team too.
+    let a6 = irregular(300);
+    let mut opts6 = IluOptions::ilu0(3);
+    opts6.pin_threads = true;
+    opts6.split.min_rows_per_level = 8;
+    opts6.split.location_frac = 0.0;
+    let sym6 = SymbolicIlu::analyze(&a6, &opts6).expect("analysis (pinned)");
+    let mut f6 = sym6.factor(&a6).expect("pinned factor");
+    let n6 = a6.nrows();
+    let engine6 = f6.default_engine();
+    let b6: Vec<f64> = (0..n6).map(|i| (i as f64 * 0.17).cos() + 2.0).collect();
+    let mut x6 = vec![0.0; n6];
+    let mut perm6: Vec<f64> = Vec::new();
+    f6.refactor(&revalue(&a6, 0.4)).expect("warm-up refactor");
+    f6.solve_with_buffer(engine6, &mut perm6, &b6, &mut x6)
+        .expect("warm-up solve");
+    f6.refactor(&revalue(&a6, 0.9)).expect("second warm-up");
+    f6.solve_with_buffer(engine6, &mut perm6, &b6, &mut x6)
+        .expect("second warm-up solve");
+    let a6_t = revalue(&a6, 3.3);
+    let (allocs_mid, bytes_mid) = snapshot();
+    f6.refactor(&a6_t).expect("steady-state pinned refactor");
+    f6.solve_with_buffer(engine6, &mut perm6, &b6, &mut x6)
+        .expect("steady-state pinned solve");
+    let (allocs_after, bytes_after) = snapshot();
+    assert_eq!(
+        allocs_after - allocs_mid,
+        0,
+        "pinned refactor+solve performed heap allocations"
+    );
+    assert_eq!(
+        bytes_after - bytes_mid,
+        0,
+        "pinned refactor+solve allocated bytes"
+    );
 }
